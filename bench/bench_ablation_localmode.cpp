@@ -1,0 +1,68 @@
+// Ablation A1 (DESIGN.md) — what the dual-layer configuration scheme
+// buys (paper §6): a resource-shared FIR (fewer multipliers than taps)
+// is only practical if the functionality can change every cycle.  We
+// run the same filter three ways and compare measured cycles/sample:
+//
+//   * spatial systolic (one multiplier per tap, global mode, static),
+//   * resource-shared with PAGE swaps (the paper's dedicated
+//     configuration instruction set: T+4 cycles/sample),
+//   * resource-shared with word-by-word WRCFG/WRSW rewriting (the
+//     naive baseline the paper argues against).
+//
+// Also: local (stand-alone) mode vs controller-driven execution for a
+// plain MAC stream — local mode needs zero controller instructions in
+// steady state.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsp/fir.hpp"
+#include "kernels/fir_kernel.hpp"
+#include "kernels/mac_kernel.hpp"
+
+int main() {
+  using namespace sring;
+  const RingGeometry ring16{8, 2, 16};
+
+  Rng rng(4242);
+  std::vector<Word> x(512);
+  for (auto& v : x) v = rng.next_word_in(-100, 100);
+
+  std::printf("Ablation: configuration mechanisms on the same FIR\n\n");
+  std::printf("  %5s %22s %22s %22s\n", "taps", "spatial (static)",
+              "paged (dual-layer)", "wordwise (naive)");
+  for (const std::size_t taps : {2u, 3u, 4u}) {
+    std::vector<Word> coeffs(taps);
+    for (auto& c : coeffs) c = rng.next_word_in(-8, 8);
+
+    const auto spatial = kernels::run_spatial_fir(ring16, x, coeffs);
+    const auto paged = kernels::run_paged_serial_fir(ring16, x, coeffs);
+    const auto wordwise = kernels::run_wordwise_serial_fir(ring16, x,
+                                                           coeffs);
+    const auto golden = dsp::fir_reference(x, coeffs);
+    const bool ok = spatial.outputs == golden && paged.outputs == golden &&
+                    wordwise.outputs == golden;
+    std::printf("  %5zu %15.2f c/spl %15.2f c/spl %15.2f c/spl  %s\n",
+                taps, spatial.cycles_per_sample, paged.cycles_per_sample,
+                wordwise.cycles_per_sample, ok ? "" : "MISMATCH");
+    if (!ok) return 1;
+  }
+
+  std::printf("\n  multiplier usage: spatial = taps multipliers, both "
+              "serial variants = 1 multiplier (resource sharing).\n");
+
+  // Local mode vs controller overhead on a MAC stream.
+  std::vector<Word> a(1024, 3), b(1024, 5);
+  const auto local = kernels::run_running_mac(ring16, a, b);
+  std::printf("\nStand-alone (local) mode, 1024-pair MAC stream:\n");
+  std::printf("  cycles: %llu, controller instructions: %llu "
+              "(boot only), %.3f MACs/cycle\n",
+              static_cast<unsigned long long>(local.stats.cycles),
+              static_cast<unsigned long long>(
+                  local.stats.ctrl_instructions),
+              static_cast<double>(a.size()) /
+                  static_cast<double>(local.stats.cycles));
+  std::printf("  -> the controller is free for prefetch/management, the "
+              "paper's \"without RISC controller overheading\".\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Fig. 7 reproduction — "a foreseeable SoC": 12 mm2, 0.18 um die with
+// a Ring-64 (3.4 mm2) next to an ARM7TDMI (0.54 mm2).
+#include <cstdio>
+
+#include "model/perf.hpp"
+#include "model/soc.hpp"
+#include "model/tech.hpp"
+
+int main() {
+  using namespace sring::model;
+  const SocFloorplan soc = foreseeable_soc();
+  std::printf("Fig. 7: a foreseeable SoC (0.18 um)\n\n%s\n",
+              soc.to_string().c_str());
+
+  const TechNode t = tech_018um();
+  std::printf("  Ring-64 on this die: %.0f MHz, %.0f MIPS peak, %.1f "
+              "GB/s internal bandwidth\n",
+              frequency_mhz(t, 64), peak_mips(64, frequency_mhz(t, 64)),
+              peak_bandwidth_bytes_per_s(64, frequency_mhz(t, 64)) / 1e9);
+  std::printf("  floorplan fits the 12 mm2 budget: %s\n",
+              soc.fits() ? "yes" : "NO");
+  return soc.fits() ? 0 : 1;
+}

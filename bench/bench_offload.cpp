@@ -1,0 +1,73 @@
+// §1/§3 reproduction — the co-design motivation: when does confiding a
+// kernel to the Systolic Ring beat computing it on the host CPU?
+//
+// Scenario: a 3-tap FIR stream.  Host = Pentium-II-class scalar model
+// at 450 MHz; ring = Ring-8 at 200 MHz behind the paper's 250 MB/s PCI
+// link.  The analytic model's offload time is cross-checked against
+// the actual PCI-limited simulation.
+#include <cstdio>
+#include <vector>
+
+#include "baseline/scalar_cpu.hpp"
+#include "common/rng.hpp"
+#include "kernels/fir_kernel.hpp"
+#include "model/offload.hpp"
+
+int main() {
+  using namespace sring;
+
+  // Calibrate the two compute rates from their own models.
+  Rng rng(5);
+  std::vector<Word> probe(2048);
+  for (auto& v : probe) v = rng.next_word_in(-100, 100);
+  const std::vector<Word> coeffs = {3, to_word(-2), 5};
+  const auto host_run = baseline::scalar_fir(probe, coeffs);
+  const double host_cps =
+      host_run.stats.cycles / static_cast<double>(probe.size());
+
+  const RingGeometry ring8{4, 2, 16};
+  const auto ring_run = kernels::run_spatial_fir(ring8, probe, coeffs);
+  const double ring_cps = ring_run.cycles_per_sample;
+
+  model::OffloadScenario s;
+  s.host_cycles_per_sample = host_cps;
+  s.ring_cycles_per_sample = ring_cps;
+
+  std::printf("Offload analysis: 3-tap FIR, Pentium II 450 vs Ring-8 "
+              "@200 MHz over 250 MB/s PCI\n\n");
+  std::printf("  host: %.1f cycles/sample; ring: %.2f cycles/sample; "
+              "link: 4 bytes/sample\n\n", host_cps, ring_cps);
+  std::printf("  %10s %12s %12s %10s %8s\n", "samples", "host/us",
+              "offload/us", "bound", "speedup");
+  for (const std::size_t n :
+       {64u, 256u, 1024u, 16384u, 262144u, 1048576u}) {
+    s.samples = n;
+    const auto a = model::analyze_offload(s);
+    std::printf("  %10zu %12.1f %12.1f %10s %7.2fx\n", n,
+                1e6 * a.host_only_s, 1e6 * a.offload_total_s,
+                a.transfer_s > a.ring_compute_s ? "link" : "compute",
+                a.speedup);
+  }
+  const std::size_t be = model::break_even_samples(s);
+  std::printf("\n  break-even stream length: %zu samples\n", be);
+
+  // Cross-check the model against the PCI-limited simulation (the
+  // simulated link is full-duplex, so the gating flow is the 2-byte
+  // input stream).
+  const LinkRate pci = LinkRate::from_bytes_per_second(250e6, 200e6);
+  const auto pci_run = kernels::run_spatial_fir(ring8, probe, coeffs, pci);
+  s.samples = probe.size();
+  s.bytes_per_sample = 2;
+  const auto a = model::analyze_offload(s);
+  const double sim_s = pci_run.stats.cycles / 200e6;
+  std::printf("\n  model vs simulation (%zu samples over PCI): %.1f us "
+              "vs %.1f us measured (%.0f%% agreement)\n", probe.size(),
+              1e6 * a.offload_total_s, 1e6 * sim_s,
+              100.0 * std::min(a.offload_total_s, sim_s) /
+                  std::max(a.offload_total_s, sim_s));
+  std::printf("  -> the paper's SoC claim: a cheap 200 MHz ring next to "
+              "the CPU outruns the big core\n     once streams amortize "
+              "the transfer, and the PCI link (not compute) is the "
+              "bound.\n");
+  return 0;
+}

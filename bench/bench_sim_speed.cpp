@@ -1,0 +1,90 @@
+// Simulator micro-benchmarks (google-benchmark): how fast the
+// cycle-accurate model itself runs, per ring size and per kernel.
+// These are engineering numbers for users of the simulator, not paper
+// reproductions.
+#include <benchmark/benchmark.h>
+
+#include "asm/program_builder.hpp"
+#include "common/rng.hpp"
+#include "kernels/fir_kernel.hpp"
+#include "kernels/mac_kernel.hpp"
+#include "sim/system.hpp"
+
+namespace {
+
+using namespace sring;
+
+RingGeometry geom_for(std::size_t dnodes) {
+  std::size_t layers = dnodes / 2;
+  std::size_t lanes = 2;
+  while (layers > 32) {
+    layers /= 2;
+    lanes *= 2;
+  }
+  return {layers, lanes, 16};
+}
+
+void BM_SystemStep_AllMac(benchmark::State& state) {
+  const RingGeometry g = geom_for(static_cast<std::size_t>(state.range(0)));
+  ProgramBuilder pb(g, "all_mac");
+  PageBuilder page(g);
+  DnodeInstr mac;
+  mac.op = DnodeOp::kMac;
+  mac.src_a = DnodeSrc::kR1;
+  mac.src_b = DnodeSrc::kR2;
+  mac.src_c = DnodeSrc::kR0;
+  mac.dst = DnodeDst::kR0;
+  for (std::size_t l = 0; l < g.layers; ++l) {
+    for (std::size_t k = 0; k < g.lanes; ++k) {
+      page.mode(l, k, DnodeMode::kLocal);
+    }
+  }
+  pb.add_page(page);
+  for (std::size_t d = 0; d < g.dnode_count(); ++d) {
+    pb.local_program(d, {mac});
+  }
+  pb.page_switch(0);
+  pb.halt();
+
+  System sys({g});
+  sys.load(pb.build());
+  for (auto _ : state) {
+    sys.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["dnode_ops/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * g.dnode_count()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SystemStep_AllMac)->Arg(8)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SpatialFir(benchmark::State& state) {
+  const RingGeometry g{8, 2, 16};
+  Rng rng(1);
+  std::vector<Word> x(1024);
+  for (auto& v : x) v = rng.next_word_in(-100, 100);
+  const std::vector<Word> coeffs = {1, 2, 3, 4};
+  for (auto _ : state) {
+    const auto r = kernels::run_spatial_fir(g, x, coeffs);
+    benchmark::DoNotOptimize(r.outputs.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_SpatialFir);
+
+void BM_RunningMac(benchmark::State& state) {
+  const RingGeometry g{4, 2, 16};
+  std::vector<Word> a(1024, 3), b(1024, 7);
+  for (auto _ : state) {
+    const auto r = kernels::run_running_mac(g, a, b);
+    benchmark::DoNotOptimize(r.partial_sums.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.size()));
+}
+BENCHMARK(BM_RunningMac);
+
+}  // namespace
+
+BENCHMARK_MAIN();

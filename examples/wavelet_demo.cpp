@@ -1,0 +1,56 @@
+// 2-D wavelet demo (the paper's JPEG2000 use case): run the 5/3
+// lifting pipeline on the Ring-16 over an image, dump the subbands as
+// PGM files and verify perfect reconstruction.
+//
+//   $ ./wavelet_demo [output_dir]
+#include <cstdio>
+#include <fstream>
+
+#include "dsp/wavelet.hpp"
+#include "kernels/dwt_kernel.hpp"
+
+namespace {
+
+void dump(const sring::Image& img, const std::string& path, int bias,
+          int scale) {
+  sring::Image view(img.width(), img.height());
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    const std::int32_t v =
+        sring::as_signed(img.pixels()[i]) * scale + bias;
+    view.pixels()[i] =
+        sring::to_word(v < 0 ? 0 : (v > 255 ? 255 : v));
+  }
+  std::ofstream f(path, std::ios::binary);
+  f << view.to_pgm();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sring;
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  const RingGeometry ring16{8, 2, 16};
+
+  const Image img = Image::synthetic(128, 96, 31);
+  const auto result = kernels::run_dwt53_2d(ring16, img);
+
+  std::printf("2-D 5/3 lifting DWT of a %zux%zu image on a Ring-16\n",
+              img.width(), img.height());
+  std::printf("  total cycles: %llu (%.3f cycles per pixel)\n",
+              static_cast<unsigned long long>(result.total_cycles),
+              result.cycles_per_sample);
+
+  dump(result.bands.ll, out_dir + "/dwt_ll.pgm", 0, 1);
+  dump(result.bands.lh, out_dir + "/dwt_lh.pgm", 128, 2);
+  dump(result.bands.hl, out_dir + "/dwt_hl.pgm", 128, 2);
+  dump(result.bands.hh, out_dir + "/dwt_hh.pgm", 128, 2);
+  std::printf("  subbands written to %s/dwt_{ll,lh,hl,hh}.pgm\n",
+              out_dir.c_str());
+
+  // The transform the ring computed is perfectly reconstructible.
+  const Image back = dsp::dwt53_inverse_2d(result.bands,
+                                           dsp::Boundary::kZero);
+  std::printf("  perfect reconstruction: %s\n",
+              back == img ? "yes" : "NO (bug!)");
+  return back == img ? 0 : 1;
+}

@@ -1,0 +1,592 @@
+#include "asm/assembler.hpp"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asm/lexer.hpp"
+#include "asm/macro.hpp"
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "core/local_control.hpp"
+#include "isa/dnode_instr.hpp"
+#include "isa/risc_instr.hpp"
+
+namespace sring {
+
+namespace {
+
+/// Parse a short decimal suffix ("prev3" -> 3); rejects anything that
+/// is not 1..4 plain digits so corrupt input cannot overflow stoi.
+std::optional<int> parse_small_uint(std::string_view digits) {
+  if (digits.empty() || digits.size() > 4) return std::nullopt;
+  int value = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source)
+      : tokens_(expand_macros(lex(source))) {}
+
+  LoadableProgram parse() {
+    skip_newlines();
+    while (!at(TokenKind::kEnd)) {
+      const Token& t = peek();
+      if (t.is_ident(".name")) {
+        parse_name();
+      } else if (t.is_ident(".ring")) {
+        parse_ring();
+      } else if (t.is_ident(".equ")) {
+        parse_equ();
+      } else if (t.is_ident(".controller")) {
+        parse_controller();
+      } else if (t.is_ident(".page")) {
+        parse_page();
+      } else if (t.is_ident(".local")) {
+        parse_local();
+      } else {
+        fail("expected a directive (.ring/.controller/.page/.local/...)",
+             t);
+      }
+      skip_newlines();
+    }
+    finalize();
+    return std::move(program_);
+  }
+
+ private:
+  // --- token plumbing ---------------------------------------------------
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool at(TokenKind kind) const { return peek().kind == kind; }
+  Token take() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  Token expect(TokenKind kind, const std::string& what) {
+    if (!at(kind)) {
+      fail("expected " + what + ", found " + to_string(peek().kind),
+           peek());
+    }
+    return take();
+  }
+  void skip_newlines() {
+    while (at(TokenKind::kNewline)) take();
+  }
+  void end_statement() {
+    if (at(TokenKind::kEnd)) return;
+    expect(TokenKind::kNewline, "end of line");
+  }
+  [[noreturn]] void fail(const std::string& message, const Token& t) const {
+    throw AsmError(message, t.line, t.column);
+  }
+
+  /// Number or .equ constant.
+  std::int64_t parse_number() {
+    if (at(TokenKind::kNumber)) return take().value;
+    if (at(TokenKind::kIdent)) {
+      const Token t = peek();
+      const auto it = constants_.find(t.text);
+      if (it != constants_.end()) {
+        take();
+        return it->second;
+      }
+      fail("unknown constant '" + t.text + "'", t);
+    }
+    fail("expected a number", peek());
+  }
+
+  /// "layer.lane" coordinate or flat Dnode index.
+  std::size_t parse_dnode_coord() {
+    const Token first = peek();
+    const auto a = parse_number();
+    if (at(TokenKind::kDot)) {
+      take();
+      const auto b = parse_number();
+      require_geometry(first);
+      if (a < 0 || b < 0 ||
+          static_cast<std::size_t>(a) >= program_.geometry.layers ||
+          static_cast<std::size_t>(b) >= program_.geometry.lanes) {
+        fail("dnode coordinate out of range", first);
+      }
+      return static_cast<std::size_t>(a) * program_.geometry.lanes +
+             static_cast<std::size_t>(b);
+    }
+    require_geometry(first);
+    if (a < 0 ||
+        static_cast<std::size_t>(a) >= program_.geometry.dnode_count()) {
+      fail("dnode index out of range", first);
+    }
+    return static_cast<std::size_t>(a);
+  }
+
+  void require_geometry(const Token& t) const {
+    if (!have_geometry_) {
+      fail("a .ring directive must precede this statement", t);
+    }
+  }
+
+  // --- directives --------------------------------------------------------
+  void parse_name() {
+    take();
+    program_.name = expect(TokenKind::kIdent, "program name").text;
+    end_statement();
+  }
+
+  void parse_ring() {
+    const Token t = take();
+    if (have_geometry_) fail("duplicate .ring directive", t);
+    program_.geometry.layers = static_cast<std::size_t>(parse_number());
+    program_.geometry.lanes = static_cast<std::size_t>(parse_number());
+    if (at(TokenKind::kNumber) || at(TokenKind::kIdent)) {
+      program_.geometry.fb_depth = static_cast<std::size_t>(parse_number());
+    }
+    try {
+      program_.geometry.validate();
+    } catch (const SimError& e) {
+      fail(e.what(), t);
+    }
+    have_geometry_ = true;
+    end_statement();
+  }
+
+  void parse_equ() {
+    take();
+    const std::string name = expect(TokenKind::kIdent, "constant name").text;
+    constants_[name] = parse_number();
+    end_statement();
+  }
+
+  // --- controller section -------------------------------------------------
+  struct LabelFixup {
+    std::size_t instr_index;
+    std::string label;
+    Token token;
+    bool is_page;  ///< page-name operand rather than branch target
+  };
+
+  void parse_controller() {
+    take();
+    end_statement();
+    skip_newlines();
+    while (!at(TokenKind::kEnd)) {
+      const Token& t = peek();
+      if (t.kind == TokenKind::kIdent && t.text[0] == '.') break;
+      if (t.kind == TokenKind::kIdent &&
+          peek(1).kind == TokenKind::kColon) {
+        if (labels_.count(t.text) != 0) {
+          fail("duplicate label '" + t.text + "'", t);
+        }
+        labels_[t.text] = instrs_.size();
+        take();
+        take();
+        skip_newlines();
+        continue;
+      }
+      parse_ctrl_instr();
+      skip_newlines();
+    }
+  }
+
+  std::uint8_t parse_reg() {
+    const Token t = expect(TokenKind::kIdent, "register (r0..r15)");
+    if (t.text.size() >= 2 && t.text[0] == 'r') {
+      const auto n = parse_small_uint(std::string_view(t.text).substr(1));
+      if (n && *n >= 0 && *n < static_cast<int>(kRiscRegCount)) {
+        return static_cast<std::uint8_t>(*n);
+      }
+    }
+    fail("expected a register r0..r15, found '" + t.text + "'", t);
+  }
+
+  /// Immediate operand that may be a label (branches) or page name.
+  std::int32_t parse_imm_or_label(RiscOp op) {
+    if (at(TokenKind::kIdent) &&
+        constants_.count(peek().text) == 0) {
+      const Token t = take();
+      if (!is_branch(op) && op != RiscOp::kPage) {
+        fail("unknown constant '" + t.text + "'", t);
+      }
+      fixups_.push_back(
+          {instrs_.size(), t.text, t, op == RiscOp::kPage});
+      return 0;
+    }
+    const auto v = parse_number();
+    if (!fits_signed(v, 16) && !fits_unsigned(
+                                   static_cast<std::uint64_t>(v), 16)) {
+      fail("immediate does not fit in 16 bits", peek());
+    }
+    return static_cast<std::int32_t>(v);
+  }
+
+  void parse_ctrl_instr() {
+    const Token t = expect(TokenKind::kIdent, "instruction mnemonic");
+    const auto op = parse_risc_op(t.text);
+    if (!op) fail("unknown controller mnemonic '" + t.text + "'", t);
+    RiscInstr instr;
+    instr.op = *op;
+    switch (format_of(*op)) {
+      case RiscFormat::kNone:
+        break;
+      case RiscFormat::kRdImm:
+        instr.rd = parse_reg();
+        expect(TokenKind::kComma, "','");
+        instr.imm = parse_imm_or_label(*op);
+        break;
+      case RiscFormat::kRdRa:
+        instr.rd = parse_reg();
+        expect(TokenKind::kComma, "','");
+        instr.ra = parse_reg();
+        break;
+      case RiscFormat::kRdRaRb:
+        instr.rd = parse_reg();
+        expect(TokenKind::kComma, "','");
+        instr.ra = parse_reg();
+        expect(TokenKind::kComma, "','");
+        instr.rb = parse_reg();
+        break;
+      case RiscFormat::kRdRaImm:
+        instr.rd = parse_reg();
+        expect(TokenKind::kComma, "','");
+        instr.ra = parse_reg();
+        expect(TokenKind::kComma, "','");
+        instr.imm = parse_imm_or_label(*op);
+        break;
+      case RiscFormat::kRaRbImm:
+        instr.ra = parse_reg();
+        expect(TokenKind::kComma, "','");
+        instr.rb = parse_reg();
+        expect(TokenKind::kComma, "','");
+        instr.imm = parse_imm_or_label(*op);
+        break;
+      case RiscFormat::kImm:
+        instr.imm = parse_imm_or_label(*op);
+        break;
+      case RiscFormat::kRa:
+        instr.ra = parse_reg();
+        break;
+      case RiscFormat::kRd:
+        instr.rd = parse_reg();
+        break;
+      case RiscFormat::kRaRb:
+        instr.ra = parse_reg();
+        expect(TokenKind::kComma, "','");
+        instr.rb = parse_reg();
+        break;
+    }
+    instrs_.push_back(instr);
+    instr_tokens_.push_back(t);
+    end_statement();
+  }
+
+  // --- ring-level microinstructions ---------------------------------------
+  DnodeSrc parse_src(DnodeInstr& instr, const Token& where) {
+    const Token t = expect(TokenKind::kIdent, "operand source");
+    const auto src = parse_dnode_src(t.text);
+    if (!src) fail("unknown operand source '" + t.text + "'", t);
+    if (*src == DnodeSrc::kImm && at(TokenKind::kLParen)) {
+      take();
+      const auto v = parse_number();
+      if (v < -32768 || v > 65535) {
+        fail("immediate out of 16-bit range", t);
+      }
+      const Word w = to_word(v);
+      if (imm_set_ && instr.imm != w) {
+        fail("conflicting immediate values in one microinstruction",
+             where);
+      }
+      instr.imm = w;
+      imm_set_ = true;
+      expect(TokenKind::kRParen, "')'");
+    }
+    return *src;
+  }
+
+  DnodeInstr parse_microinstr() {
+    imm_set_ = false;
+    const Token t = expect(TokenKind::kIdent, "Dnode mnemonic");
+    const auto op = parse_dnode_op(t.text);
+    if (!op) fail("unknown Dnode mnemonic '" + t.text + "'", t);
+    DnodeInstr instr;
+    instr.op = *op;
+    if (*op != DnodeOp::kNop) {
+      const Token dt = expect(TokenKind::kIdent, "destination");
+      const auto dst = parse_dnode_dst(dt.text);
+      if (!dst) fail("unknown destination '" + dt.text + "'", dt);
+      instr.dst = *dst;
+      expect(TokenKind::kComma, "','");
+      instr.src_a = parse_src(instr, t);
+      if (op_uses_b(*op)) {
+        expect(TokenKind::kComma, "','");
+        instr.src_b = parse_src(instr, t);
+      }
+      if (op_uses_c(*op)) {
+        expect(TokenKind::kComma, "','");
+        instr.src_c = parse_src(instr, t);
+      }
+    }
+    // Optional flags.
+    while (at(TokenKind::kIdent)) {
+      const Token f = peek();
+      if (f.text == "out") {
+        instr.out_en = true;
+      } else if (f.text == "bus") {
+        instr.bus_en = true;
+      } else if (f.text == "host") {
+        instr.host_en = true;
+      } else {
+        break;
+      }
+      take();
+    }
+    return instr;
+  }
+
+  // --- page section --------------------------------------------------------
+  void parse_page() {
+    const Token t = take();
+    require_geometry(t);
+    const std::string name =
+        at(TokenKind::kIdent) ? take().text
+                              : std::to_string(program_.pages.size());
+    if (page_names_.count(name) != 0) {
+      fail("duplicate page name '" + name + "'", t);
+    }
+    page_names_[name] = program_.pages.size();
+    end_statement();
+    skip_newlines();
+
+    ConfigPage page = ConfigPage::zeroed(program_.geometry);
+    while (!at(TokenKind::kEnd)) {
+      const Token& s = peek();
+      if (s.kind == TokenKind::kIdent && s.text[0] == '.') break;
+      if (s.is_ident("dnode")) {
+        take();
+        const std::size_t d = parse_dnode_coord();
+        if (at(TokenKind::kIdent) && peek().text == "local") {
+          take();
+          page.dnode_mode[d] = static_cast<std::uint8_t>(DnodeMode::kLocal);
+        } else if (at(TokenKind::kIdent) && peek().text == "global") {
+          take();
+          page.dnode_mode[d] =
+              static_cast<std::uint8_t>(DnodeMode::kGlobal);
+        } else {
+          expect(TokenKind::kLBrace, "'{' or mode (local/global)");
+          page.dnode_instr[d] = parse_microinstr().encode();
+          expect(TokenKind::kRBrace, "'}'");
+        }
+        end_statement();
+      } else if (s.is_ident("switch")) {
+        take();
+        parse_switch_entry(page);
+        end_statement();
+      } else {
+        fail("expected 'dnode' or 'switch' in page section", s);
+      }
+      skip_newlines();
+    }
+    program_.pages.push_back(std::move(page));
+  }
+
+  FeedbackAddr parse_fb_addr(const Token& where) {
+    expect(TokenKind::kLParen, "'('");
+    FeedbackAddr a;
+    const auto p = parse_number();
+    expect(TokenKind::kComma, "','");
+    const auto l = parse_number();
+    expect(TokenKind::kComma, "','");
+    const auto d = parse_number();
+    expect(TokenKind::kRParen, "')'");
+    if (p < 0 || static_cast<std::size_t>(p) >=
+                     program_.geometry.switch_count() ||
+        l < 0 || static_cast<std::size_t>(l) >= program_.geometry.lanes ||
+        d < 0 ||
+        static_cast<std::size_t>(d) >= program_.geometry.fb_depth) {
+      fail("feedback address out of range for this geometry", where);
+    }
+    a.pipe = static_cast<std::uint8_t>(p);
+    a.lane = static_cast<std::uint8_t>(l);
+    a.depth = static_cast<std::uint8_t>(d);
+    return a;
+  }
+
+  PortRoute parse_port_route(const Token& where) {
+    const Token t = expect(TokenKind::kIdent, "port route");
+    if (t.text == "zero") return PortRoute::zero();
+    if (t.text == "host") return PortRoute::host();
+    if (t.text == "bus") return PortRoute::bus();
+    if (t.text == "fb") return PortRoute::feedback(parse_fb_addr(where));
+    if (t.text.rfind("prev", 0) == 0 && t.text.size() > 4) {
+      const auto lane =
+          parse_small_uint(std::string_view(t.text).substr(4));
+      if (lane && *lane >= 0 &&
+          static_cast<std::size_t>(*lane) < program_.geometry.lanes) {
+        return PortRoute::prev(static_cast<std::uint8_t>(*lane));
+      }
+      fail("prev lane out of range", t);
+    }
+    fail("unknown port route '" + t.text + "'", t);
+  }
+
+  void parse_switch_entry(ConfigPage& page) {
+    const Token where = peek();
+    // switch coordinate: "sw.lane" (switch index == downstream layer)
+    const auto a = parse_number();
+    std::size_t sw;
+    std::size_t lane;
+    if (at(TokenKind::kDot)) {
+      take();
+      const auto b = parse_number();
+      sw = static_cast<std::size_t>(a);
+      lane = static_cast<std::size_t>(b);
+    } else {
+      const auto flat = static_cast<std::size_t>(a);
+      sw = flat / program_.geometry.lanes;
+      lane = flat % program_.geometry.lanes;
+    }
+    if (sw >= program_.geometry.switch_count() ||
+        lane >= program_.geometry.lanes) {
+      fail("switch coordinate out of range", where);
+    }
+    SwitchRoute route;
+    while (at(TokenKind::kIdent)) {
+      const Token key = take();
+      expect(TokenKind::kEqual, "'='");
+      if (key.text == "in1") {
+        route.in1 = parse_port_route(key);
+      } else if (key.text == "in2") {
+        route.in2 = parse_port_route(key);
+      } else if (key.text == "fifo1") {
+        const Token fb = expect(TokenKind::kIdent, "fb(...)");
+        if (fb.text != "fb") fail("expected fb(pipe,lane,depth)", fb);
+        route.fifo1 = parse_fb_addr(key);
+      } else if (key.text == "fifo2") {
+        const Token fb = expect(TokenKind::kIdent, "fb(...)");
+        if (fb.text != "fb") fail("expected fb(pipe,lane,depth)", fb);
+        route.fifo2 = parse_fb_addr(key);
+      } else if (key.text == "hostout") {
+        const Token v = expect(TokenKind::kIdent, "prev<lane>");
+        if (v.text.rfind("prev", 0) != 0) {
+          fail("hostout expects prev<lane>", v);
+        }
+        const auto l =
+            parse_small_uint(std::string_view(v.text).substr(4));
+        if (!l || *l < 0 ||
+            static_cast<std::size_t>(*l) >= program_.geometry.lanes) {
+          fail("hostout lane out of range", v);
+        }
+        route.host_out_en = true;
+        route.host_out_lane = static_cast<std::uint8_t>(*l);
+      } else {
+        fail("unknown switch attribute '" + key.text + "'", key);
+      }
+    }
+    page.switch_route[sw * program_.geometry.lanes + lane] =
+        route.encode();
+  }
+
+  // --- local section --------------------------------------------------------
+  void parse_local() {
+    const Token t = take();
+    require_geometry(t);
+    const std::size_t d = parse_dnode_coord();
+    skip_newlines();
+    expect(TokenKind::kLBrace, "'{'");
+    skip_newlines();
+    std::size_t slot = 0;
+    std::optional<std::int64_t> explicit_limit;
+    while (!at(TokenKind::kRBrace)) {
+      if (at(TokenKind::kIdent) && peek().text == "limit") {
+        take();
+        explicit_limit = parse_number();
+      } else {
+        if (slot >= kLocalProgramSlots) {
+          fail("local program exceeds 8 microinstructions", peek());
+        }
+        const DnodeInstr instr = parse_microinstr();
+        program_.local_init.push_back(
+            {static_cast<std::uint32_t>(d), static_cast<std::uint8_t>(slot),
+             instr.encode()});
+        ++slot;
+      }
+      if (!at(TokenKind::kRBrace)) end_statement();
+      skip_newlines();
+    }
+    take();  // '}'
+    const std::int64_t limit =
+        explicit_limit.value_or(slot == 0 ? 0
+                                          : static_cast<std::int64_t>(slot) -
+                                                1);
+    if (limit < 0 ||
+        limit >= static_cast<std::int64_t>(kLocalProgramSlots)) {
+      fail("local program LIMIT out of range", t);
+    }
+    program_.local_init.push_back(
+        {static_cast<std::uint32_t>(d),
+         static_cast<std::uint8_t>(LocalControl::kLimitSlot),
+         static_cast<std::uint64_t>(limit)});
+    end_statement();
+  }
+
+  // --- finalization -----------------------------------------------------------
+  void finalize() {
+    for (const auto& fix : fixups_) {
+      if (fix.is_page) {
+        const auto it = page_names_.find(fix.label);
+        if (it == page_names_.end()) {
+          fail("unknown page '" + fix.label + "'", fix.token);
+        }
+        instrs_[fix.instr_index].imm =
+            static_cast<std::int32_t>(it->second);
+        continue;
+      }
+      const auto it = labels_.find(fix.label);
+      if (it == labels_.end()) {
+        fail("unknown label '" + fix.label + "'", fix.token);
+      }
+      const auto target = static_cast<std::int64_t>(it->second);
+      const auto from = static_cast<std::int64_t>(fix.instr_index) + 1;
+      const std::int64_t offset = target - from;
+      if (!fits_signed(offset, 16)) {
+        fail("branch target out of range", fix.token);
+      }
+      instrs_[fix.instr_index].imm = static_cast<std::int32_t>(offset);
+    }
+    program_.controller_code.reserve(instrs_.size());
+    for (std::size_t i = 0; i < instrs_.size(); ++i) {
+      try {
+        program_.controller_code.push_back(instrs_[i].encode());
+      } catch (const SimError& e) {
+        fail(e.what(), instr_tokens_[i]);
+      }
+    }
+    if (!have_geometry_) {
+      throw AsmError("program has no .ring directive", 1, 1);
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  LoadableProgram program_;
+  bool have_geometry_ = false;
+  bool imm_set_ = false;
+  std::map<std::string, std::int64_t> constants_;
+  std::map<std::string, std::size_t> labels_;
+  std::map<std::string, std::size_t> page_names_;
+  std::vector<RiscInstr> instrs_;
+  std::vector<Token> instr_tokens_;
+  std::vector<LabelFixup> fixups_;
+};
+
+}  // namespace
+
+LoadableProgram assemble(std::string_view source) {
+  return Parser(source).parse();
+}
+
+}  // namespace sring

@@ -1,0 +1,47 @@
+// Two-level assembler (paper §5.1: "we wrote an assembling tool, which
+// parses both RISC level (for the control) and Ring level assembler
+// primitives.  It directly generates the machine object code, ready to
+// be executed in the architecture.").
+//
+// Source structure:
+//
+//   .name myprog                ; optional program name
+//   .ring LAYERS LANES [FBDEPTH]; ring geometry (required, first)
+//   .equ  taps 8                ; named constant
+//
+//   .controller                 ; RISC management code
+//   start:
+//       ldi   r1, 0
+//       page  init              ; page operands may be names or numbers
+//   loop:
+//       addi  r1, r1, 1
+//       blt   r1, r2, loop      ; branch targets: labels or offsets
+//       halt
+//
+//   .page init                  ; one full configuration snapshot
+//       dnode 0.0 local         ; set execution mode
+//       dnode 1.0 { mac r0, in1, in2, r0 out }
+//       switch 1.0 in1=prev0 in2=host fifo1=fb(0,0,3) hostout=prev0
+//
+//   .local 0.0                  ; preloaded local microprogram (slots
+//   {                           ; 0..n-1; LIMIT defaults to n-1)
+//       mac r0, in1, in2, r0
+//       pass none, r0 host
+//   }
+//
+// Ring-level microinstruction syntax: `op dst, srcA[, srcB[, srcC]]`
+// followed by optional flags `out`, `bus`, `host`.  The IMM operand
+// source is written `imm(value)`.
+#pragma once
+
+#include <string_view>
+
+#include "sim/program.hpp"
+
+namespace sring {
+
+/// Assemble source text into a loadable program; throws AsmError with
+/// line/column on any diagnostic.
+LoadableProgram assemble(std::string_view source);
+
+}  // namespace sring

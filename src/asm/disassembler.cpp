@@ -1,0 +1,120 @@
+#include "asm/disassembler.hpp"
+
+#include <map>
+
+#include "core/local_control.hpp"
+#include "core/switch.hpp"
+#include "isa/dnode_instr.hpp"
+#include "isa/risc_instr.hpp"
+
+namespace sring {
+
+namespace {
+
+std::string route_to_asm(const PortRoute& p) {
+  switch (p.kind) {
+    case RouteKind::kZero:
+      return "zero";
+    case RouteKind::kPrev:
+      return "prev" + std::to_string(p.lane);
+    case RouteKind::kHost:
+      return "host";
+    case RouteKind::kBus:
+      return "bus";
+    case RouteKind::kFeedback:
+      return "fb(" + std::to_string(p.fb.pipe) + "," +
+             std::to_string(p.fb.lane) + "," + std::to_string(p.fb.depth) +
+             ")";
+    case RouteKind::kKindCount:
+      break;
+  }
+  return "zero";
+}
+
+std::string fb_to_asm(const FeedbackAddr& a) {
+  return "fb(" + std::to_string(a.pipe) + "," + std::to_string(a.lane) +
+         "," + std::to_string(a.depth) + ")";
+}
+
+}  // namespace
+
+std::string disassemble(const LoadableProgram& p) {
+  std::string out;
+  if (!p.name.empty()) out += ".name " + p.name + "\n";
+  out += ".ring " + std::to_string(p.geometry.layers) + " " +
+         std::to_string(p.geometry.lanes) + " " +
+         std::to_string(p.geometry.fb_depth) + "\n\n";
+
+  if (!p.controller_code.empty()) {
+    out += ".controller\n";
+    for (const auto word : p.controller_code) {
+      out += "    " + RiscInstr::decode(word).to_string() + "\n";
+    }
+    out += "\n";
+  }
+
+  for (std::size_t pi = 0; pi < p.pages.size(); ++pi) {
+    const auto& page = p.pages[pi];
+    out += ".page p" + std::to_string(pi) + "\n";
+    for (std::size_t d = 0; d < page.dnode_instr.size(); ++d) {
+      const std::string coord =
+          std::to_string(d / p.geometry.lanes) + "." +
+          std::to_string(d % p.geometry.lanes);
+      if (page.dnode_mode[d] ==
+          static_cast<std::uint8_t>(DnodeMode::kLocal)) {
+        out += "    dnode " + coord + " local\n";
+      }
+      if (page.dnode_instr[d] != 0) {
+        out += "    dnode " + coord + " { " +
+               DnodeInstr::decode(page.dnode_instr[d]).to_string() + " }\n";
+      }
+    }
+    for (std::size_t s = 0; s < p.geometry.switch_count(); ++s) {
+      for (std::size_t lane = 0; lane < p.geometry.lanes; ++lane) {
+        const auto raw = page.switch_route[s * p.geometry.lanes + lane];
+        if (raw == 0) continue;
+        const SwitchRoute r = SwitchRoute::decode(raw);
+        out += "    switch " + std::to_string(s) + "." +
+               std::to_string(lane);
+        out += " in1=" + route_to_asm(r.in1);
+        out += " in2=" + route_to_asm(r.in2);
+        out += " fifo1=" + fb_to_asm(r.fifo1);
+        out += " fifo2=" + fb_to_asm(r.fifo2);
+        if (r.host_out_en) {
+          out += " hostout=prev" + std::to_string(r.host_out_lane);
+        }
+        out += "\n";
+      }
+    }
+    out += "\n";
+  }
+
+  // Group local-init writes per dnode.  LIMIT writes terminate a group
+  // in assembler output, so emit program slots first, then `limit`.
+  std::map<std::uint32_t, std::vector<LocalWrite>> per_dnode;
+  for (const auto& lw : p.local_init) per_dnode[lw.dnode].push_back(lw);
+  for (const auto& [dnode, writes] : per_dnode) {
+    out += ".local " + std::to_string(dnode / p.geometry.lanes) + "." +
+           std::to_string(dnode % p.geometry.lanes) + "\n{\n";
+    std::int64_t limit = -1;
+    std::map<std::uint8_t, std::uint64_t> slots;
+    for (const auto& lw : writes) {
+      if (lw.slot < kLocalProgramSlots) {
+        slots[lw.slot] = lw.value;
+      } else if (lw.slot == LocalControl::kLimitSlot) {
+        limit = static_cast<std::int64_t>(lw.value);
+      }
+    }
+    for (const auto& [slot, value] : slots) {
+      out += "    " + DnodeInstr::decode(value).to_string() + "\n";
+    }
+    if (limit >= 0 &&
+        limit != static_cast<std::int64_t>(slots.size()) - 1) {
+      out += "    limit " + std::to_string(limit) + "\n";
+    }
+    out += "}\n\n";
+  }
+  return out;
+}
+
+}  // namespace sring

@@ -1,0 +1,15 @@
+// Disassembler: turns a loadable program back into assembly text that
+// the assembler accepts (round-trip property: reassembling the output
+// reproduces the same object, modulo label names).
+#pragma once
+
+#include <string>
+
+#include "sim/program.hpp"
+
+namespace sring {
+
+/// Full program listing (.ring / .controller / .page / .local sections).
+std::string disassemble(const LoadableProgram& program);
+
+}  // namespace sring

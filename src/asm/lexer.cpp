@@ -1,0 +1,173 @@
+#include "asm/lexer.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace sring {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t col = 1;
+  std::size_t i = 0;
+
+  const auto push = [&](TokenKind kind, std::string text = {},
+                        std::int64_t value = 0) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.value = value;
+    t.line = line;
+    t.column = col;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      // Collapse runs of newlines into one separator token.
+      if (tokens.empty() || tokens.back().kind != TokenKind::kNewline) {
+        push(TokenKind::kNewline);
+      }
+      ++i;
+      ++line;
+      col = 1;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      ++col;
+      continue;
+    }
+    if (c == ';' || c == '#') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == ',') { push(TokenKind::kComma); ++i; ++col; continue; }
+    if (c == ':') { push(TokenKind::kColon); ++i; ++col; continue; }
+    if (c == '{') { push(TokenKind::kLBrace); ++i; ++col; continue; }
+    if (c == '}') { push(TokenKind::kRBrace); ++i; ++col; continue; }
+    if (c == '(') { push(TokenKind::kLParen); ++i; ++col; continue; }
+    if (c == ')') { push(TokenKind::kRParen); ++i; ++col; continue; }
+    if (c == '=') { push(TokenKind::kEqual); ++i; ++col; continue; }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      const std::size_t start = i;
+      const std::size_t start_col = col;
+      bool negative = false;
+      if (c == '-') {
+        negative = true;
+        ++i;
+        ++col;
+      }
+      int base = 10;
+      if (i + 1 < src.size() && src[i] == '0' &&
+          (src[i + 1] == 'x' || src[i + 1] == 'X')) {
+        base = 16;
+        i += 2;
+        col += 2;
+      } else if (i + 1 < src.size() && src[i] == '0' &&
+                 (src[i + 1] == 'b' || src[i + 1] == 'B')) {
+        base = 2;
+        i += 2;
+        col += 2;
+      }
+      std::uint64_t value = 0;
+      std::size_t digits = 0;
+      while (i < src.size()) {
+        const char d = src[i];
+        int dv;
+        if (d >= '0' && d <= '9') {
+          dv = d - '0';
+        } else if (base == 16 && d >= 'a' && d <= 'f') {
+          dv = d - 'a' + 10;
+        } else if (base == 16 && d >= 'A' && d <= 'F') {
+          dv = d - 'A' + 10;
+        } else if (d == '_') {
+          ++i;
+          ++col;
+          continue;  // digit group separator
+        } else {
+          break;
+        }
+        if (dv >= base) {
+          throw AsmError("digit out of range for base", line, col);
+        }
+        value = value * static_cast<std::uint64_t>(base) +
+                static_cast<std::uint64_t>(dv);
+        ++digits;
+        ++i;
+        ++col;
+      }
+      if (digits == 0) {
+        throw AsmError("malformed number literal", line, start_col);
+      }
+      auto sv = static_cast<std::int64_t>(value);
+      if (negative) sv = -sv;
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.text = std::string(src.substr(start, i - start));
+      t.value = sv;
+      t.line = line;
+      t.column = start_col;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    // '.' starts an identifier only when followed by a letter (a
+    // directive like ".controller"); between numbers it is the
+    // coordinate separator of "layer.lane".
+    const bool dot_directive =
+        c == '.' && i + 1 < src.size() &&
+        (std::isalpha(static_cast<unsigned char>(src[i + 1])) ||
+         src[i + 1] == '_');
+    if (is_ident_start(c) && (c != '.' || dot_directive)) {
+      const std::size_t start = i;
+      const std::size_t start_col = col;
+      ++i;
+      ++col;
+      while (i < src.size() && is_ident_char(src[i])) {
+        ++i;
+        ++col;
+      }
+      Token t;
+      t.kind = TokenKind::kIdent;
+      t.text = std::string(src.substr(start, i - start));
+      t.line = line;
+      t.column = start_col;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    if (c == '.') {
+      push(TokenKind::kDot);
+      ++i;
+      ++col;
+      continue;
+    }
+
+    throw AsmError(std::string("unexpected character '") + c + "'", line,
+                   col);
+  }
+
+  push(TokenKind::kNewline);
+  push(TokenKind::kEnd);
+  return tokens;
+}
+
+}  // namespace sring

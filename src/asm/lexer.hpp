@@ -1,0 +1,20 @@
+// Lexer for the Systolic Ring assembly language.
+//
+// Comments run from ';' or '#' to end of line.  Newlines are
+// significant (statement separators).  Identifiers may start with '.'
+// (directives) or a letter/underscore; numbers accept decimal,
+// 0x-hex and 0b-binary with an optional leading '-'.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "asm/token.hpp"
+
+namespace sring {
+
+/// Tokenize the whole input; throws AsmError on a bad character or
+/// malformed number.  The result always ends with a kEnd token.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace sring

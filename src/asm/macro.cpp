@@ -1,0 +1,222 @@
+#include "asm/macro.hpp"
+
+#include <map>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace sring {
+
+namespace {
+
+struct Macro {
+  std::vector<std::string> params;
+  std::vector<Token> body;  // without the trailing .endm
+};
+
+constexpr int kMaxExpansionDepth = 16;
+
+class Expander {
+ public:
+  explicit Expander(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    std::size_t i = 0;
+    bool at_statement_start = true;
+    while (i < tokens_.size()) {
+      const Token& t = tokens_[i];
+      if (t.is_ident(".macro")) {
+        i = parse_definition(i);
+        at_statement_start = true;
+        continue;
+      }
+      if (t.is_ident(".endm")) {
+        throw AsmError(".endm without .macro", t.line, t.column);
+      }
+      if (at_statement_start && t.kind == TokenKind::kIdent &&
+          macros_.count(t.text) != 0) {
+        i = expand_invocation(i, out, 0);
+        at_statement_start = true;
+        continue;
+      }
+      at_statement_start = t.kind == TokenKind::kNewline;
+      out.push_back(t);
+      ++i;
+    }
+    return out;
+  }
+
+ private:
+  /// Parse ".macro NAME p1 p2 ... NL body .endm"; returns the index
+  /// just past the definition.
+  std::size_t parse_definition(std::size_t i) {
+    const Token& head = tokens_[i];
+    ++i;  // .macro
+    if (i >= tokens_.size() || tokens_[i].kind != TokenKind::kIdent) {
+      throw AsmError("expected macro name after .macro", head.line,
+                     head.column);
+    }
+    const std::string name = tokens_[i].text;
+    if (macros_.count(name) != 0) {
+      throw AsmError("duplicate macro '" + name + "'", tokens_[i].line,
+                     tokens_[i].column);
+    }
+    ++i;
+    Macro macro;
+    while (i < tokens_.size() &&
+           tokens_[i].kind == TokenKind::kIdent) {
+      macro.params.push_back(tokens_[i].text);
+      ++i;
+    }
+    if (i >= tokens_.size() || tokens_[i].kind != TokenKind::kNewline) {
+      throw AsmError("expected end of line after macro parameters",
+                     head.line, head.column);
+    }
+    ++i;  // newline
+    // Collect the body until the matching .endm.
+    while (i < tokens_.size() && !tokens_[i].is_ident(".endm")) {
+      if (tokens_[i].kind == TokenKind::kEnd ||
+          tokens_[i].is_ident(".macro")) {
+        throw AsmError("unterminated macro '" + name + "'", head.line,
+                       head.column);
+      }
+      macro.body.push_back(tokens_[i]);
+      ++i;
+    }
+    if (i >= tokens_.size()) {
+      throw AsmError("unterminated macro '" + name + "'", head.line,
+                     head.column);
+    }
+    ++i;  // .endm
+    macros_.emplace(name, std::move(macro));
+    return i;
+  }
+
+  /// Expand one invocation starting at index i; appends to `out` and
+  /// returns the index just past the argument list.
+  std::size_t expand_invocation(std::size_t i, std::vector<Token>& out,
+                                int depth) {
+    const Token& head = tokens_[i];
+    if (depth >= kMaxExpansionDepth) {
+      throw AsmError("macro expansion too deep (recursive macro?)",
+                     head.line, head.column);
+    }
+    const Macro& macro = macros_.at(head.text);
+    ++i;
+    // One argument token per parameter (numbers or identifiers).
+    std::map<std::string, Token> args;
+    for (const std::string& param : macro.params) {
+      if (i >= tokens_.size() ||
+          (tokens_[i].kind != TokenKind::kNumber &&
+           tokens_[i].kind != TokenKind::kIdent)) {
+        throw AsmError("macro '" + head.text + "' expects " +
+                           std::to_string(macro.params.size()) +
+                           " argument(s)",
+                       head.line, head.column);
+      }
+      args.emplace(param, tokens_[i]);
+      ++i;
+    }
+    if (i < tokens_.size() && tokens_[i].kind != TokenKind::kNewline &&
+        tokens_[i].kind != TokenKind::kEnd) {
+      throw AsmError("too many arguments to macro '" + head.text + "'",
+                     tokens_[i].line, tokens_[i].column);
+    }
+
+    // Substitute and splice, re-expanding nested invocations.
+    bool at_statement_start = true;
+    for (std::size_t b = 0; b < macro.body.size(); ++b) {
+      Token t = macro.body[b];
+      if (t.kind == TokenKind::kIdent) {
+        const auto it = args.find(t.text);
+        if (it != args.end()) {
+          // Substituted tokens keep the invocation site's location.
+          t = it->second;
+          t.line = head.line;
+          t.column = head.column;
+          out.push_back(t);
+          at_statement_start = false;
+          continue;
+        }
+        if (at_statement_start && macros_.count(t.text) != 0) {
+          // Nested invocation: gather its argument tokens from the
+          // (already substituted) body.
+          b = expand_nested(macro, args, b, out, depth + 1);
+          at_statement_start = true;
+          continue;
+        }
+      }
+      at_statement_start = t.kind == TokenKind::kNewline;
+      out.push_back(t);
+    }
+    return i;
+  }
+
+  /// Expand a macro invocation that appears inside another macro's
+  /// body; returns the body index just past the nested argument list.
+  std::size_t expand_nested(const Macro& outer,
+                            const std::map<std::string, Token>& args,
+                            std::size_t b, std::vector<Token>& out,
+                            int depth) {
+    const Token head = outer.body[b];
+    if (depth >= kMaxExpansionDepth) {
+      throw AsmError("macro expansion too deep (recursive macro?)",
+                     head.line, head.column);
+    }
+    const Macro& macro = macros_.at(head.text);
+    ++b;
+    std::map<std::string, Token> nested_args;
+    for (const std::string& param : macro.params) {
+      if (b >= outer.body.size() ||
+          (outer.body[b].kind != TokenKind::kNumber &&
+           outer.body[b].kind != TokenKind::kIdent)) {
+        throw AsmError("macro '" + head.text + "' expects " +
+                           std::to_string(macro.params.size()) +
+                           " argument(s)",
+                       head.line, head.column);
+      }
+      Token arg = outer.body[b];
+      if (arg.kind == TokenKind::kIdent) {
+        const auto it = args.find(arg.text);
+        if (it != args.end()) arg = it->second;
+      }
+      nested_args.emplace(param, arg);
+      ++b;
+    }
+    bool at_statement_start = true;
+    for (std::size_t nb = 0; nb < macro.body.size(); ++nb) {
+      Token t = macro.body[nb];
+      if (t.kind == TokenKind::kIdent) {
+        const auto it = nested_args.find(t.text);
+        if (it != nested_args.end()) {
+          t = it->second;
+          out.push_back(t);
+          at_statement_start = false;
+          continue;
+        }
+        if (at_statement_start && macros_.count(t.text) != 0) {
+          nb = expand_nested(macro, nested_args, nb, out, depth + 1);
+          at_statement_start = true;
+          continue;
+        }
+      }
+      at_statement_start = t.kind == TokenKind::kNewline;
+      out.push_back(t);
+    }
+    // Callers advance with ++b: hand back the last consumed index.
+    return b - 1;
+  }
+
+  std::vector<Token> tokens_;
+  std::map<std::string, Macro> macros_;
+};
+
+}  // namespace
+
+std::vector<Token> expand_macros(std::vector<Token> tokens) {
+  return Expander(std::move(tokens)).run();
+}
+
+}  // namespace sring

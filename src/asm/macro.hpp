@@ -1,0 +1,30 @@
+// Token-level macro preprocessor for the assembler.
+//
+//   .macro tap LAYER COEF
+//       dnode  LAYER.0 { pass none, in1 out }
+//       switch LAYER.0 in1=fb(LAYER,0,0)
+//       dnode  LAYER.1 { mac none, in1, imm(COEF), in2 out }
+//       switch LAYER.1 in1=prev0 in2=prev1
+//   .endm
+//
+//   tap 1 2
+//   tap 2 -3
+//
+// Invocation: the macro name at statement start, followed by one
+// argument token per parameter.  Parameters substitute wherever their
+// identifier appears in the body.  Macros may invoke earlier-defined
+// macros (expansion depth is bounded to catch accidental recursion).
+#pragma once
+
+#include <vector>
+
+#include "asm/token.hpp"
+
+namespace sring {
+
+/// Expand .macro/.endm definitions and their invocations; throws
+/// AsmError on malformed definitions, arity mismatches, or runaway
+/// recursion.
+std::vector<Token> expand_macros(std::vector<Token> tokens);
+
+}  // namespace sring

@@ -1,0 +1,33 @@
+// Binary object-file format for assembled Systolic Ring programs —
+// the "machine object code, ready to be executed in the architecture"
+// of paper §5.1, and what the PRG memory of the fig. 6 prototype holds.
+//
+// Layout (little-endian):
+//   u32 magic "SRGO"   u32 version
+//   u32 name length, bytes
+//   u32 layers, u32 lanes, u32 fb_depth
+//   u32 controller word count, u32 words...
+//   u32 page count; per page: dnode_count x u64 instrs,
+//       dnode_count x u8 modes, switch_count*lanes x u64 routes
+//   u32 local-init count; per entry: u32 dnode, u8 slot, u64 value
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/program.hpp"
+
+namespace sring {
+
+/// Serialize to the binary object format.
+std::vector<std::uint8_t> serialize_program(const LoadableProgram& program);
+
+/// Parse a binary object; throws SimError on a malformed image.
+LoadableProgram deserialize_program(const std::vector<std::uint8_t>& bytes);
+
+/// File convenience wrappers (throw SimError on I/O failure).
+void save_program(const LoadableProgram& program, const std::string& path);
+LoadableProgram load_program(const std::string& path);
+
+}  // namespace sring

@@ -1,0 +1,35 @@
+#include "asm/token.hpp"
+
+namespace sring {
+
+std::string to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kEqual:
+      return "'='";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kNewline:
+      return "end of line";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace sring

@@ -1,0 +1,39 @@
+// Tokens of the two-level Systolic Ring assembly language.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sring {
+
+enum class TokenKind : std::uint8_t {
+  kIdent,     ///< identifier / mnemonic / directive (".controller")
+  kNumber,    ///< integer literal (decimal, hex 0x, binary 0b, negative)
+  kComma,
+  kColon,
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kEqual,
+  kDot,       ///< '.' between numbers (dnode coordinates "0.1")
+  kNewline,   ///< statement separator (also ';' outside comments? no: ';' starts a comment)
+  kEnd,       ///< end of input
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;          ///< raw text for identifiers
+  std::int64_t value = 0;    ///< numeric value for kNumber
+  std::size_t line = 0;      ///< 1-based
+  std::size_t column = 0;    ///< 1-based
+
+  bool is_ident(const std::string& s) const {
+    return kind == TokenKind::kIdent && text == s;
+  }
+};
+
+/// Printable name of a token kind, for diagnostics.
+std::string to_string(TokenKind kind);
+
+}  // namespace sring

@@ -1,0 +1,45 @@
+#include "baseline/asic_me.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace sring::baseline {
+
+AsicMotionEstimationResult asic_motion_estimation(const Image& ref,
+                                                  std::size_t rx,
+                                                  std::size_t ry,
+                                                  const Image& cand,
+                                                  int range,
+                                                  const AsicConfig& cfg) {
+  check(cfg.block >= 1 && cfg.fill_rows_per_cycle >= 1,
+        "asic_motion_estimation: bad configuration");
+  AsicMotionEstimationResult result;
+
+  // Functional pass (the PE array computes exactly these SADs).
+  bool first = true;
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      const std::uint32_t sad = dsp::block_sad(
+          ref, rx, ry, cand, static_cast<std::ptrdiff_t>(rx) + dx,
+          static_cast<std::ptrdiff_t>(ry) + dy, cfg.block);
+      result.sads.push_back(sad);
+      if (first || sad < result.best.sad) {
+        result.best = {dx, dy, sad};
+        first = false;
+      }
+    }
+  }
+
+  // Timing model.
+  const std::uint64_t candidates = result.sads.size();
+  const std::uint64_t fill =
+      cfg.block / cfg.fill_rows_per_cycle;  // reference block load
+  const std::uint64_t tree_depth =
+      std::bit_width(cfg.block * cfg.block - 1);  // adder tree stages
+  result.cycles = fill + candidates + tree_depth;
+  result.pe_ops = candidates * cfg.block * cfg.block;
+  return result;
+}
+
+}  // namespace sring::baseline

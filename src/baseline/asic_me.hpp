@@ -1,0 +1,47 @@
+// Block-matching ASIC baseline for Table 1 (paper reference [7],
+// Bugeja & Yang, "A Re-configurable VLSI Coprocessing System for the
+// Block Matching Algorithm"; see also Hsieh & Lin [4]).
+//
+// Substitution (see DESIGN.md): we model the classic dedicated
+// systolic PE-array architecture those papers describe — an N x N
+// array of absolute-difference PEs with an adder tree, fully pipelined
+// so that after the array fills it retires one candidate position per
+// clock.  Cycle count for a full search:
+//
+//   cycles = fill_latency + candidates * II + drain
+//     fill_latency = N (rows loaded per cycle) + adder-tree depth
+//     II (initiation interval) = 1 candidate / cycle
+//
+// The model also executes the computation functionally so its SADs are
+// checked against the golden model, keeping the cycle claim honest.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/image.hpp"
+#include "dsp/sad.hpp"
+
+namespace sring::baseline {
+
+struct AsicConfig {
+  std::size_t block = 8;   ///< N: PE array is N x N
+  std::size_t fill_rows_per_cycle = 1;
+};
+
+struct AsicMotionEstimationResult {
+  std::vector<std::uint32_t> sads;
+  dsp::MotionVector best;
+  std::uint64_t cycles = 0;
+  std::uint64_t pe_ops = 0;  ///< total absolute-difference operations
+};
+
+/// Full-search 8x8 motion estimation on the PE-array model.
+AsicMotionEstimationResult asic_motion_estimation(const Image& ref,
+                                                  std::size_t rx,
+                                                  std::size_t ry,
+                                                  const Image& cand,
+                                                  int range,
+                                                  const AsicConfig& cfg = {});
+
+}  // namespace sring::baseline

@@ -1,0 +1,188 @@
+#include "baseline/mmx.hpp"
+
+#include <algorithm>
+#include <array>
+#include <initializer_list>
+
+#include "common/error.hpp"
+
+namespace sring::baseline {
+
+Mmx psubusb(Mmx a, Mmx b) noexcept {
+  Mmx r = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto ab = static_cast<std::int32_t>((a >> (8 * i)) & 0xFF);
+    const auto bb = static_cast<std::int32_t>((b >> (8 * i)) & 0xFF);
+    const std::int32_t d = std::max(ab - bb, 0);
+    r |= static_cast<Mmx>(d & 0xFF) << (8 * i);
+  }
+  return r;
+}
+
+Mmx por(Mmx a, Mmx b) noexcept { return a | b; }
+
+Mmx punpcklbw_zero(Mmx a) noexcept {
+  Mmx r = 0;
+  for (int i = 0; i < 4; ++i) {
+    r |= ((a >> (8 * i)) & 0xFF) << (16 * i);
+  }
+  return r;
+}
+
+Mmx punpckhbw_zero(Mmx a) noexcept {
+  Mmx r = 0;
+  for (int i = 0; i < 4; ++i) {
+    r |= ((a >> (8 * (i + 4))) & 0xFF) << (16 * i);
+  }
+  return r;
+}
+
+Mmx paddw(Mmx a, Mmx b) noexcept {
+  Mmx r = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t s =
+        ((a >> (16 * i)) & 0xFFFF) + ((b >> (16 * i)) & 0xFFFF);
+    r |= (s & 0xFFFF) << (16 * i);
+  }
+  return r;
+}
+
+std::uint32_t horizontal_sum_words(Mmx a) noexcept {
+  std::uint32_t s = 0;
+  for (int i = 0; i < 4; ++i) {
+    s += static_cast<std::uint32_t>((a >> (16 * i)) & 0xFFFF);
+  }
+  return s;
+}
+
+namespace {
+
+/// Tiny U/V-pairing scheduler: Pentium-MMX issues up to two MMX ops
+/// per cycle when the second does not consume the first's result and
+/// at most one of the pair touches memory.
+class MmxMachine {
+ public:
+  static constexpr int kMem = -1;  ///< pseudo register id for memory
+
+  Mmx reg(int i) const { return mm_.at(static_cast<std::size_t>(i)); }
+
+  /// Execute `value = f(...)` into mm[dst]; `srcs` lists consumed
+  /// register ids (kMem for a memory operand).
+  void op(int dst, std::initializer_list<int> srcs, Mmx value) {
+    bool mem = false;
+    bool dep = false;
+    for (const int s : srcs) {
+      if (s == kMem) mem = true;
+      if (s >= 0 && s == last_dst_ && u_slot_busy_) dep = true;
+    }
+    if (u_slot_busy_ && !dep && !(mem && last_mem_)) {
+      // Pairs into the V slot of the current cycle.
+      u_slot_busy_ = false;
+    } else {
+      ++stats_.cycles;
+      u_slot_busy_ = true;
+      last_dst_ = dst;
+      last_mem_ = mem;
+    }
+    ++stats_.mmx_ops;
+    mm_.at(static_cast<std::size_t>(dst)) = value;
+  }
+
+  /// Scalar bookkeeping (address updates, compares): pairs freely, so
+  /// two scalar ops cost one cycle.
+  void scalar(std::uint64_t n) {
+    stats_.scalar_ops += n;
+    stats_.cycles += (n + 1) / 2;
+    u_slot_busy_ = false;
+  }
+
+  /// Taken branch: one extra cycle, breaks pairing.
+  void taken_branch() {
+    ++stats_.scalar_ops;
+    ++stats_.cycles;
+    u_slot_busy_ = false;
+  }
+
+  const MmxRunStats& stats() const { return stats_; }
+
+ private:
+  std::array<Mmx, 8> mm_{};
+  MmxRunStats stats_;
+  bool u_slot_busy_ = false;
+  bool last_mem_ = false;
+  int last_dst_ = -2;
+};
+
+/// Pack eight clamped 8-bit pixels of a row into one MMX quadword.
+Mmx pack_row(const Image& img, std::ptrdiff_t x0, std::ptrdiff_t y) {
+  Mmx r = 0;
+  for (int i = 0; i < 8; ++i) {
+    const std::int32_t v =
+        std::clamp(as_signed(img.at_clamped(x0 + i, y)), 0, 255);
+    r |= static_cast<Mmx>(v) << (8 * i);
+  }
+  return r;
+}
+
+/// One candidate's 8x8 SAD, instruction-by-instruction (the classic
+/// pre-PSADBW sequence from the MMX application notes).
+std::uint32_t sad_8x8(MmxMachine& m, const Image& ref, std::ptrdiff_t rx,
+                      std::ptrdiff_t ry, const Image& cand,
+                      std::ptrdiff_t cx, std::ptrdiff_t cy) {
+  // mm4 accumulates four word sums.
+  m.op(4, {4, 4}, 0);  // pxor mm4, mm4
+  for (int row = 0; row < 8; ++row) {
+    const Mmx r = pack_row(ref, rx, ry + row);
+    const Mmx c = pack_row(cand, cx, cy + row);
+    m.op(0, {MmxMachine::kMem}, r);                  // movq mm0, [ref]
+    m.op(1, {MmxMachine::kMem}, c);                  // movq mm1, [cand]
+    m.op(2, {0}, m.reg(0));                          // movq mm2, mm0
+    m.op(0, {0, 1}, psubusb(m.reg(0), m.reg(1)));    // psubusb mm0, mm1
+    m.op(1, {1, 2}, psubusb(m.reg(1), m.reg(2)));    // psubusb mm1, mm2
+    m.op(0, {0, 1}, por(m.reg(0), m.reg(1)));        // por mm0, mm1
+    m.op(3, {0}, punpcklbw_zero(m.reg(0)));          // punpcklbw
+    m.op(0, {0}, punpckhbw_zero(m.reg(0)));          // punpckhbw
+    m.op(4, {4, 3}, paddw(m.reg(4), m.reg(3)));      // paddw mm4, mm3
+    m.op(4, {4, 0}, paddw(m.reg(4), m.reg(0)));      // paddw mm4, mm0
+    m.scalar(2);  // advance the two row pointers
+  }
+  // Horizontal sum: fold the four word lanes (shift 32 then 16).
+  m.op(5, {4}, m.reg(4) >> 32);                      // psrlq mm5, 32
+  m.op(4, {4, 5}, paddw(m.reg(4), m.reg(5)));        // paddw mm4, mm5
+  m.op(5, {4}, m.reg(4) >> 16);                      // psrlq mm5, 16
+  m.op(4, {4, 5}, paddw(m.reg(4), m.reg(5)));        // paddw mm4, mm5
+  return static_cast<std::uint32_t>(m.reg(4) & 0xFFFF);
+}
+
+}  // namespace
+
+MmxMotionEstimationResult mmx_motion_estimation(const Image& ref,
+                                                std::size_t rx,
+                                                std::size_t ry,
+                                                const Image& cand,
+                                                int range) {
+  MmxMachine m;
+  MmxMotionEstimationResult result;
+  bool first = true;
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      const std::uint32_t sad =
+          sad_8x8(m, ref, static_cast<std::ptrdiff_t>(rx),
+                  static_cast<std::ptrdiff_t>(ry), cand,
+                  static_cast<std::ptrdiff_t>(rx) + dx,
+                  static_cast<std::ptrdiff_t>(ry) + dy);
+      // Best-so-far compare + candidate loop bookkeeping.
+      m.scalar(4);
+      m.taken_branch();
+      result.sads.push_back(sad);
+      if (first || sad < result.best.sad) {
+        result.best = {dx, dy, sad};
+        first = false;
+      }
+    }
+  }
+  result.stats = m.stats();
+  return result;
+}
+
+}  // namespace sring::baseline

@@ -1,0 +1,62 @@
+// Pentium-MMX baseline for Table 1 (paper reference [8], Intel
+// application notes for Pentium MMX).
+//
+// Substitution (see DESIGN.md): the paper measured cycle counts of an
+// MMX motion-estimation routine on real silicon; we implement a
+// functional 64-bit MMX-like SIMD model with the documented U/V
+// pairing cost rules and run the same full-search workload on it, so
+// the cycle count is produced by executing the actual instruction
+// sequence rather than copied from the paper.
+//
+// Modeled subset (pre-SSE, so no PSADBW — SAD is built from
+// PSUBUSB/POR/PUNPCK/PADDW exactly as the era's app notes did):
+//   MOVQ (reg/mem), PSUBUSB, POR, PAND, PXOR, PUNPCKLBW, PUNPCKHBW,
+//   PADDW, PADDD, PSRLQ, scalar ADD/CMP/JCC bookkeeping.
+// Cost model: every MMX op is 1 cycle; two MMX ops pair (U+V) when
+// neither depends on the other and at most one touches memory; memory
+// operands add no penalty on a cache hit (the paper's steady-state
+// assumption); taken branches cost 1 extra cycle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/image.hpp"
+#include "dsp/sad.hpp"
+
+namespace sring::baseline {
+
+/// One 64-bit MMX register value.
+using Mmx = std::uint64_t;
+
+/// Functional MMX ALU used by the model (exposed for unit tests).
+Mmx psubusb(Mmx a, Mmx b) noexcept;  ///< per-byte unsigned saturating sub
+Mmx por(Mmx a, Mmx b) noexcept;
+Mmx punpcklbw_zero(Mmx a) noexcept;  ///< low 4 bytes -> 4 words
+Mmx punpckhbw_zero(Mmx a) noexcept;  ///< high 4 bytes -> 4 words
+Mmx paddw(Mmx a, Mmx b) noexcept;    ///< per-word wrapping add
+std::uint32_t horizontal_sum_words(Mmx a) noexcept;
+
+/// Cycle-counting executor: count MMX ops with U/V pairing plus the
+/// scalar loop bookkeeping of the block-match routine.
+struct MmxRunStats {
+  std::uint64_t mmx_ops = 0;
+  std::uint64_t scalar_ops = 0;
+  std::uint64_t cycles = 0;
+};
+
+struct MmxMotionEstimationResult {
+  std::vector<std::uint32_t> sads;  ///< per candidate, (dy,dx) row-major
+  dsp::MotionVector best;
+  MmxRunStats stats;
+};
+
+/// Full-search 8x8 motion estimation on the MMX model; functionally
+/// identical to dsp::all_candidate_sads / dsp::full_search.
+MmxMotionEstimationResult mmx_motion_estimation(const Image& ref,
+                                                std::size_t rx,
+                                                std::size_t ry,
+                                                const Image& cand,
+                                                int range);
+
+}  // namespace sring::baseline

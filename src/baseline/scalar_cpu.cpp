@@ -1,0 +1,100 @@
+#include "baseline/scalar_cpu.hpp"
+
+#include <cstdlib>
+
+#include "dsp/sad.hpp"
+
+namespace sring::baseline {
+
+namespace {
+
+class Counter {
+ public:
+  explicit Counter(const ScalarCosts& costs) : costs_(costs) {}
+
+  void alu(std::uint64_t n = 1) { add(n, costs_.alu); }
+  void mul(std::uint64_t n = 1) { add(n, costs_.mul); }
+  void load(std::uint64_t n = 1) { add(n, costs_.load); }
+  void store(std::uint64_t n = 1) { add(n, costs_.store); }
+  void branch(std::uint64_t n = 1) { add(n, costs_.branch); }
+
+  ScalarRunStats stats() const {
+    ScalarRunStats s;
+    s.instructions = instructions_;
+    s.cycles = raw_cycles_ / costs_.sustained_ipc;
+    return s;
+  }
+
+ private:
+  void add(std::uint64_t n, double cost) {
+    instructions_ += n;
+    raw_cycles_ += static_cast<double>(n) * cost;
+  }
+
+  ScalarCosts costs_;
+  std::uint64_t instructions_ = 0;
+  double raw_cycles_ = 0.0;
+};
+
+}  // namespace
+
+ScalarFirResult scalar_fir(std::span<const Word> x,
+                           std::span<const Word> coeffs,
+                           const ScalarCosts& costs) {
+  Counter c(costs);
+  ScalarFirResult result;
+  result.outputs.resize(x.size());
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    Word acc = 0;
+    c.alu();  // clear accumulator
+    for (std::size_t k = 0; k < coeffs.size() && k <= n; ++k) {
+      acc = to_word(static_cast<std::int64_t>(as_signed(coeffs[k])) *
+                        as_signed(x[n - k]) +
+                    as_signed(acc));
+      c.load(2);   // x and coefficient
+      c.mul();     // multiply
+      c.alu();     // accumulate
+      c.branch();  // tap-loop control
+    }
+    result.outputs[n] = acc;
+    c.store();
+    c.branch();  // sample-loop control
+  }
+  result.stats = c.stats();
+  return result;
+}
+
+ScalarMeResult scalar_motion_estimation(const Image& ref, std::size_t rx,
+                                        std::size_t ry, const Image& cand,
+                                        int range,
+                                        const ScalarCosts& costs) {
+  Counter c(costs);
+  ScalarMeResult result;
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      std::uint32_t sad = 0;
+      c.alu();  // clear
+      for (std::size_t py = 0; py < dsp::kBlockSize; ++py) {
+        for (std::size_t px = 0; px < dsp::kBlockSize; ++px) {
+          const std::int32_t a = as_signed(ref.at_clamped(
+              static_cast<std::ptrdiff_t>(rx + px),
+              static_cast<std::ptrdiff_t>(ry + py)));
+          const std::int32_t b = as_signed(cand.at_clamped(
+              static_cast<std::ptrdiff_t>(rx + px) + dx,
+              static_cast<std::ptrdiff_t>(ry + py) + dy));
+          sad += static_cast<std::uint32_t>(std::abs(a - b));
+          c.load(2);  // both pixels
+          c.alu(3);   // subtract, abs, accumulate
+        }
+        c.branch();  // row loop
+      }
+      c.alu();     // best-so-far compare
+      c.branch();  // candidate loop
+      result.sads.push_back(sad);
+    }
+  }
+  result.stats = c.stats();
+  return result;
+}
+
+}  // namespace sring::baseline

@@ -1,0 +1,64 @@
+// Scalar Von-Neumann CPU cost model, used by the comparative-results
+// bench (§5.1: "1600 MIPS ... quite impressive compared to the 400
+// MIPS of a Pentium II 450 MHz processor").
+//
+// The model charges classic in-order costs per abstract operation and
+// reports both an instruction count and a cycle estimate, from which
+// sustained MIPS at a given clock follow.  It also executes the
+// workloads functionally so results stay checkable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/image.hpp"
+#include "common/types.hpp"
+
+namespace sring::baseline {
+
+/// Abstract cost table (cycles per operation class).
+struct ScalarCosts {
+  double alu = 1.0;      ///< add/sub/logic/compare
+  double mul = 4.0;      ///< integer multiply (P6-era latency, pipelined ~1)
+  double load = 1.0;     ///< cache-hit load
+  double store = 1.0;
+  double branch = 1.5;   ///< average with misprediction share
+  /// Average sustained IPC of the pipeline (P6-class superscalar ~1.1
+  /// on integer DSP loops; applied as a divisor on the op count).
+  double sustained_ipc = 1.1;
+};
+
+struct ScalarRunStats {
+  std::uint64_t instructions = 0;
+  double cycles = 0.0;
+
+  /// Million instructions per second at `clock_hz`.
+  double mips(double clock_hz) const noexcept {
+    return cycles == 0.0 ? 0.0
+                         : static_cast<double>(instructions) /
+                               (cycles / clock_hz) / 1e6;
+  }
+};
+
+/// FIR on the scalar model (functionally identical to
+/// dsp::fir_reference).
+struct ScalarFirResult {
+  std::vector<Word> outputs;
+  ScalarRunStats stats;
+};
+ScalarFirResult scalar_fir(std::span<const Word> x,
+                           std::span<const Word> coeffs,
+                           const ScalarCosts& costs = {});
+
+/// 8x8 full-search motion estimation on the scalar model.
+struct ScalarMeResult {
+  std::vector<std::uint32_t> sads;
+  ScalarRunStats stats;
+};
+ScalarMeResult scalar_motion_estimation(const Image& ref, std::size_t rx,
+                                        std::size_t ry, const Image& cand,
+                                        int range,
+                                        const ScalarCosts& costs = {});
+
+}  // namespace sring::baseline

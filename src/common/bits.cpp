@@ -1,0 +1,10 @@
+#include "common/bits.hpp"
+
+// Header-only; this translation unit exists to give the target a place
+// to compile the header standalone and catch ODR/regression issues.
+namespace sring {
+static_assert(extract_bits(0xF0u, 4, 4) == 0xFu);
+static_assert(deposit_bits(0, 8, 4, 0xAu) == 0xA00u);
+static_assert(sign_extend(0x8000u, 16) == -32768);
+static_assert(fits_signed(-32768, 16) && !fits_signed(32768, 16));
+}  // namespace sring

@@ -1,0 +1,22 @@
+#include "common/error.hpp"
+
+namespace sring {
+
+namespace {
+std::string format_asm_error(const std::string& message, std::size_t line,
+                             std::size_t column) {
+  return "line " + std::to_string(line) + ":" + std::to_string(column) +
+         ": " + message;
+}
+}  // namespace
+
+AsmError::AsmError(std::string message, std::size_t line, std::size_t column)
+    : std::runtime_error(format_asm_error(message, line, column)),
+      line_(line),
+      column_(column) {}
+
+void check(bool condition, const std::string& message) {
+  if (!condition) throw SimError(message);
+}
+
+}  // namespace sring

@@ -1,0 +1,38 @@
+// Error handling for the Systolic Ring toolchain.
+//
+// Two families:
+//  * SimError  — a model invariant was violated (bad configuration,
+//    out-of-range index).  These indicate misuse of the API.
+//  * AsmError  — user-facing assembler/loader diagnostics, carrying a
+//    source location.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace sring {
+
+/// Violation of a simulator invariant or misconfiguration.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Assembler / object-file diagnostic with a source position.
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(std::string message, std::size_t line, std::size_t column);
+
+  std::size_t line() const noexcept { return line_; }
+  std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// Throw SimError with `message` if `condition` is false.
+void check(bool condition, const std::string& message);
+
+}  // namespace sring

@@ -1,0 +1,85 @@
+#include "common/image.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sring {
+
+Image::Image(std::size_t width, std::size_t height, Word fill)
+    : width_(width), height_(height), pixels_(width * height, fill) {
+  check(width > 0 && height > 0, "Image dimensions must be positive");
+}
+
+Word& Image::at(std::size_t x, std::size_t y) {
+  check(x < width_ && y < height_, "Image::at out of range");
+  return pixels_[y * width_ + x];
+}
+
+Word Image::at(std::size_t x, std::size_t y) const {
+  check(x < width_ && y < height_, "Image::at out of range");
+  return pixels_[y * width_ + x];
+}
+
+Word Image::at_clamped(std::ptrdiff_t x, std::ptrdiff_t y) const {
+  const auto cx = std::clamp<std::ptrdiff_t>(
+      x, 0, static_cast<std::ptrdiff_t>(width_) - 1);
+  const auto cy = std::clamp<std::ptrdiff_t>(
+      y, 0, static_cast<std::ptrdiff_t>(height_) - 1);
+  return pixels_[static_cast<std::size_t>(cy) * width_ +
+                 static_cast<std::size_t>(cx)];
+}
+
+Image Image::synthetic(std::size_t width, std::size_t height,
+                       std::uint64_t seed) {
+  Image img(width, height);
+  Rng rng(seed);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      // Diagonal gradient with block texture and +-8 noise, kept 8-bit.
+      const std::int64_t grad =
+          static_cast<std::int64_t>((x * 199) / std::max<std::size_t>(width, 1) +
+                                    (y * 53) / std::max<std::size_t>(height, 1));
+      const std::int64_t texture = ((x / 4 + y / 4) % 2) ? 24 : 0;
+      const std::int64_t noise =
+          static_cast<std::int64_t>(rng.next_below(17)) - 8;
+      img.at(x, y) = to_word(std::clamp<std::int64_t>(
+          grad + texture + noise, 0, 255));
+    }
+  }
+  return img;
+}
+
+Image Image::shifted(const Image& src, int dx, int dy,
+                     std::uint64_t noise_seed, int noise_amp) {
+  Image img(src.width(), src.height());
+  Rng rng(noise_seed);
+  for (std::size_t y = 0; y < src.height(); ++y) {
+    for (std::size_t x = 0; x < src.width(); ++x) {
+      const Word base = src.at_clamped(
+          static_cast<std::ptrdiff_t>(x) - dx,
+          static_cast<std::ptrdiff_t>(y) - dy);
+      const std::int64_t noise =
+          noise_amp > 0 ? static_cast<std::int64_t>(
+                              rng.next_below(2u * noise_amp + 1)) -
+                              noise_amp
+                        : 0;
+      img.at(x, y) = to_word(std::clamp<std::int64_t>(
+          as_signed(base) + noise, 0, 255));
+    }
+  }
+  return img;
+}
+
+std::string Image::to_pgm() const {
+  std::string out = "P5\n" + std::to_string(width_) + " " +
+                    std::to_string(height_) + "\n255\n";
+  out.reserve(out.size() + pixels_.size());
+  for (const Word w : pixels_) {
+    const std::int32_t v = std::clamp<std::int32_t>(as_signed(w), 0, 255);
+    out.push_back(static_cast<char>(v));
+  }
+  return out;
+}
+
+}  // namespace sring

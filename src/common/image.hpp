@@ -1,0 +1,56 @@
+// Minimal grayscale image container used by the motion-estimation and
+// wavelet workloads and the Fig-6 prototype example (video memory dump).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace sring {
+
+/// Row-major 16-bit grayscale image.
+class Image {
+ public:
+  Image() = default;
+  Image(std::size_t width, std::size_t height, Word fill = 0);
+
+  std::size_t width() const noexcept { return width_; }
+  std::size_t height() const noexcept { return height_; }
+  std::size_t size() const noexcept { return pixels_.size(); }
+
+  Word& at(std::size_t x, std::size_t y);
+  Word at(std::size_t x, std::size_t y) const;
+
+  /// Clamped access: coordinates outside the image read the nearest
+  /// border pixel (standard DSP boundary extension).
+  Word at_clamped(std::ptrdiff_t x, std::ptrdiff_t y) const;
+
+  const std::vector<Word>& pixels() const noexcept { return pixels_; }
+  std::vector<Word>& pixels() noexcept { return pixels_; }
+
+  bool operator==(const Image& other) const = default;
+
+  /// Synthetic test pattern: smooth gradient plus deterministic noise,
+  /// 8-bit range — a stand-in for the camera frames the paper used.
+  static Image synthetic(std::size_t width, std::size_t height,
+                         std::uint64_t seed);
+
+  /// `other` shifted by (dx, dy) with border clamp and mild noise; used
+  /// to build motion-estimation frame pairs with a known true motion.
+  static Image shifted(const Image& src, int dx, int dy,
+                       std::uint64_t noise_seed, int noise_amp);
+
+  /// Serialize as binary 8-bit PGM (values clamped to 0..255); the
+  /// prototype example uses this as its "VGA monitor".
+  std::string to_pgm() const;
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<Word> pixels_;
+};
+
+}  // namespace sring

@@ -1,0 +1,45 @@
+#include "common/rng.hpp"
+
+namespace sring {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept : s0_(0), s1_(0) {
+  std::uint64_t sm = seed;
+  s0_ = splitmix64(sm);
+  s1_ = splitmix64(sm);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;  // xorshift128+ must not be all-zero
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  std::uint64_t x = s0_;
+  const std::uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  // Modulo bias is negligible for the small bounds used in workloads.
+  return bound == 0 ? 0 : next_u64() % bound;
+}
+
+Word Rng::next_word() noexcept {
+  return static_cast<Word>(next_u64() & 0xFFFFu);
+}
+
+Word Rng::next_word_in(std::int32_t lo, std::int32_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo + 1);
+  return to_word(lo + static_cast<std::int64_t>(next_below(span)));
+}
+
+}  // namespace sring

@@ -1,0 +1,36 @@
+// Deterministic pseudo-random generator for workloads and tests.
+//
+// A fixed xoshiro-style generator keeps workloads reproducible across
+// platforms and standard-library versions (std::mt19937 distributions
+// are not bit-stable across implementations).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace sring {
+
+/// SplitMix64-seeded xorshift128+ generator; bit-stable everywhere.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EEDFACEu) noexcept;
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in [0, bound) (bound > 0).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform datapath word over the full 16-bit range.
+  Word next_word() noexcept;
+
+  /// Uniform signed value in [lo, hi] returned as a datapath word.
+  Word next_word_in(std::int32_t lo, std::int32_t hi) noexcept;
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace sring

@@ -1,0 +1,47 @@
+// Fundamental datapath types of the Systolic Ring simulator.
+//
+// The paper's operating layer is a 16-bit word-level architecture; all
+// Dnode arithmetic is two's-complement on 16-bit words.  We store words
+// as uint16_t so that wrap-around is well defined, and convert through
+// int32_t when signed semantics are needed.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace sring {
+
+/// One 16-bit datapath word (raw bits; signedness is an op property).
+using Word = std::uint16_t;
+
+/// Signed view of a datapath word.
+using SWord = std::int16_t;
+
+/// Width of the datapath in bits.
+inline constexpr unsigned kWordBits = 16;
+
+/// Convert raw word bits to their signed (two's-complement) value.
+constexpr std::int32_t as_signed(Word w) noexcept {
+  return static_cast<std::int32_t>(static_cast<SWord>(w));
+}
+
+/// Truncate a wide integer to a datapath word (wrap-around semantics).
+constexpr Word to_word(std::int64_t v) noexcept {
+  return static_cast<Word>(static_cast<std::uint64_t>(v) & 0xFFFFu);
+}
+
+/// Saturate a wide integer into the signed 16-bit range.
+constexpr Word to_word_saturated(std::int64_t v) noexcept {
+  if (v > 32767) return 0x7FFFu;
+  if (v < -32768) return 0x8000u;
+  return to_word(v);
+}
+
+/// Number of Dnode register-file entries (paper: 4 x 16-bit registers).
+inline constexpr std::size_t kDnodeRegCount = 4;
+
+/// Local control unit: number of microinstruction registers (paper: 8,
+/// plus a LIMIT register makes the 9-register local controller).
+inline constexpr std::size_t kLocalProgramSlots = 8;
+
+}  // namespace sring

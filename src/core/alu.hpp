@@ -1,0 +1,18 @@
+// Combinational Dnode datapath: 16-bit ALU + hardwired multiplier.
+//
+// The multiplier and the adder can be chained in the same cycle (MAC /
+// MSU), which is the paper's "up to two arithmetic operations each
+// clock cycle".
+#pragma once
+
+#include "common/types.hpp"
+#include "isa/dnode_instr.hpp"
+
+namespace sring {
+
+/// Evaluate one Dnode operation.  Pure combinational function: signed
+/// two's-complement semantics, results wrap to 16 bits except for the
+/// saturating variants (kAdds/kSubs).
+Word alu_execute(DnodeOp op, Word a, Word b, Word c) noexcept;
+
+}  // namespace sring

@@ -1,0 +1,117 @@
+#include "core/config_memory.hpp"
+
+#include "common/error.hpp"
+
+namespace sring {
+
+void RingGeometry::validate() const {
+  check(layers >= 1 && layers <= 32,
+        "RingGeometry: layers must be in [1, 32]");
+  check(lanes >= 1 && lanes <= 16, "RingGeometry: lanes must be in [1, 16]");
+  check(fb_depth >= 1 && fb_depth <= 16,
+        "RingGeometry: fb_depth must be in [1, 16]");
+}
+
+ConfigPage ConfigPage::zeroed(const RingGeometry& g) {
+  ConfigPage p;
+  p.dnode_instr.assign(g.dnode_count(), 0);
+  p.dnode_mode.assign(g.dnode_count(),
+                      static_cast<std::uint8_t>(DnodeMode::kGlobal));
+  p.switch_route.assign(g.switch_count() * g.lanes, 0);
+  return p;
+}
+
+ConfigMemory::DecodedPage ConfigMemory::decode_page(const ConfigPage& page) {
+  DecodedPage d;
+  d.instr.reserve(page.dnode_instr.size());
+  for (const auto w : page.dnode_instr) {
+    d.instr.push_back(DnodeInstr::decode(w));
+  }
+  d.route.reserve(page.switch_route.size());
+  for (const auto w : page.switch_route) {
+    d.route.push_back(SwitchRoute::decode(w));
+  }
+  return d;
+}
+
+ConfigMemory::ConfigMemory(const RingGeometry& g)
+    : geom_(g), live_(ConfigPage::zeroed(g)) {
+  geom_.validate();
+  live_decoded_ = decode_page(live_);
+}
+
+void ConfigMemory::write_dnode_instr(std::size_t dnode,
+                                     std::uint64_t encoded) {
+  check(dnode < geom_.dnode_count(),
+        "ConfigMemory: dnode index out of range");
+  // Decode validates eagerly: a malformed word never lands.
+  live_decoded_.instr[dnode] = DnodeInstr::decode(encoded);
+  live_.dnode_instr[dnode] = encoded;
+  ++words_written_;
+}
+
+void ConfigMemory::write_dnode_mode(std::size_t dnode, DnodeMode mode) {
+  check(dnode < geom_.dnode_count(),
+        "ConfigMemory: dnode index out of range");
+  live_.dnode_mode[dnode] = static_cast<std::uint8_t>(mode);
+  ++words_written_;
+}
+
+void ConfigMemory::write_switch_route(std::size_t sw, std::size_t lane,
+                                      std::uint64_t encoded) {
+  check(sw < geom_.switch_count(), "ConfigMemory: switch index out of range");
+  check(lane < geom_.lanes, "ConfigMemory: lane index out of range");
+  const std::size_t i = sw * geom_.lanes + lane;
+  live_decoded_.route[i] = SwitchRoute::decode(encoded);  // validates
+  live_.switch_route[i] = encoded;
+  ++words_written_;
+}
+
+const DnodeInstr& ConfigMemory::dnode_instr(std::size_t dnode) const {
+  check(dnode < geom_.dnode_count(),
+        "ConfigMemory: dnode index out of range");
+  return live_decoded_.instr[dnode];
+}
+
+std::uint64_t ConfigMemory::dnode_instr_raw(std::size_t dnode) const {
+  check(dnode < geom_.dnode_count(),
+        "ConfigMemory: dnode index out of range");
+  return live_.dnode_instr[dnode];
+}
+
+DnodeMode ConfigMemory::dnode_mode(std::size_t dnode) const {
+  check(dnode < geom_.dnode_count(),
+        "ConfigMemory: dnode index out of range");
+  return static_cast<DnodeMode>(live_.dnode_mode[dnode]);
+}
+
+const SwitchRoute& ConfigMemory::switch_route(std::size_t sw,
+                                              std::size_t lane) const {
+  check(sw < geom_.switch_count(), "ConfigMemory: switch index out of range");
+  check(lane < geom_.lanes, "ConfigMemory: lane index out of range");
+  return live_decoded_.route[sw * geom_.lanes + lane];
+}
+
+std::size_t ConfigMemory::add_page(ConfigPage page) {
+  check(page.dnode_instr.size() == geom_.dnode_count() &&
+            page.dnode_mode.size() == geom_.dnode_count() &&
+            page.switch_route.size() == geom_.switch_count() * geom_.lanes,
+        "ConfigMemory::add_page: page shape does not match geometry");
+  for (const auto m : page.dnode_mode) {
+    check(m <= static_cast<std::uint8_t>(DnodeMode::kLocal),
+          "ConfigMemory::add_page: bad mode value");
+  }
+  pages_decoded_.push_back(decode_page(page));  // validates all words
+  pages_.push_back(std::move(page));
+  return pages_.size() - 1;
+}
+
+void ConfigMemory::apply_page(std::size_t index) {
+  check(index < pages_.size(), "ConfigMemory::apply_page: no such page");
+  live_ = pages_[index];
+  live_decoded_ = pages_decoded_[index];
+  words_written_ += live_.dnode_instr.size() + live_.dnode_mode.size() +
+                    live_.switch_route.size();
+}
+
+}  // namespace sring

@@ -1,0 +1,99 @@
+// Configuration layer (paper §3).
+//
+// Holds the live configuration of the operating layer: one 48-bit
+// microinstruction and an execution mode per Dnode, and one route word
+// per (switch, downstream lane).  The configuration controller rewrites
+// it word-by-word (WRCFG/WRMODE/WRSW) or swaps in a preloaded full
+// snapshot ("page") in a single cycle (PAGE/PAGER) — the mechanism that
+// realizes the paper's "change up to the entire content each clock
+// cycle".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/switch.hpp"
+#include "isa/dnode_instr.hpp"
+
+namespace sring {
+
+/// Dnode execution mode (paper §4.1).
+enum class DnodeMode : std::uint8_t {
+  kGlobal = 0,  ///< microinstruction supplied by the configuration layer
+  kLocal = 1,   ///< microinstruction supplied by the local control unit
+};
+
+/// Shape of a ring instance: `layers` Dnode layers of `lanes` Dnodes,
+/// closed into a ring; one switch (and feedback pipeline) per layer.
+struct RingGeometry {
+  std::size_t layers = 4;
+  std::size_t lanes = 2;
+  std::size_t fb_depth = 16;  ///< feedback pipeline depth (1..16)
+
+  std::size_t dnode_count() const noexcept { return layers * lanes; }
+  std::size_t switch_count() const noexcept { return layers; }
+
+  bool operator==(const RingGeometry&) const = default;
+
+  /// Validate against the route-word field widths (<=32 layers,
+  /// <=16 lanes, fb_depth 1..16).
+  void validate() const;
+};
+
+/// One complete configuration snapshot.
+struct ConfigPage {
+  std::vector<std::uint64_t> dnode_instr;  ///< encoded microinstructions
+  std::vector<std::uint8_t> dnode_mode;    ///< DnodeMode values
+  std::vector<std::uint64_t> switch_route; ///< [switch * lanes + lane]
+
+  bool operator==(const ConfigPage&) const = default;
+
+  static ConfigPage zeroed(const RingGeometry& g);
+};
+
+class ConfigMemory {
+ public:
+  explicit ConfigMemory(const RingGeometry& g);
+
+  const RingGeometry& geometry() const noexcept { return geom_; }
+
+  // --- live configuration ------------------------------------------
+  // Writes validate eagerly and maintain a decoded shadow of every
+  // word, so the per-cycle fetch path never re-decodes.
+  void write_dnode_instr(std::size_t dnode, std::uint64_t encoded);
+  void write_dnode_mode(std::size_t dnode, DnodeMode mode);
+  void write_switch_route(std::size_t sw, std::size_t lane,
+                          std::uint64_t encoded);
+
+  const DnodeInstr& dnode_instr(std::size_t dnode) const;
+  std::uint64_t dnode_instr_raw(std::size_t dnode) const;
+  DnodeMode dnode_mode(std::size_t dnode) const;
+  const SwitchRoute& switch_route(std::size_t sw, std::size_t lane) const;
+
+  // --- pages --------------------------------------------------------
+  /// Register a page; returns its index.
+  std::size_t add_page(ConfigPage page);
+  std::size_t page_count() const noexcept { return pages_.size(); }
+
+  /// Apply page `index` to the live configuration (one-cycle swap).
+  void apply_page(std::size_t index);
+
+  /// Number of configuration words rewritten so far (statistics).
+  std::uint64_t words_written() const noexcept { return words_written_; }
+
+ private:
+  struct DecodedPage {
+    std::vector<DnodeInstr> instr;
+    std::vector<SwitchRoute> route;
+  };
+  static DecodedPage decode_page(const ConfigPage& page);
+
+  RingGeometry geom_;
+  ConfigPage live_;
+  DecodedPage live_decoded_;
+  std::vector<ConfigPage> pages_;
+  std::vector<DecodedPage> pages_decoded_;
+  std::uint64_t words_written_ = 0;
+};
+
+}  // namespace sring

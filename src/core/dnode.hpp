@@ -1,0 +1,73 @@
+// The Dnode (paper §4.1): the coarse-grained reconfigurable block.
+//
+// 16-bit ALU + hardwired multiplier (single-cycle MAC), a 4x16-bit
+// register file with master-slave timing, a registered systolic output,
+// and the local control unit for stand-alone mode.  One Dnode executes
+// exactly one microinstruction per clock cycle.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+#include "core/local_control.hpp"
+#include "core/register_file.hpp"
+#include "isa/dnode_instr.hpp"
+
+namespace sring {
+
+class Dnode {
+ public:
+  /// Operand values resolved by the upstream switch for this cycle.
+  struct Inputs {
+    Word in1 = 0;
+    Word in2 = 0;
+    Word fifo1 = 0;
+    Word fifo2 = 0;
+    Word bus = 0;
+    Word host = 0;  ///< word popped for a direct `host` operand source
+  };
+
+  /// What the instruction produced this cycle (register/output writes
+  /// are staged internally; bus/host effects are the caller's job).
+  struct Effects {
+    bool executed = false;  ///< true for any op other than NOP
+    Word result = 0;
+    bool out_en = false;
+    bool bus_en = false;
+    bool host_en = false;
+  };
+
+  /// Evaluate `instr` with this cycle's inputs.  Register and output
+  /// writes are staged; nothing is visible until commit().
+  Effects execute(const DnodeInstr& instr, const Inputs& inputs);
+
+  /// Clock edge: apply staged writes.  `advance_local` additionally
+  /// steps the local control unit's counter (local-mode Dnodes).
+  void commit(bool advance_local);
+
+  /// Drop staged writes (ring stall: the cycle did not happen).
+  void discard() noexcept;
+
+  /// Registered systolic output as visible during the current cycle.
+  Word out() const noexcept { return out_; }
+
+  RegisterFile& regs() noexcept { return regs_; }
+  const RegisterFile& regs() const noexcept { return regs_; }
+  LocalControl& local() noexcept { return local_; }
+  const LocalControl& local() const noexcept { return local_; }
+
+  /// Clear all architectural state.
+  void reset();
+
+ private:
+  Word resolve(DnodeSrc src, const DnodeInstr& instr,
+               const Inputs& inputs) const;
+
+  RegisterFile regs_;
+  LocalControl local_;
+  Word out_ = 0;
+  std::optional<Word> staged_out_;
+};
+
+}  // namespace sring

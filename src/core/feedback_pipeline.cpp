@@ -1,0 +1,40 @@
+#include "core/feedback_pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sring {
+
+FeedbackPipeline::FeedbackPipeline(std::size_t lanes, std::size_t depth)
+    : lanes_(lanes), depth_(depth), stages_(lanes * depth, 0) {
+  check(lanes > 0, "FeedbackPipeline: lanes must be positive");
+  check(depth > 0, "FeedbackPipeline: depth must be positive");
+}
+
+Word FeedbackPipeline::read(std::size_t lane, std::size_t depth) const {
+  check(lane < lanes_, "FeedbackPipeline::read: lane out of range");
+  check(depth < depth_, "FeedbackPipeline::read: depth out of range");
+  const std::size_t stage = (head_ + depth) % depth_;
+  return stages_[stage * lanes_ + lane];
+}
+
+void FeedbackPipeline::push(const std::vector<Word>& upstream_outputs) {
+  check(upstream_outputs.size() == lanes_,
+        "FeedbackPipeline::push: wrong vector width");
+  push_from(upstream_outputs.data());
+}
+
+void FeedbackPipeline::push_from(const Word* upstream_outputs) {
+  // The oldest stage is overwritten and becomes the new depth-0 stage.
+  head_ = (head_ + depth_ - 1) % depth_;
+  std::copy(upstream_outputs, upstream_outputs + lanes_,
+            stages_.begin() + static_cast<std::ptrdiff_t>(head_ * lanes_));
+}
+
+void FeedbackPipeline::reset() noexcept {
+  std::fill(stages_.begin(), stages_.end(), 0);
+  head_ = 0;
+}
+
+}  // namespace sring

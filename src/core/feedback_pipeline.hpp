@@ -1,0 +1,47 @@
+// Feedback pipeline (the "reverse dataflow" of paper §4.2).
+//
+// Each switch owns one: every clock edge it unconditionally latches the
+// full output vector of the upstream Dnode layer.  All switches may
+// read any pipeline at any depth, which replaces long-distance routing
+// and provides the delays recursive filters need.
+//
+// Depth convention: read(lane, 0) returns the value latched at the most
+// recent clock edge, i.e. the upstream output delayed by exactly one
+// cycle relative to the direct (PREV) route.  read(lane, d) is delayed
+// by d additional cycles.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sring {
+
+class FeedbackPipeline {
+ public:
+  FeedbackPipeline(std::size_t lanes, std::size_t depth);
+
+  std::size_t lanes() const noexcept { return lanes_; }
+  std::size_t depth() const noexcept { return depth_; }
+
+  /// Read one lane at the given depth (0 = most recently latched).
+  Word read(std::size_t lane, std::size_t depth) const;
+
+  /// Clock edge: latch the upstream layer's output vector.
+  void push(const std::vector<Word>& upstream_outputs);
+
+  /// Same, from a raw pointer to `lanes()` words (hot path).
+  void push_from(const Word* upstream_outputs);
+
+  /// Clear all stages to zero.
+  void reset() noexcept;
+
+ private:
+  std::size_t lanes_;
+  std::size_t depth_;
+  std::size_t head_ = 0;                 // index of the depth-0 stage
+  std::vector<Word> stages_;             // depth_ x lanes_, ring buffer
+};
+
+}  // namespace sring

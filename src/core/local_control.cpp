@@ -1,0 +1,33 @@
+#include "core/local_control.hpp"
+
+#include "common/error.hpp"
+
+namespace sring {
+
+void LocalControl::write(std::size_t slot, std::uint64_t value) {
+  if (slot < kLocalProgramSlots) {
+    decoded_[slot] = DnodeInstr::decode(value);  // validates eagerly
+    slots_[slot] = value;
+    return;
+  }
+  if (slot == kLimitSlot) {
+    limit_ = static_cast<std::uint8_t>(value & 0x7u);
+    if (counter_ > limit_) counter_ = 0;
+    return;
+  }
+  if (slot == kResetSlot) {
+    counter_ = 0;
+    return;
+  }
+  throw SimError("LocalControl::write: bad slot index");
+}
+
+const DnodeInstr& LocalControl::current() const {
+  return decoded_[counter_];
+}
+
+void LocalControl::advance() noexcept {
+  counter_ = counter_ >= limit_ ? 0 : static_cast<std::uint8_t>(counter_ + 1);
+}
+
+}  // namespace sring

@@ -1,0 +1,49 @@
+// Dnode local control unit ("stand-alone" mode).
+//
+// Paper §4.1: nine registers — eight microinstruction registers plus a
+// LIMIT register — an up-to-8-state counter and an 8-to-1 multiplexer.
+// Each cycle the counter addresses one of the eight instruction
+// registers; after LIMIT it wraps to zero, so the Dnode loops over a
+// private microprogram of 1..8 steps with no controller involvement.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "isa/dnode_instr.hpp"
+
+namespace sring {
+
+class LocalControl {
+ public:
+  /// Slot indices accepted by write(): 0..7 are the microinstruction
+  /// registers, kLimitSlot sets LIMIT, kResetSlot resets the counter.
+  static constexpr std::size_t kLimitSlot = 8;
+  static constexpr std::size_t kResetSlot = 9;
+
+  /// Write one local register.  For kLimitSlot the low 3 bits of
+  /// `value` become LIMIT; for kResetSlot the counter is cleared.
+  void write(std::size_t slot, std::uint64_t value);
+
+  /// Microinstruction currently selected by the counter (pre-decoded
+  /// at write time; the fetch path never re-decodes).
+  const DnodeInstr& current() const;
+
+  /// Advance the counter (clock edge while the Dnode runs in local
+  /// mode): wraps to 0 after reaching LIMIT.
+  void advance() noexcept;
+
+  void reset_counter() noexcept { counter_ = 0; }
+
+  std::uint8_t counter() const noexcept { return counter_; }
+  std::uint8_t limit() const noexcept { return limit_; }
+
+ private:
+  std::array<std::uint64_t, kLocalProgramSlots> slots_{};
+  std::array<DnodeInstr, kLocalProgramSlots> decoded_{};
+  std::uint8_t limit_ = 0;
+  std::uint8_t counter_ = 0;
+};
+
+}  // namespace sring

@@ -1,0 +1,32 @@
+#include "core/register_file.hpp"
+
+#include "common/error.hpp"
+
+namespace sring {
+
+Word RegisterFile::read(std::size_t index) const {
+  check(index < kDnodeRegCount, "RegisterFile::read: index out of range");
+  return regs_[index];
+}
+
+void RegisterFile::stage_write(std::size_t index, Word value) {
+  check(index < kDnodeRegCount,
+        "RegisterFile::stage_write: index out of range");
+  check(!staged_.has_value(),
+        "RegisterFile::stage_write: double write in one cycle");
+  staged_ = {index, value};
+}
+
+void RegisterFile::commit() noexcept {
+  if (staged_) {
+    regs_[staged_->first] = staged_->second;
+    staged_.reset();
+  }
+}
+
+void RegisterFile::poke(std::size_t index, Word value) {
+  check(index < kDnodeRegCount, "RegisterFile::poke: index out of range");
+  regs_[index] = value;
+}
+
+}  // namespace sring

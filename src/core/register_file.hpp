@@ -1,0 +1,41 @@
+// Dnode register file: 4 x 16-bit, two read ports, master-slave timing.
+//
+// Reads during a cycle observe the state latched at the previous clock
+// edge; at most one write is staged per cycle and committed at the
+// edge.  This reproduces the paper's "result stored in one of these two
+// registers (master-slave register architecture)" single-cycle
+// register-to-register operations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace sring {
+
+class RegisterFile {
+ public:
+  /// Read port: value latched at the last clock edge.
+  Word read(std::size_t index) const;
+
+  /// Stage a write; takes effect at commit().  A second staged write in
+  /// the same cycle is a model invariant violation.
+  void stage_write(std::size_t index, Word value);
+
+  /// Clock edge: apply the staged write, if any.
+  void commit() noexcept;
+
+  /// Drop any staged write (used when the ring stalls).
+  void discard() noexcept { staged_.reset(); }
+
+  /// Directly set a register (initialization / controller poke paths).
+  void poke(std::size_t index, Word value);
+
+ private:
+  std::array<Word, kDnodeRegCount> regs_{};
+  std::optional<std::pair<std::size_t, Word>> staged_;
+};
+
+}  // namespace sring

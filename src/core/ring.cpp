@@ -1,0 +1,241 @@
+#include "core/ring.hpp"
+
+#include "common/error.hpp"
+
+namespace sring {
+
+Ring::Ring(const RingGeometry& g) : geom_(g) {
+  geom_.validate();
+  dnodes_.resize(geom_.dnode_count());
+  pipes_.reserve(geom_.switch_count());
+  for (std::size_t s = 0; s < geom_.switch_count(); ++s) {
+    pipes_.emplace_back(geom_.lanes, geom_.fb_depth);
+  }
+  last_mode_.assign(geom_.dnode_count(), DnodeMode::kGlobal);
+  ops_per_dnode_.assign(geom_.dnode_count(), 0);
+  fetched_.assign(geom_.dnode_count(), nullptr);
+  is_local_.assign(geom_.dnode_count(), false);
+  needs_.assign(geom_.dnode_count(), {});
+  effects_.assign(geom_.dnode_count(), {});
+  pre_outs_.assign(geom_.dnode_count(), 0);
+}
+
+std::size_t Ring::flat_index(std::size_t layer, std::size_t lane) const {
+  check(layer < geom_.layers && lane < geom_.lanes,
+        "Ring: dnode coordinates out of range");
+  return layer * geom_.lanes + lane;
+}
+
+std::size_t Ring::upstream_layer(std::size_t layer) const noexcept {
+  return (layer + geom_.layers - 1) % geom_.layers;
+}
+
+Dnode& Ring::dnode(std::size_t layer, std::size_t lane) {
+  return dnodes_[flat_index(layer, lane)];
+}
+
+const Dnode& Ring::dnode(std::size_t layer, std::size_t lane) const {
+  return dnodes_[flat_index(layer, lane)];
+}
+
+Dnode& Ring::dnode_flat(std::size_t index) {
+  check(index < dnodes_.size(), "Ring: dnode index out of range");
+  return dnodes_[index];
+}
+
+const Dnode& Ring::dnode_flat(std::size_t index) const {
+  check(index < dnodes_.size(), "Ring: dnode index out of range");
+  return dnodes_[index];
+}
+
+const FeedbackPipeline& Ring::pipeline(std::size_t sw) const {
+  check(sw < pipes_.size(), "Ring: switch index out of range");
+  return pipes_[sw];
+}
+
+void Ring::write_local(std::size_t dnode_index, std::size_t slot,
+                       std::uint64_t value) {
+  check(dnode_index < dnodes_.size(), "Ring: dnode index out of range");
+  dnodes_[dnode_index].local().write(slot, value);
+}
+
+Word Ring::read_feedback(const FeedbackAddr& addr) const {
+  check(addr.pipe < pipes_.size(), "Ring: feedback pipe out of range");
+  return pipes_[addr.pipe].read(addr.lane, addr.depth);
+}
+
+void Ring::reset() {
+  for (auto& d : dnodes_) d.reset();
+  for (auto& p : pipes_) p.reset();
+  last_mode_.assign(geom_.dnode_count(), DnodeMode::kGlobal);
+  ops_per_dnode_.assign(geom_.dnode_count(), 0);
+}
+
+namespace {
+
+/// True if `instr` reads the given operand source anywhere.
+bool instr_reads(const DnodeInstr& instr, DnodeSrc src) {
+  if (instr.op == DnodeOp::kNop) return false;
+  if (instr.src_a == src) return true;
+  if (op_uses_b(instr.op) && instr.src_b == src) return true;
+  if (op_uses_c(instr.op) && instr.src_c == src) return true;
+  return false;
+}
+
+}  // namespace
+
+Ring::CycleResult Ring::step(const ConfigMemory& cfg, Word bus,
+                             std::deque<Word>& host_in,
+                             std::vector<Word>& host_out) {
+  check(cfg.geometry().layers == geom_.layers &&
+            cfg.geometry().lanes == geom_.lanes,
+        "Ring::step: configuration memory geometry mismatch");
+
+  const std::size_t n = geom_.dnode_count();
+
+  // Phase 1: fetch.  A global->local transition resets the local
+  // counter so a freshly entered local program starts at slot 0.
+  for (std::size_t i = 0; i < n; ++i) {
+    const DnodeMode mode = cfg.dnode_mode(i);
+    if (mode == DnodeMode::kLocal && last_mode_[i] == DnodeMode::kGlobal) {
+      dnodes_[i].local().reset_counter();
+    }
+    last_mode_[i] = mode;
+    is_local_[i] = mode == DnodeMode::kLocal;
+    fetched_[i] = is_local_[i] ? &dnodes_[i].local().current()
+                               : &cfg.dnode_instr(i);
+  }
+
+  // Phase 2: count the host pops this cycle needs.
+  std::size_t pops_needed = 0;
+  for (std::size_t layer = 0; layer < geom_.layers; ++layer) {
+    for (std::size_t lane = 0; lane < geom_.lanes; ++lane) {
+      const std::size_t i = layer * geom_.lanes + lane;
+      needs_[i] = PortNeed{};
+      const DnodeInstr& instr = *fetched_[i];
+      if (instr.op == DnodeOp::kNop) continue;
+      const SwitchRoute& route = cfg.switch_route(layer, lane);
+      if (route.in1.kind == RouteKind::kHost &&
+          instr_reads(instr, DnodeSrc::kIn1)) {
+        needs_[i].in1_host = true;
+        ++pops_needed;
+      }
+      if (route.in2.kind == RouteKind::kHost &&
+          instr_reads(instr, DnodeSrc::kIn2)) {
+        needs_[i].in2_host = true;
+        ++pops_needed;
+      }
+      if (instr_reads(instr, DnodeSrc::kHost)) {
+        needs_[i].direct_host = true;
+        ++pops_needed;
+      }
+    }
+  }
+
+  CycleResult result;
+  if (host_in.size() < pops_needed) {
+    result.stalled = true;
+    return result;  // systolic back-pressure: nothing advances
+  }
+
+  // Phase 3+4: route and execute.  Routing reads only pre-edge state
+  // (output registers, pipelines, bus), so evaluation order across
+  // Dnodes does not matter except for the documented host pop order.
+  for (std::size_t layer = 0; layer < geom_.layers; ++layer) {
+    const std::size_t up = upstream_layer(layer);
+    for (std::size_t lane = 0; lane < geom_.lanes; ++lane) {
+      const std::size_t i = layer * geom_.lanes + lane;
+      effects_[i] = Dnode::Effects{};
+      const DnodeInstr& instr = *fetched_[i];
+      if (instr.op == DnodeOp::kNop) continue;
+      const SwitchRoute& route = cfg.switch_route(layer, lane);
+
+      Dnode::Inputs in;
+      const auto resolve_port = [&](const PortRoute& p,
+                                    bool pops) -> Word {
+        switch (p.kind) {
+          case RouteKind::kZero:
+            return 0;
+          case RouteKind::kPrev:
+            check(p.lane < geom_.lanes, "Ring: route lane out of range");
+            return dnodes_[flat_index(up, p.lane)].out();
+          case RouteKind::kHost: {
+            if (!pops) return 0;
+            const Word w = host_in.front();
+            host_in.pop_front();
+            ++result.host_words_in;
+            return w;
+          }
+          case RouteKind::kFeedback:
+            return read_feedback(p.fb);
+          case RouteKind::kBus:
+            return bus;
+          case RouteKind::kKindCount:
+            break;
+        }
+        throw SimError("Ring: bad route kind");
+      };
+
+      in.in1 = resolve_port(route.in1, needs_[i].in1_host);
+      in.in2 = resolve_port(route.in2, needs_[i].in2_host);
+      in.fifo1 = read_feedback(route.fifo1);
+      in.fifo2 = read_feedback(route.fifo2);
+      in.bus = bus;
+      if (needs_[i].direct_host) {
+        in.host = host_in.front();
+        host_in.pop_front();
+        ++result.host_words_in;
+      }
+
+      effects_[i] = dnodes_[i].execute(instr, in);
+      if (effects_[i].executed) {
+        ++result.ops;
+        result.arith_ops +=
+            (instr.op == DnodeOp::kMac || instr.op == DnodeOp::kMsu) ? 2 : 1;
+        ++ops_per_dnode_[i];
+      }
+    }
+  }
+
+  // Capture pre-edge output vectors: these are what the feedback
+  // pipelines and host-out taps latch at this clock edge.
+  for (std::size_t i = 0; i < n; ++i) {
+    pre_outs_[i] = dnodes_[i].out();
+  }
+
+  // Phase 5: commit.
+  for (std::size_t i = 0; i < n; ++i) {
+    dnodes_[i].commit(is_local_[i]);
+  }
+  for (std::size_t s = 0; s < geom_.switch_count(); ++s) {
+    const std::size_t up = upstream_layer(s);
+    pipes_[s].push_from(pre_outs_.data() + up * geom_.lanes);
+  }
+
+  // Host output: switch taps first (switch order), then Dnode hostEn
+  // results (dnode order).  Bus drive: highest dnode index wins.
+  for (std::size_t s = 0; s < geom_.switch_count(); ++s) {
+    for (std::size_t lane = 0; lane < geom_.lanes; ++lane) {
+      const SwitchRoute& route = cfg.switch_route(s, lane);
+      if (route.host_out_en) {
+        check(route.host_out_lane < geom_.lanes,
+              "Ring: host-out lane out of range");
+        host_out.push_back(
+            pre_outs_[upstream_layer(s) * geom_.lanes + route.host_out_lane]);
+        ++result.host_words_out;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (effects_[i].executed && effects_[i].host_en) {
+      host_out.push_back(effects_[i].result);
+      ++result.host_words_out;
+    }
+    if (effects_[i].executed && effects_[i].bus_en) {
+      result.bus_drive = effects_[i].result;
+    }
+  }
+  return result;
+}
+
+}  // namespace sring

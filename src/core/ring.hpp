@@ -1,0 +1,104 @@
+// The Ring operating layer (paper §4.2).
+//
+// `layers` Dnode layers of `lanes` Dnodes each, closed into a ring.
+// Switch s routes data from layer s-1 (mod layers) into layer s and
+// owns the feedback pipeline that latches layer s-1's outputs every
+// clock edge.
+//
+// Per-cycle evaluation order (one call to step()):
+//   1. every Dnode's microinstruction is fetched from the configuration
+//      memory (global mode) or its local control unit (local mode);
+//   2. the host-FIFO pops required by this cycle are counted; if the
+//      input FIFO cannot satisfy them the whole ring stalls (systolic
+//      back-pressure) and no state advances;
+//   3. switches resolve each Dnode's in1/in2/fifo1/fifo2 operands from
+//      the upstream output registers (previous edge), the feedback
+//      pipelines, the bus, or freshly popped host words (pop order:
+//      layer-ascending, lane-ascending, port order in1, in2, direct
+//      host operand);
+//   4. all Dnodes execute combinationally and stage their writes;
+//   5. commit: register files and output registers latch, local
+//      counters advance, every feedback pipeline latches its upstream
+//      layer's pre-edge output vector, switch host-out taps and Dnode
+//      hostEn results append to the host output stream.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/config_memory.hpp"
+#include "core/dnode.hpp"
+#include "core/feedback_pipeline.hpp"
+#include "core/switch.hpp"
+
+namespace sring {
+
+class Ring {
+ public:
+  explicit Ring(const RingGeometry& g);
+
+  const RingGeometry& geometry() const noexcept { return geom_; }
+
+  /// Outcome of one clock cycle.
+  struct CycleResult {
+    bool stalled = false;          ///< host input underflow: no state change
+    unsigned ops = 0;              ///< Dnode instructions executed (non-NOP)
+    unsigned arith_ops = 0;        ///< arithmetic operations (MAC/MSU = 2)
+    unsigned host_words_in = 0;    ///< words popped from the input FIFO
+    unsigned host_words_out = 0;   ///< words pushed to the output stream
+    std::optional<Word> bus_drive; ///< bus value driven by a Dnode, if any
+  };
+
+  /// Advance one clock cycle.  `bus` is the shared-bus value visible to
+  /// the Dnodes this cycle; host traffic uses the given FIFOs.
+  CycleResult step(const ConfigMemory& cfg, Word bus,
+                   std::deque<Word>& host_in, std::vector<Word>& host_out);
+
+  // --- state access ---------------------------------------------------
+  Dnode& dnode(std::size_t layer, std::size_t lane);
+  const Dnode& dnode(std::size_t layer, std::size_t lane) const;
+  Dnode& dnode_flat(std::size_t index);
+  const Dnode& dnode_flat(std::size_t index) const;
+
+  const FeedbackPipeline& pipeline(std::size_t sw) const;
+
+  /// Write a local-control register of a Dnode (controller WRLOC path).
+  void write_local(std::size_t dnode_index, std::size_t slot,
+                   std::uint64_t value);
+
+  /// Cumulative executed-instruction count per Dnode (utilization).
+  const std::vector<std::uint64_t>& ops_per_dnode() const noexcept {
+    return ops_per_dnode_;
+  }
+
+  /// Clear all architectural state (configuration memory is separate).
+  void reset();
+
+ private:
+  std::size_t flat_index(std::size_t layer, std::size_t lane) const;
+  std::size_t upstream_layer(std::size_t layer) const noexcept;
+
+  Word read_feedback(const FeedbackAddr& addr) const;
+
+  RingGeometry geom_;
+  std::vector<Dnode> dnodes_;              // [layer * lanes + lane]
+  std::vector<FeedbackPipeline> pipes_;    // one per switch / layer
+  std::vector<DnodeMode> last_mode_;       // to reset local counters on entry
+  std::vector<std::uint64_t> ops_per_dnode_;
+
+  // Per-cycle scratch (members to avoid per-step allocations).
+  struct PortNeed {
+    bool in1_host = false;
+    bool in2_host = false;
+    bool direct_host = false;
+  };
+  std::vector<const DnodeInstr*> fetched_;
+  std::vector<bool> is_local_;
+  std::vector<PortNeed> needs_;
+  std::vector<Dnode::Effects> effects_;
+  std::vector<Word> pre_outs_;             // [layer * lanes + lane]
+};
+
+}  // namespace sring

@@ -1,0 +1,145 @@
+#include "core/switch.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace sring {
+
+std::uint64_t FeedbackAddr::encode() const noexcept {
+  std::uint64_t w = 0;
+  w = deposit_bits(w, 0, 5, pipe);
+  w = deposit_bits(w, 5, 4, lane);
+  w = deposit_bits(w, 9, 4, depth);
+  return w;
+}
+
+FeedbackAddr FeedbackAddr::decode(std::uint64_t packed) noexcept {
+  FeedbackAddr a;
+  a.pipe = static_cast<std::uint8_t>(extract_bits(packed, 0, 5));
+  a.lane = static_cast<std::uint8_t>(extract_bits(packed, 5, 4));
+  a.depth = static_cast<std::uint8_t>(extract_bits(packed, 9, 4));
+  return a;
+}
+
+PortRoute PortRoute::prev(std::uint8_t lane) noexcept {
+  PortRoute r;
+  r.kind = RouteKind::kPrev;
+  r.lane = lane;
+  return r;
+}
+
+PortRoute PortRoute::host() noexcept {
+  PortRoute r;
+  r.kind = RouteKind::kHost;
+  return r;
+}
+
+PortRoute PortRoute::feedback(FeedbackAddr a) noexcept {
+  PortRoute r;
+  r.kind = RouteKind::kFeedback;
+  r.fb = a;
+  return r;
+}
+
+PortRoute PortRoute::bus() noexcept {
+  PortRoute r;
+  r.kind = RouteKind::kBus;
+  return r;
+}
+
+namespace {
+
+std::uint64_t encode_port(const PortRoute& p) {
+  std::uint64_t arg = 0;
+  switch (p.kind) {
+    case RouteKind::kPrev:
+      arg = p.lane;
+      break;
+    case RouteKind::kFeedback:
+      arg = p.fb.encode();
+      break;
+    default:
+      break;
+  }
+  std::uint64_t w = 0;
+  w = deposit_bits(w, 0, 3, static_cast<std::uint64_t>(p.kind));
+  w = deposit_bits(w, 3, 13, arg);
+  return w;
+}
+
+PortRoute decode_port(std::uint64_t field) {
+  const auto kind = extract_bits(field, 0, 3);
+  check(kind < static_cast<std::uint64_t>(RouteKind::kKindCount),
+        "SwitchRoute::decode: bad route kind");
+  PortRoute p;
+  p.kind = static_cast<RouteKind>(kind);
+  const std::uint64_t arg = extract_bits(field, 3, 13);
+  switch (p.kind) {
+    case RouteKind::kPrev:
+      p.lane = static_cast<std::uint8_t>(arg & 0xFu);
+      break;
+    case RouteKind::kFeedback:
+      p.fb = FeedbackAddr::decode(arg);
+      break;
+    default:
+      break;
+  }
+  return p;
+}
+
+std::string port_to_string(const PortRoute& p) {
+  switch (p.kind) {
+    case RouteKind::kZero:
+      return "zero";
+    case RouteKind::kPrev:
+      return "prev" + std::to_string(p.lane);
+    case RouteKind::kHost:
+      return "host";
+    case RouteKind::kFeedback:
+      return "fb(" + std::to_string(p.fb.pipe) + "," +
+             std::to_string(p.fb.lane) + "," + std::to_string(p.fb.depth) +
+             ")";
+    case RouteKind::kBus:
+      return "bus";
+    case RouteKind::kKindCount:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::uint64_t SwitchRoute::encode() const {
+  std::uint64_t w = 0;
+  w = deposit_bits(w, 0, 16, encode_port(in1));
+  w = deposit_bits(w, 16, 16, encode_port(in2));
+  w = deposit_bits(w, 32, 13, fifo1.encode());
+  w = deposit_bits(w, 45, 13, fifo2.encode());
+  w = deposit_bits(w, 58, 1, host_out_en ? 1 : 0);
+  w = deposit_bits(w, 59, 4, host_out_lane);
+  return w;
+}
+
+SwitchRoute SwitchRoute::decode(std::uint64_t word) {
+  SwitchRoute r;
+  r.in1 = decode_port(extract_bits(word, 0, 16));
+  r.in2 = decode_port(extract_bits(word, 16, 16));
+  r.fifo1 = FeedbackAddr::decode(extract_bits(word, 32, 13));
+  r.fifo2 = FeedbackAddr::decode(extract_bits(word, 45, 13));
+  r.host_out_en = extract_bits(word, 58, 1) != 0;
+  r.host_out_lane = static_cast<std::uint8_t>(extract_bits(word, 59, 4));
+  return r;
+}
+
+std::string SwitchRoute::to_string() const {
+  std::string s =
+      "in1=" + port_to_string(in1) + " in2=" + port_to_string(in2);
+  s += " fifo1=fb(" + std::to_string(fifo1.pipe) + "," +
+       std::to_string(fifo1.lane) + "," + std::to_string(fifo1.depth) + ")";
+  s += " fifo2=fb(" + std::to_string(fifo2.pipe) + "," +
+       std::to_string(fifo2.lane) + "," + std::to_string(fifo2.depth) + ")";
+  if (host_out_en) s += " hostout=prev" + std::to_string(host_out_lane);
+  return s;
+}
+
+}  // namespace sring

@@ -1,0 +1,82 @@
+// Inter-layer switch configuration (paper §4.2).
+//
+// A switch sits between two adjacent Dnode layers.  Per downstream
+// Dnode it routes the two input ports (in1/in2) from: a lane of the
+// upstream layer's outputs, the host input port, a feedback-pipeline
+// read, the shared bus, or constant zero.  It also resolves the two
+// feedback read ports (fifo1/fifo2) every Dnode microinstruction may
+// reference, and can forward one upstream lane to the host output FIFO.
+//
+// Encoding (64-bit route word, one per downstream Dnode):
+//   bits  0..2   in1 kind          bits 16..18  in2 kind
+//   bits  3..15  in1 argument      bits 19..31  in2 argument
+//   bits 32..44  fifo1 feedback address
+//   bits 45..57  fifo2 feedback address
+//   bit  58      host-out enable
+//   bits 59..62  host-out upstream lane
+//
+// Arguments: PREV -> lane in bits [3..6]; FEEDBACK -> packed feedback
+// address.  A feedback address packs pipe(5) | lane(4) | depth(4),
+// which bounds a ring at 32 layers x 16 lanes x depth-16 pipelines
+// (Ring-512) — far beyond the paper's largest quoted instance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sring {
+
+/// Source category of a switch input route.
+enum class RouteKind : std::uint8_t {
+  kZero = 0,   ///< constant 0
+  kPrev,       ///< upstream layer output lane
+  kHost,       ///< host input port (pops the host input FIFO on use)
+  kFeedback,   ///< feedback-pipeline read
+  kBus,        ///< shared bus
+  kKindCount,
+};
+
+/// Address of one feedback-pipeline read.
+struct FeedbackAddr {
+  std::uint8_t pipe = 0;   ///< which switch's pipeline (0..31)
+  std::uint8_t lane = 0;   ///< lane within the latched vector (0..15)
+  std::uint8_t depth = 0;  ///< extra delay stages (0..15)
+
+  bool operator==(const FeedbackAddr&) const = default;
+
+  std::uint64_t encode() const noexcept;
+  static FeedbackAddr decode(std::uint64_t packed) noexcept;
+};
+
+/// Route of one Dnode input port.
+struct PortRoute {
+  RouteKind kind = RouteKind::kZero;
+  std::uint8_t lane = 0;    ///< upstream lane, for kPrev
+  FeedbackAddr fb{};        ///< feedback address, for kFeedback
+
+  bool operator==(const PortRoute&) const = default;
+
+  static PortRoute zero() noexcept { return {}; }
+  static PortRoute prev(std::uint8_t lane) noexcept;
+  static PortRoute host() noexcept;
+  static PortRoute feedback(FeedbackAddr a) noexcept;
+  static PortRoute bus() noexcept;
+};
+
+/// Full switch routing for one downstream Dnode.
+struct SwitchRoute {
+  PortRoute in1{};
+  PortRoute in2{};
+  FeedbackAddr fifo1{};
+  FeedbackAddr fifo2{};
+  bool host_out_en = false;
+  std::uint8_t host_out_lane = 0;
+
+  bool operator==(const SwitchRoute&) const = default;
+
+  std::uint64_t encode() const;
+  static SwitchRoute decode(std::uint64_t word);
+  std::string to_string() const;
+};
+
+}  // namespace sring

@@ -1,0 +1,73 @@
+// RISC configuration controller (paper §3).
+//
+// A small sequential core with its own program memory whose job is to
+// manage the configuration of the operating layer dynamically — it can
+// rewrite individual configuration words (WRCFG/WRMODE/WRSW/WRLOC) or
+// swap a full preloaded page per cycle (PAGE/PAGER) — and to move data
+// between the host FIFOs, the shared bus and the ring.
+//
+// It executes exactly one instruction per clock cycle; INPOP on an
+// empty host FIFO and WAIT stall it in place.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/config_memory.hpp"
+#include "core/ring.hpp"
+#include "isa/risc_instr.hpp"
+
+namespace sring {
+
+class Controller {
+ public:
+  Controller() = default;
+  explicit Controller(std::vector<std::uint32_t> program);
+
+  /// Replace the program and reset architectural state.
+  void load_program(std::vector<std::uint32_t> program);
+
+  /// Everything the controller can touch during one cycle.
+  struct StepContext {
+    ConfigMemory& cfg;
+    Ring& ring;
+    Word bus;                      ///< bus value at the start of the cycle
+    std::deque<Word>& host_in;
+    std::vector<Word>& host_out;
+    std::uint64_t cycle;           ///< global cycle counter (RDCYC)
+  };
+
+  struct StepResult {
+    bool halted = false;          ///< controller is (now) halted
+    bool stalled = false;         ///< instruction could not complete
+    bool executed = false;        ///< an instruction completed this cycle
+    std::optional<Word> bus_drive;///< BUSW value, visible this cycle
+  };
+
+  /// Execute one cycle.  No-op once halted.
+  StepResult step(const StepContext& ctx);
+
+  bool halted() const noexcept { return halted_; }
+  std::uint64_t pc() const noexcept { return pc_; }
+  std::uint64_t instructions_executed() const noexcept {
+    return instructions_; }
+
+  std::uint64_t reg(std::size_t index) const;
+  void set_reg(std::size_t index, std::uint64_t value);
+
+  /// Reset PC/registers/halt state; keeps the loaded program.
+  void reset();
+
+ private:
+  std::vector<std::uint32_t> program_;
+  std::array<std::uint64_t, kRiscRegCount> regs_{};
+  std::uint64_t pc_ = 0;
+  std::uint64_t instructions_ = 0;
+  std::uint32_t wait_remaining_ = 0;
+  bool halted_ = false;
+};
+
+}  // namespace sring

@@ -1,0 +1,44 @@
+#include "dsp/conv2d.hpp"
+
+namespace sring::dsp {
+
+Image conv2d_3x3_reference(const Image& img, const Kernel3x3& k) {
+  Image out(img.width(), img.height());
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      Word acc = 0;
+      for (int j = 0; j < 3; ++j) {
+        for (int i = 0; i < 3; ++i) {
+          const Word pixel = img.at_clamped(
+              static_cast<std::ptrdiff_t>(x) + i - 1,
+              static_cast<std::ptrdiff_t>(y) + j - 1);
+          acc = to_word(
+              static_cast<std::int64_t>(as_signed(k[static_cast<std::size_t>(
+                  j)][static_cast<std::size_t>(i)])) *
+                  as_signed(pixel) +
+              as_signed(acc));
+        }
+      }
+      out.at(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+Kernel3x3 kernel_smooth() {
+  return {{{1, 2, 1}, {2, 4, 2}, {1, 2, 1}}};
+}
+
+Kernel3x3 kernel_sharpen() {
+  return {{{0, to_word(-1), 0},
+           {to_word(-1), 5, to_word(-1)},
+           {0, to_word(-1), 0}}};
+}
+
+Kernel3x3 kernel_sobel_x() {
+  return {{{to_word(-1), 0, 1},
+           {to_word(-2), 0, 2},
+           {to_word(-1), 0, 1}}};
+}
+
+}  // namespace sring::dsp

@@ -1,0 +1,24 @@
+// Golden-model 3x3 2-D convolution (border-clamped), the classic image
+// filter of the paper's video use cases.  Dnode-exact wrapping MACs.
+#pragma once
+
+#include <array>
+
+#include "common/image.hpp"
+#include "common/types.hpp"
+
+namespace sring::dsp {
+
+/// Row-major 3x3 kernel.
+using Kernel3x3 = std::array<std::array<Word, 3>, 3>;
+
+/// y(x,y) = sum_{j,i} k[j][i] * img(x+i-1, y+j-1), border-clamped,
+/// every accumulation step wrapping to 16 bits.
+Image conv2d_3x3_reference(const Image& img, const Kernel3x3& k);
+
+/// Common kernels for demos/tests.
+Kernel3x3 kernel_smooth();   ///< 1 2 1 / 2 4 2 / 1 2 1 (unnormalized)
+Kernel3x3 kernel_sharpen();  ///< 0 -1 0 / -1 5 -1 / 0 -1 0
+Kernel3x3 kernel_sobel_x();  ///< -1 0 1 / -2 0 2 / -1 0 1
+
+}  // namespace sring::dsp

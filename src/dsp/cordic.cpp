@@ -1,0 +1,66 @@
+#include "dsp/cordic.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/alu.hpp"
+
+namespace sring::dsp {
+
+std::array<Word, kCordicIterations> cordic_atan_table() {
+  std::array<Word, kCordicIterations> table{};
+  for (unsigned i = 0; i < kCordicIterations; ++i) {
+    table[i] = to_word(static_cast<std::int64_t>(std::llround(
+        kCordicOne * std::atan(std::ldexp(1.0, -static_cast<int>(i))))));
+  }
+  return table;
+}
+
+Word cordic_k_inv() {
+  double k = 1.0;
+  for (unsigned i = 0; i < kCordicIterations; ++i) {
+    k *= std::sqrt(1.0 + std::ldexp(1.0, -2 * static_cast<int>(i)));
+  }
+  return to_word(static_cast<std::int64_t>(std::llround(kCordicOne / k)));
+}
+
+CordicResult cordic_rotate(Word theta_q12, unsigned iterations) {
+  check(iterations >= 1 && iterations <= kCordicIterations,
+        "cordic_rotate: 1..12 iterations supported");
+  const auto atan = cordic_atan_table();
+  // Every step below is expressed through the Dnode ALU so the ring
+  // kernel reproduces it exactly:
+  //   t    = cmplt(z, 0)               (1 if z negative)
+  //   dval = 1 - (t << 1)              (+1 / -1)
+  //   xs   = asr(y, i), ys = asr(x, i)
+  //   x'   = msu(dval, xs, x) = x - dval * (y >> i)
+  //   y'   = mac(dval, ys, y) = y + dval * (x >> i)
+  //   z'   = msu(dval, atan_i, z)
+  Word x = cordic_k_inv();
+  Word y = 0;
+  Word z = theta_q12;
+  for (unsigned i = 0; i < iterations; ++i) {
+    const Word shift = to_word(static_cast<std::int64_t>(i));
+    const Word t = alu_execute(DnodeOp::kCmplt, z, 0, 0);
+    const Word doubled = alu_execute(DnodeOp::kShl, t, 1, 0);
+    const Word dval = alu_execute(DnodeOp::kRsub, doubled, 1, 0);
+    const Word xs = alu_execute(DnodeOp::kAsr, y, shift, 0);
+    const Word ys = alu_execute(DnodeOp::kAsr, x, shift, 0);
+    x = alu_execute(DnodeOp::kMsu, dval, xs, x);
+    y = alu_execute(DnodeOp::kMac, dval, ys, y);
+    z = alu_execute(DnodeOp::kMsu, dval, atan[i], z);
+  }
+  return {x, y};
+}
+
+std::vector<CordicResult> cordic_rotate_stream(
+    std::span<const Word> thetas_q12, unsigned iterations) {
+  std::vector<CordicResult> out;
+  out.reserve(thetas_q12.size());
+  for (const Word theta : thetas_q12) {
+    out.push_back(cordic_rotate(theta, iterations));
+  }
+  return out;
+}
+
+}  // namespace sring::dsp

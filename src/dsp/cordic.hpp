@@ -1,0 +1,45 @@
+// Golden-model CORDIC (circular rotation mode) — the "trigonometric
+// op." macro-operator of the paper's §6 compilation argument.
+//
+// Fixed point: angles and outputs are Q12 (4096 = 1.0 / one radian).
+// Starting vector (K_inv, 0) absorbs the CORDIC gain so after N
+// iterations x ~= 4096*cos(theta), y ~= 4096*sin(theta).  All steps
+// use Dnode-exact arithmetic (16-bit wrap, arithmetic shifts), so the
+// ring kernel can match this model bit-for-bit.
+//
+// Convergence domain: |theta| <= ~1.74 rad (about 99.9 degrees).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sring::dsp {
+
+inline constexpr unsigned kCordicIterations = 12;
+inline constexpr std::int32_t kCordicOne = 4096;  // Q12 unity
+
+/// Q12 arctangent table: atan_table()[i] = round(4096 * atan(2^-i)).
+std::array<Word, kCordicIterations> cordic_atan_table();
+
+/// Q12 gain-compensated starting x: round(4096 / prod sqrt(1+2^-2i)).
+Word cordic_k_inv();
+
+struct CordicResult {
+  Word cos_q12 = 0;
+  Word sin_q12 = 0;
+};
+
+/// Rotate (k_inv, 0) by theta (Q12 radians), Dnode-exact arithmetic.
+CordicResult cordic_rotate(Word theta_q12,
+                           unsigned iterations = kCordicIterations);
+
+/// Vectorized convenience over an angle stream.
+std::vector<CordicResult> cordic_rotate_stream(
+    std::span<const Word> thetas_q12,
+    unsigned iterations = kCordicIterations);
+
+}  // namespace sring::dsp

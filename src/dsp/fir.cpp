@@ -1,0 +1,50 @@
+#include "dsp/fir.hpp"
+
+#include "common/error.hpp"
+
+namespace sring::dsp {
+
+std::vector<Word> fir_reference(std::span<const Word> x,
+                                std::span<const Word> coeffs) {
+  check(!coeffs.empty(), "fir_reference: empty coefficient vector");
+  std::vector<Word> y(x.size(), 0);
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    Word acc = 0;
+    for (std::size_t k = 0; k < coeffs.size(); ++k) {
+      if (n < k) break;
+      // One MAC step: acc += c[k] * x[n-k], wrapped exactly like kMac.
+      acc = to_word(static_cast<std::int64_t>(as_signed(coeffs[k])) *
+                        as_signed(x[n - k]) +
+                    as_signed(acc));
+    }
+    y[n] = acc;
+  }
+  return y;
+}
+
+Word dot_reference(std::span<const Word> a, std::span<const Word> b) {
+  check(a.size() == b.size(), "dot_reference: length mismatch");
+  Word acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = to_word(static_cast<std::int64_t>(as_signed(a[i])) *
+                      as_signed(b[i]) +
+                  as_signed(acc));
+  }
+  return acc;
+}
+
+std::vector<Word> running_mac_reference(std::span<const Word> a,
+                                        std::span<const Word> b) {
+  check(a.size() == b.size(), "running_mac_reference: length mismatch");
+  std::vector<Word> out(a.size());
+  Word acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = to_word(static_cast<std::int64_t>(as_signed(a[i])) *
+                      as_signed(b[i]) +
+                  as_signed(acc));
+    out[i] = acc;
+  }
+  return out;
+}
+
+}  // namespace sring::dsp

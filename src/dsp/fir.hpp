@@ -1,0 +1,27 @@
+// Golden-model FIR / dot-product references.
+//
+// Arithmetic matches the Dnode datapath bit-exactly: every
+// multiply-accumulate step wraps to 16 bits (two's complement), because
+// the ring's MAC operator wraps at every stage.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sring::dsp {
+
+/// y[n] = sum_k coeffs[k] * x[n-k], zero history (x[i<0] = 0), each
+/// accumulation step wrapping to 16 bits.  Returns x.size() outputs.
+std::vector<Word> fir_reference(std::span<const Word> x,
+                                std::span<const Word> coeffs);
+
+/// Wrapping dot product of two equal-length vectors.
+Word dot_reference(std::span<const Word> a, std::span<const Word> b);
+
+/// Running MAC sequence: out[i] = sum_{j<=i} a[j]*b[j] (wrapping).
+std::vector<Word> running_mac_reference(std::span<const Word> a,
+                                        std::span<const Word> b);
+
+}  // namespace sring::dsp

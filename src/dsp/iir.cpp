@@ -1,0 +1,43 @@
+#include "dsp/iir.hpp"
+
+namespace sring::dsp {
+
+namespace {
+Word mac(Word coeff, Word value, Word acc) {
+  return to_word(static_cast<std::int64_t>(as_signed(coeff)) *
+                     as_signed(value) +
+                 as_signed(acc));
+}
+}  // namespace
+
+std::vector<Word> iir1_reference(std::span<const Word> x, Word a) {
+  std::vector<Word> y(x.size());
+  Word prev = 0;
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    prev = mac(a, prev, x[n]);
+    y[n] = prev;
+  }
+  return y;
+}
+
+std::vector<Word> biquad_reference(std::span<const Word> x,
+                                   const BiquadCoeffs& c) {
+  std::vector<Word> y(x.size());
+  Word x1 = 0, x2 = 0, y1 = 0, y2 = 0;
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    Word acc = 0;
+    acc = mac(c.b0, x[n], acc);
+    acc = mac(c.b1, x1, acc);
+    acc = mac(c.b2, x2, acc);
+    acc = mac(c.a1, y1, acc);
+    acc = mac(c.a2, y2, acc);
+    x2 = x1;
+    x1 = x[n];
+    y2 = y1;
+    y1 = acc;
+    y[n] = acc;
+  }
+  return y;
+}
+
+}  // namespace sring::dsp

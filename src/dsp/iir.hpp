@@ -1,0 +1,24 @@
+// Golden-model recursive (IIR) filter references with Dnode-exact
+// (16-bit wrapping) arithmetic.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sring::dsp {
+
+/// First-order recursive filter y[n] = x[n] + a * y[n-1] (wrapping),
+/// zero initial state.
+std::vector<Word> iir1_reference(std::span<const Word> x, Word a);
+
+/// Direct-form-I biquad with wrapping arithmetic and zero state:
+///   y[n] = b0 x[n] + b1 x[n-1] + b2 x[n-2] + a1 y[n-1] + a2 y[n-2]
+struct BiquadCoeffs {
+  Word b0 = 0, b1 = 0, b2 = 0, a1 = 0, a2 = 0;
+};
+std::vector<Word> biquad_reference(std::span<const Word> x,
+                                   const BiquadCoeffs& c);
+
+}  // namespace sring::dsp

@@ -1,0 +1,54 @@
+#include "dsp/matvec.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sring::dsp {
+
+std::array<Word, kMatvecN> matvec8_reference(
+    const Matrix8& m, std::span<const Word, kMatvecN> x) {
+  std::array<Word, kMatvecN> y{};
+  for (std::size_t k = 0; k < kMatvecN; ++k) {
+    Word acc = 0;
+    for (std::size_t j = 0; j < kMatvecN; ++j) {
+      acc = to_word(static_cast<std::int64_t>(as_signed(m[k][j])) *
+                        as_signed(x[j]) +
+                    as_signed(acc));
+    }
+    y[k] = acc;
+  }
+  return y;
+}
+
+std::vector<Word> block_matvec8_reference(const Matrix8& m,
+                                          std::span<const Word> x) {
+  check(x.size() % kMatvecN == 0,
+        "block_matvec8_reference: length must be a multiple of 8");
+  std::vector<Word> out;
+  out.reserve(x.size());
+  for (std::size_t b = 0; b < x.size(); b += kMatvecN) {
+    const auto y = matvec8_reference(
+        m, std::span<const Word, kMatvecN>(x.data() + b, kMatvecN));
+    out.insert(out.end(), y.begin(), y.end());
+  }
+  return out;
+}
+
+Matrix8 dct8_matrix_q7() {
+  Matrix8 m{};
+  constexpr double kPi = 3.14159265358979323846;
+  for (std::size_t k = 0; k < kMatvecN; ++k) {
+    const double ck = k == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
+    for (std::size_t j = 0; j < kMatvecN; ++j) {
+      const double v =
+          127.0 * ck * 0.5 *
+          std::cos((2.0 * static_cast<double>(j) + 1.0) *
+                   static_cast<double>(k) * kPi / 16.0);
+      m[k][j] = to_word(static_cast<std::int64_t>(std::llround(v)));
+    }
+  }
+  return m;
+}
+
+}  // namespace sring::dsp

@@ -1,0 +1,35 @@
+// Golden-model block matrix-vector products and the 8-point DCT-II
+// matrix (the paper's intro motivates JPEG/MPEG (I)DCT acceleration;
+// an 8x8 constant matrix times a sample block is its computational
+// core).
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sring::dsp {
+
+inline constexpr std::size_t kMatvecN = 8;
+
+/// Row-major 8x8 coefficient matrix.
+using Matrix8 = std::array<std::array<Word, kMatvecN>, kMatvecN>;
+
+/// y = M x with Dnode-exact wrapping MAC arithmetic.
+std::array<Word, kMatvecN> matvec8_reference(
+    const Matrix8& m, std::span<const Word, kMatvecN> x);
+
+/// Apply matvec8 to consecutive 8-sample blocks of a stream (the
+/// stream length must be a multiple of 8).
+std::vector<Word> block_matvec8_reference(const Matrix8& m,
+                                          std::span<const Word> x);
+
+/// The 8-point DCT-II basis in Q7 fixed point:
+/// m[k][j] = round(127 * c(k) * cos((2j+1) k pi / 16)), c(0)=1/sqrt(2).
+/// Outputs of matvec8 with this matrix are Q7 DCT coefficients
+/// (callers shift right by 7 to rescale).
+Matrix8 dct8_matrix_q7();
+
+}  // namespace sring::dsp

@@ -1,0 +1,62 @@
+#include "dsp/sad.hpp"
+
+#include <cstdlib>
+
+namespace sring::dsp {
+
+std::uint32_t block_sad(const Image& ref, std::size_t rx, std::size_t ry,
+                        const Image& cand, std::ptrdiff_t cx,
+                        std::ptrdiff_t cy, std::size_t n) {
+  std::uint32_t sad = 0;
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      const std::int32_t a = as_signed(
+          ref.at_clamped(static_cast<std::ptrdiff_t>(rx + x),
+                         static_cast<std::ptrdiff_t>(ry + y)));
+      const std::int32_t b = as_signed(
+          cand.at_clamped(cx + static_cast<std::ptrdiff_t>(x),
+                          cy + static_cast<std::ptrdiff_t>(y)));
+      sad += static_cast<std::uint32_t>(std::abs(a - b));
+    }
+  }
+  return sad;
+}
+
+MotionVector full_search(const Image& ref, std::size_t rx, std::size_t ry,
+                         const Image& cand, int range, std::size_t n) {
+  MotionVector best;
+  bool first = true;
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      const std::uint32_t sad =
+          block_sad(ref, rx, ry, cand,
+                    static_cast<std::ptrdiff_t>(rx) + dx,
+                    static_cast<std::ptrdiff_t>(ry) + dy, n);
+      if (first || sad < best.sad) {
+        best = {dx, dy, sad};
+        first = false;
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> all_candidate_sads(const Image& ref,
+                                              std::size_t rx,
+                                              std::size_t ry,
+                                              const Image& cand, int range,
+                                              std::size_t n) {
+  std::vector<std::uint32_t> sads;
+  sads.reserve(static_cast<std::size_t>(2 * range + 1) *
+               static_cast<std::size_t>(2 * range + 1));
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      sads.push_back(block_sad(ref, rx, ry, cand,
+                               static_cast<std::ptrdiff_t>(rx) + dx,
+                               static_cast<std::ptrdiff_t>(ry) + dy, n));
+    }
+  }
+  return sads;
+}
+
+}  // namespace sring::dsp

@@ -1,0 +1,46 @@
+// Golden-model block-matching motion estimation (paper §5.1, Table 1).
+//
+// Criterion: sum of absolute differences (SAD) of an 8x8 reference
+// block against every candidate position within ±`range` pixels of
+// displacement (H.261-style full search; range 8 gives the paper's
+// 17 x 17 = 289 candidates).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/image.hpp"
+
+namespace sring::dsp {
+
+inline constexpr std::size_t kBlockSize = 8;
+
+/// SAD of the `n x n` block at (rx, ry) in `ref` against the block at
+/// (cx, cy) in `cand`; out-of-image pixels read border-clamped.
+std::uint32_t block_sad(const Image& ref, std::size_t rx, std::size_t ry,
+                        const Image& cand, std::ptrdiff_t cx,
+                        std::ptrdiff_t cy, std::size_t n = kBlockSize);
+
+struct MotionVector {
+  int dx = 0;
+  int dy = 0;
+  std::uint32_t sad = 0;
+
+  bool operator==(const MotionVector&) const = default;
+};
+
+/// Exhaustive (full-search) motion estimation of one block.  Ties
+/// break toward the first candidate in row-major (dy, dx) scan order.
+MotionVector full_search(const Image& ref, std::size_t rx, std::size_t ry,
+                         const Image& cand, int range,
+                         std::size_t n = kBlockSize);
+
+/// All candidate SADs in row-major (dy, dx) scan order, i.e. the raw
+/// sequence a SAD engine would emit.
+std::vector<std::uint32_t> all_candidate_sads(const Image& ref,
+                                              std::size_t rx,
+                                              std::size_t ry,
+                                              const Image& cand, int range,
+                                              std::size_t n = kBlockSize);
+
+}  // namespace sring::dsp

@@ -1,0 +1,195 @@
+#include "dsp/wavelet.hpp"
+
+#include "common/error.hpp"
+
+namespace sring::dsp {
+
+namespace {
+
+/// Extended read of x at a possibly out-of-range index.
+std::int32_t read_ext(std::span<const Word> x, std::ptrdiff_t i,
+                      Boundary boundary) {
+  const auto n = static_cast<std::ptrdiff_t>(x.size());
+  if (i >= 0 && i < n) return as_signed(x[static_cast<std::size_t>(i)]);
+  if (boundary == Boundary::kZero) return 0;
+  // Whole-sample symmetric: ... x2 x1 | x0 x1 x2 ... xN-1 | xN-2 ...
+  // Reflect repeatedly: short signals may need several bounces.
+  if (n == 1) return as_signed(x[0]);
+  while (i < 0 || i >= n) {
+    if (i < 0) i = -i;
+    if (i >= n) i = 2 * (n - 1) - i;
+  }
+  return as_signed(x[static_cast<std::size_t>(i)]);
+}
+
+std::int32_t read_ext(const std::vector<Word>& x, std::ptrdiff_t i,
+                      Boundary boundary) {
+  return read_ext(std::span<const Word>(x), i, boundary);
+}
+
+}  // namespace
+
+Subbands dwt53_forward(std::span<const Word> x, Boundary boundary) {
+  check(x.size() >= 2 && x.size() % 2 == 0,
+        "dwt53_forward: even-length input of >= 2 samples required");
+  const std::size_t half = x.size() / 2;
+  Subbands out;
+  out.high.resize(half);
+  out.low.resize(half);
+  // Predict: d[i] = x[2i+1] - floor((x[2i] + x[2i+2]) / 2)
+  for (std::size_t i = 0; i < half; ++i) {
+    const std::int32_t even = as_signed(x[2 * i]);
+    const std::int32_t next_even =
+        read_ext(x, static_cast<std::ptrdiff_t>(2 * i + 2), boundary);
+    const std::int32_t odd = as_signed(x[2 * i + 1]);
+    out.high[i] = to_word(odd - ((even + next_even) >> 1));
+  }
+  // Update: s[i] = x[2i] + floor((d[i-1] + d[i] + 2) / 4)
+  for (std::size_t i = 0; i < half; ++i) {
+    const std::int32_t d0 =
+        read_ext(out.high, static_cast<std::ptrdiff_t>(i) - 1, boundary);
+    const std::int32_t d1 = as_signed(out.high[i]);
+    out.low[i] = to_word(as_signed(x[2 * i]) + ((d0 + d1 + 2) >> 2));
+  }
+  return out;
+}
+
+std::vector<Word> dwt53_inverse(const Subbands& bands, Boundary boundary) {
+  check(bands.low.size() == bands.high.size(),
+        "dwt53_inverse: subband size mismatch");
+  const std::size_t half = bands.low.size();
+  check(half >= 1, "dwt53_inverse: empty subbands");
+  std::vector<Word> x(2 * half);
+  // Undo update: x[2i] = s[i] - floor((d[i-1] + d[i] + 2) / 4)
+  for (std::size_t i = 0; i < half; ++i) {
+    const std::int32_t d0 =
+        read_ext(bands.high, static_cast<std::ptrdiff_t>(i) - 1, boundary);
+    const std::int32_t d1 = as_signed(bands.high[i]);
+    x[2 * i] = to_word(as_signed(bands.low[i]) - ((d0 + d1 + 2) >> 2));
+  }
+  // Undo predict: x[2i+1] = d[i] + floor((x[2i] + x[2i+2]) / 2)
+  // Note the even samples are fully reconstructed first, so the
+  // extension of x here matches the forward pass exactly.
+  for (std::size_t i = 0; i < half; ++i) {
+    std::int32_t next_even;
+    if (2 * i + 2 < x.size()) {
+      next_even = as_signed(x[2 * i + 2]);
+    } else if (boundary == Boundary::kZero) {
+      next_even = 0;
+    } else {
+      // Symmetric extension of the full-length signal: x[N] == x[N-2].
+      next_even = as_signed(x[2 * i]);
+    }
+    x[2 * i + 1] =
+        to_word(as_signed(bands.high[i]) +
+                ((as_signed(x[2 * i]) + next_even) >> 1));
+  }
+  return x;
+}
+
+namespace {
+
+std::vector<Word> image_row(const Image& img, std::size_t y) {
+  std::vector<Word> row(img.width());
+  for (std::size_t x = 0; x < img.width(); ++x) row[x] = img.at(x, y);
+  return row;
+}
+
+std::vector<Word> image_col(const Image& img, std::size_t x) {
+  std::vector<Word> col(img.height());
+  for (std::size_t y = 0; y < img.height(); ++y) col[y] = img.at(x, y);
+  return col;
+}
+
+}  // namespace
+
+Subbands2D dwt53_forward_2d(const Image& img, Boundary boundary) {
+  check(img.width() % 2 == 0 && img.height() % 2 == 0,
+        "dwt53_forward_2d: even dimensions required");
+  const std::size_t hw = img.width() / 2;
+  const std::size_t hh = img.height() / 2;
+
+  // Row pass: produces L and H half-width planes.
+  Image low_plane(hw, img.height());
+  Image high_plane(hw, img.height());
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    const Subbands b = dwt53_forward(image_row(img, y), boundary);
+    for (std::size_t x = 0; x < hw; ++x) {
+      low_plane.at(x, y) = b.low[x];
+      high_plane.at(x, y) = b.high[x];
+    }
+  }
+
+  // Column pass on each plane.
+  Subbands2D out{Image(hw, hh), Image(hw, hh), Image(hw, hh),
+                 Image(hw, hh)};
+  for (std::size_t x = 0; x < hw; ++x) {
+    const Subbands bl = dwt53_forward(image_col(low_plane, x), boundary);
+    const Subbands bh = dwt53_forward(image_col(high_plane, x), boundary);
+    for (std::size_t y = 0; y < hh; ++y) {
+      out.ll.at(x, y) = bl.low[y];
+      out.lh.at(x, y) = bl.high[y];
+      out.hl.at(x, y) = bh.low[y];
+      out.hh.at(x, y) = bh.high[y];
+    }
+  }
+  return out;
+}
+
+Image dwt53_inverse_2d(const Subbands2D& bands, Boundary boundary) {
+  const std::size_t hw = bands.ll.width();
+  const std::size_t hh = bands.ll.height();
+  check(bands.hl.width() == hw && bands.lh.width() == hw &&
+            bands.hh.width() == hw && bands.hl.height() == hh &&
+            bands.lh.height() == hh && bands.hh.height() == hh,
+        "dwt53_inverse_2d: subband shape mismatch");
+
+  // Undo the column pass.
+  Image low_plane(hw, 2 * hh);
+  Image high_plane(hw, 2 * hh);
+  for (std::size_t x = 0; x < hw; ++x) {
+    Subbands bl{image_col(bands.ll, x), image_col(bands.lh, x)};
+    Subbands bh{image_col(bands.hl, x), image_col(bands.hh, x)};
+    const auto lcol = dwt53_inverse(bl, boundary);
+    const auto hcol = dwt53_inverse(bh, boundary);
+    for (std::size_t y = 0; y < 2 * hh; ++y) {
+      low_plane.at(x, y) = lcol[y];
+      high_plane.at(x, y) = hcol[y];
+    }
+  }
+
+  // Undo the row pass.
+  Image img(2 * hw, 2 * hh);
+  for (std::size_t y = 0; y < 2 * hh; ++y) {
+    Subbands b{image_row(low_plane, y), image_row(high_plane, y)};
+    const auto row = dwt53_inverse(b, boundary);
+    for (std::size_t x = 0; x < 2 * hw; ++x) img.at(x, y) = row[x];
+  }
+  return img;
+}
+
+std::vector<Subbands2D> dwt53_pyramid(const Image& img, int levels,
+                                      Boundary boundary) {
+  check(levels >= 1, "dwt53_pyramid: levels must be >= 1");
+  std::vector<Subbands2D> pyramid;
+  Image current = img;
+  for (int l = 0; l < levels; ++l) {
+    pyramid.push_back(dwt53_forward_2d(current, boundary));
+    current = pyramid.back().ll;
+  }
+  return pyramid;
+}
+
+Image dwt53_pyramid_inverse(const std::vector<Subbands2D>& pyramid,
+                            Boundary boundary) {
+  check(!pyramid.empty(), "dwt53_pyramid_inverse: empty pyramid");
+  Image current = dwt53_inverse_2d(pyramid.back(), boundary);
+  for (auto it = pyramid.rbegin() + 1; it != pyramid.rend(); ++it) {
+    Subbands2D level = *it;
+    level.ll = current;
+    current = dwt53_inverse_2d(level, boundary);
+  }
+  return current;
+}
+
+}  // namespace sring::dsp

@@ -1,0 +1,68 @@
+// Golden-model 5/3 lifting-scheme wavelet transform (paper §5.1,
+// Table 2: "our implementation uses the lifting scheme algorithm and
+// operates a 2D direct transform on a 1024x768 pixels 16 bits coded
+// image; one pixel sample is computed each clock cycle").
+//
+// Reversible integer 5/3 (LeGall) lifting:
+//   d[i] = x[2i+1] - floor((x[2i] + x[2i+2]) / 2)
+//   s[i] = x[2i]   + floor((d[i-1] + d[i] + 2) / 4)
+//
+// Two boundary policies: kZero extends the signal with zeros (this is
+// what the streaming ring kernel produces) and kSymmetric is the
+// JPEG2000 whole-sample symmetric extension.  Both are perfectly
+// reconstructible by the matching inverse.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/image.hpp"
+#include "common/types.hpp"
+
+namespace sring::dsp {
+
+enum class Boundary {
+  kZero,       ///< x outside [0, N) reads 0 (streaming semantics)
+  kSymmetric,  ///< whole-sample symmetric extension (JPEG2000)
+};
+
+/// One level of 1-D analysis output: `low` = s (approximation),
+/// `high` = d (detail); each N/2 samples for an even-length input.
+struct Subbands {
+  std::vector<Word> low;
+  std::vector<Word> high;
+
+  bool operator==(const Subbands&) const = default;
+};
+
+/// Forward 1-D 5/3 transform of an even-length signal.
+Subbands dwt53_forward(std::span<const Word> x,
+                       Boundary boundary = Boundary::kZero);
+
+/// Inverse 1-D transform; exact reconstruction for matching boundary.
+std::vector<Word> dwt53_inverse(const Subbands& bands,
+                                Boundary boundary = Boundary::kZero);
+
+/// One level of separable 2-D analysis (rows then columns).
+struct Subbands2D {
+  Image ll, hl, lh, hh;
+
+  bool operator==(const Subbands2D&) const = default;
+};
+
+Subbands2D dwt53_forward_2d(const Image& img,
+                            Boundary boundary = Boundary::kZero);
+
+Image dwt53_inverse_2d(const Subbands2D& bands,
+                       Boundary boundary = Boundary::kZero);
+
+/// Multi-level 2-D pyramid: level k re-decomposes the previous LL.
+/// Returns levels[0] = finest.  `levels` must be >= 1 and each LL must
+/// stay even-sized.
+std::vector<Subbands2D> dwt53_pyramid(const Image& img, int levels,
+                                      Boundary boundary = Boundary::kZero);
+
+Image dwt53_pyramid_inverse(const std::vector<Subbands2D>& pyramid,
+                            Boundary boundary = Boundary::kZero);
+
+}  // namespace sring::dsp

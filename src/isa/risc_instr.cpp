@@ -1,0 +1,235 @@
+#include "isa/risc_instr.hpp"
+
+#include <array>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace sring {
+
+namespace {
+
+constexpr std::array<std::string_view,
+                     static_cast<std::size_t>(RiscOp::kOpCount)>
+    kNames = {"nop",   "halt",  "ldi",    "ldih",   "mov",    "add",
+              "sub",   "mul",   "and",    "or",     "xor",    "shl",
+              "shr",   "asr",   "addi",   "beq",    "bne",    "blt",
+              "bge",   "jmp",   "wrcfg",  "wrmode", "wrloc",  "wrsw",
+              "page",  "pager", "busw",   "rdbus",  "inpop",  "outpush",
+              "incnt", "outcnt", "rdcyc", "wait"};
+
+}  // namespace
+
+namespace {
+
+/// Which operand fields a format carries.
+struct FieldUse {
+  bool rd = false;
+  bool ra = false;
+  bool rb = false;
+  bool imm = false;
+};
+
+FieldUse fields_of(RiscFormat format) {
+  switch (format) {
+    case RiscFormat::kNone:
+      return {};
+    case RiscFormat::kRdImm:
+      return {true, false, false, true};
+    case RiscFormat::kRdRa:
+      return {true, true, false, false};
+    case RiscFormat::kRdRaRb:
+      return {true, true, true, false};
+    case RiscFormat::kRdRaImm:
+      return {true, true, false, true};
+    case RiscFormat::kRaRbImm:
+      return {false, true, true, true};
+    case RiscFormat::kImm:
+      return {false, false, false, true};
+    case RiscFormat::kRa:
+      return {false, true, false, false};
+    case RiscFormat::kRd:
+      return {true, false, false, false};
+    case RiscFormat::kRaRb:
+      return {false, true, true, false};
+  }
+  return {};
+}
+
+constexpr unsigned kSlotA = 22;  // first register slot
+constexpr unsigned kSlotB = 18;  // second register slot
+constexpr unsigned kSlotC = 14;  // third register slot
+
+}  // namespace
+
+std::uint32_t RiscInstr::encode() const {
+  check(static_cast<unsigned>(op) <
+            static_cast<unsigned>(RiscOp::kOpCount),
+        "RiscInstr::encode: bad opcode");
+  check(rd < kRiscRegCount && ra < kRiscRegCount && rb < kRiscRegCount,
+        "RiscInstr::encode: register index out of range");
+  const FieldUse use = fields_of(format_of(op));
+  if (use.imm) {
+    check(fits_signed(imm, 16) ||
+              fits_unsigned(static_cast<std::uint64_t>(imm), 16),
+          "RiscInstr::encode: immediate does not fit in 16 bits");
+  }
+  std::uint64_t w = 0;
+  w = deposit_bits(w, 26, 6, static_cast<std::uint64_t>(op));
+  // Registers fill slots A, B, C in rd, ra, rb order (present ones).
+  unsigned slot = kSlotA;
+  const auto place = [&](std::uint8_t reg) {
+    w = deposit_bits(w, slot, 4, reg);
+    slot -= 4;
+  };
+  if (use.rd) place(rd);
+  if (use.ra) place(ra);
+  if (use.rb) place(rb);
+  if (use.imm) {
+    w = deposit_bits(w, 0, 16, static_cast<std::uint64_t>(imm) & 0xFFFFu);
+  }
+  return static_cast<std::uint32_t>(w);
+}
+
+RiscInstr RiscInstr::decode(std::uint32_t word) {
+  RiscInstr instr;
+  const auto op = extract_bits(word, 26, 6);
+  check(op < static_cast<std::uint64_t>(RiscOp::kOpCount),
+        "RiscInstr::decode: bad opcode field");
+  instr.op = static_cast<RiscOp>(op);
+  const FieldUse use = fields_of(format_of(instr.op));
+  unsigned slot = kSlotA;
+  const auto fetch = [&]() {
+    const auto reg = static_cast<std::uint8_t>(extract_bits(word, slot, 4));
+    slot -= 4;
+    return reg;
+  };
+  if (use.rd) instr.rd = fetch();
+  if (use.ra) instr.ra = fetch();
+  if (use.rb) instr.rb = fetch();
+  if (use.imm) {
+    // PAGE and WAIT treat the immediate as an unsigned count;
+    // everything else sign-extends.
+    if (instr.op == RiscOp::kPage || instr.op == RiscOp::kWait) {
+      instr.imm = static_cast<std::int32_t>(extract_bits(word, 0, 16));
+    } else {
+      instr.imm = static_cast<std::int32_t>(sign_extend(word, 16));
+    }
+  }
+  return instr;
+}
+
+RiscFormat format_of(RiscOp op) noexcept {
+  switch (op) {
+    case RiscOp::kNop:
+    case RiscOp::kHalt:
+      return RiscFormat::kNone;
+    case RiscOp::kLdi:
+    case RiscOp::kLdih:
+      return RiscFormat::kRdImm;
+    case RiscOp::kMov:
+      return RiscFormat::kRdRa;
+    case RiscOp::kAdd:
+    case RiscOp::kSub:
+    case RiscOp::kMul:
+    case RiscOp::kAnd:
+    case RiscOp::kOr:
+    case RiscOp::kXor:
+    case RiscOp::kShl:
+    case RiscOp::kShr:
+    case RiscOp::kAsr:
+      return RiscFormat::kRdRaRb;
+    case RiscOp::kAddi:
+      return RiscFormat::kRdRaImm;
+    case RiscOp::kBeq:
+    case RiscOp::kBne:
+    case RiscOp::kBlt:
+    case RiscOp::kBge:
+      return RiscFormat::kRaRbImm;
+    case RiscOp::kJmp:
+    case RiscOp::kPage:
+    case RiscOp::kWait:
+      return RiscFormat::kImm;
+    case RiscOp::kPager:
+    case RiscOp::kBusw:
+    case RiscOp::kOutpush:
+      return RiscFormat::kRa;
+    case RiscOp::kRdbus:
+    case RiscOp::kInpop:
+    case RiscOp::kIncnt:
+    case RiscOp::kOutcnt:
+    case RiscOp::kRdcyc:
+      return RiscFormat::kRd;
+    case RiscOp::kWrcfg:
+    case RiscOp::kWrmode:
+    case RiscOp::kWrloc:
+    case RiscOp::kWrsw:
+      return RiscFormat::kRaRb;
+    case RiscOp::kOpCount:
+      break;
+  }
+  return RiscFormat::kNone;
+}
+
+bool is_branch(RiscOp op) noexcept {
+  switch (op) {
+    case RiscOp::kBeq:
+    case RiscOp::kBne:
+    case RiscOp::kBlt:
+    case RiscOp::kBge:
+    case RiscOp::kJmp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view to_mnemonic(RiscOp op) noexcept {
+  return kNames[static_cast<std::size_t>(op)];
+}
+
+std::optional<RiscOp> parse_risc_op(std::string_view text) noexcept {
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (kNames[i] == text) return static_cast<RiscOp>(i);
+  }
+  return std::nullopt;
+}
+
+std::string RiscInstr::to_string() const {
+  std::string s{to_mnemonic(op)};
+  const auto reg = [](std::uint8_t r) { return "r" + std::to_string(r); };
+  switch (format_of(op)) {
+    case RiscFormat::kNone:
+      break;
+    case RiscFormat::kRdImm:
+      s += ' ' + reg(rd) + ", " + std::to_string(imm);
+      break;
+    case RiscFormat::kRdRa:
+      s += ' ' + reg(rd) + ", " + reg(ra);
+      break;
+    case RiscFormat::kRdRaRb:
+      s += ' ' + reg(rd) + ", " + reg(ra) + ", " + reg(rb);
+      break;
+    case RiscFormat::kRdRaImm:
+      s += ' ' + reg(rd) + ", " + reg(ra) + ", " + std::to_string(imm);
+      break;
+    case RiscFormat::kRaRbImm:
+      s += ' ' + reg(ra) + ", " + reg(rb) + ", " + std::to_string(imm);
+      break;
+    case RiscFormat::kImm:
+      s += ' ' + std::to_string(imm);
+      break;
+    case RiscFormat::kRa:
+      s += ' ' + reg(ra);
+      break;
+    case RiscFormat::kRd:
+      s += ' ' + reg(rd);
+      break;
+    case RiscFormat::kRaRb:
+      s += ' ' + reg(ra) + ", " + reg(rb);
+      break;
+  }
+  return s;
+}
+
+}  // namespace sring

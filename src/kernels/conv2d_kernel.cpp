@@ -1,0 +1,91 @@
+#include "kernels/conv2d_kernel.hpp"
+
+#include "common/error.hpp"
+
+namespace sring::kernels {
+
+mapper::Dfg make_conv3x3_dfg(const dsp::Kernel3x3& k) {
+  using mapper::Dfg;
+  using mapper::DfgOp;
+  using mapper::NodeId;
+
+  Dfg g;
+  const std::array<NodeId, 3> rows = {
+      g.add_input("top"), g.add_input("mid"), g.add_input("bot")};
+
+  // Horizontal tap i of row j: k[j][i] * z^-(2-i)(row_j).  The newest
+  // stream sample is the rightmost image column of the window.
+  std::vector<NodeId> terms;
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (k[j][i] == 0) continue;  // dead taps cost nothing
+      NodeId x = rows[j];
+      if (i < 2) x = g.add_delay(x, 2 - static_cast<unsigned>(i));
+      if (k[j][i] == 1) {
+        // Unit taps need no multiplier; a delay cannot feed an adder
+        // port count... it can: delays are edge annotations.
+        terms.push_back(x);
+      } else {
+        terms.push_back(g.add_binary(DfgOp::kMul, x, g.add_const(k[j][i])));
+      }
+    }
+  }
+  check(!terms.empty(), "make_conv3x3_dfg: all-zero kernel");
+
+  // Balanced adder tree (depth log2 of the term count; MAC fusion
+  // folds one product into each add).
+  std::vector<NodeId> level = terms;
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t t = 0; t + 1 < level.size(); t += 2) {
+      next.push_back(g.add_binary(DfgOp::kAdd, level[t], level[t + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  NodeId acc = level[0];
+  if (terms.size() == 1) {
+    acc = g.add_unary(DfgOp::kPass, acc);  // outputs need a Dnode
+  }
+  g.mark_output(acc, "conv");
+  return g;
+}
+
+Conv2dResult run_conv2d_3x3(const RingGeometry& g, const Image& img,
+                            const dsp::Kernel3x3& k) {
+  const auto dfg = make_conv3x3_dfg(k);
+  const auto mapped = mapper::map_dfg(dfg, g);
+
+  const std::size_t w = img.width();
+  Conv2dResult result;
+  result.output = Image(w, img.height());
+  result.dnodes_used = mapped.dnodes_used;
+
+  // Stream g[m] = clamped column (m-1): the taps at stream index n see
+  // columns (n-3, n-2, n-1), i.e. the window centered on column n-2,
+  // with both borders clamped inside the feed itself; output column c
+  // arrives at stream index c+2.
+  const auto row_stream = [&](std::ptrdiff_t y) {
+    std::vector<Word> s(w + 2);
+    for (std::size_t m = 0; m < w + 2; ++m) {
+      s[m] = img.at_clamped(static_cast<std::ptrdiff_t>(m) - 1, y);
+    }
+    return s;
+  };
+
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    const auto run = mapper::run_mapped(
+        mapped, {row_stream(static_cast<std::ptrdiff_t>(y) - 1),
+                 row_stream(static_cast<std::ptrdiff_t>(y)),
+                 row_stream(static_cast<std::ptrdiff_t>(y) + 1)});
+    result.total_cycles += run.stats.cycles;
+    for (std::size_t x = 0; x < w; ++x) {
+      result.output.at(x, y) = run.outputs[0][x + 2];
+    }
+  }
+  result.cycles_per_pixel = static_cast<double>(result.total_cycles) /
+                            static_cast<double>(w * img.height());
+  return result;
+}
+
+}  // namespace sring::kernels

@@ -1,0 +1,29 @@
+// 3x3 2-D convolution on the ring, composed entirely by the §6
+// compiler: the filter is described as a dataflow graph (three row
+// streams, horizontal taps as z^-k delays, vertical taps as separate
+// inputs) and map_dfg places it — MAC fusion collapses the
+// multiply/add pairs, the feedback pipelines provide the tap delays.
+#pragma once
+
+#include "dsp/conv2d.hpp"
+#include "mapper/mapper.hpp"
+
+namespace sring::kernels {
+
+/// Build the convolution DFG (inputs: top, mid, bot row streams; one
+/// output).  Zero coefficients are skipped at construction.
+mapper::Dfg make_conv3x3_dfg(const dsp::Kernel3x3& k);
+
+struct Conv2dResult {
+  Image output;
+  std::uint64_t total_cycles = 0;
+  double cycles_per_pixel = 0.0;
+  std::size_t dnodes_used = 0;
+};
+
+/// Convolve an image row by row; bit-exact vs
+/// dsp::conv2d_3x3_reference (border-clamped).
+Conv2dResult run_conv2d_3x3(const RingGeometry& g, const Image& img,
+                            const dsp::Kernel3x3& k);
+
+}  // namespace sring::kernels

@@ -1,0 +1,44 @@
+// CORDIC sine/cosine macro-operator on the ring — the paper's §6
+// "trigonometric op." mapped onto three cooperating Dnodes:
+//
+//   X (layer 0), Y (layer 1): hold the rotating vector; each reads the
+//   other's output register through the feedback pipelines.
+//   Z (layer 2): holds the residual angle and broadcasts the rotation
+//   direction (+1/-1) over the shared bus each iteration.
+//
+// The configuration controller sequences one page chain per iteration
+// (shift, sign, direction broadcast, coupled update) — per-cycle
+// reconfiguration in the paper's "hardware multiplexing" sense; the
+// angle stream must be pre-filled (controller-timed schedule).
+//
+// Q12 fixed point; bit-exact against dsp::cordic_rotate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/cordic.hpp"
+#include "sim/program.hpp"
+#include "sim/stats.hpp"
+
+namespace sring::kernels {
+
+/// Build the engine (needs >= 3 layers) for `samples` angles.
+LoadableProgram make_cordic_program(const RingGeometry& g,
+                                    std::size_t samples,
+                                    unsigned iterations =
+                                        dsp::kCordicIterations);
+
+struct CordicKernelResult {
+  std::vector<dsp::CordicResult> outputs;
+  SystemStats stats;
+  double cycles_per_sample = 0.0;
+};
+
+/// Rotate every angle of the stream; returns (cos, sin) pairs in Q12.
+CordicKernelResult run_cordic(const RingGeometry& g,
+                              std::span<const Word> thetas_q12,
+                              unsigned iterations =
+                                  dsp::kCordicIterations);
+
+}  // namespace sring::kernels

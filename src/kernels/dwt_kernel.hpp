@@ -1,0 +1,77 @@
+// 5/3 lifting-scheme wavelet kernel (paper §5.1, Table 2).
+//
+// A fully spatial pipeline over 8 layers x 2 lanes (11 of 16 Dnodes —
+// the paper's "25% of the Ring structure remains free"):
+//
+//   L0  e/o split from the host stream (2 pops/cycle = 1 pixel pair)
+//   L1  e[i-1]+e[i] (feedback tap) and o re-align
+//   L2  >>1 (predict half-sum)            L3  d = o - halfsum  -> host
+//   L4  d[i-1]+d[i] (feedback tap)        L5  +2
+//   L6  >>2 (update term)                 L7  s = e + update   -> host
+//
+// One pixel sample is consumed per clock cycle (the paper's Table 2
+// throughput claim); the d and s streams come back interleaved, two
+// words per cycle, with fixed pipeline latencies of 4 and 8 cycles.
+// Zero-history streaming corresponds exactly to
+// dsp::dwt53_forward(..., Boundary::kZero).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/image.hpp"
+#include "dsp/wavelet.hpp"
+#include "sim/program.hpp"
+#include "sim/stats.hpp"
+
+namespace sring::kernels {
+
+/// Build the 1-D analysis pipeline program (needs 8 layers, 2 lanes).
+LoadableProgram make_dwt53_program(const RingGeometry& g);
+
+struct DwtResult {
+  dsp::Subbands bands;
+  SystemStats stats;
+  double cycles_per_sample = 0.0;  ///< cycles per input pixel
+};
+
+/// Forward 1-D 5/3 transform of an even-length signal on the ring.
+DwtResult run_dwt53(const RingGeometry& g, std::span<const Word> x);
+
+struct Dwt2DResult {
+  dsp::Subbands2D bands;
+  std::uint64_t total_cycles = 0;   ///< sum over all row/column passes
+  double cycles_per_sample = 0.0;   ///< per pixel of the input image
+};
+
+/// Separable 2-D transform: every row and then every column is pushed
+/// through a fresh ring pipeline (per-line restart = zero-extension
+/// boundary, matching dsp::dwt53_forward_2d with Boundary::kZero).
+Dwt2DResult run_dwt53_2d(const RingGeometry& g, const Image& img);
+
+/// Multi-level decomposition (JPEG2000-style pyramid): level k
+/// re-decomposes the previous LL on the ring.  Matches
+/// dsp::dwt53_pyramid with Boundary::kZero.
+struct DwtPyramidResult {
+  std::vector<dsp::Subbands2D> levels;
+  std::uint64_t total_cycles = 0;
+};
+DwtPyramidResult run_dwt53_pyramid(const RingGeometry& g, const Image& img,
+                                   int levels);
+
+/// Build the inverse (synthesis) pipeline: feeds (s_i, d_i) pairs,
+/// emits (x[2i], x[2i+1]) — also one pixel sample per cycle, on the
+/// same 8x2 ring.
+LoadableProgram make_idwt53_program(const RingGeometry& g);
+
+/// Inverse 1-D transform on the ring; bit-exact against
+/// dsp::dwt53_inverse(..., Boundary::kZero), hence a ring
+/// forward+inverse round trip is the identity.
+struct IdwtResult {
+  std::vector<Word> signal;
+  SystemStats stats;
+  double cycles_per_sample = 0.0;
+};
+IdwtResult run_idwt53(const RingGeometry& g, const dsp::Subbands& bands);
+
+}  // namespace sring::kernels

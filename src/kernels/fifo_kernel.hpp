@@ -1,0 +1,49 @@
+// FIFO emulation kernel (paper §4.1: in local mode a Dnode computes
+// "MAC, serial digital filters, FIFO emulation without RISC controller
+// overheading").
+//
+// A producer Dnode streams host words; a consumer Dnode reads the
+// stream through a feedback pipeline at depth d and forwards it to the
+// host.  The pair emulates a FIFO of depth d+2: one output register
+// plus d+1 pipeline stages.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/program.hpp"
+#include "sim/stats.hpp"
+
+namespace sring::kernels {
+
+/// Build the FIFO program for delay-stage count `depth` (0-based
+/// feedback depth; total emulated FIFO latency is depth+2 cycles).
+LoadableProgram make_fifo_program(const RingGeometry& g,
+                                  std::size_t depth);
+
+struct FifoResult {
+  std::vector<Word> outputs;  ///< same words, delayed by depth+2 slots
+  SystemStats stats;
+};
+
+/// Push `x` through the emulated FIFO; the returned stream equals
+/// (depth+2) zeros followed by x.
+FifoResult run_fifo(const RingGeometry& g, std::span<const Word> x,
+                    std::size_t depth);
+
+/// LIFO emulation (the other half of the paper's "FIFOs & LIFOs"
+/// macro-operators): blocks of `block` samples (2..8) come back
+/// reversed.  A writer Dnode streams the block into its output
+/// register history; per-cycle configuration pages then read the
+/// feedback pipeline at graduated depths (d = 2k-1) to emit the block
+/// backwards.  Controller-timed: pre-filled input required.
+LoadableProgram make_lifo_program(const RingGeometry& g, std::size_t block,
+                                  std::size_t blocks);
+
+/// Reverse every `block`-sized chunk of x (x.size() divisible by
+/// block).
+FifoResult run_lifo(const RingGeometry& g, std::span<const Word> x,
+                    std::size_t block);
+
+}  // namespace sring::kernels

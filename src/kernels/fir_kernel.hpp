@@ -1,0 +1,71 @@
+// FIR filter kernels — three implementations of the same filter that
+// together reproduce the paper's configuration-architecture argument
+// (§4, §6):
+//
+//  * Spatial (systolic): one tap per Dnode pair, new sample every
+//    cycle.  Uses T+1 layers x 2 lanes; the feedback pipelines slow the
+//    x stream by one extra cycle per stage (the classic systolic FIR
+//    retiming), partial sums ride the forward dataflow.
+//
+//  * Resource-shared, page-multiplexed: ONE multiplier computes all T
+//    taps sequentially; the configuration controller swaps a full
+//    configuration page every cycle (PAGE), changing both the MAC
+//    instruction and the switch routing per phase.  T+4 cycles/sample.
+//    This is the paper's "hardware multiplexing" enabled by the
+//    dedicated configuration instruction set.
+//
+//  * Resource-shared, word-by-word (naive): same dataflow, but the
+//    controller rewrites configuration words with WRCFG/WRSW instead
+//    of pages — the baseline the paper's dual-layer scheme is designed
+//    to beat.  ~10x more cycles per sample.
+//
+// Both resource-shared variants assume the input FIFO is pre-filled
+// (the fig. 6 prototype's IMAGE memory): their schedules are
+// controller-timed and do not tolerate input underflow.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/host_interface.hpp"
+#include "sim/program.hpp"
+#include "sim/stats.hpp"
+
+namespace sring::kernels {
+
+/// Spatial systolic FIR: needs g.layers >= taps+1 and g.lanes >= 2.
+LoadableProgram make_spatial_fir_program(const RingGeometry& g,
+                                         std::span<const Word> coeffs);
+
+/// Page-multiplexed serial FIR: needs g.layers >= taps+1.
+LoadableProgram make_paged_serial_fir_program(const RingGeometry& g,
+                                              std::span<const Word> coeffs,
+                                              std::size_t samples);
+
+/// Word-by-word serial FIR (naive reconfiguration baseline).
+LoadableProgram make_wordwise_serial_fir_program(
+    const RingGeometry& g, std::span<const Word> coeffs,
+    std::size_t samples);
+
+struct FirResult {
+  std::vector<Word> outputs;  ///< y[n] for every input sample
+  SystemStats stats;
+  double cycles_per_sample = 0.0;
+};
+
+/// Run the spatial FIR over `x`; bit-exact vs dsp::fir_reference.
+FirResult run_spatial_fir(const RingGeometry& g, std::span<const Word> x,
+                          std::span<const Word> coeffs,
+                          LinkRate link = LinkRate::unlimited());
+
+/// Run the page-multiplexed serial FIR (pre-filled input).
+FirResult run_paged_serial_fir(const RingGeometry& g,
+                               std::span<const Word> x,
+                               std::span<const Word> coeffs);
+
+/// Run the naive word-by-word serial FIR (pre-filled input).
+FirResult run_wordwise_serial_fir(const RingGeometry& g,
+                                  std::span<const Word> x,
+                                  std::span<const Word> coeffs);
+
+}  // namespace sring::kernels

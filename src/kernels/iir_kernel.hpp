@@ -1,0 +1,58 @@
+// Recursive (IIR) filter kernel — the paper's showcase for the
+// feedback pipelines ("the required delays on recursive branch are
+// automatically achieved in them", §4.2).
+//
+// y[n] = x[n] + a * y[n-1], computed by a single local-mode Dnode that
+// reads its own previous output through the feedback pipeline of the
+// downstream switch.  The recurrence closes in two cycles (output
+// register + pipeline latch), so throughput is one sample per two
+// cycles — the structural recursion bound of any systolic realization.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/host_interface.hpp"
+#include "sim/program.hpp"
+#include "sim/stats.hpp"
+
+namespace sring::kernels {
+
+/// Build the first-order IIR program (uses Dnode 0.0; needs layers>=2).
+LoadableProgram make_iir1_program(const RingGeometry& g, Word a);
+
+struct IirResult {
+  std::vector<Word> outputs;
+  SystemStats stats;
+  double cycles_per_sample = 0.0;
+};
+
+/// Run y[n] = x[n] + a*y[n-1] over `x`; bit-exact vs
+/// dsp::iir1_reference.
+IirResult run_iir1(const RingGeometry& g, std::span<const Word> x, Word a,
+                   LinkRate link = LinkRate::unlimited());
+
+/// Second-order recursive section y[n] = b0 x[n] + a1 y[n-1] +
+/// a2 y[n-2], built from two half-rate Dnodes: the first folds
+/// b0 x[n] and a2 y[n-2] (read at feedback depth 0 from the output
+/// Dnode's pipeline image), the second adds a1 y[n-1] and emits.
+/// Needs layers >= 3.  Bit-exact vs dsp::biquad_reference with
+/// b1 = b2 = 0.
+LoadableProgram make_iir2_program(const RingGeometry& g, Word b0, Word a1,
+                                  Word a2);
+
+IirResult run_iir2(const RingGeometry& g, std::span<const Word> x, Word b0,
+                   Word a1, Word a2);
+
+/// Full direct-form-I biquad as a two-kernel cascade: the spatial FIR
+/// computes w[n] = b0 x[n] + b1 x[n-1] + b2 x[n-2], then the recursive
+/// section computes y[n] = w[n] + a1 y[n-1] + a2 y[n-2].  Because all
+/// arithmetic is mod-2^16, the cascade is bit-exact against
+/// dsp::biquad_reference.  Statistics are summed over both passes.
+struct BiquadKernelCoeffs {
+  Word b0 = 0, b1 = 0, b2 = 0, a1 = 0, a2 = 0;
+};
+IirResult run_biquad_cascade(const RingGeometry& g, std::span<const Word> x,
+                             const BiquadKernelCoeffs& c);
+
+}  // namespace sring::kernels

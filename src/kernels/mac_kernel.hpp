@@ -1,0 +1,32 @@
+// Running-MAC / dot-product kernel.
+//
+// One Dnode in local (stand-alone) mode executes a single-instruction
+// microprogram `mac r0, in1, in2, r0` on host word pairs and streams
+// every partial sum back — the paper's flagship single-cycle MAC
+// macro-operator (§4.1) with zero controller overhead after boot.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/program.hpp"
+#include "sim/stats.hpp"
+#include "sim/host_interface.hpp"
+
+namespace sring::kernels {
+
+/// Build the program for any geometry (uses Dnode 0.0).
+LoadableProgram make_running_mac_program(const RingGeometry& g);
+
+struct MacResult {
+  std::vector<Word> partial_sums;  ///< one per input pair
+  SystemStats stats;
+};
+
+/// Run a dot product of `a` x `b` on a fresh system; returns all
+/// partial sums (the last one is the dot product) and run statistics.
+MacResult run_running_mac(const RingGeometry& g, std::span<const Word> a,
+                          std::span<const Word> b,
+                          LinkRate link = LinkRate::unlimited());
+
+}  // namespace sring::kernels

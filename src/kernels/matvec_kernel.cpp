@@ -1,0 +1,76 @@
+#include "kernels/matvec_kernel.hpp"
+
+#include "asm/program_builder.hpp"
+#include "common/error.hpp"
+#include "sim/system.hpp"
+
+namespace sring::kernels {
+
+LoadableProgram make_matvec8_program(const RingGeometry& g,
+                                     const dsp::Matrix8& m,
+                                     std::size_t blocks) {
+  check(g.dnode_count() >= dsp::kMatvecN,
+        "matvec8: needs at least 8 Dnodes");
+  check(blocks >= 1, "matvec8: at least one block");
+  ProgramBuilder pb(g, "block_matvec8");
+
+  // Page 0: idle.
+  const std::size_t page_idle = pb.add_page(PageBuilder(g));
+
+  // Pages 1..8: element j — every unit MACs its row coefficient with
+  // the bus value.
+  for (std::size_t j = 0; j < dsp::kMatvecN; ++j) {
+    PageBuilder page(g);
+    for (std::size_t k = 0; k < dsp::kMatvecN; ++k) {
+      DnodeInstr mac;
+      mac.op = DnodeOp::kMac;
+      mac.src_a = DnodeSrc::kBus;
+      mac.src_b = DnodeSrc::kImm;
+      mac.src_c = j == 0 ? DnodeSrc::kZero : DnodeSrc::kR0;
+      mac.imm = m[k][j];
+      mac.dst = DnodeDst::kR0;
+      mac.host_en = j == dsp::kMatvecN - 1;
+      page.instr(k / g.lanes, k % g.lanes, mac);
+    }
+    pb.add_page(page);
+  }
+
+  // Controller: per block, 4 cycles per element (pop, broadcast,
+  // pulse the element page, back to idle).
+  pb.set_reg(1, blocks);
+  pb.ldi(2, 0);
+  pb.label("block");
+  for (std::size_t j = 0; j < dsp::kMatvecN; ++j) {
+    pb.inpop(3);
+    pb.busw(3);
+    pb.page_switch(1 + j);
+    pb.page_switch(page_idle);
+  }
+  pb.addi(1, 1, -1);
+  pb.branch(RiscOp::kBne, 1, 2, "block");
+  pb.halt();
+  return pb.build();
+}
+
+MatvecResult run_block_matvec8(const RingGeometry& g, const dsp::Matrix8& m,
+                               std::span<const Word> x) {
+  check(x.size() % dsp::kMatvecN == 0 && !x.empty(),
+        "run_block_matvec8: length must be a positive multiple of 8");
+  const std::size_t blocks = x.size() / dsp::kMatvecN;
+
+  System sys({g});
+  sys.load(make_matvec8_program(g, m, blocks));
+  sys.host().send(std::vector<Word>(x.begin(), x.end()));
+  sys.run_until_halt(64 + 40 * x.size(), /*drain_cycles=*/2);
+
+  MatvecResult result;
+  result.outputs = sys.host().take_received();
+  check(result.outputs.size() == blocks * dsp::kMatvecN,
+        "run_block_matvec8: unexpected output count");
+  result.stats = sys.stats();
+  result.cycles_per_block = static_cast<double>(result.stats.cycles) /
+                            static_cast<double>(blocks);
+  return result;
+}
+
+}  // namespace sring::kernels

@@ -1,0 +1,49 @@
+// Full-search block-matching motion estimation on the Ring (paper
+// §5.1, Table 1: "the number of cycles needed for matching a 8x8
+// reference block against its search area of 8 pixels displacement").
+//
+// Mapping: every layer is one SAD unit — lane 0 computes |ref - cand|
+// on a host pixel-pair stream, lane 1 accumulates.  All units process
+// one candidate position each per 64-cycle batch; the configuration
+// controller then swaps an EMIT page (one cycle: each unit streams its
+// final SAD, folding in the in-flight |ref-cand| so no drain bubble is
+// needed) and a RESET page (one cycle), and loops.  With L layers, a
+// batch covers L candidates in 64 + 4 cycles plus loop upkeep.
+//
+// Host bandwidth while a batch runs is 2 words per unit per cycle —
+// exactly the paper's "Dnode count x 2 bytes/cycle" peak figure.  The
+// schedule is controller-timed, so the input FIFO must be pre-filled
+// (the prototype's on-board IMAGE memory, fig. 6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/image.hpp"
+#include "dsp/sad.hpp"
+#include "sim/program.hpp"
+#include "sim/stats.hpp"
+
+namespace sring::kernels {
+
+/// Build the SAD-engine program.  Needs lanes >= 2; every layer is a
+/// unit.  `batches` = number of 64-cycle candidate batches to run.
+LoadableProgram make_sad_engine_program(const RingGeometry& g,
+                                        std::size_t block_pixels,
+                                        std::size_t batches);
+
+struct MotionEstimationResult {
+  std::vector<std::uint32_t> sads;  ///< per candidate, (dy,dx) row-major
+  dsp::MotionVector best;           ///< arg-min with first-wins ties
+  SystemStats stats;
+  std::uint64_t cycles = 0;         ///< total cycles for the block match
+};
+
+/// Match the 8x8 block at (rx, ry) of `ref` against `cand` within
+/// ±range pixels, on a ring of the given geometry.
+MotionEstimationResult run_motion_estimation(const RingGeometry& g,
+                                             const Image& ref,
+                                             std::size_t rx, std::size_t ry,
+                                             const Image& cand, int range);
+
+}  // namespace sring::kernels

@@ -1,0 +1,210 @@
+#include "mapper/dfg.hpp"
+
+#include <deque>
+
+#include "common/error.hpp"
+#include "core/alu.hpp"
+
+namespace sring::mapper {
+
+unsigned dfg_arity(DfgOp op) noexcept {
+  switch (op) {
+    case DfgOp::kInput:
+    case DfgOp::kConst:
+      return 0;
+    case DfgOp::kPass:
+    case DfgOp::kNot:
+    case DfgOp::kAbs:
+    case DfgOp::kDelay:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+NodeId Dfg::push(DfgNode node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Dfg::add_input(std::string name) {
+  DfgNode n;
+  n.op = DfgOp::kInput;
+  n.name = std::move(name);
+  const NodeId id = push(std::move(n));
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Dfg::add_const(Word value) {
+  DfgNode n;
+  n.op = DfgOp::kConst;
+  n.value = value;
+  return push(std::move(n));
+}
+
+NodeId Dfg::add_unary(DfgOp op, NodeId a) {
+  check(dfg_arity(op) == 1 && op != DfgOp::kDelay,
+        "Dfg::add_unary: not a unary op");
+  check(a < nodes_.size(), "Dfg::add_unary: operand out of range");
+  DfgNode n;
+  n.op = op;
+  n.a = a;
+  return push(std::move(n));
+}
+
+NodeId Dfg::add_binary(DfgOp op, NodeId a, NodeId b) {
+  check(dfg_arity(op) == 2, "Dfg::add_binary: not a binary op");
+  check(a < nodes_.size() && b < nodes_.size(),
+        "Dfg::add_binary: operand out of range");
+  DfgNode n;
+  n.op = op;
+  n.a = a;
+  n.b = b;
+  return push(std::move(n));
+}
+
+NodeId Dfg::add_delay(NodeId a, unsigned delay) {
+  check(a < nodes_.size(), "Dfg::add_delay: operand out of range");
+  check(delay >= 1, "Dfg::add_delay: delay must be >= 1");
+  DfgNode n;
+  n.op = DfgOp::kDelay;
+  n.a = a;
+  n.delay = delay;
+  return push(std::move(n));
+}
+
+void Dfg::mark_output(NodeId node, std::string name) {
+  check(node < nodes_.size(), "Dfg::mark_output: node out of range");
+  if (!name.empty()) nodes_[node].name = std::move(name);
+  outputs_.push_back(node);
+}
+
+const DfgNode& Dfg::node(NodeId id) const {
+  check(id < nodes_.size(), "Dfg::node: id out of range");
+  return nodes_[id];
+}
+
+void Dfg::validate() const {
+  check(!outputs_.empty(), "Dfg: at least one output required");
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const DfgNode& n = nodes_[i];
+    const unsigned arity = dfg_arity(n.op);
+    // Nodes are created in topological order by construction (operand
+    // ids always precede the node), except delays which may reference
+    // any node — this is what permits recursive graphs.
+    if (arity >= 1 && n.op != DfgOp::kDelay) {
+      check(n.a < i, "Dfg: combinational operand must precede its user");
+    }
+    if (arity == 2) {
+      check(n.b < i, "Dfg: combinational operand must precede its user");
+    }
+    if (n.op == DfgOp::kDelay) {
+      check(n.a < nodes_.size(), "Dfg: delay operand out of range");
+      check(n.delay >= 1, "Dfg: delay must be >= 1");
+    }
+  }
+}
+
+namespace {
+
+DnodeOp to_alu_op(DfgOp op) {
+  switch (op) {
+    case DfgOp::kAdd:
+      return DnodeOp::kAdd;
+    case DfgOp::kSub:
+      return DnodeOp::kSub;
+    case DfgOp::kMul:
+      return DnodeOp::kMul;
+    case DfgOp::kAbsdiff:
+      return DnodeOp::kAbsdiff;
+    case DfgOp::kMin:
+      return DnodeOp::kMin;
+    case DfgOp::kMax:
+      return DnodeOp::kMax;
+    case DfgOp::kAnd:
+      return DnodeOp::kAnd;
+    case DfgOp::kOr:
+      return DnodeOp::kOr;
+    case DfgOp::kXor:
+      return DnodeOp::kXor;
+    case DfgOp::kShl:
+      return DnodeOp::kShl;
+    case DfgOp::kAsr:
+      return DnodeOp::kAsr;
+    case DfgOp::kPass:
+      return DnodeOp::kPass;
+    case DfgOp::kNot:
+      return DnodeOp::kNot;
+    case DfgOp::kAbs:
+      return DnodeOp::kAbs;
+    default:
+      throw SimError("to_alu_op: not an ALU op");
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<Word>> interpret_dfg(
+    const Dfg& dfg, const std::vector<std::vector<Word>>& input_streams) {
+  dfg.validate();
+  check(input_streams.size() == dfg.inputs().size(),
+        "interpret_dfg: input stream count mismatch");
+  std::size_t steps = input_streams.empty() ? 0 : input_streams[0].size();
+  for (const auto& s : input_streams) {
+    check(s.size() == steps, "interpret_dfg: ragged input streams");
+  }
+
+  const auto& nodes = dfg.nodes();
+  std::vector<Word> value(nodes.size(), 0);       // this step
+  std::vector<std::deque<Word>> delay_state(nodes.size());
+  // Pre-fill delay lines with zeros (reset state).
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].op == DfgOp::kDelay) {
+      delay_state[i].assign(nodes[i].delay, 0);
+    }
+  }
+
+  std::vector<std::vector<Word>> outputs(dfg.outputs().size());
+  for (std::size_t n = 0; n < steps; ++n) {
+    // Delays first: they emit state captured on previous steps, which
+    // is what allows them to reference later (recursive) nodes.
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].op == DfgOp::kDelay) {
+        value[i] = delay_state[i].front();
+        delay_state[i].pop_front();
+      }
+    }
+    std::size_t input_index = 0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const DfgNode& node = nodes[i];
+      switch (node.op) {
+        case DfgOp::kInput:
+          value[i] = input_streams[input_index++][n];
+          break;
+        case DfgOp::kConst:
+          value[i] = node.value;
+          break;
+        case DfgOp::kDelay:
+          break;  // already produced above
+        default:
+          value[i] = alu_execute(to_alu_op(node.op), value[node.a],
+                                 dfg_arity(node.op) == 2 ? value[node.b]
+                                                         : Word{0},
+                                 0);
+      }
+    }
+    // Capture delay inputs for future steps.
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].op == DfgOp::kDelay) {
+        delay_state[i].push_back(value[nodes[i].a]);
+      }
+    }
+    for (std::size_t o = 0; o < dfg.outputs().size(); ++o) {
+      outputs[o].push_back(value[dfg.outputs()[o]]);
+    }
+  }
+  return outputs;
+}
+
+}  // namespace sring::mapper

@@ -1,0 +1,97 @@
+// Dataflow-graph IR for the mapping tool.
+//
+// Paper §6: "Our future work takes place in the realization of an
+// efficient compiling/profiling tool, the key to success of
+// reconfigurable computing architectures.  This allows efficient
+// algorithm compilation by the ability to identify macro-operators
+// (RIF, RII, FIFOs & LIFOs, trigonometric op., etc.) on the high level
+// description, and directly map them onto Dnodes."
+//
+// This module is that tool's front half: a streaming dataflow graph
+// where every node produces one 16-bit sample per step.  kDelay nodes
+// (z^-k) are the only state; everything else is combinational, so a
+// valid graph is acyclic apart from paths through delays.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sring::mapper {
+
+using NodeId = std::uint32_t;
+
+/// Streaming node kinds.  Binary arithmetic follows the Dnode ALU
+/// semantics exactly (wrapping 16-bit two's complement).
+enum class DfgOp : std::uint8_t {
+  kInput,    ///< one host stream (no operands)
+  kConst,    ///< a compile-time constant (no operands)
+  kAdd,      ///< a + b
+  kSub,      ///< a - b
+  kMul,      ///< low 16 bits of a * b
+  kAbsdiff,  ///< |a - b|
+  kMin,      ///< min(a, b) signed
+  kMax,      ///< max(a, b) signed
+  kAnd,
+  kOr,
+  kXor,
+  kShl,      ///< a << (b & 15)
+  kAsr,      ///< arithmetic a >> (b & 15)
+  kPass,     ///< a (unary; useful as an explicit pipeline stage)
+  kNot,      ///< ~a (unary)
+  kAbs,      ///< |a| (unary)
+  kDelay,    ///< a delayed by `delay` samples (z^-delay)
+};
+
+/// Number of data operands an op consumes (0, 1 or 2).
+unsigned dfg_arity(DfgOp op) noexcept;
+
+struct DfgNode {
+  DfgOp op = DfgOp::kPass;
+  NodeId a = 0;          ///< first operand (if arity >= 1)
+  NodeId b = 0;          ///< second operand (if arity == 2)
+  Word value = 0;        ///< constant value for kConst
+  unsigned delay = 0;    ///< z^-delay for kDelay (>= 1)
+  std::string name;      ///< optional label (inputs/outputs)
+};
+
+/// A streaming dataflow graph with named inputs and ordered outputs.
+class Dfg {
+ public:
+  NodeId add_input(std::string name);
+  NodeId add_const(Word value);
+  NodeId add_unary(DfgOp op, NodeId a);
+  NodeId add_binary(DfgOp op, NodeId a, NodeId b);
+  NodeId add_delay(NodeId a, unsigned delay);
+
+  /// Register a node as a program output (order defines the output
+  /// stream order).
+  void mark_output(NodeId node, std::string name = {});
+
+  const std::vector<DfgNode>& nodes() const noexcept { return nodes_; }
+  const std::vector<NodeId>& outputs() const noexcept { return outputs_; }
+  const std::vector<NodeId>& inputs() const noexcept { return inputs_; }
+
+  const DfgNode& node(NodeId id) const;
+
+  /// Structural validation: operand references in range, arities
+  /// respected, at least one output.  Throws SimError on violation.
+  void validate() const;
+
+ private:
+  NodeId push(DfgNode node);
+
+  std::vector<DfgNode> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+};
+
+/// Golden streaming interpreter: runs `steps` samples, reading each
+/// input stream in declaration order.  Delay state starts at zero.
+std::vector<std::vector<Word>> interpret_dfg(
+    const Dfg& dfg, const std::vector<std::vector<Word>>& input_streams);
+
+}  // namespace sring::mapper

@@ -1,0 +1,75 @@
+#include "model/interconnect.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sring::model {
+
+std::string to_string(Topology t) {
+  switch (t) {
+    case Topology::kRing:
+      return "ring";
+    case Topology::kMesh:
+      return "mesh";
+    case Topology::kCrossbar:
+      return "crossbar";
+    case Topology::kArray:
+      return "array";
+  }
+  return "?";
+}
+
+double longest_wire_pitches(Topology t, std::size_t dnodes) {
+  check(dnodes >= 1, "longest_wire_pitches: need at least one Dnode");
+  const double n = static_cast<double>(dnodes);
+  switch (t) {
+    case Topology::kRing:
+      // Adjacent layers only; the feedback pipelines are registered
+      // every stage, so no combinational wire grows with N.
+      return 1.0;
+    case Topology::kMesh:
+      // Long-line overlays span the die edge: ~sqrt(N) pitches.
+      return std::sqrt(n);
+    case Topology::kCrossbar:
+      // Any block to any block across the crossbar spine: ~N pitches
+      // of total traversal in one cycle.
+      return n;
+    case Topology::kArray:
+      // Pipeline neighbours are local, but feedback returns cross the
+      // whole array: ~N/2 on average, N worst case.
+      return std::max(1.0, n / 2.0);
+  }
+  return 1.0;
+}
+
+double interconnect_area_dnodes(Topology t, std::size_t dnodes) {
+  check(dnodes >= 1, "interconnect_area_dnodes: need at least one Dnode");
+  const double n = static_cast<double>(dnodes);
+  switch (t) {
+    case Topology::kRing:
+      // One switch + one feedback pipeline per layer: linear, small
+      // constant (fitted ~0.2 Dnode-equivalents per Dnode in tech.cpp).
+      return 0.2 * n;
+    case Topology::kMesh:
+      // Per-block routing channels plus sqrt(N) long lines per row and
+      // column: ~0.9 per block plus the overlay.
+      return 0.9 * n + 0.5 * std::sqrt(n) * std::sqrt(n);
+    case Topology::kCrossbar:
+      // N x N crosspoints at ~1/50 Dnode each: quadratic.
+      return n * n / 50.0;
+    case Topology::kArray:
+      // Linear channels plus dedicated feedback busses (~one bus lane
+      // per four blocks spanning the array).
+      return 0.4 * n + n * std::sqrt(n) / 16.0;
+  }
+  return 0.0;
+}
+
+double relative_frequency(Topology t, std::size_t dnodes,
+                          double wire_tax_per_pitch) {
+  const double wire = longest_wire_pitches(t, dnodes);
+  return 1.0 / (1.0 + wire_tax_per_pitch * (wire - 1.0));
+}
+
+}  // namespace sring::model

@@ -1,0 +1,43 @@
+// Interconnect scalability comparison (paper §4.2).
+//
+// The paper's architectural argument: mesh-based, crossbar-based and
+// 2-D array operating layers all hit routing walls as reconfigurable
+// networks grow ("die-long interconnections cause hard timing
+// problems"), while the ring + feedback-pipeline structure keeps every
+// wire local, "removing" the routing problem.
+//
+// This module turns that prose into first-order analytic models so the
+// claim can be plotted (bench_interconnect).  Units are normalized:
+// wire lengths in Dnode pitches, areas in Dnode-equivalents.  The
+// constants are standard first-order VLSI estimates (bisection-style
+// reasoning), documented per topology; the point reproduced is the
+// asymptotic *shape*, not absolute micrometers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace sring::model {
+
+enum class Topology {
+  kRing,      ///< this paper: adjacent-layer switches + feedback pipes
+  kMesh,      ///< 2-D nearest-neighbour mesh with long-line overlays
+  kCrossbar,  ///< full crossbar between all blocks
+  kArray,     ///< 1-D/2-D pipeline array with global feedback busses
+};
+
+std::string to_string(Topology t);
+
+/// Longest wire a signal must cross in one cycle, in Dnode pitches.
+/// Sets the critical path: frequency ~ 1 / (datapath + wire delay).
+double longest_wire_pitches(Topology t, std::size_t dnodes);
+
+/// Interconnect area overhead in Dnode-equivalents.
+double interconnect_area_dnodes(Topology t, std::size_t dnodes);
+
+/// Relative achievable frequency (1.0 = wire-free datapath limit),
+/// using a linear wire-delay tax per pitch.
+double relative_frequency(Topology t, std::size_t dnodes,
+                          double wire_tax_per_pitch = 0.02);
+
+}  // namespace sring::model

@@ -1,0 +1,55 @@
+#include "model/offload.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sring::model {
+
+OffloadAnalysis analyze_offload(const OffloadScenario& s) {
+  check(s.host_cycles_per_sample > 0 && s.host_clock_hz > 0 &&
+            s.ring_cycles_per_sample > 0 && s.ring_clock_hz > 0 &&
+            s.link_bytes_per_s > 0 && s.bytes_per_sample > 0,
+        "analyze_offload: rates must be positive");
+  const double n = static_cast<double>(s.samples);
+  OffloadAnalysis a;
+  a.host_only_s = n * s.host_cycles_per_sample / s.host_clock_hz;
+  a.ring_compute_s = n * s.ring_cycles_per_sample / s.ring_clock_hz;
+  a.transfer_s = n * s.bytes_per_sample / s.link_bytes_per_s;
+  a.offload_total_s = s.startup_cycles / s.ring_clock_hz +
+                      std::max(a.ring_compute_s, a.transfer_s);
+  a.speedup =
+      a.offload_total_s > 0 ? a.host_only_s / a.offload_total_s : 0.0;
+  a.offload_wins = a.offload_total_s < a.host_only_s;
+  return a;
+}
+
+std::size_t break_even_samples(OffloadScenario scenario,
+                               std::size_t limit) {
+  // The per-sample offload cost is max(compute, transfer); if that
+  // already exceeds the host's per-sample cost, no stream length wins.
+  scenario.samples = 1;
+  const OffloadAnalysis unit = analyze_offload(scenario);
+  const double host_per_sample = unit.host_only_s;
+  const double offload_per_sample =
+      std::max(unit.ring_compute_s, unit.transfer_s);
+  if (offload_per_sample >= host_per_sample) return 0;
+
+  // Binary search the smallest winning N.
+  std::size_t lo = 1;
+  std::size_t hi = limit;
+  scenario.samples = hi;
+  if (!analyze_offload(scenario).offload_wins) return 0;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    scenario.samples = mid;
+    if (analyze_offload(scenario).offload_wins) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace sring::model

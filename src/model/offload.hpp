@@ -1,0 +1,46 @@
+// Host-vs-accelerator offload analysis (paper §1/§3: the ring is "not
+// intended to be a stand-alone solution, rather an IP core accelerator
+// ... the µP can confide the most demanding part of a given
+// application to our IP core").
+//
+// First-order pipelined-offload model: the host streams operands over
+// the link while the ring computes, so steady-state throughput is
+// bounded by max(compute rate, transfer rate) and a fixed startup
+// latency (configuration upload + pipeline fill) is amortized over the
+// stream.  The same quantities are measurable in the simulator
+// (System + LinkRate), which the tests use to validate the model.
+#pragma once
+
+#include <cstddef>
+
+namespace sring::model {
+
+struct OffloadScenario {
+  std::size_t samples = 0;
+  double host_cycles_per_sample = 0;  ///< scalar-CPU cost of the kernel
+  double host_clock_hz = 450e6;       ///< the paper's Pentium II 450
+  double ring_cycles_per_sample = 1;  ///< measured kernel throughput
+  double ring_clock_hz = 200e6;       ///< Table 3, 0.18 um
+  double link_bytes_per_s = 250e6;    ///< the paper's PCI figure
+  double bytes_per_sample = 4;        ///< operands in + results out
+  double startup_cycles = 64;         ///< config upload + pipeline fill
+};
+
+struct OffloadAnalysis {
+  double host_only_s = 0;      ///< compute everything on the host
+  double ring_compute_s = 0;   ///< ring compute time alone
+  double transfer_s = 0;       ///< link time alone
+  double offload_total_s = 0;  ///< startup + pipelined max(compute, xfer)
+  double speedup = 0;          ///< host_only / offload_total
+  bool offload_wins = false;
+};
+
+/// Evaluate one scenario.
+OffloadAnalysis analyze_offload(const OffloadScenario& scenario);
+
+/// Smallest stream length for which offloading beats the host (or 0 if
+/// it never does — e.g. the link is slower than the host computes).
+std::size_t break_even_samples(OffloadScenario scenario,
+                               std::size_t limit = 1 << 24);
+
+}  // namespace sring::model

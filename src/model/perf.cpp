@@ -1,0 +1,35 @@
+#include "model/perf.hpp"
+
+namespace sring::model {
+
+double peak_mips(std::size_t dnodes, double frequency_mhz) {
+  return static_cast<double>(dnodes) * frequency_mhz;
+}
+
+double peak_mops(std::size_t dnodes, double frequency_mhz) {
+  return 2.0 * peak_mips(dnodes, frequency_mhz);
+}
+
+double peak_bandwidth_bytes_per_s(std::size_t dnodes,
+                                  double frequency_mhz) {
+  return static_cast<double>(dnodes) * 2.0 * frequency_mhz * 1e6;
+}
+
+double sustained_mips(const SystemStats& stats, double frequency_mhz) {
+  if (stats.cycles == 0) return 0.0;
+  const double seconds =
+      static_cast<double>(stats.cycles) / (frequency_mhz * 1e6);
+  return static_cast<double>(stats.dnode_ops) / seconds / 1e6;
+}
+
+double sustained_bandwidth_bytes_per_s(const SystemStats& stats,
+                                       double frequency_mhz) {
+  if (stats.cycles == 0) return 0.0;
+  const double seconds =
+      static_cast<double>(stats.cycles) / (frequency_mhz * 1e6);
+  return 2.0 *
+         static_cast<double>(stats.host_words_in + stats.host_words_out) /
+         seconds;
+}
+
+}  // namespace sring::model

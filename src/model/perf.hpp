@@ -1,0 +1,33 @@
+// Peak-rate accounting for the comparative-results section (§5.1):
+// raw MIPS, host bandwidth, and sustained figures from simulation
+// statistics.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/stats.hpp"
+
+namespace sring::model {
+
+/// Peak instruction rate: one Dnode microinstruction per cycle.
+/// Ring-8 at 200 MHz -> 1600 MIPS (the paper's headline).
+double peak_mips(std::size_t dnodes, double frequency_mhz);
+
+/// Peak arithmetic-op rate counting MAC as two operations.
+double peak_mops(std::size_t dnodes, double frequency_mhz);
+
+/// Theoretical host bandwidth: every Dnode can consume one 16-bit word
+/// per cycle (two input ports exist, but the switch host path is one
+/// word per Dnode per cycle in the paper's 3 GB/s figure for Ring-8 at
+/// 200 MHz -> 8 * 2 bytes * 200e6 = 3.2e9).
+double peak_bandwidth_bytes_per_s(std::size_t dnodes,
+                                  double frequency_mhz);
+
+/// Sustained MIPS achieved by a simulation run at a given clock.
+double sustained_mips(const SystemStats& stats, double frequency_mhz);
+
+/// Sustained host data rate of a run (both directions), bytes/s.
+double sustained_bandwidth_bytes_per_s(const SystemStats& stats,
+                                       double frequency_mhz);
+
+}  // namespace sring::model

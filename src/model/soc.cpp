@@ -1,0 +1,51 @@
+#include "model/soc.hpp"
+
+#include <cstdio>
+
+#include "model/tech.hpp"
+
+namespace sring::model {
+
+double SocFloorplan::used_area_mm2() const {
+  double sum = 0.0;
+  for (const auto& b : blocks) sum += b.area_mm2;
+  return sum;
+}
+
+std::string SocFloorplan::to_string() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-14s %8s  %s\n", "block",
+                "area/mm2", "note");
+  out += line;
+  for (const auto& b : blocks) {
+    std::snprintf(line, sizeof(line), "%-14s %8.2f  %s\n", b.name.c_str(),
+                  b.area_mm2, b.note.c_str());
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "die %.0fx%.0f mm = %.1f mm2, used %.2f mm2, free %.2f "
+                "mm2 (wiring/pads)\n",
+                die_width_mm, die_height_mm, die_area_mm2(),
+                used_area_mm2(), free_area_mm2());
+  out += line;
+  return out;
+}
+
+SocFloorplan foreseeable_soc() {
+  SocFloorplan soc;
+  const TechNode tech = tech_018um();
+  soc.blocks = {
+      {"ring64", core_area_mm2(tech, 64),
+       "64-Dnode Systolic Ring, fast data-oriented computation"},
+      {"arm7tdmi", 0.54, "32-bit ARM RISC core (WindowsCE/EPOC32/Linux)"},
+      {"flash", 2.2, "code + configware storage"},
+      {"sram", 1.6, "working memory"},
+      {"can", 0.4, "field bus interface"},
+      {"adc_dac", 0.8, "CAN/CNA converters"},
+      {"misc_io", 0.6, "clocking, power, pads share"},
+  };
+  return soc;
+}
+
+}  // namespace sring::model

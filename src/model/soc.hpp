@@ -1,0 +1,38 @@
+// Fig. 7: "a foreseeable SoC" — a 4 mm x 3 mm, 0.18 um die combining a
+// 64-Dnode Systolic Ring (3.4 mm2) with an ARM7TDMI core (0.54 mm2),
+// flash, CAN and converters.  This module reproduces the floorplan
+// budget as a checkable inventory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sring::model {
+
+struct SocBlock {
+  std::string name;
+  double area_mm2 = 0.0;
+  std::string note;
+};
+
+struct SocFloorplan {
+  double die_width_mm = 4.0;
+  double die_height_mm = 3.0;
+  std::vector<SocBlock> blocks;
+
+  double die_area_mm2() const noexcept {
+    return die_width_mm * die_height_mm;
+  }
+  double used_area_mm2() const;
+  double free_area_mm2() const { return die_area_mm2() - used_area_mm2(); }
+
+  /// True when every block fits inside the die budget.
+  bool fits() const { return used_area_mm2() <= die_area_mm2(); }
+
+  std::string to_string() const;
+};
+
+/// The paper's fig. 7 instance (Ring-64 + ARM7TDMI + peripherals).
+SocFloorplan foreseeable_soc();
+
+}  // namespace sring::model

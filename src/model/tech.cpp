@@ -1,0 +1,55 @@
+#include "model/tech.hpp"
+
+#include "common/error.hpp"
+
+namespace sring::model {
+
+TechNode tech_025um() {
+  TechNode t;
+  t.name = "0.25um";
+  t.feature_um = 0.25;
+  t.dnode_area_mm2 = 0.06;
+  t.frequency_mhz = 180.0;
+  // Fit to Ring-8 = 0.9 mm2 and Ring-16 = 1.4 mm2 (Table 2):
+  //   fixed + 8*(0.06+p) = 0.9 ; fixed + 16*(0.06+p) = 1.4
+  //   => 8*(0.06+p) = 0.5 => p = 0.0025, fixed = 0.4
+  t.per_dnode_overhead_mm2 = 0.0025;
+  t.fixed_area_mm2 = 0.4;
+  return t;
+}
+
+TechNode tech_018um() {
+  TechNode t;
+  t.name = "0.18um";
+  t.feature_um = 0.18;
+  t.dnode_area_mm2 = 0.04;
+  t.frequency_mhz = 200.0;
+  // Fit to Ring-8 = 0.7 mm2 (Table 3) and Ring-64 = 3.4 mm2 (fig. 7):
+  //   8*(0.04+p) + fixed = 0.7 ; 64*(0.04+p) + fixed = 3.4
+  //   => 56*(0.04+p) = 2.7 => p = 0.00821428..., fixed = 0.31428...
+  t.per_dnode_overhead_mm2 = 2.7 / 56.0 - 0.04;
+  t.fixed_area_mm2 = 0.7 - 8.0 * (2.7 / 56.0);
+  return t;
+}
+
+double core_area_mm2(const TechNode& tech, std::size_t dnodes) {
+  check(dnodes >= 1, "core_area_mm2: need at least one Dnode");
+  return tech.fixed_area_mm2 +
+         static_cast<double>(dnodes) *
+             (tech.dnode_area_mm2 + tech.per_dnode_overhead_mm2);
+}
+
+double dnode_area_share(const TechNode& tech, std::size_t dnodes) {
+  return static_cast<double>(dnodes) * tech.dnode_area_mm2 /
+         core_area_mm2(tech, dnodes);
+}
+
+double frequency_mhz(const TechNode& tech, std::size_t dnodes) {
+  check(dnodes >= 1, "frequency_mhz: need at least one Dnode");
+  // Size-independent by construction: the ring's switches only connect
+  // adjacent layers and the feedback pipelines replace long wires, so
+  // the critical path is the Dnode datapath at every size (§4.2).
+  return tech.frequency_mhz;
+}
+
+}  // namespace sring::model

@@ -1,0 +1,83 @@
+#include "sim/host_interface.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace sring {
+
+LinkRate LinkRate::from_bytes_per_second(double bytes_per_s,
+                                         double clock_hz) {
+  check(bytes_per_s > 0 && clock_hz > 0,
+        "LinkRate: rates must be positive");
+  // words/cycle = (bytes/s / 2) / (cycles/s); represent as a rational
+  // with a fixed denominator for exactness in the accumulator.
+  constexpr std::uint32_t kDen = 10000;
+  const double words_per_cycle = bytes_per_s / 2.0 / clock_hz;
+  const auto num = static_cast<std::uint32_t>(
+      std::llround(words_per_cycle * kDen));
+  check(num > 0, "LinkRate: link too slow to ever transfer a word");
+  return {num, kDen};
+}
+
+HostInterface::HostInterface(LinkRate rate) : rate_(rate) {
+  check(rate_.den > 0, "HostInterface: zero rate denominator");
+}
+
+void HostInterface::send(std::span<const Word> words) {
+  if (rate_.num == 0) {
+    // Ideal link: words are visible to the core immediately.
+    ring_in_.insert(ring_in_.end(), words.begin(), words.end());
+    words_to_core_ += words.size();
+  } else {
+    host_tx_.insert(host_tx_.end(), words.begin(), words.end());
+  }
+}
+
+std::vector<Word> HostInterface::take_received() {
+  if (rate_.num == 0) {
+    // Ideal link: everything the core produced is already host-visible.
+    host_rx_.insert(host_rx_.end(),
+                    ring_out_.begin() + static_cast<std::ptrdiff_t>(
+                                            ring_out_taken_),
+                    ring_out_.end());
+    words_to_host_ += ring_out_.size() - ring_out_taken_;
+    ring_out_taken_ = ring_out_.size();
+  }
+  return std::exchange(host_rx_, {});
+}
+
+void HostInterface::tick() {
+  if (rate_.num == 0) {
+    // Ideal link: host->core moves in send(); mirror core->host too so
+    // received() stays current without waiting for take_received().
+    if (ring_out_taken_ < ring_out_.size()) {
+      host_rx_.insert(host_rx_.end(),
+                      ring_out_.begin() + static_cast<std::ptrdiff_t>(
+                                              ring_out_taken_),
+                      ring_out_.end());
+      words_to_host_ += ring_out_.size() - ring_out_taken_;
+      ring_out_taken_ = ring_out_.size();
+    }
+    return;
+  }
+  credits_tx_ += rate_.num;
+  while (credits_tx_ >= rate_.den && !host_tx_.empty()) {
+    ring_in_.push_back(host_tx_.front());
+    host_tx_.pop_front();
+    credits_tx_ -= rate_.den;
+    ++words_to_core_;
+  }
+  if (host_tx_.empty()) credits_tx_ = 0;  // no banking of idle bandwidth
+
+  credits_rx_ += rate_.num;
+  while (credits_rx_ >= rate_.den && ring_out_taken_ < ring_out_.size()) {
+    host_rx_.push_back(ring_out_[ring_out_taken_++]);
+    credits_rx_ -= rate_.den;
+    ++words_to_host_;
+  }
+  if (ring_out_taken_ == ring_out_.size()) credits_rx_ = 0;
+}
+
+}  // namespace sring

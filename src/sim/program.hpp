@@ -1,0 +1,37 @@
+// A loadable Systolic Ring application.
+//
+// Mirrors the paper's deployment model (§3): the host loads "management
+// code" into the configuration controller's program memory plus the
+// configware (configuration pages) for the operating layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config_memory.hpp"
+
+namespace sring {
+
+/// One preloaded local-control-unit register write, applied when the
+/// program is loaded (models the boot sequence that fills stand-alone
+/// microprograms before the controller starts).
+struct LocalWrite {
+  std::uint32_t dnode = 0;
+  std::uint8_t slot = 0;   ///< 0..7 program, 8 LIMIT, 9 counter reset
+  std::uint64_t value = 0;
+
+  bool operator==(const LocalWrite&) const = default;
+};
+
+struct LoadableProgram {
+  std::string name;
+  RingGeometry geometry;                      ///< ring the code targets
+  std::vector<std::uint32_t> controller_code; ///< encoded RISC instructions
+  std::vector<ConfigPage> pages;              ///< preloaded config pages
+  std::vector<LocalWrite> local_init;         ///< boot-time WRLOC writes
+
+  bool operator==(const LoadableProgram&) const = default;
+};
+
+}  // namespace sring

@@ -1,0 +1,49 @@
+#include "sim/report.hpp"
+
+#include <cstdio>
+
+namespace sring {
+
+std::string utilization_report(const Ring& ring, std::uint64_t cycles) {
+  const auto& g = ring.geometry();
+  const auto& ops = ring.ops_per_dnode();
+  std::string out = "        ";
+  char buf[64];
+  for (std::size_t lane = 0; lane < g.lanes; ++lane) {
+    std::snprintf(buf, sizeof(buf), "  lane%-2zu", lane);
+    out += buf;
+  }
+  out += '\n';
+  for (std::size_t layer = 0; layer < g.layers; ++layer) {
+    std::snprintf(buf, sizeof(buf), "layer%-2zu ", layer);
+    out += buf;
+    for (std::size_t lane = 0; lane < g.lanes; ++lane) {
+      const double u =
+          cycles == 0
+              ? 0.0
+              : static_cast<double>(ops[layer * g.lanes + lane]) /
+                    static_cast<double>(cycles);
+      std::snprintf(buf, sizeof(buf), " %6.1f%%", 100.0 * u);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string run_summary(const Ring& ring, const SystemStats& stats) {
+  const std::size_t n = ring.geometry().dnode_count();
+  std::size_t active = 0;
+  for (const auto c : ring.ops_per_dnode()) active += c > 0 ? 1 : 0;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%llu cycles (%llu ring stalls), %llu Dnode ops on "
+                "%zu/%zu Dnodes, utilization %.1f%%",
+                static_cast<unsigned long long>(stats.cycles),
+                static_cast<unsigned long long>(stats.ring_stall_cycles),
+                static_cast<unsigned long long>(stats.dnode_ops), active,
+                n, 100.0 * stats.utilization(n));
+  return std::string(buf) + "\n" + utilization_report(ring, stats.cycles);
+}
+
+}  // namespace sring

@@ -1,0 +1,20 @@
+// Utilization reporting — the profiling half of the paper's §6
+// "compiling/profiling tool".
+#pragma once
+
+#include <string>
+
+#include "core/ring.hpp"
+#include "sim/stats.hpp"
+
+namespace sring {
+
+/// Per-Dnode utilization over a run: one row per layer, one column per
+/// lane, each cell the fraction of cycles the Dnode issued an
+/// instruction.
+std::string utilization_report(const Ring& ring, std::uint64_t cycles);
+
+/// One-paragraph summary of a run (cycles, stalls, ops, utilization).
+std::string run_summary(const Ring& ring, const SystemStats& stats);
+
+}  // namespace sring

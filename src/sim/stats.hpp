@@ -1,0 +1,26 @@
+// Aggregate execution statistics of a simulation run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sring {
+
+struct SystemStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t ring_stall_cycles = 0;   ///< host-input underflow cycles
+  std::uint64_t ctrl_stall_cycles = 0;   ///< controller INPOP/WAIT stalls
+  std::uint64_t dnode_ops = 0;           ///< Dnode instructions executed
+  std::uint64_t arith_ops = 0;           ///< arithmetic ops (MAC/MSU = 2)
+  std::uint64_t host_words_in = 0;       ///< words consumed by the ring
+  std::uint64_t host_words_out = 0;      ///< words produced by the ring
+  std::uint64_t ctrl_instructions = 0;
+  std::uint64_t config_words_written = 0;
+
+  /// Fraction of Dnode issue slots used, given the Dnode count.
+  double utilization(std::size_t dnode_count) const noexcept;
+
+  std::string to_string() const;
+};
+
+}  // namespace sring

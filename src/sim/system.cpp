@@ -1,0 +1,92 @@
+#include "sim/system.hpp"
+
+#include "common/error.hpp"
+
+namespace sring {
+
+System::System(const SystemConfig& config)
+    : geom_(config.geometry),
+      cfg_(config.geometry),
+      ring_(config.geometry),
+      host_(config.link) {
+  geom_.validate();
+}
+
+void System::load(const LoadableProgram& program) {
+  check(program.geometry.layers == geom_.layers &&
+            program.geometry.lanes == geom_.lanes,
+        "System::load: program was built for a different ring geometry");
+  cfg_ = ConfigMemory(geom_);
+  for (const auto& page : program.pages) cfg_.add_page(page);
+  ctrl_.load_program(program.controller_code);
+  ring_.reset();
+  for (const auto& lw : program.local_init) {
+    ring_.write_local(lw.dnode, lw.slot, lw.value);
+  }
+  bus_ = 0;
+  cycle_ = 0;
+  stats_ = SystemStats{};
+}
+
+void System::step() {
+  host_.tick();
+
+  const Controller::StepContext ctx{cfg_,
+                                    ring_,
+                                    bus_,
+                                    host_.ring_in(),
+                                    host_.ring_out(),
+                                    cycle_};
+  const auto ctrl_res = ctrl_.step(ctx);
+  if (ctrl_res.stalled) ++stats_.ctrl_stall_cycles;
+  if (ctrl_res.executed) ++stats_.ctrl_instructions;
+
+  // Controller bus writes are visible to the Dnodes in the same cycle.
+  const Word bus_for_ring = ctrl_res.bus_drive.value_or(bus_);
+
+  const auto ring_res =
+      ring_.step(cfg_, bus_for_ring, host_.ring_in(), host_.ring_out());
+  if (ring_res.stalled) ++stats_.ring_stall_cycles;
+  stats_.dnode_ops += ring_res.ops;
+  stats_.arith_ops += ring_res.arith_ops;
+  stats_.host_words_in += ring_res.host_words_in;
+  stats_.host_words_out += ring_res.host_words_out;
+
+  // Dnode bus drives become visible next cycle.
+  bus_ = ring_res.bus_drive.value_or(bus_for_ring);
+
+  ++cycle_;
+  ++stats_.cycles;
+  if (trace_ != nullptr) trace_->on_cycle(cycle_, ctrl_, bus_, ring_);
+}
+
+SystemStats System::stats() const {
+  SystemStats s = stats_;
+  s.config_words_written = cfg_.words_written();
+  return s;
+}
+
+void System::run_until_halt(std::uint64_t max_cycles,
+                            std::uint64_t drain_cycles) {
+  std::uint64_t n = 0;
+  while (!ctrl_.halted()) {
+    check(n++ < max_cycles, "System::run_until_halt: cycle budget exceeded");
+    step();
+  }
+  run_cycles(drain_cycles);
+}
+
+void System::run_until_outputs(std::size_t count, std::uint64_t max_cycles) {
+  std::uint64_t n = 0;
+  while (host_.received().size() < count) {
+    check(n++ < max_cycles,
+          "System::run_until_outputs: cycle budget exceeded");
+    step();
+  }
+}
+
+void System::run_cycles(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) step();
+}
+
+}  // namespace sring

@@ -1,0 +1,83 @@
+// Top-level cycle-accurate model: Ring + configuration layer + RISC
+// configuration controller + host interface (paper fig. 2).
+//
+// Per-cycle ordering (one call to step()):
+//   1. the host link moves words under its bandwidth limit;
+//   2. the controller executes one instruction; a BUSW result is
+//      visible to the Dnodes in the same cycle (the controller sits
+//      upstream of the operating layer's bus);
+//   3. the ring evaluates one cycle; a Dnode bus drive becomes visible
+//      the next cycle;
+//   4. statistics and the cycle counter advance.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/config_memory.hpp"
+#include "core/ring.hpp"
+#include "ctrl/controller.hpp"
+#include "sim/host_interface.hpp"
+#include "sim/program.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace sring {
+
+struct SystemConfig {
+  RingGeometry geometry;
+  LinkRate link = LinkRate::unlimited();
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& config);
+
+  /// Load an application: fresh configuration memory with the
+  /// program's pages, controller program loaded, ring state cleared.
+  void load(const LoadableProgram& program);
+
+  /// Advance one clock cycle.
+  void step();
+
+  /// Run until the controller halts (or `max_cycles` elapse; throws if
+  /// exceeded), then `drain_cycles` extra cycles for in-flight data.
+  void run_until_halt(std::uint64_t max_cycles,
+                      std::uint64_t drain_cycles = 0);
+
+  /// Run until the host has received `count` words in total (throws
+  /// after `max_cycles`).
+  void run_until_outputs(std::size_t count, std::uint64_t max_cycles);
+
+  void run_cycles(std::uint64_t n);
+
+  // --- accessors --------------------------------------------------------
+  Ring& ring() noexcept { return ring_; }
+  const Ring& ring() const noexcept { return ring_; }
+  ConfigMemory& config() noexcept { return cfg_; }
+  const ConfigMemory& config() const noexcept { return cfg_; }
+  Controller& controller() noexcept { return ctrl_; }
+  const Controller& controller() const noexcept { return ctrl_; }
+  HostInterface& host() noexcept { return host_; }
+  const HostInterface& host() const noexcept { return host_; }
+
+  std::uint64_t cycle() const noexcept { return cycle_; }
+  Word bus() const noexcept { return bus_; }
+  SystemStats stats() const;
+
+  /// Attach / detach a cycle trace sink (not owned; may be nullptr).
+  void set_trace(Trace* trace) noexcept { trace_ = trace; }
+
+ private:
+  RingGeometry geom_;
+  ConfigMemory cfg_;
+  Ring ring_;
+  Controller ctrl_;
+  HostInterface host_;
+  Word bus_ = 0;
+  std::uint64_t cycle_ = 0;
+  SystemStats stats_;
+  Trace* trace_ = nullptr;
+};
+
+}  // namespace sring

@@ -1,0 +1,26 @@
+#include "sim/trace.hpp"
+
+#include <iomanip>
+
+#include "core/ring.hpp"
+#include "ctrl/controller.hpp"
+
+namespace sring {
+
+void Trace::on_cycle(std::uint64_t cycle, const Controller& ctrl, Word bus,
+                     const Ring& ring) {
+  auto& os = *out_;
+  os << "cyc " << std::setw(6) << cycle << " pc " << std::setw(4)
+     << ctrl.pc() << (ctrl.halted() ? " H" : "  ") << " bus "
+     << std::setw(5) << as_signed(bus) << " |";
+  const auto& g = ring.geometry();
+  for (std::size_t layer = 0; layer < g.layers; ++layer) {
+    for (std::size_t lane = 0; lane < g.lanes; ++lane) {
+      os << ' ' << std::setw(6) << as_signed(ring.dnode(layer, lane).out());
+    }
+    if (layer + 1 < g.layers) os << " /";
+  }
+  os << '\n';
+}
+
+}  // namespace sring

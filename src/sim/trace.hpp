@@ -1,0 +1,28 @@
+// Per-cycle execution trace (the simulator's "logic analyzer", cf. the
+// paper's fig. 6 prototype bench).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/types.hpp"
+
+namespace sring {
+
+class Ring;
+class Controller;
+
+/// Writes one text line per cycle: cycle number, controller PC, bus
+/// value, and every Dnode's registered output.
+class Trace {
+ public:
+  explicit Trace(std::ostream& out) : out_(&out) {}
+
+  void on_cycle(std::uint64_t cycle, const Controller& ctrl, Word bus,
+                const Ring& ring);
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace sring

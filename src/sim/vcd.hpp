@@ -1,0 +1,56 @@
+// VCD (Value Change Dump, IEEE 1364) waveform writer — lets any
+// standard waveform viewer (GTKWave etc.) display a simulation, the
+// way the paper's authors watched the APEX prototype on a logic
+// analyzer (fig. 6).
+//
+// Dumped signals: the cycle clock, the shared bus, the controller PC
+// and halt flag, host FIFO depth, and every Dnode's registered output.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sring {
+
+class System;
+
+class VcdWriter {
+ public:
+  /// Writes the VCD header for `system`'s geometry immediately.
+  VcdWriter(std::ostream& out, const System& system,
+            const std::string& top_module = "systolic_ring");
+
+  /// Capture the system state as one timestep (call once per cycle,
+  /// after System::step()).
+  void sample(const System& system);
+
+ private:
+  struct Signal {
+    std::string id;     ///< VCD short identifier
+    unsigned width;
+    std::uint64_t last = ~0ull;  ///< force first emission
+    bool emitted = false;
+  };
+
+  void define(std::ostream& out, const std::string& name, unsigned width,
+              Signal& sig);
+  void emit(Signal& sig, std::uint64_t value);
+
+  static std::string make_id(std::size_t index);
+
+  std::ostream* out_;
+  std::uint64_t time_ = 0;
+  std::size_t next_id_ = 0;
+  Signal clock_;
+  Signal bus_;
+  Signal pc_;
+  Signal halted_;
+  Signal fifo_depth_;
+  std::vector<Signal> dnode_out_;
+};
+
+}  // namespace sring

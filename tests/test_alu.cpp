@@ -1,0 +1,118 @@
+// Unit and property tests for the Dnode ALU/multiplier datapath.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/alu.hpp"
+
+namespace sring {
+namespace {
+
+Word w(std::int32_t v) { return to_word(v); }
+
+TEST(Alu, BasicArithmetic) {
+  EXPECT_EQ(alu_execute(DnodeOp::kAdd, w(3), w(4), 0), w(7));
+  EXPECT_EQ(alu_execute(DnodeOp::kSub, w(3), w(4), 0), w(-1));
+  EXPECT_EQ(alu_execute(DnodeOp::kRsub, w(3), w(4), 0), w(1));
+  EXPECT_EQ(alu_execute(DnodeOp::kMul, w(-3), w(4), 0), w(-12));
+  EXPECT_EQ(alu_execute(DnodeOp::kMac, w(2), w(5), w(100)), w(110));
+  EXPECT_EQ(alu_execute(DnodeOp::kMsu, w(2), w(5), w(100)), w(90));
+  EXPECT_EQ(alu_execute(DnodeOp::kPass, w(-77), w(1), w(2)), w(-77));
+  EXPECT_EQ(alu_execute(DnodeOp::kNop, w(9), w(9), w(9)), w(0));
+}
+
+TEST(Alu, WrappingSemantics) {
+  EXPECT_EQ(alu_execute(DnodeOp::kAdd, w(32767), w(1), 0), w(-32768));
+  EXPECT_EQ(alu_execute(DnodeOp::kSub, w(-32768), w(1), 0), w(32767));
+  EXPECT_EQ(alu_execute(DnodeOp::kMul, w(256), w(256), 0), w(0));
+}
+
+TEST(Alu, SaturatingVariants) {
+  EXPECT_EQ(alu_execute(DnodeOp::kAdds, w(32767), w(1), 0), w(32767));
+  EXPECT_EQ(alu_execute(DnodeOp::kSubs, w(-32768), w(1), 0), w(-32768));
+  EXPECT_EQ(alu_execute(DnodeOp::kAdds, w(100), w(23), 0), w(123));
+}
+
+TEST(Alu, MulHigh) {
+  // 0x4000 * 0x4000 = 0x10000000 -> high half 0x1000.
+  EXPECT_EQ(alu_execute(DnodeOp::kMulh, w(0x4000), w(0x4000), 0),
+            w(0x1000));
+  // (-32768)^2 = 0x40000000 -> high half 0x4000.
+  EXPECT_EQ(alu_execute(DnodeOp::kMulh, w(-32768), w(-32768), 0),
+            w(0x4000));
+}
+
+TEST(Alu, LogicAndShifts) {
+  EXPECT_EQ(alu_execute(DnodeOp::kAnd, 0xF0F0u, 0xFF00u, 0), 0xF000u);
+  EXPECT_EQ(alu_execute(DnodeOp::kOr, 0xF0F0u, 0x0F00u, 0), 0xFFF0u);
+  EXPECT_EQ(alu_execute(DnodeOp::kXor, 0xFFFFu, 0x00FFu, 0), 0xFF00u);
+  EXPECT_EQ(alu_execute(DnodeOp::kNot, 0x00FFu, 0, 0), 0xFF00u);
+  EXPECT_EQ(alu_execute(DnodeOp::kShl, w(1), w(15), 0), Word{0x8000});
+  EXPECT_EQ(alu_execute(DnodeOp::kShr, Word{0x8000}, w(15), 0), w(1));
+  EXPECT_EQ(alu_execute(DnodeOp::kAsr, w(-4), w(1), 0), w(-2));
+  // Shift amounts use only the low 4 bits of B.
+  EXPECT_EQ(alu_execute(DnodeOp::kShl, w(1), w(16), 0), w(1));
+}
+
+TEST(Alu, AbsAndAbsdiff) {
+  EXPECT_EQ(alu_execute(DnodeOp::kAbs, w(-5), 0, 0), w(5));
+  EXPECT_EQ(alu_execute(DnodeOp::kAbs, w(5), 0, 0), w(5));
+  EXPECT_EQ(alu_execute(DnodeOp::kAbs, w(-32768), 0, 0), w(-32768));
+  EXPECT_EQ(alu_execute(DnodeOp::kAbsdiff, w(3), w(10), 0), w(7));
+  EXPECT_EQ(alu_execute(DnodeOp::kAbsdiff, w(10), w(3), 0), w(7));
+}
+
+TEST(Alu, MinMaxCompareSelect) {
+  EXPECT_EQ(alu_execute(DnodeOp::kMin, w(-3), w(2), 0), w(-3));
+  EXPECT_EQ(alu_execute(DnodeOp::kMax, w(-3), w(2), 0), w(2));
+  EXPECT_EQ(alu_execute(DnodeOp::kCmpeq, w(4), w(4), 0), w(1));
+  EXPECT_EQ(alu_execute(DnodeOp::kCmpeq, w(4), w(5), 0), w(0));
+  EXPECT_EQ(alu_execute(DnodeOp::kCmplt, w(-1), w(0), 0), w(1));
+  EXPECT_EQ(alu_execute(DnodeOp::kSelect, w(1), w(10), w(20)), w(10));
+  EXPECT_EQ(alu_execute(DnodeOp::kSelect, w(0), w(10), w(20)), w(20));
+}
+
+// Algebraic property sweep over random operands.
+class AluProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AluProperty, AlgebraicIdentities) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const Word a = rng.next_word();
+    const Word b = rng.next_word();
+    const Word c = rng.next_word();
+    // Commutativity.
+    EXPECT_EQ(alu_execute(DnodeOp::kAdd, a, b, 0),
+              alu_execute(DnodeOp::kAdd, b, a, 0));
+    EXPECT_EQ(alu_execute(DnodeOp::kMul, a, b, 0),
+              alu_execute(DnodeOp::kMul, b, a, 0));
+    EXPECT_EQ(alu_execute(DnodeOp::kAbsdiff, a, b, 0),
+              alu_execute(DnodeOp::kAbsdiff, b, a, 0));
+    // MAC decomposes into MUL + ADD.
+    EXPECT_EQ(alu_execute(DnodeOp::kMac, a, b, c),
+              alu_execute(DnodeOp::kAdd,
+                          alu_execute(DnodeOp::kMul, a, b, 0), c, 0));
+    // MSU is C - A*B.
+    EXPECT_EQ(alu_execute(DnodeOp::kMsu, a, b, c),
+              alu_execute(DnodeOp::kSub, c,
+                          alu_execute(DnodeOp::kMul, a, b, 0), 0));
+    // SUB is anti-commutative via RSUB.
+    EXPECT_EQ(alu_execute(DnodeOp::kSub, a, b, 0),
+              alu_execute(DnodeOp::kRsub, b, a, 0));
+    // min + max partition the pair.
+    const auto mn = as_signed(alu_execute(DnodeOp::kMin, a, b, 0));
+    const auto mx = as_signed(alu_execute(DnodeOp::kMax, a, b, 0));
+    EXPECT_EQ(mn + mx, as_signed(a) + as_signed(b));
+    // Saturating results never exceed the signed range and agree with
+    // wide arithmetic clamped.
+    const std::int64_t wide = static_cast<std::int64_t>(as_signed(a)) +
+                              as_signed(b);
+    EXPECT_EQ(alu_execute(DnodeOp::kAdds, a, b, 0),
+              to_word_saturated(wide));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AluProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace sring

@@ -1,0 +1,262 @@
+// Property fuzz: any canonical tool-generated program survives the
+// full text round trip (disassemble -> reassemble) and the binary
+// round trip (serialize -> deserialize) exactly.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "asm/disassembler.hpp"
+#include "asm/object_file.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/local_control.hpp"
+#include "isa/risc_instr.hpp"
+#include "sim/program.hpp"
+
+namespace sring {
+namespace {
+
+RingGeometry random_geometry(Rng& rng) {
+  RingGeometry g;
+  g.layers = 1 + rng.next_below(8);
+  g.lanes = 1 + rng.next_below(4);
+  g.fb_depth = 1 + rng.next_below(16);
+  return g;
+}
+
+/// Canonical random microinstruction: unused operand fields zeroed,
+/// immediate only present when an IMM source exists (what the
+/// assembler can express and the disassembler emits).
+DnodeInstr random_canonical_instr(Rng& rng) {
+  DnodeInstr i;
+  i.op = static_cast<DnodeOp>(
+      rng.next_below(static_cast<std::uint64_t>(DnodeOp::kOpCount)));
+  const auto random_src = [&]() {
+    return static_cast<DnodeSrc>(
+        rng.next_below(static_cast<std::uint64_t>(DnodeSrc::kSrcCount)));
+  };
+  if (i.op != DnodeOp::kNop) {
+    i.src_a = random_src();
+    if (op_uses_b(i.op)) i.src_b = random_src();
+    if (op_uses_c(i.op)) i.src_c = random_src();
+    i.dst = static_cast<DnodeDst>(
+        rng.next_below(static_cast<std::uint64_t>(DnodeDst::kDstCount)));
+  }
+  const bool has_imm =
+      i.src_a == DnodeSrc::kImm ||
+      (op_uses_b(i.op) && i.src_b == DnodeSrc::kImm) ||
+      (op_uses_c(i.op) && i.src_c == DnodeSrc::kImm);
+  if (has_imm) i.imm = rng.next_word();
+  i.out_en = rng.next_below(2) != 0;
+  i.bus_en = rng.next_below(4) == 0;
+  i.host_en = rng.next_below(4) == 0;
+  return i;
+}
+
+SwitchRoute random_route(Rng& rng, const RingGeometry& g) {
+  const auto random_fb = [&]() {
+    FeedbackAddr a;
+    a.pipe = static_cast<std::uint8_t>(rng.next_below(g.switch_count()));
+    a.lane = static_cast<std::uint8_t>(rng.next_below(g.lanes));
+    a.depth = static_cast<std::uint8_t>(rng.next_below(g.fb_depth));
+    return a;
+  };
+  const auto random_port = [&]() -> PortRoute {
+    switch (rng.next_below(5)) {
+      case 0:
+        return PortRoute::zero();
+      case 1:
+        return PortRoute::prev(
+            static_cast<std::uint8_t>(rng.next_below(g.lanes)));
+      case 2:
+        return PortRoute::host();
+      case 3:
+        return PortRoute::bus();
+      default:
+        return PortRoute::feedback(random_fb());
+    }
+  };
+  SwitchRoute r;
+  r.in1 = random_port();
+  r.in2 = random_port();
+  r.fifo1 = random_fb();
+  r.fifo2 = random_fb();
+  r.host_out_en = rng.next_below(4) == 0;
+  // Canonical form: the lane field is only meaningful when the tap is
+  // enabled (the assembly syntax cannot express a disabled lane).
+  if (r.host_out_en) {
+    r.host_out_lane = static_cast<std::uint8_t>(rng.next_below(g.lanes));
+  }
+  return r;
+}
+
+RiscInstr random_canonical_risc(Rng& rng) {
+  RiscInstr instr;
+  instr.op = static_cast<RiscOp>(
+      rng.next_below(static_cast<std::uint64_t>(RiscOp::kOpCount)));
+  const auto reg = [&]() {
+    return static_cast<std::uint8_t>(rng.next_below(kRiscRegCount));
+  };
+  switch (format_of(instr.op)) {
+    case RiscFormat::kNone:
+      break;
+    case RiscFormat::kRdImm:
+      instr.rd = reg();
+      instr.imm = static_cast<std::int32_t>(rng.next_below(65536)) - 32768;
+      break;
+    case RiscFormat::kRdRa:
+      instr.rd = reg();
+      instr.ra = reg();
+      break;
+    case RiscFormat::kRdRaRb:
+      instr.rd = reg();
+      instr.ra = reg();
+      instr.rb = reg();
+      break;
+    case RiscFormat::kRdRaImm:
+      instr.rd = reg();
+      instr.ra = reg();
+      instr.imm = static_cast<std::int32_t>(rng.next_below(65536)) - 32768;
+      break;
+    case RiscFormat::kRaRbImm:
+      instr.ra = reg();
+      instr.rb = reg();
+      instr.imm = static_cast<std::int32_t>(rng.next_below(65536)) - 32768;
+      break;
+    case RiscFormat::kImm:
+      instr.imm = static_cast<std::int32_t>(
+          rng.next_below(instr.op == RiscOp::kJmp ? 32768 : 65536));
+      break;
+    case RiscFormat::kRa:
+      instr.ra = reg();
+      break;
+    case RiscFormat::kRd:
+      instr.rd = reg();
+      break;
+    case RiscFormat::kRaRb:
+      instr.ra = reg();
+      instr.rb = reg();
+      break;
+  }
+  return instr;
+}
+
+LoadableProgram random_program(std::uint64_t seed) {
+  Rng rng(seed);
+  LoadableProgram p;
+  p.name = "fuzzprog";
+  p.geometry = random_geometry(rng);
+
+  const std::size_t code_len = 1 + rng.next_below(20);
+  for (std::size_t i = 0; i < code_len; ++i) {
+    p.controller_code.push_back(random_canonical_risc(rng).encode());
+  }
+
+  const std::size_t page_count = rng.next_below(3);
+  for (std::size_t pi = 0; pi < page_count; ++pi) {
+    ConfigPage page = ConfigPage::zeroed(p.geometry);
+    for (auto& w : page.dnode_instr) {
+      w = random_canonical_instr(rng).encode();
+    }
+    for (auto& m : page.dnode_mode) {
+      m = static_cast<std::uint8_t>(rng.next_below(2));
+    }
+    for (auto& w : page.switch_route) {
+      w = random_route(rng, p.geometry).encode();
+    }
+    p.pages.push_back(std::move(page));
+  }
+
+  // Local programs in canonical form: slots 0..n-1 then LIMIT = n-1.
+  for (std::size_t d = 0; d < p.geometry.dnode_count(); ++d) {
+    if (rng.next_below(2) == 0) continue;
+    const std::size_t len = 1 + rng.next_below(kLocalProgramSlots);
+    for (std::size_t s = 0; s < len; ++s) {
+      p.local_init.push_back({static_cast<std::uint32_t>(d),
+                              static_cast<std::uint8_t>(s),
+                              random_canonical_instr(rng).encode()});
+    }
+    p.local_init.push_back(
+        {static_cast<std::uint32_t>(d),
+         static_cast<std::uint8_t>(LocalControl::kLimitSlot), len - 1});
+  }
+  return p;
+}
+
+class AsmFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(AsmFuzz, TextRoundTripIsExact) {
+  const LoadableProgram original =
+      random_program(static_cast<std::uint64_t>(GetParam()));
+  const std::string listing = disassemble(original);
+  LoadableProgram reparsed;
+  try {
+    reparsed = assemble(listing);
+  } catch (const AsmError& e) {
+    FAIL() << "disassembly did not reassemble: " << e.what() << "\n"
+           << listing;
+  }
+  EXPECT_EQ(reparsed.geometry, original.geometry);
+  EXPECT_EQ(reparsed.controller_code, original.controller_code);
+  EXPECT_EQ(reparsed.pages, original.pages);
+  EXPECT_EQ(reparsed.local_init, original.local_init);
+}
+
+TEST_P(AsmFuzz, BinaryRoundTripIsExact) {
+  const LoadableProgram original =
+      random_program(static_cast<std::uint64_t>(GetParam()));
+  EXPECT_EQ(deserialize_program(serialize_program(original)), original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsmFuzz, ::testing::Range(0, 30));
+
+class ObjectCorruptionFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ObjectCorruptionFuzz, CorruptedObjectsNeverCrashTheLoader) {
+  // Flipping any byte must either still parse (if the byte was slack,
+  // e.g. a don't-care bit) or throw SimError — never crash or hang.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const LoadableProgram original =
+      random_program(static_cast<std::uint64_t>(GetParam()));
+  auto bytes = serialize_program(original);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto corrupted = bytes;
+    const std::size_t pos = rng.next_below(corrupted.size());
+    corrupted[pos] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    try {
+      const LoadableProgram p = deserialize_program(corrupted);
+      // If it parsed, it must at least be structurally sound.
+      p.geometry.validate();
+    } catch (const SimError&) {
+      // Expected for most corruptions.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObjectCorruptionFuzz,
+                         ::testing::Range(0, 10));
+
+class TextCorruptionFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TextCorruptionFuzz, MutatedSourceNeverCrashesTheAssembler) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+  std::string source =
+      disassemble(random_program(static_cast<std::uint64_t>(GetParam())));
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string mutated = source;
+    const std::size_t pos = rng.next_below(mutated.size());
+    mutated[pos] = static_cast<char>(' ' + rng.next_below(95));
+    try {
+      (void)assemble(mutated);
+    } catch (const AsmError&) {
+      // Expected for most mutations.
+    } catch (const SimError&) {
+      // Geometry/structure violations surface as SimError.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TextCorruptionFuzz,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace sring

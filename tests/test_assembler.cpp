@@ -1,0 +1,250 @@
+// Tests for the two-level assembler, lexer diagnostics, and the
+// disassembler round-trip property.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "asm/disassembler.hpp"
+#include "common/error.hpp"
+#include "asm/lexer.hpp"
+#include "asm/program_builder.hpp"
+#include "isa/risc_instr.hpp"
+#include "sim/system.hpp"
+
+namespace sring {
+namespace {
+
+TEST(Lexer, TokenizesNumbersAndIdents) {
+  const auto tokens = lex("ldi r1, -42 ; comment\nfoo: 0x1F 0b101");
+  ASSERT_GE(tokens.size(), 9u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[0].text, "ldi");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kComma);
+  EXPECT_EQ(tokens[3].value, -42);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kNewline);
+  EXPECT_EQ(tokens[5].text, "foo");
+  EXPECT_EQ(tokens[6].kind, TokenKind::kColon);
+  EXPECT_EQ(tokens[7].value, 0x1F);
+  EXPECT_EQ(tokens[8].value, 5);
+}
+
+TEST(Lexer, CoordinatesSplitOnDot) {
+  const auto tokens = lex("dnode 0.1");
+  EXPECT_EQ(tokens[1].value, 0);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kDot);
+  EXPECT_EQ(tokens[3].value, 1);
+}
+
+TEST(Lexer, DirectivesKeepLeadingDot) {
+  const auto tokens = lex(".ring 4 2");
+  EXPECT_EQ(tokens[0].text, ".ring");
+}
+
+TEST(Lexer, ReportsBadCharacterWithPosition) {
+  try {
+    lex("ldi r1, $");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_EQ(e.column(), 9u);
+  }
+}
+
+constexpr const char* kMacSource = R"(
+; running MAC demo
+.name macdemo
+.ring 4 2 16
+
+.controller
+    page  boot
+    halt
+
+.page boot
+    dnode 0.0 local
+    switch 0.0 in1=host in2=host
+
+.local 0.0
+{
+    mac r0, in1, in2, r0 host
+}
+)";
+
+TEST(Assembler, ParsesFullProgram) {
+  const auto prog = assemble(kMacSource);
+  EXPECT_EQ(prog.name, "macdemo");
+  EXPECT_EQ(prog.geometry.layers, 4u);
+  EXPECT_EQ(prog.geometry.lanes, 2u);
+  EXPECT_EQ(prog.controller_code.size(), 2u);
+  ASSERT_EQ(prog.pages.size(), 1u);
+  EXPECT_EQ(prog.pages[0].dnode_mode[0],
+            static_cast<std::uint8_t>(DnodeMode::kLocal));
+  // local program: one instruction + LIMIT write.
+  ASSERT_EQ(prog.local_init.size(), 2u);
+  EXPECT_EQ(prog.local_init[1].slot, LocalControl::kLimitSlot);
+  EXPECT_EQ(prog.local_init[1].value, 0u);
+}
+
+TEST(Assembler, AssembledProgramRunsCorrectly) {
+  SystemConfig sc;
+  sc.geometry = {4, 2, 16};
+  System sys(sc);
+  sys.load(assemble(kMacSource));
+  sys.host().send(std::vector<Word>{2, 3, 4, 5});
+  sys.run_until_outputs(2, 1000);
+  const auto got = sys.host().take_received();
+  ASSERT_GE(got.size(), 2u);
+  EXPECT_EQ(got[0], to_word(6));
+  EXPECT_EQ(got[1], to_word(26));
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward) {
+  const auto prog = assemble(R"(
+.ring 2 1
+.controller
+    ldi r1, 0
+    jmp skip
+loop:
+    addi r1, r1, 1
+skip:
+    ldi r2, 5
+    bne r1, r2, loop
+    halt
+)");
+  // jmp skip jumps over one instruction: offset +1.
+  const auto jmp = RiscInstr::decode(prog.controller_code[1]);
+  EXPECT_EQ(jmp.op, RiscOp::kJmp);
+  EXPECT_EQ(jmp.imm, 1);
+  const auto bne = RiscInstr::decode(prog.controller_code[4]);
+  EXPECT_EQ(bne.imm, -3);
+}
+
+TEST(Assembler, EquConstants) {
+  const auto prog = assemble(R"(
+.ring 2 1
+.equ taps 7
+.controller
+    ldi r1, taps
+    halt
+)");
+  EXPECT_EQ(RiscInstr::decode(prog.controller_code[0]).imm, 7);
+}
+
+TEST(Assembler, ImmediateOperandSyntax) {
+  const auto prog = assemble(R"(
+.ring 2 1
+.page p
+    dnode 0.0 { mac r1, in1, imm(-7), r1 out }
+)");
+  const auto instr = DnodeInstr::decode(prog.pages[0].dnode_instr[0]);
+  EXPECT_EQ(instr.op, DnodeOp::kMac);
+  EXPECT_EQ(instr.src_b, DnodeSrc::kImm);
+  EXPECT_EQ(as_signed(instr.imm), -7);
+  EXPECT_TRUE(instr.out_en);
+}
+
+TEST(Assembler, SwitchRouteSyntax) {
+  const auto prog = assemble(R"(
+.ring 4 2 8
+.page p
+    switch 2.1 in1=prev0 in2=fb(1,1,3) fifo1=fb(3,0,7) hostout=prev1
+)");
+  const auto route =
+      SwitchRoute::decode(prog.pages[0].switch_route[2 * 2 + 1]);
+  EXPECT_EQ(route.in1, PortRoute::prev(0));
+  EXPECT_EQ(route.in2, PortRoute::feedback({1, 1, 3}));
+  EXPECT_EQ(route.fifo1, (FeedbackAddr{3, 0, 7}));
+  EXPECT_TRUE(route.host_out_en);
+  EXPECT_EQ(route.host_out_lane, 1);
+}
+
+struct BadSource {
+  const char* text;
+  const char* reason;
+};
+
+class AssemblerDiagnostics : public ::testing::TestWithParam<BadSource> {};
+
+TEST_P(AssemblerDiagnostics, RejectsBadSource) {
+  EXPECT_THROW(assemble(GetParam().text), AsmError) << GetParam().reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AssemblerDiagnostics,
+    ::testing::Values(
+        BadSource{".controller\n halt\n", "missing .ring"},
+        BadSource{".ring 99 2\n", "bad geometry"},
+        BadSource{".ring 2 1\n.controller\n frob r1\n", "unknown mnemonic"},
+        BadSource{".ring 2 1\n.controller\n ldi r99, 0\n", "bad register"},
+        BadSource{".ring 2 1\n.controller\n jmp nowhere\n halt\n",
+                  "unknown label"},
+        BadSource{".ring 2 1\n.controller\n ldi r1, 100000\n",
+                  "immediate too wide"},
+        BadSource{".ring 2 1\n.page p\n dnode 9.9 local\n",
+                  "coordinate out of range"},
+        BadSource{".ring 2 1\n.page p\n switch 0.0 in1=prev5\n",
+                  "lane out of range"},
+        BadSource{".ring 2 1\n.page p\n switch 0.0 in1=fb(7,0,0)\n",
+                  "fb pipe out of range"},
+        BadSource{".ring 2 1\n.page p\n dnode 0.0 { add r0, imm(1), "
+                  "imm(2) }\n",
+                  "conflicting immediates"},
+        BadSource{".ring 2 1\n.local 0.0\n{\n nop\n nop\n nop\n nop\n nop\n"
+                  " nop\n nop\n nop\n nop\n}\n",
+                  "local program too long"},
+        BadSource{".ring 2 1\n.page dup\n.page dup\n", "duplicate page"},
+        BadSource{".ring 2 1\n.controller\nx:\nx:\n halt\n",
+                  "duplicate label"}));
+
+TEST(Disassembler, RoundTripsToolGeneratedPrograms) {
+  // Property: disassemble -> assemble reproduces controller code,
+  // pages and local writes exactly (label names are immaterial).
+  const auto original = assemble(kMacSource);
+  const std::string listing = disassemble(original);
+  const auto reparsed = assemble(listing);
+  EXPECT_EQ(reparsed.geometry, original.geometry);
+  EXPECT_EQ(reparsed.controller_code, original.controller_code);
+  ASSERT_EQ(reparsed.pages.size(), original.pages.size());
+  for (std::size_t i = 0; i < original.pages.size(); ++i) {
+    EXPECT_EQ(reparsed.pages[i].dnode_instr, original.pages[i].dnode_instr);
+    EXPECT_EQ(reparsed.pages[i].dnode_mode, original.pages[i].dnode_mode);
+    EXPECT_EQ(reparsed.pages[i].switch_route,
+              original.pages[i].switch_route);
+  }
+}
+
+TEST(Disassembler, RoundTripsBuilderPrograms) {
+  ProgramBuilder pb({4, 2, 16}, "built");
+  PageBuilder page({4, 2, 16});
+  DnodeInstr mac;
+  mac.op = DnodeOp::kMac;
+  mac.src_a = DnodeSrc::kIn1;
+  mac.src_b = DnodeSrc::kImm;
+  mac.src_c = DnodeSrc::kR0;
+  mac.dst = DnodeDst::kR0;
+  mac.imm = to_word(-3);
+  page.instr(1, 0, mac);
+  SwitchRoute r;
+  r.in1 = PortRoute::host();
+  r.fifo1 = {2, 1, 5};
+  r.host_out_en = true;
+  page.route(1, 0, r);
+  pb.add_page(page);
+  pb.ldi(1, 10);
+  pb.label("spin");
+  pb.addi(1, 1, -1);
+  pb.branch(RiscOp::kBne, 1, 2, "spin");
+  pb.page_switch(0);
+  pb.halt();
+  pb.local_program(3, {mac, DnodeInstr{}});
+
+  const auto original = pb.build();
+  const auto reparsed = assemble(disassemble(original));
+  EXPECT_EQ(reparsed.controller_code, original.controller_code);
+  ASSERT_EQ(reparsed.pages.size(), 1u);
+  EXPECT_EQ(reparsed.pages[0].dnode_instr, original.pages[0].dnode_instr);
+  EXPECT_EQ(reparsed.pages[0].switch_route,
+            original.pages[0].switch_route);
+  EXPECT_EQ(reparsed.local_init, original.local_init);
+}
+
+}  // namespace
+}  // namespace sring

@@ -1,0 +1,107 @@
+// Tests for the Table-1 / comparative-results baseline models: MMX
+// SIMD, block-matching ASIC, scalar CPU.
+#include <gtest/gtest.h>
+
+#include "baseline/asic_me.hpp"
+#include "baseline/mmx.hpp"
+#include "baseline/scalar_cpu.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/sad.hpp"
+
+namespace sring::baseline {
+namespace {
+
+TEST(MmxAlu, Psubusb) {
+  // 0x10 - 0x20 saturates to 0; 0x80 - 0x10 = 0x70, per byte.
+  EXPECT_EQ(psubusb(0x1080, 0x2010), 0x0070u);
+  EXPECT_EQ(psubusb(0xFF00FF00FF00FF00ull, 0x0100010001000100ull),
+            0xFE00FE00FE00FE00ull);
+}
+
+TEST(MmxAlu, Unpack) {
+  const Mmx v = 0x8877665544332211ull;
+  EXPECT_EQ(punpcklbw_zero(v), 0x0044003300220011ull);
+  EXPECT_EQ(punpckhbw_zero(v), 0x0088007700660055ull);
+}
+
+TEST(MmxAlu, PaddwWraps) {
+  EXPECT_EQ(paddw(0xFFFF, 0x0002), 0x0001u);
+  EXPECT_EQ(paddw(0x0001000100010001ull, 0x0001000100010001ull),
+            0x0002000200020002ull);
+}
+
+TEST(MmxAlu, HorizontalSum) {
+  EXPECT_EQ(horizontal_sum_words(0x0004000300020001ull), 10u);
+}
+
+TEST(MmxModel, SadsMatchGoldenModel) {
+  const Image ref = Image::synthetic(48, 48, 21);
+  const Image cand = Image::shifted(ref, 3, -2, 5, 6);
+  const auto mmx = mmx_motion_estimation(ref, 16, 16, cand, 8);
+  const auto golden = dsp::all_candidate_sads(ref, 16, 16, cand, 8);
+  ASSERT_EQ(mmx.sads.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(mmx.sads[i], golden[i]) << i;
+  }
+  EXPECT_EQ(mmx.best, dsp::full_search(ref, 16, 16, cand, 8));
+}
+
+TEST(MmxModel, CycleCountInPlausibleEnvelope) {
+  // 289 candidates x 88 MMX ops / candidate, paired at between 1 and 2
+  // ops/cycle plus bookkeeping: tens of cycles per candidate.
+  const Image ref = Image::synthetic(48, 48, 2);
+  const Image cand = Image::shifted(ref, 1, 0, 3, 4);
+  const auto mmx = mmx_motion_estimation(ref, 16, 16, cand, 8);
+  const double per_candidate =
+      static_cast<double>(mmx.stats.cycles) / 289.0;
+  EXPECT_GT(per_candidate, 45.0);
+  EXPECT_LT(per_candidate, 110.0);
+  // Pairing actually happened: fewer cycles than ops.
+  EXPECT_LT(mmx.stats.cycles, mmx.stats.mmx_ops + mmx.stats.scalar_ops);
+}
+
+TEST(AsicModel, SadsMatchGoldenAndOneCandidatePerCycle) {
+  const Image ref = Image::synthetic(48, 48, 9);
+  const Image cand = Image::shifted(ref, -2, 2, 1, 3);
+  const auto asic = asic_motion_estimation(ref, 16, 16, cand, 8);
+  const auto golden = dsp::all_candidate_sads(ref, 16, 16, cand, 8);
+  ASSERT_EQ(asic.sads.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(asic.sads[i], golden[i]) << i;
+  }
+  // 289 candidates + fill + tree latency: a few hundred cycles.
+  EXPECT_GE(asic.cycles, 289u);
+  EXPECT_LE(asic.cycles, 289u + 32u);
+  EXPECT_EQ(asic.pe_ops, 289u * 64u);
+}
+
+TEST(ScalarModel, FirMatchesReference) {
+  std::vector<Word> x = {1, 2, 3, 4, 5, to_word(-6), 7};
+  std::vector<Word> c = {2, to_word(-1), 3};
+  const auto scalar = scalar_fir(x, c);
+  EXPECT_EQ(scalar.outputs, dsp::fir_reference(x, c));
+  EXPECT_GT(scalar.stats.instructions, 0u);
+  EXPECT_GT(scalar.stats.cycles, 0.0);
+}
+
+TEST(ScalarModel, MeMatchesGolden) {
+  const Image ref = Image::synthetic(32, 32, 4);
+  const Image cand = Image::shifted(ref, 1, -1, 2, 2);
+  const auto scalar = scalar_motion_estimation(ref, 12, 12, cand, 4);
+  EXPECT_EQ(scalar.sads, dsp::all_candidate_sads(ref, 12, 12, cand, 4));
+}
+
+TEST(ScalarModel, MipsScaleWithClock) {
+  std::vector<Word> x(256, 3);
+  std::vector<Word> c(8, 1);
+  const auto r = scalar_fir(x, c);
+  const double mips450 = r.stats.mips(450e6);
+  const double mips900 = r.stats.mips(900e6);
+  EXPECT_NEAR(mips900, 2.0 * mips450, 1e-6);
+  // A P6-class core sustains on the order of its IPC x clock.
+  EXPECT_GT(mips450, 100.0);
+  EXPECT_LT(mips450, 1000.0);
+}
+
+}  // namespace
+}  // namespace sring::baseline

@@ -1,0 +1,150 @@
+// Unit tests for src/common: types, bit utilities, errors, RNG, image.
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/image.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace sring {
+namespace {
+
+TEST(Types, SignedConversionRoundTrips) {
+  EXPECT_EQ(as_signed(Word{0}), 0);
+  EXPECT_EQ(as_signed(Word{0x7FFF}), 32767);
+  EXPECT_EQ(as_signed(Word{0x8000}), -32768);
+  EXPECT_EQ(as_signed(Word{0xFFFF}), -1);
+}
+
+TEST(Types, ToWordWraps) {
+  EXPECT_EQ(to_word(0x12345), Word{0x2345});
+  EXPECT_EQ(to_word(-1), Word{0xFFFF});
+  EXPECT_EQ(to_word(65536), Word{0});
+  EXPECT_EQ(to_word(-32769), Word{0x7FFF});
+}
+
+TEST(Types, SaturationClamps) {
+  EXPECT_EQ(to_word_saturated(40000), Word{0x7FFF});
+  EXPECT_EQ(to_word_saturated(-40000), Word{0x8000});
+  EXPECT_EQ(to_word_saturated(123), Word{123});
+}
+
+class ToWordProperty : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ToWordProperty, RoundTripsThroughSigned) {
+  const std::int64_t v = GetParam();
+  // For any in-range value, to_word then as_signed is the identity.
+  if (v >= -32768 && v <= 32767) {
+    EXPECT_EQ(as_signed(to_word(v)), v);
+  }
+  // Wrapping is congruent mod 2^16.
+  EXPECT_EQ((as_signed(to_word(v)) - v) % 65536, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ToWordProperty,
+                         ::testing::Values(-65536, -40000, -32769, -32768,
+                                           -1, 0, 1, 32767, 32768, 65535,
+                                           65536, 1234567));
+
+TEST(Bits, ExtractDeposit) {
+  EXPECT_EQ(extract_bits(0xDEADBEEF, 8, 8), 0xBEu);
+  EXPECT_EQ(deposit_bits(0xFF00, 0, 8, 0xAB), 0xFFABu);
+  EXPECT_EQ(deposit_bits(0, 60, 4, 0xF), 0xF000000000000000ull);
+  // Depositing discards field bits beyond the width.
+  EXPECT_EQ(deposit_bits(0, 0, 4, 0x1F), 0xFull);
+}
+
+TEST(Bits, ExtractDepositInverse) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t value = rng.next_u64();
+    const unsigned lsb = static_cast<unsigned>(rng.next_below(56));
+    const unsigned width = 1 + static_cast<unsigned>(rng.next_below(8));
+    const std::uint64_t field = rng.next_u64();
+    const auto deposited = deposit_bits(value, lsb, width, field);
+    EXPECT_EQ(extract_bits(deposited, lsb, width),
+              field & ((1ull << width) - 1));
+  }
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0xFF, 8), -1);
+  EXPECT_EQ(sign_extend(0x7F, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0xFFFF, 17), 0xFFFF);
+}
+
+TEST(Bits, FitsChecks) {
+  EXPECT_TRUE(fits_signed(-32768, 16));
+  EXPECT_FALSE(fits_signed(-32769, 16));
+  EXPECT_TRUE(fits_unsigned(65535, 16));
+  EXPECT_FALSE(fits_unsigned(65536, 16));
+}
+
+TEST(Error, CheckThrowsSimError) {
+  EXPECT_NO_THROW(check(true, "fine"));
+  EXPECT_THROW(check(false, "boom"), SimError);
+}
+
+TEST(Error, AsmErrorCarriesLocation) {
+  const AsmError e("bad token", 12, 5);
+  EXPECT_EQ(e.line(), 12u);
+  EXPECT_EQ(e.column(), 5u);
+  EXPECT_NE(std::string(e.what()).find("12:5"), std::string::npos);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const Word w = rng.next_word_in(-5, 9);
+    EXPECT_GE(as_signed(w), -5);
+    EXPECT_LE(as_signed(w), 9);
+  }
+}
+
+TEST(Image, AccessAndClamp) {
+  Image img(4, 3, 7);
+  EXPECT_EQ(img.at(0, 0), 7u);
+  img.at(3, 2) = 99;
+  EXPECT_EQ(img.at(3, 2), 99u);
+  EXPECT_EQ(img.at_clamped(-5, -5), img.at(0, 0));
+  EXPECT_EQ(img.at_clamped(100, 100), img.at(3, 2));
+  EXPECT_THROW(img.at(4, 0), SimError);
+}
+
+TEST(Image, SyntheticIsDeterministicAnd8Bit) {
+  const Image a = Image::synthetic(32, 16, 5);
+  const Image b = Image::synthetic(32, 16, 5);
+  EXPECT_EQ(a, b);
+  for (const Word w : a.pixels()) {
+    EXPECT_LE(as_signed(w), 255);
+    EXPECT_GE(as_signed(w), 0);
+  }
+}
+
+TEST(Image, ShiftedMovesContent) {
+  const Image a = Image::synthetic(32, 32, 5);
+  const Image b = Image::shifted(a, 3, -2, 0, 0);
+  // Interior pixels of the shifted frame equal the source moved by
+  // (dx, dy).
+  EXPECT_EQ(b.at(10, 10), a.at(7, 12));
+}
+
+TEST(Image, PgmHeader) {
+  const Image a(8, 4, 100);
+  const std::string pgm = a.to_pgm();
+  EXPECT_EQ(pgm.substr(0, 3), "P5\n");
+  EXPECT_NE(pgm.find("8 4"), std::string::npos);
+  EXPECT_EQ(pgm.size(), pgm.find("255\n") + 4 + 32);
+}
+
+}  // namespace
+}  // namespace sring

@@ -1,0 +1,91 @@
+// Tests for the compiler-composed 3x3 convolution.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dsp/conv2d.hpp"
+#include "kernels/conv2d_kernel.hpp"
+
+namespace sring::kernels {
+namespace {
+
+RingGeometry ring64() { return {8, 8, 16}; }
+
+TEST(Conv2dGolden, IdentityKernel) {
+  dsp::Kernel3x3 ident{};
+  ident[1][1] = 1;
+  const Image img = Image::synthetic(16, 12, 3);
+  EXPECT_EQ(dsp::conv2d_3x3_reference(img, ident), img);
+}
+
+TEST(Conv2dGolden, SmoothOfConstantScalesBySixteen) {
+  Image img(8, 8, 10);
+  const Image out = dsp::conv2d_3x3_reference(img, dsp::kernel_smooth());
+  for (const Word w : out.pixels()) {
+    EXPECT_EQ(w, to_word(160));
+  }
+}
+
+TEST(Conv2dGolden, SobelOfConstantIsZero) {
+  Image img(8, 8, 77);
+  const Image out = dsp::conv2d_3x3_reference(img, dsp::kernel_sobel_x());
+  for (const Word w : out.pixels()) {
+    EXPECT_EQ(w, 0u);
+  }
+}
+
+TEST(Conv2dDfg, SkipsDeadTapsAndFuses) {
+  // Sharpen has four zero taps; the graph carries only five terms, and
+  // MAC fusion keeps the operator count small.
+  const auto dfg = make_conv3x3_dfg(dsp::kernel_sharpen());
+  const auto mapped = mapper::map_dfg(dfg, ring64());
+  EXPECT_LE(mapped.dnodes_used, 3u + 8u) << mapper::mapping_report(mapped);
+}
+
+class Conv2dSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Conv2dSweep, MatchesGoldenOnAllKernels) {
+  const Image img =
+      Image::synthetic(12, 10, static_cast<std::uint64_t>(GetParam()));
+  const dsp::Kernel3x3 kernels[] = {
+      dsp::kernel_smooth(), dsp::kernel_sharpen(), dsp::kernel_sobel_x()};
+  for (const auto& k : kernels) {
+    const auto result = run_conv2d_3x3(ring64(), img, k);
+    EXPECT_EQ(result.output, dsp::conv2d_3x3_reference(img, k));
+    EXPECT_GT(result.dnodes_used, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Conv2dSweep, ::testing::Values(1, 2, 3));
+
+TEST(Conv2d, RandomKernelsBitExact) {
+  Rng rng(99);
+  const Image img = Image::synthetic(16, 8, 5);
+  for (int trial = 0; trial < 5; ++trial) {
+    dsp::Kernel3x3 k;
+    for (auto& row : k) {
+      for (auto& v : row) v = rng.next_word_in(-4, 4);
+    }
+    bool all_zero = true;
+    for (const auto& row : k) {
+      for (const auto v : row) all_zero = all_zero && v == 0;
+    }
+    if (all_zero) k[1][1] = 1;
+    const auto result = run_conv2d_3x3(ring64(), img, k);
+    EXPECT_EQ(result.output, dsp::conv2d_3x3_reference(img, k))
+        << "trial " << trial;
+  }
+}
+
+TEST(Conv2d, ThroughputIsAboutOnePixelPerCycle) {
+  const Image img = Image::synthetic(64, 16, 9);
+  const auto result = run_conv2d_3x3(ring64(), img, dsp::kernel_smooth());
+  // Per row: width+2 stream samples plus pipeline flush.
+  EXPECT_LT(result.cycles_per_pixel, 1.5);
+}
+
+TEST(Conv2d, AllZeroKernelRejected) {
+  EXPECT_THROW(make_conv3x3_dfg(dsp::Kernel3x3{}), SimError);
+}
+
+}  // namespace
+}  // namespace sring::kernels

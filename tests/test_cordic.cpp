@@ -1,0 +1,111 @@
+// Tests for the CORDIC golden model and its ring macro-operator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dsp/cordic.hpp"
+#include "kernels/cordic_kernel.hpp"
+
+namespace sring {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+Word q12(double radians) {
+  return to_word(static_cast<std::int64_t>(
+      std::llround(radians * dsp::kCordicOne)));
+}
+
+TEST(CordicGolden, TableAndGainAnchors) {
+  const auto table = dsp::cordic_atan_table();
+  EXPECT_EQ(as_signed(table[0]), 3217);  // atan(1) = pi/4 in Q12
+  EXPECT_EQ(as_signed(table[1]), 1899);  // atan(1/2)
+  // Monotonically decreasing, roughly halving.
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    EXPECT_LT(as_signed(table[i]), as_signed(table[i - 1]));
+  }
+  // 1/K = 0.60725... -> 2487 in Q12.
+  EXPECT_EQ(as_signed(dsp::cordic_k_inv()), 2487);
+}
+
+TEST(CordicGolden, MatchesLibmWithinTolerance) {
+  for (double deg = -85.0; deg <= 85.0; deg += 5.0) {
+    const double rad = deg * kPi / 180.0;
+    const auto r = dsp::cordic_rotate(q12(rad));
+    const double cos_err =
+        as_signed(r.cos_q12) - dsp::kCordicOne * std::cos(rad);
+    const double sin_err =
+        as_signed(r.sin_q12) - dsp::kCordicOne * std::sin(rad);
+    // Truncating (floor) shifts bias the integer datapath slightly;
+    // ~8 LSB at Q12 after 12 iterations is the expected envelope.
+    EXPECT_LT(std::abs(cos_err), 8.0) << "deg=" << deg;
+    EXPECT_LT(std::abs(sin_err), 8.0) << "deg=" << deg;
+  }
+}
+
+TEST(CordicGolden, KnownAngles) {
+  const auto zero = dsp::cordic_rotate(q12(0.0));
+  EXPECT_NEAR(as_signed(zero.cos_q12), dsp::kCordicOne, 3);
+  EXPECT_NEAR(as_signed(zero.sin_q12), 0, 3);
+  const auto right = dsp::cordic_rotate(q12(kPi / 2));
+  EXPECT_NEAR(as_signed(right.cos_q12), 0, 4);
+  EXPECT_NEAR(as_signed(right.sin_q12), dsp::kCordicOne, 3);
+}
+
+TEST(CordicGolden, FewerIterationsAreCoarser) {
+  const Word theta = q12(0.7);
+  const auto fine = dsp::cordic_rotate(theta, 12);
+  const auto coarse = dsp::cordic_rotate(theta, 4);
+  const double exact = dsp::kCordicOne * std::sin(0.7);
+  EXPECT_LT(std::abs(as_signed(fine.sin_q12) - exact) - 1.0,
+            std::abs(as_signed(coarse.sin_q12) - exact));
+}
+
+TEST(CordicKernel, BitExactAgainstGoldenModel) {
+  const RingGeometry g{8, 2, 16};
+  std::vector<Word> thetas;
+  for (double deg = -80.0; deg <= 80.0; deg += 16.0) {
+    thetas.push_back(q12(deg * kPi / 180.0));
+  }
+  const auto ring = kernels::run_cordic(g, thetas);
+  const auto golden = dsp::cordic_rotate_stream(thetas);
+  ASSERT_EQ(ring.outputs.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(ring.outputs[i].cos_q12, golden[i].cos_q12) << i;
+    EXPECT_EQ(ring.outputs[i].sin_q12, golden[i].sin_q12) << i;
+  }
+}
+
+TEST(CordicKernel, WorksWithReducedIterations) {
+  const RingGeometry g{4, 2, 16};
+  const std::vector<Word> thetas = {q12(0.5), q12(-1.0), q12(1.2)};
+  for (const unsigned iters : {1u, 4u, 8u}) {
+    const auto ring = kernels::run_cordic(g, thetas, iters);
+    const auto golden = dsp::cordic_rotate_stream(thetas, iters);
+    for (std::size_t i = 0; i < golden.size(); ++i) {
+      EXPECT_EQ(ring.outputs[i].cos_q12, golden[i].cos_q12)
+          << "iters=" << iters << " i=" << i;
+      EXPECT_EQ(ring.outputs[i].sin_q12, golden[i].sin_q12)
+          << "iters=" << iters << " i=" << i;
+    }
+  }
+}
+
+TEST(CordicKernel, CycleBudget) {
+  // 5 pages per iteration + load/settle/emit + loop upkeep.
+  const RingGeometry g{8, 2, 16};
+  const std::vector<Word> thetas(16, q12(0.3));
+  const auto ring = kernels::run_cordic(g, thetas);
+  EXPECT_LE(ring.cycles_per_sample, 5.0 * 12 + 8);
+}
+
+TEST(CordicKernel, RejectsBadConfiguration) {
+  const std::vector<Word> thetas = {q12(0.1)};
+  EXPECT_THROW(kernels::run_cordic({2, 2, 8}, thetas), SimError);
+  EXPECT_THROW(kernels::run_cordic({8, 2, 16}, thetas, 0), SimError);
+  EXPECT_THROW(kernels::run_cordic({8, 2, 16}, thetas, 13), SimError);
+}
+
+}  // namespace
+}  // namespace sring

@@ -1,0 +1,118 @@
+// Unit and property tests for the Dnode microinstruction format.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "isa/dnode_instr.hpp"
+
+namespace sring {
+namespace {
+
+TEST(DnodeInstr, DefaultEncodesToZero) {
+  EXPECT_EQ(DnodeInstr{}.encode(), 0u);
+  EXPECT_EQ(DnodeInstr::decode(0), DnodeInstr{});
+}
+
+TEST(DnodeInstr, FieldsSurviveRoundTrip) {
+  DnodeInstr instr;
+  instr.op = DnodeOp::kMac;
+  instr.src_a = DnodeSrc::kIn1;
+  instr.src_b = DnodeSrc::kImm;
+  instr.src_c = DnodeSrc::kR2;
+  instr.dst = DnodeDst::kR2;
+  instr.out_en = true;
+  instr.host_en = true;
+  instr.imm = 0xBEEF;
+  EXPECT_EQ(DnodeInstr::decode(instr.encode()), instr);
+}
+
+TEST(DnodeInstr, RandomRoundTripProperty) {
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    DnodeInstr instr;
+    instr.op = static_cast<DnodeOp>(
+        rng.next_below(static_cast<std::uint64_t>(DnodeOp::kOpCount)));
+    instr.src_a = static_cast<DnodeSrc>(
+        rng.next_below(static_cast<std::uint64_t>(DnodeSrc::kSrcCount)));
+    instr.src_b = static_cast<DnodeSrc>(
+        rng.next_below(static_cast<std::uint64_t>(DnodeSrc::kSrcCount)));
+    instr.src_c = static_cast<DnodeSrc>(
+        rng.next_below(static_cast<std::uint64_t>(DnodeSrc::kSrcCount)));
+    instr.dst = static_cast<DnodeDst>(
+        rng.next_below(static_cast<std::uint64_t>(DnodeDst::kDstCount)));
+    instr.out_en = rng.next_below(2) != 0;
+    instr.bus_en = rng.next_below(2) != 0;
+    instr.host_en = rng.next_below(2) != 0;
+    instr.imm = rng.next_word();
+    EXPECT_EQ(DnodeInstr::decode(instr.encode()), instr);
+  }
+}
+
+TEST(DnodeInstr, DecodeRejectsBadFields) {
+  // Opcode field beyond kOpCount.
+  EXPECT_THROW(DnodeInstr::decode(63), SimError);
+  // srcA field = 15 (invalid source).
+  EXPECT_THROW(DnodeInstr::decode(15ull << 6), SimError);
+  // dst field = 7 (invalid destination).
+  EXPECT_THROW(DnodeInstr::decode(7ull << 18), SimError);
+}
+
+TEST(DnodeInstr, EncodeFitsIn48Bits) {
+  DnodeInstr instr;
+  instr.op = DnodeOp::kSelect;
+  instr.src_a = DnodeSrc::kR3;
+  instr.src_b = DnodeSrc::kR3;
+  instr.src_c = DnodeSrc::kR3;
+  instr.dst = DnodeDst::kNone;
+  instr.out_en = instr.bus_en = instr.host_en = true;
+  instr.imm = 0xFFFF;
+  EXPECT_LT(instr.encode(), 1ull << 48);
+}
+
+TEST(DnodeInstr, MnemonicRoundTrip) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(DnodeOp::kOpCount);
+       ++i) {
+    const auto op = static_cast<DnodeOp>(i);
+    const auto parsed = parse_dnode_op(to_mnemonic(op));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, op);
+  }
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(DnodeSrc::kSrcCount); ++i) {
+    const auto src = static_cast<DnodeSrc>(i);
+    EXPECT_EQ(parse_dnode_src(to_mnemonic(src)), src);
+  }
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(DnodeDst::kDstCount); ++i) {
+    const auto dst = static_cast<DnodeDst>(i);
+    EXPECT_EQ(parse_dnode_dst(to_mnemonic(dst)), dst);
+  }
+  EXPECT_FALSE(parse_dnode_op("frobnicate").has_value());
+}
+
+TEST(DnodeInstr, OperandUsagePredicates) {
+  EXPECT_FALSE(op_uses_b(DnodeOp::kPass));
+  EXPECT_TRUE(op_uses_b(DnodeOp::kAdd));
+  EXPECT_TRUE(op_uses_c(DnodeOp::kMac));
+  EXPECT_FALSE(op_uses_c(DnodeOp::kAdd));
+  EXPECT_TRUE(op_uses_c(DnodeOp::kSelect));
+}
+
+TEST(DnodeInstr, ToStringMentionsOperands) {
+  DnodeInstr instr;
+  instr.op = DnodeOp::kMac;
+  instr.src_a = DnodeSrc::kIn1;
+  instr.src_b = DnodeSrc::kImm;
+  instr.src_c = DnodeSrc::kR0;
+  instr.dst = DnodeDst::kR0;
+  instr.imm = to_word(-3);
+  instr.out_en = true;
+  const std::string s = instr.to_string();
+  EXPECT_NE(s.find("mac"), std::string::npos);
+  EXPECT_NE(s.find("in1"), std::string::npos);
+  EXPECT_NE(s.find("imm(-3)"), std::string::npos);
+  EXPECT_NE(s.find("out"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sring

@@ -1,0 +1,220 @@
+// Tests for the golden-model DSP references (FIR, IIR, SAD/motion
+// estimation, 5/3 wavelet) including property sweeps.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/iir.hpp"
+#include "dsp/sad.hpp"
+#include "dsp/wavelet.hpp"
+
+namespace sring::dsp {
+namespace {
+
+std::vector<Word> random_signal(std::size_t n, std::uint64_t seed,
+                                std::int32_t lo = -256,
+                                std::int32_t hi = 255) {
+  Rng rng(seed);
+  std::vector<Word> x(n);
+  for (auto& v : x) v = rng.next_word_in(lo, hi);
+  return x;
+}
+
+TEST(Fir, ImpulseResponseIsCoefficients) {
+  std::vector<Word> x(8, 0);
+  x[0] = 1;
+  const std::vector<Word> coeffs = {to_word(3), to_word(-2), to_word(7)};
+  const auto y = fir_reference(x, coeffs);
+  EXPECT_EQ(y[0], to_word(3));
+  EXPECT_EQ(y[1], to_word(-2));
+  EXPECT_EQ(y[2], to_word(7));
+  EXPECT_EQ(y[3], 0u);
+}
+
+TEST(Fir, LinearityProperty) {
+  const auto x1 = random_signal(40, 1, -20, 20);
+  const auto x2 = random_signal(40, 2, -20, 20);
+  std::vector<Word> sum(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    sum[i] = to_word(as_signed(x1[i]) + as_signed(x2[i]));
+  }
+  const std::vector<Word> coeffs = {to_word(2), to_word(-1), to_word(5),
+                                    to_word(3)};
+  const auto y1 = fir_reference(x1, coeffs);
+  const auto y2 = fir_reference(x2, coeffs);
+  const auto ys = fir_reference(sum, coeffs);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(ys[i], to_word(as_signed(y1[i]) + as_signed(y2[i])));
+  }
+}
+
+TEST(Fir, DotAgreesWithRunningMac) {
+  const auto a = random_signal(33, 3);
+  const auto b = random_signal(33, 4);
+  const auto running = running_mac_reference(a, b);
+  EXPECT_EQ(running.back(), dot_reference(a, b));
+}
+
+TEST(Iir1, GeometricImpulseResponse) {
+  std::vector<Word> x(6, 0);
+  x[0] = 1;
+  const auto y = iir1_reference(x, to_word(2));
+  // y = 1, 2, 4, 8, 16, 32
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_EQ(y[i], to_word(1 << i));
+  }
+}
+
+TEST(Iir1, ZeroCoefficientIsIdentity) {
+  const auto x = random_signal(32, 9);
+  EXPECT_EQ(iir1_reference(x, 0), std::vector<Word>(x.begin(), x.end()));
+}
+
+TEST(Biquad, ReducesToFirWhenRecursiveCoeffsZero) {
+  const auto x = random_signal(48, 5);
+  BiquadCoeffs c;
+  c.b0 = to_word(2);
+  c.b1 = to_word(-3);
+  c.b2 = to_word(1);
+  const auto y = biquad_reference(x, c);
+  const auto ref = fir_reference(
+      x, std::vector<Word>{to_word(2), to_word(-3), to_word(1)});
+  EXPECT_EQ(y, ref);
+}
+
+TEST(Biquad, ReducesToIir1) {
+  const auto x = random_signal(48, 6);
+  BiquadCoeffs c;
+  c.b0 = to_word(1);
+  c.a1 = to_word(3);
+  EXPECT_EQ(biquad_reference(x, c), iir1_reference(x, to_word(3)));
+}
+
+TEST(Sad, IdenticalBlocksGiveZero) {
+  const Image img = Image::synthetic(32, 32, 1);
+  EXPECT_EQ(block_sad(img, 8, 8, img, 8, 8), 0u);
+}
+
+TEST(Sad, KnownDifference) {
+  Image a(16, 16, 10);
+  Image b(16, 16, 13);
+  EXPECT_EQ(block_sad(a, 0, 0, b, 0, 0), 64u * 3u);
+}
+
+TEST(Sad, FullSearchRecoversPlantedMotion) {
+  const Image ref = Image::synthetic(64, 64, 77);
+  for (const int dx : {-5, 0, 3, 7}) {
+    for (const int dy : {-6, 0, 4}) {
+      const Image cand = Image::shifted(ref, dx, dy, 0, 0);
+      // Block well inside the frame so the clamp never bites.
+      const auto mv = full_search(ref, 24, 24, cand, 8);
+      EXPECT_EQ(mv.dx, dx);
+      EXPECT_EQ(mv.dy, dy);
+      EXPECT_EQ(mv.sad, 0u);
+    }
+  }
+}
+
+TEST(Sad, CandidateGridSizeAndConsistency) {
+  const Image ref = Image::synthetic(48, 48, 3);
+  const Image cand = Image::shifted(ref, 2, 1, 99, 4);
+  const auto sads = all_candidate_sads(ref, 16, 16, cand, 8);
+  EXPECT_EQ(sads.size(), 289u);
+  const auto mv = full_search(ref, 16, 16, cand, 8);
+  std::uint32_t best = sads[0];
+  for (const auto s : sads) best = std::min(best, s);
+  EXPECT_EQ(mv.sad, best);
+}
+
+// ---- Wavelet --------------------------------------------------------------
+
+class WaveletRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int, Boundary>> {};
+
+TEST_P(WaveletRoundTrip, PerfectReconstruction1D) {
+  const auto [n, seed, boundary] = GetParam();
+  const auto x = random_signal(static_cast<std::size_t>(n),
+                               static_cast<std::uint64_t>(seed));
+  const auto bands = dwt53_forward(x, boundary);
+  EXPECT_EQ(bands.low.size(), x.size() / 2);
+  EXPECT_EQ(dwt53_inverse(bands, boundary), x);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WaveletRoundTrip,
+    ::testing::Combine(::testing::Values(2, 4, 8, 16, 64, 256),
+                       ::testing::Values(1, 2, 3),
+                       ::testing::Values(Boundary::kZero,
+                                         Boundary::kSymmetric)));
+
+TEST(Wavelet, ConstantSignalHasZeroDetail) {
+  // 5/3 predict is exact for constants: d == 0, s == x (+0 update).
+  std::vector<Word> x(32, to_word(50));
+  const auto bands = dwt53_forward(x, Boundary::kSymmetric);
+  for (const auto d : bands.high) EXPECT_EQ(d, 0u);
+  for (const auto s : bands.low) EXPECT_EQ(s, to_word(50));
+}
+
+TEST(Wavelet, RampHasZeroInteriorDetail) {
+  // The 5/3 predictor is exact for linear signals away from borders.
+  std::vector<Word> x(32);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = to_word(3 * i);
+  const auto bands = dwt53_forward(x, Boundary::kSymmetric);
+  for (std::size_t i = 0; i + 1 < bands.high.size(); ++i) {
+    EXPECT_EQ(bands.high[i], 0u) << i;
+  }
+}
+
+TEST(Wavelet, RejectsOddLength) {
+  std::vector<Word> x(7, 0);
+  EXPECT_THROW(dwt53_forward(x), SimError);
+}
+
+class Wavelet2DRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int, Boundary>> {};
+
+TEST_P(Wavelet2DRoundTrip, PerfectReconstruction2D) {
+  const auto [w, h, boundary] = GetParam();
+  const Image img = Image::synthetic(static_cast<std::size_t>(w),
+                                     static_cast<std::size_t>(h), 42);
+  const auto bands = dwt53_forward_2d(img, boundary);
+  EXPECT_EQ(bands.ll.width(), img.width() / 2);
+  EXPECT_EQ(bands.hh.height(), img.height() / 2);
+  EXPECT_EQ(dwt53_inverse_2d(bands, boundary), img);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Wavelet2DRoundTrip,
+    ::testing::Combine(::testing::Values(8, 16, 32),
+                       ::testing::Values(8, 24),
+                       ::testing::Values(Boundary::kZero,
+                                         Boundary::kSymmetric)));
+
+TEST(Wavelet, PyramidRoundTrip) {
+  const Image img = Image::synthetic(64, 32, 17);
+  for (const int levels : {1, 2, 3}) {
+    const auto pyr = dwt53_pyramid(img, levels, Boundary::kSymmetric);
+    EXPECT_EQ(pyr.size(), static_cast<std::size_t>(levels));
+    EXPECT_EQ(dwt53_pyramid_inverse(pyr, Boundary::kSymmetric), img);
+  }
+}
+
+TEST(Wavelet, EnergyCompactionOnSmoothImage) {
+  // Sanity: on a smooth gradient image most detail energy is small.
+  Image img(32, 32);
+  for (std::size_t y = 0; y < 32; ++y) {
+    for (std::size_t x = 0; x < 32; ++x) {
+      img.at(x, y) = to_word(4 * x + 2 * y);
+    }
+  }
+  const auto bands = dwt53_forward_2d(img, Boundary::kSymmetric);
+  std::int64_t hh_energy = 0;
+  for (const auto v : bands.hh.pixels()) {
+    hh_energy += std::abs(as_signed(v));
+  }
+  EXPECT_LT(hh_energy, 64);  // essentially zero off the borders
+}
+
+}  // namespace
+}  // namespace sring::dsp

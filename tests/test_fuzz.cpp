@@ -1,0 +1,153 @@
+// Robustness fuzzing: random (but structurally valid) configurations
+// and data must never crash the simulator, must preserve its
+// accounting invariants, and must be fully deterministic.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/system.hpp"
+
+namespace sring {
+namespace {
+
+RingGeometry random_geometry(Rng& rng) {
+  RingGeometry g;
+  g.layers = 1 + rng.next_below(8);
+  g.lanes = 1 + rng.next_below(4);
+  g.fb_depth = 1 + rng.next_below(16);
+  return g;
+}
+
+DnodeInstr random_instr(Rng& rng) {
+  DnodeInstr i;
+  i.op = static_cast<DnodeOp>(
+      rng.next_below(static_cast<std::uint64_t>(DnodeOp::kOpCount)));
+  i.src_a = static_cast<DnodeSrc>(
+      rng.next_below(static_cast<std::uint64_t>(DnodeSrc::kSrcCount)));
+  i.src_b = static_cast<DnodeSrc>(
+      rng.next_below(static_cast<std::uint64_t>(DnodeSrc::kSrcCount)));
+  i.src_c = static_cast<DnodeSrc>(
+      rng.next_below(static_cast<std::uint64_t>(DnodeSrc::kSrcCount)));
+  i.dst = static_cast<DnodeDst>(
+      rng.next_below(static_cast<std::uint64_t>(DnodeDst::kDstCount)));
+  i.out_en = rng.next_below(2) != 0;
+  i.bus_en = rng.next_below(4) == 0;
+  i.host_en = rng.next_below(4) == 0;
+  i.imm = rng.next_word();
+  return i;
+}
+
+SwitchRoute random_route(Rng& rng, const RingGeometry& g) {
+  const auto random_fb = [&]() {
+    FeedbackAddr a;
+    a.pipe = static_cast<std::uint8_t>(rng.next_below(g.switch_count()));
+    a.lane = static_cast<std::uint8_t>(rng.next_below(g.lanes));
+    a.depth = static_cast<std::uint8_t>(rng.next_below(g.fb_depth));
+    return a;
+  };
+  const auto random_port = [&]() -> PortRoute {
+    switch (rng.next_below(5)) {
+      case 0:
+        return PortRoute::zero();
+      case 1:
+        return PortRoute::prev(
+            static_cast<std::uint8_t>(rng.next_below(g.lanes)));
+      case 2:
+        return PortRoute::host();
+      case 3:
+        return PortRoute::bus();
+      default:
+        return PortRoute::feedback(random_fb());
+    }
+  };
+  SwitchRoute r;
+  r.in1 = random_port();
+  r.in2 = random_port();
+  r.fifo1 = random_fb();
+  r.fifo2 = random_fb();
+  r.host_out_en = rng.next_below(8) == 0;
+  r.host_out_lane = static_cast<std::uint8_t>(rng.next_below(g.lanes));
+  return r;
+}
+
+struct FuzzOutcome {
+  std::vector<Word> outputs;
+  SystemStats stats;
+};
+
+FuzzOutcome run_random_system(std::uint64_t seed) {
+  Rng rng(seed);
+  const RingGeometry g = random_geometry(rng);
+
+  ConfigPage page = ConfigPage::zeroed(g);
+  for (auto& w : page.dnode_instr) w = random_instr(rng).encode();
+  for (auto& m : page.dnode_mode) {
+    m = static_cast<std::uint8_t>(rng.next_below(2));
+  }
+  for (auto& w : page.switch_route) w = random_route(rng, g).encode();
+
+  LoadableProgram prog;
+  prog.name = "fuzz";
+  prog.geometry = g;
+  prog.pages.push_back(page);
+  // Random local programs for every Dnode.
+  for (std::size_t d = 0; d < g.dnode_count(); ++d) {
+    const std::size_t len = 1 + rng.next_below(kLocalProgramSlots);
+    for (std::size_t s = 0; s < len; ++s) {
+      prog.local_init.push_back({static_cast<std::uint32_t>(d),
+                                 static_cast<std::uint8_t>(s),
+                                 random_instr(rng).encode()});
+    }
+    prog.local_init.push_back(
+        {static_cast<std::uint32_t>(d),
+         static_cast<std::uint8_t>(LocalControl::kLimitSlot), len - 1});
+  }
+  // Controller: apply the page, then spin on WAITs until the cycle
+  // budget runs out (HALT at the end is never reached in 500 cycles).
+  RiscInstr page0;
+  page0.op = RiscOp::kPage;
+  RiscInstr wait;
+  wait.op = RiscOp::kWait;
+  wait.imm = 1000;
+  RiscInstr halt;
+  halt.op = RiscOp::kHalt;
+  prog.controller_code = {page0.encode(), wait.encode(), halt.encode()};
+
+  System sys({g});
+  sys.load(prog);
+  std::vector<Word> feed(2048);
+  for (auto& w : feed) w = rng.next_word();
+  sys.host().send(feed);
+  sys.run_cycles(500);
+
+  FuzzOutcome out;
+  out.outputs = sys.host().take_received();
+  out.stats = sys.stats();
+  return out;
+}
+
+class SystemFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SystemFuzz, RandomConfigurationsNeverCrash) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const FuzzOutcome a = run_random_system(seed);
+
+  // Accounting invariants.
+  EXPECT_EQ(a.stats.cycles, 500u);
+  EXPECT_LE(a.stats.dnode_ops, 500u * 32u);
+  EXPECT_LE(a.stats.host_words_in, 2048u);
+  EXPECT_GE(a.stats.arith_ops, a.stats.dnode_ops);
+  EXPECT_LE(a.stats.arith_ops, 2 * a.stats.dnode_ops);
+  EXPECT_EQ(a.outputs.size(), a.stats.host_words_out);
+
+  // Full determinism: an identical run produces identical results.
+  const FuzzOutcome b = run_random_system(seed);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.stats.dnode_ops, b.stats.dnode_ops);
+  EXPECT_EQ(a.stats.host_words_in, b.stats.host_words_in);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SystemFuzz, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace sring

@@ -1,0 +1,87 @@
+// Unit tests for the host link (bandwidth modeling).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/host_interface.hpp"
+
+namespace sring {
+namespace {
+
+TEST(LinkRate, FromBytesPerSecond) {
+  // 250 MB/s at 200 MHz: 0.625 words/cycle.
+  const LinkRate r = LinkRate::from_bytes_per_second(250e6, 200e6);
+  EXPECT_NEAR(static_cast<double>(r.num) / r.den, 0.625, 1e-6);
+  EXPECT_THROW(LinkRate::from_bytes_per_second(0, 200e6), SimError);
+  // Absurdly slow links that can never move a word are rejected.
+  EXPECT_THROW(LinkRate::from_bytes_per_second(1e-9, 200e6), SimError);
+}
+
+TEST(HostInterface, IdealLinkIsImmediate) {
+  HostInterface host;
+  host.send(std::vector<Word>{1, 2, 3});
+  EXPECT_EQ(host.ring_in().size(), 3u);
+  host.ring_out().push_back(9);
+  host.tick();
+  EXPECT_EQ(host.received(), (std::vector<Word>{9}));
+  EXPECT_EQ(host.words_to_core(), 3u);
+  EXPECT_EQ(host.words_to_host(), 1u);
+}
+
+TEST(HostInterface, RateLimitedDelivery) {
+  // One word every two cycles.
+  HostInterface host(LinkRate{1, 2});
+  host.send(std::vector<Word>{10, 11, 12});
+  EXPECT_TRUE(host.ring_in().empty());
+  host.tick();
+  EXPECT_TRUE(host.ring_in().empty()) << "half a credit is not a word";
+  host.tick();
+  EXPECT_EQ(host.ring_in().size(), 1u);
+  host.tick();
+  host.tick();
+  EXPECT_EQ(host.ring_in().size(), 2u);
+}
+
+TEST(HostInterface, IdleBandwidthDoesNotBank) {
+  HostInterface host(LinkRate{1, 2});
+  // 10 idle cycles must not accumulate credits.
+  for (int i = 0; i < 10; ++i) host.tick();
+  host.send(std::vector<Word>{1, 2, 3, 4});
+  host.tick();
+  host.tick();
+  EXPECT_EQ(host.ring_in().size(), 1u)
+      << "burst after idle must still respect the rate";
+}
+
+TEST(HostInterface, ReturnPathIsAlsoLimited) {
+  HostInterface host(LinkRate{1, 2});
+  for (Word w = 0; w < 6; ++w) host.ring_out().push_back(w);
+  host.tick();
+  host.tick();
+  EXPECT_EQ(host.received().size(), 1u);
+  for (int i = 0; i < 20; ++i) host.tick();
+  EXPECT_EQ(host.received().size(), 6u);
+}
+
+TEST(HostInterface, TakeReceivedClears) {
+  HostInterface host;
+  host.ring_out().push_back(5);
+  host.tick();
+  EXPECT_EQ(host.take_received(), (std::vector<Word>{5}));
+  EXPECT_TRUE(host.received().empty());
+  // New output after taking is still delivered.
+  host.ring_out().push_back(6);
+  host.tick();
+  EXPECT_EQ(host.take_received(), (std::vector<Word>{6}));
+}
+
+TEST(HostInterface, FastLinkMovesMultipleWordsPerCycle) {
+  HostInterface host(LinkRate{3, 1});
+  host.send(std::vector<Word>{1, 2, 3, 4, 5});
+  host.tick();
+  EXPECT_EQ(host.ring_in().size(), 3u);
+  host.tick();
+  EXPECT_EQ(host.ring_in().size(), 5u);
+}
+
+}  // namespace
+}  // namespace sring

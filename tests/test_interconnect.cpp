@@ -1,0 +1,67 @@
+// Tests for the §4.2 interconnect comparison models.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "model/interconnect.hpp"
+
+namespace sring::model {
+namespace {
+
+TEST(Interconnect, RingWiresStayLocal) {
+  for (const std::size_t n : {1u, 8u, 64u, 1024u}) {
+    EXPECT_DOUBLE_EQ(longest_wire_pitches(Topology::kRing, n), 1.0);
+  }
+}
+
+TEST(Interconnect, AlternativesGrowWithSize) {
+  for (const auto t :
+       {Topology::kMesh, Topology::kCrossbar, Topology::kArray}) {
+    EXPECT_GT(longest_wire_pitches(t, 256),
+              2.0 * longest_wire_pitches(t, 16))
+        << to_string(t);
+  }
+  // Crossbar wires grow strictly faster than mesh wires.
+  EXPECT_GT(longest_wire_pitches(Topology::kCrossbar, 256),
+            longest_wire_pitches(Topology::kMesh, 256));
+}
+
+TEST(Interconnect, RingFrequencyIsFlat) {
+  EXPECT_DOUBLE_EQ(relative_frequency(Topology::kRing, 8),
+                   relative_frequency(Topology::kRing, 1024));
+  EXPECT_DOUBLE_EQ(relative_frequency(Topology::kRing, 8), 1.0);
+}
+
+TEST(Interconnect, AlternativeFrequenciesDegrade) {
+  for (const auto t :
+       {Topology::kMesh, Topology::kCrossbar, Topology::kArray}) {
+    EXPECT_LT(relative_frequency(t, 1024), relative_frequency(t, 16))
+        << to_string(t);
+    EXPECT_LT(relative_frequency(t, 1024), 0.8) << to_string(t);
+  }
+}
+
+TEST(Interconnect, RingAreaLinearCrossbarQuadratic) {
+  // Ring doubles with N.
+  EXPECT_NEAR(interconnect_area_dnodes(Topology::kRing, 128),
+              2.0 * interconnect_area_dnodes(Topology::kRing, 64), 1e-9);
+  // Crossbar quadruples with N.
+  EXPECT_NEAR(interconnect_area_dnodes(Topology::kCrossbar, 128),
+              4.0 * interconnect_area_dnodes(Topology::kCrossbar, 64),
+              1e-9);
+  // At large sizes the ring has the smallest interconnect of all.
+  for (const auto t :
+       {Topology::kMesh, Topology::kCrossbar, Topology::kArray}) {
+    EXPECT_LT(interconnect_area_dnodes(Topology::kRing, 1024),
+              interconnect_area_dnodes(t, 1024))
+        << to_string(t);
+  }
+}
+
+TEST(Interconnect, Validation) {
+  EXPECT_THROW(longest_wire_pitches(Topology::kRing, 0), SimError);
+  EXPECT_THROW(interconnect_area_dnodes(Topology::kMesh, 0), SimError);
+  EXPECT_FALSE(to_string(Topology::kArray).empty());
+}
+
+}  // namespace
+}  // namespace sring::model

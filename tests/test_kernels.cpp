@@ -1,0 +1,391 @@
+// End-to-end kernel tests: every ring kernel is checked bit-exactly
+// against its golden DSP model.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/iir.hpp"
+#include "dsp/sad.hpp"
+#include "dsp/wavelet.hpp"
+#include "kernels/dwt_kernel.hpp"
+#include "kernels/fifo_kernel.hpp"
+#include "kernels/fir_kernel.hpp"
+#include "kernels/iir_kernel.hpp"
+#include "kernels/mac_kernel.hpp"
+#include "kernels/motion_estimation.hpp"
+
+namespace sring::kernels {
+namespace {
+
+RingGeometry ring16() { return {8, 2, 16}; }
+
+std::vector<Word> random_signal(std::size_t n, std::uint64_t seed,
+                                std::int32_t lo = -200,
+                                std::int32_t hi = 200) {
+  Rng rng(seed);
+  std::vector<Word> x(n);
+  for (auto& v : x) v = rng.next_word_in(lo, hi);
+  return x;
+}
+
+// ---- MAC -------------------------------------------------------------------
+
+class MacSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MacSweep, MatchesRunningMacReference) {
+  const auto [n, seed] = GetParam();
+  const auto a = random_signal(static_cast<std::size_t>(n), seed);
+  const auto b = random_signal(static_cast<std::size_t>(n), seed + 100);
+  const auto result = run_running_mac(ring16(), a, b);
+  EXPECT_EQ(result.partial_sums, dsp::running_mac_reference(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MacSweep,
+                         ::testing::Combine(::testing::Values(1, 7, 64,
+                                                              257),
+                                            ::testing::Values(1, 2)));
+
+TEST(MacKernel, OneMacPerCycleSteadyState) {
+  const auto a = random_signal(256, 5);
+  const auto b = random_signal(256, 6);
+  const auto result = run_running_mac(ring16(), a, b);
+  // Boot is 2 controller cycles; after that one MAC per cycle.
+  EXPECT_LE(result.stats.cycles, 256u + 4u);
+  EXPECT_EQ(result.stats.arith_ops, 2u * 256u);
+}
+
+// ---- spatial FIR -----------------------------------------------------------
+
+class SpatialFirSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SpatialFirSweep, MatchesFirReference) {
+  const auto [taps, n, seed] = GetParam();
+  const auto x = random_signal(static_cast<std::size_t>(n), seed, -64, 64);
+  const auto coeffs = random_signal(static_cast<std::size_t>(taps),
+                                    seed + 7, -8, 8);
+  const auto result = run_spatial_fir(ring16(), x, coeffs);
+  EXPECT_EQ(result.outputs, dsp::fir_reference(x, coeffs))
+      << "taps=" << taps << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpatialFirSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 7),
+                       ::testing::Values(16, 100), ::testing::Values(1, 9)));
+
+TEST(SpatialFir, OneSamplePerCycle) {
+  const auto x = random_signal(512, 3);
+  const std::vector<Word> coeffs = {1, 2, 3, 4};
+  const auto result = run_spatial_fir(ring16(), x, coeffs);
+  // 512 samples + 4 flush + 2 boot cycles, at 1 sample/cycle.
+  EXPECT_LE(result.cycles_per_sample, 1.05);
+}
+
+// ---- serial (resource-shared) FIR ------------------------------------------
+
+class SerialFirSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SerialFirSweep, PagedMatchesFirReference) {
+  const auto [taps, seed] = GetParam();
+  const auto x = random_signal(40, seed, -64, 64);
+  const auto coeffs = random_signal(static_cast<std::size_t>(taps),
+                                    seed + 3, -8, 8);
+  const auto result = run_paged_serial_fir(ring16(), x, coeffs);
+  EXPECT_EQ(result.outputs, dsp::fir_reference(x, coeffs))
+      << "taps=" << taps;
+  // Period is taps+4 cycles per sample (plus boot).
+  EXPECT_LT(result.cycles_per_sample, taps + 5.0);
+}
+
+TEST_P(SerialFirSweep, WordwiseMatchesFirReference) {
+  const auto [taps, seed] = GetParam();
+  const auto x = random_signal(24, seed, -64, 64);
+  const auto coeffs = random_signal(static_cast<std::size_t>(taps),
+                                    seed + 3, -8, 8);
+  const auto result = run_wordwise_serial_fir(ring16(), x, coeffs);
+  EXPECT_EQ(result.outputs, dsp::fir_reference(x, coeffs))
+      << "taps=" << taps;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SerialFirSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(2, 11)));
+
+TEST(SerialFir, PageMechanismBeatsWordwiseReconfiguration) {
+  // The ablation behind DESIGN.md experiment A1: same filter, same
+  // dataflow, page-swapped vs word-at-a-time reconfiguration.
+  const auto x = random_signal(64, 21, -64, 64);
+  const std::vector<Word> coeffs = {3, to_word(-1), 2, 5};
+  const auto paged = run_paged_serial_fir(ring16(), x, coeffs);
+  const auto wordwise = run_wordwise_serial_fir(ring16(), x, coeffs);
+  EXPECT_EQ(paged.outputs, wordwise.outputs);
+  EXPECT_LT(paged.cycles_per_sample * 2, wordwise.cycles_per_sample)
+      << "page swaps must be at least 2x faster than word-wise writes";
+}
+
+// ---- IIR -------------------------------------------------------------------
+
+class IirSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IirSweep, MatchesIirReference) {
+  const auto [aval, seed] = GetParam();
+  const auto x = random_signal(64, seed, -100, 100);
+  const Word a = to_word(aval);
+  const auto result = run_iir1(ring16(), x, a);
+  EXPECT_EQ(result.outputs, dsp::iir1_reference(x, a)) << "a=" << aval;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IirSweep,
+                         ::testing::Combine(::testing::Values(0, 1, -1, 3,
+                                                              -7),
+                                            ::testing::Values(4, 5)));
+
+class Iir2Sweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(Iir2Sweep, MatchesBiquadReference) {
+  const auto [b0, a1, a2, seed] = GetParam();
+  const auto x = random_signal(48, seed, -50, 50);
+  const auto result =
+      run_iir2(ring16(), x, to_word(b0), to_word(a1), to_word(a2));
+  dsp::BiquadCoeffs c;
+  c.b0 = to_word(b0);
+  c.a1 = to_word(a1);
+  c.a2 = to_word(a2);
+  EXPECT_EQ(result.outputs, dsp::biquad_reference(x, c))
+      << "b0=" << b0 << " a1=" << a1 << " a2=" << a2;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Iir2Sweep,
+    ::testing::Combine(::testing::Values(1, 2), ::testing::Values(0, 1, -2),
+                       ::testing::Values(0, 1, -1),
+                       ::testing::Values(14, 15)));
+
+TEST(BiquadCascade, MatchesFullBiquadReference) {
+  Rng rng(321);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto x = random_signal(48, 500 + trial, -40, 40);
+    BiquadKernelCoeffs kc;
+    kc.b0 = rng.next_word_in(-4, 4);
+    kc.b1 = rng.next_word_in(-4, 4);
+    kc.b2 = rng.next_word_in(-4, 4);
+    kc.a1 = rng.next_word_in(-2, 2);
+    kc.a2 = rng.next_word_in(-2, 2);
+    const auto result = run_biquad_cascade(ring16(), x, kc);
+    dsp::BiquadCoeffs c;
+    c.b0 = kc.b0;
+    c.b1 = kc.b1;
+    c.b2 = kc.b2;
+    c.a1 = kc.a1;
+    c.a2 = kc.a2;
+    EXPECT_EQ(result.outputs, dsp::biquad_reference(x, c))
+        << "trial " << trial;
+  }
+}
+
+TEST(Iir2, TwoCyclesPerSample) {
+  const auto x = random_signal(128, 77);
+  const auto result = run_iir2(ring16(), x, 1, to_word(1), to_word(-1));
+  EXPECT_GE(result.cycles_per_sample, 2.0);
+  EXPECT_LE(result.cycles_per_sample, 2.2);
+}
+
+TEST(Iir1, TwoCyclesPerSample) {
+  const auto x = random_signal(128, 8);
+  const auto result = run_iir1(ring16(), x, to_word(2));
+  EXPECT_GE(result.cycles_per_sample, 2.0);
+  EXPECT_LE(result.cycles_per_sample, 2.1);
+}
+
+// ---- FIFO emulation --------------------------------------------------------
+
+class FifoSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FifoSweep, DelaysByDepthPlusTwo) {
+  const std::size_t depth = static_cast<std::size_t>(GetParam());
+  const auto x = random_signal(32, 13);
+  const auto result = run_fifo(ring16(), x, depth);
+  ASSERT_EQ(result.outputs.size(), x.size() + depth + 2);
+  for (std::size_t i = 0; i < depth + 2; ++i) {
+    EXPECT_EQ(result.outputs[i], 0u);
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(result.outputs[i + depth + 2], x[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, FifoSweep,
+                         ::testing::Values(0, 1, 3, 7, 15));
+
+class LifoSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LifoSweep, ReversesEveryBlock) {
+  const std::size_t block = static_cast<std::size_t>(GetParam());
+  const auto x = random_signal(block * 6, 17);
+  const auto result = run_lifo(ring16(), x, block);
+  ASSERT_EQ(result.outputs.size(), x.size());
+  for (std::size_t b = 0; b < 6; ++b) {
+    for (std::size_t i = 0; i < block; ++i) {
+      EXPECT_EQ(result.outputs[b * block + i],
+                x[b * block + (block - 1 - i)])
+          << "block " << b << " element " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, LifoSweep, ::testing::Values(2, 3, 5, 8));
+
+TEST(Lifo, RejectsBadShapes) {
+  std::vector<Word> x(8, 1);
+  EXPECT_THROW(run_lifo(ring16(), x, 1), SimError);
+  EXPECT_THROW(run_lifo(ring16(), x, 9), SimError);
+  std::vector<Word> ragged(7, 1);
+  EXPECT_THROW(run_lifo(ring16(), ragged, 4), SimError);
+}
+
+// ---- motion estimation -----------------------------------------------------
+
+TEST(MotionEstimation, SadsMatchGoldenModel) {
+  const Image ref = Image::synthetic(48, 48, 31);
+  const Image cand = Image::shifted(ref, 2, -1, 7, 5);
+  const auto result = run_motion_estimation(ring16(), ref, 16, 16, cand,
+                                            /*range=*/2);
+  const auto golden = dsp::all_candidate_sads(ref, 16, 16, cand, 2);
+  ASSERT_EQ(result.sads.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(result.sads[i], golden[i]) << "candidate " << i;
+  }
+}
+
+TEST(MotionEstimation, FullRangeRecoversPlantedMotion) {
+  const Image ref = Image::synthetic(64, 64, 55);
+  const Image cand = Image::shifted(ref, -4, 6, 0, 0);
+  const auto result =
+      run_motion_estimation(ring16(), ref, 24, 24, cand, /*range=*/8);
+  EXPECT_EQ(result.sads.size(), 289u);
+  const auto golden = dsp::full_search(ref, 24, 24, cand, 8);
+  EXPECT_EQ(result.best, golden);
+  EXPECT_EQ(result.best.dx, -4);
+  EXPECT_EQ(result.best.dy, 6);
+}
+
+TEST(MotionEstimation, ScalesAcrossRingSizes) {
+  // One SAD unit per layer: Ring-64 must agree with Ring-16 and finish
+  // in roughly a quarter of the cycles (32 vs 8 units).
+  const Image ref = Image::synthetic(48, 48, 8);
+  const Image cand = Image::shifted(ref, -2, 3, 1, 4);
+  const auto r16 = run_motion_estimation({8, 2, 16}, ref, 20, 20, cand, 8);
+  const auto r64 = run_motion_estimation({32, 2, 16}, ref, 20, 20, cand, 8);
+  EXPECT_EQ(r16.sads, r64.sads);
+  EXPECT_EQ(r16.best, r64.best);
+  const double speedup = static_cast<double>(r16.cycles) /
+                         static_cast<double>(r64.cycles);
+  EXPECT_GT(speedup, 3.0);
+  EXPECT_LT(speedup, 4.5);
+}
+
+TEST(MotionEstimation, CycleBudgetMatchesSchedule) {
+  // 289 candidates on 8 units = 37 batches of 64+3 ring cycles plus 2
+  // loop cycles each, plus boot and drain.
+  const Image ref = Image::synthetic(48, 48, 3);
+  const Image cand = Image::shifted(ref, 1, 1, 2, 3);
+  const auto result =
+      run_motion_estimation(ring16(), ref, 20, 20, cand, /*range=*/8);
+  EXPECT_GE(result.cycles, 37u * 67u);
+  EXPECT_LE(result.cycles, 37u * 69u + 16u);
+}
+
+// ---- wavelet ----------------------------------------------------------------
+
+class DwtSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DwtSweep, MatchesLiftingReference) {
+  const auto [n, seed] = GetParam();
+  const auto x = random_signal(static_cast<std::size_t>(n), seed, 0, 255);
+  const auto result = run_dwt53(ring16(), x);
+  const auto golden = dsp::dwt53_forward(x, dsp::Boundary::kZero);
+  EXPECT_EQ(result.bands.high, golden.high) << "n=" << n;
+  EXPECT_EQ(result.bands.low, golden.low) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DwtSweep,
+                         ::testing::Combine(::testing::Values(2, 8, 64,
+                                                              256),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(Dwt, OnePixelPerCycleThroughput) {
+  const auto x = random_signal(1024, 9, 0, 255);
+  const auto result = run_dwt53(ring16(), x);
+  // 512 pairs + 8 flush pairs + 2 boot cycles over 1024 samples.
+  EXPECT_LE(result.cycles_per_sample, 0.52);
+}
+
+TEST(Dwt, TwoDimensionalMatchesGoldenModel) {
+  const Image img = Image::synthetic(16, 12, 23);
+  const auto result = run_dwt53_2d(ring16(), img);
+  const auto golden = dsp::dwt53_forward_2d(img, dsp::Boundary::kZero);
+  EXPECT_EQ(result.bands.ll, golden.ll);
+  EXPECT_EQ(result.bands.lh, golden.lh);
+  EXPECT_EQ(result.bands.hl, golden.hl);
+  EXPECT_EQ(result.bands.hh, golden.hh);
+}
+
+TEST(Dwt, PyramidMatchesGoldenModel) {
+  const Image img = Image::synthetic(32, 16, 61);
+  const auto ring = run_dwt53_pyramid(ring16(), img, 2);
+  const auto golden = dsp::dwt53_pyramid(img, 2, dsp::Boundary::kZero);
+  ASSERT_EQ(ring.levels.size(), golden.size());
+  for (std::size_t l = 0; l < golden.size(); ++l) {
+    EXPECT_EQ(ring.levels[l], golden[l]) << "level " << l;
+  }
+  EXPECT_GT(ring.total_cycles, 0u);
+}
+
+TEST(Dwt, RingOutputReconstructsPerfectly) {
+  const auto x = random_signal(128, 44, 0, 255);
+  const auto result = run_dwt53(ring16(), x);
+  EXPECT_EQ(dsp::dwt53_inverse(result.bands, dsp::Boundary::kZero),
+            std::vector<Word>(x.begin(), x.end()));
+}
+
+class IdwtSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IdwtSweep, InversePipelineMatchesGoldenInverse) {
+  const auto [half, seed] = GetParam();
+  dsp::Subbands bands;
+  bands.low = random_signal(static_cast<std::size_t>(half), seed, -200,
+                            200);
+  bands.high = random_signal(static_cast<std::size_t>(half), seed + 9,
+                             -100, 100);
+  const auto result = run_idwt53(ring16(), bands);
+  EXPECT_EQ(result.signal,
+            dsp::dwt53_inverse(bands, dsp::Boundary::kZero))
+      << "half=" << half;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IdwtSweep,
+                         ::testing::Combine(::testing::Values(1, 4, 32,
+                                                              128),
+                                            ::testing::Values(1, 2)));
+
+TEST(Idwt, RingForwardThenRingInverseIsIdentity) {
+  const auto x = random_signal(96, 71, 0, 255);
+  const auto fwd = run_dwt53(ring16(), x);
+  const auto back = run_idwt53(ring16(), fwd.bands);
+  EXPECT_EQ(back.signal, std::vector<Word>(x.begin(), x.end()));
+}
+
+TEST(Idwt, OnePixelPerCycleThroughput) {
+  dsp::Subbands bands;
+  bands.low = random_signal(512, 13, 0, 255);
+  bands.high = random_signal(512, 14, -60, 60);
+  const auto result = run_idwt53(ring16(), bands);
+  EXPECT_LE(result.cycles_per_sample, 0.52);
+}
+
+}  // namespace
+}  // namespace sring::kernels

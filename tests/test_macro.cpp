@@ -1,0 +1,147 @@
+// Tests for the assembler's macro preprocessor.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "asm/macro.hpp"
+#include "asm/lexer.hpp"
+#include "common/error.hpp"
+#include "sim/system.hpp"
+
+namespace sring {
+namespace {
+
+TEST(Macro, SimpleSubstitution) {
+  const auto prog = assemble(R"(
+.ring 2 1
+.macro load REG VALUE
+    ldi REG, VALUE
+.endm
+.controller
+    load r1 42
+    load r2 -7
+    halt
+)");
+  ASSERT_EQ(prog.controller_code.size(), 3u);
+  const auto i0 = RiscInstr::decode(prog.controller_code[0]);
+  EXPECT_EQ(i0.op, RiscOp::kLdi);
+  EXPECT_EQ(i0.rd, 1);
+  EXPECT_EQ(i0.imm, 42);
+  const auto i1 = RiscInstr::decode(prog.controller_code[1]);
+  EXPECT_EQ(i1.rd, 2);
+  EXPECT_EQ(i1.imm, -7);
+}
+
+TEST(Macro, ParametersInCoordinatesAndImmediates) {
+  // The fir3 tap written once, stamped three times.
+  const auto prog = assemble(R"(
+.ring 8 2 16
+.macro tap LAYER COEF
+    dnode  LAYER.0 { pass none, in1 out }
+    switch LAYER.0 in1=fb(LAYER,0,0)
+    dnode  LAYER.1 { mac none, in1, imm(COEF), in2 out }
+    switch LAYER.1 in1=prev0 in2=prev1
+.endm
+
+.controller
+    page filter
+    halt
+
+.page filter
+    dnode  0.0 { pass none, in1 out }
+    switch 0.0 in1=host
+    dnode  0.1 { pass none, zero out }
+    tap 1 2
+    tap 2 -3
+    tap 3 5
+    ; re-state the final tap with the host flag to stream y
+    dnode  3.1 { mac none, in1, imm(5), in2 out host }
+)");
+  // Spot-check the stamped taps.
+  const auto i21 =
+      DnodeInstr::decode(prog.pages[0].dnode_instr[2 * 2 + 1]);
+  EXPECT_EQ(i21.op, DnodeOp::kMac);
+  EXPECT_EQ(as_signed(i21.imm), -3);
+  const auto r30 = SwitchRoute::decode(prog.pages[0].switch_route[3 * 2]);
+  EXPECT_EQ(r30.in1, PortRoute::feedback({3, 0, 0}));
+
+  // And it actually filters: run it against the golden FIR.
+  System sys({prog.geometry});
+  sys.load(prog);
+  std::vector<Word> x = {1, 2, 3, 4, 5, 6, 7, 8, 0, 0, 0};
+  sys.host().send(x);
+  sys.run_until_outputs(11, 1000);
+  const auto raw = sys.host().take_received();
+  // y[4] for x=1..8 with {2,-3,5}: 2*5 - 3*4 + 5*3 = 13.
+  EXPECT_EQ(as_signed(raw[4 + 3]), 13);
+}
+
+TEST(Macro, NestedInvocation) {
+  const auto prog = assemble(R"(
+.ring 2 1
+.macro load REG VALUE
+    ldi REG, VALUE
+.endm
+.macro loadpair A B VALUE
+    load A VALUE
+    load B VALUE
+.endm
+.controller
+    loadpair r3 r4 9
+    halt
+)");
+  ASSERT_EQ(prog.controller_code.size(), 3u);
+  EXPECT_EQ(RiscInstr::decode(prog.controller_code[0]).rd, 3);
+  EXPECT_EQ(RiscInstr::decode(prog.controller_code[1]).rd, 4);
+  EXPECT_EQ(RiscInstr::decode(prog.controller_code[1]).imm, 9);
+}
+
+TEST(Macro, Diagnostics) {
+  // Unterminated.
+  EXPECT_THROW(assemble(".ring 2 1\n.macro m A\n ldi r1, A\n"), AsmError);
+  // Arity mismatch.
+  EXPECT_THROW(assemble(R"(
+.ring 2 1
+.macro m A B
+    ldi A, B
+.endm
+.controller
+    m r1
+    halt
+)"),
+               AsmError);
+  // Stray .endm.
+  EXPECT_THROW(assemble(".ring 2 1\n.endm\n"), AsmError);
+  // Duplicate macro.
+  EXPECT_THROW(assemble(
+                   ".ring 2 1\n.macro m\n.endm\n.macro m\n.endm\n"),
+               AsmError);
+  // Too many arguments.
+  EXPECT_THROW(assemble(R"(
+.ring 2 1
+.macro one A
+    ldi A, 0
+.endm
+.controller
+    one r1 r2
+    halt
+)"),
+               AsmError);
+}
+
+TEST(Macro, ExpansionIsTokenExact) {
+  const auto raw = expand_macros(lex(
+      ".macro m X\nadd X, X, X\n.endm\nm r5\n"));
+  // Ignore statement separators: add r5 , r5 , r5 END.
+  std::vector<Token> expanded;
+  for (const auto& t : raw) {
+    if (t.kind != TokenKind::kNewline) expanded.push_back(t);
+  }
+  ASSERT_GE(expanded.size(), 6u);
+  EXPECT_EQ(expanded[0].text, "add");
+  EXPECT_EQ(expanded[1].text, "r5");
+  EXPECT_EQ(expanded[3].text, "r5");
+  EXPECT_EQ(expanded[5].text, "r5");
+}
+
+}  // namespace
+}  // namespace sring

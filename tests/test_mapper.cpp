@@ -1,0 +1,366 @@
+// Tests for the DFG front end, the golden interpreter, and the
+// DFG -> ring mapper (every mapped program is checked bit-exactly
+// against the interpreter).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dsp/fir.hpp"
+#include "mapper/mapper.hpp"
+
+namespace sring::mapper {
+namespace {
+
+RingGeometry ring16() { return {8, 2, 16}; }
+RingGeometry ring32() { return {8, 4, 16}; }
+
+std::vector<Word> random_stream(std::size_t n, std::uint64_t seed,
+                                std::int32_t lo = -100,
+                                std::int32_t hi = 100) {
+  Rng rng(seed);
+  std::vector<Word> s(n);
+  for (auto& v : s) v = rng.next_word_in(lo, hi);
+  return s;
+}
+
+TEST(Dfg, ValidationCatchesStructuralErrors) {
+  Dfg empty;
+  empty.add_input("x");
+  EXPECT_THROW(empty.validate(), SimError) << "no outputs";
+
+  Dfg g;
+  const auto x = g.add_input("x");
+  EXPECT_THROW(g.add_binary(DfgOp::kAdd, x, 99), SimError);
+  EXPECT_THROW(g.add_unary(DfgOp::kAdd, x), SimError);
+  EXPECT_THROW(g.add_delay(x, 0), SimError);
+  EXPECT_THROW(g.mark_output(1234), SimError);
+}
+
+TEST(Interpreter, EvaluatesExpressions) {
+  Dfg g;
+  const auto a = g.add_input("a");
+  const auto b = g.add_input("b");
+  const auto sum = g.add_binary(DfgOp::kAdd, a, b);
+  const auto dif = g.add_binary(DfgOp::kSub, a, b);
+  const auto prod = g.add_binary(DfgOp::kMul, sum, dif);
+  g.mark_output(prod, "a2_minus_b2");
+
+  const auto out = interpret_dfg(g, {{3, 10}, {2, 4}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(as_signed(out[0][0]), 5);    // 9 - 4
+  EXPECT_EQ(as_signed(out[0][1]), 84);   // 100 - 16
+}
+
+TEST(Interpreter, DelayShiftsStreams) {
+  Dfg g;
+  const auto x = g.add_input("x");
+  const auto d = g.add_delay(x, 2);
+  g.mark_output(d, "x_z2");
+  const auto out = interpret_dfg(g, {{1, 2, 3, 4, 5}});
+  EXPECT_EQ(out[0], (std::vector<Word>{0, 0, 1, 2, 3}));
+}
+
+TEST(Interpreter, DelayedTermInExpression) {
+  // y[n] = x[n] + 2 * x[n-1].
+  Dfg g;
+  const auto x = g.add_input("x");
+  const auto two = g.add_const(2);
+  const auto dx = g.add_delay(x, 1);
+  const auto scaled = g.add_binary(DfgOp::kMul, two, dx);
+  const auto y = g.add_binary(DfgOp::kAdd, x, scaled);
+  g.mark_output(y, "y");
+  const auto out = interpret_dfg(g, {{1, 1, 1, 1}});
+  EXPECT_EQ(out[0], (std::vector<Word>{1, 3, 3, 3}));
+}
+
+TEST(Mapper, MapsSimpleExpressionBitExactly) {
+  Dfg g;
+  const auto a = g.add_input("a");
+  const auto b = g.add_input("b");
+  const auto sum = g.add_binary(DfgOp::kAdd, a, b);
+  const auto dif = g.add_binary(DfgOp::kSub, a, b);
+  const auto prod = g.add_binary(DfgOp::kMul, sum, dif);
+  g.mark_output(prod, "p");
+
+  const auto mapped = map_dfg(g, ring16());
+  EXPECT_EQ(mapped.input_count, 2u);
+  EXPECT_EQ(mapped.dnodes_used, 5u);  // 2 inputs + 3 ops
+  EXPECT_EQ(mapped.placements.size(), 5u);
+  const std::string report = mapping_report(mapped);
+  EXPECT_NE(report.find("input 'a'"), std::string::npos);
+  EXPECT_NE(report.find("mul"), std::string::npos);
+  EXPECT_NE(report.find("output 'p'"), std::string::npos);
+
+  const auto sa = random_stream(64, 1);
+  const auto sb = random_stream(64, 2);
+  const auto run = run_mapped(mapped, {sa, sb});
+  EXPECT_EQ(run.outputs, interpret_dfg(g, {sa, sb}));
+  EXPECT_LE(run.cycles_per_sample, 1.2);
+}
+
+TEST(Mapper, ConstantsFoldIntoImmediates) {
+  Dfg g;
+  const auto x = g.add_input("x");
+  const auto c = g.add_const(to_word(-7));
+  const auto y = g.add_binary(DfgOp::kMul, x, c);
+  g.mark_output(y, "scaled");
+  const auto mapped = map_dfg(g, ring16());
+  EXPECT_EQ(mapped.dnodes_used, 2u) << "const must not take a Dnode";
+
+  const auto s = random_stream(32, 3);
+  EXPECT_EQ(run_mapped(mapped, {s}).outputs, interpret_dfg(g, {s}));
+}
+
+TEST(Mapper, DelaysBecomeFeedbackDepth) {
+  // y[n] = 3 x[n] + 2 x[n-1] + 5 x[n-2]  == FIR [3, 2, 5].
+  Dfg g;
+  const auto x = g.add_input("x");
+  const auto t0 = g.add_binary(DfgOp::kMul, x, g.add_const(3));
+  const auto t1 =
+      g.add_binary(DfgOp::kMul, g.add_delay(x, 1), g.add_const(2));
+  const auto t2 =
+      g.add_binary(DfgOp::kMul, g.add_delay(x, 2), g.add_const(5));
+  const auto s01 = g.add_binary(DfgOp::kAdd, t0, t1);
+  const auto y = g.add_binary(DfgOp::kAdd, s01, t2);
+  g.mark_output(y, "y");
+
+  // Three multiplies land on layer 1: needs a 4-lane ring.
+  const auto mapped = map_dfg(g, ring32());
+  const auto s = random_stream(100, 4, -50, 50);
+  const auto run = run_mapped(mapped, {s});
+  EXPECT_EQ(run.outputs[0],
+            dsp::fir_reference(s, std::vector<Word>{3, 2, 5}));
+}
+
+TEST(Mapper, FusesMulAddIntoMac) {
+  // y = a*b + c: three operators collapse into one MAC Dnode.
+  Dfg g;
+  const auto a = g.add_input("a");
+  const auto b = g.add_input("b");
+  const auto c = g.add_input("c");
+  const auto prod = g.add_binary(DfgOp::kMul, a, b);
+  const auto y = g.add_binary(DfgOp::kAdd, prod, c);
+  g.mark_output(y, "y");
+
+  const auto mapped = map_dfg(g, ring32());
+  EXPECT_EQ(mapped.dnodes_used, 4u) << "3 inputs + 1 fused MAC";
+  EXPECT_NE(mapping_report(mapped).find("fused MAC"), std::string::npos);
+
+  const auto sa = random_stream(48, 31);
+  const auto sb = random_stream(48, 32);
+  const auto sc = random_stream(48, 33);
+  EXPECT_EQ(run_mapped(mapped, {sa, sb, sc}).outputs,
+            interpret_dfg(g, {sa, sb, sc}));
+}
+
+TEST(Mapper, FusesSubtrahendMulIntoMsu) {
+  // y = c - a*b  ->  MSU.
+  Dfg g;
+  const auto a = g.add_input("a");
+  const auto b = g.add_input("b");
+  const auto prod = g.add_binary(DfgOp::kMul, a, b);
+  const auto c = g.add_binary(DfgOp::kAdd, a, b);  // some other value
+  const auto y = g.add_binary(DfgOp::kSub, c, prod);
+  g.mark_output(y, "y");
+
+  const auto mapped = map_dfg(g, ring32());
+  EXPECT_EQ(mapped.dnodes_used, 4u) << "2 inputs + add + fused MSU";
+
+  const auto sa = random_stream(48, 41);
+  const auto sb = random_stream(48, 42);
+  EXPECT_EQ(run_mapped(mapped, {sa, sb}).outputs,
+            interpret_dfg(g, {sa, sb}));
+}
+
+TEST(Mapper, DoesNotFuseMultiUseOrLeadingSubMuls) {
+  Dfg g;
+  const auto a = g.add_input("a");
+  const auto b = g.add_input("b");
+  const auto prod = g.add_binary(DfgOp::kMul, a, b);
+  // prod used twice: must stay a separate Dnode.
+  const auto s = g.add_binary(DfgOp::kAdd, prod, a);
+  const auto t = g.add_binary(DfgOp::kSub, prod, b);  // a*b - c: no MSU
+  g.mark_output(s, "s");
+  g.mark_output(t, "t");
+  const auto mapped = map_dfg(g, ring32());
+  EXPECT_EQ(mapped.dnodes_used, 5u);
+
+  const auto sa = random_stream(40, 51);
+  const auto sb = random_stream(40, 52);
+  EXPECT_EQ(run_mapped(mapped, {sa, sb}).outputs,
+            interpret_dfg(g, {sa, sb}));
+}
+
+TEST(Mapper, FusedMacWithThreeAdjacentOperandsBumpsALayer) {
+  // a*b + c where a, b, c are all fresh values from the same layer:
+  // three direct operands cannot share two input ports, so the MAC
+  // moves one layer up and reads everything through the pipelines.
+  Dfg g;
+  const auto x = g.add_input("x");
+  const auto y = g.add_input("y");
+  const auto p = g.add_binary(DfgOp::kAdd, x, y);   // layer 1
+  const auto q = g.add_binary(DfgOp::kSub, x, y);   // layer 1
+  const auto r = g.add_binary(DfgOp::kXor, x, y);   // layer 1
+  const auto prod = g.add_binary(DfgOp::kMul, p, q);
+  const auto out = g.add_binary(DfgOp::kAdd, prod, r);
+  g.mark_output(out, "out");
+
+  const auto mapped = map_dfg(g, ring32());
+  const auto sx = random_stream(40, 61);
+  const auto sy = random_stream(40, 62);
+  EXPECT_EQ(run_mapped(mapped, {sx, sy}).outputs,
+            interpret_dfg(g, {sx, sy}));
+}
+
+TEST(Mapper, LongEdgesUseDeepFeedback) {
+  // A value consumed 4 layers downstream travels through a feedback
+  // pipeline, not through intermediate Dnodes.
+  Dfg g;
+  const auto a = g.add_input("a");
+  const auto b = g.add_input("b");
+  auto acc = g.add_binary(DfgOp::kAdd, a, b);  // layer 1
+  for (int i = 0; i < 3; ++i) {
+    acc = g.add_binary(DfgOp::kAdd, acc, b);  // layers 2..4, b re-read
+  }
+  const auto y = g.add_binary(DfgOp::kSub, acc, a);  // layer 5, a from 0
+  g.mark_output(y, "y");
+
+  const auto mapped = map_dfg(g, ring16());
+  const auto sa = random_stream(48, 5);
+  const auto sb = random_stream(48, 6);
+  EXPECT_EQ(run_mapped(mapped, {sa, sb}).outputs,
+            interpret_dfg(g, {sa, sb}));
+}
+
+TEST(Mapper, MultipleOutputsWithDifferentLatencies) {
+  Dfg g;
+  const auto x = g.add_input("x");
+  const auto y = g.add_input("y");
+  const auto s = g.add_binary(DfgOp::kAdd, x, y);      // layer 1
+  const auto m = g.add_binary(DfgOp::kMul, s, s);      // layer 2
+  g.mark_output(x, "x_copy");                          // layer 0
+  g.mark_output(s, "sum");
+  g.mark_output(m, "square");
+
+  const auto mapped = map_dfg(g, ring16());
+  ASSERT_EQ(mapped.outputs.size(), 3u);
+  EXPECT_EQ(mapped.outputs[0].latency, 0u);
+  EXPECT_EQ(mapped.outputs[1].latency, 1u);
+  EXPECT_EQ(mapped.outputs[2].latency, 2u);
+
+  const auto sx = random_stream(40, 7);
+  const auto sy = random_stream(40, 8);
+  EXPECT_EQ(run_mapped(mapped, {sx, sy}).outputs,
+            interpret_dfg(g, {sx, sy}));
+}
+
+TEST(Mapper, OperandReuseAndUnaryOps) {
+  Dfg g;
+  const auto x = g.add_input("x");
+  const auto twice = g.add_binary(DfgOp::kAdd, x, x);
+  const auto inv = g.add_unary(DfgOp::kNot, twice);
+  const auto mag = g.add_unary(DfgOp::kAbs, inv);
+  g.mark_output(mag, "m");
+  const auto mapped = map_dfg(g, ring16());
+  const auto s = random_stream(32, 9);
+  EXPECT_EQ(run_mapped(mapped, {s}).outputs, interpret_dfg(g, {s}));
+}
+
+TEST(Mapper, SaturationDiagnostics) {
+  // Layer overflow: a chain deeper than the ring.
+  {
+    Dfg g;
+    auto v = g.add_input("x");
+    for (int i = 0; i < 9; ++i) {
+      v = g.add_unary(DfgOp::kPass, v);
+    }
+    g.mark_output(v);
+    EXPECT_THROW(map_dfg(g, ring16()), SimError);
+  }
+  // Lane overflow: three ops forced into one 2-lane layer.
+  {
+    Dfg g;
+    const auto a = g.add_input("a");
+    const auto b = g.add_input("b");
+    g.mark_output(g.add_binary(DfgOp::kAdd, a, b));
+    g.mark_output(g.add_binary(DfgOp::kSub, a, b));
+    g.mark_output(g.add_binary(DfgOp::kXor, a, b));
+    EXPECT_THROW(map_dfg(g, ring16()), SimError);
+    EXPECT_NO_THROW(map_dfg(g, ring32()));
+  }
+  // Too many inputs for layer 0.
+  {
+    Dfg g;
+    const auto a = g.add_input("a");
+    const auto b = g.add_input("b");
+    const auto c = g.add_input("c");
+    g.mark_output(g.add_binary(DfgOp::kAdd, g.add_binary(DfgOp::kAdd, a, b),
+                               c));
+    EXPECT_THROW(map_dfg(g, ring16()), SimError);
+  }
+  // Feedback depth exhausted by a very long delay.
+  {
+    Dfg g;
+    const auto x = g.add_input("x");
+    const auto d = g.add_delay(x, 40);
+    g.mark_output(g.add_unary(DfgOp::kPass, d));
+    EXPECT_THROW(map_dfg(g, ring16()), SimError);
+  }
+  // Output directly on a delay node.
+  {
+    Dfg g;
+    const auto x = g.add_input("x");
+    g.mark_output(g.add_delay(x, 1));
+    EXPECT_THROW(map_dfg(g, ring16()), SimError);
+  }
+  // Constant-only operands.
+  {
+    Dfg g;
+    g.add_input("x");
+    g.mark_output(
+        g.add_binary(DfgOp::kAdd, g.add_const(1), g.add_const(2)));
+    EXPECT_THROW(map_dfg(g, ring16()), SimError);
+  }
+}
+
+class MapperRandomExpr : public ::testing::TestWithParam<int> {};
+
+TEST_P(MapperRandomExpr, RandomFeedForwardGraphsMatchInterpreter) {
+  // Property: random feed-forward graphs over {add, sub, mul, min,
+  // max, xor, absdiff} with occasional delays map bit-exactly.
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Dfg g;
+  std::vector<NodeId> pool;
+  pool.push_back(g.add_input("a"));
+  pool.push_back(g.add_input("b"));
+  const DfgOp ops[] = {DfgOp::kAdd, DfgOp::kSub,     DfgOp::kMul,
+                       DfgOp::kMin, DfgOp::kMax,     DfgOp::kXor,
+                       DfgOp::kAbsdiff};
+  for (int i = 0; i < 6; ++i) {
+    NodeId a = pool[rng.next_below(pool.size())];
+    NodeId b = pool[rng.next_below(pool.size())];
+    if (rng.next_below(4) == 0) {
+      a = g.add_delay(a, 1 + static_cast<unsigned>(rng.next_below(3)));
+    }
+    pool.push_back(
+        g.add_binary(ops[rng.next_below(std::size(ops))], a, b));
+  }
+  g.mark_output(pool.back(), "out");
+
+  MappedProgram mapped;
+  try {
+    mapped = map_dfg(g, ring32());
+  } catch (const SimError&) {
+    GTEST_SKIP() << "graph does not fit this geometry (expected for "
+                    "some seeds)";
+  }
+  const auto sa = random_stream(64, 100 + GetParam());
+  const auto sb = random_stream(64, 200 + GetParam());
+  EXPECT_EQ(run_mapped(mapped, {sa, sb}).outputs,
+            interpret_dfg(g, {sa, sb}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapperRandomExpr, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace sring::mapper

@@ -1,0 +1,104 @@
+// Tests for the block matrix-vector / DCT engine.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dsp/matvec.hpp"
+#include "kernels/matvec_kernel.hpp"
+
+namespace sring::kernels {
+namespace {
+
+RingGeometry ring16() { return {8, 2, 16}; }
+
+dsp::Matrix8 random_matrix(std::uint64_t seed) {
+  Rng rng(seed);
+  dsp::Matrix8 m;
+  for (auto& row : m) {
+    for (auto& v : row) v = rng.next_word_in(-128, 127);
+  }
+  return m;
+}
+
+std::vector<Word> random_blocks(std::size_t blocks, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Word> x(blocks * dsp::kMatvecN);
+  for (auto& v : x) v = rng.next_word_in(-128, 127);
+  return x;
+}
+
+TEST(MatvecGolden, IdentityMatrix) {
+  dsp::Matrix8 eye{};
+  for (std::size_t i = 0; i < 8; ++i) eye[i][i] = 1;
+  const auto x = random_blocks(1, 3);
+  const auto y = dsp::block_matvec8_reference(eye, x);
+  EXPECT_EQ(y, x);
+}
+
+TEST(MatvecGolden, DctMatrixShape) {
+  const auto m = dsp::dct8_matrix_q7();
+  // DC row is flat and positive.
+  for (std::size_t j = 1; j < 8; ++j) {
+    EXPECT_EQ(m[0][j], m[0][0]);
+  }
+  EXPECT_GT(as_signed(m[0][0]), 0);
+  // Row 4 alternates in pairs: + - - + + - - +.
+  EXPECT_EQ(m[4][0], m[4][3]);
+  EXPECT_EQ(m[4][1], m[4][2]);
+  EXPECT_EQ(as_signed(m[4][0]), -as_signed(m[4][1]));
+  // Odd rows are antisymmetric; even rows symmetric.
+  for (std::size_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(as_signed(m[2][j]), as_signed(m[2][7 - j]));
+    EXPECT_EQ(as_signed(m[1][j]), -as_signed(m[1][7 - j]));
+  }
+}
+
+TEST(MatvecGolden, DctOfConstantBlockIsDcOnly) {
+  const auto m = dsp::dct8_matrix_q7();
+  std::array<Word, 8> x;
+  x.fill(to_word(100));
+  const auto y = dsp::matvec8_reference(
+      m, std::span<const Word, 8>(x.data(), 8));
+  EXPECT_NE(as_signed(y[0]), 0);
+  for (std::size_t k = 1; k < 8; ++k) {
+    // AC rows of the integer matrix sum to (near) zero; a constant
+    // block excites only DC.
+    EXPECT_NEAR(as_signed(y[k]), 0, 200) << "row " << k;
+  }
+}
+
+class MatvecSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MatvecSweep, RingMatchesGolden) {
+  const auto [blocks, seed] = GetParam();
+  const auto m = random_matrix(static_cast<std::uint64_t>(seed));
+  const auto x = random_blocks(static_cast<std::size_t>(blocks),
+                               static_cast<std::uint64_t>(seed) + 50);
+  const auto result = run_block_matvec8(ring16(), m, x);
+  EXPECT_EQ(result.outputs, dsp::block_matvec8_reference(m, x));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MatvecSweep,
+                         ::testing::Combine(::testing::Values(1, 3, 16),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(Matvec, DctEngineEndToEnd) {
+  const auto m = dsp::dct8_matrix_q7();
+  const auto x = random_blocks(8, 9);
+  const auto result = run_block_matvec8(ring16(), m, x);
+  EXPECT_EQ(result.outputs, dsp::block_matvec8_reference(m, x));
+  // 4 cycles per element + loop upkeep: ~34 cycles per block.
+  EXPECT_LE(result.cycles_per_block, 36.0);
+}
+
+TEST(Matvec, RejectsBadInput) {
+  const auto m = dsp::dct8_matrix_q7();
+  std::vector<Word> ragged(13, 0);
+  EXPECT_THROW(run_block_matvec8(ring16(), m, ragged), SimError);
+  RingGeometry tiny{2, 2, 8};
+  std::vector<Word> ok(8, 0);
+  EXPECT_THROW(run_block_matvec8(tiny, m, ok), SimError);
+}
+
+}  // namespace
+}  // namespace sring::kernels

@@ -1,0 +1,99 @@
+// Tests pinning the technology/performance/SoC models to the paper's
+// published anchors.
+#include <gtest/gtest.h>
+
+#include "model/perf.hpp"
+#include "model/soc.hpp"
+#include "model/tech.hpp"
+
+namespace sring::model {
+namespace {
+
+TEST(Tech, Table3AnchorsReproduced) {
+  const TechNode t25 = tech_025um();
+  const TechNode t18 = tech_018um();
+  // Dnode areas (Table 3).
+  EXPECT_DOUBLE_EQ(t25.dnode_area_mm2, 0.06);
+  EXPECT_DOUBLE_EQ(t18.dnode_area_mm2, 0.04);
+  // Ring-8 core areas (Table 3).
+  EXPECT_NEAR(core_area_mm2(t25, 8), 0.9, 1e-9);
+  EXPECT_NEAR(core_area_mm2(t18, 8), 0.7, 1e-9);
+  // Frequencies (Table 3).
+  EXPECT_DOUBLE_EQ(frequency_mhz(t25, 8), 180.0);
+  EXPECT_DOUBLE_EQ(frequency_mhz(t18, 8), 200.0);
+}
+
+TEST(Tech, Table2AndFig7AnchorsReproduced) {
+  // Ring-16 at 0.25um = 1.4 mm2 (Table 2's area row).
+  EXPECT_NEAR(core_area_mm2(tech_025um(), 16), 1.4, 1e-9);
+  // Ring-64 at 0.18um = 3.4 mm2 (fig. 7).
+  EXPECT_NEAR(core_area_mm2(tech_018um(), 64), 3.4, 1e-9);
+}
+
+TEST(Tech, AreaGrowsLinearly) {
+  const TechNode t = tech_018um();
+  const double a8 = core_area_mm2(t, 8);
+  const double a16 = core_area_mm2(t, 16);
+  const double a32 = core_area_mm2(t, 32);
+  EXPECT_NEAR(a32 - a16, 2.0 * (a16 - a8), 1e-9);
+}
+
+TEST(Tech, FrequencyIndependentOfSize) {
+  const TechNode t = tech_018um();
+  EXPECT_DOUBLE_EQ(frequency_mhz(t, 4), frequency_mhz(t, 256));
+}
+
+TEST(Tech, DnodeShareApproachesAsymptote) {
+  const TechNode t = tech_018um();
+  // Bigger rings amortize the fixed controller: the Dnode silicon
+  // share must increase with N and stay below the per-dnode asymptote.
+  const double s8 = dnode_area_share(t, 8);
+  const double s64 = dnode_area_share(t, 64);
+  EXPECT_GT(s64, s8);
+  EXPECT_LT(s64, t.dnode_area_mm2 /
+                     (t.dnode_area_mm2 + t.per_dnode_overhead_mm2));
+}
+
+TEST(Perf, HeadlineNumbers) {
+  // "1600 MIPS" for Ring-8 at 200 MHz.
+  EXPECT_DOUBLE_EQ(peak_mips(8, 200.0), 1600.0);
+  // "about 3 Gbytes/s": 8 Dnodes x 2 bytes x 200 MHz = 3.2e9.
+  EXPECT_DOUBLE_EQ(peak_bandwidth_bytes_per_s(8, 200.0), 3.2e9);
+  EXPECT_DOUBLE_EQ(peak_mops(8, 200.0), 3200.0);
+}
+
+TEST(Perf, SustainedFromStats) {
+  SystemStats stats;
+  stats.cycles = 1000;
+  stats.dnode_ops = 800;
+  stats.host_words_in = 500;
+  stats.host_words_out = 300;
+  // 800 ops in 1000 cycles at 200 MHz -> 160 MIPS.
+  EXPECT_NEAR(sustained_mips(stats, 200.0), 160.0, 1e-9);
+  // 800 words = 1600 bytes in 5 us -> 320 MB/s.
+  EXPECT_NEAR(sustained_bandwidth_bytes_per_s(stats, 200.0), 3.2e8, 1e-3);
+}
+
+TEST(Soc, Fig7InventoryFits) {
+  const SocFloorplan soc = foreseeable_soc();
+  EXPECT_DOUBLE_EQ(soc.die_area_mm2(), 12.0);
+  EXPECT_TRUE(soc.fits());
+  // Ring-64 and ARM7 blocks match the figure's annotations.
+  bool ring = false;
+  bool arm = false;
+  for (const auto& b : soc.blocks) {
+    if (b.name == "ring64") {
+      EXPECT_NEAR(b.area_mm2, 3.4, 1e-9);
+      ring = true;
+    }
+    if (b.name == "arm7tdmi") {
+      EXPECT_DOUBLE_EQ(b.area_mm2, 0.54);
+      arm = true;
+    }
+  }
+  EXPECT_TRUE(ring && arm);
+  EXPECT_FALSE(soc.to_string().empty());
+}
+
+}  // namespace
+}  // namespace sring::model

@@ -1,0 +1,104 @@
+// Tests for the binary object-file format.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "asm/assembler.hpp"
+#include "asm/object_file.hpp"
+#include "common/error.hpp"
+#include "asm/program_builder.hpp"
+
+namespace sring {
+namespace {
+
+LoadableProgram sample() {
+  ProgramBuilder pb({4, 2, 16}, "sample");
+  PageBuilder page({4, 2, 16});
+  DnodeInstr add;
+  add.op = DnodeOp::kAdd;
+  add.src_a = DnodeSrc::kIn1;
+  add.src_b = DnodeSrc::kIn2;
+  add.out_en = true;
+  page.instr(0, 0, add);
+  SwitchRoute r;
+  r.in1 = PortRoute::host();
+  r.in2 = PortRoute::host();
+  page.route(0, 0, r);
+  pb.add_page(page);
+  pb.page_switch(0);
+  pb.wait(10);
+  pb.halt();
+  pb.local_program(5, {add});
+  return pb.build();
+}
+
+TEST(ObjectFile, SerializeDeserializeRoundTrip) {
+  const auto original = sample();
+  const auto bytes = serialize_program(original);
+  const auto restored = deserialize_program(bytes);
+  EXPECT_EQ(restored, original);
+}
+
+TEST(ObjectFile, EmptyProgramRoundTrips) {
+  LoadableProgram p;
+  p.geometry = {2, 1, 4};
+  EXPECT_EQ(deserialize_program(serialize_program(p)), p);
+}
+
+TEST(ObjectFile, DetectsBadMagic) {
+  auto bytes = serialize_program(sample());
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW(deserialize_program(bytes), SimError);
+}
+
+TEST(ObjectFile, DetectsTruncation) {
+  const auto bytes = serialize_program(sample());
+  for (const std::size_t cut : {4u, 16u, 40u}) {
+    std::vector<std::uint8_t> truncated(bytes.begin(),
+                                        bytes.begin() + cut);
+    EXPECT_THROW(deserialize_program(truncated), SimError);
+  }
+}
+
+TEST(ObjectFile, DetectsTrailingGarbage) {
+  auto bytes = serialize_program(sample());
+  bytes.push_back(0);
+  EXPECT_THROW(deserialize_program(bytes), SimError);
+}
+
+TEST(ObjectFile, DetectsBadGeometry) {
+  LoadableProgram p;
+  p.geometry = {2, 1, 4};
+  auto bytes = serialize_program(p);
+  // Geometry starts right after magic+version+name(4 bytes len).
+  bytes[12] = 0;  // layers = 0
+  EXPECT_THROW(deserialize_program(bytes), SimError);
+}
+
+TEST(ObjectFile, SaveAndLoadFile) {
+  const auto original = sample();
+  const std::string path = "/tmp/sring_test_object.srgo";
+  save_program(original, path);
+  const auto loaded = load_program(path);
+  EXPECT_EQ(loaded, original);
+  std::remove(path.c_str());
+}
+
+TEST(ObjectFile, LoadMissingFileThrows) {
+  EXPECT_THROW(load_program("/nonexistent/path/prog.srgo"), SimError);
+}
+
+TEST(ObjectFile, AssembledProgramSurvivesObjectFormat) {
+  const auto prog = assemble(R"(
+.ring 2 2 8
+.controller
+    ldi r1, 3
+    halt
+.page p
+    dnode 1.1 { absdiff r2, in1, in2 out }
+)");
+  EXPECT_EQ(deserialize_program(serialize_program(prog)), prog);
+}
+
+}  // namespace
+}  // namespace sring

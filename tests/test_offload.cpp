@@ -1,0 +1,106 @@
+// Tests for the offload analysis model, including validation against
+// the cycle-accurate simulation.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "kernels/fir_kernel.hpp"
+#include "model/offload.hpp"
+
+namespace sring::model {
+namespace {
+
+OffloadScenario base() {
+  OffloadScenario s;
+  s.samples = 1024;
+  s.host_cycles_per_sample = 20;
+  s.host_clock_hz = 450e6;
+  s.ring_cycles_per_sample = 1;
+  s.ring_clock_hz = 200e6;
+  s.link_bytes_per_s = 250e6;
+  s.bytes_per_sample = 4;
+  s.startup_cycles = 64;
+  return s;
+}
+
+TEST(Offload, ComponentsAddUp) {
+  const auto a = analyze_offload(base());
+  EXPECT_NEAR(a.host_only_s, 1024 * 20 / 450e6, 1e-12);
+  EXPECT_NEAR(a.ring_compute_s, 1024 / 200e6, 1e-12);
+  EXPECT_NEAR(a.transfer_s, 1024 * 4 / 250e6, 1e-12);
+  // PCI at 250 MB/s is the bound: 16.4 us transfer vs 5.1 us compute.
+  EXPECT_GT(a.transfer_s, a.ring_compute_s);
+  EXPECT_NEAR(a.offload_total_s, 64 / 200e6 + a.transfer_s, 1e-12);
+  EXPECT_TRUE(a.offload_wins);
+  EXPECT_GT(a.speedup, 2.0);
+}
+
+TEST(Offload, StartupDominatesTinyStreams) {
+  auto s = base();
+  s.samples = 4;
+  const auto a = analyze_offload(s);
+  EXPECT_FALSE(a.offload_wins) << "4 samples cannot amortize startup";
+}
+
+TEST(Offload, BreakEvenIsConsistent) {
+  const auto s = base();
+  const std::size_t be = break_even_samples(s);
+  ASSERT_GT(be, 0u);
+  auto at = s;
+  at.samples = be;
+  EXPECT_TRUE(analyze_offload(at).offload_wins);
+  at.samples = be - 1;
+  EXPECT_FALSE(analyze_offload(at).offload_wins);
+}
+
+TEST(Offload, NeverWinsAgainstAFastHostOverASlowLink) {
+  auto s = base();
+  s.host_cycles_per_sample = 1;   // the host is already optimal
+  s.link_bytes_per_s = 1e6;       // and the link is terrible
+  EXPECT_EQ(break_even_samples(s), 0u);
+}
+
+TEST(Offload, SpeedupSaturatesAtRateRatio) {
+  auto s = base();
+  s.samples = 1 << 22;
+  const auto a = analyze_offload(s);
+  const double per_sample_host = s.host_cycles_per_sample / s.host_clock_hz;
+  const double per_sample_offload = a.transfer_s / s.samples;
+  EXPECT_NEAR(a.speedup, per_sample_host / per_sample_offload, 0.01);
+}
+
+TEST(Offload, RejectsBadRates) {
+  auto s = base();
+  s.link_bytes_per_s = 0;
+  EXPECT_THROW(analyze_offload(s), SimError);
+}
+
+TEST(Offload, ModelMatchesPciLimitedSimulation) {
+  // The analytic steady-state rate must agree with the cycle-accurate
+  // simulator within a few percent.
+  Rng rng(7);
+  std::vector<Word> x(2048);
+  for (auto& v : x) v = rng.next_word_in(-100, 100);
+  const std::vector<Word> coeffs = {1, 2, 3};
+  const RingGeometry ring8{4, 2, 16};
+  const LinkRate pci = LinkRate::from_bytes_per_second(250e6, 200e6);
+  const auto run = kernels::run_spatial_fir(ring8, x, coeffs, pci);
+
+  OffloadScenario s;
+  s.samples = x.size();
+  s.host_cycles_per_sample = 20;  // irrelevant here
+  s.ring_cycles_per_sample = 1.0;
+  s.link_bytes_per_s = 250e6;
+  // The simulated link is full-duplex (250 MB/s per direction), so the
+  // gating flow is the 2-byte/sample input stream.
+  s.bytes_per_sample = 2;
+  s.startup_cycles = 16;
+  const auto a = analyze_offload(s);
+
+  const double sim_seconds = run.stats.cycles / 200e6;
+  EXPECT_NEAR(sim_seconds, a.offload_total_s,
+              0.05 * a.offload_total_s);
+}
+
+}  // namespace
+}  // namespace sring::model

@@ -1,0 +1,51 @@
+// Tests for the utilization / profiling reports.
+#include <gtest/gtest.h>
+
+#include "kernels/mac_kernel.hpp"
+#include "sim/report.hpp"
+#include "sim/system.hpp"
+
+namespace sring {
+namespace {
+
+TEST(Report, UtilizationShowsActiveDnode) {
+  const RingGeometry g{4, 2, 16};
+  System sys({g});
+  sys.load(kernels::make_running_mac_program(g));
+  std::vector<Word> data(64, 1);
+  sys.host().send(data);
+  sys.run_until_outputs(32, 1000);
+
+  const std::string report =
+      utilization_report(sys.ring(), sys.stats().cycles);
+  // One line per layer plus the header.
+  std::size_t lines = 0;
+  for (const char c : report) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 5u);
+  EXPECT_NE(report.find("layer0"), std::string::npos);
+  EXPECT_NE(report.find("lane0"), std::string::npos);
+  // The MAC Dnode ran essentially every cycle; others are at 0%.
+  EXPECT_NE(report.find("0.0%"), std::string::npos);
+}
+
+TEST(Report, RunSummaryCountsActiveDnodes) {
+  const RingGeometry g{4, 2, 16};
+  System sys({g});
+  sys.load(kernels::make_running_mac_program(g));
+  std::vector<Word> data(64, 1);
+  sys.host().send(data);
+  sys.run_until_outputs(32, 1000);
+
+  const std::string summary = run_summary(sys.ring(), sys.stats());
+  EXPECT_NE(summary.find("1/8 Dnodes"), std::string::npos);
+  EXPECT_NE(summary.find("cycles"), std::string::npos);
+}
+
+TEST(Report, EmptyRunIsAllZero) {
+  Ring ring({2, 1, 4});
+  const std::string report = utilization_report(ring, 0);
+  EXPECT_NE(report.find("0.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sring

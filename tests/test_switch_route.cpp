@@ -1,0 +1,95 @@
+// Unit and property tests for switch route encoding.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/switch.hpp"
+
+namespace sring {
+namespace {
+
+TEST(SwitchRoute, DefaultIsAllZero) {
+  EXPECT_EQ(SwitchRoute{}.encode(), 0u);
+  EXPECT_EQ(SwitchRoute::decode(0), SwitchRoute{});
+}
+
+TEST(SwitchRoute, FactoryHelpers) {
+  EXPECT_EQ(PortRoute::zero().kind, RouteKind::kZero);
+  EXPECT_EQ(PortRoute::prev(3).kind, RouteKind::kPrev);
+  EXPECT_EQ(PortRoute::prev(3).lane, 3);
+  EXPECT_EQ(PortRoute::host().kind, RouteKind::kHost);
+  EXPECT_EQ(PortRoute::bus().kind, RouteKind::kBus);
+  const auto fb = PortRoute::feedback({4, 1, 9});
+  EXPECT_EQ(fb.kind, RouteKind::kFeedback);
+  EXPECT_EQ(fb.fb.pipe, 4);
+  EXPECT_EQ(fb.fb.depth, 9);
+}
+
+TEST(SwitchRoute, FullRoundTrip) {
+  SwitchRoute r;
+  r.in1 = PortRoute::prev(5);
+  r.in2 = PortRoute::feedback({31, 15, 15});
+  r.fifo1 = {7, 3, 12};
+  r.fifo2 = {0, 1, 2};
+  r.host_out_en = true;
+  r.host_out_lane = 9;
+  EXPECT_EQ(SwitchRoute::decode(r.encode()), r);
+}
+
+TEST(SwitchRoute, RandomRoundTripProperty) {
+  Rng rng(2024);
+  for (int i = 0; i < 2000; ++i) {
+    const auto random_port = [&]() {
+      switch (rng.next_below(5)) {
+        case 0:
+          return PortRoute::zero();
+        case 1:
+          return PortRoute::prev(
+              static_cast<std::uint8_t>(rng.next_below(16)));
+        case 2:
+          return PortRoute::host();
+        case 3:
+          return PortRoute::bus();
+        default:
+          return PortRoute::feedback(
+              {static_cast<std::uint8_t>(rng.next_below(32)),
+               static_cast<std::uint8_t>(rng.next_below(16)),
+               static_cast<std::uint8_t>(rng.next_below(16))});
+      }
+    };
+    SwitchRoute r;
+    r.in1 = random_port();
+    r.in2 = random_port();
+    r.fifo1 = {static_cast<std::uint8_t>(rng.next_below(32)),
+               static_cast<std::uint8_t>(rng.next_below(16)),
+               static_cast<std::uint8_t>(rng.next_below(16))};
+    r.fifo2 = {static_cast<std::uint8_t>(rng.next_below(32)),
+               static_cast<std::uint8_t>(rng.next_below(16)),
+               static_cast<std::uint8_t>(rng.next_below(16))};
+    r.host_out_en = rng.next_below(2) != 0;
+    r.host_out_lane = static_cast<std::uint8_t>(rng.next_below(16));
+    EXPECT_EQ(SwitchRoute::decode(r.encode()), r);
+  }
+}
+
+TEST(SwitchRoute, ToStringDescribesRoutes) {
+  SwitchRoute r;
+  r.in1 = PortRoute::prev(2);
+  r.in2 = PortRoute::host();
+  r.host_out_en = true;
+  r.host_out_lane = 1;
+  const std::string s = r.to_string();
+  EXPECT_NE(s.find("prev2"), std::string::npos);
+  EXPECT_NE(s.find("host"), std::string::npos);
+  EXPECT_NE(s.find("hostout=prev1"), std::string::npos);
+}
+
+TEST(SwitchRoute, EncodingFitsDocumentedFields) {
+  // host_out_lane occupies the top nibble below bit 63.
+  SwitchRoute r;
+  r.host_out_lane = 15;
+  r.host_out_en = true;
+  EXPECT_LT(r.encode(), 1ull << 63);
+}
+
+}  // namespace
+}  // namespace sring
