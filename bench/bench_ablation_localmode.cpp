@@ -19,9 +19,12 @@
 #include "dsp/fir.hpp"
 #include "kernels/fir_kernel.hpp"
 #include "kernels/mac_kernel.hpp"
+#include "obs/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sring;
+  const std::string json_path =
+      obs::extract_option(argc, argv, "--json").value_or("");
   const RingGeometry ring16{8, 2, 16};
 
   Rng rng(4242);
@@ -31,6 +34,7 @@ int main() {
   std::printf("Ablation: configuration mechanisms on the same FIR\n\n");
   std::printf("  %5s %22s %22s %22s\n", "taps", "spatial (static)",
               "paged (dual-layer)", "wordwise (naive)");
+  obs::JsonValue rows = obs::JsonValue::array();
   for (const std::size_t taps : {2u, 3u, 4u}) {
     std::vector<Word> coeffs(taps);
     for (auto& c : coeffs) c = rng.next_word_in(-8, 8);
@@ -46,6 +50,14 @@ int main() {
                 taps, spatial.cycles_per_sample, paged.cycles_per_sample,
                 wordwise.cycles_per_sample, ok ? "" : "MISMATCH");
     if (!ok) return 1;
+    obs::JsonValue row = obs::JsonValue::object();
+    row.set("taps", std::uint64_t{taps});
+    row.set("spatial_cycles_per_sample", spatial.cycles_per_sample);
+    row.set("paged_cycles_per_sample", paged.cycles_per_sample);
+    row.set("wordwise_cycles_per_sample", wordwise.cycles_per_sample);
+    row.set("route_changes_paged", paged.stats.switch_route_changes);
+    row.set("route_changes_wordwise", wordwise.stats.switch_route_changes);
+    rows.push_back(std::move(row));
   }
 
   std::printf("\n  multiplier usage: spatial = taps multipliers, both "
@@ -64,5 +76,14 @@ int main() {
                   static_cast<double>(local.stats.cycles));
   std::printf("  -> the controller is free for prefetch/management, the "
               "paper's \"without RISC controller overheading\".\n");
+
+  RunReport report = RunReport::from_stats("ablation.localmode",
+                                           local.stats);
+  report.extra("fir_sweep", std::move(rows))
+      .extra("mac_pairs", std::uint64_t{a.size()})
+      .extra("macs_per_cycle",
+             static_cast<double>(a.size()) /
+                 static_cast<double>(local.stats.cycles));
+  maybe_write_run_report(report, json_path);
   return 0;
 }

@@ -19,9 +19,12 @@
 #include "common/rng.hpp"
 #include "kernels/fir_kernel.hpp"
 #include "model/perf.hpp"
+#include "obs/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sring;
+  const std::string json_path =
+      obs::extract_option(argc, argv, "--json").value_or("");
   const RingGeometry ring8{4, 2, 16};
   const double clock_mhz = 200.0;
 
@@ -69,5 +72,17 @@ int main() {
                              ring.outputs == ring_pci.outputs;
   std::printf("\n  all engines produced identical filter output: %s\n",
               outputs_match ? "yes" : "NO");
+
+  RunReport report = ring.report;
+  report.name = "comparative_mips";
+  report.extra("peak_mips", model::peak_mips(8, clock_mhz))
+      .extra("sustained_mips_ideal",
+             model::sustained_mips(ring.stats, clock_mhz))
+      .extra("sustained_mips_pci",
+             model::sustained_mips(ring_pci.stats, clock_mhz))
+      .extra("pci_stall_cycles", ring_pci.stats.ring_stall_cycles)
+      .extra("scalar_mips", scalar.stats.mips(450e6))
+      .extra("outputs_match", outputs_match);
+  maybe_write_run_report(report, json_path);
   return outputs_match ? 0 : 1;
 }

@@ -6,6 +6,8 @@
 #include "asm/assembler.hpp"
 #include "asm/object_file.hpp"
 #include "common/image.hpp"
+#include "obs/cli.hpp"
+#include "sim/report.hpp"
 #include "sim/system.hpp"
 
 namespace {
@@ -25,8 +27,10 @@ constexpr const char* kSource = R"(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sring;
+  const std::string json_path =
+      obs::extract_option(argc, argv, "--json").value_or("");
   // Assemble -> serialize -> parse back: the full PRG-memory flow.
   const auto object = serialize_program(assemble(kSource));
   const LoadableProgram prog = deserialize_program(object);
@@ -56,5 +60,14 @@ int main() {
   std::printf("  at 200 MHz this frame takes %.1f us (paper prototype "
               "ran at the APEX's lower clock)\n",
               static_cast<double>(stats.cycles) / 200.0);
+
+  RunReport report = RunReport::from_system("fig6.prototype", sys);
+  report.extra("object_bytes", std::uint64_t{object.size()})
+      .extra("pixels", std::uint64_t{image.size()})
+      .extra("cycles_per_pixel",
+             static_cast<double>(stats.cycles) /
+                 static_cast<double>(image.size()))
+      .extra("video_checksum", checksum);
+  maybe_write_run_report(report, json_path);
   return 0;
 }

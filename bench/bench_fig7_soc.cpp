@@ -5,9 +5,13 @@
 #include "model/perf.hpp"
 #include "model/soc.hpp"
 #include "model/tech.hpp"
+#include "obs/cli.hpp"
+#include "sim/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sring::model;
+  const std::string json_path =
+      sring::obs::extract_option(argc, argv, "--json").value_or("");
   const SocFloorplan soc = foreseeable_soc();
   std::printf("Fig. 7: a foreseeable SoC (0.18 um)\n\n%s\n",
               soc.to_string().c_str());
@@ -19,5 +23,14 @@ int main() {
               peak_bandwidth_bytes_per_s(64, frequency_mhz(t, 64)) / 1e9);
   std::printf("  floorplan fits the 12 mm2 budget: %s\n",
               soc.fits() ? "yes" : "NO");
+
+  sring::RunReport report;
+  report.name = "fig7.soc";
+  report.extra("frequency_mhz", frequency_mhz(t, 64))
+      .extra("peak_mips", peak_mips(64, frequency_mhz(t, 64)))
+      .extra("peak_bandwidth_gb_s",
+             peak_bandwidth_bytes_per_s(64, frequency_mhz(t, 64)) / 1e9)
+      .extra("fits", soc.fits());
+  sring::maybe_write_run_report(report, json_path);
   return soc.fits() ? 0 : 1;
 }

@@ -6,9 +6,13 @@
 #include <cstdio>
 
 #include "model/interconnect.hpp"
+#include "obs/cli.hpp"
+#include "sim/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sring::model;
+  const std::string json_path =
+      sring::obs::extract_option(argc, argv, "--json").value_or("");
   const Topology topologies[] = {Topology::kRing, Topology::kMesh,
                                  Topology::kArray, Topology::kCrossbar};
 
@@ -49,5 +53,22 @@ int main() {
   std::printf("\n  shape: only the ring keeps wires at one pitch (flat "
               "frequency) with linear area —\n  the paper's \"the routing "
               "problem is thus removed\".\n");
+
+  sring::RunReport report;
+  report.name = "interconnect";
+  sring::obs::JsonValue rows = sring::obs::JsonValue::array();
+  for (const std::size_t n : {8u, 16u, 64u, 256u, 1024u}) {
+    for (const auto t : topologies) {
+      sring::obs::JsonValue row = sring::obs::JsonValue::object();
+      row.set("dnodes", std::uint64_t{n});
+      row.set("topology", to_string(t));
+      row.set("longest_wire_pitches", longest_wire_pitches(t, n));
+      row.set("relative_frequency", relative_frequency(t, n));
+      row.set("interconnect_area_dnodes", interconnect_area_dnodes(t, n));
+      rows.push_back(std::move(row));
+    }
+  }
+  report.extra("sweep", std::move(rows));
+  sring::maybe_write_run_report(report, json_path);
   return 0;
 }

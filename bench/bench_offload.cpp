@@ -12,9 +12,12 @@
 #include "common/rng.hpp"
 #include "kernels/fir_kernel.hpp"
 #include "model/offload.hpp"
+#include "obs/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sring;
+  const std::string json_path =
+      obs::extract_option(argc, argv, "--json").value_or("");
 
   // Calibrate the two compute rates from their own models.
   Rng rng(5);
@@ -69,5 +72,14 @@ int main() {
               "the CPU outruns the big core\n     once streams amortize "
               "the transfer, and the PCI link (not compute) is the "
               "bound.\n");
+
+  RunReport report = pci_run.report;
+  report.name = "offload";
+  report.extra("host_cycles_per_sample", host_cps)
+      .extra("ring_cycles_per_sample", ring_cps)
+      .extra("break_even_samples", std::uint64_t{be})
+      .extra("model_offload_us", 1e6 * a.offload_total_s)
+      .extra("sim_offload_us", 1e6 * sim_s);
+  maybe_write_run_report(report, json_path);
   return 0;
 }

@@ -16,6 +16,8 @@
 #include "asm/program_builder.hpp"
 #include "model/perf.hpp"
 #include "model/tech.hpp"
+#include "obs/cli.hpp"
+#include "sim/report.hpp"
 #include "sim/system.hpp"
 
 namespace {
@@ -92,13 +94,16 @@ std::uint64_t wordwise_swap_cycles(const RingGeometry& g) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path =
+      obs::extract_option(argc, argv, "--json").value_or("");
   const auto tech = model::tech_018um();
   std::printf("Scalability sweep (0.18 um model, measured simulator "
               "columns)\n\n");
   std::printf("  %7s %9s %9s %9s %11s %11s %13s\n", "dnodes", "area/mm2",
               "freq/MHz", "peakMIPS", "ops/cycle", "PAGE cost",
               "WRCFG cost");
+  obs::JsonValue rows = obs::JsonValue::array();
   for (const std::size_t n : {4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
     const RingGeometry g = geom_for(n);
     const double ops = sustained_ops_per_cycle(g);
@@ -110,9 +115,22 @@ int main() {
                 model::peak_mips(n, model::frequency_mhz(tech, n)), ops,
                 static_cast<unsigned long long>(page_cost),
                 static_cast<unsigned long long>(word_cost));
+    obs::JsonValue row = obs::JsonValue::object();
+    row.set("dnodes", std::uint64_t{n});
+    row.set("area_mm2", model::core_area_mm2(tech, n));
+    row.set("frequency_mhz", model::frequency_mhz(tech, n));
+    row.set("ops_per_cycle", ops);
+    row.set("page_swap_cycles", page_cost);
+    row.set("wordwise_swap_cycles", word_cost);
+    rows.push_back(std::move(row));
   }
   std::printf("\n  shape: area linear, frequency flat, utilization flat "
               "at 1 op/Dnode/cycle,\n  full reconfiguration 1 cycle via "
               "PAGE at every size vs O(N) word-by-word.\n");
+
+  RunReport report;
+  report.name = "scalability";
+  report.extra("sweep", std::move(rows));
+  maybe_write_run_report(report, json_path);
   return 0;
 }

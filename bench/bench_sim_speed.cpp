@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "kernels/fir_kernel.hpp"
 #include "kernels/mac_kernel.hpp"
+#include "obs/cli.hpp"
 #include "sim/system.hpp"
 
 namespace {
@@ -87,4 +88,28 @@ BENCHMARK(BM_RunningMac);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: `--json <path>` is ours (a RunReport of a fixed spatial
+// FIR reference workload); everything else goes to google-benchmark
+// (which has its own --benchmark_out machinery for timing data).
+int main(int argc, char** argv) {
+  const std::string json_path =
+      obs::extract_option(argc, argv, "--json").value_or("");
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    Rng rng(1);
+    std::vector<Word> x(1024);
+    for (auto& v : x) v = rng.next_word_in(-100, 100);
+    const std::vector<Word> coeffs = {1, 2, 3, 4};
+    const auto r =
+        kernels::run_spatial_fir(RingGeometry{8, 2, 16}, x, coeffs);
+    RunReport report = r.report;
+    report.name = "sim_speed.reference_fir";
+    write_run_report(report, json_path);
+  }
+  return 0;
+}

@@ -17,9 +17,12 @@
 #include "baseline/mmx.hpp"
 #include "common/image.hpp"
 #include "kernels/motion_estimation.hpp"
+#include "obs/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sring;
+  const std::string json_path =
+      obs::extract_option(argc, argv, "--json").value_or("");
   const RingGeometry ring16{8, 2, 16};
 
   const Image ref = Image::synthetic(64, 64, 1001);
@@ -74,5 +77,14 @@ int main() {
   }
   std::printf("  (results identical at every size: %s)\n",
               agree ? "yes" : "NO");
+
+  RunReport report = ring.report;
+  report.name = "table1.motion_estimation";
+  report.extra("asic_cycles", asic.cycles)
+      .extra("mmx_cycles", mmx.stats.cycles)
+      .extra("vs_mmx", static_cast<double>(mmx.stats.cycles) /
+                           static_cast<double>(ring.cycles))
+      .extra("engines_agree", agree);
+  maybe_write_run_report(report, json_path);
   return agree ? 0 : 1;
 }

@@ -16,10 +16,14 @@
 #include "common/image.hpp"
 #include "kernels/dwt_kernel.hpp"
 #include "model/tech.hpp"
+#include "obs/cli.hpp"
+#include "sim/report.hpp"
 #include "sim/system.hpp"
 
 int main(int argc, char** argv) {
   using namespace sring;
+  const std::string json_path =
+      obs::extract_option(argc, argv, "--json").value_or("");
   const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
   const std::size_t width = full ? 1024 : 256;
   const std::size_t height = full ? 768 : 192;
@@ -31,6 +35,7 @@ int main(int argc, char** argv) {
   // Measure ring occupancy directly: run one line through a System we
   // keep hold of and count the Dnodes that issued instructions.
   std::size_t used_dnodes = 0;
+  RunReport report;
   {
     System sys({ring16});
     sys.load(kernels::make_dwt53_program(ring16));
@@ -41,6 +46,9 @@ int main(int argc, char** argv) {
     for (const auto ops : sys.ring().ops_per_dnode()) {
       used_dnodes += ops > 0 ? 1 : 0;
     }
+    // Per-Dnode detail comes from the one-line probe System; frame
+    // totals ride along as extras below.
+    report = RunReport::from_system("table2.wavelet", sys);
   }
   const double free_pct =
       100.0 * static_cast<double>(16 - used_dnodes) / 16.0;
@@ -69,10 +77,19 @@ int main(int argc, char** argv) {
               "sample per clock cycle)\n", result.cycles_per_sample);
   std::printf("  ring occupancy: %zu/16 Dnodes -> %.0f%% free (paper: "
               "25%% remains free)\n", used_dnodes, free_pct);
+  const bool reconstructible =
+      dsp::dwt53_inverse_2d(result.bands, dsp::Boundary::kZero) == img;
   std::printf("  transform verified reconstructible: %s\n",
-              dsp::dwt53_inverse_2d(result.bands, dsp::Boundary::kZero) ==
-                      img
-                  ? "yes"
-                  : "NO");
+              reconstructible ? "yes" : "NO");
+
+  report.extra("frame_width", std::uint64_t{width})
+      .extra("frame_height", std::uint64_t{height})
+      .extra("frame_total_cycles", result.total_cycles)
+      .extra("cycles_per_pixel", result.cycles_per_sample)
+      .extra("used_dnodes", std::uint64_t{used_dnodes})
+      .extra("free_pct", free_pct)
+      .extra("fb_bytes", std::uint64_t{fb_bytes})
+      .extra("reconstructible", reconstructible);
+  maybe_write_run_report(report, json_path);
   return 0;
 }

@@ -12,9 +12,13 @@
 #include <cstdio>
 
 #include "model/tech.hpp"
+#include "obs/cli.hpp"
+#include "sim/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sring::model;
+  const std::string json_path =
+      sring::obs::extract_option(argc, argv, "--json").value_or("");
   const TechNode nodes[] = {tech_025um(), tech_018um()};
 
   std::printf("Table 3: synthesis results (Ring-8 core)\n\n");
@@ -40,5 +44,22 @@ int main() {
 
   std::printf("  all published anchors reproduced: %s\n",
               ok ? "yes" : "NO");
+
+  sring::RunReport report;
+  report.name = "table3.synthesis";
+  sring::obs::JsonValue rows = sring::obs::JsonValue::array();
+  for (const auto& t : nodes) {
+    sring::obs::JsonValue r = sring::obs::JsonValue::object();
+    r.set("techno", t.name);
+    r.set("dnode_area_mm2", t.dnode_area_mm2);
+    r.set("core_area_mm2", core_area_mm2(t, 8));
+    r.set("frequency_mhz", frequency_mhz(t, 8));
+    rows.push_back(std::move(r));
+  }
+  report.extra("rows", std::move(rows))
+      .extra("ring16_025um_mm2", core_area_mm2(tech_025um(), 16))
+      .extra("ring64_018um_mm2", core_area_mm2(tech_018um(), 64))
+      .extra("anchors_ok", ok);
+  sring::maybe_write_run_report(report, json_path);
   return ok ? 0 : 1;
 }

@@ -20,6 +20,7 @@
 #include "asm/assembler.hpp"
 #include "asm/object_file.hpp"
 #include "common/image.hpp"
+#include "obs/sinks.hpp"
 #include "sim/system.hpp"
 #include "sim/vcd.hpp"
 
@@ -68,7 +69,7 @@ int main(int argc, char** argv) {
   sys.load(load_program(prg_path));  // read back from "PRG"
 
   std::ostringstream trace_text;
-  Trace trace(trace_text);
+  obs::TextSink trace(trace_text);
   sys.set_trace(&trace);
 
   // Waveform dump for the first 64 cycles (view with GTKWave).

@@ -8,9 +8,16 @@
 //   sras -d <object.srgo>                   disassemble to stdout
 //   sras -r <object.srgo> [max_cycles]      load and run (host FIFOs
 //                                           empty; prints statistics)
+//
+// Run-mode observability flags:
+//   --trace-format=<text|jsonl|chrome>      structured cycle trace
+//   --trace-out <path>                      trace file (default stdout)
+//   --report-json <path>                    machine-readable RunReport
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -18,6 +25,9 @@
 #include "asm/disassembler.hpp"
 #include "asm/object_file.hpp"
 #include "common/error.hpp"
+#include "obs/cli.hpp"
+#include "obs/sinks.hpp"
+#include "sim/report.hpp"
 #include "sim/system.hpp"
 
 namespace {
@@ -27,8 +37,20 @@ int usage() {
                "usage:\n"
                "  sras <input.sasm> -o <output.srgo>\n"
                "  sras -d <object.srgo>\n"
-               "  sras -r <object.srgo> [max_cycles]\n");
+               "  sras -r <object.srgo> [max_cycles]\n"
+               "        [--trace-format=<text|jsonl|chrome>]\n"
+               "        [--trace-out <path>] [--report-json <path>]\n");
   return 2;
+}
+
+std::unique_ptr<sring::obs::EventSink> make_sink(const std::string& format,
+                                                 std::ostream& out) {
+  using namespace sring::obs;
+  if (format == "text") return std::make_unique<TextSink>(out);
+  if (format == "jsonl") return std::make_unique<JsonlSink>(out);
+  if (format == "chrome") return std::make_unique<ChromeTraceSink>(out);
+  throw sring::SimError("unknown trace format: " + format +
+                        " (expected text, jsonl or chrome)");
 }
 
 }  // namespace
@@ -36,6 +58,13 @@ int usage() {
 int main(int argc, char** argv) {
   using namespace sring;
   try {
+    const std::string trace_format =
+        obs::extract_option(argc, argv, "--trace-format").value_or("");
+    const std::string trace_out =
+        obs::extract_option(argc, argv, "--trace-out").value_or("");
+    const std::string report_json =
+        obs::extract_option(argc, argv, "--report-json").value_or("");
+
     if (argc >= 3 && std::string(argv[1]) == "-d") {
       std::printf("%s", disassemble(load_program(argv[2])).c_str());
       return 0;
@@ -46,10 +75,36 @@ int main(int argc, char** argv) {
           argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 100000;
       System sys({prog.geometry});
       sys.load(prog);
+
+      // Trace sink: stream borrowed, sink owned here; end() runs
+      // before either goes away (System::set_trace never finalizes).
+      std::ofstream trace_file;
+      std::unique_ptr<obs::EventSink> sink;
+      if (!trace_format.empty()) {
+        std::ostream* out = &std::cout;
+        if (!trace_out.empty()) {
+          trace_file.open(trace_out);
+          check(trace_file.good(),
+                "cannot open trace file: " + trace_out);
+          out = &trace_file;
+        }
+        sink = make_sink(trace_format, *out);
+        sys.set_trace(sink.get());
+      }
+
       sys.run_until_halt(budget);
+      if (sink) {
+        sys.set_trace(nullptr);
+        sink->end();
+      }
+
       std::printf("halted after %llu cycles\n%s\n",
                   static_cast<unsigned long long>(sys.cycle()),
                   sys.stats().to_string().c_str());
+      maybe_write_run_report(
+          RunReport::from_system(prog.name.empty() ? "sras_run" : prog.name,
+                                 sys),
+          report_json);
       return 0;
     }
     if (argc == 4 && std::string(argv[2]) == "-o") {

@@ -38,6 +38,7 @@ ConfigMemory::ConfigMemory(const RingGeometry& g)
     : geom_(g), live_(ConfigPage::zeroed(g)) {
   geom_.validate();
   live_decoded_ = decode_page(live_);
+  route_changes_per_switch_.assign(geom_.switch_count(), 0);
 }
 
 void ConfigMemory::write_dnode_instr(std::size_t dnode,
@@ -62,9 +63,19 @@ void ConfigMemory::write_switch_route(std::size_t sw, std::size_t lane,
   check(sw < geom_.switch_count(), "ConfigMemory: switch index out of range");
   check(lane < geom_.lanes, "ConfigMemory: lane index out of range");
   const std::size_t i = sw * geom_.lanes + lane;
-  live_decoded_.route[i] = SwitchRoute::decode(encoded);  // validates
+  SwitchRoute decoded = SwitchRoute::decode(encoded);  // validates
+  if (!(decoded == live_decoded_.route[i])) {
+    ++route_changes_per_switch_[sw];
+  }
+  live_decoded_.route[i] = std::move(decoded);
   live_.switch_route[i] = encoded;
   ++words_written_;
+}
+
+std::uint64_t ConfigMemory::route_changes_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto c : route_changes_per_switch_) total += c;
+  return total;
 }
 
 const DnodeInstr& ConfigMemory::dnode_instr(std::size_t dnode) const {
@@ -108,6 +119,14 @@ std::size_t ConfigMemory::add_page(ConfigPage page) {
 
 void ConfigMemory::apply_page(std::size_t index) {
   check(index < pages_.size(), "ConfigMemory::apply_page: no such page");
+  for (std::size_t sw = 0; sw < geom_.switch_count(); ++sw) {
+    for (std::size_t lane = 0; lane < geom_.lanes; ++lane) {
+      const std::size_t i = sw * geom_.lanes + lane;
+      if (!(live_decoded_.route[i] == pages_decoded_[index].route[i])) {
+        ++route_changes_per_switch_[sw];
+      }
+    }
+  }
   live_ = pages_[index];
   live_decoded_ = pages_decoded_[index];
   words_written_ += live_.dnode_instr.size() + live_.dnode_mode.size() +

@@ -81,6 +81,17 @@ class ConfigMemory {
   /// Number of configuration words rewritten so far (statistics).
   std::uint64_t words_written() const noexcept { return words_written_; }
 
+  // --- route-change instrumentation ---------------------------------
+  // A "route change" is a switch route word whose decoded value
+  // actually differs after a WRSW or page swap — rewriting a route
+  // with its current value does not count.  Observation only; never
+  // part of the simulated semantics.
+  const std::vector<std::uint64_t>& route_changes_per_switch()
+      const noexcept {
+    return route_changes_per_switch_;
+  }
+  std::uint64_t route_changes_total() const noexcept;
+
  private:
   struct DecodedPage {
     std::vector<DnodeInstr> instr;
@@ -94,6 +105,7 @@ class ConfigMemory {
   std::vector<ConfigPage> pages_;
   std::vector<DecodedPage> pages_decoded_;
   std::uint64_t words_written_ = 0;
+  std::vector<std::uint64_t> route_changes_per_switch_;
 };
 
 }  // namespace sring

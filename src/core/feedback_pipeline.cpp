@@ -30,11 +30,13 @@ void FeedbackPipeline::push_from(const Word* upstream_outputs) {
   head_ = (head_ + depth_ - 1) % depth_;
   std::copy(upstream_outputs, upstream_outputs + lanes_,
             stages_.begin() + static_cast<std::ptrdiff_t>(head_ * lanes_));
+  ++pushes_;
 }
 
 void FeedbackPipeline::reset() noexcept {
   std::fill(stages_.begin(), stages_.end(), 0);
   head_ = 0;
+  pushes_ = 0;
 }
 
 }  // namespace sring

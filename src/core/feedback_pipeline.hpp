@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/types.hpp"
@@ -34,6 +35,14 @@ class FeedbackPipeline {
   /// Same, from a raw pointer to `lanes()` words (hot path).
   void push_from(const Word* upstream_outputs);
 
+  /// Clock edges latched since the last reset (instrumentation).
+  std::uint64_t pushes() const noexcept { return pushes_; }
+
+  /// Stages holding live (post-reset) data: min(pushes, depth).
+  std::size_t occupancy() const noexcept {
+    return pushes_ < depth_ ? static_cast<std::size_t>(pushes_) : depth_;
+  }
+
   /// Clear all stages to zero.
   void reset() noexcept;
 
@@ -41,6 +50,7 @@ class FeedbackPipeline {
   std::size_t lanes_;
   std::size_t depth_;
   std::size_t head_ = 0;                 // index of the depth-0 stage
+  std::uint64_t pushes_ = 0;
   std::vector<Word> stages_;             // depth_ x lanes_, ring buffer
 };
 

@@ -13,6 +13,12 @@ Ring::Ring(const RingGeometry& g) : geom_(g) {
   }
   last_mode_.assign(geom_.dnode_count(), DnodeMode::kGlobal);
   ops_per_dnode_.assign(geom_.dnode_count(), 0);
+  mac_ops_per_dnode_.assign(geom_.dnode_count(), 0);
+  local_cycles_per_dnode_.assign(geom_.dnode_count(), 0);
+  global_cycles_per_dnode_.assign(geom_.dnode_count(), 0);
+  host_out_words_per_switch_.assign(geom_.switch_count(), 0);
+  fb_reads_per_pipe_.assign(geom_.switch_count(), 0);
+  fb_read_depth_counts_.assign(geom_.switch_count() * 16, 0);
   fetched_.assign(geom_.dnode_count(), nullptr);
   is_local_.assign(geom_.dnode_count(), false);
   needs_.assign(geom_.dnode_count(), {});
@@ -64,11 +70,24 @@ Word Ring::read_feedback(const FeedbackAddr& addr) const {
   return pipes_[addr.pipe].read(addr.lane, addr.depth);
 }
 
+void Ring::note_fb_read(const FeedbackAddr& addr) {
+  ++fb_reads_per_pipe_[addr.pipe];
+  ++fb_read_depth_counts_[addr.pipe * std::size_t{16} + addr.depth];
+}
+
 void Ring::reset() {
   for (auto& d : dnodes_) d.reset();
   for (auto& p : pipes_) p.reset();
   last_mode_.assign(geom_.dnode_count(), DnodeMode::kGlobal);
   ops_per_dnode_.assign(geom_.dnode_count(), 0);
+  mac_ops_per_dnode_.assign(geom_.dnode_count(), 0);
+  local_cycles_per_dnode_.assign(geom_.dnode_count(), 0);
+  global_cycles_per_dnode_.assign(geom_.dnode_count(), 0);
+  host_out_words_per_switch_.assign(geom_.switch_count(), 0);
+  fb_reads_per_pipe_.assign(geom_.switch_count(), 0);
+  fb_read_depth_counts_.assign(geom_.switch_count() * 16, 0);
+  bus_drives_ = 0;
+  bus_conflicts_ = 0;
 }
 
 namespace {
@@ -138,6 +157,10 @@ Ring::CycleResult Ring::step(const ConfigMemory& cfg, Word bus,
     return result;  // systolic back-pressure: nothing advances
   }
 
+  for (std::size_t i = 0; i < n; ++i) {
+    ++(is_local_[i] ? local_cycles_per_dnode_ : global_cycles_per_dnode_)[i];
+  }
+
   // Phase 3+4: route and execute.  Routing reads only pre-edge state
   // (output registers, pipelines, bus), so evaluation order across
   // Dnodes does not matter except for the documented host pop order.
@@ -181,6 +204,18 @@ Ring::CycleResult Ring::step(const ConfigMemory& cfg, Word bus,
       in.fifo1 = read_feedback(route.fifo1);
       in.fifo2 = read_feedback(route.fifo2);
       in.bus = bus;
+      // Feedback-occupancy accounting: only reads the instruction
+      // actually consumes (the ports above are sampled regardless).
+      if (route.in1.kind == RouteKind::kFeedback &&
+          instr_reads(instr, DnodeSrc::kIn1)) {
+        note_fb_read(route.in1.fb);
+      }
+      if (route.in2.kind == RouteKind::kFeedback &&
+          instr_reads(instr, DnodeSrc::kIn2)) {
+        note_fb_read(route.in2.fb);
+      }
+      if (instr_reads(instr, DnodeSrc::kFifo1)) note_fb_read(route.fifo1);
+      if (instr_reads(instr, DnodeSrc::kFifo2)) note_fb_read(route.fifo2);
       if (needs_[i].direct_host) {
         in.host = host_in.front();
         host_in.pop_front();
@@ -190,9 +225,11 @@ Ring::CycleResult Ring::step(const ConfigMemory& cfg, Word bus,
       effects_[i] = dnodes_[i].execute(instr, in);
       if (effects_[i].executed) {
         ++result.ops;
-        result.arith_ops +=
-            (instr.op == DnodeOp::kMac || instr.op == DnodeOp::kMsu) ? 2 : 1;
+        const bool is_mac =
+            instr.op == DnodeOp::kMac || instr.op == DnodeOp::kMsu;
+        result.arith_ops += is_mac ? 2 : 1;
         ++ops_per_dnode_[i];
+        if (is_mac) ++mac_ops_per_dnode_[i];
       }
     }
   }
@@ -223,6 +260,7 @@ Ring::CycleResult Ring::step(const ConfigMemory& cfg, Word bus,
         host_out.push_back(
             pre_outs_[upstream_layer(s) * geom_.lanes + route.host_out_lane]);
         ++result.host_words_out;
+        ++host_out_words_per_switch_[s];
       }
     }
   }
@@ -232,6 +270,8 @@ Ring::CycleResult Ring::step(const ConfigMemory& cfg, Word bus,
       ++result.host_words_out;
     }
     if (effects_[i].executed && effects_[i].bus_en) {
+      ++bus_drives_;
+      if (result.bus_drive.has_value()) ++bus_conflicts_;
       result.bus_drive = effects_[i].result;
     }
   }

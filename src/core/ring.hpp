@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/config_memory.hpp"
@@ -73,6 +74,54 @@ class Ring {
     return ops_per_dnode_;
   }
 
+  // --- instrumentation (observation only, reset() clears) -------------
+  /// MAC/MSU instructions per Dnode (the rest of ops_per_dnode is the
+  /// plain-ALU mix).
+  const std::vector<std::uint64_t>& mac_ops_per_dnode() const noexcept {
+    return mac_ops_per_dnode_;
+  }
+  /// Non-stalled cycles each Dnode spent in local (stand-alone) mode.
+  const std::vector<std::uint64_t>& local_cycles_per_dnode()
+      const noexcept {
+    return local_cycles_per_dnode_;
+  }
+  /// Non-stalled cycles each Dnode spent under global configuration.
+  const std::vector<std::uint64_t>& global_cycles_per_dnode()
+      const noexcept {
+    return global_cycles_per_dnode_;
+  }
+  /// Host-out words forwarded by each switch's tap.
+  const std::vector<std::uint64_t>& host_out_words_per_switch()
+      const noexcept {
+    return host_out_words_per_switch_;
+  }
+  /// Feedback reads per pipeline.
+  const std::vector<std::uint64_t>& fb_reads_per_pipe() const noexcept {
+    return fb_reads_per_pipe_;
+  }
+  /// Feedback reads per pipeline by depth, stride 16: entry
+  /// [pipe * 16 + depth] counts reads of that pipe at that depth.
+  const std::vector<std::uint64_t>& fb_read_depth_counts() const noexcept {
+    return fb_read_depth_counts_;
+  }
+  std::uint64_t bus_drives() const noexcept { return bus_drives_; }
+  /// Cycles in which more than one Dnode drove the shared bus (the
+  /// highest Dnode index won; the others were lost drives).
+  std::uint64_t bus_conflicts() const noexcept { return bus_conflicts_; }
+
+  // --- last-cycle views for event tracing ------------------------------
+  // Valid immediately after a non-stalled step(); the System's event
+  // emitter is the only intended consumer.
+  std::span<const Dnode::Effects> last_effects() const noexcept {
+    return effects_;
+  }
+  const std::vector<const DnodeInstr*>& last_fetched() const noexcept {
+    return fetched_;
+  }
+  const std::vector<bool>& last_is_local() const noexcept {
+    return is_local_;
+  }
+
   /// Clear all architectural state (configuration memory is separate).
   void reset();
 
@@ -82,11 +131,22 @@ class Ring {
 
   Word read_feedback(const FeedbackAddr& addr) const;
 
+  /// Record one feedback read actually consumed by an instruction.
+  void note_fb_read(const FeedbackAddr& addr);
+
   RingGeometry geom_;
   std::vector<Dnode> dnodes_;              // [layer * lanes + lane]
   std::vector<FeedbackPipeline> pipes_;    // one per switch / layer
   std::vector<DnodeMode> last_mode_;       // to reset local counters on entry
   std::vector<std::uint64_t> ops_per_dnode_;
+  std::vector<std::uint64_t> mac_ops_per_dnode_;
+  std::vector<std::uint64_t> local_cycles_per_dnode_;
+  std::vector<std::uint64_t> global_cycles_per_dnode_;
+  std::vector<std::uint64_t> host_out_words_per_switch_;
+  std::vector<std::uint64_t> fb_reads_per_pipe_;
+  std::vector<std::uint64_t> fb_read_depth_counts_;  // [pipe * 16 + depth]
+  std::uint64_t bus_drives_ = 0;
+  std::uint64_t bus_conflicts_ = 0;
 
   // Per-cycle scratch (members to avoid per-step allocations).
   struct PortNeed {

@@ -28,6 +28,9 @@ void Controller::reset() {
   pc_ = 0;
   instructions_ = 0;
   wait_remaining_ = 0;
+  inpop_stalls_ = 0;
+  wait_stalls_ = 0;
+  bus_writes_ = 0;
   halted_ = false;
 }
 
@@ -40,6 +43,8 @@ Controller::StepResult Controller::step(const StepContext& ctx) {
   if (wait_remaining_ > 0) {
     --wait_remaining_;
     res.stalled = true;
+    res.stall_cause = StallCause::kWait;
+    ++wait_stalls_;
     return res;
   }
   check(pc_ < program_.size(),
@@ -145,6 +150,7 @@ Controller::StepResult Controller::step(const StepContext& ctx) {
       break;
     case RiscOp::kBusw:
       res.bus_drive = static_cast<Word>(a & 0xFFFFu);
+      ++bus_writes_;
       break;
     case RiscOp::kRdbus:
       regs_[instr.rd] = ctx.bus;
@@ -152,6 +158,8 @@ Controller::StepResult Controller::step(const StepContext& ctx) {
     case RiscOp::kInpop:
       if (ctx.host_in.empty()) {
         res.stalled = true;
+        res.stall_cause = StallCause::kInpop;
+        ++inpop_stalls_;
         return res;  // PC holds; retry next cycle
       }
       regs_[instr.rd] = ctx.host_in.front();
@@ -181,6 +189,7 @@ Controller::StepResult Controller::step(const StepContext& ctx) {
   pc_ = next_pc;
   ++instructions_;
   res.executed = true;
+  res.op = instr.op;
   res.halted = halted_;
   return res;
 }

@@ -40,10 +40,15 @@ class Controller {
     std::uint64_t cycle;           ///< global cycle counter (RDCYC)
   };
 
+  /// Why a cycle stalled (observability; `kNone` when not stalled).
+  enum class StallCause : std::uint8_t { kNone = 0, kInpop, kWait };
+
   struct StepResult {
     bool halted = false;          ///< controller is (now) halted
     bool stalled = false;         ///< instruction could not complete
     bool executed = false;        ///< an instruction completed this cycle
+    StallCause stall_cause = StallCause::kNone;
+    RiscOp op = RiscOp::kNop;     ///< opcode completed, when executed
     std::optional<Word> bus_drive;///< BUSW value, visible this cycle
   };
 
@@ -54,6 +59,12 @@ class Controller {
   std::uint64_t pc() const noexcept { return pc_; }
   std::uint64_t instructions_executed() const noexcept {
     return instructions_; }
+
+  // --- stall-cause instrumentation (observation only) ----------------
+  std::uint64_t inpop_stall_cycles() const noexcept {
+    return inpop_stalls_; }
+  std::uint64_t wait_stall_cycles() const noexcept { return wait_stalls_; }
+  std::uint64_t bus_writes() const noexcept { return bus_writes_; }
 
   std::uint64_t reg(std::size_t index) const;
   void set_reg(std::size_t index, std::uint64_t value);
@@ -67,6 +78,9 @@ class Controller {
   std::uint64_t pc_ = 0;
   std::uint64_t instructions_ = 0;
   std::uint32_t wait_remaining_ = 0;
+  std::uint64_t inpop_stalls_ = 0;
+  std::uint64_t wait_stalls_ = 0;
+  std::uint64_t bus_writes_ = 0;
   bool halted_ = false;
 };
 

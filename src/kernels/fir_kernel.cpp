@@ -95,6 +95,10 @@ FirResult run_spatial_fir(const RingGeometry& g, std::span<const Word> x,
       x.empty() ? 0.0
                 : static_cast<double>(result.stats.cycles) /
                       static_cast<double>(x.size());
+  result.report = RunReport::from_system("fir.spatial", sys);
+  result.report.extra("taps", std::uint64_t{taps})
+      .extra("samples", std::uint64_t{x.size()})
+      .extra("cycles_per_sample", result.cycles_per_sample);
   return result;
 }
 
@@ -188,7 +192,8 @@ namespace {
 
 FirResult run_serial_common(const RingGeometry& g,
                             const LoadableProgram& prog,
-                            std::span<const Word> x, std::size_t pad_words) {
+                            std::span<const Word> x, std::size_t pad_words,
+                            std::string_view report_name) {
   System sys({g});
   sys.load(prog);
   std::vector<Word> feed(x.begin(), x.end());
@@ -209,6 +214,9 @@ FirResult run_serial_common(const RingGeometry& g,
       x.empty() ? 0.0
                 : static_cast<double>(result.stats.cycles) /
                       static_cast<double>(x.size());
+  result.report = RunReport::from_system(report_name, sys);
+  result.report.extra("samples", std::uint64_t{x.size()})
+      .extra("cycles_per_sample", result.cycles_per_sample);
   return result;
 }
 
@@ -219,7 +227,7 @@ FirResult run_paged_serial_fir(const RingGeometry& g,
                                std::span<const Word> coeffs) {
   return run_serial_common(
       g, make_paged_serial_fir_program(g, coeffs, x.size()), x,
-      /*pad_words=*/1);
+      /*pad_words=*/1, "fir.paged_serial");
 }
 
 // ---------------------------------------------------------------------------
@@ -351,7 +359,7 @@ FirResult run_wordwise_serial_fir(const RingGeometry& g,
                                   std::span<const Word> coeffs) {
   return run_serial_common(
       g, make_wordwise_serial_fir_program(g, coeffs, x.size()), x,
-      /*pad_words=*/0);
+      /*pad_words=*/0, "fir.wordwise_serial");
 }
 
 }  // namespace sring::kernels

@@ -29,6 +29,7 @@
 
 #include "sim/host_interface.hpp"
 #include "sim/program.hpp"
+#include "sim/report.hpp"
 #include "sim/stats.hpp"
 
 namespace sring::kernels {
@@ -51,6 +52,7 @@ struct FirResult {
   std::vector<Word> outputs;  ///< y[n] for every input sample
   SystemStats stats;
   double cycles_per_sample = 0.0;
+  RunReport report;           ///< machine-readable run record
 };
 
 /// Run the spatial FIR over `x`; bit-exact vs dsp::fir_reference.

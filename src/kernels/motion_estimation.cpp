@@ -188,6 +188,10 @@ MotionEstimationResult run_motion_estimation(const RingGeometry& g,
   }
   result.stats = sys.stats();
   result.cycles = result.stats.cycles;
+  result.report = RunReport::from_system("motion_estimation", sys);
+  result.report.extra("candidates", std::uint64_t{disp.size()})
+      .extra("batches", std::uint64_t{batches})
+      .extra("best_sad", std::uint64_t{result.best.sad});
   return result;
 }
 

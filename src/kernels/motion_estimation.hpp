@@ -22,6 +22,7 @@
 #include "common/image.hpp"
 #include "dsp/sad.hpp"
 #include "sim/program.hpp"
+#include "sim/report.hpp"
 #include "sim/stats.hpp"
 
 namespace sring::kernels {
@@ -37,6 +38,7 @@ struct MotionEstimationResult {
   dsp::MotionVector best;           ///< arg-min with first-wins ties
   SystemStats stats;
   std::uint64_t cycles = 0;         ///< total cycles for the block match
+  RunReport report;                 ///< machine-readable run record
 };
 
 /// Match the 8x8 block at (rx, ry) of `ref` against `cand` within

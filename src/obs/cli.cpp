@@ -1,0 +1,51 @@
+#include "obs/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sring::obs {
+
+namespace {
+
+void remove_args(int& argc, char** argv, int at, int count) {
+  for (int i = at; i + count < argc; ++i) argv[i] = argv[i + count];
+  argc -= count;
+}
+
+}  // namespace
+
+std::optional<std::string> extract_option(int& argc, char** argv,
+                                          std::string_view name) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == name) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value after %.*s\n", argv[0],
+                     static_cast<int>(name.size()), name.data());
+        std::exit(2);
+      }
+      std::string value = argv[i + 1];
+      remove_args(argc, argv, i, 2);
+      return value;
+    }
+    if (arg.size() > name.size() + 1 &&
+        arg.substr(0, name.size()) == name && arg[name.size()] == '=') {
+      std::string value(arg.substr(name.size() + 1));
+      remove_args(argc, argv, i, 1);
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+bool extract_flag(int& argc, char** argv, std::string_view name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == name) {
+      remove_args(argc, argv, i, 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace sring::obs

@@ -1,0 +1,30 @@
+// Tiny argv helpers shared by the bench binaries and `sras` so every
+// tool spells its observability flags the same way:
+//
+//   --json <path>           machine-readable RunReport (benches)
+//   --report-json <path>    same, for sras
+//   --trace-format=<fmt>    text | jsonl | chrome
+//   --trace-out <path>      where the trace goes
+//
+// `extract_option` removes the flag (and its value) from argv so the
+// tools' existing positional parsing is untouched.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sring::obs {
+
+/// Find `--name <value>` or `--name=<value>` in argv, remove it, and
+/// return the value.  Returns nullopt if absent; a flag with a
+/// missing value prints a usage error and exits(2) — this is a helper
+/// for tool main()s, not library code.  `name` includes the dashes
+/// ("--json").
+std::optional<std::string> extract_option(int& argc, char** argv,
+                                          std::string_view name);
+
+/// Find and remove a bare `--name` switch; true if it was present.
+bool extract_flag(int& argc, char** argv, std::string_view name);
+
+}  // namespace sring::obs

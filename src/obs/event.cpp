@@ -1,0 +1,36 @@
+#include "obs/event.hpp"
+
+namespace sring::obs {
+
+std::vector<Track> make_tracks(std::size_t layers, std::size_t lanes) {
+  std::vector<Track> tracks;
+  tracks.reserve(3 + layers * lanes + layers);
+  tracks.push_back({TrackKind::kController, 1, 0, "ctrl"});
+  tracks.push_back({TrackKind::kBus, 1, 1, "bus"});
+  tracks.push_back({TrackKind::kRing, 1, 2, "ring"});
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      Track t;
+      t.kind = TrackKind::kDnode;
+      t.pid = 2;
+      t.tid = static_cast<std::uint32_t>(layer * lanes + lane);
+      t.name = "dnode " + std::to_string(layer) + "." + std::to_string(lane);
+      tracks.push_back(std::move(t));
+    }
+  }
+  for (std::size_t sw = 0; sw < layers; ++sw) {
+    Track t;
+    t.kind = TrackKind::kSwitch;
+    t.pid = 3;
+    t.tid = static_cast<std::uint32_t>(sw);
+    t.name = "switch " + std::to_string(sw);
+    tracks.push_back(std::move(t));
+  }
+  return tracks;
+}
+
+void EventSink::begin(const std::vector<Track>&) {}
+void EventSink::cycle_end(const CycleState&) {}
+void EventSink::end() {}
+
+}  // namespace sring::obs

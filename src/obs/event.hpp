@@ -1,0 +1,101 @@
+// Structured event tracing.
+//
+// The simulator publishes its per-cycle activity as a stream of
+// `Event` records on named tracks (one per Dnode, one per switch, one
+// each for the controller, the shared bus and ring-wide conditions),
+// plus one `CycleState` callback per cycle carrying the full post-edge
+// machine state for whole-system sinks (the classic text trace).
+//
+// Sinks implement `EventSink`.  Attachment is a raw pointer
+// (`System::set_trace`): the System never owns the sink, and with no
+// sink attached the instrumentation code is a single null check per
+// cycle — observation only, never part of the simulated semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sring {
+
+class Ring;
+
+namespace obs {
+
+/// What a track represents; fixed pid/tid assignment for Chrome
+/// traces: controller/bus/ring run under pid 1, Dnodes under pid 2
+/// (tid = flat index), switches under pid 3 (tid = switch index).
+enum class TrackKind : std::uint8_t {
+  kController = 0,
+  kBus,
+  kRing,
+  kDnode,
+  kSwitch,
+};
+
+struct Track {
+  TrackKind kind = TrackKind::kController;
+  std::uint32_t pid = 1;
+  std::uint32_t tid = 0;
+  std::string name;  ///< "ctrl", "bus", "ring", "dnode 0.1", "switch 3"
+};
+
+/// Track table for a `layers x lanes` ring; indices follow
+/// `kControllerTrack` / `dnode_track` / `switch_track` below.
+std::vector<Track> make_tracks(std::size_t layers, std::size_t lanes);
+
+inline constexpr std::uint32_t kControllerTrack = 0;
+inline constexpr std::uint32_t kBusTrack = 1;
+inline constexpr std::uint32_t kRingTrack = 2;
+
+inline constexpr std::uint32_t dnode_track(std::size_t flat_index) {
+  return 3 + static_cast<std::uint32_t>(flat_index);
+}
+inline constexpr std::uint32_t switch_track(std::size_t dnode_count,
+                                            std::size_t sw) {
+  return 3 + static_cast<std::uint32_t>(dnode_count + sw);
+}
+
+/// One traced occurrence.  `name` must reference storage that outlives
+/// the sink call (all emitters use static mnemonic tables).
+struct Event {
+  std::uint64_t cycle = 0;  ///< cycle the event belongs to
+  std::uint32_t track = 0;  ///< index into the track table
+  std::string_view name;    ///< e.g. "mac", "stall.inpop", "route.update"
+  std::int64_t value = 0;   ///< primary payload (result, pc, word count)
+  std::uint64_t dur = 1;    ///< duration in cycles
+};
+
+/// Full post-edge machine state, published once per cycle.
+struct CycleState {
+  std::uint64_t cycle = 0;
+  std::uint64_t ctrl_pc = 0;
+  bool ctrl_halted = false;
+  Word bus = 0;
+  const Ring* ring = nullptr;
+};
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// Called once on attachment with the track table.
+  virtual void begin(const std::vector<Track>& tracks);
+
+  /// One structured event; may fire many times per cycle.
+  virtual void event(const Event& e) = 0;
+
+  /// Full machine state after the cycle's clock edge.
+  virtual void cycle_end(const CycleState& state);
+
+  /// Finalize the output (close the Chrome JSON array, flush...).
+  /// The System never calls this: the sink's owner does, or the
+  /// destructor of sinks that need it.
+  virtual void end();
+};
+
+}  // namespace obs
+}  // namespace sring

@@ -1,0 +1,160 @@
+#include "obs/json.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace sring::obs {
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue& JsonValue::push_back(JsonValue v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  items_.push_back(std::move(v));
+  return items_.back();
+}
+
+JsonValue& JsonValue::set(std::string_view key, JsonValue v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  members_.emplace_back(std::string(key), std::move(v));
+  return members_.back().second;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::uint64_t JsonValue::as_uint() const noexcept {
+  switch (kind_) {
+    case Kind::kInt:
+      return int_ >= 0 ? static_cast<std::uint64_t>(int_) : 0;
+    case Kind::kUint:
+      return uint_;
+    case Kind::kDouble:
+      return double_ >= 0.0 ? static_cast<std::uint64_t>(double_) : 0;
+    default:
+      return 0;
+  }
+}
+
+double JsonValue::as_double() const noexcept {
+  switch (kind_) {
+    case Kind::kInt:
+      return static_cast<double>(int_);
+    case Kind::kUint:
+      return static_cast<double>(uint_);
+    case Kind::kDouble:
+      return double_;
+    default:
+      return 0.0;
+  }
+}
+
+void write_json_string(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void JsonValue::dump(std::ostream& os) const {
+  switch (kind_) {
+    case Kind::kNull:
+      os << "null";
+      break;
+    case Kind::kBool:
+      os << (bool_ ? "true" : "false");
+      break;
+    case Kind::kInt:
+      os << int_;
+      break;
+    case Kind::kUint:
+      os << uint_;
+      break;
+    case Kind::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.10g", double_);
+      os << buf;
+      break;
+    }
+    case Kind::kString:
+      write_json_string(os, string_);
+      break;
+    case Kind::kArray: {
+      os << '[';
+      bool first = true;
+      for (const auto& item : items_) {
+        if (!first) os << ',';
+        first = false;
+        item.dump(os);
+      }
+      os << ']';
+      break;
+    }
+    case Kind::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) os << ',';
+        first = false;
+        write_json_string(os, k);
+        os << ':';
+        v.dump(os);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::ostringstream ss;
+  dump(ss);
+  return ss.str();
+}
+
+}  // namespace sring::obs

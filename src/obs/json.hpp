@@ -1,0 +1,89 @@
+// Minimal JSON document model for the observability layer.
+//
+// Serialization-oriented: objects keep their members in insertion
+// order, so every sink and report emits a byte-stable field ordering
+// (the golden tests rely on it).  Numbers are stored as signed/unsigned
+// 64-bit integers or doubles; doubles print with up to 10 significant
+// digits, integers exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sring::obs {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull = 0,
+    kBool,
+    kInt,
+    kUint,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() = default;
+  JsonValue(std::nullptr_t) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(std::int64_t v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(int v) : JsonValue(static_cast<std::int64_t>(v)) {}
+  JsonValue(std::uint64_t v) : kind_(Kind::kUint), uint_(v) {}
+  JsonValue(double v) : kind_(Kind::kDouble), double_(v) {}
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  JsonValue(std::string_view s) : JsonValue(std::string(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}
+
+  static JsonValue array();
+  static JsonValue object();
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+
+  /// Append to an array (converts a null value into an array).
+  JsonValue& push_back(JsonValue v);
+
+  /// Set an object member, appended in insertion order (converts a
+  /// null value into an object; overwrites an existing key in place).
+  JsonValue& set(std::string_view key, JsonValue v);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const noexcept;
+
+  const std::vector<JsonValue>& items() const noexcept { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members()
+      const noexcept {
+    return members_;
+  }
+
+  std::uint64_t as_uint() const noexcept;
+  double as_double() const noexcept;
+  const std::string& as_string() const noexcept { return string_; }
+
+  /// Compact single-line serialization (no spaces after separators).
+  void dump(std::ostream& os) const;
+  std::string dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Write `text` as a JSON string literal (quotes + escapes).
+void write_json_string(std::ostream& os, std::string_view text);
+
+}  // namespace sring::obs

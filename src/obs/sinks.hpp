@@ -1,0 +1,76 @@
+// The three standard event sinks.
+//
+//  * TextSink   — one human-readable line per cycle (the simulator's
+//                 original "logic analyzer" format, cf. paper fig. 6).
+//  * JsonlSink  — one JSON object per line: a `trace_begin` record,
+//                 then every structured event, then `trace_end`.
+//  * ChromeTraceSink — Chrome `trace_event` JSON array of complete
+//                 ("ph":"X") events, one track per Dnode / switch /
+//                 controller; loads in chrome://tracing and Perfetto.
+//
+// All sinks borrow their ostream: the stream must outlive the sink.
+// Sinks themselves are attached to a System by raw pointer and must
+// outlive the run (see System::set_trace).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace sring::obs {
+
+/// Text format, one line per cycle:
+///   cyc      3 pc    2   bus     0 |      1      0 /      5      0
+class TextSink : public EventSink {
+ public:
+  explicit TextSink(std::ostream& out) : out_(&out) {}
+
+  void event(const Event& e) override;  // no-op: text is state-based
+  void cycle_end(const CycleState& state) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// JSON Lines: {"type":"trace_begin",...}, then one event per line
+/// {"type":"event","cycle":N,"track":"dnode 0.0","name":"mac",
+///  "value":V,"dur":1}, then {"type":"trace_end"}.
+class JsonlSink : public EventSink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+
+  void begin(const std::vector<Track>& tracks) override;
+  void event(const Event& e) override;
+  void end() override;
+
+ private:
+  std::ostream* out_;
+  std::vector<Track> tracks_;
+};
+
+/// Chrome trace_event "JSON Array Format".  `begin` opens the array
+/// and names the tracks with "M" metadata records; every event becomes
+/// a complete event ("ph":"X") with ts/dur in microseconds (1 cycle =
+/// 1 us).  `end` closes the array; the destructor closes it if the
+/// owner forgot.
+class ChromeTraceSink : public EventSink {
+ public:
+  explicit ChromeTraceSink(std::ostream& out) : out_(&out) {}
+  ~ChromeTraceSink() override;
+
+  void begin(const std::vector<Track>& tracks) override;
+  void event(const Event& e) override;
+  void end() override;
+
+ private:
+  void separator();
+
+  std::ostream* out_;
+  std::vector<Track> tracks_;
+  bool open_ = false;
+  bool first_ = true;
+};
+
+}  // namespace sring::obs

@@ -1,6 +1,10 @@
 #include "sim/report.hpp"
 
 #include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "sim/system.hpp"
 
 namespace sring {
 
@@ -44,6 +48,124 @@ std::string run_summary(const Ring& ring, const SystemStats& stats) {
                 static_cast<unsigned long long>(stats.dnode_ops), active,
                 n, 100.0 * stats.utilization(n));
   return std::string(buf) + "\n" + utilization_report(ring, stats.cycles);
+}
+
+RunReport RunReport::from_system(std::string_view name, const System& sys) {
+  RunReport r;
+  r.name = std::string(name);
+  const auto& g = sys.ring().geometry();
+  r.layers = g.layers;
+  r.lanes = g.lanes;
+  r.has_stats = true;
+  r.stats = sys.stats();
+  r.issue_per_dnode = sys.ring().ops_per_dnode();
+  r.mac_per_dnode = sys.ring().mac_ops_per_dnode();
+  r.route_changes_per_switch = sys.config().route_changes_per_switch();
+  r.host_out_words_per_switch = sys.ring().host_out_words_per_switch();
+  r.metrics = sys.metrics();
+  return r;
+}
+
+RunReport RunReport::from_stats(std::string_view name,
+                                const SystemStats& stats) {
+  RunReport r;
+  r.name = std::string(name);
+  r.has_stats = true;
+  r.stats = stats;
+  return r;
+}
+
+RunReport& RunReport::extra(std::string_view key, obs::JsonValue value) {
+  extras.set(key, std::move(value));
+  return *this;
+}
+
+obs::JsonValue RunReport::to_json() const {
+  using obs::JsonValue;
+  JsonValue j = JsonValue::object();
+  j.set("schema", "sring.run_report.v1");
+  j.set("name", name);
+  if (layers > 0 && lanes > 0) {
+    JsonValue g = JsonValue::object();
+    g.set("layers", std::uint64_t{layers});
+    g.set("lanes", std::uint64_t{lanes});
+    j.set("geometry", std::move(g));
+  }
+  if (has_stats) {
+    j.set("cycles", stats.cycles);
+
+    JsonValue s = JsonValue::object();
+    s.set("cycles", stats.cycles);
+    s.set("ring_stall_cycles", stats.ring_stall_cycles);
+    s.set("ctrl_stall_cycles", stats.ctrl_stall_cycles);
+    s.set("dnode_ops", stats.dnode_ops);
+    s.set("arith_ops", stats.arith_ops);
+    s.set("host_words_in", stats.host_words_in);
+    s.set("host_words_out", stats.host_words_out);
+    s.set("ctrl_instructions", stats.ctrl_instructions);
+    s.set("config_words_written", stats.config_words_written);
+    s.set("bus_drives", stats.bus_drives);
+    s.set("bus_conflicts", stats.bus_conflicts);
+    s.set("switch_route_changes", stats.switch_route_changes);
+    if (layers > 0 && lanes > 0) {
+      s.set("utilization", stats.utilization(layers * lanes));
+    }
+    j.set("stats", std::move(s));
+
+    JsonValue st = JsonValue::object();
+    st.set("ring_host_underflow", stats.ring_stall_cycles);
+    st.set("ctrl_inpop", stats.ctrl_inpop_stalls);
+    st.set("ctrl_wait", stats.ctrl_wait_stalls);
+    j.set("stalls", std::move(st));
+
+    JsonValue h = JsonValue::object();
+    h.set("words_in", stats.host_words_in);
+    h.set("words_out", stats.host_words_out);
+    j.set("host", std::move(h));
+  }
+  if (!issue_per_dnode.empty() && lanes > 0) {
+    JsonValue dn = JsonValue::array();
+    for (std::size_t i = 0; i < issue_per_dnode.size(); ++i) {
+      JsonValue d = JsonValue::object();
+      d.set("layer", std::uint64_t{i / lanes});
+      d.set("lane", std::uint64_t{i % lanes});
+      d.set("issue", issue_per_dnode[i]);
+      if (i < mac_per_dnode.size()) d.set("mac", mac_per_dnode[i]);
+      dn.push_back(std::move(d));
+    }
+    j.set("dnodes", std::move(dn));
+  }
+  if (!route_changes_per_switch.empty()) {
+    JsonValue sws = JsonValue::array();
+    for (std::size_t sw = 0; sw < route_changes_per_switch.size(); ++sw) {
+      JsonValue s = JsonValue::object();
+      s.set("switch", std::uint64_t{sw});
+      s.set("route_changes", route_changes_per_switch[sw]);
+      if (sw < host_out_words_per_switch.size()) {
+        s.set("host_out_words", host_out_words_per_switch[sw]);
+      }
+      sws.push_back(std::move(s));
+    }
+    j.set("switches", std::move(sws));
+  }
+  if (metrics.size() > 0) j.set("metrics", metrics.to_json());
+  if (!extras.members().empty()) j.set("extras", extras);
+  return j;
+}
+
+void write_run_report(const RunReport& report, const std::string& path) {
+  std::ofstream out(path);
+  check(static_cast<bool>(out),
+        "write_run_report: cannot open output file: " + path);
+  report.to_json().dump(out);
+  out << '\n';
+  check(static_cast<bool>(out),
+        "write_run_report: write failed: " + path);
+}
+
+void maybe_write_run_report(const RunReport& report,
+                            const std::string& path) {
+  if (!path.empty()) write_run_report(report, path);
 }
 
 }  // namespace sring

@@ -19,6 +19,11 @@ std::string SystemStats::to_string() const {
   s += " host_out=" + std::to_string(host_words_out);
   s += " ctrl_instrs=" + std::to_string(ctrl_instructions);
   s += " cfg_writes=" + std::to_string(config_words_written);
+  s += " inpop_stalls=" + std::to_string(ctrl_inpop_stalls);
+  s += " wait_stalls=" + std::to_string(ctrl_wait_stalls);
+  s += " bus_drives=" + std::to_string(bus_drives);
+  s += " bus_conflicts=" + std::to_string(bus_conflicts);
+  s += " route_changes=" + std::to_string(switch_route_changes);
   return s;
 }
 

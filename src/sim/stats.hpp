@@ -16,6 +16,11 @@ struct SystemStats {
   std::uint64_t host_words_out = 0;      ///< words produced by the ring
   std::uint64_t ctrl_instructions = 0;
   std::uint64_t config_words_written = 0;
+  std::uint64_t ctrl_inpop_stalls = 0;   ///< ctrl stalls on empty host FIFO
+  std::uint64_t ctrl_wait_stalls = 0;    ///< ctrl stalls inside WAIT
+  std::uint64_t bus_drives = 0;          ///< Dnode shared-bus drives
+  std::uint64_t bus_conflicts = 0;       ///< cycles >1 Dnode drove the bus
+  std::uint64_t switch_route_changes = 0;///< decoded route words changed
 
   /// Fraction of Dnode issue slots used, given the Dnode count.
   double utilization(std::size_t dnode_count) const noexcept;

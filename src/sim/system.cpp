@@ -1,6 +1,10 @@
 #include "sim/system.hpp"
 
+#include <cstdio>
+
 #include "common/error.hpp"
+#include "isa/dnode_instr.hpp"
+#include "isa/risc_instr.hpp"
 
 namespace sring {
 
@@ -10,6 +14,7 @@ System::System(const SystemConfig& config)
       ring_(config.geometry),
       host_(config.link) {
   geom_.validate();
+  route_marks_.assign(geom_.switch_count(), 0);
 }
 
 void System::load(const LoadableProgram& program) {
@@ -26,10 +31,27 @@ void System::load(const LoadableProgram& program) {
   bus_ = 0;
   cycle_ = 0;
   stats_ = SystemStats{};
+  host_depth_counts_.fill(0);
+  route_marks_.assign(geom_.switch_count(), 0);
+}
+
+void System::set_trace(obs::EventSink* sink) {
+  sink_ = sink;
+  if (sink_ == nullptr) return;
+  if (tracks_.empty()) tracks_ = obs::make_tracks(geom_.layers, geom_.lanes);
+  route_marks_ = cfg_.route_changes_per_switch();
+  sink_->begin(tracks_);
 }
 
 void System::step() {
   host_.tick();
+
+  {  // sample the ring-visible input-FIFO depth (post link tick)
+    const std::uint64_t depth = host_.ring_in().size();
+    std::size_t b = 0;
+    while (b < kHostDepthBounds.size() && depth > kHostDepthBounds[b]) ++b;
+    ++host_depth_counts_[b];
+  }
 
   const Controller::StepContext ctx{cfg_,
                                     ring_,
@@ -57,13 +79,166 @@ void System::step() {
 
   ++cycle_;
   ++stats_.cycles;
-  if (trace_ != nullptr) trace_->on_cycle(cycle_, ctrl_, bus_, ring_);
+  if (sink_ != nullptr) emit_cycle_events(ctrl_res, ring_res);
+}
+
+void System::emit_cycle_events(const Controller::StepResult& ctrl_res,
+                               const Ring::CycleResult& ring_res) {
+  using obs::Event;
+  const std::uint64_t cyc = cycle_;  // post-edge label, first cycle is 1
+
+  // Controller: one event per cycle while running.
+  if (ctrl_res.executed) {
+    sink_->event(Event{cyc, obs::kControllerTrack, to_mnemonic(ctrl_res.op),
+                       static_cast<std::int64_t>(ctrl_.pc()), 1});
+  } else if (ctrl_res.stalled) {
+    sink_->event(Event{
+        cyc, obs::kControllerTrack,
+        ctrl_res.stall_cause == Controller::StallCause::kInpop
+            ? std::string_view{"stall.inpop"}
+            : std::string_view{"stall.wait"},
+        static_cast<std::int64_t>(ctrl_.pc()), 1});
+  }
+
+  // Shared bus: who drove it this cycle.
+  if (ctrl_res.bus_drive.has_value()) {
+    sink_->event(Event{cyc, obs::kBusTrack, "busw",
+                       as_signed(*ctrl_res.bus_drive), 1});
+  }
+  if (ring_res.bus_drive.has_value()) {
+    sink_->event(Event{cyc, obs::kBusTrack, "drive",
+                       as_signed(*ring_res.bus_drive), 1});
+  }
+
+  // Ring-wide conditions and host traffic.
+  if (ring_res.stalled) {
+    sink_->event(Event{cyc, obs::kRingTrack, "stall.host_in", 0, 1});
+  }
+  if (ring_res.host_words_in > 0) {
+    sink_->event(Event{cyc, obs::kRingTrack, "host.in",
+                       static_cast<std::int64_t>(ring_res.host_words_in), 1});
+  }
+  if (ring_res.host_words_out > 0) {
+    sink_->event(Event{cyc, obs::kRingTrack, "host.out",
+                       static_cast<std::int64_t>(ring_res.host_words_out),
+                       1});
+  }
+
+  // Dnode issue slots: one event per instruction actually executed.
+  if (!ring_res.stalled) {
+    const auto effects = ring_.last_effects();
+    const auto& fetched = ring_.last_fetched();
+    for (std::size_t i = 0; i < effects.size(); ++i) {
+      if (!effects[i].executed) continue;
+      sink_->event(Event{cyc, obs::dnode_track(i),
+                         to_mnemonic(fetched[i]->op),
+                         as_signed(effects[i].result), 1});
+    }
+  }
+
+  // Switch reconfiguration: decoded route words changed this cycle
+  // (WRSW or page swap executed by the controller above).
+  const auto& changes = cfg_.route_changes_per_switch();
+  for (std::size_t s = 0; s < changes.size(); ++s) {
+    if (changes[s] != route_marks_[s]) {
+      sink_->event(
+          Event{cyc, obs::switch_track(geom_.dnode_count(), s),
+                "route.update",
+                static_cast<std::int64_t>(changes[s] - route_marks_[s]), 1});
+      route_marks_[s] = changes[s];
+    }
+  }
+
+  sink_->cycle_end(
+      obs::CycleState{cyc, ctrl_.pc(), ctrl_.halted(), bus_, &ring_});
 }
 
 SystemStats System::stats() const {
   SystemStats s = stats_;
   s.config_words_written = cfg_.words_written();
+  s.ctrl_inpop_stalls = ctrl_.inpop_stall_cycles();
+  s.ctrl_wait_stalls = ctrl_.wait_stall_cycles();
+  s.bus_drives = ring_.bus_drives();
+  s.bus_conflicts = ring_.bus_conflicts();
+  s.switch_route_changes = cfg_.route_changes_total();
   return s;
+}
+
+obs::Registry System::metrics() const {
+  obs::Registry reg;
+  const SystemStats s = stats();
+
+  reg.counter("sys.cycles").set(s.cycles);
+  reg.counter("sys.ring_stall_cycles").set(s.ring_stall_cycles);
+  reg.counter("sys.dnode_ops").set(s.dnode_ops);
+  reg.counter("sys.arith_ops").set(s.arith_ops);
+
+  reg.counter("ctrl.instructions").set(s.ctrl_instructions);
+  reg.counter("ctrl.stall.inpop").set(s.ctrl_inpop_stalls);
+  reg.counter("ctrl.stall.wait").set(s.ctrl_wait_stalls);
+  reg.counter("ctrl.bus_writes").set(ctrl_.bus_writes());
+
+  reg.counter("bus.dnode_drives").set(s.bus_drives);
+  reg.counter("bus.conflicts").set(s.bus_conflicts);
+
+  reg.counter("cfg.words_written").set(s.config_words_written);
+  reg.counter("cfg.route_changes").set(s.switch_route_changes);
+
+  reg.counter("host.words_in").set(s.host_words_in);
+  reg.counter("host.words_out").set(s.host_words_out);
+  reg.counter("host.link_words_to_core").set(host_.words_to_core());
+  reg.counter("host.link_words_to_host").set(host_.words_to_host());
+  reg.put_histogram(
+      "host.in_fifo_depth",
+      obs::Histogram::from_counts(
+          {kHostDepthBounds.begin(), kHostDepthBounds.end()},
+          {host_depth_counts_.begin(), host_depth_counts_.end()}));
+
+  const auto& issue = ring_.ops_per_dnode();
+  const auto& mac = ring_.mac_ops_per_dnode();
+  const auto& loc = ring_.local_cycles_per_dnode();
+  const auto& glob = ring_.global_cycles_per_dnode();
+  char name[64];
+  for (std::size_t layer = 0; layer < geom_.layers; ++layer) {
+    for (std::size_t lane = 0; lane < geom_.lanes; ++lane) {
+      const std::size_t i = layer * geom_.lanes + lane;
+      const auto set = [&](const char* leaf, std::uint64_t v) {
+        std::snprintf(name, sizeof(name), "dnode.%zu.%zu.%s", layer, lane,
+                      leaf);
+        reg.counter(name).set(v);
+      };
+      set("issue", issue[i]);
+      set("mac", mac[i]);
+      set("alu", issue[i] - mac[i]);
+      set("local_cycles", loc[i]);
+      set("global_cycles", glob[i]);
+    }
+  }
+
+  const auto& route_changes = cfg_.route_changes_per_switch();
+  const auto& host_out = ring_.host_out_words_per_switch();
+  const auto& fb_reads = ring_.fb_reads_per_pipe();
+  const auto& fb_depths = ring_.fb_read_depth_counts();
+  std::vector<std::uint64_t> depth_bounds(16);
+  for (std::size_t d = 0; d < 16; ++d) depth_bounds[d] = d;
+  for (std::size_t sw = 0; sw < geom_.switch_count(); ++sw) {
+    const auto set = [&](const char* leaf, std::uint64_t v) {
+      std::snprintf(name, sizeof(name), "switch.%zu.%s", sw, leaf);
+      reg.counter(name).set(v);
+    };
+    set("route_changes", route_changes[sw]);
+    set("host_out_words", host_out[sw]);
+    set("fb_reads", fb_reads[sw]);
+    set("fb_occupancy", ring_.pipeline(sw).occupancy());
+    std::snprintf(name, sizeof(name), "switch.%zu.fb_read_depth", sw);
+    reg.put_histogram(
+        name, obs::Histogram::from_counts(
+                  depth_bounds,
+                  {fb_depths.begin() + static_cast<std::ptrdiff_t>(sw * 16),
+                   fb_depths.begin() +
+                       static_cast<std::ptrdiff_t>(sw * 16 + 16)}));
+  }
+  return reg;
 }
 
 void System::run_until_halt(std::uint64_t max_cycles,

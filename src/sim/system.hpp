@@ -8,19 +8,22 @@
 //      upstream of the operating layer's bus);
 //   3. the ring evaluates one cycle; a Dnode bus drive becomes visible
 //      the next cycle;
-//   4. statistics and the cycle counter advance.
+//   4. statistics and the cycle counter advance; if an event sink is
+//      attached, the cycle's events and post-edge state are published.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 
 #include "core/config_memory.hpp"
 #include "core/ring.hpp"
 #include "ctrl/controller.hpp"
+#include "obs/event.hpp"
+#include "obs/metrics.hpp"
 #include "sim/host_interface.hpp"
 #include "sim/program.hpp"
 #include "sim/stats.hpp"
-#include "sim/trace.hpp"
 
 namespace sring {
 
@@ -65,10 +68,24 @@ class System {
   Word bus() const noexcept { return bus_; }
   SystemStats stats() const;
 
-  /// Attach / detach a cycle trace sink (not owned; may be nullptr).
-  void set_trace(Trace* trace) noexcept { trace_ = trace; }
+  /// Named snapshot of every instrument in the machine (per-Dnode
+  /// issue/mix/mode counters, per-switch route and feedback activity,
+  /// controller stall causes, host-link traffic, input-FIFO depth
+  /// histogram).  Assembling the snapshot never perturbs the run.
+  obs::Registry metrics() const;
+
+  /// Attach / detach a structured event sink.  The sink is borrowed —
+  /// never owned — by raw pointer: it must outlive every step() made
+  /// while attached (detach with nullptr first otherwise).  Attaching
+  /// calls sink->begin() with the track table; the System never calls
+  /// sink->end() — finalizing the output is the owner's job.  With no
+  /// sink attached the per-cycle cost is a single null check.
+  void set_trace(obs::EventSink* sink);
 
  private:
+  void emit_cycle_events(const Controller::StepResult& ctrl_res,
+                         const Ring::CycleResult& ring_res);
+
   RingGeometry geom_;
   ConfigMemory cfg_;
   Ring ring_;
@@ -77,7 +94,17 @@ class System {
   Word bus_ = 0;
   std::uint64_t cycle_ = 0;
   SystemStats stats_;
-  Trace* trace_ = nullptr;
+
+  // Input-FIFO depth sampled once per cycle; bucket i counts cycles
+  // with depth <= kHostDepthBounds[i], the last bucket the overflow.
+  static constexpr std::array<std::uint64_t, 10> kHostDepthBounds{
+      0, 1, 2, 4, 8, 16, 32, 64, 128, 256};
+  std::array<std::uint64_t, kHostDepthBounds.size() + 1>
+      host_depth_counts_{};
+
+  obs::EventSink* sink_ = nullptr;
+  std::vector<obs::Track> tracks_;          // built on sink attachment
+  std::vector<std::uint64_t> route_marks_;  // per-switch change watermark
 };
 
 }  // namespace sring

@@ -1,0 +1,178 @@
+// Minimal recursive-descent JSON parser for the observability tests:
+// sink output and RunReport files are parsed back into obs::JsonValue
+// documents so the tests can assert on structure, not substrings.
+// Throws std::runtime_error on malformed input.  Test-only — the
+// library itself only ever serializes.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace sring::test {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  obs::JsonValue parse() {
+    obs::JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) fail("bad literal");
+    pos_ += word.size();
+  }
+
+  obs::JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return obs::JsonValue(string());
+      case 't': literal("true"); return obs::JsonValue(true);
+      case 'f': literal("false"); return obs::JsonValue(false);
+      case 'n': literal("null"); return obs::JsonValue(nullptr);
+      default: return number();
+    }
+  }
+
+  obs::JsonValue object() {
+    expect('{');
+    obs::JsonValue obj = obs::JsonValue::object();
+    skip_ws();
+    if (consume('}')) return obj;
+    while (true) {
+      skip_ws();
+      const std::string key = string();
+      skip_ws();
+      expect(':');
+      obj.set(key, value());
+      skip_ws();
+      if (consume('}')) return obj;
+      expect(',');
+    }
+  }
+
+  obs::JsonValue array() {
+    expect('[');
+    obs::JsonValue arr = obs::JsonValue::array();
+    skip_ws();
+    if (consume(']')) return arr;
+    while (true) {
+      arr.push_back(value());
+      skip_ws();
+      if (consume(']')) return arr;
+      expect(',');
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("dangling escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          const std::string hex(text_.substr(pos_, 4));
+          pos_ += 4;
+          const long cp = std::strtol(hex.c_str(), nullptr, 16);
+          // The sinks only escape control characters, so ASCII is
+          // all this test parser ever needs to rebuild.
+          if (cp > 0x7F) fail("non-ASCII \\u escape unsupported");
+          out += static_cast<char>(cp);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  obs::JsonValue number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string tok(text_.substr(start, pos_ - start));
+    if (tok.find_first_of(".eE") != std::string::npos) {
+      return obs::JsonValue(std::strtod(tok.c_str(), nullptr));
+    }
+    if (tok[0] == '-') {
+      return obs::JsonValue(
+          static_cast<std::int64_t>(std::strtoll(tok.c_str(), nullptr, 10)));
+    }
+    return obs::JsonValue(
+        static_cast<std::uint64_t>(std::strtoull(tok.c_str(), nullptr, 10)));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+inline obs::JsonValue parse_json(std::string_view text) {
+  return JsonParser(text).parse();
+}
+
+}  // namespace sring::test

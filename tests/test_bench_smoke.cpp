@@ -1,0 +1,77 @@
+// Smoke test of the benchmark `--json` contract: run real bench
+// binaries out of the build tree and validate the RunReport they emit.
+// SRING_BENCH_DIR is injected by tests/CMakeLists.txt and the bench
+// binaries are declared as test dependencies there.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "json_test_util.hpp"
+
+namespace sring {
+namespace {
+
+obs::JsonValue run_bench_for_report(const std::string& binary) {
+  const std::string json_path =
+      testing::TempDir() + binary + "_report.json";
+  const std::string cmd = std::string(SRING_BENCH_DIR) + "/" + binary +
+                          " --json " + json_path + " > /dev/null";
+  const int rc = std::system(cmd.c_str());
+  EXPECT_EQ(rc, 0) << cmd;
+
+  std::ifstream in(json_path);
+  EXPECT_TRUE(in.good()) << "bench produced no report: " << json_path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::remove(json_path.c_str());
+  return test::parse_json(ss.str());
+}
+
+TEST(BenchSmoke, Fig6PrototypeEmitsAFullSimulationReport) {
+  const obs::JsonValue j = run_bench_for_report("bench_fig6_prototype");
+  ASSERT_NE(j.find("schema"), nullptr);
+  EXPECT_EQ(j.find("schema")->as_string(), "sring.run_report.v1");
+  EXPECT_EQ(j.find("name")->as_string(), "fig6.prototype");
+
+  // The fig. 6 prototype is a 4x2 ring, so the report carries the full
+  // per-component breakdown.
+  ASSERT_NE(j.find("geometry"), nullptr);
+  EXPECT_EQ(j.find("geometry")->find("layers")->as_uint(), 4u);
+  EXPECT_EQ(j.find("geometry")->find("lanes")->as_uint(), 2u);
+  EXPECT_GT(j.find("cycles")->as_uint(), 0u);
+  ASSERT_NE(j.find("stats"), nullptr);
+  EXPECT_NE(j.find("stats")->find("utilization"), nullptr);
+  ASSERT_NE(j.find("stalls"), nullptr);
+  ASSERT_NE(j.find("host"), nullptr);
+  ASSERT_NE(j.find("dnodes"), nullptr);
+  EXPECT_EQ(j.find("dnodes")->items().size(), 8u);
+  ASSERT_NE(j.find("switches"), nullptr);
+  EXPECT_EQ(j.find("switches")->items().size(), 4u);
+  ASSERT_NE(j.find("metrics"), nullptr);
+  EXPECT_NE(j.find("metrics")->find("counters")->find("sys.cycles"),
+            nullptr);
+  ASSERT_NE(j.find("extras"), nullptr);
+  EXPECT_NE(j.find("extras")->find("cycles_per_pixel"), nullptr);
+}
+
+TEST(BenchSmoke, Table3SynthesisEmitsAModelOnlyReport) {
+  const obs::JsonValue j = run_bench_for_report("bench_table3_synthesis");
+  EXPECT_EQ(j.find("schema")->as_string(), "sring.run_report.v1");
+  EXPECT_EQ(j.find("name")->as_string(), "table3.synthesis");
+  // Analytic model: no simulated machine, so no stats/geometry...
+  EXPECT_EQ(j.find("cycles"), nullptr);
+  EXPECT_EQ(j.find("geometry"), nullptr);
+  // ...everything lives in extras.
+  const obs::JsonValue* extras = j.find("extras");
+  ASSERT_NE(extras, nullptr);
+  ASSERT_NE(extras->find("rows"), nullptr);
+  EXPECT_FALSE(extras->find("rows")->items().empty());
+  ASSERT_NE(extras->find("anchors_ok"), nullptr);
+}
+
+}  // namespace
+}  // namespace sring

@@ -1,0 +1,139 @@
+// Unit tests of the observability primitives: the JSON document model,
+// counters / histograms / the registry, and the event-track table.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "json_test_util.hpp"
+#include "obs/event.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace sring::obs {
+namespace {
+
+TEST(Json, ScalarsSerializeExactly) {
+  EXPECT_EQ(JsonValue(nullptr).dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+  EXPECT_EQ(JsonValue(std::int64_t{-42}).dump(), "-42");
+  EXPECT_EQ(JsonValue(std::uint64_t{18446744073709551615ull}).dump(),
+            "18446744073709551615");
+  EXPECT_EQ(JsonValue(0.5).dump(), "0.5");
+  EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, StringEscaping) {
+  std::ostringstream os;
+  write_json_string(os, "a\"b\\c\nd\te\x01");
+  EXPECT_EQ(os.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(Json, ObjectKeepsInsertionOrderAndOverwritesInPlace) {
+  JsonValue obj = JsonValue::object();
+  obj.set("zebra", 1);
+  obj.set("alpha", 2);
+  obj.set("zebra", 3);  // overwrite must not move the key
+  EXPECT_EQ(obj.dump(), "{\"zebra\":3,\"alpha\":2}");
+  ASSERT_NE(obj.find("alpha"), nullptr);
+  EXPECT_EQ(obj.find("alpha")->as_uint(), 2u);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(Json, NestedDocumentRoundTripsThroughTestParser) {
+  JsonValue doc = JsonValue::object();
+  doc.set("list", JsonValue::array()
+                      .push_back(1)
+                      .push_back("two")
+                      .push_back(JsonValue(nullptr)));
+  doc.set("neg", std::int64_t{-7});
+  doc.set("pi", 3.25);
+  const std::string text = doc.dump();
+  const JsonValue back = test::parse_json(text);
+  EXPECT_EQ(back.dump(), text);
+}
+
+TEST(Metrics, CounterAddAndSet) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.set(2);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(Metrics, HistogramBucketsSamplesAndOverflow) {
+  Histogram h({1, 2, 4});
+  for (const std::uint64_t s : {0u, 1u, 2u, 3u, 4u, 100u}) h.record(s);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 110u);
+  EXPECT_EQ(h.max(), 100u);
+  // Buckets: <=1 -> {0,1}, <=2 -> {2}, <=4 -> {3,4}, overflow -> {100}.
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 2u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+}
+
+TEST(Metrics, HistogramRejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({2, 1}), SimError);
+}
+
+TEST(Metrics, HistogramFromCountsPadsMissingTail) {
+  const Histogram h = Histogram::from_counts({1, 2}, {5, 7});
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 5u);
+  EXPECT_EQ(h.bucket_counts()[1], 7u);
+  EXPECT_EQ(h.bucket_counts()[2], 0u);
+  EXPECT_EQ(h.count(), 12u);
+}
+
+TEST(Metrics, RegistryGetOrCreateAndSortedIteration) {
+  Registry reg;
+  reg.counter("z.last").add(1);
+  reg.counter("a.first").add(2);
+  reg.counter("z.last").add(1);  // same counter, not a new one
+  EXPECT_EQ(reg.size(), 2u);
+  ASSERT_NE(reg.find_counter("z.last"), nullptr);
+  EXPECT_EQ(reg.find_counter("z.last")->value(), 2u);
+  EXPECT_EQ(reg.find_counter("nope"), nullptr);
+  // std::map iteration is name-sorted -> deterministic serialization.
+  EXPECT_EQ(reg.counters().begin()->first, "a.first");
+}
+
+TEST(Metrics, RegistryToJsonShape) {
+  Registry reg;
+  reg.counter("hits").set(3);
+  reg.histogram("depth", {1, 2}).record(2);
+  const JsonValue j = reg.to_json();
+  ASSERT_NE(j.find("counters"), nullptr);
+  ASSERT_NE(j.find("histograms"), nullptr);
+  EXPECT_EQ(j.find("counters")->find("hits")->as_uint(), 3u);
+  const JsonValue* h = j.find("histograms")->find("depth");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->find("count")->as_uint(), 1u);
+}
+
+TEST(Event, TrackTableCoversEveryComponent) {
+  const auto tracks = make_tracks(3, 2);  // 6 Dnodes, 3 switches
+  ASSERT_EQ(tracks.size(), 3u + 6u + 3u);
+  EXPECT_EQ(tracks[kControllerTrack].name, "ctrl");
+  EXPECT_EQ(tracks[kBusTrack].name, "bus");
+  EXPECT_EQ(tracks[kRingTrack].name, "ring");
+  EXPECT_EQ(tracks[dnode_track(0)].kind, TrackKind::kDnode);
+  EXPECT_EQ(tracks[dnode_track(5)].name, "dnode 2.1");
+  EXPECT_EQ(tracks[switch_track(6, 0)].kind, TrackKind::kSwitch);
+  EXPECT_EQ(tracks[switch_track(6, 2)].name, "switch 2");
+  // Chrome pid grouping: system 1, Dnodes 2, switches 3.
+  EXPECT_EQ(tracks[kControllerTrack].pid, 1u);
+  EXPECT_EQ(tracks[dnode_track(0)].pid, 2u);
+  EXPECT_EQ(tracks[switch_track(6, 0)].pid, 3u);
+  EXPECT_EQ(tracks[dnode_track(3)].tid, 3u);
+  EXPECT_EQ(tracks[switch_track(6, 1)].tid, 1u);
+}
+
+}  // namespace
+}  // namespace sring::obs

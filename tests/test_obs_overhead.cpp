@@ -1,0 +1,116 @@
+// Observation must never perturb the machine: a traced run and an
+// untraced run of the same program are cycle-for-cycle and
+// bit-for-bit identical, and the instrumented simulator still matches
+// the golden DSP models.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsp/fir.hpp"
+#include "kernels/fir_kernel.hpp"
+#include "kernels/mac_kernel.hpp"
+#include "obs/sinks.hpp"
+#include "sim/system.hpp"
+
+namespace sring {
+namespace {
+
+struct RunCapture {
+  std::uint64_t cycles = 0;
+  std::vector<Word> outputs;
+  std::string stats_text;
+};
+
+/// Run the running-MAC program over `pairs` host pairs, optionally
+/// traced through `sink`.
+RunCapture run_mac(std::size_t pairs, obs::EventSink* sink) {
+  const RingGeometry g{4, 2, 16};
+  System sys({g});
+  sys.load(kernels::make_running_mac_program(g));
+  if (sink != nullptr) sys.set_trace(sink);
+
+  Rng rng(7);
+  std::vector<Word> interleaved(2 * pairs);
+  for (auto& v : interleaved) v = rng.next_word_in(-100, 100);
+  sys.host().send(interleaved);
+  sys.run_until_outputs(pairs, 4 * pairs + 1000);
+
+  if (sink != nullptr) {
+    sys.set_trace(nullptr);
+    sink->end();
+  }
+  RunCapture c;
+  c.cycles = sys.cycle();
+  c.outputs = sys.host().take_received();
+  c.stats_text = sys.stats().to_string();
+  return c;
+}
+
+TEST(ObsOverhead, TracedRunIsCycleAndBitIdenticalToUntraced) {
+  const std::size_t pairs = 10000;  // a >10k-cycle run
+  const RunCapture plain = run_mac(pairs, nullptr);
+  ASSERT_GE(plain.cycles, 10000u);
+
+  std::ostringstream text_trace;
+  obs::TextSink text(text_trace);
+  const RunCapture traced = run_mac(pairs, &text);
+
+  EXPECT_EQ(traced.cycles, plain.cycles);
+  EXPECT_EQ(traced.outputs, plain.outputs);
+  EXPECT_EQ(traced.stats_text, plain.stats_text);
+
+  // And the sink really observed every one of those cycles.
+  std::size_t lines = 0;
+  for (const char c : text_trace.str()) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, plain.cycles);
+
+  // A structured sink does not perturb the run either.
+  std::ostringstream jsonl_trace;
+  obs::JsonlSink jsonl(jsonl_trace);
+  const RunCapture traced2 = run_mac(pairs, &jsonl);
+  EXPECT_EQ(traced2.cycles, plain.cycles);
+  EXPECT_EQ(traced2.outputs, plain.outputs);
+}
+
+TEST(ObsOverhead, InstrumentedFirStillMatchesTheGoldenModel) {
+  const RingGeometry g{8, 2, 16};
+  Rng rng(1);
+  std::vector<Word> x(2048);
+  for (auto& v : x) v = rng.next_word_in(-100, 100);
+  const std::vector<Word> coeffs = {1, to_word(-2), 3, 4};
+
+  const auto run = kernels::run_spatial_fir(g, x, coeffs);
+  const auto expected = dsp::fir_reference(x, coeffs);
+  ASSERT_EQ(run.outputs.size(), expected.size());
+  EXPECT_EQ(run.outputs, expected);
+
+  // Deterministic cycle count, twice in a row.
+  const auto again = kernels::run_spatial_fir(g, x, coeffs);
+  EXPECT_EQ(again.stats.cycles, run.stats.cycles);
+  EXPECT_EQ(again.report.to_json().dump(), run.report.to_json().dump());
+}
+
+TEST(ObsOverhead, MetricsSnapshotDoesNotPerturbTheRun) {
+  const RingGeometry g{4, 2, 16};
+  System sys({g});
+  sys.load(kernels::make_running_mac_program(g));
+  sys.host().send(std::vector<Word>(64, 3));
+
+  System ref({g});
+  ref.load(kernels::make_running_mac_program(g));
+  ref.host().send(std::vector<Word>(64, 3));
+
+  for (int i = 0; i < 100; ++i) {
+    sys.step();
+    (void)sys.metrics();  // snapshot every cycle
+    ref.step();
+  }
+  EXPECT_EQ(sys.cycle(), ref.cycle());
+  EXPECT_EQ(sys.stats().to_string(), ref.stats().to_string());
+  EXPECT_EQ(sys.host().take_received(), ref.host().take_received());
+}
+
+}  // namespace
+}  // namespace sring

@@ -47,5 +47,34 @@ TEST(Report, EmptyRunIsAllZero) {
   EXPECT_NE(report.find("0.0%"), std::string::npos);
 }
 
+TEST(Stats, UtilizationIsZeroBeforeAnyCycleRan) {
+  const SystemStats s;  // cycles == 0
+  EXPECT_EQ(s.utilization(8), 0.0);
+}
+
+TEST(Stats, UtilizationGuardsZeroDnodeCount) {
+  SystemStats s;
+  s.cycles = 100;
+  s.dnode_ops = 50;
+  EXPECT_EQ(s.utilization(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.utilization(1), 0.5);
+  EXPECT_DOUBLE_EQ(s.utilization(2), 0.25);
+}
+
+TEST(Stats, ToStringCarriesTheExtendedCounters) {
+  SystemStats s;
+  s.ctrl_inpop_stalls = 1;
+  s.ctrl_wait_stalls = 2;
+  s.bus_drives = 3;
+  s.bus_conflicts = 4;
+  s.switch_route_changes = 5;
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find("inpop_stalls=1"), std::string::npos);
+  EXPECT_NE(text.find("wait_stalls=2"), std::string::npos);
+  EXPECT_NE(text.find("bus_drives=3"), std::string::npos);
+  EXPECT_NE(text.find("bus_conflicts=4"), std::string::npos);
+  EXPECT_NE(text.find("route_changes=5"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sring

@@ -1,0 +1,141 @@
+// Tests of the machine-readable RunReport (schema
+// "sring.run_report.v1") and its file writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "json_test_util.hpp"
+#include "kernels/mac_kernel.hpp"
+#include "sim/report.hpp"
+#include "sim/system.hpp"
+
+namespace sring {
+namespace {
+
+/// A short but fully-featured run: one Dnode MACs 32 host pairs.
+System& traced_system() {
+  static System sys({RingGeometry{4, 2, 16}});
+  static bool ran = false;
+  if (!ran) {
+    ran = true;
+    sys.load(kernels::make_running_mac_program({4, 2, 16}));
+    sys.host().send(std::vector<Word>(64, 2));
+    sys.run_until_outputs(32, 1000);
+  }
+  return sys;
+}
+
+TEST(RunReport, FromSystemHasTheFullSchema) {
+  const System& sys = traced_system();
+  const obs::JsonValue j = RunReport::from_system("unit", sys).to_json();
+
+  ASSERT_NE(j.find("schema"), nullptr);
+  EXPECT_EQ(j.find("schema")->as_string(), "sring.run_report.v1");
+  EXPECT_EQ(j.find("name")->as_string(), "unit");
+
+  ASSERT_NE(j.find("geometry"), nullptr);
+  EXPECT_EQ(j.find("geometry")->find("layers")->as_uint(), 4u);
+  EXPECT_EQ(j.find("geometry")->find("lanes")->as_uint(), 2u);
+  EXPECT_EQ(j.find("cycles")->as_uint(), sys.stats().cycles);
+
+  const obs::JsonValue* stats = j.find("stats");
+  ASSERT_NE(stats, nullptr);
+  for (const char* key :
+       {"cycles", "ring_stall_cycles", "ctrl_stall_cycles", "dnode_ops",
+        "arith_ops", "host_words_in", "host_words_out", "ctrl_instructions",
+        "config_words_written", "bus_drives", "bus_conflicts",
+        "switch_route_changes", "utilization"}) {
+    EXPECT_NE(stats->find(key), nullptr) << "stats." << key;
+  }
+  EXPECT_GT(stats->find("utilization")->as_double(), 0.0);
+
+  const obs::JsonValue* stalls = j.find("stalls");
+  ASSERT_NE(stalls, nullptr);
+  EXPECT_NE(stalls->find("ring_host_underflow"), nullptr);
+  EXPECT_NE(stalls->find("ctrl_inpop"), nullptr);
+  EXPECT_NE(stalls->find("ctrl_wait"), nullptr);
+
+  ASSERT_NE(j.find("host"), nullptr);
+  EXPECT_EQ(j.find("host")->find("words_in")->as_uint(), 64u);
+
+  // Per-component detail: 8 Dnodes, 4 switches.
+  const obs::JsonValue* dnodes = j.find("dnodes");
+  ASSERT_NE(dnodes, nullptr);
+  ASSERT_EQ(dnodes->items().size(), 8u);
+  const obs::JsonValue& d0 = dnodes->items()[0];
+  EXPECT_EQ(d0.find("layer")->as_uint(), 0u);
+  EXPECT_EQ(d0.find("lane")->as_uint(), 0u);
+  EXPECT_GT(d0.find("issue")->as_uint(), 0u);
+  EXPECT_GT(d0.find("mac")->as_uint(), 0u);
+  ASSERT_NE(j.find("switches"), nullptr);
+  ASSERT_EQ(j.find("switches")->items().size(), 4u);
+  EXPECT_NE(j.find("switches")->items()[0].find("route_changes"), nullptr);
+  EXPECT_NE(j.find("switches")->items()[0].find("host_out_words"), nullptr);
+
+  // Full metrics registry rides along.
+  const obs::JsonValue* metrics = j.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->find("counters")->find("sys.cycles")->as_uint(),
+            sys.stats().cycles);
+  EXPECT_NE(metrics->find("histograms")->find("host.in_fifo_depth"),
+            nullptr);
+}
+
+TEST(RunReport, FromStatsIsAggregateOnly) {
+  SystemStats s;
+  s.cycles = 10;
+  s.dnode_ops = 5;
+  const obs::JsonValue j = RunReport::from_stats("agg", s).to_json();
+  EXPECT_EQ(j.find("name")->as_string(), "agg");
+  EXPECT_EQ(j.find("cycles")->as_uint(), 10u);
+  EXPECT_EQ(j.find("geometry"), nullptr);
+  EXPECT_EQ(j.find("dnodes"), nullptr);
+  EXPECT_EQ(j.find("switches"), nullptr);
+  EXPECT_EQ(j.find("metrics"), nullptr);
+  // No geometry -> no utilization entry.
+  EXPECT_EQ(j.find("stats")->find("utilization"), nullptr);
+}
+
+TEST(RunReport, ExtrasChainInInsertionOrder) {
+  RunReport r;
+  r.name = "model_only";
+  r.extra("zeta", 1.5).extra("alpha", std::uint64_t{2});
+  const obs::JsonValue j = r.to_json();
+  EXPECT_EQ(j.find("cycles"), nullptr) << "no stats were attached";
+  const obs::JsonValue* extras = j.find("extras");
+  ASSERT_NE(extras, nullptr);
+  ASSERT_EQ(extras->members().size(), 2u);
+  EXPECT_EQ(extras->members()[0].first, "zeta");
+  EXPECT_EQ(extras->members()[1].first, "alpha");
+}
+
+TEST(RunReport, WriteRunReportRoundTripsThroughDisk) {
+  const RunReport report = RunReport::from_system("disk", traced_system());
+  const std::string path = testing::TempDir() + "sring_report_test.json";
+  write_run_report(report, path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const obs::JsonValue parsed = test::parse_json(ss.str());
+  EXPECT_EQ(parsed.dump(), report.to_json().dump());
+  std::remove(path.c_str());
+}
+
+TEST(RunReport, WriteRunReportThrowsOnUnwritablePath) {
+  EXPECT_THROW(
+      write_run_report(RunReport{}, "/nonexistent-dir/report.json"),
+      SimError);
+}
+
+TEST(RunReport, MaybeWriteIsANoOpOnEmptyPath) {
+  maybe_write_run_report(RunReport{}, "");  // must not throw
+}
+
+}  // namespace
+}  // namespace sring

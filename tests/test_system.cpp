@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "dsp/fir.hpp"
+#include "obs/sinks.hpp"
 #include "sim/system.hpp"
 
 namespace sring {
@@ -221,7 +222,7 @@ TEST(System, TraceProducesOneLinePerCycle) {
   System sys({geom()});
   sys.load(running_mac_program());
   std::ostringstream os;
-  Trace trace(os);
+  obs::TextSink trace(os);
   sys.set_trace(&trace);
   sys.host().send(std::vector<Word>{1, 2, 3, 4});
   sys.run_cycles(5);
