@@ -1,0 +1,249 @@
+// bench_throughput — fleet throughput of the batch-execution runtime.
+//
+// Runs the same deterministic job batch through rt::Runtime at a
+// sweep of worker counts and reports jobs/s, speedup over one worker,
+// and scaling efficiency (speedup / workers).  Every sweep point
+// re-runs the identical batch and the outputs are compared word for
+// word against the 1-worker reference — a throughput number only
+// counts if the fleet stayed bit-exact.
+//
+// Job mixes:
+//   fir    spatial 4-tap FIR, 256 samples/job (distinct input per job)
+//   me     full-search 8x8 motion estimation, ±2 px (25 candidates)
+//   mixed  fir / me / dwt53 / matvec8 round-robin
+//
+// Usage:
+//   bench_throughput [--mix fir|me|mixed] [--batch N]
+//                    [--workers 1,2,4,8] [--queue N] [--json <path>]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/image.hpp"
+#include "common/rng.hpp"
+#include "dsp/matvec.hpp"
+#include "kernels/dwt_kernel.hpp"
+#include "kernels/fir_kernel.hpp"
+#include "kernels/jobs.hpp"
+#include "kernels/matvec_kernel.hpp"
+#include "kernels/motion_estimation.hpp"
+#include "obs/cli.hpp"
+#include "rt/runtime.hpp"
+#include "sim/report.hpp"
+
+namespace {
+
+using namespace sring;
+
+constexpr RingGeometry kGeom{8, 2, 16};
+constexpr int kMeRange = 2;
+
+Image random_image(Rng& rng, std::size_t w, std::size_t h) {
+  Image img(w, h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      img.at(x, y) = rng.next_word_in(0, 255);
+    }
+  }
+  return img;
+}
+
+std::vector<Word> random_signal(Rng& rng, std::size_t n) {
+  std::vector<Word> x(n);
+  for (auto& w : x) w = rng.next_word_in(-128, 127);
+  return x;
+}
+
+/// Deterministic batch: job i's input derives from seed+i only, so
+/// every sweep point (and every rerun of the bench) builds the exact
+/// same batch.  Programs are built once per kind and shared.
+std::vector<rt::Job> build_batch(const std::string& mix, std::size_t count) {
+  const std::vector<Word> coeffs{1, static_cast<Word>(-2), 3, 4};
+  const dsp::Matrix8 dct = dsp::dct8_matrix_q7();
+
+  auto fir_prog = std::make_shared<const LoadableProgram>(
+      kernels::make_spatial_fir_program(kGeom, coeffs));
+  const std::size_t me_batches =
+      (kernels::sad_displacements(kMeRange).size() + kGeom.layers - 1) /
+      kGeom.layers;
+  auto me_prog = std::make_shared<const LoadableProgram>(
+      kernels::make_sad_engine_program(kGeom, 64, me_batches));
+  auto dwt_prog = std::make_shared<const LoadableProgram>(
+      kernels::make_dwt53_program(kGeom));
+
+  std::vector<rt::Job> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng rng(0xB00537ull + i);
+    std::string kind = mix;
+    if (mix == "mixed") {
+      static const char* kinds[] = {"fir", "me", "dwt", "matvec"};
+      kind = kinds[i % 4];
+    }
+    if (kind == "fir") {
+      jobs.push_back(kernels::make_spatial_fir_job(
+          kGeom, random_signal(rng, 256), coeffs, fir_prog));
+    } else if (kind == "me") {
+      const Image ref = random_image(rng, 16, 16);
+      const Image cand = random_image(rng, 16, 16);
+      jobs.push_back(kernels::make_motion_estimation_job(
+          kGeom, ref, 4, 4, cand, kMeRange, me_prog));
+    } else if (kind == "dwt") {
+      jobs.push_back(
+          kernels::make_dwt53_job(kGeom, random_signal(rng, 256), dwt_prog));
+    } else if (kind == "matvec") {
+      // matvec programs bake the block count; 8 blocks per job.
+      jobs.push_back(
+          kernels::make_matvec8_job(kGeom, dct, random_signal(rng, 64)));
+    } else {
+      throw SimError("bench_throughput: unknown mix '" + mix + "'");
+    }
+  }
+  return jobs;
+}
+
+std::vector<std::size_t> parse_workers(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok =
+        csv.substr(pos, comma == std::string::npos ? csv.size() - pos
+                                                   : comma - pos);
+    const unsigned long v = std::strtoul(tok.c_str(), nullptr, 10);
+    check(v >= 1, "bench_throughput: bad --workers entry: " + tok);
+    out.push_back(v);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  check(!out.empty(), "bench_throughput: empty --workers list");
+  return out;
+}
+
+struct SweepPoint {
+  std::size_t workers = 0;
+  double seconds = 0.0;
+  double jobs_per_s = 0.0;
+  double speedup = 1.0;
+  double efficiency = 1.0;
+  std::uint64_t sim_cycles = 0;
+  std::uint64_t fast_resets = 0;
+  std::uint64_t full_loads = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sring;
+  try {
+    const std::string json_path =
+        obs::extract_option(argc, argv, "--json").value_or("");
+    const std::string mix =
+        obs::extract_option(argc, argv, "--mix").value_or("fir");
+    const std::size_t batch = std::strtoul(
+        obs::extract_option(argc, argv, "--batch").value_or("64").c_str(),
+        nullptr, 10);
+    const std::vector<std::size_t> worker_counts = parse_workers(
+        obs::extract_option(argc, argv, "--workers").value_or("1,2,4,8"));
+    const std::size_t queue_cap = std::strtoul(
+        obs::extract_option(argc, argv, "--queue").value_or("64").c_str(),
+        nullptr, 10);
+    check(batch >= 1, "bench_throughput: --batch must be at least 1");
+
+    std::printf("bench_throughput: mix=%s batch=%zu queue=%zu host_cores=%u\n",
+                mix.c_str(), batch, queue_cap,
+                std::thread::hardware_concurrency());
+
+    std::vector<std::vector<Word>> reference;  // outputs at 1 worker
+    std::vector<SweepPoint> points;
+    for (const std::size_t w : worker_counts) {
+      std::vector<rt::Job> jobs = build_batch(mix, batch);
+
+      rt::RuntimeConfig cfg;
+      cfg.workers = w;
+      cfg.queue_capacity = queue_cap;
+      rt::Runtime runtime(cfg);
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::vector<rt::JobResult> results =
+          runtime.submit_batch(std::move(jobs));
+      const auto t1 = std::chrono::steady_clock::now();
+
+      SweepPoint p;
+      p.workers = w;
+      p.seconds = std::chrono::duration<double>(t1 - t0).count();
+      p.jobs_per_s = static_cast<double>(batch) / p.seconds;
+
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        check(results[i].ok, "job " + std::to_string(i) +
+                                 " failed: " + results[i].error);
+      }
+      if (reference.empty()) {
+        for (const auto& r : results) reference.push_back(r.outputs);
+      } else {
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          check(results[i].outputs == reference[i],
+                "NON-DETERMINISTIC: job " + std::to_string(i) +
+                    " diverged at " + std::to_string(w) + " workers");
+        }
+      }
+
+      const obs::Registry m = runtime.metrics();
+      if (const auto* c = m.find_counter("rt.sim_cycles")) {
+        p.sim_cycles = c->value();
+      }
+      if (const auto* c = m.find_counter("rt.pool.fast_resets")) {
+        p.fast_resets = c->value();
+      }
+      if (const auto* c = m.find_counter("rt.pool.full_loads")) {
+        p.full_loads = c->value();
+      }
+      p.speedup = points.empty()
+                      ? 1.0
+                      : points.front().jobs_per_s > 0
+                            ? p.jobs_per_s / points.front().jobs_per_s
+                            : 0.0;
+      p.efficiency = p.speedup / static_cast<double>(w);
+      points.push_back(p);
+
+      std::printf(
+          "  workers=%zu  %8.1f jobs/s  (%.3fs, speedup %.2fx, "
+          "efficiency %.0f%%, pool fast-resets %llu / loads %llu)\n",
+          w, p.jobs_per_s, p.seconds, p.speedup, 100.0 * p.efficiency,
+          static_cast<unsigned long long>(p.fast_resets),
+          static_cast<unsigned long long>(p.full_loads));
+    }
+
+    RunReport report;
+    report.name = "bench_throughput";
+    report.extra("mix", mix)
+        .extra("batch", std::uint64_t{batch})
+        .extra("queue_capacity", std::uint64_t{queue_cap})
+        .extra("host_cores",
+               std::uint64_t{std::thread::hardware_concurrency()})
+        .extra("outputs_bit_identical", true);
+    obs::JsonValue sweep = obs::JsonValue::array();
+    for (const auto& p : points) {
+      obs::JsonValue jp = obs::JsonValue::object();
+      jp.set("workers", std::uint64_t{p.workers});
+      jp.set("seconds", p.seconds);
+      jp.set("jobs_per_s", p.jobs_per_s);
+      jp.set("speedup_vs_1", p.speedup);
+      jp.set("efficiency", p.efficiency);
+      jp.set("sim_cycles", p.sim_cycles);
+      jp.set("pool_fast_resets", p.fast_resets);
+      jp.set("pool_full_loads", p.full_loads);
+      sweep.push_back(std::move(jp));
+    }
+    report.extra("sweep", std::move(sweep));
+    maybe_write_run_report(report, json_path);
+    return 0;
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "bench_throughput: %s\n", e.what());
+    return 1;
+  }
+}

@@ -13,6 +13,12 @@
 //   --trace-format=<text|jsonl|chrome>      structured cycle trace
 //   --trace-out <path>                      trace file (default stdout)
 //   --report-json <path>                    machine-readable RunReport
+//
+// Run-mode fleet flags (batch-execution runtime):
+//   --workers <n>                           worker threads (default 1)
+//   --batch <n>                             run the program n times
+//                                           across the fleet; outputs
+//                                           must stay bit-identical
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -27,6 +33,7 @@
 #include "common/error.hpp"
 #include "obs/cli.hpp"
 #include "obs/sinks.hpp"
+#include "rt/runtime.hpp"
 #include "sim/report.hpp"
 #include "sim/system.hpp"
 
@@ -39,7 +46,8 @@ int usage() {
                "  sras -d <object.srgo>\n"
                "  sras -r <object.srgo> [max_cycles]\n"
                "        [--trace-format=<text|jsonl|chrome>]\n"
-               "        [--trace-out <path>] [--report-json <path>]\n");
+               "        [--trace-out <path>] [--report-json <path>]\n"
+               "        [--workers <n>] [--batch <n>]\n");
   return 2;
 }
 
@@ -64,6 +72,10 @@ int main(int argc, char** argv) {
         obs::extract_option(argc, argv, "--trace-out").value_or("");
     const std::string report_json =
         obs::extract_option(argc, argv, "--report-json").value_or("");
+    const std::string workers_opt =
+        obs::extract_option(argc, argv, "--workers").value_or("");
+    const std::string batch_opt =
+        obs::extract_option(argc, argv, "--batch").value_or("");
 
     if (argc >= 3 && std::string(argv[1]) == "-d") {
       std::printf("%s", disassemble(load_program(argv[2])).c_str());
@@ -73,6 +85,55 @@ int main(int argc, char** argv) {
       const LoadableProgram prog = load_program(argv[2]);
       const std::uint64_t budget =
           argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 100000;
+
+      // Fleet mode: replicate the program across the batch-execution
+      // runtime.  Host FIFOs start empty, exactly like a single run.
+      if (!workers_opt.empty() || !batch_opt.empty()) {
+        const std::size_t workers = workers_opt.empty()
+                                        ? 1
+                                        : std::strtoul(workers_opt.c_str(),
+                                                       nullptr, 10);
+        const std::size_t batch =
+            batch_opt.empty() ? 1
+                              : std::strtoul(batch_opt.c_str(), nullptr, 10);
+        check(workers >= 1 && batch >= 1,
+              "sras: --workers and --batch must be at least 1");
+
+        rt::Job job;
+        job.name = prog.name.empty() ? "sras_run" : prog.name;
+        job.program = std::make_shared<const LoadableProgram>(prog);
+        job.program_key = "sras/" + job.name;
+        job.max_cycles = budget;
+
+        rt::RuntimeConfig cfg;
+        cfg.workers = workers;
+        rt::Runtime runtime(cfg);
+        std::vector<rt::Job> jobs(batch, job);
+        const auto results = runtime.submit_batch(std::move(jobs));
+
+        std::uint64_t cycles = 0;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          check(results[i].ok, "sras: job " + std::to_string(i) +
+                                   " failed: " + results[i].error);
+          check(results[i].outputs == results[0].outputs,
+                "sras: job " + std::to_string(i) +
+                    " outputs diverged from job 0");
+          cycles += results[i].report.stats.cycles;
+        }
+        std::printf(
+            "ran %zu jobs on %zu workers: %llu total simulated cycles, "
+            "outputs bit-identical\n",
+            results.size(), runtime.worker_count(),
+            static_cast<unsigned long long>(cycles));
+
+        RunReport report = results[0].report;
+        report.extra("rt_workers", std::uint64_t{runtime.worker_count()})
+            .extra("rt_batch", std::uint64_t{batch})
+            .extra("rt_total_cycles", cycles);
+        maybe_write_run_report(report, report_json);
+        return 0;
+      }
+
       System sys({prog.geometry});
       sys.load(prog);
 

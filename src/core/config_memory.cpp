@@ -72,6 +72,13 @@ void ConfigMemory::write_switch_route(std::size_t sw, std::size_t lane,
   ++words_written_;
 }
 
+void ConfigMemory::reset_live() {
+  live_ = ConfigPage::zeroed(geom_);
+  live_decoded_ = decode_page(live_);
+  words_written_ = 0;
+  route_changes_per_switch_.assign(geom_.switch_count(), 0);
+}
+
 std::uint64_t ConfigMemory::route_changes_total() const noexcept {
   std::uint64_t total = 0;
   for (const auto c : route_changes_per_switch_) total += c;

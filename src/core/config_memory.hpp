@@ -78,6 +78,12 @@ class ConfigMemory {
   /// Apply page `index` to the live configuration (one-cycle swap).
   void apply_page(std::size_t index);
 
+  /// Restore the live configuration (and its instrumentation) to the
+  /// freshly-constructed all-NOP state while keeping every registered
+  /// page.  This is the runtime's fast-reload path: a pooled System
+  /// re-arming the same program skips re-decoding the configware.
+  void reset_live();
+
   /// Number of configuration words rewritten so far (statistics).
   std::uint64_t words_written() const noexcept { return words_written_; }
 

@@ -158,14 +158,9 @@ LoadableProgram make_dwt53_program(const RingGeometry& g) {
   return pb.build();
 }
 
-DwtResult run_dwt53(const RingGeometry& g, std::span<const Word> x) {
+std::vector<Word> make_dwt53_feed(std::span<const Word> x) {
   check(x.size() >= 2 && x.size() % 2 == 0,
-        "run_dwt53: even-length input required");
-  const std::size_t pairs = x.size() / 2;
-
-  System sys({g});
-  sys.load(make_dwt53_program(g));
-
+        "dwt53: even-length input required");
   // Warm-up pair (e_{-1}, o_{-1}) = (0, x[0] >> 1): it forces the
   // pipeline's in-flight d_{-1} to exactly 0, which is the golden
   // model's zero-extension of the detail subband.  Then the signal,
@@ -176,20 +171,42 @@ DwtResult run_dwt53(const RingGeometry& g, std::span<const Word> x) {
   feed.push_back(to_word(as_signed(x[0]) >> 1));
   feed.insert(feed.end(), x.begin(), x.end());
   feed.insert(feed.end(), 2 * kSmoothLatency, 0);
-  sys.host().send(feed);
-  const std::size_t total_cycles = 1 + pairs + kSmoothLatency;
-  sys.run_until_outputs(2 * total_cycles, 64 + 8 * feed.size());
+  return feed;
+}
 
+std::size_t dwt53_output_words(std::size_t pairs) {
+  return 2 * (1 + pairs + kSmoothLatency);
+}
+
+dsp::Subbands dwt53_bands_from_raw(std::span<const Word> raw,
+                                   std::size_t pairs) {
+  check(raw.size() >= dwt53_output_words(pairs),
+        "dwt53_bands_from_raw: truncated output stream");
   // Each executed cycle t pushes [d_{t-4}, s_{t-8}] in Dnode order;
   // the warm-up pair shifts every index by one.
+  dsp::Subbands bands;
+  bands.high.resize(pairs);
+  bands.low.resize(pairs);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    bands.high[i] = raw[2 * (i + 1 + kDetailLatency)];
+    bands.low[i] = raw[2 * (i + 1 + kSmoothLatency) + 1];
+  }
+  return bands;
+}
+
+DwtResult run_dwt53(const RingGeometry& g, std::span<const Word> x) {
+  const std::size_t pairs = x.size() / 2;
+
+  System sys({g});
+  sys.load(make_dwt53_program(g));
+
+  const std::vector<Word> feed = make_dwt53_feed(x);
+  sys.host().send(feed);
+  sys.run_until_outputs(dwt53_output_words(pairs), 64 + 8 * feed.size());
+
   const auto raw = sys.host().take_received();
   DwtResult result;
-  result.bands.high.resize(pairs);
-  result.bands.low.resize(pairs);
-  for (std::size_t i = 0; i < pairs; ++i) {
-    result.bands.high[i] = raw[2 * (i + 1 + kDetailLatency)];
-    result.bands.low[i] = raw[2 * (i + 1 + kSmoothLatency) + 1];
-  }
+  result.bands = dwt53_bands_from_raw(raw, pairs);
   result.stats = sys.stats();
   result.cycles_per_sample =
       static_cast<double>(result.stats.cycles) /

@@ -29,6 +29,19 @@ namespace sring::kernels {
 /// Build the 1-D analysis pipeline program (needs 8 layers, 2 lanes).
 LoadableProgram make_dwt53_program(const RingGeometry& g);
 
+/// The host word stream for one analysis pass over `x` (even length):
+/// warm-up pair, signal, tail-flush zeros.
+std::vector<Word> make_dwt53_feed(std::span<const Word> x);
+
+/// Host words an analysis pass emits for `pairs` input pairs (the
+/// run-until-outputs stop count for make_dwt53_feed's stream).
+std::size_t dwt53_output_words(std::size_t pairs);
+
+/// Decode the raw interleaved output stream of one analysis pass back
+/// into (high, low) subbands of `pairs` coefficients each.
+dsp::Subbands dwt53_bands_from_raw(std::span<const Word> raw,
+                                   std::size_t pairs);
+
 struct DwtResult {
   dsp::Subbands bands;
   SystemStats stats;

@@ -112,15 +112,23 @@ LoadableProgram make_sad_engine_program(const RingGeometry& g,
   return pb.build();
 }
 
-namespace {
+std::vector<std::pair<int, int>> sad_displacements(int range) {
+  std::vector<std::pair<int, int>> disp;
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      disp.emplace_back(dx, dy);
+    }
+  }
+  return disp;
+}
 
 /// Feed order within a WORK cycle: for each unit (layer) ascending,
 /// its (ref, cand) pixel pair — matching the ring's documented host
 /// pop order (layer asc, lane asc, in1 before in2).
-std::vector<Word> build_feed(const Image& ref, std::size_t rx,
-                             std::size_t ry, const Image& cand,
-                             const std::vector<std::pair<int, int>>& disp,
-                             std::size_t units, std::size_t n) {
+std::vector<Word> make_sad_feed(const Image& ref, std::size_t rx,
+                                std::size_t ry, const Image& cand,
+                                const std::vector<std::pair<int, int>>& disp,
+                                std::size_t units, std::size_t n) {
   std::vector<Word> feed;
   const std::size_t batches = (disp.size() + units - 1) / units;
   feed.reserve(batches * n * n * units * 2);
@@ -148,8 +156,6 @@ std::vector<Word> build_feed(const Image& ref, std::size_t rx,
   return feed;
 }
 
-}  // namespace
-
 MotionEstimationResult run_motion_estimation(const RingGeometry& g,
                                              const Image& ref,
                                              std::size_t rx, std::size_t ry,
@@ -157,18 +163,12 @@ MotionEstimationResult run_motion_estimation(const RingGeometry& g,
   const std::size_t n = dsp::kBlockSize;
   const std::size_t units = g.layers;
 
-  // Candidate displacements in row-major (dy, dx) order.
-  std::vector<std::pair<int, int>> disp;
-  for (int dy = -range; dy <= range; ++dy) {
-    for (int dx = -range; dx <= range; ++dx) {
-      disp.emplace_back(dx, dy);
-    }
-  }
+  const auto disp = sad_displacements(range);
   const std::size_t batches = (disp.size() + units - 1) / units;
 
   System sys({g});
   sys.load(make_sad_engine_program(g, n * n, batches));
-  sys.host().send(build_feed(ref, rx, ry, cand, disp, units, n));
+  sys.host().send(make_sad_feed(ref, rx, ry, cand, disp, units, n));
   sys.run_until_halt(batches * (n * n + 16) + 1000, /*drain_cycles=*/2);
 
   MotionEstimationResult result;

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/image.hpp"
@@ -32,6 +33,20 @@ namespace sring::kernels {
 LoadableProgram make_sad_engine_program(const RingGeometry& g,
                                         std::size_t block_pixels,
                                         std::size_t batches);
+
+/// Candidate displacements for ±`range` pixels in row-major (dy, dx)
+/// scan order — the emission order of the SAD engine.
+std::vector<std::pair<int, int>> sad_displacements(int range);
+
+/// The host word stream feeding the SAD engine: per WORK cycle, one
+/// (ref, cand) pixel pair per unit in layer-ascending order (zero
+/// padding for the tail batch).  `units` = g.layers of the target
+/// ring.
+std::vector<Word> make_sad_feed(const Image& ref, std::size_t rx,
+                                std::size_t ry, const Image& cand,
+                                const std::vector<std::pair<int, int>>& disp,
+                                std::size_t units,
+                                std::size_t n = dsp::kBlockSize);
 
 struct MotionEstimationResult {
   std::vector<std::uint32_t> sads;  ///< per candidate, (dy,dx) row-major

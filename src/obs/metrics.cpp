@@ -40,6 +40,17 @@ void Histogram::record(std::uint64_t sample) noexcept {
   max_ = std::max(max_, sample);
 }
 
+bool Histogram::merge_from(const Histogram& other) {
+  if (bounds_ != other.bounds_) return false;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+  return true;
+}
+
 JsonValue Histogram::to_json() const {
   JsonValue v = JsonValue::object();
   v.set("count", count_);
@@ -87,6 +98,22 @@ const Histogram* Registry::find_histogram(
     std::string_view name) const noexcept {
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).add(c.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+      continue;
+    }
+    check(it->second.merge_from(h),
+          "Registry::merge_from: histogram '" + name +
+              "' has mismatched bucket bounds");
+  }
 }
 
 JsonValue Registry::to_json() const {

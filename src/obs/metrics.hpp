@@ -45,6 +45,12 @@ class Histogram {
 
   void record(std::uint64_t sample) noexcept;
 
+  /// Element-wise accumulate `other` into this histogram.  Returns
+  /// false (and leaves this histogram untouched) when the bucket
+  /// bounds differ — merging histograms of different shapes is a
+  /// caller bug, reported rather than silently misfiled.
+  bool merge_from(const Histogram& other);
+
   std::uint64_t count() const noexcept { return count_; }
   std::uint64_t sum() const noexcept { return sum_; }
   std::uint64_t max() const noexcept { return max_; }
@@ -94,6 +100,14 @@ class Registry {
   std::size_t size() const noexcept {
     return counters_.size() + histograms_.size();
   }
+
+  /// Accumulate another registry into this one: counters add, and
+  /// histograms with matching bounds add bucket-wise (an absent name
+  /// is copied).  This is how the runtime folds per-worker registries
+  /// into one fleet snapshot — each worker owns its registry
+  /// lock-free and the merge happens only at snapshot time.  Throws
+  /// SimError when two histograms share a name but not bounds.
+  void merge_from(const Registry& other);
 
   /// {"counters": {name: value, ...}, "histograms": {name: {...}, ...}}
   JsonValue to_json() const;

@@ -1,0 +1,58 @@
+#include "rt/job_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace sring::rt {
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
+  check(capacity_ >= 1, "JobQueue: capacity must be at least 1");
+  stats_.capacity = capacity_;
+}
+
+bool JobQueue::push(Envelope envelope) {
+  std::unique_lock lock(mu_);
+  if (items_.size() >= capacity_ && !closed_) {
+    ++stats_.blocked_pushes;
+    not_full_.wait(lock,
+                   [&] { return items_.size() < capacity_ || closed_; });
+  }
+  if (closed_) return false;
+  items_.push_back(std::move(envelope));
+  ++stats_.enqueued;
+  stats_.max_depth = std::max<std::uint64_t>(stats_.max_depth,
+                                             items_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<JobQueue::Envelope> JobQueue::pop() {
+  std::unique_lock lock(mu_);
+  not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+  if (items_.empty()) return std::nullopt;  // closed and drained
+  Envelope e = std::move(items_.front());
+  items_.pop_front();
+  ++stats_.dequeued;
+  lock.unlock();
+  not_full_.notify_one();
+  return e;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+JobQueue::Stats JobQueue::stats() const {
+  std::lock_guard lock(mu_);
+  Stats s = stats_;
+  s.depth = items_.size();
+  s.closed = closed_;
+  return s;
+}
+
+}  // namespace sring::rt

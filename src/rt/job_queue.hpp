@@ -1,0 +1,71 @@
+// Bounded, backpressured MPMC job queue.
+//
+// The host-side admission path of the runtime: producers block in
+// push() while the queue is full (backpressure — submission slows to
+// the fleet's drain rate instead of buffering unboundedly), workers
+// block in pop() while it is empty.  close() wakes everyone: pending
+// items still drain, then pop() returns nullopt and push() returns
+// false.  All statistics are maintained under the queue mutex and
+// snapshot via stats().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+
+#include "rt/job.hpp"
+
+namespace sring::rt {
+
+class JobQueue {
+ public:
+  /// One queued unit of work: the job plus the promise its result is
+  /// delivered through.
+  struct Envelope {
+    Job job;
+    std::promise<JobResult> result;
+  };
+
+  struct Stats {
+    std::size_t capacity = 0;
+    std::size_t depth = 0;           ///< items queued right now
+    std::uint64_t enqueued = 0;      ///< successful push() calls
+    std::uint64_t dequeued = 0;      ///< successful pop() calls
+    std::uint64_t max_depth = 0;     ///< high-water mark
+    std::uint64_t blocked_pushes = 0;///< push() calls that had to wait
+    bool closed = false;
+  };
+
+  explicit JobQueue(std::size_t capacity);
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Enqueue, blocking while full.  Returns false (envelope untouched
+  /// beyond the move attempt) once the queue is closed.
+  bool push(Envelope envelope);
+
+  /// Dequeue, blocking while empty.  nullopt only after close() AND
+  /// the queue fully drained — a closed queue still hands out its
+  /// backlog.
+  std::optional<Envelope> pop();
+
+  /// Close the queue: subsequent push() fails, pop() drains then ends.
+  void close();
+
+  Stats stats() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Envelope> items_;
+  Stats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace sring::rt

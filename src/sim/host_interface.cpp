@@ -48,6 +48,18 @@ std::vector<Word> HostInterface::take_received() {
   return std::exchange(host_rx_, {});
 }
 
+void HostInterface::reset() {
+  host_tx_.clear();
+  ring_in_.clear();
+  ring_out_.clear();
+  ring_out_taken_ = 0;
+  host_rx_.clear();
+  credits_tx_ = 0;
+  credits_rx_ = 0;
+  words_to_core_ = 0;
+  words_to_host_ = 0;
+}
+
 void HostInterface::tick() {
   if (rate_.num == 0) {
     // Ideal link: host->core moves in send(); mirror core->host too so

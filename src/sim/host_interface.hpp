@@ -58,6 +58,11 @@ class HostInterface {
   /// core->host under the bandwidth limit.
   void tick();
 
+  /// Drop every queued/received word and all traffic counters,
+  /// keeping the configured link rate — a fresh interface, as if
+  /// just constructed.
+  void reset();
+
   std::uint64_t words_to_core() const noexcept { return words_to_core_; }
   std::uint64_t words_to_host() const noexcept { return words_to_host_; }
 

@@ -1,5 +1,7 @@
 #include "sim/report.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 
@@ -154,13 +156,27 @@ obs::JsonValue RunReport::to_json() const {
 }
 
 void write_run_report(const RunReport& report, const std::string& path) {
-  std::ofstream out(path);
-  check(static_cast<bool>(out),
-        "write_run_report: cannot open output file: " + path);
-  report.to_json().dump(out);
-  out << '\n';
-  check(static_cast<bool>(out),
-        "write_run_report: write failed: " + path);
+  // Write-then-rename: an interrupted run leaves either the previous
+  // report or none, never a truncated JSON file.  The temp file sits
+  // next to the target so the rename stays within one filesystem.
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".tmp.%ld",
+                static_cast<long>(::getpid()));
+  const std::string tmp = path + suffix;
+  {
+    std::ofstream out(tmp);
+    check(static_cast<bool>(out),
+          "write_run_report: cannot open output file: " + tmp);
+    report.to_json().dump(out);
+    out << '\n';
+    out.flush();
+    check(static_cast<bool>(out),
+          "write_run_report: write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    check(false, "write_run_report: cannot rename " + tmp + " to " + path);
+  }
 }
 
 void maybe_write_run_report(const RunReport& report,

@@ -24,10 +24,26 @@ void System::load(const LoadableProgram& program) {
   cfg_ = ConfigMemory(geom_);
   for (const auto& page : program.pages) cfg_.add_page(page);
   ctrl_.load_program(program.controller_code);
+  reset_common(program);
+}
+
+void System::reset_for_rerun(const LoadableProgram& program) {
+  check(program.geometry.layers == geom_.layers &&
+            program.geometry.lanes == geom_.lanes,
+        "System::reset_for_rerun: wrong ring geometry");
+  check(cfg_.page_count() == program.pages.size(),
+        "System::reset_for_rerun: a different program is loaded");
+  cfg_.reset_live();
+  ctrl_.reset();
+  reset_common(program);
+}
+
+void System::reset_common(const LoadableProgram& program) {
   ring_.reset();
   for (const auto& lw : program.local_init) {
     ring_.write_local(lw.dnode, lw.slot, lw.value);
   }
+  host_.reset();
   bus_ = 0;
   cycle_ = 0;
   stats_ = SystemStats{};

@@ -37,8 +37,20 @@ class System {
   explicit System(const SystemConfig& config);
 
   /// Load an application: fresh configuration memory with the
-  /// program's pages, controller program loaded, ring state cleared.
+  /// program's pages, controller program loaded, ring state cleared,
+  /// host FIFOs drained.
   void load(const LoadableProgram& program);
+
+  /// Re-arm the machine for another run of the program most recently
+  /// load()ed, skipping the configware rebuild (pages stay decoded in
+  /// configuration memory — the software analogue of the paper's
+  /// preloaded configuration layer).  `program` must be the same
+  /// program passed to the last load(); it is re-taken here only for
+  /// the boot-time local-control writes.  Afterwards the machine is
+  /// indistinguishable from a freshly constructed System that just
+  /// load()ed `program` — the runtime's determinism test holds it to
+  /// that.
+  void reset_for_rerun(const LoadableProgram& program);
 
   /// Advance one clock cycle.
   void step();
@@ -83,6 +95,7 @@ class System {
   void set_trace(obs::EventSink* sink);
 
  private:
+  void reset_common(const LoadableProgram& program);
   void emit_cycle_events(const Controller::StepResult& ctrl_res,
                          const Ring::CycleResult& ring_res);
 

@@ -1,0 +1,184 @@
+// Determinism guarantees of the batch-execution runtime:
+//
+//  * the same batch yields bit-identical per-job outputs and
+//    RunReports at 1, 2 and 8 workers (only JobResult provenance —
+//    worker index, reused_system — may differ);
+//  * a job run on a pooled, re-armed System matches one run on a
+//    fresh System;
+//  * System::reset_for_rerun restores a System to a state
+//    indistinguishable from a fresh load().
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/image.hpp"
+#include "common/rng.hpp"
+#include "dsp/matvec.hpp"
+#include "kernels/dwt_kernel.hpp"
+#include "kernels/fir_kernel.hpp"
+#include "kernels/jobs.hpp"
+#include "kernels/motion_estimation.hpp"
+#include "rt/runtime.hpp"
+#include "rt/system_pool.hpp"
+#include "sim/report.hpp"
+#include "sim/system.hpp"
+
+namespace sring::rt {
+namespace {
+
+constexpr RingGeometry kGeom{8, 2, 16};
+
+std::vector<Word> signal(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<Word> x(n);
+  for (auto& w : x) w = rng.next_word_in(-100, 100);
+  return x;
+}
+
+Image image(std::uint64_t seed, std::size_t w, std::size_t h) {
+  Rng rng(seed);
+  Image img(w, h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      img.at(x, y) = rng.next_word_in(0, 255);
+    }
+  }
+  return img;
+}
+
+/// A mixed 16-job batch rebuilt identically on every call.
+std::vector<Job> mixed_batch() {
+  const std::vector<Word> coeffs{1, static_cast<Word>(-2), 3, 4};
+  const dsp::Matrix8 dct = dsp::dct8_matrix_q7();
+  std::vector<Job> jobs;
+  for (std::size_t i = 0; i < 4; ++i) {
+    jobs.push_back(
+        kernels::make_spatial_fir_job(kGeom, signal(10 + i, 96), coeffs));
+    jobs.push_back(kernels::make_motion_estimation_job(
+        kGeom, image(20 + i, 16, 16), 4, 4, image(30 + i, 16, 16), 2));
+    jobs.push_back(kernels::make_dwt53_job(kGeom, signal(40 + i, 64)));
+    jobs.push_back(
+        kernels::make_matvec8_job(kGeom, dct, signal(50 + i, 24)));
+  }
+  return jobs;
+}
+
+TEST(RtDeterminism, SameBatchBitIdenticalAcrossWorkerCounts) {
+  std::vector<std::vector<Word>> ref_outputs;
+  std::vector<std::string> ref_reports;
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    Runtime rt({.workers = workers, .queue_capacity = 8});
+    const std::vector<JobResult> results = rt.submit_batch(mixed_batch());
+    ASSERT_EQ(results.size(), 16u);
+
+    if (ref_outputs.empty()) {
+      for (const auto& r : results) {
+        ASSERT_TRUE(r.ok) << r.error;
+        ref_outputs.push_back(r.outputs);
+        // RunReport carries only simulated state (cycles, ops, FIFO
+        // depths) — no wall-clock — so the full JSON must reproduce.
+        ref_reports.push_back(r.report.to_json().dump());
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok) << results[i].error;
+      EXPECT_EQ(results[i].outputs, ref_outputs[i])
+          << "job " << i << " outputs diverged at " << workers << " workers";
+      EXPECT_EQ(results[i].report.to_json().dump(), ref_reports[i])
+          << "job " << i << " report diverged at " << workers << " workers";
+    }
+  }
+}
+
+TEST(RtDeterminism, PooledRerunMatchesFreshSystem) {
+  const std::vector<Word> coeffs{3, static_cast<Word>(-1), 2};
+  const Job first =
+      kernels::make_spatial_fir_job(kGeom, signal(60, 80), coeffs);
+  const Job second =
+      kernels::make_spatial_fir_job(kGeom, signal(61, 80), coeffs);
+
+  // Fresh System per job = the ground truth.  (Strip the bench extras
+  // the kernel helper attaches; the simulated record must match.)
+  kernels::FirResult fresh =
+      kernels::run_spatial_fir(kGeom, signal(61, 80), coeffs);
+  fresh.report.extras = obs::JsonValue::object();
+
+  SystemPool pool(2);
+  {
+    SystemPool::Lease lease = pool.acquire(first);
+    EXPECT_FALSE(lease.reused_program);
+    lease.system.host().send(first.input);
+    lease.system.run_until_outputs(first.expected_outputs, first.max_cycles);
+  }
+  SystemPool::Lease lease = pool.acquire(second);
+  EXPECT_TRUE(lease.reused_program);  // same key: fast re-arm, no reload
+  lease.system.host().send(second.input);
+  lease.system.run_until_outputs(second.expected_outputs, second.max_cycles);
+
+  std::vector<Word> got = lease.system.host().take_received();
+  got.erase(got.begin(),
+            got.begin() + static_cast<std::ptrdiff_t>(second.discard_prefix));
+  got.resize(second.take_words);
+  EXPECT_EQ(got, fresh.outputs);
+  EXPECT_EQ(RunReport::from_system("fir.spatial", lease.system)
+                .to_json()
+                .dump(),
+            fresh.report.to_json().dump());
+}
+
+TEST(RtDeterminism, ResetForRerunMatchesFreshLoad) {
+  const std::vector<Word> coeffs{1, 2, 3};
+  const std::vector<Word> x = signal(70, 48);
+  const Job job = kernels::make_spatial_fir_job(kGeom, x, coeffs);
+
+  System reused({kGeom});
+  reused.load(*job.program);
+  reused.host().send(job.input);
+  reused.run_until_outputs(job.expected_outputs, job.max_cycles);
+  const std::string first_report =
+      RunReport::from_system("run", reused).to_json().dump();
+
+  reused.reset_for_rerun(*job.program);
+  EXPECT_EQ(reused.cycle(), 0u);
+  reused.host().send(job.input);
+  reused.run_until_outputs(job.expected_outputs, job.max_cycles);
+
+  System fresh({kGeom});
+  fresh.load(*job.program);
+  fresh.host().send(job.input);
+  fresh.run_until_outputs(job.expected_outputs, job.max_cycles);
+
+  EXPECT_EQ(reused.host().take_received(), fresh.host().take_received());
+  EXPECT_EQ(RunReport::from_system("run", reused).to_json().dump(),
+            RunReport::from_system("run", fresh).to_json().dump());
+  EXPECT_EQ(RunReport::from_system("run", fresh).to_json().dump(),
+            first_report);
+}
+
+TEST(RtDeterminism, WrongProgramForRerunIsRejected) {
+  const std::vector<Word> coeffs{1, 2};
+  const Job fir = kernels::make_spatial_fir_job(kGeom, signal(80, 32), coeffs);
+
+  System sys({kGeom});
+  sys.load(*fir.program);
+
+  // Different geometry: rejected outright.
+  const RingGeometry other{6, 2, 16};
+  const LoadableProgram narrow =
+      kernels::make_spatial_fir_program(other, coeffs);
+  EXPECT_THROW(sys.reset_for_rerun(narrow), SimError);
+
+  // Same geometry but a different configware footprint (the SAD
+  // engine carries several pages, the FIR one): also rejected.
+  const LoadableProgram sad = kernels::make_sad_engine_program(kGeom, 64, 2);
+  EXPECT_THROW(sys.reset_for_rerun(sad), SimError);
+}
+
+}  // namespace
+}  // namespace sring::rt
