@@ -1,0 +1,200 @@
+// bench_cycle — simulator cycle throughput with and without the Ring's
+// decoded cycle-plan cache.
+//
+// Runs two steady-state kernels (the spatial FIR under global
+// configuration and the stand-alone running MAC) for the same input
+// twice: once with the plan cache disabled (the interpreter reference)
+// and once enabled.  Reports simulated cycles per wall-clock second
+// for each path and the speedup.  The run aborts if the two paths'
+// outputs or architectural statistics differ in any word — a speedup
+// only counts while the simulation stays bit-exact.
+//
+// Usage:
+//   bench_cycle [--samples N] [--reps N] [--json <path>]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "kernels/fir_kernel.hpp"
+#include "kernels/mac_kernel.hpp"
+#include "obs/cli.hpp"
+#include "sim/report.hpp"
+#include "sim/system.hpp"
+
+namespace {
+
+using namespace sring;
+
+constexpr RingGeometry kGeom{8, 2, 16};
+
+std::vector<Word> random_signal(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<Word> x(n);
+  for (auto& w : x) w = rng.next_word_in(-128, 127);
+  return x;
+}
+
+struct RunMeasure {
+  double seconds = 0.0;
+  std::uint64_t cycles = 0;
+  std::vector<Word> outputs;
+  std::string arch_stats;  ///< SystemStats minus the plan counters
+  std::uint64_t plan_hits = 0;
+};
+
+std::string arch_stats_string(SystemStats s) {
+  s.plan_compiles = 0;
+  s.plan_hits = 0;
+  s.plan_invalidations = 0;
+  return s.to_string();
+}
+
+/// One timed run of a loaded program: send input, step to the target
+/// output count, capture outputs/stats.
+RunMeasure timed_run(const LoadableProgram& program,
+                     const std::vector<Word>& input,
+                     std::size_t expected_outputs, std::uint64_t max_cycles,
+                     bool planned) {
+  System sys({kGeom});
+  sys.ring().set_plan_cache_enabled(planned);
+  sys.load(program);
+  sys.host().send(input);
+  const auto t0 = std::chrono::steady_clock::now();
+  sys.run_until_outputs(expected_outputs, max_cycles);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunMeasure m;
+  m.seconds = std::chrono::duration<double>(t1 - t0).count();
+  m.cycles = sys.cycle();
+  m.outputs = sys.host().take_received();
+  m.arch_stats = arch_stats_string(sys.stats());
+  m.plan_hits = sys.ring().plan_hits();
+  return m;
+}
+
+struct KernelPoint {
+  std::string name;
+  std::uint64_t cycles = 0;
+  double interp_cps = 0.0;   ///< simulated cycles / second, interpreter
+  double planned_cps = 0.0;  ///< simulated cycles / second, plan cache
+  double speedup = 0.0;
+  double plan_hit_rate = 0.0;
+};
+
+/// Best-of-`reps` measurement for one kernel, with bit-exactness
+/// enforced between the two paths on every repetition.
+KernelPoint measure(const std::string& name, const LoadableProgram& program,
+                    const std::vector<Word>& input,
+                    std::size_t expected_outputs, std::uint64_t max_cycles,
+                    std::size_t reps) {
+  KernelPoint p;
+  p.name = name;
+  double best_interp = 0.0;
+  double best_planned = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const RunMeasure interp =
+        timed_run(program, input, expected_outputs, max_cycles, false);
+    const RunMeasure planned =
+        timed_run(program, input, expected_outputs, max_cycles, true);
+    check(planned.outputs == interp.outputs,
+          "bench_cycle: " + name + ": plan outputs diverged");
+    check(planned.arch_stats == interp.arch_stats,
+          "bench_cycle: " + name + ": plan statistics diverged");
+    check(planned.cycles == interp.cycles,
+          "bench_cycle: " + name + ": cycle counts diverged");
+    p.cycles = planned.cycles;
+    p.plan_hit_rate = static_cast<double>(planned.plan_hits) /
+                      static_cast<double>(planned.cycles);
+    const double icps = static_cast<double>(interp.cycles) / interp.seconds;
+    const double pcps = static_cast<double>(planned.cycles) / planned.seconds;
+    if (icps > best_interp) best_interp = icps;
+    if (pcps > best_planned) best_planned = pcps;
+  }
+  p.interp_cps = best_interp;
+  p.planned_cps = best_planned;
+  p.speedup = best_planned / best_interp;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sring;
+  try {
+    const std::string json_path =
+        obs::extract_option(argc, argv, "--json").value_or("");
+    const std::size_t samples = std::strtoul(
+        obs::extract_option(argc, argv, "--samples").value_or("32768").c_str(),
+        nullptr, 10);
+    const std::size_t reps = std::strtoul(
+        obs::extract_option(argc, argv, "--reps").value_or("5").c_str(),
+        nullptr, 10);
+    check(samples >= 16, "bench_cycle: --samples must be at least 16");
+    check(reps >= 1, "bench_cycle: --reps must be at least 1");
+
+    std::printf("bench_cycle: geometry %zux%zu, %zu samples, best of %zu\n",
+                kGeom.layers, kGeom.lanes, samples, reps);
+
+    std::vector<KernelPoint> points;
+
+    {  // spatial FIR: global-mode steady state, one host word per cycle
+      const std::vector<Word> coeffs{5, static_cast<Word>(-3), 2, 1};
+      const std::vector<Word> x = random_signal(11, samples);
+      const LoadableProgram program =
+          kernels::make_spatial_fir_program(kGeom, coeffs);
+      std::vector<Word> feed = x;
+      feed.insert(feed.end(), coeffs.size(), 0);  // flush the pipeline
+      points.push_back(measure("fir.spatial", program, feed,
+                               x.size() + coeffs.size(),
+                               64 + 16 * feed.size(), reps));
+    }
+    {  // running MAC: local-mode steady state, two host words per cycle
+      const std::vector<Word> a = random_signal(12, samples);
+      const std::vector<Word> b = random_signal(13, samples);
+      const LoadableProgram program = kernels::make_running_mac_program(kGeom);
+      std::vector<Word> interleaved;
+      interleaved.reserve(2 * samples);
+      for (std::size_t i = 0; i < samples; ++i) {
+        interleaved.push_back(a[i]);
+        interleaved.push_back(b[i]);
+      }
+      points.push_back(measure("mac.local", program, interleaved, samples,
+                               64 + 16 * samples, reps));
+    }
+
+    for (const auto& p : points) {
+      std::printf(
+          "  %-12s %8llu cycles  interp %10.0f cyc/s  planned %10.0f cyc/s"
+          "  speedup %.2fx  (hit rate %.1f%%)\n",
+          p.name.c_str(), static_cast<unsigned long long>(p.cycles),
+          p.interp_cps, p.planned_cps, p.speedup, 100.0 * p.plan_hit_rate);
+    }
+
+    RunReport report;
+    report.name = "bench_cycle";
+    report.extra("samples", std::uint64_t{samples})
+        .extra("reps", std::uint64_t{reps})
+        .extra("outputs_bit_identical", true);
+    obs::JsonValue kernels_json = obs::JsonValue::array();
+    for (const auto& p : points) {
+      obs::JsonValue jp = obs::JsonValue::object();
+      jp.set("kernel", p.name);
+      jp.set("sim_cycles", p.cycles);
+      jp.set("interpreter_cycles_per_s", p.interp_cps);
+      jp.set("planned_cycles_per_s", p.planned_cps);
+      jp.set("speedup", p.speedup);
+      jp.set("plan_hit_rate", p.plan_hit_rate);
+      kernels_json.push_back(std::move(jp));
+    }
+    report.extra("kernels", std::move(kernels_json));
+    maybe_write_run_report(report, json_path);
+    return 0;
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "bench_cycle: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,8 +1,17 @@
 #include "core/config_memory.hpp"
 
+#include <atomic>
+
 #include "common/error.hpp"
 
 namespace sring {
+
+std::uint64_t ConfigIdentity::next() noexcept {
+  // Starts at 1 so that 0 is a safe "matches nothing" sentinel for
+  // cached (uid, generation) pairs.
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 void RingGeometry::validate() const {
   check(layers >= 1 && layers <= 32,
@@ -49,6 +58,7 @@ void ConfigMemory::write_dnode_instr(std::size_t dnode,
   live_decoded_.instr[dnode] = DnodeInstr::decode(encoded);
   live_.dnode_instr[dnode] = encoded;
   ++words_written_;
+  ++generation_;
 }
 
 void ConfigMemory::write_dnode_mode(std::size_t dnode, DnodeMode mode) {
@@ -56,6 +66,7 @@ void ConfigMemory::write_dnode_mode(std::size_t dnode, DnodeMode mode) {
         "ConfigMemory: dnode index out of range");
   live_.dnode_mode[dnode] = static_cast<std::uint8_t>(mode);
   ++words_written_;
+  ++generation_;
 }
 
 void ConfigMemory::write_switch_route(std::size_t sw, std::size_t lane,
@@ -70,6 +81,7 @@ void ConfigMemory::write_switch_route(std::size_t sw, std::size_t lane,
   live_decoded_.route[i] = std::move(decoded);
   live_.switch_route[i] = encoded;
   ++words_written_;
+  ++generation_;
 }
 
 void ConfigMemory::reset_live() {
@@ -77,6 +89,7 @@ void ConfigMemory::reset_live() {
   live_decoded_ = decode_page(live_);
   words_written_ = 0;
   route_changes_per_switch_.assign(geom_.switch_count(), 0);
+  ++generation_;  // monotonic within this object: plans never revalidate
 }
 
 std::uint64_t ConfigMemory::route_changes_total() const noexcept {
@@ -138,6 +151,7 @@ void ConfigMemory::apply_page(std::size_t index) {
   live_decoded_ = pages_decoded_[index];
   words_written_ += live_.dnode_instr.size() + live_.dnode_mode.size() +
                     live_.switch_route.size();
+  ++generation_;
 }
 
 }  // namespace sring

@@ -51,11 +51,45 @@ struct ConfigPage {
   static ConfigPage zeroed(const RingGeometry& g);
 };
 
+/// Process-unique identity of a live configuration image.  Copying or
+/// moving a ConfigMemory mints a fresh uid for the destination, so a
+/// (uid, generation) pair observed once can never accidentally match a
+/// different object later — the Ring's compiled cycle-plan cache keys
+/// its validity on exactly this pair.
+class ConfigIdentity {
+ public:
+  ConfigIdentity() noexcept : uid_(next()) {}
+  ConfigIdentity(const ConfigIdentity&) noexcept : uid_(next()) {}
+  ConfigIdentity(ConfigIdentity&&) noexcept : uid_(next()) {}
+  ConfigIdentity& operator=(const ConfigIdentity&) noexcept {
+    uid_ = next();
+    return *this;
+  }
+  ConfigIdentity& operator=(ConfigIdentity&&) noexcept {
+    uid_ = next();
+    return *this;
+  }
+
+  std::uint64_t value() const noexcept { return uid_; }
+
+ private:
+  static std::uint64_t next() noexcept;  // atomic; never returns 0
+  std::uint64_t uid_;
+};
+
 class ConfigMemory {
  public:
   explicit ConfigMemory(const RingGeometry& g);
 
   const RingGeometry& geometry() const noexcept { return geom_; }
+
+  // --- cycle-plan cache invalidation key ----------------------------
+  /// Process-unique id of this live image (fresh after copy/move).
+  std::uint64_t uid() const noexcept { return identity_.value(); }
+  /// Bumped by every live-configuration mutation (WRCFG/WRMODE/WRSW,
+  /// page swaps, reset_live).  Together with uid() this tells the Ring
+  /// whether a compiled cycle plan is still current.
+  std::uint64_t generation() const noexcept { return generation_; }
 
   // --- live configuration ------------------------------------------
   // Writes validate eagerly and maintain a decoded shadow of every
@@ -112,6 +146,8 @@ class ConfigMemory {
   std::vector<DecodedPage> pages_decoded_;
   std::uint64_t words_written_ = 0;
   std::vector<std::uint64_t> route_changes_per_switch_;
+  ConfigIdentity identity_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace sring

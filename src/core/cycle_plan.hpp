@@ -1,0 +1,97 @@
+// Decoded cycle plan — the Ring's compiled hot path.
+//
+// The paper's hardware multiplexing lets the controller rewrite any
+// configuration word every cycle, but between rewrites the
+// configuration layer is stable.  Re-interpreting ConfigMemory every
+// cycle (fetch mode word, fetch microinstruction, decode route kinds,
+// re-derive host-pop needs, re-validate feedback addresses) made the
+// interpreter the throughput ceiling.  A CyclePlan flattens the current
+// configuration page + per-Dnode mode vector into pre-resolved operand
+// sources, pre-validated route indices, a host-pop schedule and the
+// host-out tap list, so steady-state cycles execute straight from the
+// plan.
+//
+// Invalidation contract: a plan is current exactly while
+//   (cfg.uid(), cfg.generation(), ring local-control generation)
+// match the values captured at compile time.  Every ConfigMemory write
+// path (WRCFG/WRMODE/WRSW, page swaps, reset_live) bumps the
+// generation; Ring::write_local (the controller's WRLOC path) bumps the
+// local generation.  The Ring recompiles lazily on the next step —
+// global-mode hardware multiplexing stays cycle-accurate, it just
+// doesn't hit the fast path while the configuration is in flux.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/config_memory.hpp"
+#include "core/dnode.hpp"
+#include "core/switch.hpp"
+#include "isa/dnode_instr.hpp"
+
+namespace sring {
+
+/// Everything one Dnode needs to execute one specific microinstruction:
+/// the decoded instruction plus its operand routing with all validation
+/// hoisted to compile time.
+struct PlannedSlot {
+  /// Pre-resolved source of one input port.  kHost always pops (a host
+  /// route whose operand the instruction never reads compiles to
+  /// kZero, matching the interpreter's "no pop, value 0" behaviour).
+  enum class Port : std::uint8_t { kZero, kPrev, kHost, kFeedback, kBus };
+
+  DnodeInstr instr{};            ///< decoded copy (owned by the plan)
+  bool nop = true;
+  bool is_mac = false;           ///< MAC/MSU: counts as two arith ops
+  Port in1 = Port::kZero;
+  Port in2 = Port::kZero;
+  std::uint16_t in1_prev = 0;    ///< flat upstream Dnode index (kPrev)
+  std::uint16_t in2_prev = 0;
+  FeedbackAddr in1_fb{};         ///< pre-validated (kFeedback)
+  FeedbackAddr in2_fb{};
+  bool read_fifo1 = false;       ///< instruction consumes fifo1/fifo2
+  bool read_fifo2 = false;
+  FeedbackAddr fifo1{};          ///< pre-validated
+  FeedbackAddr fifo2{};
+  bool direct_pop = false;       ///< instruction reads the HOST source
+  std::uint8_t pops = 0;         ///< host words this slot consumes
+};
+
+/// Per-Dnode plan: one slot in global mode, the whole local
+/// microprogram (slots 0..limit) in stand-alone mode.
+struct PlannedDnode {
+  bool is_local = false;
+  PlannedSlot global;                                  ///< !is_local
+  std::array<PlannedSlot, kLocalProgramSlots> local{}; ///< is_local
+};
+
+/// One switch host-out tap: which pre-edge output word it forwards.
+struct HostTapPlan {
+  std::uint32_t src = 0;  ///< flat index into the pre-edge output vector
+  std::uint32_t sw = 0;   ///< owning switch (per-switch statistics)
+};
+
+struct CyclePlan {
+  bool valid = false;
+  // Invalidation key captured at compile time (see header comment).
+  std::uint64_t cfg_uid = 0;
+  std::uint64_t cfg_generation = 0;
+  std::uint64_t local_generation = 0;
+
+  std::size_t static_pops = 0;  ///< host pops from global-mode Dnodes
+  std::vector<PlannedDnode> dnodes;          ///< [layer * lanes + lane]
+  std::vector<std::uint16_t> local_dnodes;   ///< flat indices, ascending
+  std::vector<std::uint16_t> global_dnodes;  ///< flat indices, ascending
+  std::vector<HostTapPlan> host_taps;        ///< switch-asc, lane-asc
+};
+
+/// Compile the live configuration + local-control programs into `plan`
+/// (storage is reused across recompiles; the caller stamps the
+/// invalidation key and `valid`).  Throws SimError on any route the
+/// interpreter would reject at execution time — pre-validation must
+/// not accept configurations the cycle-accurate path rejects.
+void compile_cycle_plan(const RingGeometry& geom, const ConfigMemory& cfg,
+                        const std::vector<Dnode>& dnodes, CyclePlan& plan);
+
+}  // namespace sring

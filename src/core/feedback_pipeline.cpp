@@ -15,8 +15,7 @@ FeedbackPipeline::FeedbackPipeline(std::size_t lanes, std::size_t depth)
 Word FeedbackPipeline::read(std::size_t lane, std::size_t depth) const {
   check(lane < lanes_, "FeedbackPipeline::read: lane out of range");
   check(depth < depth_, "FeedbackPipeline::read: depth out of range");
-  const std::size_t stage = (head_ + depth) % depth_;
-  return stages_[stage * lanes_ + lane];
+  return read_fast(lane, depth);
 }
 
 void FeedbackPipeline::push(const std::vector<Word>& upstream_outputs) {

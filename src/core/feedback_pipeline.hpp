@@ -29,6 +29,15 @@ class FeedbackPipeline {
   /// Read one lane at the given depth (0 = most recently latched).
   Word read(std::size_t lane, std::size_t depth) const;
 
+  /// Unchecked read for pre-validated addresses — the Ring's compiled
+  /// cycle-plan path, which proves lane/depth in range at plan-compile
+  /// time.  Out-of-range arguments are undefined behaviour here.
+  Word read_fast(std::size_t lane, std::size_t depth) const noexcept {
+    std::size_t stage = head_ + depth;
+    if (stage >= depth_) stage -= depth_;
+    return stages_[stage * lanes_ + lane];
+  }
+
   /// Clock edge: latch the upstream layer's output vector.
   void push(const std::vector<Word>& upstream_outputs);
 

@@ -26,6 +26,12 @@ const DnodeInstr& LocalControl::current() const {
   return decoded_[counter_];
 }
 
+const DnodeInstr& LocalControl::instr_at(std::size_t slot) const {
+  check(slot < kLocalProgramSlots,
+        "LocalControl::instr_at: slot out of range");
+  return decoded_[slot];
+}
+
 void LocalControl::advance() noexcept {
   counter_ = counter_ >= limit_ ? 0 : static_cast<std::uint8_t>(counter_ + 1);
 }

@@ -30,6 +30,12 @@ class LocalControl {
   /// at write time; the fetch path never re-decodes).
   const DnodeInstr& current() const;
 
+  /// Microinstruction in a specific slot (0..kLocalProgramSlots-1).
+  /// Lets the Ring fetch slot 0 for a mode-entry cycle without
+  /// touching the counter, and the cycle-plan compiler snapshot the
+  /// whole program.
+  const DnodeInstr& instr_at(std::size_t slot) const;
+
   /// Advance the counter (clock edge while the Dnode runs in local
   /// mode): wraps to 0 after reaching LIMIT.
   void advance() noexcept;

@@ -1,5 +1,7 @@
 #include "core/ring.hpp"
 
+#include <cstdlib>
+
 #include "common/error.hpp"
 
 namespace sring {
@@ -18,12 +20,15 @@ Ring::Ring(const RingGeometry& g) : geom_(g) {
   global_cycles_per_dnode_.assign(geom_.dnode_count(), 0);
   host_out_words_per_switch_.assign(geom_.switch_count(), 0);
   fb_reads_per_pipe_.assign(geom_.switch_count(), 0);
-  fb_read_depth_counts_.assign(geom_.switch_count() * 16, 0);
+  fb_read_depth_counts_.assign(geom_.switch_count() * geom_.fb_depth, 0);
   fetched_.assign(geom_.dnode_count(), nullptr);
   is_local_.assign(geom_.dnode_count(), false);
   needs_.assign(geom_.dnode_count(), {});
   effects_.assign(geom_.dnode_count(), {});
   pre_outs_.assign(geom_.dnode_count(), 0);
+  local_slot_.assign(geom_.dnode_count(), 0);
+  const char* no_plan = std::getenv("SRING_NO_PLAN_CACHE");
+  plan_enabled_ = no_plan == nullptr || *no_plan == '\0';
 }
 
 std::size_t Ring::flat_index(std::size_t layer, std::size_t lane) const {
@@ -63,6 +68,7 @@ void Ring::write_local(std::size_t dnode_index, std::size_t slot,
                        std::uint64_t value) {
   check(dnode_index < dnodes_.size(), "Ring: dnode index out of range");
   dnodes_[dnode_index].local().write(slot, value);
+  ++local_generation_;
 }
 
 Word Ring::read_feedback(const FeedbackAddr& addr) const {
@@ -72,7 +78,12 @@ Word Ring::read_feedback(const FeedbackAddr& addr) const {
 
 void Ring::note_fb_read(const FeedbackAddr& addr) {
   ++fb_reads_per_pipe_[addr.pipe];
-  ++fb_read_depth_counts_[addr.pipe * std::size_t{16} + addr.depth];
+  ++fb_read_depth_counts_[addr.pipe * geom_.fb_depth + addr.depth];
+}
+
+void Ring::set_plan_cache_enabled(bool enabled) noexcept {
+  plan_enabled_ = enabled;
+  if (!enabled) plan_.valid = false;
 }
 
 void Ring::reset() {
@@ -85,23 +96,21 @@ void Ring::reset() {
   global_cycles_per_dnode_.assign(geom_.dnode_count(), 0);
   host_out_words_per_switch_.assign(geom_.switch_count(), 0);
   fb_reads_per_pipe_.assign(geom_.switch_count(), 0);
-  fb_read_depth_counts_.assign(geom_.switch_count() * 16, 0);
+  fb_read_depth_counts_.assign(geom_.switch_count() * geom_.fb_depth, 0);
   bus_drives_ = 0;
   bus_conflicts_ = 0;
+  // Plan cache: drop the plan, forget the stability trackers, zero the
+  // counters, so a reset System replays identically to a fresh one.
+  plan_.valid = false;
+  mode_synced_ = false;
+  local_generation_ = 0;
+  last_cfg_uid_ = 0;
+  last_cfg_gen_ = 0;
+  last_local_gen_ = 0;
+  plan_compiles_ = 0;
+  plan_hits_ = 0;
+  plan_invalidations_ = 0;
 }
-
-namespace {
-
-/// True if `instr` reads the given operand source anywhere.
-bool instr_reads(const DnodeInstr& instr, DnodeSrc src) {
-  if (instr.op == DnodeOp::kNop) return false;
-  if (instr.src_a == src) return true;
-  if (op_uses_b(instr.op) && instr.src_b == src) return true;
-  if (op_uses_c(instr.op) && instr.src_c == src) return true;
-  return false;
-}
-
-}  // namespace
 
 Ring::CycleResult Ring::step(const ConfigMemory& cfg, Word bus,
                              std::deque<Word>& host_in,
@@ -110,19 +119,93 @@ Ring::CycleResult Ring::step(const ConfigMemory& cfg, Word bus,
             cfg.geometry().lanes == geom_.lanes,
         "Ring::step: configuration memory geometry mismatch");
 
+  if (!plan_enabled_) return step_interpreted(cfg, bus, host_in, host_out);
+
+  const std::uint64_t uid = cfg.uid();
+  const std::uint64_t gen = cfg.generation();
+  if (plan_.valid) {
+    if (plan_.cfg_uid == uid && plan_.cfg_generation == gen &&
+        plan_.local_generation == local_generation_) {
+      ++plan_hits_;
+      return step_planned(bus, host_in, host_out);
+    }
+    plan_.valid = false;
+    ++plan_invalidations_;
+  }
+  if (last_cfg_uid_ == uid && last_cfg_gen_ == gen &&
+      last_local_gen_ == local_generation_) {
+    // Configuration stable across a step boundary: compile and run the
+    // plan.  compile throws exactly where the interpreter would reject
+    // the configuration at execution time.
+    compile_cycle_plan(geom_, cfg, dnodes_, plan_);
+    plan_.cfg_uid = uid;
+    plan_.cfg_generation = gen;
+    plan_.local_generation = local_generation_;
+    plan_.valid = true;
+    ++plan_compiles_;
+    mode_synced_ = false;
+    for (std::size_t i = 0; i < dnodes_.size(); ++i) {
+      is_local_[i] = plan_.dnodes[i].is_local;
+    }
+    return step_planned(bus, host_in, host_out);
+  }
+  // Configuration in flux (hardware multiplexing): interpret this
+  // cycle and remember what we saw.
+  last_cfg_uid_ = uid;
+  last_cfg_gen_ = gen;
+  last_local_gen_ = local_generation_;
+  return step_interpreted(cfg, bus, host_in, host_out);
+}
+
+void Ring::commit_edge() {
+  const std::size_t n = geom_.dnode_count();
+  // Capture pre-edge output vectors: these are what the feedback
+  // pipelines and host-out taps latch at this clock edge.
+  for (std::size_t i = 0; i < n; ++i) {
+    pre_outs_[i] = dnodes_[i].out();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    dnodes_[i].commit(is_local_[i]);
+  }
+  for (std::size_t s = 0; s < geom_.switch_count(); ++s) {
+    const std::size_t up = upstream_layer(s);
+    pipes_[s].push_from(pre_outs_.data() + up * geom_.lanes);
+  }
+}
+
+void Ring::drain_effects(CycleResult& result, std::vector<Word>& host_out) {
+  const std::size_t n = geom_.dnode_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (effects_[i].executed && effects_[i].host_en) {
+      host_out.push_back(effects_[i].result);
+      ++result.host_words_out;
+    }
+    if (effects_[i].executed && effects_[i].bus_en) {
+      ++bus_drives_;
+      if (result.bus_drive.has_value()) ++bus_conflicts_;
+      result.bus_drive = effects_[i].result;
+    }
+  }
+}
+
+Ring::CycleResult Ring::step_interpreted(const ConfigMemory& cfg, Word bus,
+                                         std::deque<Word>& host_in,
+                                         std::vector<Word>& host_out) {
   const std::size_t n = geom_.dnode_count();
 
-  // Phase 1: fetch.  A global->local transition resets the local
-  // counter so a freshly entered local program starts at slot 0.
+  // Phase 1: fetch.  Mode transitions are observed but NOT committed —
+  // a Dnode entering local mode this cycle fetches slot 0 directly, and
+  // its counter is reset only once the cycle is known to advance, so a
+  // stalled transition cycle leaves every local program untouched.
   for (std::size_t i = 0; i < n; ++i) {
-    const DnodeMode mode = cfg.dnode_mode(i);
-    if (mode == DnodeMode::kLocal && last_mode_[i] == DnodeMode::kGlobal) {
-      dnodes_[i].local().reset_counter();
+    is_local_[i] = cfg.dnode_mode(i) == DnodeMode::kLocal;
+    if (is_local_[i]) {
+      fetched_[i] = last_mode_[i] == DnodeMode::kGlobal
+                        ? &dnodes_[i].local().instr_at(0)
+                        : &dnodes_[i].local().current();
+    } else {
+      fetched_[i] = &cfg.dnode_instr(i);
     }
-    last_mode_[i] = mode;
-    is_local_[i] = mode == DnodeMode::kLocal;
-    fetched_[i] = is_local_[i] ? &dnodes_[i].local().current()
-                               : &cfg.dnode_instr(i);
   }
 
   // Phase 2: count the host pops this cycle needs.
@@ -157,8 +240,20 @@ Ring::CycleResult Ring::step(const ConfigMemory& cfg, Word bus,
     return result;  // systolic back-pressure: nothing advances
   }
 
+  // The cycle advances: commit mode transitions (a Dnode entering
+  // local mode restarts its program at slot 0) and record the mode
+  // every Dnode ran under.
   for (std::size_t i = 0; i < n; ++i) {
-    ++(is_local_[i] ? local_cycles_per_dnode_ : global_cycles_per_dnode_)[i];
+    if (is_local_[i]) {
+      if (last_mode_[i] == DnodeMode::kGlobal) {
+        dnodes_[i].local().reset_counter();
+      }
+      last_mode_[i] = DnodeMode::kLocal;
+      ++local_cycles_per_dnode_[i];
+    } else {
+      last_mode_[i] = DnodeMode::kGlobal;
+      ++global_cycles_per_dnode_[i];
+    }
   }
 
   // Phase 3+4: route and execute.  Routing reads only pre-edge state
@@ -234,23 +329,10 @@ Ring::CycleResult Ring::step(const ConfigMemory& cfg, Word bus,
     }
   }
 
-  // Capture pre-edge output vectors: these are what the feedback
-  // pipelines and host-out taps latch at this clock edge.
-  for (std::size_t i = 0; i < n; ++i) {
-    pre_outs_[i] = dnodes_[i].out();
-  }
-
-  // Phase 5: commit.
-  for (std::size_t i = 0; i < n; ++i) {
-    dnodes_[i].commit(is_local_[i]);
-  }
-  for (std::size_t s = 0; s < geom_.switch_count(); ++s) {
-    const std::size_t up = upstream_layer(s);
-    pipes_[s].push_from(pre_outs_.data() + up * geom_.lanes);
-  }
-
-  // Host output: switch taps first (switch order), then Dnode hostEn
-  // results (dnode order).  Bus drive: highest dnode index wins.
+  // Phase 5: commit, then host output: switch taps first (switch
+  // order), then Dnode hostEn results (dnode order).  Bus drive:
+  // highest dnode index wins.
+  commit_edge();
   for (std::size_t s = 0; s < geom_.switch_count(); ++s) {
     for (std::size_t lane = 0; lane < geom_.lanes; ++lane) {
       const SwitchRoute& route = cfg.switch_route(s, lane);
@@ -264,17 +346,113 @@ Ring::CycleResult Ring::step(const ConfigMemory& cfg, Word bus,
       }
     }
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    if (effects_[i].executed && effects_[i].host_en) {
-      host_out.push_back(effects_[i].result);
-      ++result.host_words_out;
-    }
-    if (effects_[i].executed && effects_[i].bus_en) {
-      ++bus_drives_;
-      if (result.bus_drive.has_value()) ++bus_conflicts_;
-      result.bus_drive = effects_[i].result;
-    }
+  drain_effects(result, host_out);
+  return result;
+}
+
+Ring::CycleResult Ring::step_planned(Word bus, std::deque<Word>& host_in,
+                                     std::vector<Word>& host_out) {
+  CycleResult result;
+
+  // Pops this cycle: static (global-mode) schedule plus the current
+  // slot of every local program.  A Dnode whose local-mode entry has
+  // not committed yet (stall pending) fetches slot 0.
+  std::size_t pops_needed = plan_.static_pops;
+  for (const std::uint16_t i : plan_.local_dnodes) {
+    const std::uint8_t slot = last_mode_[i] == DnodeMode::kGlobal
+                                  ? std::uint8_t{0}
+                                  : dnodes_[i].local().counter();
+    local_slot_[i] = slot;
+    pops_needed += plan_.dnodes[i].local[slot].pops;
   }
+  if (host_in.size() < pops_needed) {
+    result.stalled = true;
+    return result;  // systolic back-pressure: nothing advances
+  }
+
+  if (!mode_synced_) {
+    // First advancing cycle under this plan: commit mode transitions
+    // exactly as the interpreter would.  Modes cannot change while the
+    // plan stays valid, so this runs once per compile.
+    for (const std::uint16_t i : plan_.local_dnodes) {
+      if (last_mode_[i] == DnodeMode::kGlobal) {
+        dnodes_[i].local().reset_counter();
+      }
+      last_mode_[i] = DnodeMode::kLocal;
+    }
+    for (const std::uint16_t i : plan_.global_dnodes) {
+      last_mode_[i] = DnodeMode::kGlobal;
+    }
+    mode_synced_ = true;
+  }
+  for (const std::uint16_t i : plan_.local_dnodes) {
+    ++local_cycles_per_dnode_[i];
+  }
+  for (const std::uint16_t i : plan_.global_dnodes) {
+    ++global_cycles_per_dnode_[i];
+  }
+
+  const std::size_t n = dnodes_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const PlannedDnode& pd = plan_.dnodes[i];
+    const PlannedSlot& ps = pd.is_local ? pd.local[local_slot_[i]] : pd.global;
+    fetched_[i] = &ps.instr;
+    effects_[i] = Dnode::Effects{};
+    if (ps.nop) continue;
+
+    Dnode::Inputs in;
+    in.bus = bus;
+    const auto resolve = [&](PlannedSlot::Port kind, std::uint16_t prev,
+                             const FeedbackAddr& fb) -> Word {
+      switch (kind) {
+        case PlannedSlot::Port::kZero:
+          return 0;
+        case PlannedSlot::Port::kPrev:
+          return dnodes_[prev].out();
+        case PlannedSlot::Port::kHost: {
+          const Word w = host_in.front();
+          host_in.pop_front();
+          ++result.host_words_in;
+          return w;
+        }
+        case PlannedSlot::Port::kFeedback:
+          note_fb_read(fb);
+          return pipes_[fb.pipe].read_fast(fb.lane, fb.depth);
+        case PlannedSlot::Port::kBus:
+          return bus;
+      }
+      return 0;
+    };
+    in.in1 = resolve(ps.in1, ps.in1_prev, ps.in1_fb);
+    in.in2 = resolve(ps.in2, ps.in2_prev, ps.in2_fb);
+    if (ps.read_fifo1) {
+      in.fifo1 = pipes_[ps.fifo1.pipe].read_fast(ps.fifo1.lane, ps.fifo1.depth);
+      note_fb_read(ps.fifo1);
+    }
+    if (ps.read_fifo2) {
+      in.fifo2 = pipes_[ps.fifo2.pipe].read_fast(ps.fifo2.lane, ps.fifo2.depth);
+      note_fb_read(ps.fifo2);
+    }
+    if (ps.direct_pop) {
+      in.host = host_in.front();
+      host_in.pop_front();
+      ++result.host_words_in;
+    }
+
+    effects_[i] = dnodes_[i].execute(ps.instr, in);
+    ++result.ops;
+    result.arith_ops += ps.is_mac ? 2u : 1u;
+    ++ops_per_dnode_[i];
+    if (ps.is_mac) ++mac_ops_per_dnode_[i];
+  }
+
+  commit_edge();
+  for (const HostTapPlan& tap : plan_.host_taps) {
+    host_out.push_back(pre_outs_[tap.src]);
+    ++result.host_words_out;
+    ++host_out_words_per_switch_[tap.sw];
+  }
+  drain_effects(result, host_out);
   return result;
 }
 

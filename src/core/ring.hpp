@@ -7,20 +7,38 @@
 //
 // Per-cycle evaluation order (one call to step()):
 //   1. every Dnode's microinstruction is fetched from the configuration
-//      memory (global mode) or its local control unit (local mode);
+//      memory (global mode) or its local control unit (local mode) — a
+//      Dnode entering local mode this cycle fetches slot 0;
 //   2. the host-FIFO pops required by this cycle are counted; if the
 //      input FIFO cannot satisfy them the whole ring stalls (systolic
-//      back-pressure) and no state advances;
+//      back-pressure) and NO state advances — not the local counters,
+//      not the mode-transition tracking, not any statistic.  A stalled
+//      cycle is a pure retry: re-issuing it later behaves exactly as if
+//      the stall never happened;
 //   3. switches resolve each Dnode's in1/in2/fifo1/fifo2 operands from
 //      the upstream output registers (previous edge), the feedback
 //      pipelines, the bus, or freshly popped host words (pop order:
 //      layer-ascending, lane-ascending, port order in1, in2, direct
 //      host operand);
 //   4. all Dnodes execute combinationally and stage their writes;
-//   5. commit: register files and output registers latch, local
-//      counters advance, every feedback pipeline latches its upstream
-//      layer's pre-edge output vector, switch host-out taps and Dnode
-//      hostEn results append to the host output stream.
+//   5. commit: mode transitions take architectural effect (a Dnode
+//      entering local mode resets its counter), register files and
+//      output registers latch, local counters advance, every feedback
+//      pipeline latches its upstream layer's pre-edge output vector,
+//      switch host-out taps and Dnode hostEn results append to the
+//      host output stream.
+//
+// Cycle-plan cache: when the configuration (ConfigMemory generation +
+// local-control programs) was observed stable across one step boundary,
+// the Ring compiles it into a CyclePlan and executes subsequent cycles
+// from the plan — same architectural semantics, none of the per-cycle
+// re-interpretation.  Any configuration write invalidates the plan and
+// the next step falls back to the interpreter, so hardware multiplexing
+// (rewriting configware every cycle) never pays a recompile.  Set the
+// SRING_NO_PLAN_CACHE environment variable (any non-empty value, read
+// at Ring construction) or call set_plan_cache_enabled(false) to force
+// the interpreter; outputs and architectural statistics are bit-exact
+// either way, only the plan counters differ.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +48,7 @@
 #include <vector>
 
 #include "core/config_memory.hpp"
+#include "core/cycle_plan.hpp"
 #include "core/dnode.hpp"
 #include "core/feedback_pipeline.hpp"
 #include "core/switch.hpp"
@@ -66,6 +85,7 @@ class Ring {
   const FeedbackPipeline& pipeline(std::size_t sw) const;
 
   /// Write a local-control register of a Dnode (controller WRLOC path).
+  /// Invalidates the compiled cycle plan.
   void write_local(std::size_t dnode_index, std::size_t slot,
                    std::uint64_t value);
 
@@ -99,8 +119,9 @@ class Ring {
   const std::vector<std::uint64_t>& fb_reads_per_pipe() const noexcept {
     return fb_reads_per_pipe_;
   }
-  /// Feedback reads per pipeline by depth, stride 16: entry
-  /// [pipe * 16 + depth] counts reads of that pipe at that depth.
+  /// Feedback reads per pipeline by depth, stride geometry().fb_depth:
+  /// entry [pipe * fb_depth + depth] counts reads of that pipe at that
+  /// depth.
   const std::vector<std::uint64_t>& fb_read_depth_counts() const noexcept {
     return fb_read_depth_counts_;
   }
@@ -108,6 +129,25 @@ class Ring {
   /// Cycles in which more than one Dnode drove the shared bus (the
   /// highest Dnode index won; the others were lost drives).
   std::uint64_t bus_conflicts() const noexcept { return bus_conflicts_; }
+
+  // --- cycle-plan cache -----------------------------------------------
+  /// Cycle plans compiled since construction/reset.
+  std::uint64_t plan_compiles() const noexcept { return plan_compiles_; }
+  /// Cycles executed from an already-compiled plan.
+  std::uint64_t plan_hits() const noexcept { return plan_hits_; }
+  /// Compiled plans discarded because the configuration changed.
+  std::uint64_t plan_invalidations() const noexcept {
+    return plan_invalidations_;
+  }
+  bool plan_cache_enabled() const noexcept { return plan_enabled_; }
+  /// Enable/disable the cycle-plan cache at runtime (A/B comparisons).
+  /// Disabling drops any compiled plan without counting an
+  /// invalidation — it is a tooling action, not a configuration write.
+  void set_plan_cache_enabled(bool enabled) noexcept;
+  /// Bumped by every write_local(); part of the plan invalidation key.
+  std::uint64_t local_generation() const noexcept {
+    return local_generation_;
+  }
 
   // --- last-cycle views for event tracing ------------------------------
   // Valid immediately after a non-stalled step(); the System's event
@@ -123,6 +163,7 @@ class Ring {
   }
 
   /// Clear all architectural state (configuration memory is separate).
+  /// Also drops the compiled plan and zeroes the plan counters.
   void reset();
 
  private:
@@ -134,19 +175,49 @@ class Ring {
   /// Record one feedback read actually consumed by an instruction.
   void note_fb_read(const FeedbackAddr& addr);
 
+  /// Reference path: re-interpret ConfigMemory + local programs.
+  CycleResult step_interpreted(const ConfigMemory& cfg, Word bus,
+                               std::deque<Word>& host_in,
+                               std::vector<Word>& host_out);
+  /// Fast path: execute from the compiled plan (plan_ must be valid).
+  CycleResult step_planned(Word bus, std::deque<Word>& host_in,
+                           std::vector<Word>& host_out);
+  /// Clock-edge tail shared by both paths: capture pre-edge outputs,
+  /// commit every Dnode, latch the feedback pipelines.
+  void commit_edge();
+  /// Dnode hostEn pushes and bus drives (after commit_edge()).
+  void drain_effects(CycleResult& result, std::vector<Word>& host_out);
+
   RingGeometry geom_;
   std::vector<Dnode> dnodes_;              // [layer * lanes + lane]
   std::vector<FeedbackPipeline> pipes_;    // one per switch / layer
-  std::vector<DnodeMode> last_mode_;       // to reset local counters on entry
+  std::vector<DnodeMode> last_mode_;       // mode at last NON-stalled cycle
   std::vector<std::uint64_t> ops_per_dnode_;
   std::vector<std::uint64_t> mac_ops_per_dnode_;
   std::vector<std::uint64_t> local_cycles_per_dnode_;
   std::vector<std::uint64_t> global_cycles_per_dnode_;
   std::vector<std::uint64_t> host_out_words_per_switch_;
   std::vector<std::uint64_t> fb_reads_per_pipe_;
-  std::vector<std::uint64_t> fb_read_depth_counts_;  // [pipe * 16 + depth]
+  std::vector<std::uint64_t> fb_read_depth_counts_;  // [pipe*fb_depth+depth]
   std::uint64_t bus_drives_ = 0;
   std::uint64_t bus_conflicts_ = 0;
+
+  // Cycle-plan cache.  A plan is current while (cfg uid, cfg
+  // generation, local_generation_) match the values stamped into it;
+  // the last_cfg_* trackers implement the compile-on-stability
+  // heuristic (compile only after the same configuration was seen
+  // across one step boundary, so configware rewritten every cycle runs
+  // the interpreter with zero recompile overhead).
+  CyclePlan plan_;
+  bool plan_enabled_ = true;
+  bool mode_synced_ = false;     // planned path applied mode transitions
+  std::uint64_t local_generation_ = 0;
+  std::uint64_t last_cfg_uid_ = 0;  // 0: nothing seen (uids start at 1)
+  std::uint64_t last_cfg_gen_ = 0;
+  std::uint64_t last_local_gen_ = 0;
+  std::uint64_t plan_compiles_ = 0;
+  std::uint64_t plan_hits_ = 0;
+  std::uint64_t plan_invalidations_ = 0;
 
   // Per-cycle scratch (members to avoid per-step allocations).
   struct PortNeed {
@@ -159,6 +230,7 @@ class Ring {
   std::vector<PortNeed> needs_;
   std::vector<Dnode::Effects> effects_;
   std::vector<Word> pre_outs_;             // [layer * lanes + lane]
+  std::vector<std::uint8_t> local_slot_;   // planned path: slot per Dnode
 };
 
 }  // namespace sring

@@ -21,6 +21,13 @@ FeedbackAddr FeedbackAddr::decode(std::uint64_t packed) noexcept {
   return a;
 }
 
+void FeedbackAddr::check_in_range(std::size_t pipes, std::size_t lanes,
+                                  std::size_t fb_depth) const {
+  check(pipe < pipes, "Ring: feedback pipe out of range");
+  check(lane < lanes, "FeedbackPipeline::read: lane out of range");
+  check(depth < fb_depth, "FeedbackPipeline::read: depth out of range");
+}
+
 PortRoute PortRoute::prev(std::uint8_t lane) noexcept {
   PortRoute r;
   r.kind = RouteKind::kPrev;

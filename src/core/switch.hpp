@@ -46,6 +46,11 @@ struct FeedbackAddr {
 
   std::uint64_t encode() const noexcept;
   static FeedbackAddr decode(std::uint64_t packed) noexcept;
+
+  /// Throw SimError unless pipe/lane/depth fit the given ring instance
+  /// (the encoding allows addresses beyond a small ring's resources).
+  void check_in_range(std::size_t pipes, std::size_t lanes,
+                      std::size_t fb_depth) const;
 };
 
 /// Route of one Dnode input port.

@@ -118,6 +118,14 @@ bool op_uses_c(DnodeOp op) noexcept {
   }
 }
 
+bool instr_reads(const DnodeInstr& instr, DnodeSrc src) noexcept {
+  if (instr.op == DnodeOp::kNop) return false;
+  if (instr.src_a == src) return true;
+  if (op_uses_b(instr.op) && instr.src_b == src) return true;
+  if (op_uses_c(instr.op) && instr.src_c == src) return true;
+  return false;
+}
+
 std::string_view to_mnemonic(DnodeOp op) noexcept {
   return kOpNames[static_cast<std::size_t>(op)];
 }

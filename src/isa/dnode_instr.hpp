@@ -120,6 +120,10 @@ struct DnodeInstr {
 bool op_uses_b(DnodeOp op) noexcept;
 bool op_uses_c(DnodeOp op) noexcept;
 
+/// True if `instr` reads the given operand source anywhere (A, or B/C
+/// when the operation consumes them).  NOP reads nothing.
+bool instr_reads(const DnodeInstr& instr, DnodeSrc src) noexcept;
+
 /// Lower-case mnemonic ("mac"); stable, used by assembler and traces.
 std::string_view to_mnemonic(DnodeOp op) noexcept;
 std::string_view to_mnemonic(DnodeSrc src) noexcept;

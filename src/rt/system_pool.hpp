@@ -9,6 +9,13 @@
 // System::reset_for_rerun() path instead of reloading: the paper's
 // "preloaded configuration pages" argument, applied to the fleet.
 //
+// The Ring's decoded cycle-plan storage survives reset_for_rerun()
+// re-arms: the plan's capacity stays allocated and only its validity
+// key is cleared, so a rerun of the same program recompiles once into
+// warm buffers rather than reallocating.  Plan counters reset with
+// the rest of the statistics, keeping rerun reports bit-identical to
+// fresh-System reports.
+//
 // NOT thread-safe by design: every worker thread owns one pool, so
 // the job hot path takes no locks at all.
 #pragma once

@@ -24,6 +24,9 @@ std::string SystemStats::to_string() const {
   s += " bus_drives=" + std::to_string(bus_drives);
   s += " bus_conflicts=" + std::to_string(bus_conflicts);
   s += " route_changes=" + std::to_string(switch_route_changes);
+  s += " plan_compiles=" + std::to_string(plan_compiles);
+  s += " plan_hits=" + std::to_string(plan_hits);
+  s += " plan_invalidations=" + std::to_string(plan_invalidations);
   return s;
 }
 

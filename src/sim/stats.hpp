@@ -21,6 +21,9 @@ struct SystemStats {
   std::uint64_t bus_drives = 0;          ///< Dnode shared-bus drives
   std::uint64_t bus_conflicts = 0;       ///< cycles >1 Dnode drove the bus
   std::uint64_t switch_route_changes = 0;///< decoded route words changed
+  std::uint64_t plan_compiles = 0;       ///< cycle plans compiled
+  std::uint64_t plan_hits = 0;           ///< cycles served by a cached plan
+  std::uint64_t plan_invalidations = 0;  ///< plans dropped by config writes
 
   /// Fraction of Dnode issue slots used, given the Dnode count.
   double utilization(std::size_t dnode_count) const noexcept;

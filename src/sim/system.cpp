@@ -177,6 +177,9 @@ SystemStats System::stats() const {
   s.bus_drives = ring_.bus_drives();
   s.bus_conflicts = ring_.bus_conflicts();
   s.switch_route_changes = cfg_.route_changes_total();
+  s.plan_compiles = ring_.plan_compiles();
+  s.plan_hits = ring_.plan_hits();
+  s.plan_invalidations = ring_.plan_invalidations();
   return s;
 }
 
@@ -199,6 +202,10 @@ obs::Registry System::metrics() const {
 
   reg.counter("cfg.words_written").set(s.config_words_written);
   reg.counter("cfg.route_changes").set(s.switch_route_changes);
+
+  reg.counter("ring.plan.compiles").set(s.plan_compiles);
+  reg.counter("ring.plan.hits").set(s.plan_hits);
+  reg.counter("ring.plan.invalidations").set(s.plan_invalidations);
 
   reg.counter("host.words_in").set(s.host_words_in);
   reg.counter("host.words_out").set(s.host_words_out);
@@ -235,8 +242,9 @@ obs::Registry System::metrics() const {
   const auto& host_out = ring_.host_out_words_per_switch();
   const auto& fb_reads = ring_.fb_reads_per_pipe();
   const auto& fb_depths = ring_.fb_read_depth_counts();
-  std::vector<std::uint64_t> depth_bounds(16);
-  for (std::size_t d = 0; d < 16; ++d) depth_bounds[d] = d;
+  const std::size_t fb_depth = geom_.fb_depth;
+  std::vector<std::uint64_t> depth_bounds(fb_depth);
+  for (std::size_t d = 0; d < fb_depth; ++d) depth_bounds[d] = d;
   for (std::size_t sw = 0; sw < geom_.switch_count(); ++sw) {
     const auto set = [&](const char* leaf, std::uint64_t v) {
       std::snprintf(name, sizeof(name), "switch.%zu.%s", sw, leaf);
@@ -248,11 +256,12 @@ obs::Registry System::metrics() const {
     set("fb_occupancy", ring_.pipeline(sw).occupancy());
     std::snprintf(name, sizeof(name), "switch.%zu.fb_read_depth", sw);
     reg.put_histogram(
-        name, obs::Histogram::from_counts(
-                  depth_bounds,
-                  {fb_depths.begin() + static_cast<std::ptrdiff_t>(sw * 16),
-                   fb_depths.begin() +
-                       static_cast<std::ptrdiff_t>(sw * 16 + 16)}));
+        name,
+        obs::Histogram::from_counts(
+            depth_bounds,
+            {fb_depths.begin() + static_cast<std::ptrdiff_t>(sw * fb_depth),
+             fb_depths.begin() +
+                 static_cast<std::ptrdiff_t>((sw + 1) * fb_depth)}));
   }
   return reg;
 }

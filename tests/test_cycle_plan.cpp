@@ -1,0 +1,284 @@
+// The Ring's decoded cycle-plan cache: bit-exactness against the
+// interpreter (steady-state kernels, hardware multiplexing, stalls),
+// invalidation via the generation counters, stall semantics on the
+// planned path, and the plan observability counters.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <deque>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/ring.hpp"
+#include "kernels/fir_kernel.hpp"
+#include "kernels/mac_kernel.hpp"
+#include "sim/system.hpp"
+
+namespace sring {
+namespace {
+
+std::vector<Word> signal(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<Word> x(n);
+  for (auto& w : x) w = rng.next_word_in(-100, 100);
+  return x;
+}
+
+/// Statistics with the plan counters blanked: everything here must be
+/// identical between the planned and the interpreted execution.
+SystemStats arch_only(SystemStats s) {
+  s.plan_compiles = 0;
+  s.plan_hits = 0;
+  s.plan_invalidations = 0;
+  return s;
+}
+
+/// Scoped SRING_NO_PLAN_CACHE for kernels that construct their System
+/// internally.  Tests are single-threaded; setenv here is safe.
+struct ScopedNoPlanEnv {
+  ScopedNoPlanEnv() { setenv("SRING_NO_PLAN_CACHE", "1", 1); }
+  ~ScopedNoPlanEnv() { unsetenv("SRING_NO_PLAN_CACHE"); }
+};
+
+DnodeInstr pass_out(DnodeSrc src) {
+  DnodeInstr i;
+  i.op = DnodeOp::kPass;
+  i.src_a = src;
+  i.out_en = true;
+  return i;
+}
+
+TEST(CyclePlan, EnvVarDisablesCache) {
+  {
+    ScopedNoPlanEnv no_plan;
+    Ring ring({2, 1, 4});
+    EXPECT_FALSE(ring.plan_cache_enabled());
+  }
+  Ring ring({2, 1, 4});
+  EXPECT_TRUE(ring.plan_cache_enabled());
+}
+
+TEST(CyclePlan, RunningMacBitExactAndServedFromPlan) {
+  const RingGeometry g{4, 2, 8};
+  const std::vector<Word> a = signal(1, 200);
+  const std::vector<Word> b = signal(2, 200);
+  const LoadableProgram program = kernels::make_running_mac_program(g);
+
+  std::vector<Word> outs[2];
+  SystemStats stats[2];
+  std::uint64_t hits = 0;
+  for (const bool planned : {false, true}) {
+    System sys({g});
+    sys.ring().set_plan_cache_enabled(planned);
+    sys.load(program);
+    std::vector<Word> interleaved;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      interleaved.push_back(a[i]);
+      interleaved.push_back(b[i]);
+    }
+    sys.host().send(interleaved);
+    sys.run_until_outputs(a.size(), 64 + 16 * a.size());
+    outs[planned] = sys.host().take_received();
+    stats[planned] = sys.stats();
+    if (planned) hits = sys.ring().plan_hits();
+  }
+  EXPECT_EQ(outs[0], outs[1]);
+  EXPECT_EQ(arch_only(stats[0]).to_string(), arch_only(stats[1]).to_string());
+  EXPECT_EQ(stats[0].plan_hits, 0u);
+  EXPECT_EQ(stats[1].plan_compiles, 1u)
+      << "steady-state local-mode kernel compiles exactly once";
+  EXPECT_GE(hits + 4, a.size()) << "the MAC loop must run from the plan";
+}
+
+TEST(CyclePlan, SpatialFirBitExactViaEnvironmentSwitch) {
+  const RingGeometry g{6, 2, 16};
+  const std::vector<Word> x = signal(3, 160);
+  const std::vector<Word> coeffs{5, static_cast<Word>(-3), 2, 1};
+
+  const kernels::FirResult planned = kernels::run_spatial_fir(g, x, coeffs);
+  ScopedNoPlanEnv no_plan;
+  const kernels::FirResult interp = kernels::run_spatial_fir(g, x, coeffs);
+
+  EXPECT_EQ(planned.outputs, interp.outputs);
+  EXPECT_EQ(arch_only(planned.stats).to_string(),
+            arch_only(interp.stats).to_string());
+  EXPECT_GT(planned.stats.plan_hits, 0u);
+  EXPECT_EQ(interp.stats.plan_hits, 0u);
+  EXPECT_EQ(interp.stats.plan_compiles, 0u);
+}
+
+TEST(CyclePlan, HardwareMultiplexingBitExactWithoutRecompileThrash) {
+  // The paged and word-by-word serial FIRs rewrite configware every
+  // cycle (or nearly so) — the plan cache must neither change results
+  // nor recompile on every rewrite.
+  const RingGeometry g{6, 2, 16};
+  const std::vector<Word> x = signal(4, 48);
+  const std::vector<Word> coeffs{2, static_cast<Word>(-1), 3};
+
+  const kernels::FirResult paged = kernels::run_paged_serial_fir(g, x, coeffs);
+  const kernels::FirResult wordwise =
+      kernels::run_wordwise_serial_fir(g, x, coeffs);
+  {
+    ScopedNoPlanEnv no_plan;
+    const kernels::FirResult paged_i =
+        kernels::run_paged_serial_fir(g, x, coeffs);
+    const kernels::FirResult wordwise_i =
+        kernels::run_wordwise_serial_fir(g, x, coeffs);
+    EXPECT_EQ(paged.outputs, paged_i.outputs);
+    EXPECT_EQ(wordwise.outputs, wordwise_i.outputs);
+    EXPECT_EQ(arch_only(paged.stats).to_string(),
+              arch_only(paged_i.stats).to_string());
+    EXPECT_EQ(arch_only(wordwise.stats).to_string(),
+              arch_only(wordwise_i.stats).to_string());
+  }
+  // Config-in-flux cycles run the interpreter directly: recompiles are
+  // bounded by the stable stretches, never one per rewritten cycle.
+  EXPECT_LT(paged.stats.plan_compiles, paged.stats.cycles / 4);
+  EXPECT_LT(wordwise.stats.plan_compiles, wordwise.stats.cycles / 4);
+}
+
+TEST(CyclePlan, LimitedLinkStallsBitExact) {
+  // A starved host link makes the ring stall mid-run; the planned and
+  // interpreted executions must agree on outputs AND on the exact
+  // stall pattern, and the stalls must not corrupt the stream vs an
+  // unstalled run.
+  const RingGeometry g{6, 2, 16};
+  const std::vector<Word> x = signal(5, 96);
+  const std::vector<Word> coeffs{1, 4, static_cast<Word>(-2)};
+  const LinkRate starved{1, 2};  // one word every two cycles
+
+  const kernels::FirResult planned =
+      kernels::run_spatial_fir(g, x, coeffs, starved);
+  const kernels::FirResult smooth = kernels::run_spatial_fir(g, x, coeffs);
+  ScopedNoPlanEnv no_plan;
+  const kernels::FirResult interp =
+      kernels::run_spatial_fir(g, x, coeffs, starved);
+
+  ASSERT_GT(planned.stats.ring_stall_cycles, 0u) << "link must starve";
+  EXPECT_EQ(planned.outputs, interp.outputs);
+  EXPECT_EQ(arch_only(planned.stats).to_string(),
+            arch_only(interp.stats).to_string());
+  EXPECT_EQ(planned.outputs, smooth.outputs)
+      << "stalled and unstalled runs must produce the same stream";
+}
+
+TEST(CyclePlan, CountersTrackCompileHitInvalidate) {
+  ConfigMemory cfg({2, 1, 4});
+  Ring ring({2, 1, 4});
+  std::deque<Word> in;
+  std::vector<Word> out;
+  cfg.write_dnode_instr(0, pass_out(DnodeSrc::kImm).encode());
+
+  ring.step(cfg, 0, in, out);  // first sight: interpreter
+  EXPECT_EQ(ring.plan_compiles(), 0u);
+  ring.step(cfg, 0, in, out);  // stable: compile + run planned
+  EXPECT_EQ(ring.plan_compiles(), 1u);
+  EXPECT_EQ(ring.plan_hits(), 0u);
+  ring.step(cfg, 0, in, out);  // served by the cached plan
+  ring.step(cfg, 0, in, out);
+  EXPECT_EQ(ring.plan_hits(), 2u);
+  EXPECT_EQ(ring.plan_invalidations(), 0u);
+
+  // A configuration write invalidates; the write-cycle interprets and
+  // the plan recompiles one stable step later.
+  cfg.write_dnode_instr(0, pass_out(DnodeSrc::kZero).encode());
+  ring.step(cfg, 0, in, out);
+  EXPECT_EQ(ring.plan_invalidations(), 1u);
+  EXPECT_EQ(ring.plan_compiles(), 1u);
+  ring.step(cfg, 0, in, out);
+  EXPECT_EQ(ring.plan_compiles(), 2u);
+
+  // A local-control write also invalidates (WRLOC path).
+  ring.step(cfg, 0, in, out);
+  ring.write_local(0, 0, pass_out(DnodeSrc::kImm).encode());
+  ring.step(cfg, 0, in, out);
+  EXPECT_EQ(ring.plan_invalidations(), 2u);
+
+  // reset() zeroes the counters and drops the plan.
+  ring.reset();
+  EXPECT_EQ(ring.plan_compiles(), 0u);
+  EXPECT_EQ(ring.plan_hits(), 0u);
+  EXPECT_EQ(ring.plan_invalidations(), 0u);
+}
+
+TEST(CyclePlan, PlannedModeEntryUnderStallCommitsOnce) {
+  // A Dnode entering local mode while the ring stalls: the plan path
+  // must fetch slot 0 without touching the counter until a cycle
+  // actually advances.
+  ConfigMemory cfg({1, 1, 4});
+  Ring ring({1, 1, 4});
+  std::deque<Word> in;
+  std::vector<Word> out;
+
+  DnodeInstr eat = pass_out(DnodeSrc::kHost);  // slot 0: pops one word
+  DnodeInstr emit = pass_out(DnodeSrc::kImm);  // slot 1: no host data
+  emit.imm = 20;
+  ring.write_local(0, 0, eat.encode());
+  ring.write_local(0, 1, emit.encode());
+  ring.write_local(0, LocalControl::kLimitSlot, 1);
+  cfg.write_dnode_mode(0, DnodeMode::kLocal);
+
+  EXPECT_TRUE(ring.step(cfg, 0, in, out).stalled);  // interpreter
+  EXPECT_TRUE(ring.step(cfg, 0, in, out).stalled);  // compiles, planned
+  EXPECT_TRUE(ring.step(cfg, 0, in, out).stalled);  // plan hit
+  EXPECT_EQ(ring.plan_compiles(), 1u);
+  EXPECT_EQ(ring.dnode(0, 0).local().counter(), 0u)
+      << "stalled entry cycles must not advance the local program";
+
+  in.push_back(7);
+  EXPECT_FALSE(ring.step(cfg, 0, in, out).stalled);
+  EXPECT_EQ(ring.dnode(0, 0).out(), 7u) << "slot 0 runs on the retry";
+  EXPECT_EQ(ring.dnode(0, 0).local().counter(), 1u);
+  EXPECT_FALSE(ring.step(cfg, 0, in, out).stalled);  // slot 1, no pop
+  EXPECT_EQ(ring.dnode(0, 0).out(), 20u);
+}
+
+TEST(CyclePlan, CompileRejectsWhatTheInterpreterRejects) {
+  // An out-of-geometry feedback route in local slot 1 (limit 1): both
+  // paths must throw from step() on the cycle that reaches it.
+  for (const bool planned : {false, true}) {
+    ConfigMemory cfg({2, 1, 4});
+    Ring ring({2, 1, 4});
+    ring.set_plan_cache_enabled(planned);
+    std::deque<Word> in;
+    std::vector<Word> out;
+
+    SwitchRoute bad;
+    bad.fifo1 = {7, 0, 0};  // pipe 7 does not exist in 2 layers
+    cfg.write_switch_route(0, 0, bad.encode());
+    // Slot 0 stays NOP (routes unchecked for NOP on both paths);
+    // slot 1 is the first instruction that samples the bad route.
+    ring.write_local(0, 1, pass_out(DnodeSrc::kFifo1).encode());
+    ring.write_local(0, LocalControl::kLimitSlot, 1);
+    cfg.write_dnode_mode(0, DnodeMode::kLocal);
+
+    EXPECT_NO_THROW(ring.step(cfg, 0, in, out));  // slot 0 is a NOP
+    // Interpreter: slot 1 executes and trips the range check.  Plan:
+    // the compile on this same step validates the whole program.
+    EXPECT_THROW(ring.step(cfg, 0, in, out), SimError);
+  }
+}
+
+TEST(CyclePlan, FbReadDepthCountsSizedByGeometry) {
+  // The per-depth feedback histogram is sized by fb_depth, not a
+  // hard-coded 16-deep stride.
+  ConfigMemory cfg({2, 1, 8});
+  Ring ring({2, 1, 8});
+  std::deque<Word> in;
+  std::vector<Word> out;
+  ASSERT_EQ(ring.fb_read_depth_counts().size(), 2u * 8u);
+
+  SwitchRoute r;
+  r.fifo1 = {1, 0, 5};
+  cfg.write_switch_route(0, 0, r.encode());
+  cfg.write_dnode_instr(0, pass_out(DnodeSrc::kFifo1).encode());
+  for (int c = 0; c < 6; ++c) ring.step(cfg, 0, in, out);
+
+  EXPECT_EQ(ring.fb_read_depth_counts()[1 * 8 + 5], 6u);
+  EXPECT_EQ(ring.fb_reads_per_pipe()[1], 6u);
+  EXPECT_GT(ring.plan_hits(), 0u) << "reads must also count on the plan path";
+}
+
+}  // namespace
+}  // namespace sring

@@ -269,6 +269,131 @@ TEST(Ring, LocalCounterResetsOnModeEntry) {
       << "re-entering local mode must restart the program at slot 0";
 }
 
+TEST(Ring, StalledCycleDoesNotCommitModeTransition) {
+  // local -> global where every global-mode cycle stalls -> local:
+  // no global cycle ever advanced, so the local program must CONTINUE
+  // where it left off, not restart at slot 0.  (Regression: the fetch
+  // phase used to update the mode tracking before the stall check, so
+  // the stalled global cycles "committed" the transition and re-entry
+  // spuriously restarted the program.)
+  Harness h({1, 1, 4});
+  DnodeInstr a = pass_out(DnodeSrc::kImm);
+  a.imm = 10;
+  DnodeInstr b = pass_out(DnodeSrc::kImm);
+  b.imm = 20;
+  h.ring.write_local(0, 0, a.encode());
+  h.ring.write_local(0, 1, b.encode());
+  h.ring.write_local(0, LocalControl::kLimitSlot, 1);
+  h.cfg.write_dnode_mode(0, DnodeMode::kLocal);
+  h.step();  // slot 0 -> 10; counter now 1
+  EXPECT_EQ(h.ring.dnode(0, 0).out(), 10u);
+
+  // Global instruction needs a host word that never arrives.
+  h.cfg.write_dnode_instr(0, pass_out(DnodeSrc::kHost).encode());
+  h.cfg.write_dnode_mode(0, DnodeMode::kGlobal);
+  EXPECT_TRUE(h.step().stalled);
+  EXPECT_TRUE(h.step().stalled);
+  EXPECT_EQ(h.ring.dnode(0, 0).local().counter(), 1u)
+      << "stalled cycles must not touch the local counter";
+
+  h.cfg.write_dnode_mode(0, DnodeMode::kLocal);
+  h.step();
+  EXPECT_EQ(h.ring.dnode(0, 0).out(), 20u)
+      << "no global cycle committed: the program continues at slot 1";
+}
+
+TEST(Ring, ModeEntryStallKeepsLocalCounterUntouched) {
+  // Entering local mode on a cycle that stalls: the counter reset
+  // belongs to the commit phase, so the stalled cycles leave it alone
+  // and the retry still starts the program at slot 0.
+  Harness h({1, 1, 4});
+  DnodeInstr eat = pass_out(DnodeSrc::kHost);
+  DnodeInstr emit = pass_out(DnodeSrc::kImm);
+  emit.imm = 20;
+  h.ring.write_local(0, 0, eat.encode());
+  h.ring.write_local(0, 1, emit.encode());
+  h.ring.write_local(0, LocalControl::kLimitSlot, 1);
+
+  // Advance the counter to 1 with a committed local cycle, then run a
+  // committed global NOP cycle (counter keeps its value).
+  h.cfg.write_dnode_mode(0, DnodeMode::kLocal);
+  h.in.push_back(1);
+  ASSERT_FALSE(h.step().stalled);
+  h.cfg.write_dnode_mode(0, DnodeMode::kGlobal);
+  ASSERT_FALSE(h.step().stalled);
+  ASSERT_EQ(h.ring.dnode(0, 0).local().counter(), 1u);
+
+  // Re-entry fetches slot 0, which pops -- and the FIFO is empty.
+  h.cfg.write_dnode_mode(0, DnodeMode::kLocal);
+  EXPECT_TRUE(h.step().stalled);
+  EXPECT_EQ(h.ring.dnode(0, 0).local().counter(), 1u)
+      << "the entry reset must not happen on a stalled cycle";
+  h.in.push_back(9);
+  EXPECT_FALSE(h.step().stalled);
+  EXPECT_EQ(h.ring.dnode(0, 0).out(), 9u) << "retry runs slot 0";
+  h.step();
+  EXPECT_EQ(h.ring.dnode(0, 0).out(), 20u) << "then slot 1";
+}
+
+TEST(Ring, StallLeavesStatisticsUntouched) {
+  // A stalled cycle is a pure retry: every instrumentation counter
+  // must read exactly as before the attempt.
+  Harness h({2, 2, 4});
+  SwitchRoute r00;  // dnode(0,0): host operand + a consumed fb read
+  r00.in1 = PortRoute::host();
+  r00.fifo1 = {1, 0, 2};
+  h.cfg.write_switch_route(0, 0, r00.encode());
+  DnodeInstr add;
+  add.op = DnodeOp::kAdd;
+  add.src_a = DnodeSrc::kIn1;
+  add.src_b = DnodeSrc::kFifo1;
+  add.out_en = true;
+  add.host_en = true;
+  add.bus_en = true;
+  h.cfg.write_dnode_instr(0, add.encode());
+  SwitchRoute tap;  // switch 1 lane 0 forwards to the host
+  tap.host_out_en = true;
+  h.cfg.write_switch_route(1, 0, tap.encode());
+  DnodeInstr local10 = pass_out(DnodeSrc::kImm);
+  local10.imm = 10;
+  h.ring.write_local(1, 0, local10.encode());
+  h.cfg.write_dnode_mode(1, DnodeMode::kLocal);
+
+  h.in.push_back(3);
+  ASSERT_FALSE(h.step().stalled);  // one committed cycle seeds stats
+
+  const auto ops = h.ring.ops_per_dnode();
+  const auto local_cycles = h.ring.local_cycles_per_dnode();
+  const auto global_cycles = h.ring.global_cycles_per_dnode();
+  const auto fb_reads = h.ring.fb_reads_per_pipe();
+  const auto fb_depths = h.ring.fb_read_depth_counts();
+  const auto host_out_words = h.ring.host_out_words_per_switch();
+  const auto bus_drives = h.ring.bus_drives();
+  const auto pipe_pushes = h.ring.pipeline(0).pushes();
+  const auto out_words = h.out.size();
+  const auto counter = h.ring.dnode(1, 0).local().counter();
+
+  for (int c = 0; c < 3; ++c) {  // FIFO empty: every attempt stalls
+    const auto res = h.step();
+    ASSERT_TRUE(res.stalled);
+    EXPECT_EQ(res.ops, 0u);
+    EXPECT_EQ(res.host_words_in, 0u);
+    EXPECT_EQ(res.host_words_out, 0u);
+    EXPECT_FALSE(res.bus_drive.has_value());
+  }
+
+  EXPECT_EQ(h.ring.ops_per_dnode(), ops);
+  EXPECT_EQ(h.ring.local_cycles_per_dnode(), local_cycles);
+  EXPECT_EQ(h.ring.global_cycles_per_dnode(), global_cycles);
+  EXPECT_EQ(h.ring.fb_reads_per_pipe(), fb_reads);
+  EXPECT_EQ(h.ring.fb_read_depth_counts(), fb_depths);
+  EXPECT_EQ(h.ring.host_out_words_per_switch(), host_out_words);
+  EXPECT_EQ(h.ring.bus_drives(), bus_drives);
+  EXPECT_EQ(h.ring.pipeline(0).pushes(), pipe_pushes);
+  EXPECT_EQ(h.out.size(), out_words);
+  EXPECT_EQ(h.ring.dnode(1, 0).local().counter(), counter);
+}
+
 TEST(Ring, CountsOpsAndUtilization) {
   Harness h({2, 1, 4});
   h.cfg.write_dnode_instr(0, pass_out(DnodeSrc::kImm).encode());

@@ -161,6 +161,42 @@ TEST(RtDeterminism, ResetForRerunMatchesFreshLoad) {
             first_report);
 }
 
+TEST(RtDeterminism, RerunUnderLinkStallsReproducesStallPattern) {
+  // A starved host link forces mid-run ring stalls.  Stalled cycles
+  // must advance nothing, so a rerun on the same System — and a fresh
+  // System — reproduce the exact stall count and the full report.
+  const std::vector<Word> coeffs{2, static_cast<Word>(-1), 4};
+  const std::vector<Word> x = signal(90, 64);
+  const Job job = kernels::make_spatial_fir_job(kGeom, x, coeffs);
+  const LinkRate starved{1, 2};  // one word every two cycles
+
+  System reused({kGeom, starved});
+  reused.load(*job.program);
+  reused.host().send(job.input);
+  reused.run_until_outputs(job.expected_outputs, job.max_cycles);
+  const SystemStats first = reused.stats();
+  ASSERT_GT(first.ring_stall_cycles, 0u) << "link must actually starve";
+  const std::string first_report =
+      RunReport::from_system("run", reused).to_json().dump();
+  const std::vector<Word> first_out = reused.host().take_received();
+
+  reused.reset_for_rerun(*job.program);
+  reused.host().send(job.input);
+  reused.run_until_outputs(job.expected_outputs, job.max_cycles);
+  EXPECT_EQ(reused.stats().ring_stall_cycles, first.ring_stall_cycles);
+  EXPECT_EQ(reused.host().take_received(), first_out);
+  EXPECT_EQ(RunReport::from_system("run", reused).to_json().dump(),
+            first_report);
+
+  System fresh({kGeom, starved});
+  fresh.load(*job.program);
+  fresh.host().send(job.input);
+  fresh.run_until_outputs(job.expected_outputs, job.max_cycles);
+  EXPECT_EQ(fresh.stats().ring_stall_cycles, first.ring_stall_cycles);
+  EXPECT_EQ(RunReport::from_system("run", fresh).to_json().dump(),
+            first_report);
+}
+
 TEST(RtDeterminism, WrongProgramForRerunIsRejected) {
   const std::vector<Word> coeffs{1, 2};
   const Job fir = kernels::make_spatial_fir_job(kGeom, signal(80, 32), coeffs);
