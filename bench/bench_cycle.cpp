@@ -176,7 +176,8 @@ int main(int argc, char** argv) {
 
     RunReport report;
     report.name = "bench_cycle";
-    report.extra("samples", std::uint64_t{samples})
+    report.extra("schema_version", std::uint64_t{1})
+        .extra("samples", std::uint64_t{samples})
         .extra("reps", std::uint64_t{reps})
         .extra("outputs_bit_identical", true);
     obs::JsonValue kernels_json = obs::JsonValue::array();

@@ -1,0 +1,244 @@
+// bench_serve — loopback load bench of the remote job-serving stack.
+//
+// Starts an in-process net::Server on an ephemeral loopback port,
+// drives it from C concurrent client threads submitting a
+// deterministic mixed kernel batch, and reports per-request latency
+// (p50/p99/mean) plus jobs/s.  Every remote output is compared word
+// for word against a local rt::Runtime run of the identical jobs — a
+// latency number only counts if the serving stack stayed bit-exact.
+//
+// Usage:
+//   bench_serve [--jobs N] [--clients C] [--workers W] [--queue Q]
+//               [--mix fir|me|dwt|matvec|mixed] [--json <path>]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/image.hpp"
+#include "common/rng.hpp"
+#include "dsp/matvec.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "obs/cli.hpp"
+#include "rt/runtime.hpp"
+#include "sim/report.hpp"
+
+namespace {
+
+using namespace sring;
+
+constexpr RingGeometry kGeom{8, 2, 16};
+
+/// Deterministic request batch: request i depends only on (mix, i), so
+/// reruns and the local reference build the exact same work.
+std::vector<net::JobRequest> build_requests(const std::string& mix,
+                                            std::size_t count) {
+  std::vector<Word> dct_flat;
+  for (const auto& row : dsp::dct8_matrix_q7()) {
+    dct_flat.insert(dct_flat.end(), row.begin(), row.end());
+  }
+
+  std::vector<net::JobRequest> reqs;
+  reqs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng rng(0x5E7Eull + i);
+    std::string kind = mix;
+    if (mix == "mixed") {
+      static const char* kinds[] = {"fir", "me", "dwt", "matvec"};
+      kind = kinds[i % 4];
+    }
+    net::JobRequest req;
+    req.geometry = kGeom;
+    if (kind == "fir") {
+      req.kernel = net::KernelId::kFir;
+      req.fir_coeffs = {1, static_cast<Word>(-2), 3, 4};
+      req.input.resize(256);
+      for (auto& w : req.input) w = rng.next_word_in(-128, 127);
+    } else if (kind == "me") {
+      req.kernel = net::KernelId::kMotionEstimation;
+      req.me_ref = Image::synthetic(16, 16, 31 + i);
+      req.me_cand = Image::shifted(req.me_ref, 1, -1, 57 + i, 2);
+      req.me_rx = 4;
+      req.me_ry = 4;
+      req.me_range = 2;
+    } else if (kind == "dwt") {
+      req.kernel = net::KernelId::kDwt53;
+      req.input.resize(256);
+      for (auto& w : req.input) w = rng.next_word_in(-128, 127);
+    } else if (kind == "matvec") {
+      req.kernel = net::KernelId::kMatvec8;
+      req.matvec_m = dct_flat;
+      req.input.resize(64);
+      for (auto& w : req.input) w = rng.next_word_in(-64, 63);
+    } else {
+      throw SimError("bench_serve: unknown mix '" + mix + "'");
+    }
+    reqs.push_back(std::move(req));
+  }
+  return reqs;
+}
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sring;
+  try {
+    const std::string json_path =
+        obs::extract_option(argc, argv, "--json").value_or("");
+    const std::string mix =
+        obs::extract_option(argc, argv, "--mix").value_or("mixed");
+    const std::size_t jobs = std::strtoul(
+        obs::extract_option(argc, argv, "--jobs").value_or("96").c_str(),
+        nullptr, 10);
+    const std::size_t clients = std::strtoul(
+        obs::extract_option(argc, argv, "--clients").value_or("2").c_str(),
+        nullptr, 10);
+    const std::size_t workers = std::strtoul(
+        obs::extract_option(argc, argv, "--workers").value_or("2").c_str(),
+        nullptr, 10);
+    const std::size_t queue = std::strtoul(
+        obs::extract_option(argc, argv, "--queue").value_or("64").c_str(),
+        nullptr, 10);
+    check(jobs >= 1 && clients >= 1 && workers >= 1 && queue >= 1,
+          "bench_serve: --jobs/--clients/--workers/--queue must be >= 1");
+
+    std::printf("bench_serve: mix=%s jobs=%zu clients=%zu workers=%zu "
+                "queue=%zu\n",
+                mix.c_str(), jobs, clients, workers, queue);
+
+    const std::vector<net::JobRequest> reqs = build_requests(mix, jobs);
+
+    // Local reference: the same jobs straight through rt::Runtime.
+    std::vector<std::vector<Word>> expected;
+    expected.reserve(jobs);
+    {
+      rt::RuntimeConfig lcfg;
+      lcfg.workers = workers;
+      lcfg.queue_capacity = queue;
+      rt::Runtime local(lcfg);
+      std::vector<rt::Job> local_jobs;
+      local_jobs.reserve(jobs);
+      for (const auto& req : reqs) local_jobs.push_back(net::to_rt_job(req));
+      for (auto& r : local.submit_batch(std::move(local_jobs))) {
+        check(r.ok, "bench_serve: local reference job failed: " + r.error);
+        expected.push_back(std::move(r.outputs));
+      }
+    }
+
+    net::ServerConfig scfg;
+    scfg.runtime.workers = workers;
+    scfg.runtime.queue_capacity = queue;
+    net::Server server(scfg);
+    const std::uint16_t port = server.port();
+    std::thread server_thread([&server] { server.run(); });
+
+    std::vector<double> latencies_us(jobs, 0.0);
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> client_threads;
+    client_threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      client_threads.emplace_back([&] {
+        net::ClientConfig ccfg;
+        ccfg.port = port;
+        ccfg.busy_retries = 64;  // loaded loopback: spin, don't shed
+        net::Client client(ccfg);
+        while (true) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= jobs || failed.load()) break;
+          const auto s0 = std::chrono::steady_clock::now();
+          const net::RemoteResult r = client.submit(reqs[i]);
+          const auto s1 = std::chrono::steady_clock::now();
+          latencies_us[i] =
+              std::chrono::duration<double, std::micro>(s1 - s0).count();
+          if (!r.ok || r.outputs != expected[i]) {
+            failed.store(true);
+            std::fprintf(stderr,
+                         "bench_serve: job %zu %s\n", i,
+                         !r.ok ? (r.busy ? "shed as busy"
+                                         : ("failed: " + r.error).c_str())
+                               : "DIVERGED from local execution");
+            break;
+          }
+        }
+      });
+    }
+    for (auto& t : client_threads) t.join();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    const obs::Registry m = server.metrics();
+    server.request_drain();
+    server_thread.join();
+
+    check(!failed.load(),
+          "bench_serve: remote execution diverged or failed");
+
+    std::vector<double> sorted = latencies_us;
+    std::sort(sorted.begin(), sorted.end());
+    const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+    const double jobs_per_s = static_cast<double>(jobs) / wall_s;
+    double mean = 0.0;
+    for (const double v : sorted) mean += v;
+    mean /= static_cast<double>(sorted.size());
+    const double p50 = percentile(sorted, 0.50);
+    const double p99 = percentile(sorted, 0.99);
+
+    const auto counter = [&m](const char* name) {
+      const auto* c = m.find_counter(name);
+      return c != nullptr ? c->value() : 0;
+    };
+
+    std::printf(
+        "  %zu jobs in %.3fs: %8.1f jobs/s, latency p50 %.0f us / p99 "
+        "%.0f us / mean %.0f us (busy-rejects %llu, %llu bytes in / "
+        "%llu out)\n  outputs bit-identical to local rt::Runtime "
+        "execution\n",
+        jobs, wall_s, jobs_per_s, p50, p99, mean,
+        static_cast<unsigned long long>(counter("net.rejects.busy")),
+        static_cast<unsigned long long>(counter("net.bytes.in")),
+        static_cast<unsigned long long>(counter("net.bytes.out")));
+
+    RunReport report;
+    report.name = "bench_serve";
+    report.extra("schema_version", std::uint64_t{1})
+        .extra("mix", mix)
+        .extra("jobs", std::uint64_t{jobs})
+        .extra("clients", std::uint64_t{clients})
+        .extra("workers", std::uint64_t{workers})
+        .extra("queue_capacity", std::uint64_t{queue})
+        .extra("host_cores",
+               std::uint64_t{std::thread::hardware_concurrency()})
+        .extra("seconds", wall_s)
+        .extra("jobs_per_s", jobs_per_s)
+        .extra("latency_p50_us", p50)
+        .extra("latency_p99_us", p99)
+        .extra("latency_mean_us", mean)
+        .extra("busy_rejects", counter("net.rejects.busy"))
+        .extra("frames_in", counter("net.frames.in"))
+        .extra("bytes_in", counter("net.bytes.in"))
+        .extra("bytes_out", counter("net.bytes.out"))
+        .extra("outputs_bit_identical", true);
+    maybe_write_run_report(report, json_path);
+    return 0;
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "bench_serve: %s\n", e.what());
+    return 1;
+  }
+}

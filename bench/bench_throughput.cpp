@@ -220,7 +220,8 @@ int main(int argc, char** argv) {
 
     RunReport report;
     report.name = "bench_throughput";
-    report.extra("mix", mix)
+    report.extra("schema_version", std::uint64_t{1})
+        .extra("mix", mix)
         .extra("batch", std::uint64_t{batch})
         .extra("queue_capacity", std::uint64_t{queue_cap})
         .extra("host_cores",

@@ -19,6 +19,17 @@
 //   --batch <n>                             run the program n times
 //                                           across the fleet; outputs
 //                                           must stay bit-identical
+//
+// Serving subcommands (src/net/ remote job-serving subsystem):
+//   sras serve [--host H] [--port N] [--workers N] [--queue N]
+//              [--port-file P] [--report-json P]
+//       run a job server until SIGTERM / a client Drain; exits 0 on a
+//       clean drain and writes the net+rt metrics report.
+//   sras remote [--host H] [--port N] [--kernel all|fir|me|dwt|matvec]
+//               [--count N] [--info] [--ping] [--drain]
+//       submit deterministic kernel jobs and verify the remote outputs
+//       bit-exact against local rt::Runtime execution.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -26,11 +37,16 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "asm/assembler.hpp"
 #include "asm/disassembler.hpp"
 #include "asm/object_file.hpp"
 #include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dsp/matvec.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "obs/cli.hpp"
 #include "obs/sinks.hpp"
 #include "rt/runtime.hpp"
@@ -47,8 +63,222 @@ int usage() {
                "  sras -r <object.srgo> [max_cycles]\n"
                "        [--trace-format=<text|jsonl|chrome>]\n"
                "        [--trace-out <path>] [--report-json <path>]\n"
-               "        [--workers <n>] [--batch <n>]\n");
+               "        [--workers <n>] [--batch <n>]\n"
+               "  sras serve [--host H] [--port N] [--workers N]\n"
+               "        [--queue N] [--port-file P] [--report-json P]\n"
+               "  sras remote [--host H] [--port N]\n"
+               "        [--kernel all|fir|me|dwt|matvec] [--count N]\n"
+               "        [--info] [--ping] [--drain] [--report-json P]\n");
   return 2;
+}
+
+std::size_t opt_size(int& argc, char** argv, const char* name,
+                     std::size_t fallback) {
+  const auto v = sring::obs::extract_option(argc, argv, name);
+  return v ? std::strtoul(v->c_str(), nullptr, 10) : fallback;
+}
+
+/// Deterministic JobRequests for `sras remote` — same seeding scheme
+/// as bench_serve, so remote-vs-local comparison is reproducible.
+std::vector<sring::net::JobRequest> build_remote_requests(
+    const std::string& kernel, std::size_t count) {
+  using namespace sring;
+  const RingGeometry geom{8, 2, 16};
+  std::vector<net::JobRequest> reqs;
+  std::vector<std::string> kinds;
+  if (kernel == "all") {
+    kinds = {"fir", "me", "dwt", "matvec"};
+  } else {
+    kinds = {kernel};
+  }
+  for (const std::string& kind : kinds) {
+    for (std::size_t i = 0; i < count; ++i) {
+      Rng rng(0x5EEDull + i);
+      net::JobRequest req;
+      req.geometry = geom;
+      if (kind == "fir") {
+        req.kernel = net::KernelId::kFir;
+        req.fir_coeffs = {1, static_cast<Word>(-2), 3, 4};
+        req.input.resize(128);
+        for (auto& w : req.input) w = rng.next_word_in(-128, 127);
+      } else if (kind == "me") {
+        req.kernel = net::KernelId::kMotionEstimation;
+        req.me_ref = Image::synthetic(16, 16, 7 + i);
+        req.me_cand = Image::shifted(req.me_ref, 1, -1, 11 + i, 2);
+        req.me_rx = 4;
+        req.me_ry = 4;
+        req.me_range = 2;
+      } else if (kind == "dwt") {
+        req.kernel = net::KernelId::kDwt53;
+        req.input.resize(128);
+        for (auto& w : req.input) w = rng.next_word_in(-128, 127);
+      } else if (kind == "matvec") {
+        req.kernel = net::KernelId::kMatvec8;
+        const dsp::Matrix8 m = dsp::dct8_matrix_q7();
+        for (const auto& row : m) {
+          req.matvec_m.insert(req.matvec_m.end(), row.begin(), row.end());
+        }
+        req.input.resize(64);
+        for (auto& w : req.input) w = rng.next_word_in(-64, 63);
+      } else {
+        throw SimError("sras remote: unknown kernel '" + kind +
+                       "' (expected all, fir, me, dwt or matvec)");
+      }
+      reqs.push_back(std::move(req));
+    }
+  }
+  return reqs;
+}
+
+int cmd_serve(int argc, char** argv) {
+  using namespace sring;
+  const std::string host =
+      obs::extract_option(argc, argv, "--host").value_or("127.0.0.1");
+  const std::size_t port = opt_size(argc, argv, "--port", 0);
+  const std::size_t workers = opt_size(argc, argv, "--workers", 0);
+  const std::size_t queue = opt_size(argc, argv, "--queue", 64);
+  const std::string port_file =
+      obs::extract_option(argc, argv, "--port-file").value_or("");
+  const std::string report_json =
+      obs::extract_option(argc, argv, "--report-json").value_or("");
+  check(port <= 65535, "sras serve: --port out of range");
+  check(queue >= 1, "sras serve: --queue must be at least 1");
+
+  net::ServerConfig cfg;
+  cfg.host = host;
+  cfg.port = static_cast<std::uint16_t>(port);
+  cfg.runtime.workers = workers;
+  cfg.runtime.queue_capacity = queue;
+
+  net::Server server(cfg);
+  server.enable_signal_drain();
+  std::printf("sras serve: listening on %s:%u (workers=%zu queue=%zu)\n",
+              host.c_str(), server.port(),
+              workers == 0 ? std::size_t{0} : workers, queue);
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    // The port file is how scripts discover an ephemeral port; write
+    // it only after listen() succeeded.
+    std::ofstream pf(port_file);
+    check(pf.good(), "sras serve: cannot write port file " + port_file);
+    pf << server.port() << "\n";
+  }
+
+  server.run();
+
+  const obs::Registry m = server.metrics();
+  const auto counter = [&m](const char* name) {
+    const auto* c = m.find_counter(name);
+    return c != nullptr ? c->value() : 0;
+  };
+  std::printf(
+      "sras serve: drained cleanly — %llu connections, %llu frames in, "
+      "%llu jobs ok, %llu failed, %llu busy-rejects, %llu protocol "
+      "errors\n",
+      static_cast<unsigned long long>(counter("net.connections.accepted")),
+      static_cast<unsigned long long>(counter("net.frames.in")),
+      static_cast<unsigned long long>(counter("net.jobs.completed")),
+      static_cast<unsigned long long>(counter("net.jobs.failed")),
+      static_cast<unsigned long long>(counter("net.rejects.busy")),
+      static_cast<unsigned long long>(counter("net.protocol_errors")));
+
+  RunReport report;
+  report.name = "sras_serve";
+  report.metrics = m;
+  report.extra("schema_version", std::uint64_t{1})
+      .extra("host", host)
+      .extra("port", std::uint64_t{server.port()})
+      .extra("queue_capacity", std::uint64_t{queue});
+  maybe_write_run_report(report, report_json);
+  return 0;
+}
+
+int cmd_remote(int argc, char** argv) {
+  using namespace sring;
+  const std::string host =
+      obs::extract_option(argc, argv, "--host").value_or("127.0.0.1");
+  const std::size_t port = opt_size(argc, argv, "--port", 0);
+  const std::string kernel =
+      obs::extract_option(argc, argv, "--kernel").value_or("all");
+  const std::size_t count = opt_size(argc, argv, "--count", 4);
+  const bool info = obs::extract_flag(argc, argv, "--info");
+  const bool do_ping = obs::extract_flag(argc, argv, "--ping");
+  const bool do_drain = obs::extract_flag(argc, argv, "--drain");
+  const std::string report_json =
+      obs::extract_option(argc, argv, "--report-json").value_or("");
+  check(port >= 1 && port <= 65535,
+        "sras remote: --port is required (1..65535)");
+  check(count >= 1, "sras remote: --count must be at least 1");
+
+  net::ClientConfig ccfg;
+  ccfg.host = host;
+  ccfg.port = static_cast<std::uint16_t>(port);
+  net::Client client(ccfg);
+
+  if (do_ping) {
+    std::printf("ping: %.1f us\n", client.ping());
+    return 0;
+  }
+  if (info) {
+    const net::ServerInfoMsg si = client.server_info();
+    std::printf(
+        "server %s: protocol v%u, %u workers, queue %u, max frame %u "
+        "bytes, %llu jobs completed\n",
+        si.server.c_str(), si.protocol_version, si.workers,
+        si.queue_capacity, si.max_frame_bytes,
+        static_cast<unsigned long long>(si.jobs_completed));
+    return 0;
+  }
+  if (do_drain) {
+    check(client.drain(), "sras remote: server did not acknowledge drain");
+    std::printf("drain acknowledged\n");
+    return 0;
+  }
+
+  // Verification mode: run the same deterministic jobs locally and
+  // remotely; every output word must match.
+  const std::vector<net::JobRequest> reqs =
+      build_remote_requests(kernel, count);
+  rt::Runtime local;
+  std::vector<rt::Job> local_jobs;
+  local_jobs.reserve(reqs.size());
+  for (const auto& req : reqs) local_jobs.push_back(net::to_rt_job(req));
+  const std::vector<rt::JobResult> expected =
+      local.submit_batch(std::move(local_jobs));
+
+  double total_us = 0.0;
+  std::uint64_t remote_cycles = 0;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const net::RemoteResult r = client.submit(reqs[i]);
+    const auto t1 = std::chrono::steady_clock::now();
+    total_us += std::chrono::duration<double, std::micro>(t1 - t0).count();
+    check(r.ok, "sras remote: job " + std::to_string(i) +
+                    " failed: " + (r.busy ? "busy" : r.error));
+    check(expected[i].ok, "sras remote: local reference job " +
+                              std::to_string(i) +
+                              " failed: " + expected[i].error);
+    check(r.outputs == expected[i].outputs,
+          "sras remote: job " + std::to_string(i) +
+              " outputs diverged from local execution");
+    remote_cycles += r.sim_cycles;
+  }
+  std::printf(
+      "%zu jobs (%s) remote == local bit-exact; mean latency %.1f us, "
+      "%llu simulated cycles\n",
+      reqs.size(), kernel.c_str(), total_us / static_cast<double>(reqs.size()),
+      static_cast<unsigned long long>(remote_cycles));
+
+  RunReport report;
+  report.name = "sras_remote";
+  report.extra("schema_version", std::uint64_t{1})
+      .extra("kernel", kernel)
+      .extra("jobs", std::uint64_t{reqs.size()})
+      .extra("mean_latency_us",
+             total_us / static_cast<double>(reqs.size()))
+      .extra("outputs_bit_identical", true);
+  maybe_write_run_report(report, report_json);
+  return 0;
 }
 
 std::unique_ptr<sring::obs::EventSink> make_sink(const std::string& format,
@@ -66,6 +296,15 @@ std::unique_ptr<sring::obs::EventSink> make_sink(const std::string& format,
 int main(int argc, char** argv) {
   using namespace sring;
   try {
+    // Serving subcommands claim their own flags (--workers etc. mean
+    // different things there), so dispatch before generic parsing.
+    if (argc >= 2 && std::string(argv[1]) == "serve") {
+      return cmd_serve(argc, argv);
+    }
+    if (argc >= 2 && std::string(argv[1]) == "remote") {
+      return cmd_remote(argc, argv);
+    }
+
     const std::string trace_format =
         obs::extract_option(argc, argv, "--trace-format").value_or("");
     const std::string trace_out =

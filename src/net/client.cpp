@@ -1,0 +1,221 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace sring::net {
+
+namespace {
+
+void set_io_timeout(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+Client::Client(ClientConfig config) : config_(std::move(config)) {}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inbuf_.clear();
+}
+
+void Client::backoff_sleep(int attempt) const {
+  // Capped exponential: initial << attempt, clamped to backoff_max_ms.
+  const std::int64_t ms = std::min<std::int64_t>(
+      config_.backoff_max_ms,
+      static_cast<std::int64_t>(config_.backoff_initial_ms)
+          << std::min(attempt, 20));
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+void Client::connect() {
+  if (fd_ >= 0) return;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("net: bad server address: " + config_.host);
+  }
+
+  std::string last_error = "no attempt made";
+  const int attempts = std::max(1, config_.connect_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) backoff_sleep(attempt - 1);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      set_io_timeout(fd, config_.io_timeout_ms);
+      fd_ = fd;
+      inbuf_.clear();
+      return;
+    }
+    last_error = std::strerror(errno);
+    ::close(fd);
+  }
+  throw NetError("net: cannot connect to " + config_.host + ":" +
+                 std::to_string(config_.port) + " after " +
+                 std::to_string(attempts) + " attempts: " + last_error);
+}
+
+void Client::send_frame(MsgType type,
+                        std::span<const std::uint8_t> payload) {
+  connect();
+  std::vector<std::uint8_t> wire;
+  append_frame(wire, type, payload);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const bool timeout = n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+    close();
+    throw NetError(timeout ? "net: send timed out"
+                           : "net: connection lost while sending");
+  }
+}
+
+Frame Client::recv_frame() {
+  std::uint8_t buf[64 * 1024];
+  while (true) {
+    Frame frame;
+    std::size_t consumed = 0;
+    const ParseStatus status = try_parse_frame(
+        inbuf_, config_.max_frame_bytes, frame, consumed);
+    if (status == ParseStatus::kFrame) {
+      inbuf_.erase(inbuf_.begin(),
+                   inbuf_.begin() + static_cast<std::ptrdiff_t>(consumed));
+      return frame;
+    }
+    if (status != ParseStatus::kNeedMore) {
+      close();
+      throw ProtocolError("net: malformed frame from server (status " +
+                          std::to_string(static_cast<int>(status)) + ")");
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      inbuf_.insert(inbuf_.end(), buf, buf + n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const bool timeout = n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+    close();
+    throw NetError(timeout
+                       ? "net: receive timed out"
+                       : "net: server closed the connection mid-frame");
+  }
+}
+
+double Client::ping() {
+  const std::uint64_t token = 0x5352494E47ull + next_tag_;
+  const auto t0 = std::chrono::steady_clock::now();
+  send_frame(MsgType::kPing, encode_ping(token));
+  const Frame frame = recv_frame();
+  const auto t1 = std::chrono::steady_clock::now();
+  if (frame.type != MsgType::kPong || decode_ping(frame.payload) != token) {
+    close();
+    throw ProtocolError("net: bad ping response");
+  }
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+ServerInfoMsg Client::server_info() {
+  send_frame(MsgType::kServerInfoReq, {});
+  const Frame frame = recv_frame();
+  if (frame.type != MsgType::kServerInfo) {
+    close();
+    throw ProtocolError("net: expected ServerInfo response");
+  }
+  return decode_server_info(frame.payload);
+}
+
+RemoteResult Client::submit(const JobRequest& req) {
+  JobRequest tagged = req;
+  if (tagged.tag == 0) tagged.tag = next_tag_++;
+  const std::vector<std::uint8_t> payload = encode_job_request(tagged);
+
+  RemoteResult out;
+  for (int attempt = 0; attempt <= config_.busy_retries; ++attempt) {
+    if (attempt > 0) backoff_sleep(attempt - 1);
+    send_frame(MsgType::kSubmitJob, payload);
+    const Frame frame = recv_frame();
+    if (frame.type == MsgType::kJobResult) {
+      JobResultMsg msg = decode_job_result(frame.payload);
+      if (msg.tag != tagged.tag) {
+        close();
+        throw ProtocolError("net: response tag mismatch");
+      }
+      out.ok = true;
+      out.outputs = std::move(msg.outputs);
+      out.sim_cycles = msg.sim_cycles;
+      out.worker = msg.worker;
+      out.reused_system = msg.reused_system != 0;
+      out.counters = std::move(msg.counters);
+      return out;
+    }
+    if (frame.type != MsgType::kError) {
+      close();
+      throw ProtocolError("net: unexpected response type " +
+                          std::to_string(
+                              static_cast<unsigned>(frame.type)));
+    }
+    const ErrorMsg err = decode_error(frame.payload);
+    if (err.code == ErrorCode::kBusy) {
+      out.busy = true;  // retry with backoff, or report busy when spent
+      continue;
+    }
+    out.busy = false;
+    out.ok = false;
+    out.error = err.message;
+    return out;
+  }
+  out.error = "server busy (queue full) after " +
+              std::to_string(config_.busy_retries + 1) + " attempts";
+  return out;
+}
+
+std::vector<RemoteResult> Client::submit_batch(
+    const std::vector<JobRequest>& reqs) {
+  std::vector<RemoteResult> out;
+  out.reserve(reqs.size());
+  for (const JobRequest& req : reqs) out.push_back(submit(req));
+  return out;
+}
+
+bool Client::drain() {
+  send_frame(MsgType::kDrain, {});
+  const Frame frame = recv_frame();
+  return frame.type == MsgType::kDrainAck;
+}
+
+}  // namespace sring::net

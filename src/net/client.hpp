@@ -1,0 +1,98 @@
+// Blocking client library for the remote job-serving subsystem.
+//
+// Mirrors the rt::Runtime surface across a socket: submit() /
+// submit_batch() take the same kernel descriptions the kernels/jobs
+// factories take (as net::JobRequest) and return bit-exact outputs —
+// the loopback tests hold remote results word-for-word equal to direct
+// rt::Runtime execution.
+//
+// Failure discipline:
+//  * connect() retries with capped exponential backoff, then throws
+//    NetError.
+//  * Server-side Busy (bounded backpressure) is retried
+//    `busy_retries` times with the same backoff, then surfaces as
+//    RemoteResult{busy=true} — the caller decides whether to shed or
+//    spin.
+//  * A job that raised a SimError on the server comes back as
+//    RemoteResult{ok=false, error=<SimError text verbatim>}.
+//  * Transport damage (timeout, disconnect, malformed frames) throws
+//    NetError/ProtocolError.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace sring::net {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  int connect_attempts = 5;
+  int backoff_initial_ms = 20;  ///< doubles per retry...
+  int backoff_max_ms = 1000;    ///< ...capped here
+
+  int io_timeout_ms = 30000;  ///< per send/recv deadline
+  int busy_retries = 8;       ///< Busy resubmissions inside submit()
+
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// One remote job outcome.  Exactly one of {ok, busy, !error.empty()}
+/// describes the terminal state; outputs/counters are valid when ok.
+struct RemoteResult {
+  bool ok = false;
+  bool busy = false;       ///< shed by backpressure after busy_retries
+  std::string error;       ///< server-side SimError text, verbatim
+  std::vector<Word> outputs;
+  std::uint64_t sim_cycles = 0;
+  std::uint32_t worker = 0;
+  bool reused_system = false;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+class Client {
+ public:
+  explicit Client(ClientConfig config);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Establish the connection now (submit() connects lazily).
+  void connect();
+  void close();
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Round-trip a token; returns the measured latency in microseconds.
+  double ping();
+
+  ServerInfoMsg server_info();
+
+  /// Run one job remotely (blocking).  Assigns a fresh tag when
+  /// req.tag is 0.  Throws NetError on transport failure.
+  RemoteResult submit(const JobRequest& req);
+
+  /// Sequential batch, results in submission order.
+  std::vector<RemoteResult> submit_batch(
+      const std::vector<JobRequest>& reqs);
+
+  /// Ask the server to drain; true once DrainAck arrives.
+  bool drain();
+
+ private:
+  void send_frame(MsgType type, std::span<const std::uint8_t> payload);
+  Frame recv_frame();
+  void backoff_sleep(int attempt) const;
+
+  ClientConfig config_;
+  int fd_ = -1;
+  std::uint32_t next_tag_ = 1;
+  std::vector<std::uint8_t> inbuf_;
+};
+
+}  // namespace sring::net

@@ -1,0 +1,426 @@
+#include "net/protocol.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "kernels/jobs.hpp"
+
+namespace sring::net {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE), table-driven
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian payload writer / reader
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int s = 0; s < 32; s += 8) {
+      out_.push_back(static_cast<std::uint8_t>(v >> s));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int s = 0; s < 64; s += 8) {
+      out_.push_back(static_cast<std::uint8_t>(v >> s));
+    }
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void words(std::span<const Word> w) {
+    u32(static_cast<std::uint32_t>(w.size()));
+    for (const Word x : w) u16(x);
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint16_t u16() {
+    const auto b = take(2);
+    return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+  }
+  std::uint32_t u32() {
+    const auto b = take(4);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | b[static_cast<std::size_t>(i)];
+    return v;
+  }
+  std::uint64_t u64() {
+    const auto b = take(8);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | b[static_cast<std::size_t>(i)];
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    const auto b = take(n);
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+  std::vector<Word> words() {
+    const std::uint32_t n = u32();
+    if (data_.size() - pos_ < std::size_t{n} * 2) {
+      throw ProtocolError("net: word vector overruns payload");
+    }
+    std::vector<Word> out;
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) out.push_back(u16());
+    return out;
+  }
+
+  /// Every decode_* must end exactly at the payload boundary; trailing
+  /// bytes mean the peer and we disagree about the schema.
+  void expect_end() const {
+    if (pos_ != data_.size()) {
+      throw ProtocolError("net: trailing bytes after payload");
+    }
+  }
+
+ private:
+  std::span<const std::uint8_t> take(std::size_t n) {
+    if (data_.size() - pos_ < n) {
+      throw ProtocolError("net: payload truncated");
+    }
+    const auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+Image read_image(Reader& r) {
+  const std::uint16_t w = r.u16();
+  const std::uint16_t h = r.u16();
+  const std::vector<Word> px = r.words();
+  if (px.size() != std::size_t{w} * h) {
+    throw ProtocolError("net: image pixel count does not match its size");
+  }
+  Image img(w, h);
+  img.pixels() = px;
+  return img;
+}
+
+void write_image(Writer& w, const Image& img) {
+  w.u16(static_cast<std::uint16_t>(img.width()));
+  w.u16(static_cast<std::uint16_t>(img.height()));
+  w.words(img.pixels());
+}
+
+void put_u32_at(std::vector<std::uint8_t>& buf, std::size_t at,
+                std::uint32_t v) {
+  for (int s = 0; s < 32; s += 8) {
+    buf[at++] = static_cast<std::uint8_t>(v >> s);
+  }
+}
+
+std::uint32_t get_u32_at(std::span<const std::uint8_t> buf, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | buf[at + static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+std::uint16_t get_u16_at(std::span<const std::uint8_t> buf, std::size_t at) {
+  return static_cast<std::uint16_t>(buf[at] | (buf[at + 1] << 8));
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) {
+    c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void append_frame(std::vector<std::uint8_t>& out, MsgType type,
+                  std::span<const std::uint8_t> payload) {
+  out.reserve(out.size() + kHeaderBytes + payload.size() + kTrailerBytes);
+  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  const std::uint16_t version = kProtocolVersion;
+  out.push_back(static_cast<std::uint8_t>(version));
+  out.push_back(static_cast<std::uint8_t>(version >> 8));
+  const std::uint16_t t = static_cast<std::uint16_t>(type);
+  out.push_back(static_cast<std::uint8_t>(t));
+  out.push_back(static_cast<std::uint8_t>(t >> 8));
+  const std::size_t len_at = out.size();
+  out.resize(out.size() + 4);
+  put_u32_at(out, len_at, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  const std::size_t crc_at = out.size();
+  out.resize(out.size() + 4);
+  put_u32_at(out, crc_at, crc32(payload));
+}
+
+ParseStatus try_parse_frame(std::span<const std::uint8_t> buffer,
+                            std::size_t max_frame_bytes, Frame& frame,
+                            std::size_t& consumed) {
+  consumed = 0;
+  // Reject a wrong magic as soon as the first divergent byte arrives —
+  // garbage on the socket should not sit unanswered until 12 bytes
+  // accumulate.
+  const std::size_t magic_check = std::min<std::size_t>(buffer.size(), 4);
+  if (std::memcmp(buffer.data(), kMagic, magic_check) != 0) {
+    return ParseStatus::kBadMagic;
+  }
+  if (buffer.size() < kHeaderBytes) return ParseStatus::kNeedMore;
+  if (get_u16_at(buffer, 4) != kProtocolVersion) {
+    return ParseStatus::kBadVersion;
+  }
+  const std::uint32_t len = get_u32_at(buffer, 8);
+  if (len > max_frame_bytes) return ParseStatus::kTooLarge;
+  const std::size_t total = kHeaderBytes + len + kTrailerBytes;
+  if (buffer.size() < total) return ParseStatus::kNeedMore;
+  const auto payload = buffer.subspan(kHeaderBytes, len);
+  if (crc32(payload) != get_u32_at(buffer, kHeaderBytes + len)) {
+    return ParseStatus::kBadCrc;
+  }
+  frame.type = static_cast<MsgType>(get_u16_at(buffer, 6));
+  frame.payload.assign(payload.begin(), payload.end());
+  consumed = total;
+  return ParseStatus::kFrame;
+}
+
+std::vector<std::uint8_t> encode_job_request(const JobRequest& req) {
+  Writer w;
+  w.u32(req.tag);
+  w.u16(static_cast<std::uint16_t>(req.kernel));
+  w.u16(static_cast<std::uint16_t>(req.geometry.layers));
+  w.u16(static_cast<std::uint16_t>(req.geometry.lanes));
+  w.u16(static_cast<std::uint16_t>(req.geometry.fb_depth));
+  switch (req.kernel) {
+    case KernelId::kFir:
+      w.words(req.fir_coeffs);
+      break;
+    case KernelId::kMotionEstimation:
+      write_image(w, req.me_ref);
+      write_image(w, req.me_cand);
+      w.u16(req.me_rx);
+      w.u16(req.me_ry);
+      w.u16(req.me_range);
+      break;
+    case KernelId::kDwt53:
+      break;
+    case KernelId::kMatvec8:
+      w.words(req.matvec_m);
+      break;
+    default:
+      throw ProtocolError("net: unknown kernel id in request");
+  }
+  w.words(req.input);
+  return w.take();
+}
+
+JobRequest decode_job_request(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  JobRequest req;
+  req.tag = r.u32();
+  req.kernel = static_cast<KernelId>(r.u16());
+  req.geometry.layers = r.u16();
+  req.geometry.lanes = r.u16();
+  req.geometry.fb_depth = r.u16();
+  switch (req.kernel) {
+    case KernelId::kFir:
+      req.fir_coeffs = r.words();
+      break;
+    case KernelId::kMotionEstimation:
+      req.me_ref = read_image(r);
+      req.me_cand = read_image(r);
+      req.me_rx = r.u16();
+      req.me_ry = r.u16();
+      req.me_range = r.u16();
+      break;
+    case KernelId::kDwt53:
+      break;
+    case KernelId::kMatvec8:
+      req.matvec_m = r.words();
+      break;
+    default:
+      throw ProtocolError("net: unknown kernel id " +
+                          std::to_string(static_cast<unsigned>(req.kernel)));
+  }
+  req.input = r.words();
+  r.expect_end();
+  return req;
+}
+
+std::vector<std::uint8_t> encode_job_result(const JobResultMsg& msg) {
+  Writer w;
+  w.u32(msg.tag);
+  w.words(msg.outputs);
+  w.u64(msg.sim_cycles);
+  w.u32(msg.worker);
+  w.u8(msg.reused_system);
+  w.u32(static_cast<std::uint32_t>(msg.counters.size()));
+  for (const auto& [name, value] : msg.counters) {
+    w.str(name);
+    w.u64(value);
+  }
+  return w.take();
+}
+
+JobResultMsg decode_job_result(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  JobResultMsg msg;
+  msg.tag = r.u32();
+  msg.outputs = r.words();
+  msg.sim_cycles = r.u64();
+  msg.worker = r.u32();
+  msg.reused_system = r.u8();
+  const std::uint32_t n = r.u32();
+  msg.counters.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name = r.str();
+    const std::uint64_t value = r.u64();
+    msg.counters.emplace_back(std::move(name), value);
+  }
+  r.expect_end();
+  return msg;
+}
+
+std::vector<std::uint8_t> encode_error(const ErrorMsg& msg) {
+  Writer w;
+  w.u32(msg.tag);
+  w.u16(static_cast<std::uint16_t>(msg.code));
+  w.str(msg.message);
+  return w.take();
+}
+
+ErrorMsg decode_error(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  ErrorMsg msg;
+  msg.tag = r.u32();
+  msg.code = static_cast<ErrorCode>(r.u16());
+  msg.message = r.str();
+  r.expect_end();
+  return msg;
+}
+
+std::vector<std::uint8_t> encode_server_info(const ServerInfoMsg& msg) {
+  Writer w;
+  w.u16(msg.protocol_version);
+  w.u32(msg.workers);
+  w.u32(msg.queue_capacity);
+  w.u32(msg.max_frame_bytes);
+  w.u64(msg.jobs_completed);
+  w.str(msg.server);
+  return w.take();
+}
+
+ServerInfoMsg decode_server_info(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  ServerInfoMsg msg;
+  msg.protocol_version = r.u16();
+  msg.workers = r.u32();
+  msg.queue_capacity = r.u32();
+  msg.max_frame_bytes = r.u32();
+  msg.jobs_completed = r.u64();
+  msg.server = r.str();
+  r.expect_end();
+  return msg;
+}
+
+std::vector<std::uint8_t> encode_ping(std::uint64_t token) {
+  Writer w;
+  w.u64(token);
+  return w.take();
+}
+
+std::uint64_t decode_ping(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  const std::uint64_t token = r.u64();
+  r.expect_end();
+  return token;
+}
+
+rt::Job to_rt_job(const JobRequest& req) {
+  req.geometry.validate();
+  switch (req.kernel) {
+    case KernelId::kFir:
+      return kernels::make_spatial_fir_job(req.geometry, req.input,
+                                           req.fir_coeffs);
+    case KernelId::kMotionEstimation:
+      check(req.me_range >= 1,
+            "net: motion-estimation range must be at least 1");
+      return kernels::make_motion_estimation_job(
+          req.geometry, req.me_ref, req.me_rx, req.me_ry, req.me_cand,
+          static_cast<int>(req.me_range));
+    case KernelId::kDwt53:
+      return kernels::make_dwt53_job(req.geometry, req.input);
+    case KernelId::kMatvec8: {
+      check(req.matvec_m.size() == dsp::kMatvecN * dsp::kMatvecN,
+            "net: matvec8 expects a 64-word row-major matrix");
+      dsp::Matrix8 m;
+      for (std::size_t r = 0; r < dsp::kMatvecN; ++r) {
+        for (std::size_t c = 0; c < dsp::kMatvecN; ++c) {
+          m[r][c] = req.matvec_m[r * dsp::kMatvecN + c];
+        }
+      }
+      return kernels::make_matvec8_job(req.geometry, m, req.input);
+    }
+  }
+  throw SimError("net: unknown kernel id " +
+                 std::to_string(static_cast<unsigned>(req.kernel)));
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> result_counters(
+    const rt::JobResult& result) {
+  const SystemStats& s = result.report.stats;
+  return {
+      {"sim.cycles", s.cycles},
+      {"sim.ring_stall_cycles", s.ring_stall_cycles},
+      {"sim.ctrl_stall_cycles", s.ctrl_stall_cycles},
+      {"sim.dnode_ops", s.dnode_ops},
+      {"sim.arith_ops", s.arith_ops},
+      {"sim.host_words_in", s.host_words_in},
+      {"sim.host_words_out", s.host_words_out},
+      {"sim.plan_hits", s.plan_hits},
+  };
+}
+
+JobResultMsg make_job_result_msg(std::uint32_t tag,
+                                 const rt::JobResult& result) {
+  JobResultMsg msg;
+  msg.tag = tag;
+  msg.outputs = result.outputs;
+  msg.sim_cycles = result.report.stats.cycles;
+  msg.worker = static_cast<std::uint32_t>(result.worker);
+  msg.reused_system = result.reused_system ? 1 : 0;
+  msg.counters = result_counters(result);
+  return msg;
+}
+
+}  // namespace sring::net

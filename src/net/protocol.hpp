@@ -1,0 +1,225 @@
+// Wire protocol of the remote job-serving subsystem.
+//
+// The paper deploys the Systolic Ring as an IP core a host hands work
+// to; `src/net/` extends that host/core split across a socket.  The
+// protocol is a versioned, length-prefixed binary framing with a CRC
+// trailer — the software analogue of the paper's host-interface FIFO
+// discipline: every transfer is a self-delimiting block the receiver
+// can validate before acting on it.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//        0     4  magic "SRNG"
+//        4     2  protocol version (kProtocolVersion)
+//        6     2  message type (MsgType)
+//        8     4  payload length in bytes
+//       12   len  payload
+//   12+len     4  CRC-32 (IEEE) over the payload bytes
+//
+// A peer that receives a frame with a bad magic, unknown version,
+// oversized length or CRC mismatch must answer with an Error frame and
+// close — never crash, never hang.  Payload encodings are documented
+// per message in docs/SERVING.md and exercised byte-for-byte by
+// tests/test_net_protocol.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/image.hpp"
+#include "common/types.hpp"
+#include "core/config_memory.hpp"
+#include "rt/job.hpp"
+
+namespace sring::net {
+
+/// Transport/framing failure (timeout, disconnect, refused connect).
+class NetError : public SimError {
+ public:
+  explicit NetError(const std::string& what) : SimError(what) {}
+};
+
+/// Malformed frame or payload — the bytes themselves are wrong.
+class ProtocolError : public NetError {
+ public:
+  explicit ProtocolError(const std::string& what) : NetError(what) {}
+};
+
+inline constexpr std::uint8_t kMagic[4] = {'S', 'R', 'N', 'G'};
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 12;
+inline constexpr std::size_t kTrailerBytes = 4;
+
+/// Default cap on payload size; both peers enforce it before buffering.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 4u << 20;
+
+enum class MsgType : std::uint16_t {
+  kPing = 1,           ///< u64 token; server echoes it back as Pong
+  kPong = 2,
+  kServerInfoReq = 3,  ///< empty payload
+  kServerInfo = 4,
+  kSubmitJob = 5,      ///< JobRequest
+  kJobResult = 6,      ///< successful job: outputs + counters
+  kError = 7,          ///< typed failure, SimError text verbatim
+  kDrain = 8,          ///< graceful-shutdown request
+  kDrainAck = 9,
+};
+
+enum class ErrorCode : std::uint16_t {
+  kBadRequest = 1,    ///< malformed frame/payload; connection closes
+  kBusy = 2,          ///< job queue full — resubmit later
+  kShuttingDown = 3,  ///< server is draining; no new jobs
+  kJobFailed = 4,     ///< job ran and raised a SimError (text verbatim)
+  kInternal = 5,
+};
+
+/// CRC-32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF) — the frame
+/// trailer.  crc32("123456789") == 0xCBF43926.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+// ---------------------------------------------------------------------------
+// Typed messages
+
+/// Kernel selector of a SubmitJob — one id per descriptor in
+/// kernels/jobs.hpp.
+enum class KernelId : std::uint16_t {
+  kFir = 1,               ///< spatial systolic FIR
+  kMotionEstimation = 2,  ///< full-search block motion estimation
+  kDwt53 = 3,             ///< forward 1-D 5/3 wavelet
+  kMatvec8 = 4,           ///< block 8x8 matrix-vector product
+};
+
+/// What a SubmitJob frame carries: everything the server needs to
+/// rebuild the rt::Job via the kernels/jobs descriptors — kernel id,
+/// ring geometry, kernel parameters and the input payload.  Programs
+/// are never shipped over the wire; the server synthesizes them, so a
+/// client cannot submit arbitrary configware.
+struct JobRequest {
+  KernelId kernel = KernelId::kFir;
+  RingGeometry geometry{8, 2, 16};
+  std::uint32_t tag = 0;  ///< echoed in the response for pipelining
+
+  std::vector<Word> input;  ///< fir/dwt signal or matvec x; unused for me
+
+  // kFir
+  std::vector<Word> fir_coeffs;
+
+  // kMotionEstimation
+  Image me_ref;
+  Image me_cand;
+  std::uint16_t me_rx = 0;
+  std::uint16_t me_ry = 0;
+  std::uint16_t me_range = 0;
+
+  // kMatvec8: 64 row-major matrix words
+  std::vector<Word> matvec_m;
+
+  bool operator==(const JobRequest&) const = default;
+};
+
+/// What a JobResult frame carries back: the bit-exact output words plus
+/// the per-job observability slice (sim cycle count and selected
+/// counters from the run's SystemStats) and execution provenance.
+struct JobResultMsg {
+  std::uint32_t tag = 0;
+  std::vector<Word> outputs;
+  std::uint64_t sim_cycles = 0;
+  std::uint32_t worker = 0;
+  std::uint8_t reused_system = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+  bool operator==(const JobResultMsg&) const = default;
+};
+
+struct ErrorMsg {
+  std::uint32_t tag = 0;  ///< matching SubmitJob tag; 0 if none
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  bool operator==(const ErrorMsg&) const = default;
+};
+
+struct ServerInfoMsg {
+  std::uint16_t protocol_version = kProtocolVersion;
+  std::uint32_t workers = 0;
+  std::uint32_t queue_capacity = 0;
+  std::uint32_t max_frame_bytes = 0;
+  std::uint64_t jobs_completed = 0;
+  std::string server;
+
+  bool operator==(const ServerInfoMsg&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// Framing
+
+struct Frame {
+  MsgType type = MsgType::kPing;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Append one complete frame (header + payload + CRC) to `out`.
+void append_frame(std::vector<std::uint8_t>& out, MsgType type,
+                  std::span<const std::uint8_t> payload);
+
+enum class ParseStatus : std::uint8_t {
+  kNeedMore = 0,  ///< buffer holds a frame prefix; read more bytes
+  kFrame,         ///< `frame` filled, `consumed` bytes eaten
+  kBadMagic,
+  kBadVersion,
+  kTooLarge,  ///< declared payload length exceeds `max_frame_bytes`
+  kBadCrc,
+};
+
+/// Incremental frame parser over an accumulation buffer.  Never throws;
+/// malformed input comes back as a typed status so the caller can send
+/// an Error frame and close.  On kFrame, `consumed` is the number of
+/// buffer bytes to discard.
+ParseStatus try_parse_frame(std::span<const std::uint8_t> buffer,
+                            std::size_t max_frame_bytes, Frame& frame,
+                            std::size_t& consumed);
+
+// ---------------------------------------------------------------------------
+// Payload codecs (throw ProtocolError on malformed bytes)
+
+std::vector<std::uint8_t> encode_job_request(const JobRequest& req);
+JobRequest decode_job_request(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_job_result(const JobResultMsg& msg);
+JobResultMsg decode_job_result(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_error(const ErrorMsg& msg);
+ErrorMsg decode_error(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_server_info(const ServerInfoMsg& msg);
+ServerInfoMsg decode_server_info(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_ping(std::uint64_t token);
+std::uint64_t decode_ping(std::span<const std::uint8_t> payload);
+
+// ---------------------------------------------------------------------------
+// Job mapping
+
+/// Rebuild the rt::Job a request describes via the kernels/jobs
+/// descriptors.  Throws SimError on invalid parameters (bad geometry,
+/// wrong matrix size, empty signal) — the server turns that into an
+/// Error{kBadRequest} frame.
+rt::Job to_rt_job(const JobRequest& req);
+
+/// The observability slice shipped in a JobResultMsg: named counters
+/// drawn from the job's SystemStats.
+std::vector<std::pair<std::string, std::uint64_t>> result_counters(
+    const rt::JobResult& result);
+
+/// Assemble the response message for a successful job.
+JobResultMsg make_job_result_msg(std::uint32_t tag,
+                                 const rt::JobResult& result);
+
+}  // namespace sring::net

@@ -1,0 +1,524 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+namespace sring::net {
+
+namespace {
+
+constexpr int kPollTickMs = 250;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw NetError("net: fcntl(O_NONBLOCK) failed: " +
+                   std::string(std::strerror(errno)));
+  }
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// SIGTERM/SIGINT → request_drain() of the one registered server.
+/// request_drain is async-signal-safe: an atomic store plus write().
+std::atomic<Server*> g_signal_server{nullptr};
+
+void signal_drain_handler(int) {
+  Server* server = g_signal_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->request_drain();
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {
+  runtime_ = std::make_unique<rt::Runtime>(config_.runtime);
+
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) != 0) {
+    throw NetError("net: pipe() failed: " +
+                   std::string(std::strerror(errno)));
+  }
+  wake_r_ = pipe_fds[0];
+  wake_w_ = pipe_fds[1];
+  set_nonblocking(wake_r_);
+  set_nonblocking(wake_w_);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw NetError("net: socket() failed: " +
+                   std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    close_fd(listen_fd_);
+    throw NetError("net: bad listen address: " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string why = std::strerror(errno);
+    close_fd(listen_fd_);
+    throw NetError("net: cannot listen on " + config_.host + ":" +
+                   std::to_string(config_.port) + ": " + why);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    close_fd(listen_fd_);
+    throw NetError("net: getsockname failed: " + why);
+  }
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+}
+
+Server::~Server() {
+  if (g_signal_server.load(std::memory_order_acquire) == this) {
+    g_signal_server.store(nullptr, std::memory_order_release);
+  }
+  runtime_.reset();  // joins workers first: no notify after the pipe dies
+  for (auto& conn : conns_) close_fd(conn.fd);
+  close_fd(listen_fd_);
+  close_fd(wake_r_);
+  close_fd(wake_w_);
+}
+
+void Server::request_drain() noexcept {
+  drain_requested_.store(true, std::memory_order_release);
+  const char byte = 'd';
+  [[maybe_unused]] const ssize_t n = ::write(wake_w_, &byte, 1);
+}
+
+void Server::enable_signal_drain() {
+  g_signal_server.store(this, std::memory_order_release);
+  struct sigaction sa{};
+  sa.sa_handler = signal_drain_handler;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+Server::Conn* Server::find_conn(std::uint64_t id) {
+  for (auto& conn : conns_) {
+    if (conn.id == id && conn.fd >= 0) return &conn;
+  }
+  return nullptr;
+}
+
+void Server::close_conn(Conn& conn) {
+  if (conn.fd < 0) return;
+  close_fd(conn.fd);
+  counters_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Best-effort non-blocking flush; returns false on a hard error.
+bool flush_out(int fd, std::vector<std::uint8_t>& out, std::size_t& pos,
+               std::atomic<std::uint64_t>& bytes_out) {
+  while (pos < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + pos, out.size() - pos,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      pos += static_cast<std::size_t>(n);
+      bytes_out.fetch_add(static_cast<std::uint64_t>(n),
+                          std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  if (pos == out.size()) {
+    out.clear();
+    pos = 0;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Server::send_frame(Conn& conn, MsgType type,
+                        std::span<const std::uint8_t> payload) {
+  if (conn.fd < 0) return;
+  append_frame(conn.out, type, payload);
+  counters_.frames_out.fetch_add(1, std::memory_order_relaxed);
+  // Optimistic flush: most responses fit the socket buffer, so the
+  // reply leaves in the same loop iteration that produced it.
+  if (!flush_out(conn.fd, conn.out, conn.out_pos, counters_.bytes_out)) {
+    close_conn(conn);
+  }
+}
+
+void Server::send_error(Conn& conn, std::uint32_t tag, ErrorCode code,
+                        const std::string& message) {
+  ErrorMsg msg;
+  msg.tag = tag;
+  msg.code = code;
+  msg.message = message;
+  send_frame(conn, MsgType::kError, encode_error(msg));
+}
+
+void Server::handle_submit(Conn& conn, const Frame& frame) {
+  JobRequest req;
+  try {
+    req = decode_job_request(frame.payload);
+  } catch (const ProtocolError& e) {
+    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, 0, ErrorCode::kBadRequest, e.what());
+    conn.closing = true;
+    return;
+  }
+  if (drain_requested_.load(std::memory_order_acquire)) {
+    counters_.rejects_shutdown.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, req.tag, ErrorCode::kShuttingDown,
+               "server is draining");
+    return;
+  }
+  rt::Job job;
+  try {
+    job = to_rt_job(req);
+  } catch (const SimError& e) {
+    send_error(conn, req.tag, ErrorCode::kBadRequest, e.what());
+    return;
+  }
+  const int wake_fd = wake_w_;
+  auto submitted = runtime_->try_submit(std::move(job), [wake_fd] {
+    const char byte = 'j';
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd, &byte, 1);
+  });
+  switch (submitted.status) {
+    case rt::Runtime::SubmitStatus::kAccepted:
+      pending_.push_back({conn.id, req.tag, std::move(submitted.result)});
+      ++conn.pending_jobs;
+      counters_.jobs_submitted.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case rt::Runtime::SubmitStatus::kQueueFull:
+      counters_.rejects_busy.fetch_add(1, std::memory_order_relaxed);
+      send_error(conn, req.tag, ErrorCode::kBusy,
+                 "job queue is full — resubmit later");
+      break;
+    case rt::Runtime::SubmitStatus::kShutDown:
+      counters_.rejects_shutdown.fetch_add(1, std::memory_order_relaxed);
+      send_error(conn, req.tag, ErrorCode::kShuttingDown,
+                 "runtime is shut down");
+      break;
+  }
+}
+
+void Server::handle_frame(Conn& conn, const Frame& frame) {
+  counters_.frames_in.fetch_add(1, std::memory_order_relaxed);
+  try {
+    switch (frame.type) {
+      case MsgType::kPing:
+        send_frame(conn, MsgType::kPong,
+                   encode_ping(decode_ping(frame.payload)));
+        return;
+      case MsgType::kServerInfoReq: {
+        ServerInfoMsg info;
+        info.workers =
+            static_cast<std::uint32_t>(runtime_->worker_count());
+        info.queue_capacity =
+            static_cast<std::uint32_t>(config_.runtime.queue_capacity);
+        info.max_frame_bytes =
+            static_cast<std::uint32_t>(config_.max_frame_bytes);
+        info.jobs_completed =
+            counters_.jobs_completed.load(std::memory_order_relaxed);
+        info.server = "sring-serve";
+        send_frame(conn, MsgType::kServerInfo, encode_server_info(info));
+        return;
+      }
+      case MsgType::kSubmitJob:
+        handle_submit(conn, frame);
+        return;
+      case MsgType::kDrain:
+        counters_.drains.fetch_add(1, std::memory_order_relaxed);
+        send_frame(conn, MsgType::kDrainAck, {});
+        request_drain();
+        return;
+      default:
+        counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        send_error(conn, 0, ErrorCode::kBadRequest,
+                   "unexpected message type " +
+                       std::to_string(
+                           static_cast<unsigned>(frame.type)));
+        conn.closing = true;
+        return;
+    }
+  } catch (const ProtocolError& e) {
+    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, 0, ErrorCode::kBadRequest, e.what());
+    conn.closing = true;
+  }
+}
+
+bool Server::drain_input(Conn& conn) {
+  std::size_t offset = 0;
+  bool keep = true;
+  while (keep && !conn.closing) {
+    Frame frame;
+    std::size_t consumed = 0;
+    const auto view = std::span<const std::uint8_t>(conn.in).subspan(offset);
+    const ParseStatus status =
+        try_parse_frame(view, config_.max_frame_bytes, frame, consumed);
+    if (status == ParseStatus::kNeedMore) break;
+    if (status == ParseStatus::kFrame) {
+      offset += consumed;
+      handle_frame(conn, frame);
+      continue;
+    }
+    // Malformed bytes: answer once, then close after the flush.
+    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    const char* what = "malformed frame";
+    switch (status) {
+      case ParseStatus::kBadMagic: what = "bad frame magic"; break;
+      case ParseStatus::kBadVersion: what = "unsupported protocol version";
+        break;
+      case ParseStatus::kTooLarge: what = "frame exceeds size limit"; break;
+      case ParseStatus::kBadCrc: what = "frame CRC mismatch"; break;
+      default: break;
+    }
+    send_error(conn, 0, ErrorCode::kBadRequest, what);
+    conn.closing = true;
+    keep = false;
+  }
+  if (offset > 0) {
+    conn.in.erase(conn.in.begin(),
+                  conn.in.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+  return true;
+}
+
+void Server::accept_ready() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept failure; the loop retries on next poll
+    }
+    if (conns_.size() >= config_.max_connections) {
+      counters_.connections_rejected.fetch_add(1,
+                                               std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Conn conn;
+    conn.fd = fd;
+    conn.id = next_conn_id_++;
+    conn.last_activity = std::chrono::steady_clock::now();
+    conns_.push_back(std::move(conn));
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::collect_completions() {
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->result.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      ++it;
+      continue;
+    }
+    rt::JobResult result = it->result.get();
+    Conn* conn = find_conn(it->conn_id);
+    if (conn != nullptr) {
+      if (result.ok) {
+        send_frame(*conn, MsgType::kJobResult,
+                   encode_job_result(make_job_result_msg(it->tag, result)));
+      } else {
+        // SimError text travels verbatim; the client re-raises it.
+        send_error(*conn, it->tag, ErrorCode::kJobFailed, result.error);
+      }
+      if (conn->pending_jobs > 0) --conn->pending_jobs;
+      conn->last_activity = now;
+    }
+    if (result.ok) {
+      counters_.jobs_completed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      counters_.jobs_failed.fetch_add(1, std::memory_order_relaxed);
+    }
+    it = pending_.erase(it);
+  }
+}
+
+void Server::run() {
+  check(!ran_, "net: Server::run() may only be called once");
+  ran_ = true;
+
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> fd_conn_ids;  // parallel to fds tail
+  std::vector<std::uint8_t> buf(64 * 1024);
+
+  while (true) {
+    const bool draining = drain_requested_.load(std::memory_order_acquire);
+    if (draining && listen_fd_ >= 0) close_fd(listen_fd_);
+
+    // Drop fully closed / flushed-and-closing connections.
+    for (auto& conn : conns_) {
+      if (conn.fd >= 0 && conn.closing && conn.out_pos == conn.out.size()) {
+        close_conn(conn);
+      }
+    }
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const Conn& c) { return c.fd < 0; }),
+                 conns_.end());
+
+    if (draining && pending_.empty()) {
+      // In-flight work answered; flush what remains and finish.
+      bool flushed = true;
+      for (auto& conn : conns_) {
+        if (conn.fd < 0) continue;
+        if (!flush_out(conn.fd, conn.out, conn.out_pos,
+                       counters_.bytes_out) ||
+            conn.out.empty()) {
+          close_conn(conn);
+        } else {
+          flushed = false;
+        }
+      }
+      if (flushed) break;
+    }
+
+    fds.clear();
+    fd_conn_ids.clear();
+    fds.push_back({wake_r_, POLLIN, 0});
+    if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
+    for (auto& conn : conns_) {
+      if (conn.fd < 0) continue;
+      short events = conn.closing ? 0 : POLLIN;
+      if (conn.out_pos < conn.out.size()) events |= POLLOUT;
+      fds.push_back({conn.fd, events, 0});
+      fd_conn_ids.push_back(conn.id);
+    }
+
+    const int n = ::poll(fds.data(), fds.size(), kPollTickMs);
+    if (n < 0 && errno != EINTR) {
+      throw NetError("net: poll failed: " +
+                     std::string(std::strerror(errno)));
+    }
+
+    // Wake pipe: drain it, then sweep completed jobs.
+    if (fds[0].revents & POLLIN) {
+      while (::read(wake_r_, buf.data(), buf.size()) > 0) {
+      }
+    }
+    collect_completions();
+
+    std::size_t at = 1;
+    if (listen_fd_ >= 0) {
+      if (fds[at].revents & POLLIN) accept_ready();
+      ++at;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; at < fds.size(); ++at, ++i) {
+      Conn* conn = find_conn(fd_conn_ids[i]);
+      if (conn == nullptr) continue;
+      const short revents = fds[at].revents;
+      if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        // Peer vanished: pending jobs still run, results are dropped.
+        close_conn(*conn);
+        continue;
+      }
+      if (revents & POLLOUT) {
+        if (!flush_out(conn->fd, conn->out, conn->out_pos,
+                       counters_.bytes_out)) {
+          close_conn(*conn);
+          continue;
+        }
+        conn->last_activity = now;
+      }
+      if ((revents & POLLIN) && !conn->closing) {
+        bool peer_closed = false;
+        while (true) {
+          const ssize_t r = ::recv(conn->fd, buf.data(), buf.size(), 0);
+          if (r > 0) {
+            counters_.bytes_in.fetch_add(static_cast<std::uint64_t>(r),
+                                         std::memory_order_relaxed);
+            conn->in.insert(conn->in.end(), buf.data(), buf.data() + r);
+            continue;
+          }
+          if (r == 0) {
+            peer_closed = true;
+            break;
+          }
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          if (errno == EINTR) continue;
+          peer_closed = true;
+          break;
+        }
+        conn->last_activity = now;
+        drain_input(*conn);
+        if (peer_closed) close_conn(*conn);
+      }
+    }
+
+    // Idle reaping: only connections with no job in flight time out.
+    for (auto& conn : conns_) {
+      if (conn.fd < 0 || conn.pending_jobs > 0 || conn.closing) continue;
+      if (now - conn.last_activity > config_.idle_timeout) {
+        counters_.timeouts.fetch_add(1, std::memory_order_relaxed);
+        close_conn(conn);
+      }
+    }
+  }
+
+  for (auto& conn : conns_) close_conn(conn);
+  conns_.clear();
+  close_fd(listen_fd_);
+  runtime_->shutdown();
+}
+
+obs::Registry Server::metrics() const {
+  obs::Registry out;
+  const auto get = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  out.counter("net.connections.accepted")
+      .set(get(counters_.connections_accepted));
+  out.counter("net.connections.closed")
+      .set(get(counters_.connections_closed));
+  out.counter("net.connections.rejected")
+      .set(get(counters_.connections_rejected));
+  out.counter("net.connections.active")
+      .set(get(counters_.connections_accepted) -
+           get(counters_.connections_closed));
+  out.counter("net.frames.in").set(get(counters_.frames_in));
+  out.counter("net.frames.out").set(get(counters_.frames_out));
+  out.counter("net.bytes.in").set(get(counters_.bytes_in));
+  out.counter("net.bytes.out").set(get(counters_.bytes_out));
+  out.counter("net.rejects.busy").set(get(counters_.rejects_busy));
+  out.counter("net.rejects.shutdown").set(get(counters_.rejects_shutdown));
+  out.counter("net.protocol_errors").set(get(counters_.protocol_errors));
+  out.counter("net.timeouts").set(get(counters_.timeouts));
+  out.counter("net.jobs.submitted").set(get(counters_.jobs_submitted));
+  out.counter("net.jobs.completed").set(get(counters_.jobs_completed));
+  out.counter("net.jobs.failed").set(get(counters_.jobs_failed));
+  out.counter("net.drains").set(get(counters_.drains));
+  out.merge_from(runtime_->metrics());
+  return out;
+}
+
+}  // namespace sring::net

@@ -1,0 +1,145 @@
+// Poll-based job server: the rt runtime exposed as a network service.
+//
+// One thread runs the whole network side — a poll() loop over the
+// listening socket, a self-wake pipe and every client connection —
+// while the owned rt::Runtime's worker fleet executes jobs.  The
+// design invariants:
+//
+//  * The accept loop never blocks on the fleet.  SubmitJob frames go
+//    through Runtime::try_submit; a full queue answers Error{kBusy}
+//    immediately (bounded backpressure, load is shed at admission
+//    exactly like the JobQueue sheds it in-process).
+//  * Job completions wake the loop through the pipe (workers call the
+//    envelope's notify hook), so response latency is not quantized by
+//    the poll timeout.
+//  * Malformed bytes (bad magic/version, oversized frame, CRC
+//    mismatch, garbage) answer Error{kBadRequest} and close that one
+//    connection; the server itself never crashes or hangs on them.
+//  * Drain — via a Drain frame, request_drain() or SIGTERM when
+//    enable_signal_drain() was called — stops accepting connections
+//    and jobs, lets in-flight jobs finish, flushes every response,
+//    then returns from run().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "rt/runtime.hpp"
+
+namespace sring::net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+
+  rt::RuntimeConfig runtime;  ///< worker fleet behind the socket
+
+  std::size_t max_connections = 64;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// Idle cutoff for a connection with no pending jobs; activity on
+  /// the socket or a job completion resets it.
+  std::chrono::milliseconds idle_timeout{30000};
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (so port() is valid before run()),
+  /// and starts the runtime fleet.  Throws NetError on bind failure.
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound TCP port (resolves an ephemeral request).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Serve until drained.  Returns once every accepted job has been
+  /// answered and every response flushed.
+  void run();
+
+  /// Thread- and signal-safe drain request; run() winds down.
+  void request_drain() noexcept;
+
+  /// Route SIGTERM/SIGINT to request_drain() of this server (one
+  /// server per process; `sras serve` uses it).
+  void enable_signal_drain();
+
+  /// net.* counters plus the fleet's rt.* metrics, callable from any
+  /// thread while run() is live.
+  obs::Registry metrics() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;  ///< never reused, unlike fds
+    std::vector<std::uint8_t> in;
+    std::vector<std::uint8_t> out;
+    std::size_t out_pos = 0;
+    std::size_t pending_jobs = 0;
+    bool closing = false;  ///< close once out drains
+    std::chrono::steady_clock::time_point last_activity;
+  };
+
+  struct PendingJob {
+    std::uint64_t conn_id = 0;
+    std::uint32_t tag = 0;
+    std::future<rt::JobResult> result;
+  };
+
+  void send_frame(Conn& conn, MsgType type,
+                  std::span<const std::uint8_t> payload);
+  void send_error(Conn& conn, std::uint32_t tag, ErrorCode code,
+                  const std::string& message);
+  void handle_frame(Conn& conn, const Frame& frame);
+  void handle_submit(Conn& conn, const Frame& frame);
+  /// Parse conn.in; returns false when the connection must close.
+  bool drain_input(Conn& conn);
+  void accept_ready();
+  void collect_completions();
+  void close_conn(Conn& conn);
+  Conn* find_conn(std::uint64_t id);
+
+  ServerConfig config_;
+  std::unique_ptr<rt::Runtime> runtime_;
+  int listen_fd_ = -1;
+  int wake_r_ = -1;
+  int wake_w_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> drain_requested_{false};
+  bool ran_ = false;
+
+  std::deque<Conn> conns_;
+  std::vector<PendingJob> pending_;
+  std::uint64_t next_conn_id_ = 1;
+
+  struct NetCounters {
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> connections_closed{0};
+    std::atomic<std::uint64_t> connections_rejected{0};
+    std::atomic<std::uint64_t> frames_in{0};
+    std::atomic<std::uint64_t> frames_out{0};
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+    std::atomic<std::uint64_t> rejects_busy{0};
+    std::atomic<std::uint64_t> rejects_shutdown{0};
+    std::atomic<std::uint64_t> protocol_errors{0};
+    std::atomic<std::uint64_t> timeouts{0};
+    std::atomic<std::uint64_t> jobs_submitted{0};
+    std::atomic<std::uint64_t> jobs_completed{0};
+    std::atomic<std::uint64_t> jobs_failed{0};
+    std::atomic<std::uint64_t> drains{0};
+  };
+  NetCounters counters_;
+};
+
+}  // namespace sring::net

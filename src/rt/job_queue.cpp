@@ -16,7 +16,10 @@ bool JobQueue::push(Envelope envelope) {
     not_full_.wait(lock,
                    [&] { return items_.size() < capacity_ || closed_; });
   }
-  if (closed_) return false;
+  if (closed_) {
+    ++stats_.rejected_closed;
+    return false;
+  }
   items_.push_back(std::move(envelope));
   ++stats_.enqueued;
   stats_.max_depth = std::max<std::uint64_t>(stats_.max_depth,
@@ -24,6 +27,25 @@ bool JobQueue::push(Envelope envelope) {
   lock.unlock();
   not_empty_.notify_one();
   return true;
+}
+
+JobQueue::PushStatus JobQueue::try_push(Envelope& envelope) {
+  std::unique_lock lock(mu_);
+  if (closed_) {
+    ++stats_.rejected_closed;
+    return PushStatus::kClosed;
+  }
+  if (items_.size() >= capacity_) {
+    ++stats_.rejected_full;
+    return PushStatus::kFull;
+  }
+  items_.push_back(std::move(envelope));
+  ++stats_.enqueued;
+  stats_.max_depth = std::max<std::uint64_t>(stats_.max_depth,
+                                             items_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+  return PushStatus::kOk;
 }
 
 std::optional<JobQueue::Envelope> JobQueue::pop() {

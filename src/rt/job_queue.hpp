@@ -12,6 +12,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <optional>
@@ -27,7 +28,16 @@ class JobQueue {
   struct Envelope {
     Job job;
     std::promise<JobResult> result;
+
+    /// Optional completion hook, invoked by the worker *after* the
+    /// promise is fulfilled.  Lets a poll-loop consumer (the net
+    /// server) get woken without blocking on the future; must be
+    /// cheap and must not throw.
+    std::function<void()> notify;
   };
+
+  /// Outcome of a non-blocking try_push().
+  enum class PushStatus : std::uint8_t { kOk = 0, kFull, kClosed };
 
   struct Stats {
     std::size_t capacity = 0;
@@ -36,6 +46,8 @@ class JobQueue {
     std::uint64_t dequeued = 0;      ///< successful pop() calls
     std::uint64_t max_depth = 0;     ///< high-water mark
     std::uint64_t blocked_pushes = 0;///< push() calls that had to wait
+    std::uint64_t rejected_full = 0; ///< try_push() calls that saw kFull
+    std::uint64_t rejected_closed = 0;///< push/try_push after close()
     bool closed = false;
   };
 
@@ -47,6 +59,12 @@ class JobQueue {
   /// Enqueue, blocking while full.  Returns false (envelope untouched
   /// beyond the move attempt) once the queue is closed.
   bool push(Envelope envelope);
+
+  /// Non-blocking enqueue: kFull when the queue is at capacity (the
+  /// admission decision a network server needs to reject with Busy
+  /// instead of parking its accept loop), kClosed after close().  The
+  /// envelope is consumed only on kOk.
+  PushStatus try_push(Envelope& envelope);
 
   /// Dequeue, blocking while empty.  nullopt only after close() AND
   /// the queue fully drained — a closed queue still hands out its

@@ -63,6 +63,29 @@ std::future<JobResult> Runtime::submit(Job job) {
   return fut;
 }
 
+Runtime::TrySubmit Runtime::try_submit(Job job,
+                                       std::function<void()> notify) {
+  JobQueue::Envelope env;
+  env.job = std::move(job);
+  env.notify = std::move(notify);
+  TrySubmit out;
+  out.result = env.result.get_future();
+  switch (queue_.try_push(env)) {
+    case JobQueue::PushStatus::kOk:
+      out.status = SubmitStatus::kAccepted;
+      break;
+    case JobQueue::PushStatus::kFull:
+      out.status = SubmitStatus::kQueueFull;
+      out.result = {};
+      break;
+    case JobQueue::PushStatus::kClosed:
+      out.status = SubmitStatus::kShutDown;
+      out.result = {};
+      break;
+  }
+  return out;
+}
+
 std::vector<JobResult> Runtime::submit_batch(std::vector<Job> jobs) {
   std::vector<std::future<JobResult>> futures;
   futures.reserve(jobs.size());
@@ -110,6 +133,7 @@ void Runtime::worker_main(std::size_t index) {
     }
 
     env->result.set_value(std::move(result));
+    if (env->notify) env->notify();
   }
   if (w.sink) w.sink->end();
 }
@@ -165,6 +189,8 @@ obs::Registry Runtime::metrics() const {
   out.counter("rt.queue.dequeued").set(q.dequeued);
   out.counter("rt.queue.max_depth").set(q.max_depth);
   out.counter("rt.queue.blocked_pushes").set(q.blocked_pushes);
+  out.counter("rt.queue.rejected_full").set(q.rejected_full);
+  out.counter("rt.queue.rejected_closed").set(q.rejected_closed);
 
   for (const auto& w : workers_) {
     std::lock_guard lock(w->mu);

@@ -69,6 +69,24 @@ class Runtime {
   /// Throws SimError after shutdown().
   std::future<JobResult> submit(Job job);
 
+  /// Outcome of a non-blocking try_submit().
+  enum class SubmitStatus : std::uint8_t {
+    kAccepted = 0,
+    kQueueFull,  ///< bounded queue at capacity — caller should shed load
+    kShutDown,   ///< runtime already shut down
+  };
+  struct TrySubmit {
+    SubmitStatus status = SubmitStatus::kShutDown;
+    std::future<JobResult> result;  ///< valid only when kAccepted
+  };
+
+  /// Non-blocking submission for callers that must never park (the net
+  /// server's accept loop): returns kQueueFull instead of waiting and
+  /// kShutDown instead of throwing.  `notify`, when set, is invoked by
+  /// the worker after the result future becomes ready — it runs on the
+  /// worker thread and must be cheap and non-throwing.
+  TrySubmit try_submit(Job job, std::function<void()> notify = {});
+
   /// Synchronous convenience: submit every job, wait for all, return
   /// results in submission order.  Jobs still spread across the whole
   /// fleet; ordering is restored on collection.

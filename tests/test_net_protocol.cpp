@@ -1,0 +1,233 @@
+// Wire-protocol unit tests: byte-level framing, CRC, codec round
+// trips, and the malformed-input taxonomy (truncated, oversized, bad
+// magic/version, CRC mismatch) — all without a socket.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/image.hpp"
+#include "net/protocol.hpp"
+#include "rt/runtime.hpp"
+
+namespace sring::net {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const char* s) {
+  return std::vector<std::uint8_t>(s, s + std::strlen(s));
+}
+
+TEST(Crc32, MatchesIeeeCheckValue) {
+  const auto data = bytes_of("123456789");
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::span<const std::uint8_t>{}), 0u);
+}
+
+TEST(Framing, RoundTripsAllMessageTypes) {
+  for (const MsgType type :
+       {MsgType::kPing, MsgType::kSubmitJob, MsgType::kDrainAck}) {
+    const auto payload = bytes_of("some payload");
+    std::vector<std::uint8_t> wire;
+    append_frame(wire, type, payload);
+    EXPECT_EQ(wire.size(),
+              kHeaderBytes + payload.size() + kTrailerBytes);
+
+    Frame frame;
+    std::size_t consumed = 0;
+    EXPECT_EQ(try_parse_frame(wire, kDefaultMaxFrameBytes, frame, consumed),
+              ParseStatus::kFrame);
+    EXPECT_EQ(consumed, wire.size());
+    EXPECT_EQ(frame.type, type);
+    EXPECT_EQ(frame.payload, payload);
+  }
+}
+
+TEST(Framing, TwoFramesParseBackToBack) {
+  std::vector<std::uint8_t> wire;
+  append_frame(wire, MsgType::kPing, encode_ping(1));
+  append_frame(wire, MsgType::kDrain, {});
+
+  Frame frame;
+  std::size_t consumed = 0;
+  ASSERT_EQ(try_parse_frame(wire, kDefaultMaxFrameBytes, frame, consumed),
+            ParseStatus::kFrame);
+  EXPECT_EQ(frame.type, MsgType::kPing);
+  wire.erase(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(consumed));
+  ASSERT_EQ(try_parse_frame(wire, kDefaultMaxFrameBytes, frame, consumed),
+            ParseStatus::kFrame);
+  EXPECT_EQ(frame.type, MsgType::kDrain);
+  EXPECT_EQ(consumed, wire.size());
+}
+
+TEST(Framing, TruncatedPrefixWantsMoreBytes) {
+  std::vector<std::uint8_t> wire;
+  append_frame(wire, MsgType::kPing, encode_ping(42));
+  Frame frame;
+  std::size_t consumed = 0;
+  // Every strict prefix is kNeedMore — a partial frame never errors,
+  // never parses.
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(wire.data(), cut);
+    EXPECT_EQ(try_parse_frame(prefix, kDefaultMaxFrameBytes, frame, consumed),
+              ParseStatus::kNeedMore)
+        << "at prefix length " << cut;
+  }
+}
+
+TEST(Framing, BadMagicRejectsOnFirstDivergentByte) {
+  Frame frame;
+  std::size_t consumed = 0;
+  const auto garbage = bytes_of("GET / HTTP/1.1\r\n");
+  EXPECT_EQ(try_parse_frame(garbage, kDefaultMaxFrameBytes, frame, consumed),
+            ParseStatus::kBadMagic);
+  // Even a single wrong byte is enough.
+  const std::vector<std::uint8_t> one = {'X'};
+  EXPECT_EQ(try_parse_frame(one, kDefaultMaxFrameBytes, frame, consumed),
+            ParseStatus::kBadMagic);
+}
+
+TEST(Framing, BadVersionRejected) {
+  std::vector<std::uint8_t> wire;
+  append_frame(wire, MsgType::kPing, encode_ping(7));
+  wire[4] = 0xFE;  // version low byte
+  Frame frame;
+  std::size_t consumed = 0;
+  EXPECT_EQ(try_parse_frame(wire, kDefaultMaxFrameBytes, frame, consumed),
+            ParseStatus::kBadVersion);
+}
+
+TEST(Framing, OversizedFrameRejectedFromHeaderAlone) {
+  std::vector<std::uint8_t> wire;
+  append_frame(wire, MsgType::kSubmitJob, bytes_of("xx"));
+  wire[8] = 0xFF;  // length field -> huge
+  wire[9] = 0xFF;
+  wire[10] = 0xFF;
+  wire[11] = 0x7F;
+  Frame frame;
+  std::size_t consumed = 0;
+  // The limit applies before any payload bytes arrive.
+  EXPECT_EQ(try_parse_frame(
+                std::span<const std::uint8_t>(wire.data(), kHeaderBytes),
+                kDefaultMaxFrameBytes, frame, consumed),
+            ParseStatus::kTooLarge);
+}
+
+TEST(Framing, CrcMismatchRejected) {
+  std::vector<std::uint8_t> wire;
+  append_frame(wire, MsgType::kPing, encode_ping(99));
+  wire[kHeaderBytes] ^= 0x01;  // flip one payload bit
+  Frame frame;
+  std::size_t consumed = 0;
+  EXPECT_EQ(try_parse_frame(wire, kDefaultMaxFrameBytes, frame, consumed),
+            ParseStatus::kBadCrc);
+}
+
+JobRequest sample_request(KernelId kernel) {
+  JobRequest req;
+  req.kernel = kernel;
+  req.geometry = {8, 2, 16};
+  req.tag = 0xC0FFEE;
+  switch (kernel) {
+    case KernelId::kFir:
+      req.fir_coeffs = {1, static_cast<Word>(-2), 3};
+      req.input = {10, 20, 30, 40};
+      break;
+    case KernelId::kMotionEstimation:
+      req.me_ref = Image::synthetic(16, 16, 3);
+      req.me_cand = Image::shifted(req.me_ref, 1, 0, 5, 2);
+      req.me_rx = 4;
+      req.me_ry = 4;
+      req.me_range = 1;
+      break;
+    case KernelId::kDwt53:
+      req.input = {1, 2, 3, 4, 5, 6, 7, 8};
+      break;
+    case KernelId::kMatvec8:
+      req.matvec_m.assign(64, 7);
+      req.input.assign(16, 3);
+      break;
+  }
+  return req;
+}
+
+TEST(Codec, JobRequestRoundTripsForEveryKernel) {
+  for (const KernelId k :
+       {KernelId::kFir, KernelId::kMotionEstimation, KernelId::kDwt53,
+        KernelId::kMatvec8}) {
+    const JobRequest req = sample_request(k);
+    const JobRequest back = decode_job_request(encode_job_request(req));
+    EXPECT_EQ(back, req);
+  }
+}
+
+TEST(Codec, JobResultRoundTrips) {
+  JobResultMsg msg;
+  msg.tag = 7;
+  msg.outputs = {1, 0xFFFF, 3};
+  msg.sim_cycles = 123456789;
+  msg.worker = 3;
+  msg.reused_system = 1;
+  msg.counters = {{"sim.cycles", 123456789}, {"sim.dnode_ops", 42}};
+  EXPECT_EQ(decode_job_result(encode_job_result(msg)), msg);
+}
+
+TEST(Codec, ErrorAndServerInfoAndPingRoundTrip) {
+  ErrorMsg err;
+  err.tag = 9;
+  err.code = ErrorCode::kBusy;
+  err.message = "job queue is full — resubmit later";
+  EXPECT_EQ(decode_error(encode_error(err)), err);
+
+  ServerInfoMsg info;
+  info.workers = 8;
+  info.queue_capacity = 64;
+  info.max_frame_bytes = 1 << 20;
+  info.jobs_completed = 12345;
+  info.server = "sring-serve";
+  EXPECT_EQ(decode_server_info(encode_server_info(info)), info);
+
+  EXPECT_EQ(decode_ping(encode_ping(0xDEADBEEFCAFEull)), 0xDEADBEEFCAFEull);
+}
+
+TEST(Codec, TruncatedPayloadThrowsTyped) {
+  auto payload = encode_job_request(sample_request(KernelId::kFir));
+  payload.resize(payload.size() / 2);
+  EXPECT_THROW(decode_job_request(payload), ProtocolError);
+}
+
+TEST(Codec, TrailingBytesThrowTyped) {
+  auto payload = encode_ping(5);
+  payload.push_back(0);
+  EXPECT_THROW(decode_ping(payload), ProtocolError);
+}
+
+TEST(Codec, UnknownKernelIdThrowsTyped) {
+  auto payload = encode_job_request(sample_request(KernelId::kDwt53));
+  payload[4] = 0x77;  // kernel id low byte (after u32 tag)
+  payload[5] = 0x00;
+  EXPECT_THROW(decode_job_request(payload), ProtocolError);
+}
+
+TEST(Codec, ImagePixelCountMismatchThrowsTyped) {
+  JobRequest req = sample_request(KernelId::kMotionEstimation);
+  auto payload = encode_job_request(req);
+  // Shrink the declared ref width: pixels no longer match w*h.  The
+  // width sits after tag u32 + kernel u16 + geometry u16*3.
+  payload[12] = 0x08;
+  EXPECT_THROW(decode_job_request(payload), ProtocolError);
+}
+
+TEST(JobMapping, MatchesKernelDescriptors) {
+  const JobRequest req = sample_request(KernelId::kFir);
+  const rt::Job job = to_rt_job(req);
+  EXPECT_EQ(job.name, "fir.spatial");
+  EXPECT_EQ(job.take_words, req.input.size());
+  EXPECT_FALSE(job.program_key.empty());
+
+  JobRequest bad = sample_request(KernelId::kMatvec8);
+  bad.matvec_m.resize(63);
+  EXPECT_THROW(to_rt_job(bad), SimError);
+}
+
+}  // namespace
+}  // namespace sring::net

@@ -1,0 +1,462 @@
+// Loopback integration tests of the remote job-serving subsystem:
+// bit-exactness of every kernels/jobs kernel against direct
+// rt::Runtime execution, bounded backpressure (Busy), SimError text
+// travelling verbatim, survival under malformed/truncated bytes, idle
+// reaping, drain semantics, and client connect-retry.  Every socket
+// carries a receive deadline so a regression fails instead of hanging.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/image.hpp"
+#include "common/rng.hpp"
+#include "dsp/matvec.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "rt/runtime.hpp"
+
+namespace sring::net {
+namespace {
+
+constexpr RingGeometry kGeom{8, 2, 16};
+
+/// Server + run() thread with drain-on-destruction, so a failing
+/// assertion never leaves the loop thread dangling.
+struct TestServer {
+  explicit TestServer(ServerConfig cfg = {})
+      : server(std::move(cfg)), thread([this] { server.run(); }) {}
+  ~TestServer() { stop(); }
+
+  void stop() {
+    if (thread.joinable()) {
+      server.request_drain();
+      thread.join();
+    }
+  }
+
+  Server server;
+  std::thread thread;
+};
+
+/// Minimal blocking socket for byte-level tests the Client class is
+/// deliberately unable to express (pipelining, garbage, half frames).
+class RawConn {
+ public:
+  explicit RawConn(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    check(fd_ >= 0, "test: socket() failed");
+    timeval tv{};
+    tv.tv_sec = 10;  // receive deadline: fail, don't hang
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    check(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) == 0,
+          "test: connect() failed: " + std::string(std::strerror(errno)));
+  }
+  ~RawConn() { close(); }
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  void send_all(std::span<const std::uint8_t> bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent,
+                               bytes.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0) << std::strerror(errno);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  void send_frame(MsgType type, std::span<const std::uint8_t> payload) {
+    std::vector<std::uint8_t> wire;
+    append_frame(wire, type, payload);
+    send_all(wire);
+  }
+
+  /// Next complete frame; false on orderly EOF or deadline.
+  bool recv_frame(Frame& out) {
+    std::uint8_t chunk[4096];
+    while (true) {
+      std::size_t consumed = 0;
+      const ParseStatus status =
+          try_parse_frame(in_, kDefaultMaxFrameBytes, out, consumed);
+      if (status == ParseStatus::kFrame) {
+        in_.erase(in_.begin(),
+                  in_.begin() + static_cast<std::ptrdiff_t>(consumed));
+        return true;
+      }
+      EXPECT_EQ(status, ParseStatus::kNeedMore);
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      in_.insert(in_.end(), chunk, chunk + n);
+    }
+  }
+
+  /// True when the server closes without sending anything further.
+  bool recv_eof() {
+    std::uint8_t chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    return n == 0;
+  }
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> in_;
+};
+
+/// One deterministic request per kernels/jobs kernel.
+std::vector<JobRequest> all_kernel_requests() {
+  std::vector<JobRequest> reqs;
+
+  JobRequest fir;
+  fir.kernel = KernelId::kFir;
+  fir.geometry = kGeom;
+  fir.fir_coeffs = {1, static_cast<Word>(-2), 3, 4};
+  fir.input.resize(96);
+  Rng rng(0xBEEF);
+  for (auto& w : fir.input) w = rng.next_word_in(-128, 127);
+  reqs.push_back(std::move(fir));
+
+  JobRequest me;
+  me.kernel = KernelId::kMotionEstimation;
+  me.geometry = kGeom;
+  me.me_ref = Image::synthetic(16, 16, 7);
+  me.me_cand = Image::shifted(me.me_ref, 1, -1, 11, 2);
+  me.me_rx = 4;
+  me.me_ry = 4;
+  me.me_range = 2;
+  reqs.push_back(std::move(me));
+
+  JobRequest dwt;
+  dwt.kernel = KernelId::kDwt53;
+  dwt.geometry = kGeom;
+  dwt.input.resize(64);
+  for (auto& w : dwt.input) w = rng.next_word_in(-128, 127);
+  reqs.push_back(std::move(dwt));
+
+  JobRequest mv;
+  mv.kernel = KernelId::kMatvec8;
+  mv.geometry = kGeom;
+  for (const auto& row : dsp::dct8_matrix_q7()) {
+    mv.matvec_m.insert(mv.matvec_m.end(), row.begin(), row.end());
+  }
+  mv.input.resize(32);
+  for (auto& w : mv.input) w = rng.next_word_in(-64, 63);
+  reqs.push_back(std::move(mv));
+
+  return reqs;
+}
+
+ClientConfig client_config(std::uint16_t port) {
+  ClientConfig cfg;
+  cfg.port = port;
+  cfg.io_timeout_ms = 10000;  // deadline, not a hang
+  return cfg;
+}
+
+// The acceptance bar of the subsystem: for every kernel the jobs
+// factories expose, the remote path returns the exact words a direct
+// rt::Runtime run returns.
+TEST(NetServer, RoundTripAllKernelsBitExact) {
+  const std::vector<JobRequest> reqs = all_kernel_requests();
+
+  std::vector<rt::JobResult> expected;
+  {
+    rt::RuntimeConfig cfg;
+    cfg.workers = 2;
+    rt::Runtime local(cfg);
+    std::vector<rt::Job> jobs;
+    for (const auto& req : reqs) jobs.push_back(to_rt_job(req));
+    expected = local.submit_batch(std::move(jobs));
+  }
+
+  ServerConfig scfg;
+  scfg.runtime.workers = 2;
+  TestServer ts(scfg);
+  Client client(client_config(ts.server.port()));
+  const std::vector<RemoteResult> remote = client.submit_batch(reqs);
+
+  ASSERT_EQ(remote.size(), expected.size());
+  for (std::size_t i = 0; i < remote.size(); ++i) {
+    ASSERT_TRUE(expected[i].ok) << expected[i].error;
+    ASSERT_TRUE(remote[i].ok) << remote[i].error;
+    EXPECT_EQ(remote[i].outputs, expected[i].outputs)
+        << "kernel " << i << " diverged across the wire";
+    EXPECT_EQ(remote[i].sim_cycles, expected[i].report.stats.cycles);
+    // The per-job observability slice rides along and is consistent.
+    bool saw_cycles = false;
+    for (const auto& [name, value] : remote[i].counters) {
+      if (name == "sim.cycles") {
+        saw_cycles = true;
+        EXPECT_EQ(value, remote[i].sim_cycles);
+      }
+    }
+    EXPECT_TRUE(saw_cycles);
+  }
+
+  ts.stop();
+  const auto m = ts.server.metrics();
+  EXPECT_EQ(m.find_counter("net.jobs.completed")->value(), reqs.size());
+  EXPECT_EQ(m.find_counter("net.jobs.failed")->value(), 0u);
+}
+
+TEST(NetServer, PingAndServerInfo) {
+  ServerConfig scfg;
+  scfg.runtime.workers = 1;
+  scfg.runtime.queue_capacity = 7;
+  TestServer ts(scfg);
+
+  Client client(client_config(ts.server.port()));
+  EXPECT_GT(client.ping(), 0.0);
+
+  const ServerInfoMsg info = client.server_info();
+  EXPECT_EQ(info.protocol_version, kProtocolVersion);
+  EXPECT_EQ(info.workers, 1u);
+  EXPECT_EQ(info.queue_capacity, 7u);
+  EXPECT_EQ(info.max_frame_bytes, kDefaultMaxFrameBytes);
+  EXPECT_EQ(info.server, "sring-serve");
+}
+
+// Bounded backpressure: with workers=1, queue=1 and a fat job at the
+// head, a pipelined burst must see Error{kBusy} — and the accepted
+// jobs must still come back bit-exact.
+TEST(NetServer, QueueFullAnswersBusyWithoutBlocking) {
+  JobRequest big;
+  big.kernel = KernelId::kFir;
+  big.geometry = kGeom;
+  big.fir_coeffs = {1, 2};
+  big.input.resize(65536);
+  for (std::size_t i = 0; i < big.input.size(); ++i) {
+    big.input[i] = static_cast<Word>(i & 0x7F);
+  }
+  std::vector<Word> expected;
+  {
+    rt::Runtime local;
+    rt::JobResult r = local.submit(to_rt_job(big)).get();
+    ASSERT_TRUE(r.ok) << r.error;
+    expected = std::move(r.outputs);
+  }
+
+  ServerConfig scfg;
+  scfg.runtime.workers = 1;
+  scfg.runtime.queue_capacity = 1;
+  TestServer ts(scfg);
+
+  // Pipeline 8 identical submits in one burst: the worker is stuck on
+  // the first for milliseconds while the loop decodes microsecond-cheap
+  // frames, so the tiny queue must overflow.
+  constexpr std::uint32_t kBurst = 8;
+  RawConn raw(ts.server.port());
+  std::vector<std::uint8_t> wire;
+  for (std::uint32_t tag = 1; tag <= kBurst; ++tag) {
+    big.tag = tag;
+    append_frame(wire, MsgType::kSubmitJob, encode_job_request(big));
+  }
+  raw.send_all(wire);
+
+  std::size_t results = 0;
+  std::size_t busy = 0;
+  for (std::uint32_t i = 0; i < kBurst; ++i) {
+    Frame frame;
+    ASSERT_TRUE(raw.recv_frame(frame)) << "response " << i << " missing";
+    if (frame.type == MsgType::kJobResult) {
+      const JobResultMsg msg = decode_job_result(frame.payload);
+      EXPECT_EQ(msg.outputs, expected);
+      ++results;
+    } else {
+      ASSERT_EQ(frame.type, MsgType::kError);
+      const ErrorMsg err = decode_error(frame.payload);
+      EXPECT_EQ(err.code, ErrorCode::kBusy);
+      EXPECT_FALSE(err.message.empty());
+      ++busy;
+    }
+  }
+  EXPECT_GE(busy, 1u) << "capacity-1 queue absorbed an 8-deep burst";
+  EXPECT_GE(results, 2u);  // head job + at least the one queued slot
+  raw.close();
+
+  ts.stop();
+  const auto m = ts.server.metrics();
+  EXPECT_EQ(m.find_counter("net.rejects.busy")->value(), busy);
+  EXPECT_EQ(m.find_counter("net.jobs.completed")->value(), results);
+}
+
+// A request the jobs factories reject raises a SimError on the server;
+// the client must see the identical text, and the connection must stay
+// usable afterwards.
+TEST(NetServer, SimErrorTextTravelsVerbatim) {
+  JobRequest bad;
+  bad.kernel = KernelId::kDwt53;
+  bad.geometry = kGeom;
+  bad.input = {1, 2, 3};  // dwt53 requires an even-length signal
+
+  std::string local_text;
+  try {
+    (void)to_rt_job(bad);
+    FAIL() << "odd-length dwt request unexpectedly built a job";
+  } catch (const SimError& e) {
+    local_text = e.what();
+  }
+
+  TestServer ts;
+  Client client(client_config(ts.server.port()));
+  const RemoteResult r = client.submit(bad);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.busy);
+  EXPECT_EQ(r.error, local_text);
+
+  // Same connection, next request: the server only closed the job, not
+  // the conversation.
+  EXPECT_GT(client.ping(), 0.0);
+}
+
+TEST(NetServer, GarbageBytesAnswerErrorAndClose) {
+  TestServer ts;
+  {
+    RawConn raw(ts.server.port());
+    const char* garbage = "GET / HTTP/1.1\r\nHost: sring\r\n\r\n";
+    raw.send_all(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(garbage),
+        std::strlen(garbage)));
+    Frame frame;
+    ASSERT_TRUE(raw.recv_frame(frame));
+    ASSERT_EQ(frame.type, MsgType::kError);
+    const ErrorMsg err = decode_error(frame.payload);
+    EXPECT_EQ(err.code, ErrorCode::kBadRequest);
+    EXPECT_TRUE(raw.recv_eof());
+  }
+  // The server survived the garbage and serves the next client.
+  Client client(client_config(ts.server.port()));
+  EXPECT_GT(client.ping(), 0.0);
+}
+
+TEST(NetServer, CrcMismatchAnswersErrorAndClose) {
+  TestServer ts;
+  RawConn raw(ts.server.port());
+  std::vector<std::uint8_t> wire;
+  append_frame(wire, MsgType::kPing, encode_ping(12345));
+  wire[kHeaderBytes] ^= 0x01;
+  raw.send_all(wire);
+  Frame frame;
+  ASSERT_TRUE(raw.recv_frame(frame));
+  ASSERT_EQ(frame.type, MsgType::kError);
+  const ErrorMsg err = decode_error(frame.payload);
+  EXPECT_EQ(err.code, ErrorCode::kBadRequest);
+  EXPECT_NE(err.message.find("CRC"), std::string::npos);
+  EXPECT_TRUE(raw.recv_eof());
+}
+
+TEST(NetServer, OversizedFrameRejectedFromHeader) {
+  TestServer ts;
+  RawConn raw(ts.server.port());
+  std::vector<std::uint8_t> wire;
+  append_frame(wire, MsgType::kSubmitJob, encode_ping(0));
+  wire[8] = 0xFF;  // declared payload length -> ~2 GiB
+  wire[9] = 0xFF;
+  wire[10] = 0xFF;
+  wire[11] = 0x7F;
+  raw.send_all(std::span<const std::uint8_t>(wire.data(), kHeaderBytes));
+  Frame frame;
+  ASSERT_TRUE(raw.recv_frame(frame));
+  ASSERT_EQ(frame.type, MsgType::kError);
+  EXPECT_EQ(decode_error(frame.payload).code, ErrorCode::kBadRequest);
+  EXPECT_TRUE(raw.recv_eof());
+}
+
+TEST(NetServer, MidFrameDisconnectLeavesServerHealthy) {
+  TestServer ts;
+  {
+    RawConn raw(ts.server.port());
+    std::vector<std::uint8_t> wire;
+    append_frame(wire, MsgType::kSubmitJob,
+                 encode_job_request(all_kernel_requests()[0]));
+    // Half a frame, then vanish.
+    raw.send_all(std::span<const std::uint8_t>(wire.data(), wire.size() / 2));
+    raw.close();
+  }
+  Client client(client_config(ts.server.port()));
+  EXPECT_GT(client.ping(), 0.0);
+  const RemoteResult r = client.submit(all_kernel_requests()[2]);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(NetServer, IdleConnectionsAreReaped) {
+  ServerConfig scfg;
+  scfg.idle_timeout = std::chrono::milliseconds(100);
+  TestServer ts(scfg);
+  RawConn raw(ts.server.port());
+  // Say nothing; the server must hang up within a few poll ticks.
+  EXPECT_TRUE(raw.recv_eof());
+  ts.stop();
+  EXPECT_GE(ts.server.metrics().find_counter("net.timeouts")->value(), 1u);
+}
+
+TEST(NetServer, DrainAcksStopsAcceptingAndExits) {
+  auto ts = std::make_unique<TestServer>();
+  const std::uint16_t port = ts->server.port();
+
+  Client client(client_config(port));
+  const RemoteResult r = client.submit(all_kernel_requests()[0]);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(client.drain());
+
+  // run() returns on its own — stop() only joins here.
+  ts->stop();
+  EXPECT_GE(ts->server.metrics().find_counter("net.drains")->value(), 1u);
+  ts.reset();
+
+  // The listening socket is gone: a fresh connect must fail fast.
+  ClientConfig ccfg = client_config(port);
+  ccfg.connect_attempts = 2;
+  ccfg.backoff_initial_ms = 1;
+  Client late(ccfg);
+  EXPECT_THROW(late.connect(), NetError);
+}
+
+TEST(NetClient, ConnectRetriesThenThrowsTyped) {
+  // Grab an ephemeral port, then free it: nobody is listening there.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const std::uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  ClientConfig cfg;
+  cfg.port = dead_port;
+  cfg.connect_attempts = 3;
+  cfg.backoff_initial_ms = 1;
+  Client client(cfg);
+  EXPECT_THROW(client.connect(), NetError);
+  EXPECT_FALSE(client.connected());
+}
+
+}  // namespace
+}  // namespace sring::net
