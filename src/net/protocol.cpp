@@ -1,5 +1,6 @@
 #include "net/protocol.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 
@@ -168,7 +169,14 @@ std::uint32_t crc32(std::span<const std::uint8_t> data) {
 
 void append_frame(std::vector<std::uint8_t>& out, MsgType type,
                   std::span<const std::uint8_t> payload) {
-  out.reserve(out.size() + kHeaderBytes + payload.size() + kTrailerBytes);
+  // Grow geometrically even when asked for an exact fit: reserve(size+n)
+  // per frame would otherwise reallocate-and-copy the whole accumulation
+  // buffer on EVERY append, turning a response backlog quadratic.
+  const std::size_t need =
+      out.size() + kHeaderBytes + payload.size() + kTrailerBytes;
+  if (out.capacity() < need) {
+    out.reserve(std::max(need, out.capacity() * 2));
+  }
   out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
   const std::uint16_t version = kProtocolVersion;
   out.push_back(static_cast<std::uint8_t>(version));
@@ -189,6 +197,9 @@ ParseStatus try_parse_frame(std::span<const std::uint8_t> buffer,
                             std::size_t max_frame_bytes, Frame& frame,
                             std::size_t& consumed) {
   consumed = 0;
+  // An empty span may have a null data(); memcmp on it is UB even with
+  // length 0.
+  if (buffer.empty()) return ParseStatus::kNeedMore;
   // Reject a wrong magic as soon as the first divergent byte arrives —
   // garbage on the socket should not sit unanswered until 12 bytes
   // accumulate.
@@ -375,6 +386,9 @@ rt::Job to_rt_job(const JobRequest& req) {
     case KernelId::kMotionEstimation:
       check(req.me_range >= 1,
             "net: motion-estimation range must be at least 1");
+      check(req.me_range <= kMaxMotionRange,
+            "net: motion-estimation range exceeds limit of " +
+                std::to_string(kMaxMotionRange));
       return kernels::make_motion_estimation_job(
           req.geometry, req.me_ref, req.me_rx, req.me_ry, req.me_cand,
           static_cast<int>(req.me_range));

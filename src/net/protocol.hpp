@@ -60,6 +60,12 @@ inline constexpr std::size_t kTrailerBytes = 4;
 /// Default cap on payload size; both peers enforce it before buffering.
 inline constexpr std::size_t kDefaultMaxFrameBytes = 4u << 20;
 
+/// Server-side cap on the motion-estimation search range.  The
+/// displacement set grows as (2*range+1)^2, so an unchecked u16 range
+/// in a tiny frame could demand O(range^2) memory before the job ever
+/// reaches the queue; requests above the cap answer Error{kBadRequest}.
+inline constexpr std::uint16_t kMaxMotionRange = 64;
+
 enum class MsgType : std::uint16_t {
   kPing = 1,           ///< u64 token; server echoes it back as Pong
   kPong = 2,

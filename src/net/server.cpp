@@ -36,7 +36,11 @@ void close_fd(int& fd) {
 
 /// SIGTERM/SIGINT → request_drain() of the one registered server.
 /// request_drain is async-signal-safe: an atomic store plus write().
+/// The previous dispositions are kept so ~Server can restore them
+/// before the instance dies (signals must never reach a freed server).
 std::atomic<Server*> g_signal_server{nullptr};
+struct sigaction g_prev_sigterm {};
+struct sigaction g_prev_sigint {};
 
 void signal_drain_handler(int) {
   Server* server = g_signal_server.load(std::memory_order_acquire);
@@ -93,7 +97,14 @@ Server::Server(ServerConfig config) : config_(std::move(config)) {
 }
 
 Server::~Server() {
-  if (g_signal_server.load(std::memory_order_acquire) == this) {
+  if (signal_handlers_installed_ &&
+      g_signal_server.load(std::memory_order_acquire) == this) {
+    // Restore the previous dispositions FIRST: after sigaction returns
+    // no new signal can enter signal_drain_handler, so the pointer
+    // clear below cannot race a handler into a destroyed server.
+    // (Assumes no other thread installs SIGTERM/SIGINT concurrently.)
+    ::sigaction(SIGTERM, &g_prev_sigterm, nullptr);
+    ::sigaction(SIGINT, &g_prev_sigint, nullptr);
     g_signal_server.store(nullptr, std::memory_order_release);
   }
   runtime_.reset();  // joins workers first: no notify after the pipe dies
@@ -114,8 +125,9 @@ void Server::enable_signal_drain() {
   struct sigaction sa{};
   sa.sa_handler = signal_drain_handler;
   ::sigemptyset(&sa.sa_mask);
-  ::sigaction(SIGTERM, &sa, nullptr);
-  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, &g_prev_sigterm);
+  ::sigaction(SIGINT, &sa, &g_prev_sigint);
+  signal_handlers_installed_ = true;
 }
 
 Server::Conn* Server::find_conn(std::uint64_t id) {
@@ -201,6 +213,12 @@ void Server::handle_submit(Conn& conn, const Frame& frame) {
   } catch (const SimError& e) {
     send_error(conn, req.tag, ErrorCode::kBadRequest, e.what());
     return;
+  } catch (const std::exception& e) {
+    // e.g. std::bad_alloc from a request whose parameters demand more
+    // memory than the host has — the never-crash invariant holds: the
+    // request fails, the server keeps serving.
+    send_error(conn, req.tag, ErrorCode::kBadRequest, e.what());
+    return;
   }
   const int wake_fd = wake_w_;
   auto submitted = runtime_->try_submit(std::move(job), [wake_fd] {
@@ -269,10 +287,16 @@ void Server::handle_frame(Conn& conn, const Frame& frame) {
     counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
     send_error(conn, 0, ErrorCode::kBadRequest, e.what());
     conn.closing = true;
+  } catch (const std::exception& e) {
+    // Last-resort guard for the never-crash invariant: whatever one
+    // frame did, only that connection pays for it.
+    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, 0, ErrorCode::kInternal, e.what());
+    conn.closing = true;
   }
 }
 
-bool Server::drain_input(Conn& conn) {
+void Server::drain_input(Conn& conn) {
   std::size_t offset = 0;
   bool keep = true;
   while (keep && !conn.closing) {
@@ -306,7 +330,6 @@ bool Server::drain_input(Conn& conn) {
     conn.in.erase(conn.in.begin(),
                   conn.in.begin() + static_cast<std::ptrdiff_t>(offset));
   }
-  return true;
 }
 
 void Server::accept_ready() {
@@ -372,6 +395,11 @@ void Server::run() {
   std::vector<std::uint64_t> fd_conn_ids;  // parallel to fds tail
   std::vector<std::uint8_t> buf(64 * 1024);
 
+  // Armed when the drain flush phase begins; a peer that never reads
+  // its responses cannot hold run() open past this deadline.
+  bool drain_flush_armed = false;
+  std::chrono::steady_clock::time_point drain_flush_deadline{};
+
   while (true) {
     const bool draining = drain_requested_.load(std::memory_order_acquire);
     if (draining && listen_fd_ >= 0) close_fd(listen_fd_);
@@ -388,6 +416,11 @@ void Server::run() {
 
     if (draining && pending_.empty()) {
       // In-flight work answered; flush what remains and finish.
+      const auto flush_now = std::chrono::steady_clock::now();
+      if (!drain_flush_armed) {
+        drain_flush_armed = true;
+        drain_flush_deadline = flush_now + config_.drain_flush_timeout;
+      }
       bool flushed = true;
       for (auto& conn : conns_) {
         if (conn.fd < 0) continue;
@@ -400,6 +433,12 @@ void Server::run() {
         }
       }
       if (flushed) break;
+      if (flush_now >= drain_flush_deadline) {
+        // Unflushed responses to peers that stopped reading; drop them
+        // so SIGTERM always terminates.
+        for (auto& conn : conns_) close_conn(conn);
+        break;
+      }
     }
 
     fds.clear();
@@ -432,7 +471,6 @@ void Server::run() {
       if (fds[at].revents & POLLIN) accept_ready();
       ++at;
     }
-    const auto now = std::chrono::steady_clock::now();
     for (std::size_t i = 0; at < fds.size(); ++at, ++i) {
       Conn* conn = find_conn(fd_conn_ids[i]);
       if (conn == nullptr) continue;
@@ -448,7 +486,7 @@ void Server::run() {
           close_conn(*conn);
           continue;
         }
-        conn->last_activity = now;
+        conn->last_activity = std::chrono::steady_clock::now();
       }
       if ((revents & POLLIN) && !conn->closing) {
         bool peer_closed = false;
@@ -469,16 +507,23 @@ void Server::run() {
           peer_closed = true;
           break;
         }
-        conn->last_activity = now;
         drain_input(*conn);
+        // Stamp AFTER processing: a large input burst can take longer
+        // than a short idle_timeout to answer, and a stale stamp would
+        // reap the very connection that is actively talking to us.
+        conn->last_activity = std::chrono::steady_clock::now();
         if (peer_closed) close_conn(*conn);
       }
     }
 
-    // Idle reaping: only connections with no job in flight time out.
+    // Idle reaping: connections with a job in flight are exempt, but a
+    // closing connection is not — its flush either progresses (which
+    // refreshes last_activity) or the peer has stopped reading and the
+    // unflushed output is forfeit.
+    const auto reap_now = std::chrono::steady_clock::now();
     for (auto& conn : conns_) {
-      if (conn.fd < 0 || conn.pending_jobs > 0 || conn.closing) continue;
-      if (now - conn.last_activity > config_.idle_timeout) {
+      if (conn.fd < 0 || (conn.pending_jobs > 0 && !conn.closing)) continue;
+      if (reap_now - conn.last_activity > config_.idle_timeout) {
         counters_.timeouts.fetch_add(1, std::memory_order_relaxed);
         close_conn(conn);
       }

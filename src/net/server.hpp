@@ -46,8 +46,16 @@ struct ServerConfig {
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
 
   /// Idle cutoff for a connection with no pending jobs; activity on
-  /// the socket or a job completion resets it.
+  /// the socket or a job completion resets it.  Also applies to
+  /// closing connections still waiting for their output to flush, so
+  /// a peer that never reads cannot pin a connection forever.
   std::chrono::milliseconds idle_timeout{30000};
+
+  /// Upper bound on the final flush phase of a drain: once every
+  /// accepted job is answered, connections that have not drained
+  /// their output within this window are force-closed so run() always
+  /// returns (a peer that stops reading must not block SIGTERM).
+  std::chrono::milliseconds drain_flush_timeout{5000};
 };
 
 class Server {
@@ -71,7 +79,11 @@ class Server {
   void request_drain() noexcept;
 
   /// Route SIGTERM/SIGINT to request_drain() of this server (one
-  /// server per process; `sras serve` uses it).
+  /// server per process; `sras serve` uses it).  The destructor
+  /// restores the previous handlers before the server goes away, so a
+  /// late signal can never reach a destroyed instance.  Signals are
+  /// assumed to be delivered on the threads of this process only; no
+  /// other thread may concurrently install SIGTERM/SIGINT handlers.
   void enable_signal_drain();
 
   /// net.* counters plus the fleet's rt.* metrics, callable from any
@@ -102,8 +114,10 @@ class Server {
                   const std::string& message);
   void handle_frame(Conn& conn, const Frame& frame);
   void handle_submit(Conn& conn, const Frame& frame);
-  /// Parse conn.in; returns false when the connection must close.
-  bool drain_input(Conn& conn);
+  /// Parse conn.in, dispatching every complete frame.  A connection
+  /// that must close is flagged via conn.closing (it still needs its
+  /// output flushed first).
+  void drain_input(Conn& conn);
   void accept_ready();
   void collect_completions();
   void close_conn(Conn& conn);
@@ -117,6 +131,7 @@ class Server {
   std::uint16_t port_ = 0;
   std::atomic<bool> drain_requested_{false};
   bool ran_ = false;
+  bool signal_handlers_installed_ = false;
 
   std::deque<Conn> conns_;
   std::vector<PendingJob> pending_;

@@ -74,6 +74,17 @@ TEST(Framing, TruncatedPrefixWantsMoreBytes) {
   }
 }
 
+TEST(Framing, EmptyBufferWantsMoreBytes) {
+  Frame frame;
+  std::size_t consumed = 1;
+  // A default span has a null data(); the parser must not hand it to
+  // memcmp (UB even at length 0 — UBSan flags it).
+  EXPECT_EQ(try_parse_frame(std::span<const std::uint8_t>{},
+                            kDefaultMaxFrameBytes, frame, consumed),
+            ParseStatus::kNeedMore);
+  EXPECT_EQ(consumed, 0u);
+}
+
 TEST(Framing, BadMagicRejectsOnFirstDivergentByte) {
   Frame frame;
   std::size_t consumed = 0;
@@ -227,6 +238,18 @@ TEST(JobMapping, MatchesKernelDescriptors) {
   JobRequest bad = sample_request(KernelId::kMatvec8);
   bad.matvec_m.resize(63);
   EXPECT_THROW(to_rt_job(bad), SimError);
+}
+
+// A tiny valid frame could otherwise declare a u16 search range whose
+// (2*range+1)^2 displacement set allocates ~100 GB on the poll thread;
+// the cap turns that into a typed Error{kBadRequest} before any
+// allocation happens.
+TEST(JobMapping, MotionRangeAboveCapThrowsBeforeAllocating) {
+  JobRequest bomb = sample_request(KernelId::kMotionEstimation);
+  bomb.me_range = 0xFFFF;
+  EXPECT_THROW(to_rt_job(bomb), SimError);
+  bomb.me_range = kMaxMotionRange + 1;
+  EXPECT_THROW(to_rt_job(bomb), SimError);
 }
 
 }  // namespace
