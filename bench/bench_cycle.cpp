@@ -1,13 +1,21 @@
-// bench_cycle — simulator cycle throughput with and without the Ring's
-// decoded cycle-plan cache.
+// bench_cycle — simulator cycle throughput across the three execution
+// paths: the ConfigMemory interpreter, the per-cycle decoded cycle
+// plan, and the fused superstep engine.
 //
-// Runs two steady-state kernels (the spatial FIR under global
-// configuration and the stand-alone running MAC) for the same input
-// twice: once with the plan cache disabled (the interpreter reference)
-// and once enabled.  Reports simulated cycles per wall-clock second
-// for each path and the speedup.  The run aborts if the two paths'
-// outputs or architectural statistics differ in any word — a speedup
-// only counts while the simulation stays bit-exact.
+// Runs five steady-state kernels (spatial FIR, stand-alone running
+// MAC, 5/3 wavelet, block matvec8, full-search motion estimation) on
+// the same input three times — plan cache off; plan on with the
+// superstep engine off; everything on (the shipped default) — and
+// reports simulated cycles per wall-clock second for each path.  The
+// run aborts unless all three paths are bit-exact: identical outputs,
+// identical cycle counts, identical architectural statistics, and
+// (between the per-cycle planned and superstep paths) identical full
+// statistics and metrics apart from the ring.superstep.* counters.
+//
+// The per-run plan/superstep switches defer to the environment
+// escape hatches: under SRING_NO_PLAN_CACHE or SRING_NO_SUPERSTEP the
+// faster columns degrade to the slower path but every identity check
+// still holds — which is exactly what the CI smoke asserts.
 //
 // Usage:
 //   bench_cycle [--samples N] [--reps N] [--json <path>]
@@ -18,9 +26,14 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/image.hpp"
 #include "common/rng.hpp"
+#include "dsp/matvec.hpp"
 #include "kernels/fir_kernel.hpp"
+#include "kernels/jobs.hpp"
 #include "kernels/mac_kernel.hpp"
+#include "kernels/matvec_kernel.hpp"
+#include "kernels/motion_estimation.hpp"
 #include "obs/cli.hpp"
 #include "sim/report.hpp"
 #include "sim/system.hpp"
@@ -31,6 +44,9 @@ using namespace sring;
 
 constexpr RingGeometry kGeom{8, 2, 16};
 
+enum class Path : std::size_t { kInterpreter = 0, kPlanned, kSuperstep };
+constexpr std::size_t kPathCount = 3;
+
 std::vector<Word> random_signal(std::uint64_t seed, std::size_t n) {
   Rng rng(seed);
   std::vector<Word> x(n);
@@ -38,13 +54,16 @@ std::vector<Word> random_signal(std::uint64_t seed, std::size_t n) {
   return x;
 }
 
-struct RunMeasure {
-  double seconds = 0.0;
-  std::uint64_t cycles = 0;
-  std::vector<Word> outputs;
-  std::string arch_stats;  ///< SystemStats minus the plan counters
-  std::uint64_t plan_hits = 0;
-};
+Image random_image(std::uint64_t seed, std::size_t w, std::size_t h) {
+  Rng rng(seed);
+  Image img(w, h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      img.at(x, y) = rng.next_word_in(0, 255);
+    }
+  }
+  return img;
+}
 
 std::string arch_stats_string(SystemStats s) {
   s.plan_compiles = 0;
@@ -53,18 +72,62 @@ std::string arch_stats_string(SystemStats s) {
   return s.to_string();
 }
 
-/// One timed run of a loaded program: send input, step to the target
-/// output count, capture outputs/stats.
-RunMeasure timed_run(const LoadableProgram& program,
-                     const std::vector<Word>& input,
-                     std::size_t expected_outputs, std::uint64_t max_cycles,
-                     bool planned) {
-  System sys({kGeom});
-  sys.ring().set_plan_cache_enabled(planned);
-  sys.load(program);
-  sys.host().send(input);
+/// Metrics snapshot with the ring.superstep.* counters dropped — the
+/// only instruments allowed to differ between the per-cycle planned
+/// path and the superstep engine.
+std::string metrics_without_superstep(const obs::Registry& reg) {
+  obs::JsonValue out = obs::JsonValue::object();
+  for (const auto& [name, counter] : reg.counters()) {
+    if (name.rfind("ring.superstep.", 0) == 0) continue;
+    out.set(name, counter.value());
+  }
+  for (const auto& [name, hist] : reg.histograms()) {
+    out.set(name, hist.to_json());
+  }
+  return out.dump();
+}
+
+/// FNV-1a over the output words — a stable digest the CI smoke can
+/// compare across environment configurations.
+std::uint64_t fnv64(const std::vector<Word>& words) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const Word w : words) {
+    h = (h ^ (w & 0xffu)) * 0x100000001b3ull;
+    h = (h ^ (w >> 8)) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+struct RunMeasure {
+  double seconds = 0.0;
+  std::uint64_t cycles = 0;
+  std::vector<Word> outputs;
+  std::string arch_stats;  ///< SystemStats minus the plan counters
+  std::string full_stats;  ///< SystemStats including the plan counters
+  std::string metrics;     ///< metrics minus ring.superstep.*
+  std::uint64_t plan_hits = 0;
+};
+
+/// One timed run of a job on the chosen execution path.  The
+/// interpreter path disables both knobs explicitly; the faster paths
+/// leave the construction-time environment defaults in force so the
+/// escape hatches stay observable end to end.
+RunMeasure timed_run(const rt::Job& job, Path path) {
+  System sys({kGeom, job.link});
+  if (path == Path::kInterpreter) {
+    sys.ring().set_plan_cache_enabled(false);
+  }
+  if (path != Path::kSuperstep) {
+    sys.set_superstep_enabled(false);
+  }
+  sys.load(*job.program);
+  sys.host().send(job.input);
   const auto t0 = std::chrono::steady_clock::now();
-  sys.run_until_outputs(expected_outputs, max_cycles);
+  if (job.run == rt::Job::Run::kUntilOutputs) {
+    sys.run_until_outputs(job.expected_outputs, job.max_cycles);
+  } else {
+    sys.run_until_halt(job.max_cycles, job.drain_cycles);
+  }
   const auto t1 = std::chrono::steady_clock::now();
 
   RunMeasure m;
@@ -72,6 +135,8 @@ RunMeasure timed_run(const LoadableProgram& program,
   m.cycles = sys.cycle();
   m.outputs = sys.host().take_received();
   m.arch_stats = arch_stats_string(sys.stats());
+  m.full_stats = sys.stats().to_string();
+  m.metrics = metrics_without_superstep(sys.metrics());
   m.plan_hits = sys.ring().plan_hits();
   return m;
 }
@@ -79,44 +144,47 @@ RunMeasure timed_run(const LoadableProgram& program,
 struct KernelPoint {
   std::string name;
   std::uint64_t cycles = 0;
-  double interp_cps = 0.0;   ///< simulated cycles / second, interpreter
-  double planned_cps = 0.0;  ///< simulated cycles / second, plan cache
-  double speedup = 0.0;
+  double cps[kPathCount] = {0.0, 0.0, 0.0};  ///< cycles/s per Path
   double plan_hit_rate = 0.0;
+  std::uint64_t outputs_fnv64 = 0;
 };
 
-/// Best-of-`reps` measurement for one kernel, with bit-exactness
-/// enforced between the two paths on every repetition.
-KernelPoint measure(const std::string& name, const LoadableProgram& program,
-                    const std::vector<Word>& input,
-                    std::size_t expected_outputs, std::uint64_t max_cycles,
-                    std::size_t reps) {
+/// Best-of-`reps` measurement for one kernel, with the three-way
+/// bit-exactness contract enforced on every repetition.
+KernelPoint measure(const rt::Job& job, std::size_t reps) {
   KernelPoint p;
-  p.name = name;
-  double best_interp = 0.0;
-  double best_planned = 0.0;
+  p.name = job.name;
   for (std::size_t r = 0; r < reps; ++r) {
-    const RunMeasure interp =
-        timed_run(program, input, expected_outputs, max_cycles, false);
-    const RunMeasure planned =
-        timed_run(program, input, expected_outputs, max_cycles, true);
-    check(planned.outputs == interp.outputs,
-          "bench_cycle: " + name + ": plan outputs diverged");
-    check(planned.arch_stats == interp.arch_stats,
-          "bench_cycle: " + name + ": plan statistics diverged");
-    check(planned.cycles == interp.cycles,
-          "bench_cycle: " + name + ": cycle counts diverged");
-    p.cycles = planned.cycles;
-    p.plan_hit_rate = static_cast<double>(planned.plan_hits) /
-                      static_cast<double>(planned.cycles);
-    const double icps = static_cast<double>(interp.cycles) / interp.seconds;
-    const double pcps = static_cast<double>(planned.cycles) / planned.seconds;
-    if (icps > best_interp) best_interp = icps;
-    if (pcps > best_planned) best_planned = pcps;
+    RunMeasure m[kPathCount];
+    for (std::size_t path = 0; path < kPathCount; ++path) {
+      m[path] = timed_run(job, static_cast<Path>(path));
+    }
+    const RunMeasure& interp = m[0];
+    const RunMeasure& planned = m[1];
+    const RunMeasure& super = m[2];
+    check(planned.outputs == interp.outputs && super.outputs == interp.outputs,
+          "bench_cycle: " + job.name + ": outputs diverged between paths");
+    check(planned.cycles == interp.cycles && super.cycles == interp.cycles,
+          "bench_cycle: " + job.name + ": cycle counts diverged");
+    check(planned.arch_stats == interp.arch_stats &&
+              super.arch_stats == interp.arch_stats,
+          "bench_cycle: " + job.name + ": architectural stats diverged");
+    check(super.full_stats == planned.full_stats,
+          "bench_cycle: " + job.name +
+              ": superstep changed the plan counters");
+    check(super.metrics == planned.metrics,
+          "bench_cycle: " + job.name +
+              ": superstep changed a non-superstep metric");
+    p.cycles = super.cycles;
+    p.plan_hit_rate = static_cast<double>(super.plan_hits) /
+                      static_cast<double>(super.cycles);
+    p.outputs_fnv64 = fnv64(super.outputs);
+    for (std::size_t path = 0; path < kPathCount; ++path) {
+      const double cps =
+          static_cast<double>(m[path].cycles) / m[path].seconds;
+      if (cps > p.cps[path]) p.cps[path] = cps;
+    }
   }
-  p.interp_cps = best_interp;
-  p.planned_cps = best_planned;
-  p.speedup = best_planned / best_interp;
   return p;
 }
 
@@ -139,44 +207,67 @@ int main(int argc, char** argv) {
     std::printf("bench_cycle: geometry %zux%zu, %zu samples, best of %zu\n",
                 kGeom.layers, kGeom.lanes, samples, reps);
 
-    std::vector<KernelPoint> points;
-
+    std::vector<rt::Job> jobs;
     {  // spatial FIR: global-mode steady state, one host word per cycle
       const std::vector<Word> coeffs{5, static_cast<Word>(-3), 2, 1};
-      const std::vector<Word> x = random_signal(11, samples);
-      const LoadableProgram program =
-          kernels::make_spatial_fir_program(kGeom, coeffs);
-      std::vector<Word> feed = x;
-      feed.insert(feed.end(), coeffs.size(), 0);  // flush the pipeline
-      points.push_back(measure("fir.spatial", program, feed,
-                               x.size() + coeffs.size(),
-                               64 + 16 * feed.size(), reps));
+      jobs.push_back(kernels::make_spatial_fir_job(
+          kGeom, random_signal(11, samples), coeffs));
+      jobs.back().name = "fir.spatial";
     }
     {  // running MAC: local-mode steady state, two host words per cycle
       const std::vector<Word> a = random_signal(12, samples);
       const std::vector<Word> b = random_signal(13, samples);
-      const LoadableProgram program = kernels::make_running_mac_program(kGeom);
-      std::vector<Word> interleaved;
-      interleaved.reserve(2 * samples);
+      rt::Job job;
+      job.name = "mac.local";
+      job.program = std::make_shared<const LoadableProgram>(
+          kernels::make_running_mac_program(kGeom));
+      job.input.reserve(2 * samples);
       for (std::size_t i = 0; i < samples; ++i) {
-        interleaved.push_back(a[i]);
-        interleaved.push_back(b[i]);
+        job.input.push_back(a[i]);
+        job.input.push_back(b[i]);
       }
-      points.push_back(measure("mac.local", program, interleaved, samples,
-                               64 + 16 * samples, reps));
+      job.run = rt::Job::Run::kUntilOutputs;
+      job.expected_outputs = samples;
+      job.max_cycles = 64 + 16 * samples;
+      jobs.push_back(std::move(job));
+    }
+    {  // 5/3 wavelet: local-mode multi-slot programs (superstep period 2)
+      const std::size_t n = samples & ~std::size_t{1};
+      jobs.push_back(kernels::make_dwt53_job(kGeom, random_signal(14, n)));
+      jobs.back().name = "dwt53";
+    }
+    {  // block matvec8: hardware-multiplexed pages, plan recompiles
+      const std::size_t n = samples < 64 ? 64 : samples & ~std::size_t{7};
+      jobs.push_back(kernels::make_matvec8_job(kGeom, dsp::dct8_matrix_q7(),
+                                               random_signal(15, n)));
+      jobs.back().name = "matvec8";
+    }
+    {  // motion estimation: halt-bounded SAD engine with WAIT phases
+      const Image ref = random_image(16, 16, 16);
+      const Image cand = random_image(17, 16, 16);
+      jobs.push_back(
+          kernels::make_motion_estimation_job(kGeom, ref, 4, 4, cand, 2));
+      jobs.back().name = "motion_est";
     }
 
+    std::vector<KernelPoint> points;
+    points.reserve(jobs.size());
+    for (const rt::Job& job : jobs) points.push_back(measure(job, reps));
+
     for (const auto& p : points) {
+      const double interp = p.cps[0];
+      const double planned = p.cps[1];
+      const double super = p.cps[2];
       std::printf(
-          "  %-12s %8llu cycles  interp %10.0f cyc/s  planned %10.0f cyc/s"
-          "  speedup %.2fx  (hit rate %.1f%%)\n",
-          p.name.c_str(), static_cast<unsigned long long>(p.cycles),
-          p.interp_cps, p.planned_cps, p.speedup, 100.0 * p.plan_hit_rate);
+          "  %-12s %8llu cycles  interp %9.0f cyc/s  planned %9.0f cyc/s"
+          "  superstep %9.0f cyc/s  speedup %.2fx  (hit rate %.1f%%)\n",
+          p.name.c_str(), static_cast<unsigned long long>(p.cycles), interp,
+          planned, super, super / interp, 100.0 * p.plan_hit_rate);
     }
 
     RunReport report;
     report.name = "bench_cycle";
-    report.extra("schema_version", std::uint64_t{1})
+    report.extra("schema_version", std::uint64_t{2})
         .extra("samples", std::uint64_t{samples})
         .extra("reps", std::uint64_t{reps})
         .extra("outputs_bit_identical", true);
@@ -185,10 +276,15 @@ int main(int argc, char** argv) {
       obs::JsonValue jp = obs::JsonValue::object();
       jp.set("kernel", p.name);
       jp.set("sim_cycles", p.cycles);
-      jp.set("interpreter_cycles_per_s", p.interp_cps);
-      jp.set("planned_cycles_per_s", p.planned_cps);
-      jp.set("speedup", p.speedup);
+      jp.set("interpreter_cycles_per_s", p.cps[0]);
+      jp.set("percycle_planned_cycles_per_s", p.cps[1]);
+      jp.set("planned_cycles_per_s", p.cps[2]);
+      jp.set("speedup", p.cps[2] / p.cps[0]);
       jp.set("plan_hit_rate", p.plan_hit_rate);
+      char digest[19];
+      std::snprintf(digest, sizeof digest, "0x%016llx",
+                    static_cast<unsigned long long>(p.outputs_fnv64));
+      jp.set("outputs_fnv64", digest);
       kernels_json.push_back(std::move(jp));
     }
     report.extra("kernels", std::move(kernels_json));

@@ -15,6 +15,8 @@ AsmError::AsmError(std::string message, std::size_t line, std::size_t column)
       line_(line),
       column_(column) {}
 
+void raise_sim_error(const char* message) { throw SimError(message); }
+
 void check(bool condition, const std::string& message) {
   if (!condition) throw SimError(message);
 }

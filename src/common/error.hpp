@@ -32,7 +32,19 @@ class AsmError : public std::runtime_error {
   std::size_t column_;
 };
 
+/// Cold path of check(): always throws SimError(message).
+[[noreturn]] void raise_sim_error(const char* message);
+
 /// Throw SimError with `message` if `condition` is false.
+///
+/// The literal overload is the one hot paths hit: it must not build a
+/// std::string per call (the old signature heap-allocated the message
+/// on every call, passing or failing — measurable in the cycle loop),
+/// so the failure path is out-of-line and the success path is a single
+/// predictable branch.
+inline void check(bool condition, const char* message) {
+  if (!condition) [[unlikely]] raise_sim_error(message);
+}
 void check(bool condition, const std::string& message);
 
 }  // namespace sring

@@ -5,6 +5,9 @@
 // clock cycle".
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+
 #include "common/types.hpp"
 #include "isa/dnode_instr.hpp"
 
@@ -12,7 +15,68 @@ namespace sring {
 
 /// Evaluate one Dnode operation.  Pure combinational function: signed
 /// two's-complement semantics, results wrap to 16 bits except for the
-/// saturating variants (kAdds/kSubs).
-Word alu_execute(DnodeOp op, Word a, Word b, Word c) noexcept;
+/// saturating variants (kAdds/kSubs).  Defined inline: this is the
+/// innermost call of every executed Dnode cycle and must fold into the
+/// ring's fused loop without LTO.
+inline Word alu_execute(DnodeOp op, Word a, Word b, Word c) noexcept {
+  const std::int32_t sa = as_signed(a);
+  const std::int32_t sb = as_signed(b);
+  const std::int32_t sc = as_signed(c);
+  switch (op) {
+    case DnodeOp::kNop:
+      return 0;
+    case DnodeOp::kPass:
+      return a;
+    case DnodeOp::kAdd:
+      return to_word(sa + sb);
+    case DnodeOp::kSub:
+      return to_word(sa - sb);
+    case DnodeOp::kRsub:
+      return to_word(sb - sa);
+    case DnodeOp::kAdds:
+      return to_word_saturated(sa + sb);
+    case DnodeOp::kSubs:
+      return to_word_saturated(sa - sb);
+    case DnodeOp::kMul:
+      return to_word(static_cast<std::int64_t>(sa) * sb);
+    case DnodeOp::kMulh:
+      return to_word((static_cast<std::int64_t>(sa) * sb) >> 16);
+    case DnodeOp::kMac:
+      return to_word(static_cast<std::int64_t>(sa) * sb + sc);
+    case DnodeOp::kMsu:
+      return to_word(sc - static_cast<std::int64_t>(sa) * sb);
+    case DnodeOp::kAnd:
+      return static_cast<Word>(a & b);
+    case DnodeOp::kOr:
+      return static_cast<Word>(a | b);
+    case DnodeOp::kXor:
+      return static_cast<Word>(a ^ b);
+    case DnodeOp::kNot:
+      return static_cast<Word>(~a);
+    case DnodeOp::kShl:
+      return to_word(static_cast<std::int64_t>(a) << (b & 15u));
+    case DnodeOp::kShr:
+      return static_cast<Word>(a >> (b & 15u));
+    case DnodeOp::kAsr:
+      return to_word(sa >> (b & 15u));
+    case DnodeOp::kAbs:
+      return to_word(sa < 0 ? -sa : sa);  // |-32768| wraps to -32768
+    case DnodeOp::kAbsdiff:
+      return to_word(sa >= sb ? sa - sb : sb - sa);
+    case DnodeOp::kMin:
+      return to_word(std::min(sa, sb));
+    case DnodeOp::kMax:
+      return to_word(std::max(sa, sb));
+    case DnodeOp::kCmpeq:
+      return a == b ? 1u : 0u;
+    case DnodeOp::kCmplt:
+      return sa < sb ? 1u : 0u;
+    case DnodeOp::kSelect:
+      return a != 0 ? b : c;
+    case DnodeOp::kOpCount:
+      break;
+  }
+  return 0;
+}
 
 }  // namespace sring

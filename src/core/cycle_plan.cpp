@@ -11,6 +11,17 @@ std::size_t upstream_of(const RingGeometry& geom, std::size_t layer) noexcept {
   return (layer + geom.layers - 1) % geom.layers;
 }
 
+std::size_t lcm_of(std::size_t a, std::size_t b) noexcept {
+  std::size_t x = a;
+  std::size_t y = b;
+  while (y != 0) {
+    const std::size_t t = x % y;
+    x = y;
+    y = t;
+  }
+  return a / x * b;
+}
+
 /// Compile one microinstruction against its switch route.  Performs
 /// exactly the validation the interpreter does on a non-stalled cycle:
 /// for a non-NOP instruction both input routes and both fifo addresses
@@ -90,6 +101,7 @@ void compile_cycle_plan(const RingGeometry& geom, const ConfigMemory& cfg,
   const std::size_t n = geom.dnode_count();
   plan.valid = false;
   plan.static_pops = 0;
+  plan.superstep_period = 1;
   plan.dnodes.assign(n, PlannedDnode{});
   plan.local_dnodes.clear();
   plan.global_dnodes.clear();
@@ -109,10 +121,20 @@ void compile_cycle_plan(const RingGeometry& geom, const ConfigMemory& cfg,
         // wraps), so slots above it are unreachable and stay NOP.
         for (std::size_t s = 0; s <= lc.limit(); ++s) {
           pd.local[s] = compile_slot(geom, lc.instr_at(s), route, up);
+          pd.active = pd.active || !pd.local[s].nop;
+        }
+        pd.local_len = static_cast<std::uint8_t>(lc.limit() + 1);
+        if (plan.superstep_period != 0) {
+          plan.superstep_period =
+              lcm_of(plan.superstep_period, pd.local_len);
+          if (plan.superstep_period > kMaxSuperstepPeriod) {
+            plan.superstep_period = 0;  // schedule too long to unroll
+          }
         }
       } else {
         plan.global_dnodes.push_back(static_cast<std::uint16_t>(i));
         pd.global = compile_slot(geom, cfg.dnode_instr(i), route, up);
+        pd.active = !pd.global.nop;
         plan.static_pops += pd.global.pops;
       }
     }

@@ -62,6 +62,11 @@ struct PlannedSlot {
 /// microprogram (slots 0..limit) in stand-alone mode.
 struct PlannedDnode {
   bool is_local = false;
+  /// Any reachable slot is non-NOP: this Dnode can change state during
+  /// a superstep (the fused loop tracks only active Dnodes' outputs).
+  bool active = false;
+  /// Local program length (limit + 1); 1 when !is_local.
+  std::uint8_t local_len = 1;
   PlannedSlot global;                                  ///< !is_local
   std::array<PlannedSlot, kLocalProgramSlots> local{}; ///< is_local
 };
@@ -72,6 +77,12 @@ struct HostTapPlan {
   std::uint32_t sw = 0;   ///< owning switch (per-switch statistics)
 };
 
+/// Superstep schedules repeat with the LCM of the active local program
+/// lengths.  Periods beyond this cap (mixed 5/7/8-step programs can
+/// reach 840) are not worth unrolling — the plan marks them
+/// superstep-ineligible and the per-cycle planned path handles them.
+inline constexpr std::size_t kMaxSuperstepPeriod = 64;
+
 struct CyclePlan {
   bool valid = false;
   // Invalidation key captured at compile time (see header comment).
@@ -80,6 +91,9 @@ struct CyclePlan {
   std::uint64_t local_generation = 0;
 
   std::size_t static_pops = 0;  ///< host pops from global-mode Dnodes
+  /// LCM of local program lengths (the schedule repeat period for the
+  /// superstep engine); 0 when it would exceed kMaxSuperstepPeriod.
+  std::size_t superstep_period = 1;
   std::vector<PlannedDnode> dnodes;          ///< [layer * lanes + lane]
   std::vector<std::uint16_t> local_dnodes;   ///< flat indices, ascending
   std::vector<std::uint16_t> global_dnodes;  ///< flat indices, ascending

@@ -1,76 +1,6 @@
 #include "core/dnode.hpp"
 
-#include "common/error.hpp"
-#include "core/alu.hpp"
-
 namespace sring {
-
-Word Dnode::resolve(DnodeSrc src, const DnodeInstr& instr,
-                    const Inputs& inputs) const {
-  switch (src) {
-    case DnodeSrc::kZero:
-      return 0;
-    case DnodeSrc::kIn1:
-      return inputs.in1;
-    case DnodeSrc::kIn2:
-      return inputs.in2;
-    case DnodeSrc::kFifo1:
-      return inputs.fifo1;
-    case DnodeSrc::kFifo2:
-      return inputs.fifo2;
-    case DnodeSrc::kBus:
-      return inputs.bus;
-    case DnodeSrc::kHost:
-      return inputs.host;
-    case DnodeSrc::kImm:
-      return instr.imm;
-    case DnodeSrc::kR0:
-      return regs_.read(0);
-    case DnodeSrc::kR1:
-      return regs_.read(1);
-    case DnodeSrc::kR2:
-      return regs_.read(2);
-    case DnodeSrc::kR3:
-      return regs_.read(3);
-    case DnodeSrc::kSrcCount:
-      break;
-  }
-  throw SimError("Dnode::resolve: bad operand source");
-}
-
-Dnode::Effects Dnode::execute(const DnodeInstr& instr, const Inputs& inputs) {
-  Effects eff;
-  if (instr.op == DnodeOp::kNop) return eff;
-
-  const Word a = resolve(instr.src_a, instr, inputs);
-  const Word b = op_uses_b(instr.op) ? resolve(instr.src_b, instr, inputs)
-                                     : Word{0};
-  const Word c = op_uses_c(instr.op) ? resolve(instr.src_c, instr, inputs)
-                                     : Word{0};
-  const Word result = alu_execute(instr.op, a, b, c);
-
-  if (instr.dst != DnodeDst::kNone) {
-    regs_.stage_write(dst_reg_index(instr.dst), result);
-  }
-  if (instr.out_en) {
-    staged_out_ = result;
-  }
-  eff.executed = true;
-  eff.result = result;
-  eff.out_en = instr.out_en;
-  eff.bus_en = instr.bus_en;
-  eff.host_en = instr.host_en;
-  return eff;
-}
-
-void Dnode::commit(bool advance_local) {
-  regs_.commit();
-  if (staged_out_) {
-    out_ = *staged_out_;
-    staged_out_.reset();
-  }
-  if (advance_local) local_.advance();
-}
 
 void Dnode::discard() noexcept {
   regs_.discard();

@@ -24,14 +24,6 @@ void FeedbackPipeline::push(const std::vector<Word>& upstream_outputs) {
   push_from(upstream_outputs.data());
 }
 
-void FeedbackPipeline::push_from(const Word* upstream_outputs) {
-  // The oldest stage is overwritten and becomes the new depth-0 stage.
-  head_ = (head_ + depth_ - 1) % depth_;
-  std::copy(upstream_outputs, upstream_outputs + lanes_,
-            stages_.begin() + static_cast<std::ptrdiff_t>(head_ * lanes_));
-  ++pushes_;
-}
-
 void FeedbackPipeline::reset() noexcept {
   std::fill(stages_.begin(), stages_.end(), 0);
   head_ = 0;

@@ -11,6 +11,7 @@
 // by d additional cycles.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -41,8 +42,17 @@ class FeedbackPipeline {
   /// Clock edge: latch the upstream layer's output vector.
   void push(const std::vector<Word>& upstream_outputs);
 
-  /// Same, from a raw pointer to `lanes()` words (hot path).
-  void push_from(const Word* upstream_outputs);
+  /// Same, from a raw pointer to `lanes()` words.  Inline: latched once
+  /// per switch per cycle inside the ring's fused loop.  The oldest
+  /// stage is overwritten and becomes the new depth-0 stage
+  /// (conditional decrement, not modulo — a runtime division dominated
+  /// the latch cost).
+  void push_from(const Word* upstream_outputs) {
+    head_ = (head_ == 0 ? depth_ : head_) - 1;
+    std::copy(upstream_outputs, upstream_outputs + lanes_,
+              stages_.begin() + static_cast<std::ptrdiff_t>(head_ * lanes_));
+    ++pushes_;
+  }
 
   /// Clock edges latched since the last reset (instrumentation).
   std::uint64_t pushes() const noexcept { return pushes_; }

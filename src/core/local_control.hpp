@@ -40,6 +40,14 @@ class LocalControl {
   /// mode): wraps to 0 after reaching LIMIT.
   void advance() noexcept;
 
+  /// Advance the counter by `cycles` clock edges at once — the
+  /// superstep engine's end-of-run fixup, equivalent to that many
+  /// advance() calls.
+  void advance_by(std::uint64_t cycles) noexcept {
+    counter_ = static_cast<std::uint8_t>(
+        (counter_ + cycles) % (static_cast<std::uint64_t>(limit_) + 1));
+  }
+
   void reset_counter() noexcept { counter_ = 0; }
 
   std::uint8_t counter() const noexcept { return counter_; }

@@ -99,6 +99,8 @@ void Ring::reset() {
   fb_read_depth_counts_.assign(geom_.switch_count() * geom_.fb_depth, 0);
   bus_drives_ = 0;
   bus_conflicts_ = 0;
+  superstep_dispatches_ = 0;
+  superstep_cycles_ = 0;
   // Plan cache: drop the plan, forget the stability trackers, zero the
   // counters, so a reset System replays identically to a fresh one.
   plan_.valid = false;
@@ -113,7 +115,7 @@ void Ring::reset() {
 }
 
 Ring::CycleResult Ring::step(const ConfigMemory& cfg, Word bus,
-                             std::deque<Word>& host_in,
+                             HostFifo& host_in,
                              std::vector<Word>& host_out) {
   check(cfg.geometry().layers == geom_.layers &&
             cfg.geometry().lanes == geom_.lanes,
@@ -189,7 +191,7 @@ void Ring::drain_effects(CycleResult& result, std::vector<Word>& host_out) {
 }
 
 Ring::CycleResult Ring::step_interpreted(const ConfigMemory& cfg, Word bus,
-                                         std::deque<Word>& host_in,
+                                         HostFifo& host_in,
                                          std::vector<Word>& host_out) {
   const std::size_t n = geom_.dnode_count();
 
@@ -350,7 +352,7 @@ Ring::CycleResult Ring::step_interpreted(const ConfigMemory& cfg, Word bus,
   return result;
 }
 
-Ring::CycleResult Ring::step_planned(Word bus, std::deque<Word>& host_in,
+Ring::CycleResult Ring::step_planned(Word bus, HostFifo& host_in,
                                      std::vector<Word>& host_out) {
   CycleResult result;
 
@@ -454,6 +456,271 @@ Ring::CycleResult Ring::step_planned(Word bus, std::deque<Word>& host_in,
   }
   drain_effects(result, host_out);
   return result;
+}
+
+Ring::SuperstepResult Ring::run_planned(const ConfigMemory& cfg, Word bus,
+                                        HostFifo& host_in,
+                                        std::vector<Word>& host_out,
+                                        std::uint64_t max_cycles,
+                                        std::size_t host_out_stop,
+                                        const HostDepthProbe& probe) {
+  SuperstepResult res;
+  if (max_cycles == 0 || !plan_enabled_ || !plan_.valid) return res;
+  if (plan_.cfg_uid != cfg.uid() || plan_.cfg_generation != cfg.generation() ||
+      plan_.local_generation != local_generation_) {
+    return res;  // stale plan: the per-cycle path owns invalidation
+  }
+  if (plan_.superstep_period == 0) return res;  // period over the cap
+
+  // First-cycle stall check before any state is touched: a Dnode whose
+  // local-mode entry has not committed yet fetches slot 0 — which is
+  // also where its counter lands after the mode sync below, so the
+  // schedule built from post-sync counters agrees with this check.
+  {
+    std::size_t pops = plan_.static_pops;
+    for (const std::uint16_t i : plan_.local_dnodes) {
+      const std::uint8_t slot = last_mode_[i] == DnodeMode::kGlobal
+                                    ? std::uint8_t{0}
+                                    : dnodes_[i].local().counter();
+      pops += plan_.dnodes[i].local[slot].pops;
+    }
+    if (host_in.size() < pops) return res;  // per-cycle path replays the stall
+  }
+
+  // The first cycle is known to advance: commit mode transitions
+  // exactly as step_planned's one-time sync would.
+  if (!mode_synced_) {
+    for (const std::uint16_t i : plan_.local_dnodes) {
+      if (last_mode_[i] == DnodeMode::kGlobal) {
+        dnodes_[i].local().reset_counter();
+      }
+      last_mode_[i] = DnodeMode::kLocal;
+    }
+    for (const std::uint16_t i : plan_.global_dnodes) {
+      last_mode_[i] = DnodeMode::kGlobal;
+    }
+    mode_synced_ = true;
+  }
+
+  // Unroll the schedule over the local-program period: per phase, the
+  // non-NOP slots in flat Dnode order (preserving the documented host
+  // pop order) and the cycle's total host-pop count.  Phase p serves
+  // superstep cycle k with k % period == p, starting from the current
+  // local counters, so local-slot bookkeeping vanishes from the loop.
+  const std::size_t period = plan_.superstep_period;
+  const std::size_t n = dnodes_.size();
+  ss_exec_.clear();
+  ss_begin_.assign(period + 1, 0);
+  ss_pops_.assign(period, 0);
+  ss_out_.clear();
+  ss_out_begin_.assign(period + 1, 0);
+  for (std::size_t p = 0; p < period; ++p) {
+    ss_begin_[p] = static_cast<std::uint32_t>(ss_exec_.size());
+    ss_out_begin_[p] = static_cast<std::uint32_t>(ss_out_.size());
+    std::uint32_t pops = static_cast<std::uint32_t>(plan_.static_pops);
+    for (std::size_t i = 0; i < n; ++i) {
+      const PlannedDnode& pd = plan_.dnodes[i];
+      const PlannedSlot* slot = &pd.global;
+      if (pd.is_local) {
+        slot = &pd.local[(dnodes_[i].local().counter() + p) % pd.local_len];
+        pops += slot->pops;
+      }
+      if (!slot->nop) {
+        if (slot->instr.host_en || slot->instr.bus_en) {
+          ss_out_.push_back(static_cast<std::uint32_t>(ss_exec_.size()));
+        }
+        ss_exec_.push_back({static_cast<std::uint16_t>(i), slot});
+      }
+    }
+    ss_pops_[p] = pops;
+  }
+  ss_begin_[period] = static_cast<std::uint32_t>(ss_exec_.size());
+  ss_out_begin_[period] = static_cast<std::uint32_t>(ss_out_.size());
+
+  // Only active Dnodes (some reachable non-NOP slot) can change their
+  // output register during the superstep; capture the full pre-edge
+  // vector once and refresh just those entries per cycle.
+  ss_active_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (plan_.dnodes[i].active) {
+      ss_active_.push_back(static_cast<std::uint16_t>(i));
+    }
+    pre_outs_[i] = dnodes_[i].out();
+  }
+
+  const std::size_t lanes = geom_.lanes;
+  const std::size_t switches = geom_.switch_count();
+  std::uint64_t words_in = 0;
+  std::uint64_t words_out = 0;
+  std::size_t phase = 0;
+  std::size_t prev_top = 0;
+  bool have_prev_top = false;
+
+  for (;;) {
+    const std::size_t out_at_top = host_out.size();
+    // Output stop with the per-cycle host-visibility lag: the System's
+    // run_until_outputs loop admits cycle c against a host mirror one
+    // tick stale — host_out's size at the top of cycle c-1.  The first
+    // fused cycle was already admitted by the caller.
+    if (have_prev_top && prev_top >= host_out_stop) break;
+
+    // Impending stall: hand back so the per-cycle path replays the
+    // stall cycle-accurately (a stalled cycle advances nothing here).
+    const std::uint32_t need = ss_pops_[phase];
+    if (host_in.size() < need) break;
+
+    // The cycle will execute: sample the host-FIFO depth histogram at
+    // the same point System::step does (pre-pop).
+    if (probe.counts != nullptr) {
+      const std::size_t d = host_in.size();
+      ++probe.counts[probe.lut[d < probe.lut_max ? d : probe.lut_max]];
+    }
+
+    // Execute the phase.  Every per-exec statistic here is a plan
+    // constant (which Dnode, MAC or not, which feedback addresses), so
+    // all counter work is hoisted to the flush below — the loop body is
+    // operand fetch, ALU, stage.
+    const SuperExec* const e = ss_exec_.data() + ss_begin_[phase];
+    const SuperExec* const e_end = ss_exec_.data() + ss_begin_[phase + 1];
+    for (const SuperExec* it = e; it != e_end; ++it) {
+      const PlannedSlot& ps = *it->slot;
+      Dnode::Inputs in;
+      in.bus = bus;
+      const auto resolve = [&](PlannedSlot::Port kind, std::uint16_t prev,
+                               const FeedbackAddr& fb) -> Word {
+        switch (kind) {
+          case PlannedSlot::Port::kZero:
+            return 0;
+          case PlannedSlot::Port::kPrev:
+            return dnodes_[prev].out();
+          case PlannedSlot::Port::kHost:
+            return host_in.pop();
+          case PlannedSlot::Port::kFeedback:
+            return pipes_[fb.pipe].read_fast(fb.lane, fb.depth);
+          case PlannedSlot::Port::kBus:
+            return bus;
+        }
+        return 0;
+      };
+      in.in1 = resolve(ps.in1, ps.in1_prev, ps.in1_fb);
+      in.in2 = resolve(ps.in2, ps.in2_prev, ps.in2_fb);
+      if (ps.read_fifo1) {
+        in.fifo1 =
+            pipes_[ps.fifo1.pipe].read_fast(ps.fifo1.lane, ps.fifo1.depth);
+      }
+      if (ps.read_fifo2) {
+        in.fifo2 =
+            pipes_[ps.fifo2.pipe].read_fast(ps.fifo2.lane, ps.fifo2.depth);
+      }
+      if (ps.direct_pop) in.host = host_in.pop();
+
+      effects_[it->dnode] = dnodes_[it->dnode].execute(ps.instr, in);
+    }
+    words_in += need;
+
+    // Clock edge.  Committing only the Dnodes that executed is
+    // equivalent to commit_edge(): a Dnode with nothing staged commits
+    // to its own current state, and local counters are fixed up in one
+    // advance_by() below.
+    for (const std::uint16_t i : ss_active_) {
+      pre_outs_[i] = dnodes_[i].out();
+    }
+    for (const SuperExec* it = e; it != e_end; ++it) {
+      dnodes_[it->dnode].commit(false);
+    }
+    for (std::size_t s = 0; s < switches; ++s) {
+      pipes_[s].push_from(pre_outs_.data() + upstream_layer(s) * lanes);
+    }
+
+    // Host output: switch taps first (switch order), then Dnode hostEn
+    // results (Dnode order).  Bus drive: highest Dnode index wins.
+    for (const HostTapPlan& tap : plan_.host_taps) {
+      host_out.push_back(pre_outs_[tap.src]);  // per-switch counter flushed
+    }
+    words_out += plan_.host_taps.size();
+    std::optional<Word> drive;
+    const std::uint32_t* o = ss_out_.data() + ss_out_begin_[phase];
+    const std::uint32_t* const o_end = ss_out_.data() + ss_out_begin_[phase + 1];
+    for (; o != o_end; ++o) {
+      const Dnode::Effects& eff = effects_[ss_exec_[*o].dnode];
+      if (eff.host_en) {
+        host_out.push_back(eff.result);
+        ++words_out;
+      }
+      if (eff.bus_en) {
+        ++bus_drives_;
+        if (drive.has_value()) ++bus_conflicts_;
+        drive = eff.result;
+      }
+    }
+
+    ++res.cycles;
+    prev_top = out_at_top;
+    have_prev_top = true;
+    ++phase;
+    if (phase == period) phase = 0;
+    if (drive.has_value()) {
+      // The driven value must be visible on the bus next cycle: break
+      // so the caller can update it.
+      res.bus_drive = drive;
+      break;
+    }
+    if (res.cycles >= max_cycles) break;
+  }
+
+  // One flush for the whole superstep.  plan_hits_ advances by the
+  // executed cycle count so the plan counters — and with them the full
+  // SystemStats — stay bit-identical with per-cycle planned execution.
+  // The loop only breaks at cycle boundaries, so phase p ran exactly
+  // floor(cycles/period) times plus one if p < cycles % period — which
+  // lets every plan-constant per-exec statistic (op counts, MAC counts,
+  // feedback-read histograms, tap traffic) be settled here instead of
+  // inside the fused loop.
+  std::uint64_t ops = 0;
+  std::uint64_t arith = 0;
+  {
+    const std::uint64_t full = res.cycles / period;
+    const std::size_t rem = static_cast<std::size_t>(res.cycles % period);
+    for (std::size_t p = 0; p < period; ++p) {
+      const std::uint64_t cnt = full + (p < rem ? 1 : 0);
+      if (cnt == 0) continue;
+      for (std::uint32_t k = ss_begin_[p]; k < ss_begin_[p + 1]; ++k) {
+        const SuperExec& ex = ss_exec_[k];
+        const PlannedSlot& ps = *ex.slot;
+        ops += cnt;
+        arith += cnt * (ps.is_mac ? 2u : 1u);
+        ops_per_dnode_[ex.dnode] += cnt;
+        if (ps.is_mac) mac_ops_per_dnode_[ex.dnode] += cnt;
+        const auto note_n = [&](const FeedbackAddr& fb) {
+          fb_reads_per_pipe_[fb.pipe] += cnt;
+          fb_read_depth_counts_[fb.pipe * geom_.fb_depth + fb.depth] += cnt;
+        };
+        if (ps.in1 == PlannedSlot::Port::kFeedback) note_n(ps.in1_fb);
+        if (ps.in2 == PlannedSlot::Port::kFeedback) note_n(ps.in2_fb);
+        if (ps.read_fifo1) note_n(ps.fifo1);
+        if (ps.read_fifo2) note_n(ps.fifo2);
+      }
+    }
+    for (const HostTapPlan& tap : plan_.host_taps) {
+      host_out_words_per_switch_[tap.sw] += res.cycles;
+    }
+  }
+  res.ops = ops;
+  res.arith_ops = arith;
+  res.host_words_in = words_in;
+  res.host_words_out = words_out;
+  res.out_size_at_last_top = prev_top;
+  ++superstep_dispatches_;
+  superstep_cycles_ += res.cycles;
+  plan_hits_ += res.cycles;
+  for (const std::uint16_t i : plan_.local_dnodes) {
+    dnodes_[i].local().advance_by(res.cycles);
+    local_cycles_per_dnode_[i] += res.cycles;
+  }
+  for (const std::uint16_t i : plan_.global_dnodes) {
+    global_cycles_per_dnode_[i] += res.cycles;
+  }
+  return res;
 }
 
 }  // namespace sring

@@ -42,11 +42,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "common/host_fifo.hpp"
 #include "core/config_memory.hpp"
 #include "core/cycle_plan.hpp"
 #include "core/dnode.hpp"
@@ -74,7 +74,53 @@ class Ring {
   /// Advance one clock cycle.  `bus` is the shared-bus value visible to
   /// the Dnodes this cycle; host traffic uses the given FIFOs.
   CycleResult step(const ConfigMemory& cfg, Word bus,
-                   std::deque<Word>& host_in, std::vector<Word>& host_out);
+                   HostFifo& host_in, std::vector<Word>& host_out);
+
+  /// Host-FIFO depth histogram probe handed into run_planned(): the
+  /// System's per-cycle depth sample, so fused cycles record exactly
+  /// the histogram per-cycle execution would.  `lut` maps a clamped
+  /// depth (index 0..lut_max) to a bucket counter in `counts`.
+  struct HostDepthProbe {
+    std::uint64_t* counts = nullptr;
+    const std::uint8_t* lut = nullptr;
+    std::size_t lut_max = 0;
+  };
+
+  /// Outcome of one fused superstep (run_planned()): per-cycle tallies
+  /// accumulated over every executed cycle and flushed once.
+  struct SuperstepResult {
+    std::uint64_t cycles = 0;       ///< non-stalled cycles executed
+    std::uint64_t ops = 0;
+    std::uint64_t arith_ops = 0;
+    std::uint64_t host_words_in = 0;
+    std::uint64_t host_words_out = 0;
+    /// host_out.size() observed at the top of the last executed cycle —
+    /// what a per-cycle host mirror (one tick behind) would have
+    /// published after that cycle.
+    std::size_t out_size_at_last_top = 0;
+    std::optional<Word> bus_drive;  ///< drive from the final cycle, if any
+  };
+
+  /// Superstep engine: execute up to `max_cycles` consecutive cycles
+  /// straight from the compiled plan in one fused loop — plan-validity
+  /// check, mode sync and local-slot bookkeeping hoisted out, the
+  /// schedule unrolled over the local-program period.  Returns
+  /// cycles == 0 (and touches nothing) unless the plan is valid and
+  /// current; breaks back to the caller exactly at an impending stall
+  /// (the stall cycle itself is NOT executed — the per-cycle path
+  /// replays it), after any cycle that drives the bus (the new value
+  /// must be visible next cycle), and once host_out reached
+  /// `host_out_stop` with the per-cycle host-visibility lag (size at
+  /// the top of the previous cycle; pass SIZE_MAX for no stop — the
+  /// caller must have admitted the first cycle against its own stop
+  /// condition).  Architectural state, outputs and statistics are
+  /// bit-identical with the same cycles run through step().
+  SuperstepResult run_planned(const ConfigMemory& cfg, Word bus,
+                              HostFifo& host_in,
+                              std::vector<Word>& host_out,
+                              std::uint64_t max_cycles,
+                              std::size_t host_out_stop,
+                              const HostDepthProbe& probe);
 
   // --- state access ---------------------------------------------------
   Dnode& dnode(std::size_t layer, std::size_t lane);
@@ -140,6 +186,16 @@ class Ring {
     return plan_invalidations_;
   }
   bool plan_cache_enabled() const noexcept { return plan_enabled_; }
+  /// Superstep dispatches (run_planned() calls that executed >= 1
+  /// cycle) and total cycles they covered.  Observability only: these
+  /// are the ONLY counters allowed to differ between superstep and
+  /// per-cycle execution.
+  std::uint64_t superstep_dispatches() const noexcept {
+    return superstep_dispatches_;
+  }
+  std::uint64_t superstep_cycles() const noexcept {
+    return superstep_cycles_;
+  }
   /// Enable/disable the cycle-plan cache at runtime (A/B comparisons).
   /// Disabling drops any compiled plan without counting an
   /// invalidation — it is a tooling action, not a configuration write.
@@ -177,10 +233,10 @@ class Ring {
 
   /// Reference path: re-interpret ConfigMemory + local programs.
   CycleResult step_interpreted(const ConfigMemory& cfg, Word bus,
-                               std::deque<Word>& host_in,
+                               HostFifo& host_in,
                                std::vector<Word>& host_out);
   /// Fast path: execute from the compiled plan (plan_ must be valid).
-  CycleResult step_planned(Word bus, std::deque<Word>& host_in,
+  CycleResult step_planned(Word bus, HostFifo& host_in,
                            std::vector<Word>& host_out);
   /// Clock-edge tail shared by both paths: capture pre-edge outputs,
   /// commit every Dnode, latch the feedback pipelines.
@@ -231,6 +287,20 @@ class Ring {
   std::vector<Dnode::Effects> effects_;
   std::vector<Word> pre_outs_;             // [layer * lanes + lane]
   std::vector<std::uint8_t> local_slot_;   // planned path: slot per Dnode
+
+  // Superstep scratch (reused across dispatches) + counters.
+  struct SuperExec {
+    std::uint16_t dnode;
+    const PlannedSlot* slot;
+  };
+  std::vector<SuperExec> ss_exec_;       // non-NOP slots, phase-major
+  std::vector<std::uint32_t> ss_begin_;  // [period+1] offsets into ss_exec_
+  std::vector<std::uint32_t> ss_pops_;   // [period] host pops per phase
+  std::vector<std::uint32_t> ss_out_;    // ss_exec_ indices w/ host/bus en
+  std::vector<std::uint32_t> ss_out_begin_;  // [period+1] into ss_out_
+  std::vector<std::uint16_t> ss_active_; // Dnodes live during a superstep
+  std::uint64_t superstep_dispatches_ = 0;
+  std::uint64_t superstep_cycles_ = 0;
 };
 
 }  // namespace sring

@@ -34,6 +34,13 @@ void Controller::reset() {
   halted_ = false;
 }
 
+void Controller::skip_wait(std::uint64_t cycles) {
+  check(cycles <= wait_remaining_,
+        "Controller::skip_wait: skipping past the end of the wait");
+  wait_remaining_ -= static_cast<std::uint32_t>(cycles);
+  wait_stalls_ += cycles;
+}
+
 Controller::StepResult Controller::step(const StepContext& ctx) {
   StepResult res;
   if (halted_) {

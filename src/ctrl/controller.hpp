@@ -12,10 +12,10 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
+#include "common/host_fifo.hpp"
 #include "core/config_memory.hpp"
 #include "core/ring.hpp"
 #include "isa/risc_instr.hpp"
@@ -35,7 +35,7 @@ class Controller {
     ConfigMemory& cfg;
     Ring& ring;
     Word bus;                      ///< bus value at the start of the cycle
-    std::deque<Word>& host_in;
+    HostFifo& host_in;
     std::vector<Word>& host_out;
     std::uint64_t cycle;           ///< global cycle counter (RDCYC)
   };
@@ -65,6 +65,18 @@ class Controller {
     return inpop_stalls_; }
   std::uint64_t wait_stall_cycles() const noexcept { return wait_stalls_; }
   std::uint64_t bus_writes() const noexcept { return bus_writes_; }
+
+  // --- superstep support ---------------------------------------------
+  /// Cycles left in an in-flight WAIT (0 when not waiting).  While
+  /// waiting the controller is as inert as when halted, so the
+  /// superstep engine may fuse up to this many ring cycles.
+  std::uint64_t wait_cycles_remaining() const noexcept {
+    return wait_remaining_; }
+
+  /// Account `cycles` WAIT stall cycles at once, exactly as that many
+  /// per-cycle step() calls would have.  Requires
+  /// cycles <= wait_cycles_remaining().
+  void skip_wait(std::uint64_t cycles);
 
   std::uint64_t reg(std::size_t index) const;
   void set_reg(std::size_t index, std::uint64_t value);

@@ -89,42 +89,6 @@ DnodeInstr DnodeInstr::decode(std::uint64_t word) {
   return instr;
 }
 
-std::size_t dst_reg_index(DnodeDst dst) {
-  check(dst != DnodeDst::kNone && dst != DnodeDst::kDstCount,
-        "dst_reg_index: not a register destination");
-  return static_cast<std::size_t>(dst) - 1;
-}
-
-bool op_uses_b(DnodeOp op) noexcept {
-  switch (op) {
-    case DnodeOp::kNop:
-    case DnodeOp::kPass:
-    case DnodeOp::kNot:
-    case DnodeOp::kAbs:
-      return false;
-    default:
-      return true;
-  }
-}
-
-bool op_uses_c(DnodeOp op) noexcept {
-  switch (op) {
-    case DnodeOp::kMac:
-    case DnodeOp::kMsu:
-    case DnodeOp::kSelect:
-      return true;
-    default:
-      return false;
-  }
-}
-
-bool instr_reads(const DnodeInstr& instr, DnodeSrc src) noexcept {
-  if (instr.op == DnodeOp::kNop) return false;
-  if (instr.src_a == src) return true;
-  if (op_uses_b(instr.op) && instr.src_b == src) return true;
-  if (op_uses_c(instr.op) && instr.src_c == src) return true;
-  return false;
-}
 
 std::string_view to_mnemonic(DnodeOp op) noexcept {
   return kOpNames[static_cast<std::size_t>(op)];

@@ -25,6 +25,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 
 namespace sring {
@@ -90,7 +91,11 @@ enum class DnodeDst : std::uint8_t {
 };
 
 /// Register-file index of a destination (dst must not be kNone).
-std::size_t dst_reg_index(DnodeDst dst);
+inline std::size_t dst_reg_index(DnodeDst dst) {
+  check(dst != DnodeDst::kNone && dst != DnodeDst::kDstCount,
+        "dst_reg_index: not a register destination");
+  return static_cast<std::size_t>(dst) - 1;
+}
 
 /// Decoded Dnode microinstruction.
 struct DnodeInstr {
@@ -117,12 +122,40 @@ struct DnodeInstr {
 };
 
 /// True if the operation reads its B (respectively C) operand.
-bool op_uses_b(DnodeOp op) noexcept;
-bool op_uses_c(DnodeOp op) noexcept;
+/// Inline constexpr: queried per operand per executed Dnode per cycle,
+/// and must constant-fold inside the ring's fused superstep loop.
+constexpr bool op_uses_b(DnodeOp op) noexcept {
+  switch (op) {
+    case DnodeOp::kNop:
+    case DnodeOp::kPass:
+    case DnodeOp::kNot:
+    case DnodeOp::kAbs:
+      return false;
+    default:
+      return true;
+  }
+}
+
+constexpr bool op_uses_c(DnodeOp op) noexcept {
+  switch (op) {
+    case DnodeOp::kMac:
+    case DnodeOp::kMsu:
+    case DnodeOp::kSelect:
+      return true;
+    default:
+      return false;
+  }
+}
 
 /// True if `instr` reads the given operand source anywhere (A, or B/C
 /// when the operation consumes them).  NOP reads nothing.
-bool instr_reads(const DnodeInstr& instr, DnodeSrc src) noexcept;
+constexpr bool instr_reads(const DnodeInstr& instr, DnodeSrc src) noexcept {
+  if (instr.op == DnodeOp::kNop) return false;
+  if (instr.src_a == src) return true;
+  if (op_uses_b(instr.op) && instr.src_b == src) return true;
+  if (op_uses_c(instr.op) && instr.src_c == src) return true;
+  return false;
+}
 
 /// Lower-case mnemonic ("mac"); stable, used by assembler and traces.
 std::string_view to_mnemonic(DnodeOp op) noexcept;

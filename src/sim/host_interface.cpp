@@ -28,10 +28,10 @@ HostInterface::HostInterface(LinkRate rate) : rate_(rate) {
 void HostInterface::send(std::span<const Word> words) {
   if (rate_.num == 0) {
     // Ideal link: words are visible to the core immediately.
-    ring_in_.insert(ring_in_.end(), words.begin(), words.end());
+    ring_in_.append(words);
     words_to_core_ += words.size();
   } else {
-    host_tx_.insert(host_tx_.end(), words.begin(), words.end());
+    host_tx_.append(words);
   }
 }
 
@@ -90,6 +90,17 @@ void HostInterface::tick() {
     ++words_to_host_;
   }
   if (ring_out_taken_ == ring_out_.size()) credits_rx_ = 0;
+}
+
+void HostInterface::publish_to_host(std::size_t n) {
+  if (n > ring_out_.size()) n = ring_out_.size();
+  if (n <= ring_out_taken_) return;
+  host_rx_.insert(host_rx_.end(),
+                  ring_out_.begin() + static_cast<std::ptrdiff_t>(
+                                          ring_out_taken_),
+                  ring_out_.begin() + static_cast<std::ptrdiff_t>(n));
+  words_to_host_ += n - ring_out_taken_;
+  ring_out_taken_ = n;
 }
 
 }  // namespace sring

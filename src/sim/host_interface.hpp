@@ -12,10 +12,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <span>
 #include <vector>
 
+#include "common/host_fifo.hpp"
 #include "common/types.hpp"
 
 namespace sring {
@@ -49,14 +49,26 @@ class HostInterface {
   std::vector<Word> take_received();
 
   // --- core-side (simulator) API ---------------------------------------
-  std::deque<Word>& ring_in() noexcept { return ring_in_; }
-  const std::deque<Word>& ring_in() const noexcept { return ring_in_; }
+  HostFifo& ring_in() noexcept { return ring_in_; }
+  const HostFifo& ring_in() const noexcept { return ring_in_; }
   std::vector<Word>& ring_out() noexcept { return ring_out_; }
   const std::vector<Word>& ring_out() const noexcept { return ring_out_; }
 
   /// Advance the link by one cycle: move words host->core and
   /// core->host under the bandwidth limit.
   void tick();
+
+  /// True when the link has no bandwidth limit (ideal link).  The
+  /// superstep engine only fuses cycles over an unlimited link, where
+  /// a tick can never change what the ring sees mid-run.
+  bool unlimited() const noexcept { return rate_.num == 0; }
+
+  /// Superstep support (unlimited link only): publish ring_out words
+  /// up to prefix length `n` into the host receive buffer, exactly as
+  /// the skipped per-cycle tick() mirror would have.  Keeps
+  /// received() consistent with the per-cycle timeline after a fused
+  /// run that produced outputs without ticking the link.
+  void publish_to_host(std::size_t n);
 
   /// Drop every queued/received word and all traffic counters,
   /// keeping the configured link rate — a fresh interface, as if
@@ -68,8 +80,8 @@ class HostInterface {
 
  private:
   LinkRate rate_;
-  std::deque<Word> host_tx_;   // waiting on the host side
-  std::deque<Word> ring_in_;   // visible to the ring / controller
+  HostFifo host_tx_;   // waiting on the host side
+  HostFifo ring_in_;   // visible to the ring / controller
   std::vector<Word> ring_out_; // produced by the ring / controller
   std::size_t ring_out_taken_ = 0;  // prefix already shipped to host_rx_
   std::vector<Word> host_rx_;

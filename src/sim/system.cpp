@@ -1,6 +1,8 @@
 #include "sim/system.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 #include "common/error.hpp"
 #include "isa/dnode_instr.hpp"
@@ -15,6 +17,8 @@ System::System(const SystemConfig& config)
       host_(config.link) {
   geom_.validate();
   route_marks_.assign(geom_.switch_count(), 0);
+  const char* no_superstep = std::getenv("SRING_NO_SUPERSTEP");
+  superstep_enabled_ = no_superstep == nullptr || *no_superstep == '\0';
 }
 
 void System::load(const LoadableProgram& program) {
@@ -63,10 +67,9 @@ void System::step() {
   host_.tick();
 
   {  // sample the ring-visible input-FIFO depth (post link tick)
-    const std::uint64_t depth = host_.ring_in().size();
-    std::size_t b = 0;
-    while (b < kHostDepthBounds.size() && depth > kHostDepthBounds[b]) ++b;
-    ++host_depth_counts_[b];
+    const std::size_t depth = host_.ring_in().size();
+    ++host_depth_counts_[kDepthLut[depth < kDepthLutMax ? depth
+                                                        : kDepthLutMax]];
   }
 
   const Controller::StepContext ctx{cfg_,
@@ -207,6 +210,11 @@ obs::Registry System::metrics() const {
   reg.counter("ring.plan.hits").set(s.plan_hits);
   reg.counter("ring.plan.invalidations").set(s.plan_invalidations);
 
+  // Superstep engine activity.  These are the ONLY values allowed to
+  // differ between superstep and per-cycle execution of the same run.
+  reg.counter("ring.superstep.dispatches").set(ring_.superstep_dispatches());
+  reg.counter("ring.superstep.cycles").set(ring_.superstep_cycles());
+
   reg.counter("host.words_in").set(s.host_words_in);
   reg.counter("host.words_out").set(s.host_words_out);
   reg.counter("host.link_words_to_core").set(host_.words_to_core());
@@ -266,10 +274,54 @@ obs::Registry System::metrics() const {
   return reg;
 }
 
+std::uint64_t System::try_superstep(std::uint64_t cycle_budget,
+                                    std::size_t host_out_stop) {
+  if (!superstep_enabled_ || sink_ != nullptr || !host_.unlimited()) {
+    return 0;
+  }
+  std::uint64_t cap = cycle_budget;
+  const bool waiting = !ctrl_.halted();
+  if (waiting) {
+    // Only a controller parked in a multi-cycle WAIT is as inert as a
+    // halted one; cap the fused run at its wake-up cycle.
+    const std::uint64_t w = ctrl_.wait_cycles_remaining();
+    if (w == 0) return 0;
+    if (w < cap) cap = w;
+  }
+  const auto res = ring_.run_planned(
+      cfg_, bus_, host_.ring_in(), host_.ring_out(), cap, host_out_stop,
+      Ring::HostDepthProbe{host_depth_counts_.data(), kDepthLut.data(),
+                           kDepthLutMax});
+  if (res.cycles == 0) return 0;
+
+  // Flush what the skipped per-cycle steps would have accounted.  The
+  // host link is NOT ticked: publish_to_host reproduces the mirror's
+  // one-tick lag so received() matches the per-cycle timeline exactly.
+  if (waiting) {
+    ctrl_.skip_wait(res.cycles);
+    stats_.ctrl_stall_cycles += res.cycles;
+  }
+  stats_.cycles += res.cycles;
+  stats_.dnode_ops += res.ops;
+  stats_.arith_ops += res.arith_ops;
+  stats_.host_words_in += res.host_words_in;
+  stats_.host_words_out += res.host_words_out;
+  cycle_ += res.cycles;
+  if (res.bus_drive.has_value()) bus_ = *res.bus_drive;
+  host_.publish_to_host(res.out_size_at_last_top);
+  return res.cycles;
+}
+
 void System::run_until_halt(std::uint64_t max_cycles,
                             std::uint64_t drain_cycles) {
   std::uint64_t n = 0;
   while (!ctrl_.halted()) {
+    const std::uint64_t k =
+        try_superstep(max_cycles - n, std::numeric_limits<std::size_t>::max());
+    if (k > 0) {
+      n += k;
+      continue;
+    }
     check(n++ < max_cycles, "System::run_until_halt: cycle budget exceeded");
     step();
   }
@@ -279,6 +331,11 @@ void System::run_until_halt(std::uint64_t max_cycles,
 void System::run_until_outputs(std::size_t count, std::uint64_t max_cycles) {
   std::uint64_t n = 0;
   while (host_.received().size() < count) {
+    const std::uint64_t k = try_superstep(max_cycles - n, count);
+    if (k > 0) {
+      n += k;
+      continue;
+    }
     check(n++ < max_cycles,
           "System::run_until_outputs: cycle budget exceeded");
     step();
@@ -286,7 +343,16 @@ void System::run_until_outputs(std::size_t count, std::uint64_t max_cycles) {
 }
 
 void System::run_cycles(std::uint64_t n) {
-  for (std::uint64_t i = 0; i < n; ++i) step();
+  for (std::uint64_t i = 0; i < n;) {
+    const std::uint64_t k =
+        try_superstep(n - i, std::numeric_limits<std::size_t>::max());
+    if (k > 0) {
+      i += k;
+      continue;
+    }
+    step();
+    ++i;
+  }
 }
 
 }  // namespace sring

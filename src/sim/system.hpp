@@ -66,6 +66,16 @@ class System {
 
   void run_cycles(std::uint64_t n);
 
+  /// Enable/disable the superstep engine at runtime (A/B comparisons;
+  /// outputs and SystemStats are bit-identical either way, only the
+  /// ring.superstep.* metrics differ).  Also disabled for the whole
+  /// System by the SRING_NO_SUPERSTEP environment variable (any
+  /// non-empty value, read at construction).
+  void set_superstep_enabled(bool enabled) noexcept {
+    superstep_enabled_ = enabled;
+  }
+  bool superstep_enabled() const noexcept { return superstep_enabled_; }
+
   // --- accessors --------------------------------------------------------
   Ring& ring() noexcept { return ring_; }
   const Ring& ring() const noexcept { return ring_; }
@@ -99,6 +109,18 @@ class System {
   void emit_cycle_events(const Controller::StepResult& ctrl_res,
                          const Ring::CycleResult& ring_res);
 
+  /// Try to run a fused superstep covering up to `cycle_budget` cycles
+  /// (see Ring::run_planned).  Eligible only while per-cycle stepping
+  /// could not observe anything a fused run skips: superstep enabled,
+  /// no trace sink, unlimited host link, and the controller halted or
+  /// inside a multi-cycle WAIT (the fused run is then capped at the
+  /// wake-up).  `host_out_stop` carries run_until_outputs' target into
+  /// the ring (SIZE_MAX otherwise).  Returns the cycles executed, 0
+  /// when ineligible or nothing ran — the caller must then fall back
+  /// to step() so progress is guaranteed.
+  std::uint64_t try_superstep(std::uint64_t cycle_budget,
+                              std::size_t host_out_stop);
+
   RingGeometry geom_;
   ConfigMemory cfg_;
   Ring ring_;
@@ -110,10 +132,24 @@ class System {
 
   // Input-FIFO depth sampled once per cycle; bucket i counts cycles
   // with depth <= kHostDepthBounds[i], the last bucket the overflow.
+  // The depth->bucket map is a compile-time LUT so the per-cycle
+  // sample is one clamped load instead of a linear bound scan.
   static constexpr std::array<std::uint64_t, 10> kHostDepthBounds{
       0, 1, 2, 4, 8, 16, 32, 64, 128, 256};
+  static constexpr std::size_t kDepthLutMax = kHostDepthBounds.back() + 1;
+  static constexpr auto kDepthLut = [] {
+    std::array<std::uint8_t, kDepthLutMax + 1> lut{};
+    for (std::size_t d = 0; d < lut.size(); ++d) {
+      std::size_t b = 0;
+      while (b < kHostDepthBounds.size() && d > kHostDepthBounds[b]) ++b;
+      lut[d] = static_cast<std::uint8_t>(b);
+    }
+    return lut;
+  }();
   std::array<std::uint64_t, kHostDepthBounds.size() + 1>
       host_depth_counts_{};
+
+  bool superstep_enabled_ = true;
 
   obs::EventSink* sink_ = nullptr;
   std::vector<obs::Track> tracks_;          // built on sink attachment

@@ -1,7 +1,6 @@
 // Unit tests for the RISC configuration controller.
 #include <gtest/gtest.h>
 
-#include <deque>
 #include <vector>
 
 #include "asm/program_builder.hpp"
@@ -32,7 +31,7 @@ struct Harness {
   ConfigMemory cfg;
   Ring ring;
   Word bus = 0;
-  std::deque<Word> in;
+  HostFifo in;
   std::vector<Word> out;
   std::uint64_t cycle = 0;
 };

@@ -5,7 +5,6 @@
 #include <gtest/gtest.h>
 
 #include <array>
-#include <deque>
 
 #include "common/rng.hpp"
 #include "ctrl/controller.hpp"
@@ -157,7 +156,7 @@ TEST_P(ControllerDifferential, RandomAluProgramsAgree) {
   Controller ctrl(code);
   ConfigMemory cfg({2, 1, 4});
   Ring ring({2, 1, 4});
-  std::deque<Word> host_in;
+  HostFifo host_in;
   std::vector<Word> host_out;
   for (int cycle = 0; cycle < 10000 && !ctrl.halted(); ++cycle) {
     ctrl.step({cfg, ring, 0, host_in, host_out,

@@ -5,14 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
-#include <deque>
+#include <string>
 #include <vector>
 
+#include "asm/assembler.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/ring.hpp"
 #include "kernels/fir_kernel.hpp"
 #include "kernels/mac_kernel.hpp"
+#include "obs/event.hpp"
 #include "sim/system.hpp"
 
 namespace sring {
@@ -166,7 +168,7 @@ TEST(CyclePlan, LimitedLinkStallsBitExact) {
 TEST(CyclePlan, CountersTrackCompileHitInvalidate) {
   ConfigMemory cfg({2, 1, 4});
   Ring ring({2, 1, 4});
-  std::deque<Word> in;
+  HostFifo in;
   std::vector<Word> out;
   cfg.write_dnode_instr(0, pass_out(DnodeSrc::kImm).encode());
 
@@ -208,7 +210,7 @@ TEST(CyclePlan, PlannedModeEntryUnderStallCommitsOnce) {
   // actually advances.
   ConfigMemory cfg({1, 1, 4});
   Ring ring({1, 1, 4});
-  std::deque<Word> in;
+  HostFifo in;
   std::vector<Word> out;
 
   DnodeInstr eat = pass_out(DnodeSrc::kHost);  // slot 0: pops one word
@@ -241,7 +243,7 @@ TEST(CyclePlan, CompileRejectsWhatTheInterpreterRejects) {
     ConfigMemory cfg({2, 1, 4});
     Ring ring({2, 1, 4});
     ring.set_plan_cache_enabled(planned);
-    std::deque<Word> in;
+    HostFifo in;
     std::vector<Word> out;
 
     SwitchRoute bad;
@@ -260,12 +262,259 @@ TEST(CyclePlan, CompileRejectsWhatTheInterpreterRejects) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Superstep engine: the fused run must be observationally identical to
+// per-cycle execution — outputs, full SystemStats (including the plan
+// counters), and every metric except ring.superstep.* — across every
+// boundary that forces it back to single-step.
+
+/// Metrics snapshot minus the ring.superstep.* counters, the only
+/// instruments the superstep engine is allowed to move.
+std::string metrics_no_superstep(const obs::Registry& reg) {
+  obs::JsonValue out = obs::JsonValue::object();
+  for (const auto& [name, counter] : reg.counters()) {
+    if (name.rfind("ring.superstep.", 0) == 0) continue;
+    out.set(name, counter.value());
+  }
+  for (const auto& [name, hist] : reg.histograms()) {
+    out.set(name, hist.to_json());
+  }
+  return out.dump();
+}
+
+struct SuperRun {
+  std::vector<Word> outputs;
+  std::string stats;    ///< full SystemStats, plan counters included
+  std::string metrics;  ///< minus ring.superstep.*
+  std::uint64_t cycles = 0;
+  std::uint64_t dispatches = 0;
+  std::uint64_t ss_cycles = 0;
+};
+
+/// Run `drive` on a fresh System with the superstep engine on or off
+/// and capture everything the engine must not change.
+template <typename DriveFn>
+SuperRun drive_system(const RingGeometry& g, bool superstep,
+                      DriveFn&& drive) {
+  System sys({g});
+  sys.set_superstep_enabled(superstep);
+  drive(sys);
+  SuperRun r;
+  r.outputs = sys.host().take_received();
+  r.stats = sys.stats().to_string();
+  r.metrics = metrics_no_superstep(sys.metrics());
+  r.cycles = sys.cycle();
+  r.dispatches = sys.ring().superstep_dispatches();
+  r.ss_cycles = sys.ring().superstep_cycles();
+  return r;
+}
+
+void expect_transparent(const SuperRun& on, const SuperRun& off) {
+  EXPECT_EQ(on.outputs, off.outputs);
+  EXPECT_EQ(on.cycles, off.cycles);
+  EXPECT_EQ(on.stats, off.stats);
+  EXPECT_EQ(on.metrics, off.metrics);
+  EXPECT_EQ(off.dispatches, 0u)
+      << "the disabled engine must never dispatch";
+}
+
+TEST(Superstep, HostFifoExhaustionAndRefillBitExact) {
+  const RingGeometry g{8, 2, 16};
+  const std::vector<Word> coeffs{5, static_cast<Word>(-3), 2, 1};
+  const std::vector<Word> x = signal(21, 120);
+  const LoadableProgram program =
+      kernels::make_spatial_fir_program(g, coeffs);
+
+  const auto drive = [&](System& sys) {
+    sys.load(program);
+    // First half, then run long enough to drain the FIFO and sit in
+    // ring stalls; refill and finish.  A superstep must break exactly
+    // at the exhaustion point and resume after the refill.
+    std::vector<Word> first(x.begin(), x.begin() + 60);
+    sys.host().send(first);
+    sys.run_cycles(100);
+    std::vector<Word> rest(x.begin() + 60, x.end());
+    rest.insert(rest.end(), coeffs.size(), 0);  // flush the pipeline
+    sys.host().send(rest);
+    sys.run_until_outputs(x.size() + coeffs.size(), 4096);
+  };
+
+  const SuperRun on = drive_system(g, true, drive);
+  const SuperRun off = drive_system(g, false, drive);
+  expect_transparent(on, off);
+  EXPECT_GT(on.dispatches, 0u);
+  EXPECT_GT(on.ss_cycles, 60u) << "the steady phases must run fused";
+}
+
+TEST(Superstep, BusDriveBreaksDispatchBitExact) {
+  // Dnode 0.0 drives the bus every executed cycle; 1.0 echoes the bus
+  // to the host.  Every drive must end the fused dispatch so the value
+  // lands on the System bus before the next cycle reads it.
+  const RingGeometry g{2, 1, 4};
+  const LoadableProgram program = assemble(R"(
+.ring 2 1 4
+.controller
+    page boot
+    halt
+.page boot
+    dnode 0.0 { pass none, host bus host }
+    dnode 1.0 { pass none, bus host }
+)");
+
+  const auto drive = [&](System& sys) {
+    sys.load(program);
+    sys.host().send(signal(22, 48));
+    sys.run_cycles(64);  // trailing cycles stall on the drained FIFO
+  };
+
+  const SuperRun on = drive_system(g, true, drive);
+  const SuperRun off = drive_system(g, false, drive);
+  expect_transparent(on, off);
+  EXPECT_GT(on.dispatches, 0u);
+}
+
+TEST(Superstep, ControllerWaitAndPageSwapBitExact) {
+  // Local two-slot program streams through a long controller WAIT
+  // (supersteps must cap at the wake-up), then a page swap flips the
+  // Dnode to global mode (plan invalidation mid-run).
+  const RingGeometry g{2, 1, 4};
+  const LoadableProgram program = assemble(R"(
+.ring 2 1 4
+.controller
+    page boot
+    wait 37
+    page coda
+    halt
+.page boot
+    dnode 0.0 local
+.local 0.0
+{
+    pass none, host host
+    pass none, imm(5) host
+}
+.page coda
+    dnode 0.0 { pass none, imm(9) host }
+)");
+
+  const auto drive = [&](System& sys) {
+    sys.load(program);
+    sys.host().send(signal(23, 40));
+    sys.run_until_halt(400, 6);
+  };
+
+  const SuperRun on = drive_system(g, true, drive);
+  const SuperRun off = drive_system(g, false, drive);
+  expect_transparent(on, off);
+  EXPECT_GT(on.dispatches, 0u) << "the WAIT window must run fused";
+}
+
+TEST(Superstep, TraceSinkForcesPerCycleBitExact) {
+  // A sink attached mid-run must stop fused dispatches immediately —
+  // every subsequent cycle needs its events published.
+  struct NullSink : obs::EventSink {
+    void event(const obs::Event&) override { ++events; }
+    std::uint64_t events = 0;
+  };
+
+  const RingGeometry g{8, 2, 16};
+  const std::vector<Word> coeffs{2, static_cast<Word>(-1), 3};
+  const std::vector<Word> x = signal(24, 80);
+  const LoadableProgram program =
+      kernels::make_spatial_fir_program(g, coeffs);
+
+  NullSink sink;
+  std::uint64_t dispatches_at_attach = 0;
+  const auto drive = [&](System& sys) {
+    sys.load(program);
+    std::vector<Word> feed = x;
+    feed.insert(feed.end(), coeffs.size(), 0);
+    sys.host().send(feed);
+    sys.run_cycles(40);
+    if (sys.superstep_enabled()) {
+      dispatches_at_attach = sys.ring().superstep_dispatches();
+    }
+    sys.set_trace(&sink);
+    sys.run_until_outputs(x.size() + coeffs.size(), 4096);
+    sys.set_trace(nullptr);
+  };
+
+  const SuperRun on = drive_system(g, true, drive);
+  EXPECT_GT(on.dispatches, 0u);
+  EXPECT_EQ(on.dispatches, dispatches_at_attach)
+      << "no fused dispatch may run while a sink is attached";
+
+  const SuperRun off = drive_system(g, false, drive);
+  expect_transparent(on, off);
+}
+
+TEST(Superstep, ResetForRerunRepeatsBitExact) {
+  const RingGeometry g{4, 2, 8};
+  const std::vector<Word> a = signal(25, 150);
+  const std::vector<Word> b = signal(26, 150);
+  const LoadableProgram program = kernels::make_running_mac_program(g);
+  std::vector<Word> interleaved;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    interleaved.push_back(a[i]);
+    interleaved.push_back(b[i]);
+  }
+
+  for (const bool superstep : {true, false}) {
+    System sys({g});
+    sys.set_superstep_enabled(superstep);
+    std::vector<Word> first, second;
+    sys.load(program);
+    sys.host().send(interleaved);
+    sys.run_until_outputs(a.size(), 64 + 16 * a.size());
+    first = sys.host().take_received();
+    sys.reset_for_rerun(program);
+    sys.host().send(interleaved);
+    sys.run_until_outputs(a.size(), 64 + 16 * a.size());
+    second = sys.host().take_received();
+    EXPECT_EQ(first, second)
+        << "rerun diverged with superstep " << (superstep ? "on" : "off");
+  }
+}
+
+TEST(Superstep, CountersAndEnvironmentKnob) {
+  {
+    struct ScopedNoSuperstepEnv {
+      ScopedNoSuperstepEnv() { setenv("SRING_NO_SUPERSTEP", "1", 1); }
+      ~ScopedNoSuperstepEnv() { unsetenv("SRING_NO_SUPERSTEP"); }
+    } env;
+    System sys({RingGeometry{2, 1, 4}});
+    EXPECT_FALSE(sys.superstep_enabled());
+  }
+  System sys({RingGeometry{4, 2, 8}});
+  EXPECT_TRUE(sys.superstep_enabled());
+
+  const std::vector<Word> a = signal(27, 100);
+  const LoadableProgram program = kernels::make_running_mac_program({4, 2, 8});
+  sys.load(program);
+  std::vector<Word> interleaved;
+  for (const Word w : a) {
+    interleaved.push_back(w);
+    interleaved.push_back(1);
+  }
+  sys.host().send(interleaved);
+  sys.run_until_outputs(a.size(), 64 + 16 * a.size());
+
+  const obs::Registry reg = sys.metrics();
+  const obs::Counter* d = reg.find_counter("ring.superstep.dispatches");
+  const obs::Counter* c = reg.find_counter("ring.superstep.cycles");
+  ASSERT_NE(d, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_GT(d->value(), 0u);
+  EXPECT_GT(c->value(), a.size() / 2)
+      << "a steady local-mode run must spend most cycles fused";
+  EXPECT_EQ(sys.ring().superstep_cycles(), c->value());
+}
+
 TEST(CyclePlan, FbReadDepthCountsSizedByGeometry) {
   // The per-depth feedback histogram is sized by fb_depth, not a
   // hard-coded 16-deep stride.
   ConfigMemory cfg({2, 1, 8});
   Ring ring({2, 1, 8});
-  std::deque<Word> in;
+  HostFifo in;
   std::vector<Word> out;
   ASSERT_EQ(ring.fb_read_depth_counts().size(), 2u * 8u);
 

@@ -1,11 +1,79 @@
-// Unit tests for the host link (bandwidth modeling).
+// Unit tests for the host link (bandwidth modeling) and the flat
+// HostFifo beneath it.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <deque>
+#include <vector>
+
 #include "common/error.hpp"
+#include "common/host_fifo.hpp"
+#include "common/rng.hpp"
 #include "sim/host_interface.hpp"
 
 namespace sring {
 namespace {
+
+TEST(HostFifo, FifoOrderAndPeek) {
+  HostFifo f;
+  EXPECT_TRUE(f.empty());
+  f.push_back(1);
+  f.push_back(2);
+  f.push_back(3);
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_EQ(f.front(), 1u);
+  EXPECT_EQ(f.at(0), 1u);
+  EXPECT_EQ(f.at(2), 3u);
+  EXPECT_EQ(f.pop(), 1u);
+  f.pop_front();
+  EXPECT_EQ(f.front(), 3u);
+  EXPECT_EQ(f.pop(), 3u);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(HostFifo, AssignReplacesAndAppendExtends) {
+  HostFifo f;
+  f.push_back(7);
+  f.pop_front();
+  f.assign({4, 5});
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_EQ(f.front(), 4u);
+  const std::vector<Word> more{6, 7};
+  f.append(more);
+  EXPECT_EQ(f.size(), 4u);
+  EXPECT_EQ(f.at(3), 7u);
+  f.clear();
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(HostFifo, MatchesDequeAcrossReclaimChurn) {
+  // Interleaved pushes and pops well past the lazy-reclaim threshold:
+  // the flat fifo must stay word-for-word a std::deque.
+  HostFifo f;
+  std::deque<Word> ref;
+  Rng rng(99);
+  for (std::size_t round = 0; round < 10'000; ++round) {
+    const int burst = static_cast<int>(rng.next_word_in(1, 5));
+    for (int i = 0; i < burst; ++i) {
+      const Word w = rng.next_word_in(-5000, 5000);
+      f.push_back(w);
+      ref.push_back(w);
+    }
+    const int pops = static_cast<int>(rng.next_word_in(0, 6));
+    for (int i = 0; i < pops && !ref.empty(); ++i) {
+      ASSERT_FALSE(f.empty());
+      ASSERT_EQ(f.pop(), ref.front());
+      ref.pop_front();
+    }
+    ASSERT_EQ(f.size(), ref.size());
+    if (!ref.empty()) ASSERT_EQ(f.front(), ref.front());
+  }
+  while (!ref.empty()) {
+    ASSERT_EQ(f.pop(), ref.front());
+    ref.pop_front();
+  }
+  EXPECT_TRUE(f.empty());
+}
 
 TEST(LinkRate, FromBytesPerSecond) {
   // 250 MB/s at 200 MHz: 0.625 words/cycle.

@@ -2,7 +2,6 @@
 // ring closure, feedback pipelines, host I/O, stalls, bus, local mode.
 #include <gtest/gtest.h>
 
-#include <deque>
 #include <vector>
 
 #include "common/error.hpp"
@@ -34,7 +33,7 @@ struct Harness {
 
   ConfigMemory cfg;
   Ring ring;
-  std::deque<Word> in;
+  HostFifo in;
   std::vector<Word> out;
 };
 
@@ -445,7 +444,7 @@ TEST(Ring, OutOfGeometryFeedbackReadRejectedAtRuntime) {
 TEST(Ring, GeometryMismatchRejected) {
   Ring ring({2, 1, 4});
   ConfigMemory cfg({4, 1, 4});
-  std::deque<Word> in;
+  HostFifo in;
   std::vector<Word> out;
   EXPECT_THROW(ring.step(cfg, 0, in, out), SimError);
 }

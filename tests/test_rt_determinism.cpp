@@ -9,6 +9,8 @@
 //    indistinguishable from a fresh load().
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -195,6 +197,58 @@ TEST(RtDeterminism, RerunUnderLinkStallsReproducesStallPattern) {
   EXPECT_EQ(fresh.stats().ring_stall_cycles, first.ring_stall_cycles);
   EXPECT_EQ(RunReport::from_system("run", fresh).to_json().dump(),
             first_report);
+}
+
+/// Sets SRING_NO_SUPERSTEP for a scope.  Workers construct their
+/// Systems while a batch is in flight, so the variable must stay set
+/// across the whole submit_batch call.
+class ScopedNoSuperstep {
+ public:
+  ScopedNoSuperstep() { setenv("SRING_NO_SUPERSTEP", "1", 1); }
+  ~ScopedNoSuperstep() { unsetenv("SRING_NO_SUPERSTEP"); }
+};
+
+/// Report JSON with the ring.superstep.* counters normalized away —
+/// the only part of a RunReport allowed to differ between superstep
+/// and per-cycle execution of the same job.
+std::string report_without_superstep(RunReport r) {
+  r.metrics.counter("ring.superstep.dispatches").set(0);
+  r.metrics.counter("ring.superstep.cycles").set(0);
+  return r.to_json().dump();
+}
+
+TEST(RtDeterminism, SuperstepEngineTransparentAcrossBatch) {
+  Runtime fused({.workers = 4, .queue_capacity = 8});
+  const std::vector<JobResult> with = fused.submit_batch(mixed_batch());
+
+  std::vector<JobResult> without;
+  {
+    ScopedNoSuperstep env;
+    Runtime percycle({.workers = 4, .queue_capacity = 8});
+    without = percycle.submit_batch(mixed_batch());
+  }
+
+  ASSERT_EQ(with.size(), without.size());
+  std::uint64_t fused_dispatches = 0;
+  for (std::size_t i = 0; i < with.size(); ++i) {
+    ASSERT_TRUE(with[i].ok) << with[i].error;
+    ASSERT_TRUE(without[i].ok) << without[i].error;
+    EXPECT_EQ(with[i].outputs, without[i].outputs) << "job " << i;
+    EXPECT_EQ(report_without_superstep(with[i].report),
+              report_without_superstep(without[i].report))
+        << "job " << i;
+    const obs::Counter* fused_c =
+        with[i].report.metrics.find_counter("ring.superstep.dispatches");
+    const obs::Counter* plain_c =
+        without[i].report.metrics.find_counter("ring.superstep.dispatches");
+    ASSERT_NE(fused_c, nullptr);
+    ASSERT_NE(plain_c, nullptr);
+    fused_dispatches += fused_c->value();
+    EXPECT_EQ(plain_c->value(), 0u)
+        << "job " << i << ": env knob must reach pooled Systems";
+  }
+  EXPECT_GT(fused_dispatches, 0u)
+      << "default path must actually exercise the superstep engine";
 }
 
 TEST(RtDeterminism, WrongProgramForRerunIsRejected) {
