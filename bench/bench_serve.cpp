@@ -26,6 +26,7 @@
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "obs/cli.hpp"
+#include "obs/quantile.hpp"
 #include "rt/runtime.hpp"
 #include "sim/report.hpp"
 
@@ -82,15 +83,6 @@ std::vector<net::JobRequest> build_requests(const std::string& mix,
     reqs.push_back(std::move(req));
   }
   return reqs;
-}
-
-double percentile(std::vector<double> sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
 }  // namespace
@@ -184,6 +176,7 @@ int main(int argc, char** argv) {
     const auto t1 = std::chrono::steady_clock::now();
 
     const obs::Registry m = server.metrics();
+    const net::StatsReplyMsg stats = server.stats_snapshot(0);
     server.request_drain();
     server_thread.join();
 
@@ -197,23 +190,45 @@ int main(int argc, char** argv) {
     double mean = 0.0;
     for (const double v : sorted) mean += v;
     mean /= static_cast<double>(sorted.size());
-    const double p50 = percentile(sorted, 0.50);
-    const double p99 = percentile(sorted, 0.99);
+    const double p50 = obs::percentile_sorted(sorted, 0.50);
+    const double p99 = obs::percentile_sorted(sorted, 0.99);
 
     const auto counter = [&m](const char* name) {
       const auto* c = m.find_counter(name);
       return c != nullptr ? c->value() : 0;
     };
 
+    const std::uint64_t plan_compiles = counter("ring.plan.compiles");
+    const std::uint64_t plan_hits = counter("ring.plan.hits");
+    const double plan_hit_rate =
+        plan_compiles + plan_hits > 0
+            ? static_cast<double>(plan_hits) /
+                  static_cast<double>(plan_compiles + plan_hits)
+            : 0.0;
+
     std::printf(
         "  %zu jobs in %.3fs: %8.1f jobs/s, latency p50 %.0f us / p99 "
         "%.0f us / mean %.0f us (busy-rejects %llu, %llu bytes in / "
-        "%llu out)\n  outputs bit-identical to local rt::Runtime "
-        "execution\n",
+        "%llu out)\n  plan cache: %llu compiles, %llu hits (%.1f%% hit "
+        "rate), %llu superstep cycles over %llu dispatches\n"
+        "  outputs bit-identical to local rt::Runtime execution\n",
         jobs, wall_s, jobs_per_s, p50, p99, mean,
         static_cast<unsigned long long>(counter("net.rejects.busy")),
         static_cast<unsigned long long>(counter("net.bytes.in")),
-        static_cast<unsigned long long>(counter("net.bytes.out")));
+        static_cast<unsigned long long>(counter("net.bytes.out")),
+        static_cast<unsigned long long>(plan_compiles),
+        static_cast<unsigned long long>(plan_hits),
+        100.0 * plan_hit_rate,
+        static_cast<unsigned long long>(
+            counter("ring.superstep.cycles")),
+        static_cast<unsigned long long>(
+            counter("ring.superstep.dispatches")));
+    for (const auto& q : stats.latencies) {
+      std::printf("  %-28s p50 %8.0f us  p90 %8.0f us  p99 %8.0f us  "
+                  "(n=%llu)\n",
+                  q.name.c_str(), q.p50_us, q.p90_us, q.p99_us,
+                  static_cast<unsigned long long>(q.count));
+    }
 
     RunReport report;
     report.name = "bench_serve";
@@ -234,7 +249,24 @@ int main(int argc, char** argv) {
         .extra("frames_in", counter("net.frames.in"))
         .extra("bytes_in", counter("net.bytes.in"))
         .extra("bytes_out", counter("net.bytes.out"))
+        .extra("plan_compiles", plan_compiles)
+        .extra("plan_hits", plan_hits)
+        .extra("plan_hit_rate", plan_hit_rate)
+        .extra("superstep_cycles", counter("ring.superstep.cycles"))
+        .extra("superstep_dispatches",
+               counter("ring.superstep.dispatches"))
+        .extra("worker_utilization", stats.worker_utilization)
         .extra("outputs_bit_identical", true);
+    for (const auto& q : stats.latencies) {
+      obs::JsonValue lat = obs::JsonValue::object();
+      lat.set("count", q.count);
+      lat.set("mean_us", q.mean_us);
+      lat.set("p50_us", q.p50_us);
+      lat.set("p90_us", q.p90_us);
+      lat.set("p99_us", q.p99_us);
+      lat.set("max_us", q.max_us);
+      report.extra(q.name, std::move(lat));
+    }
     maybe_write_run_report(report, json_path);
     return 0;
   } catch (const SimError& e) {

@@ -22,13 +22,20 @@
 //
 // Serving subcommands (src/net/ remote job-serving subsystem):
 //   sras serve [--host H] [--port N] [--workers N] [--queue N]
-//              [--port-file P] [--report-json P]
+//              [--port-file P] [--report-json P] [--sample-ms N]
+//              [--slow-us N] [--flight-dump P]
 //       run a job server until SIGTERM / a client Drain; exits 0 on a
-//       clean drain and writes the net+rt metrics report.
+//       clean drain and writes the net+rt metrics report (plus the
+//       captured flight records when --flight-dump is given).
 //   sras remote [--host H] [--port N] [--kernel all|fir|me|dwt|matvec]
 //               [--count N] [--info] [--ping] [--drain]
 //       submit deterministic kernel jobs and verify the remote outputs
 //       bit-exact against local rt::Runtime execution.
+//   sras stats [--host H] --port N [--count N] [--interval-ms N]
+//              [--jsonl] [--flight]
+//       poll a live server's GetStats snapshot: counters, per-phase
+//       latency quantiles and sampler rates, pretty-printed or as
+//       JSONL for scraping; --flight appends the recent span records.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +44,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "asm/assembler.hpp"
@@ -66,9 +74,12 @@ int usage() {
                "        [--workers <n>] [--batch <n>]\n"
                "  sras serve [--host H] [--port N] [--workers N]\n"
                "        [--queue N] [--port-file P] [--report-json P]\n"
+               "        [--sample-ms N] [--slow-us N] [--flight-dump P]\n"
                "  sras remote [--host H] [--port N]\n"
                "        [--kernel all|fir|me|dwt|matvec] [--count N]\n"
-               "        [--info] [--ping] [--drain] [--report-json P]\n");
+               "        [--info] [--ping] [--drain] [--report-json P]\n"
+               "  sras stats [--host H] --port N [--count N]\n"
+               "        [--interval-ms N] [--jsonl] [--flight]\n");
   return 2;
 }
 
@@ -141,14 +152,22 @@ int cmd_serve(int argc, char** argv) {
       obs::extract_option(argc, argv, "--port-file").value_or("");
   const std::string report_json =
       obs::extract_option(argc, argv, "--report-json").value_or("");
+  const std::size_t sample_ms = opt_size(argc, argv, "--sample-ms", 1000);
+  const std::size_t slow_us = opt_size(argc, argv, "--slow-us", 100000);
+  const std::string flight_dump =
+      obs::extract_option(argc, argv, "--flight-dump").value_or("");
   check(port <= 65535, "sras serve: --port out of range");
   check(queue >= 1, "sras serve: --queue must be at least 1");
+  check(sample_ms >= 1, "sras serve: --sample-ms must be at least 1");
 
   net::ServerConfig cfg;
   cfg.host = host;
   cfg.port = static_cast<std::uint16_t>(port);
   cfg.runtime.workers = workers;
   cfg.runtime.queue_capacity = queue;
+  cfg.sample_interval = std::chrono::milliseconds(sample_ms);
+  cfg.slow_threshold_us = slow_us;
+  cfg.flight_dump_path = flight_dump;
 
   net::Server server(cfg);
   server.enable_signal_drain();
@@ -171,16 +190,28 @@ int cmd_serve(int argc, char** argv) {
     const auto* c = m.find_counter(name);
     return c != nullptr ? c->value() : 0;
   };
+  const std::uint64_t plan_compiles = counter("ring.plan.compiles");
+  const std::uint64_t plan_hits = counter("ring.plan.hits");
+  const double plan_hit_rate =
+      plan_compiles + plan_hits > 0
+          ? static_cast<double>(plan_hits) /
+                static_cast<double>(plan_compiles + plan_hits)
+          : 0.0;
   std::printf(
       "sras serve: drained cleanly — %llu connections, %llu frames in, "
       "%llu jobs ok, %llu failed, %llu busy-rejects, %llu protocol "
-      "errors\n",
+      "errors\n"
+      "sras serve: plan cache %llu compiles / %llu hits (%.1f%% hit "
+      "rate), %llu superstep cycles\n",
       static_cast<unsigned long long>(counter("net.connections.accepted")),
       static_cast<unsigned long long>(counter("net.frames.in")),
       static_cast<unsigned long long>(counter("net.jobs.completed")),
       static_cast<unsigned long long>(counter("net.jobs.failed")),
       static_cast<unsigned long long>(counter("net.rejects.busy")),
-      static_cast<unsigned long long>(counter("net.protocol_errors")));
+      static_cast<unsigned long long>(counter("net.protocol_errors")),
+      static_cast<unsigned long long>(plan_compiles),
+      static_cast<unsigned long long>(plan_hits), 100.0 * plan_hit_rate,
+      static_cast<unsigned long long>(counter("ring.superstep.cycles")));
 
   RunReport report;
   report.name = "sras_serve";
@@ -190,6 +221,69 @@ int cmd_serve(int argc, char** argv) {
       .extra("port", std::uint64_t{server.port()})
       .extra("queue_capacity", std::uint64_t{queue});
   maybe_write_run_report(report, report_json);
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  using namespace sring;
+  const std::string host =
+      obs::extract_option(argc, argv, "--host").value_or("127.0.0.1");
+  const std::size_t port = opt_size(argc, argv, "--port", 0);
+  const std::size_t count = opt_size(argc, argv, "--count", 1);
+  const std::size_t interval_ms =
+      opt_size(argc, argv, "--interval-ms", 1000);
+  const bool jsonl = obs::extract_flag(argc, argv, "--jsonl");
+  const bool flight = obs::extract_flag(argc, argv, "--flight");
+  check(port >= 1 && port <= 65535,
+        "sras stats: --port is required (1..65535)");
+  check(count >= 1, "sras stats: --count must be at least 1");
+
+  net::ClientConfig ccfg;
+  ccfg.host = host;
+  ccfg.port = static_cast<std::uint16_t>(port);
+  net::Client client(ccfg);
+
+  for (std::size_t poll = 0; poll < count; ++poll) {
+    if (poll > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    const net::StatsReplyMsg s = client.stats(flight);
+    if (jsonl) {
+      s.to_json().dump(std::cout);
+      std::cout << '\n';
+      std::cout.flush();
+      continue;
+    }
+    std::printf(
+        "server up %.1fs: %u workers (%.0f%% utilized), queue %u/%u\n",
+        static_cast<double>(s.uptime_us) / 1e6, s.workers,
+        100.0 * s.worker_utilization, s.queue_depth, s.queue_capacity);
+    for (const auto& [name, value] : s.counters) {
+      std::printf("  %-32s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+    for (const auto& q : s.latencies) {
+      std::printf(
+          "  %-32s n=%-6llu mean %8.0f us  p50 %8.0f  p90 %8.0f  "
+          "p99 %8.0f  max %8llu\n",
+          q.name.c_str(), static_cast<unsigned long long>(q.count),
+          q.mean_us, q.p50_us, q.p90_us, q.p99_us,
+          static_cast<unsigned long long>(q.max_us));
+    }
+    for (const auto& [name, per_sec] : s.rates) {
+      std::printf("  %-32s %.1f/s\n", name.c_str(), per_sec);
+    }
+    for (const auto& rec : s.flight) {
+      std::printf(
+          "  flight trace=%llu %s%s%s worker=%u queue %u us / exec %u "
+          "us / e2e %u us\n",
+          static_cast<unsigned long long>(rec.trace_id),
+          rec.name.c_str(), rec.slow ? " SLOW" : "",
+          rec.ok ? "" : " FAILED", rec.worker, rec.queue_wait_us,
+          rec.execute_us, rec.e2e_us);
+    }
+    std::fflush(stdout);
+  }
   return 0;
 }
 
@@ -303,6 +397,9 @@ int main(int argc, char** argv) {
     }
     if (argc >= 2 && std::string(argv[1]) == "remote") {
       return cmd_remote(argc, argv);
+    }
+    if (argc >= 2 && std::string(argv[1]) == "stats") {
+      return cmd_stats(argc, argv);
     }
 
     const std::string trace_format =

@@ -88,7 +88,7 @@ void Client::send_frame(MsgType type,
                         std::span<const std::uint8_t> payload) {
   connect();
   std::vector<std::uint8_t> wire;
-  append_frame(wire, type, payload);
+  append_frame(wire, type, payload, config_.protocol_version);
   std::size_t sent = 0;
   while (sent < wire.size()) {
     const ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent,
@@ -162,7 +162,8 @@ ServerInfoMsg Client::server_info() {
 RemoteResult Client::submit(const JobRequest& req) {
   JobRequest tagged = req;
   if (tagged.tag == 0) tagged.tag = next_tag_++;
-  const std::vector<std::uint8_t> payload = encode_job_request(tagged);
+  const std::vector<std::uint8_t> payload =
+      encode_job_request(tagged, config_.protocol_version);
 
   RemoteResult out;
   for (int attempt = 0; attempt <= config_.busy_retries; ++attempt) {
@@ -170,7 +171,9 @@ RemoteResult Client::submit(const JobRequest& req) {
     send_frame(MsgType::kSubmitJob, payload);
     const Frame frame = recv_frame();
     if (frame.type == MsgType::kJobResult) {
-      JobResultMsg msg = decode_job_result(frame.payload);
+      // Decode by the frame's own version: the server mirrors ours,
+      // but trusting the wire keeps mixed-version paths honest.
+      JobResultMsg msg = decode_job_result(frame.payload, frame.version);
       if (msg.tag != tagged.tag) {
         close();
         throw ProtocolError("net: response tag mismatch");
@@ -181,6 +184,10 @@ RemoteResult Client::submit(const JobRequest& req) {
       out.worker = msg.worker;
       out.reused_system = msg.reused_system != 0;
       out.counters = std::move(msg.counters);
+      out.trace_id = msg.trace_id;
+      out.queue_wait_us = msg.queue_wait_us;
+      out.execute_us = msg.execute_us;
+      out.total_us = msg.total_us;
       return out;
     }
     if (frame.type != MsgType::kError) {
@@ -210,6 +217,20 @@ std::vector<RemoteResult> Client::submit_batch(
   out.reserve(reqs.size());
   for (const JobRequest& req : reqs) out.push_back(submit(req));
   return out;
+}
+
+StatsReplyMsg Client::stats(bool include_flight) {
+  if (config_.protocol_version < 2) {
+    throw NetError("net: GetStats requires protocol version >= 2");
+  }
+  send_frame(MsgType::kGetStats,
+             encode_get_stats(include_flight ? kStatsIncludeFlight : 0));
+  const Frame frame = recv_frame();
+  if (frame.type != MsgType::kStatsReply) {
+    close();
+    throw ProtocolError("net: expected StatsReply response");
+  }
+  return decode_stats_reply(frame.payload);
 }
 
 bool Client::drain() {

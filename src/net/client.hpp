@@ -40,6 +40,11 @@ struct ClientConfig {
   int busy_retries = 8;       ///< Busy resubmissions inside submit()
 
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// Wire dialect this client speaks.  The server mirrors it per
+  /// frame, so pinning 1 here exercises the legacy byte layout against
+  /// a v2 server (the compatibility tests do exactly that).
+  std::uint16_t protocol_version = kProtocolVersion;
 };
 
 /// One remote job outcome.  Exactly one of {ok, busy, !error.empty()}
@@ -53,6 +58,12 @@ struct RemoteResult {
   std::uint32_t worker = 0;
   bool reused_system = false;
   std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+  // v2 telemetry tail; all zero when the server answered in v1.
+  std::uint64_t trace_id = 0;      ///< echo of JobRequest.trace_id
+  std::uint64_t queue_wait_us = 0;
+  std::uint64_t execute_us = 0;
+  std::uint64_t total_us = 0;      ///< enqueue → completion, server clock
 };
 
 class Client {
@@ -80,6 +91,11 @@ class Client {
   /// Sequential batch, results in submission order.
   std::vector<RemoteResult> submit_batch(
       const std::vector<JobRequest>& reqs);
+
+  /// Poll the server's live stats snapshot (counters, per-phase
+  /// latency quantiles, sampler rates; optionally the recent flight
+  /// records).  Requires protocol_version >= 2.
+  StatsReplyMsg stats(bool include_flight = false);
 
   /// Ask the server to drain; true once DrainAck arrives.
   bool drain();

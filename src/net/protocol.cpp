@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cstring>
 
 #include "kernels/jobs.hpp"
@@ -45,6 +46,7 @@ class Writer {
       out_.push_back(static_cast<std::uint8_t>(v >> s));
     }
   }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
   void str(const std::string& s) {
     u32(static_cast<std::uint32_t>(s.size()));
     out_.insert(out_.end(), s.begin(), s.end());
@@ -81,6 +83,7 @@ class Reader {
     for (int i = 7; i >= 0; --i) v = (v << 8) | b[static_cast<std::size_t>(i)];
     return v;
   }
+  double f64() { return std::bit_cast<double>(u64()); }
   std::string str() {
     const std::uint32_t n = u32();
     const auto b = take(n);
@@ -156,6 +159,50 @@ std::uint16_t get_u16_at(std::span<const std::uint8_t> buf, std::size_t at) {
   return static_cast<std::uint16_t>(buf[at] | (buf[at + 1] << 8));
 }
 
+/// Microsecond durations ride as u32 on the wire; anything past ~71
+/// minutes pins at the max instead of wrapping.
+std::uint32_t sat_u32(std::uint64_t v) {
+  return v > UINT32_MAX ? UINT32_MAX : static_cast<std::uint32_t>(v);
+}
+
+void write_span_record(Writer& w, const obs::SpanRecord& rec) {
+  w.u64(rec.trace_id);
+  w.str(rec.name);
+  w.u8(rec.ok ? 1 : 0);
+  w.str(rec.error);
+  w.u32(rec.worker);
+  w.u64(rec.sim_cycles);
+  w.u64(rec.plan_hits);
+  w.u64(rec.superstep_cycles);
+  w.u64(rec.start_offset_us);
+  w.u32(rec.queue_wait_us);
+  w.u32(rec.arm_us);
+  w.u32(rec.execute_us);
+  w.u32(rec.serialize_us);
+  w.u32(rec.e2e_us);
+  w.u8(rec.slow ? 1 : 0);
+}
+
+obs::SpanRecord read_span_record(Reader& r) {
+  obs::SpanRecord rec;
+  rec.trace_id = r.u64();
+  rec.name = r.str();
+  rec.ok = r.u8() != 0;
+  rec.error = r.str();
+  rec.worker = r.u32();
+  rec.sim_cycles = r.u64();
+  rec.plan_hits = r.u64();
+  rec.superstep_cycles = r.u64();
+  rec.start_offset_us = r.u64();
+  rec.queue_wait_us = r.u32();
+  rec.arm_us = r.u32();
+  rec.execute_us = r.u32();
+  rec.serialize_us = r.u32();
+  rec.e2e_us = r.u32();
+  rec.slow = r.u8() != 0;
+  return rec;
+}
+
 }  // namespace
 
 std::uint32_t crc32(std::span<const std::uint8_t> data) {
@@ -168,7 +215,8 @@ std::uint32_t crc32(std::span<const std::uint8_t> data) {
 }
 
 void append_frame(std::vector<std::uint8_t>& out, MsgType type,
-                  std::span<const std::uint8_t> payload) {
+                  std::span<const std::uint8_t> payload,
+                  std::uint16_t version) {
   // Grow geometrically even when asked for an exact fit: reserve(size+n)
   // per frame would otherwise reallocate-and-copy the whole accumulation
   // buffer on EVERY append, turning a response backlog quadratic.
@@ -178,7 +226,6 @@ void append_frame(std::vector<std::uint8_t>& out, MsgType type,
     out.reserve(std::max(need, out.capacity() * 2));
   }
   out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
-  const std::uint16_t version = kProtocolVersion;
   out.push_back(static_cast<std::uint8_t>(version));
   out.push_back(static_cast<std::uint8_t>(version >> 8));
   const std::uint16_t t = static_cast<std::uint16_t>(type);
@@ -208,7 +255,8 @@ ParseStatus try_parse_frame(std::span<const std::uint8_t> buffer,
     return ParseStatus::kBadMagic;
   }
   if (buffer.size() < kHeaderBytes) return ParseStatus::kNeedMore;
-  if (get_u16_at(buffer, 4) != kProtocolVersion) {
+  const std::uint16_t version = get_u16_at(buffer, 4);
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     return ParseStatus::kBadVersion;
   }
   const std::uint32_t len = get_u32_at(buffer, 8);
@@ -220,12 +268,14 @@ ParseStatus try_parse_frame(std::span<const std::uint8_t> buffer,
     return ParseStatus::kBadCrc;
   }
   frame.type = static_cast<MsgType>(get_u16_at(buffer, 6));
+  frame.version = version;
   frame.payload.assign(payload.begin(), payload.end());
   consumed = total;
   return ParseStatus::kFrame;
 }
 
-std::vector<std::uint8_t> encode_job_request(const JobRequest& req) {
+std::vector<std::uint8_t> encode_job_request(const JobRequest& req,
+                                             std::uint16_t version) {
   Writer w;
   w.u32(req.tag);
   w.u16(static_cast<std::uint16_t>(req.kernel));
@@ -252,10 +302,12 @@ std::vector<std::uint8_t> encode_job_request(const JobRequest& req) {
       throw ProtocolError("net: unknown kernel id in request");
   }
   w.words(req.input);
+  if (version >= 2) w.u64(req.trace_id);
   return w.take();
 }
 
-JobRequest decode_job_request(std::span<const std::uint8_t> payload) {
+JobRequest decode_job_request(std::span<const std::uint8_t> payload,
+                              std::uint16_t version) {
   Reader r(payload);
   JobRequest req;
   req.tag = r.u32();
@@ -284,11 +336,13 @@ JobRequest decode_job_request(std::span<const std::uint8_t> payload) {
                           std::to_string(static_cast<unsigned>(req.kernel)));
   }
   req.input = r.words();
+  if (version >= 2) req.trace_id = r.u64();
   r.expect_end();
   return req;
 }
 
-std::vector<std::uint8_t> encode_job_result(const JobResultMsg& msg) {
+std::vector<std::uint8_t> encode_job_result(const JobResultMsg& msg,
+                                            std::uint16_t version) {
   Writer w;
   w.u32(msg.tag);
   w.words(msg.outputs);
@@ -300,10 +354,17 @@ std::vector<std::uint8_t> encode_job_result(const JobResultMsg& msg) {
     w.str(name);
     w.u64(value);
   }
+  if (version >= 2) {
+    w.u64(msg.trace_id);
+    w.u32(msg.queue_wait_us);
+    w.u32(msg.execute_us);
+    w.u32(msg.total_us);
+  }
   return w.take();
 }
 
-JobResultMsg decode_job_result(std::span<const std::uint8_t> payload) {
+JobResultMsg decode_job_result(std::span<const std::uint8_t> payload,
+                               std::uint16_t version) {
   Reader r(payload);
   JobResultMsg msg;
   msg.tag = r.u32();
@@ -318,8 +379,138 @@ JobResultMsg decode_job_result(std::span<const std::uint8_t> payload) {
     const std::uint64_t value = r.u64();
     msg.counters.emplace_back(std::move(name), value);
   }
+  if (version >= 2) {
+    msg.trace_id = r.u64();
+    msg.queue_wait_us = r.u32();
+    msg.execute_us = r.u32();
+    msg.total_us = r.u32();
+  }
   r.expect_end();
   return msg;
+}
+
+std::vector<std::uint8_t> encode_get_stats(std::uint32_t flags) {
+  Writer w;
+  w.u32(flags);
+  return w.take();
+}
+
+std::uint32_t decode_get_stats(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  const std::uint32_t flags = r.u32();
+  r.expect_end();
+  return flags;
+}
+
+std::vector<std::uint8_t> encode_stats_reply(const StatsReplyMsg& msg) {
+  Writer w;
+  w.u16(msg.stats_version);
+  w.u64(msg.uptime_us);
+  w.u32(msg.workers);
+  w.u32(msg.queue_depth);
+  w.u32(msg.queue_capacity);
+  w.f64(msg.worker_utilization);
+  w.u32(static_cast<std::uint32_t>(msg.counters.size()));
+  for (const auto& [name, value] : msg.counters) {
+    w.str(name);
+    w.u64(value);
+  }
+  w.u32(static_cast<std::uint32_t>(msg.latencies.size()));
+  for (const StatsQuantileMsg& q : msg.latencies) {
+    w.str(q.name);
+    w.u64(q.count);
+    w.f64(q.mean_us);
+    w.f64(q.p50_us);
+    w.f64(q.p90_us);
+    w.f64(q.p99_us);
+    w.u64(q.max_us);
+  }
+  w.u32(static_cast<std::uint32_t>(msg.rates.size()));
+  for (const StatsRateMsg& rate : msg.rates) {
+    w.str(rate.name);
+    w.f64(rate.per_sec);
+  }
+  w.u32(static_cast<std::uint32_t>(msg.flight.size()));
+  for (const obs::SpanRecord& rec : msg.flight) write_span_record(w, rec);
+  return w.take();
+}
+
+StatsReplyMsg decode_stats_reply(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  StatsReplyMsg msg;
+  msg.stats_version = r.u16();
+  msg.uptime_us = r.u64();
+  msg.workers = r.u32();
+  msg.queue_depth = r.u32();
+  msg.queue_capacity = r.u32();
+  msg.worker_utilization = r.f64();
+  const std::uint32_t nc = r.u32();
+  msg.counters.reserve(nc);
+  for (std::uint32_t i = 0; i < nc; ++i) {
+    std::string name = r.str();
+    const std::uint64_t value = r.u64();
+    msg.counters.emplace_back(std::move(name), value);
+  }
+  const std::uint32_t nl = r.u32();
+  msg.latencies.reserve(nl);
+  for (std::uint32_t i = 0; i < nl; ++i) {
+    StatsQuantileMsg q;
+    q.name = r.str();
+    q.count = r.u64();
+    q.mean_us = r.f64();
+    q.p50_us = r.f64();
+    q.p90_us = r.f64();
+    q.p99_us = r.f64();
+    q.max_us = r.u64();
+    msg.latencies.push_back(std::move(q));
+  }
+  const std::uint32_t nr = r.u32();
+  msg.rates.reserve(nr);
+  for (std::uint32_t i = 0; i < nr; ++i) {
+    StatsRateMsg rate;
+    rate.name = r.str();
+    rate.per_sec = r.f64();
+    msg.rates.push_back(std::move(rate));
+  }
+  const std::uint32_t nf = r.u32();
+  msg.flight.reserve(nf);
+  for (std::uint32_t i = 0; i < nf; ++i) {
+    msg.flight.push_back(read_span_record(r));
+  }
+  r.expect_end();
+  return msg;
+}
+
+obs::JsonValue StatsReplyMsg::to_json() const {
+  obs::JsonValue j = obs::JsonValue::object();
+  j.set("stats_version", std::uint64_t{stats_version});
+  j.set("uptime_us", uptime_us);
+  j.set("workers", std::uint64_t{workers});
+  j.set("queue_depth", std::uint64_t{queue_depth});
+  j.set("queue_capacity", std::uint64_t{queue_capacity});
+  j.set("worker_utilization", worker_utilization);
+  obs::JsonValue cj = obs::JsonValue::object();
+  for (const auto& [name, value] : counters) cj.set(name, value);
+  j.set("counters", std::move(cj));
+  obs::JsonValue lj = obs::JsonValue::object();
+  for (const StatsQuantileMsg& q : latencies) {
+    obs::JsonValue qj = obs::JsonValue::object();
+    qj.set("count", q.count);
+    qj.set("mean_us", q.mean_us);
+    qj.set("p50_us", q.p50_us);
+    qj.set("p90_us", q.p90_us);
+    qj.set("p99_us", q.p99_us);
+    qj.set("max_us", q.max_us);
+    lj.set(q.name, std::move(qj));
+  }
+  j.set("latencies", std::move(lj));
+  obs::JsonValue rj = obs::JsonValue::object();
+  for (const StatsRateMsg& rate : rates) rj.set(rate.name, rate.per_sec);
+  j.set("rates", std::move(rj));
+  obs::JsonValue fj = obs::JsonValue::array();
+  for (const obs::SpanRecord& rec : flight) fj.push_back(rec.to_json());
+  j.set("flight", std::move(fj));
+  return j;
 }
 
 std::vector<std::uint8_t> encode_error(const ErrorMsg& msg) {
@@ -377,7 +568,9 @@ std::uint64_t decode_ping(std::span<const std::uint8_t> payload) {
   return token;
 }
 
-rt::Job to_rt_job(const JobRequest& req) {
+namespace {
+
+rt::Job to_rt_job_impl(const JobRequest& req) {
   req.geometry.validate();
   switch (req.kernel) {
     case KernelId::kFir:
@@ -410,6 +603,14 @@ rt::Job to_rt_job(const JobRequest& req) {
                  std::to_string(static_cast<unsigned>(req.kernel)));
 }
 
+}  // namespace
+
+rt::Job to_rt_job(const JobRequest& req) {
+  rt::Job job = to_rt_job_impl(req);
+  job.trace_id = req.trace_id;
+  return job;
+}
+
 std::vector<std::pair<std::string, std::uint64_t>> result_counters(
     const rt::JobResult& result) {
   const SystemStats& s = result.report.stats;
@@ -434,6 +635,10 @@ JobResultMsg make_job_result_msg(std::uint32_t tag,
   msg.worker = static_cast<std::uint32_t>(result.worker);
   msg.reused_system = result.reused_system ? 1 : 0;
   msg.counters = result_counters(result);
+  msg.trace_id = result.trace_id;
+  msg.queue_wait_us = sat_u32(result.timeline.queue_wait_us());
+  msg.execute_us = sat_u32(result.timeline.execute_us());
+  msg.total_us = sat_u32(result.timeline.total_us());
   return msg;
 }
 

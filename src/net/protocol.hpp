@@ -22,6 +22,13 @@
 // close — never crash, never hang.  Payload encodings are documented
 // per message in docs/SERVING.md and exercised byte-for-byte by
 // tests/test_net_protocol.cpp.
+//
+// Version negotiation: the version field is per-frame.  A server
+// accepts any version in [kMinProtocolVersion, kProtocolVersion] and
+// answers every request in the version the request arrived in, so a
+// v1 client keeps round-tripping jobs bit-identically against a v2
+// server — it simply never sees the v2 payload tails (trace_id, span
+// durations) or the v2-only GetStats/StatsReply messages.
 #pragma once
 
 #include <cstddef>
@@ -36,6 +43,7 @@
 #include "common/image.hpp"
 #include "common/types.hpp"
 #include "core/config_memory.hpp"
+#include "obs/flight_recorder.hpp"
 #include "rt/job.hpp"
 
 namespace sring::net {
@@ -53,7 +61,12 @@ class ProtocolError : public NetError {
 };
 
 inline constexpr std::uint8_t kMagic[4] = {'S', 'R', 'N', 'G'};
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// Newest protocol this build speaks.  v2 added trace_id on
+/// SubmitJob/JobResult, span durations on JobResult, and
+/// GetStats/StatsReply.
+inline constexpr std::uint16_t kProtocolVersion = 2;
+/// Oldest protocol still accepted (v1 clients round-trip unchanged).
+inline constexpr std::uint16_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 12;
 inline constexpr std::size_t kTrailerBytes = 4;
 
@@ -76,7 +89,12 @@ enum class MsgType : std::uint16_t {
   kError = 7,          ///< typed failure, SimError text verbatim
   kDrain = 8,          ///< graceful-shutdown request
   kDrainAck = 9,
+  kGetStats = 10,      ///< v2: u32 flags (kStatsIncludeFlight)
+  kStatsReply = 11,    ///< v2: StatsReplyMsg
 };
+
+/// GetStats flag: also ship the flight recorder's captured ring.
+inline constexpr std::uint32_t kStatsIncludeFlight = 1;
 
 enum class ErrorCode : std::uint16_t {
   kBadRequest = 1,    ///< malformed frame/payload; connection closes
@@ -127,6 +145,10 @@ struct JobRequest {
   // kMatvec8: 64 row-major matrix words
   std::vector<Word> matvec_m;
 
+  /// v2+: correlation id carried through to JobResult and the server's
+  /// flight recorder.  Absent from v1 frames (decodes as 0).
+  std::uint64_t trace_id = 0;
+
   bool operator==(const JobRequest&) const = default;
 };
 
@@ -140,6 +162,13 @@ struct JobResultMsg {
   std::uint32_t worker = 0;
   std::uint8_t reused_system = 0;
   std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+  // v2+ tail: the request's trace_id plus the job's span durations
+  // (saturated to u32 microseconds).  All zero when decoded from v1.
+  std::uint64_t trace_id = 0;
+  std::uint32_t queue_wait_us = 0;
+  std::uint32_t execute_us = 0;
+  std::uint32_t total_us = 0;
 
   bool operator==(const JobResultMsg&) const = default;
 };
@@ -163,17 +192,68 @@ struct ServerInfoMsg {
   bool operator==(const ServerInfoMsg&) const = default;
 };
 
+/// One histogram's latency summary inside a StatsReply: quantiles are
+/// interpolated server-side from the live histogram buckets
+/// (obs::histogram_quantile), so the snapshot ships fixed-size.
+struct StatsQuantileMsg {
+  std::string name;
+  std::uint64_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t max_us = 0;
+
+  bool operator==(const StatsQuantileMsg&) const = default;
+};
+
+/// One sampler-derived rate (jobs/s, bytes/s, ...).
+struct StatsRateMsg {
+  std::string name;
+  double per_sec = 0.0;
+
+  bool operator==(const StatsRateMsg&) const = default;
+};
+
+/// The consistent snapshot a GetStats polls from a live server: built
+/// in one pass on the server's poll thread, so counters, quantiles
+/// and rates all describe the same instant.
+struct StatsReplyMsg {
+  std::uint16_t stats_version = 1;  ///< payload schema, not protocol
+  std::uint64_t uptime_us = 0;
+  std::uint32_t workers = 0;
+  std::uint32_t queue_depth = 0;
+  std::uint32_t queue_capacity = 0;
+  /// Fraction of wall time the worker fleet spent on jobs since
+  /// start (rt.busy_us / (uptime * workers)); 0 with telemetry off.
+  double worker_utilization = 0.0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<StatsQuantileMsg> latencies;
+  std::vector<StatsRateMsg> rates;
+  /// Captured flight-recorder ring; only with kStatsIncludeFlight.
+  std::vector<obs::SpanRecord> flight;
+
+  bool operator==(const StatsReplyMsg&) const = default;
+
+  /// JSON object mirroring the wire fields (`sras stats --jsonl`).
+  obs::JsonValue to_json() const;
+};
+
 // ---------------------------------------------------------------------------
 // Framing
 
 struct Frame {
   MsgType type = MsgType::kPing;
+  std::uint16_t version = kProtocolVersion;  ///< as parsed off the wire
   std::vector<std::uint8_t> payload;
 };
 
 /// Append one complete frame (header + payload + CRC) to `out`.
+/// `version` is what goes in the header — a server answering a v1
+/// client passes 1 so the old parser accepts the reply.
 void append_frame(std::vector<std::uint8_t>& out, MsgType type,
-                  std::span<const std::uint8_t> payload);
+                  std::span<const std::uint8_t> payload,
+                  std::uint16_t version = kProtocolVersion);
 
 enum class ParseStatus : std::uint8_t {
   kNeedMore = 0,  ///< buffer holds a frame prefix; read more bytes
@@ -193,13 +273,25 @@ ParseStatus try_parse_frame(std::span<const std::uint8_t> buffer,
                             std::size_t& consumed);
 
 // ---------------------------------------------------------------------------
-// Payload codecs (throw ProtocolError on malformed bytes)
+// Payload codecs (throw ProtocolError on malformed bytes).  The
+// SubmitJob/JobResult payloads are versioned: v2 appends a telemetry
+// tail after the v1 fields, so both codecs take the frame version.
 
-std::vector<std::uint8_t> encode_job_request(const JobRequest& req);
-JobRequest decode_job_request(std::span<const std::uint8_t> payload);
+std::vector<std::uint8_t> encode_job_request(
+    const JobRequest& req, std::uint16_t version = kProtocolVersion);
+JobRequest decode_job_request(std::span<const std::uint8_t> payload,
+                              std::uint16_t version = kProtocolVersion);
 
-std::vector<std::uint8_t> encode_job_result(const JobResultMsg& msg);
-JobResultMsg decode_job_result(std::span<const std::uint8_t> payload);
+std::vector<std::uint8_t> encode_job_result(
+    const JobResultMsg& msg, std::uint16_t version = kProtocolVersion);
+JobResultMsg decode_job_result(std::span<const std::uint8_t> payload,
+                               std::uint16_t version = kProtocolVersion);
+
+std::vector<std::uint8_t> encode_get_stats(std::uint32_t flags);
+std::uint32_t decode_get_stats(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_stats_reply(const StatsReplyMsg& msg);
+StatsReplyMsg decode_stats_reply(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_error(const ErrorMsg& msg);
 ErrorMsg decode_error(std::span<const std::uint8_t> payload);

@@ -12,12 +12,28 @@
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <fstream>
+
+#include "obs/quantile.hpp"
+#include "obs/span.hpp"
 
 namespace sring::net {
 
 namespace {
 
 constexpr int kPollTickMs = 250;
+
+std::uint64_t us_between(std::chrono::steady_clock::time_point from,
+                         std::chrono::steady_clock::time_point to) {
+  if (to < from) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
+std::uint32_t clamp_u32(std::uint64_t v) {
+  return v > UINT32_MAX ? UINT32_MAX : static_cast<std::uint32_t>(v);
+}
 
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -49,7 +65,19 @@ void signal_drain_handler(int) {
 
 }  // namespace
 
-Server::Server(ServerConfig config) : config_(std::move(config)) {
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      sampler_(obs::SamplerConfig{
+          config_.sampler_capacity,
+          {"net.jobs.completed", "net.jobs.failed", "net.bytes.in",
+           "net.bytes.out", "net.frames.in", "net.rejects.busy",
+           "rt.sim_cycles", "rt.busy_us"}}),
+      recorder_(obs::FlightRecorderConfig{config_.flight_recent,
+                                          config_.flight_captured,
+                                          config_.slow_threshold_us}) {
+  start_time_ = std::chrono::steady_clock::now();
+  // Backdated so the first poll tick takes the sampler's baseline.
+  last_sample_ = start_time_ - config_.sample_interval;
   runtime_ = std::make_unique<rt::Runtime>(config_.runtime);
 
   int pipe_fds[2] = {-1, -1};
@@ -173,7 +201,7 @@ bool flush_out(int fd, std::vector<std::uint8_t>& out, std::size_t& pos,
 void Server::send_frame(Conn& conn, MsgType type,
                         std::span<const std::uint8_t> payload) {
   if (conn.fd < 0) return;
-  append_frame(conn.out, type, payload);
+  append_frame(conn.out, type, payload, conn.version);
   counters_.frames_out.fetch_add(1, std::memory_order_relaxed);
   // Optimistic flush: most responses fit the socket buffer, so the
   // reply leaves in the same loop iteration that produced it.
@@ -194,7 +222,7 @@ void Server::send_error(Conn& conn, std::uint32_t tag, ErrorCode code,
 void Server::handle_submit(Conn& conn, const Frame& frame) {
   JobRequest req;
   try {
-    req = decode_job_request(frame.payload);
+    req = decode_job_request(frame.payload, frame.version);
   } catch (const ProtocolError& e) {
     counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
     send_error(conn, 0, ErrorCode::kBadRequest, e.what());
@@ -221,16 +249,29 @@ void Server::handle_submit(Conn& conn, const Frame& frame) {
     return;
   }
   const int wake_fd = wake_w_;
+  std::string job_name = job.name;
+  // Admission is stamped before the enqueue: a worker may arm the job
+  // the instant it lands, and e2e must bracket the execute interval.
+  const auto admitted = std::chrono::steady_clock::now();
   auto submitted = runtime_->try_submit(std::move(job), [wake_fd] {
     const char byte = 'j';
     [[maybe_unused]] const ssize_t n = ::write(wake_fd, &byte, 1);
   });
   switch (submitted.status) {
-    case rt::Runtime::SubmitStatus::kAccepted:
-      pending_.push_back({conn.id, req.tag, std::move(submitted.result)});
+    case rt::Runtime::SubmitStatus::kAccepted: {
+      PendingJob pj;
+      pj.conn_id = conn.id;
+      pj.tag = req.tag;
+      pj.result = std::move(submitted.result);
+      pj.trace_id = req.trace_id;
+      pj.job_name = std::move(job_name);
+      pj.version = frame.version;
+      pj.admitted = admitted;
+      pending_.push_back(std::move(pj));
       ++conn.pending_jobs;
       counters_.jobs_submitted.fetch_add(1, std::memory_order_relaxed);
       break;
+    }
     case rt::Runtime::SubmitStatus::kQueueFull:
       counters_.rejects_busy.fetch_add(1, std::memory_order_relaxed);
       send_error(conn, req.tag, ErrorCode::kBusy,
@@ -268,6 +309,11 @@ void Server::handle_frame(Conn& conn, const Frame& frame) {
       }
       case MsgType::kSubmitJob:
         handle_submit(conn, frame);
+        return;
+      case MsgType::kGetStats:
+        send_frame(conn, MsgType::kStatsReply,
+                   encode_stats_reply(
+                       stats_snapshot(decode_get_stats(frame.payload))));
         return;
       case MsgType::kDrain:
         counters_.drains.fetch_add(1, std::memory_order_relaxed);
@@ -308,6 +354,7 @@ void Server::drain_input(Conn& conn) {
     if (status == ParseStatus::kNeedMore) break;
     if (status == ParseStatus::kFrame) {
       offset += consumed;
+      conn.version = frame.version;  // replies mirror the peer's dialect
       handle_frame(conn, frame);
       continue;
     }
@@ -367,13 +414,21 @@ void Server::collect_completions() {
     }
     rt::JobResult result = it->result.get();
     Conn* conn = find_conn(it->conn_id);
+    const bool timed = obs::telemetry_enabled();
+    std::uint64_t serialize_us = 0;
     if (conn != nullptr) {
+      const auto s0 = timed ? std::chrono::steady_clock::now()
+                            : std::chrono::steady_clock::time_point{};
       if (result.ok) {
         send_frame(*conn, MsgType::kJobResult,
-                   encode_job_result(make_job_result_msg(it->tag, result)));
+                   encode_job_result(make_job_result_msg(it->tag, result),
+                                     it->version));
       } else {
         // SimError text travels verbatim; the client re-raises it.
         send_error(*conn, it->tag, ErrorCode::kJobFailed, result.error);
+      }
+      if (timed) {
+        serialize_us = us_between(s0, std::chrono::steady_clock::now());
       }
       if (conn->pending_jobs > 0) --conn->pending_jobs;
       conn->last_activity = now;
@@ -383,8 +438,60 @@ void Server::collect_completions() {
     } else {
       counters_.jobs_failed.fetch_add(1, std::memory_order_relaxed);
     }
+    if (timed) {
+      record_completion(*it, result, serialize_us,
+                        std::chrono::steady_clock::now());
+    }
     it = pending_.erase(it);
   }
+}
+
+void Server::record_completion(
+    const PendingJob& pending, const rt::JobResult& result,
+    std::uint64_t serialize_us,
+    std::chrono::steady_clock::time_point done) {
+  const obs::SpanTimeline& tl = result.timeline;
+  const std::uint64_t e2e = us_between(pending.admitted, done);
+
+  obs::SpanRecord rec;
+  rec.trace_id = pending.trace_id;
+  rec.name = pending.job_name;
+  rec.ok = result.ok;
+  rec.error = result.error;
+  rec.worker = static_cast<std::uint32_t>(result.worker);
+  rec.sim_cycles = result.report.stats.cycles;
+  rec.plan_hits = result.report.stats.plan_hits;
+  if (const obs::Counter* c =
+          result.report.metrics.find_counter("ring.superstep.cycles")) {
+    rec.superstep_cycles = c->value();
+  }
+  rec.start_offset_us = us_between(start_time_, pending.admitted);
+  rec.queue_wait_us = clamp_u32(tl.queue_wait_us());
+  rec.arm_us = clamp_u32(tl.arm_us());
+  rec.execute_us = clamp_u32(tl.execute_us());
+  rec.serialize_us = clamp_u32(serialize_us);
+  rec.e2e_us = clamp_u32(e2e);
+
+  std::lock_guard lock(telemetry_mu_);
+  const auto& bounds = obs::latency_bounds_us();
+  latency_.histogram("net.latency.queue_wait_us", bounds)
+      .record(tl.queue_wait_us());
+  latency_.histogram("net.latency.arm_us", bounds).record(tl.arm_us());
+  latency_.histogram("net.latency.execute_us", bounds)
+      .record(tl.execute_us());
+  latency_.histogram("net.latency.serialize_us", bounds)
+      .record(serialize_us);
+  latency_.histogram("net.latency.e2e_us", bounds).record(e2e);
+  recorder_.record(std::move(rec));
+}
+
+void Server::maybe_sample(std::chrono::steady_clock::time_point now) {
+  if (!obs::telemetry_enabled()) return;
+  if (now - last_sample_ < config_.sample_interval) return;
+  last_sample_ = now;
+  const obs::Registry snap = metrics();  // takes its own locks
+  std::lock_guard lock(telemetry_mu_);
+  sampler_.sample(snap, now);
 }
 
 void Server::run() {
@@ -453,7 +560,11 @@ void Server::run() {
       fd_conn_ids.push_back(conn.id);
     }
 
-    const int n = ::poll(fds.data(), fds.size(), kPollTickMs);
+    // Tick at least as often as the sampler wants a point.
+    const int sample_ms = static_cast<int>(
+        std::max<std::int64_t>(1, config_.sample_interval.count()));
+    const int n = ::poll(fds.data(), fds.size(),
+                         std::min(kPollTickMs, sample_ms));
     if (n < 0 && errno != EINTR) {
       throw NetError("net: poll failed: " +
                      std::string(std::strerror(errno)));
@@ -465,6 +576,7 @@ void Server::run() {
       }
     }
     collect_completions();
+    maybe_sample(std::chrono::steady_clock::now());
 
     std::size_t at = 1;
     if (listen_fd_ >= 0) {
@@ -533,6 +645,14 @@ void Server::run() {
   for (auto& conn : conns_) close_conn(conn);
   conns_.clear();
   close_fd(listen_fd_);
+
+  // Post-mortem flight dump — covers Drain frames, request_drain() and
+  // SIGTERM alike, since they all funnel through this return path.
+  if (!config_.flight_dump_path.empty()) {
+    std::lock_guard lock(telemetry_mu_);
+    std::ofstream out(config_.flight_dump_path);
+    if (out) recorder_.write_jsonl(out);
+  }
   runtime_->shutdown();
 }
 
@@ -563,7 +683,64 @@ obs::Registry Server::metrics() const {
   out.counter("net.jobs.failed").set(get(counters_.jobs_failed));
   out.counter("net.drains").set(get(counters_.drains));
   out.merge_from(runtime_->metrics());
+  {
+    std::lock_guard lock(telemetry_mu_);
+    out.merge_from(latency_);
+  }
   return out;
+}
+
+StatsReplyMsg Server::stats_snapshot(std::uint32_t flags) const {
+  const auto now = std::chrono::steady_clock::now();
+  const obs::Registry snap = metrics();  // takes telemetry_mu_ itself
+
+  StatsReplyMsg msg;
+  msg.uptime_us = us_between(start_time_, now);
+  msg.workers = static_cast<std::uint32_t>(runtime_->worker_count());
+  if (const obs::Counter* c = snap.find_counter("rt.queue.depth")) {
+    msg.queue_depth = static_cast<std::uint32_t>(c->value());
+  }
+  msg.queue_capacity =
+      static_cast<std::uint32_t>(config_.runtime.queue_capacity);
+
+  // Cumulative busy time across the fleet vs wall time × workers.
+  if (const obs::Counter* busy = snap.find_counter("rt.busy_us")) {
+    const double denom = static_cast<double>(msg.uptime_us) *
+                         static_cast<double>(std::max(1u, msg.workers));
+    if (denom > 0.0) {
+      msg.worker_utilization =
+          std::min(1.0, static_cast<double>(busy->value()) / denom);
+    }
+  }
+
+  for (const auto& [name, counter] : snap.counters()) {
+    msg.counters.emplace_back(name, counter.value());
+  }
+  for (const auto& [name, hist] : snap.histograms()) {
+    if (name.find(".latency.") == std::string::npos) continue;
+    StatsQuantileMsg q;
+    q.name = name;
+    q.count = hist.count();
+    if (hist.count() > 0) {
+      q.mean_us = static_cast<double>(hist.sum()) /
+                  static_cast<double>(hist.count());
+    }
+    q.p50_us = obs::histogram_quantile(hist, 0.50);
+    q.p90_us = obs::histogram_quantile(hist, 0.90);
+    q.p99_us = obs::histogram_quantile(hist, 0.99);
+    q.max_us = hist.max();
+    msg.latencies.push_back(std::move(q));
+  }
+
+  std::lock_guard lock(telemetry_mu_);
+  for (const auto& [name, per_sec] : sampler_.rates()) {
+    msg.rates.push_back({name, per_sec});
+  }
+  if (flags & kStatsIncludeFlight) {
+    const auto recent = recorder_.recent();
+    msg.flight.assign(recent.begin(), recent.end());
+  }
+  return msg;
 }
 
 }  // namespace sring::net

@@ -27,11 +27,14 @@
 #include <deque>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "net/protocol.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "rt/runtime.hpp"
 
 namespace sring::net {
@@ -56,6 +59,22 @@ struct ServerConfig {
   /// their output within this window are force-closed so run() always
   /// returns (a peer that stops reading must not block SIGTERM).
   std::chrono::milliseconds drain_flush_timeout{5000};
+
+  // --- live telemetry (all off-hot-path; see docs/OBSERVABILITY.md) ---
+
+  /// Rolling-sampler period; the poll loop ticks at least this often.
+  std::chrono::milliseconds sample_interval{1000};
+  std::size_t sampler_capacity = 128;  ///< delta points kept
+
+  /// Flight recorder: last-N completions ring, pinned slow/error ring,
+  /// and the e2e threshold past which a job counts as slow.
+  std::size_t flight_recent = 64;
+  std::size_t flight_captured = 64;
+  std::uint64_t slow_threshold_us = 100'000;
+
+  /// When set, the captured flight records are dumped as JSONL to this
+  /// path as run() returns (covers Drain, SIGTERM and shutdown).
+  std::string flight_dump_path;
 };
 
 class Server {
@@ -86,9 +105,14 @@ class Server {
   /// other thread may concurrently install SIGTERM/SIGINT handlers.
   void enable_signal_drain();
 
-  /// net.* counters plus the fleet's rt.* metrics, callable from any
-  /// thread while run() is live.
+  /// net.* counters plus the fleet's rt.* metrics and the server-side
+  /// net.latency.* histograms, callable from any thread while run()
+  /// is live.
   obs::Registry metrics() const;
+
+  /// The live stats snapshot a GetStats frame polls, also callable
+  /// in-process (bench_serve uses it).  Thread-safe.
+  StatsReplyMsg stats_snapshot(std::uint32_t flags) const;
 
  private:
   struct Conn {
@@ -100,12 +124,19 @@ class Server {
     std::size_t pending_jobs = 0;
     bool closing = false;  ///< close once out drains
     std::chrono::steady_clock::time_point last_activity;
+    /// Version of the last frame this peer sent; every reply mirrors
+    /// it so v1 clients keep parsing a v2 server's frames.
+    std::uint16_t version = kProtocolVersion;
   };
 
   struct PendingJob {
     std::uint64_t conn_id = 0;
     std::uint32_t tag = 0;
     std::future<rt::JobResult> result;
+    std::uint64_t trace_id = 0;
+    std::string job_name;        ///< for the flight recorder
+    std::uint16_t version = kProtocolVersion;  ///< reply frame version
+    std::chrono::steady_clock::time_point admitted;  ///< e2e epoch
   };
 
   void send_frame(Conn& conn, MsgType type,
@@ -114,6 +145,12 @@ class Server {
                   const std::string& message);
   void handle_frame(Conn& conn, const Frame& frame);
   void handle_submit(Conn& conn, const Frame& frame);
+  /// Fold one finished job into the latency histograms + recorder.
+  void record_completion(const PendingJob& pending,
+                         const rt::JobResult& result,
+                         std::uint64_t serialize_us,
+                         std::chrono::steady_clock::time_point done);
+  void maybe_sample(std::chrono::steady_clock::time_point now);
   /// Parse conn.in, dispatching every complete frame.  A connection
   /// that must close is flagged via conn.closing (it still needs its
   /// output flushed first).
@@ -155,6 +192,16 @@ class Server {
     std::atomic<std::uint64_t> drains{0};
   };
   NetCounters counters_;
+
+  // Telemetry state.  The poll thread writes, metrics()/
+  // stats_snapshot() read from any thread — everything behind one
+  // mutex taken per job completion / sample tick, never per byte.
+  mutable std::mutex telemetry_mu_;
+  obs::Registry latency_;  ///< net.latency.* histograms
+  obs::Sampler sampler_;
+  obs::FlightRecorder recorder_;
+  std::chrono::steady_clock::time_point start_time_;
+  std::chrono::steady_clock::time_point last_sample_;
 };
 
 }  // namespace sring::net

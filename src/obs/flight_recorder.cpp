@@ -1,0 +1,57 @@
+#include "obs/flight_recorder.hpp"
+
+#include <utility>
+
+namespace sring::obs {
+
+JsonValue SpanRecord::to_json() const {
+  JsonValue j = JsonValue::object();
+  j.set("trace_id", trace_id);
+  j.set("name", name);
+  j.set("ok", ok);
+  if (!ok) j.set("error", error);
+  j.set("worker", std::uint64_t{worker});
+  j.set("sim_cycles", sim_cycles);
+  j.set("plan_hits", plan_hits);
+  j.set("superstep_cycles", superstep_cycles);
+  j.set("start_offset_us", start_offset_us);
+  j.set("queue_wait_us", std::uint64_t{queue_wait_us});
+  j.set("arm_us", std::uint64_t{arm_us});
+  j.set("execute_us", std::uint64_t{execute_us});
+  j.set("serialize_us", std::uint64_t{serialize_us});
+  j.set("e2e_us", std::uint64_t{e2e_us});
+  j.set("slow", slow);
+  return j;
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(config) {}
+
+void FlightRecorder::record(SpanRecord rec) {
+  rec.slow = config_.slow_threshold_us > 0 &&
+             rec.e2e_us >= config_.slow_threshold_us;
+  ++recorded_;
+  if (rec.slow || !rec.ok) {
+    ++captured_total_;
+    captured_.push_back(rec);
+    while (captured_.size() > config_.captured_capacity) {
+      captured_.pop_front();
+    }
+  }
+  recent_.push_back(std::move(rec));
+  while (recent_.size() > config_.recent_capacity) recent_.pop_front();
+}
+
+std::vector<SpanRecord> FlightRecorder::recent() const {
+  return {recent_.begin(), recent_.end()};
+}
+
+std::vector<SpanRecord> FlightRecorder::captured() const {
+  return {captured_.begin(), captured_.end()};
+}
+
+void FlightRecorder::write_jsonl(std::ostream& os) const {
+  for (const SpanRecord& rec : captured_) os << rec.to_json().dump() << '\n';
+}
+
+}  // namespace sring::obs

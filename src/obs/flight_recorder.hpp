@@ -1,0 +1,84 @@
+// Flight recorder: the last N completed job timelines, with slow and
+// failed jobs captured verbatim.
+//
+// Under load the interesting job is the one that already finished —
+// the p99 outlier, the request that raised a SimError — and by the
+// time anyone asks, its timeline is gone.  The recorder keeps two
+// bounded rings: `recent` holds the last N completions regardless of
+// outcome (a rolling tape), and `captured` pins jobs that exceeded
+// the slow threshold or ended in error, so a burst of fast jobs
+// cannot evict the one worth diagnosing.  Recording is a struct move
+// into a ring off the simulation hot path; dumps are JSONL, one
+// record per line.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace sring::obs {
+
+/// One completed job's span timeline, flattened to durations (the
+/// wire and JSONL form of a SpanTimeline plus job identity and the
+/// per-run simulation counters worth correlating with wall time).
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::string name;
+  bool ok = true;
+  std::string error;  ///< SimError text when !ok
+  std::uint32_t worker = 0;
+  std::uint64_t sim_cycles = 0;
+  std::uint64_t plan_hits = 0;
+  std::uint64_t superstep_cycles = 0;
+  std::uint64_t start_offset_us = 0;  ///< admission vs server start
+  std::uint32_t queue_wait_us = 0;
+  std::uint32_t arm_us = 0;
+  std::uint32_t execute_us = 0;
+  std::uint32_t serialize_us = 0;
+  std::uint32_t e2e_us = 0;
+  bool slow = false;  ///< exceeded the recorder's slow threshold
+
+  bool operator==(const SpanRecord&) const = default;
+
+  JsonValue to_json() const;
+};
+
+struct FlightRecorderConfig {
+  std::size_t recent_capacity = 64;
+  std::size_t captured_capacity = 64;
+  /// e2e threshold past which a job is captured; 0 captures nothing
+  /// on time alone (errors are always captured).
+  std::uint64_t slow_threshold_us = 100'000;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig config);
+
+  /// File one completed job.  Sets `rec.slow` from the threshold and
+  /// pins slow/error records in the captured ring.
+  void record(SpanRecord rec);
+
+  std::uint64_t recorded() const noexcept { return recorded_; }
+  std::uint64_t captured_total() const noexcept { return captured_total_; }
+
+  /// Oldest-to-newest copies of the rings.
+  std::vector<SpanRecord> recent() const;
+  std::vector<SpanRecord> captured() const;
+
+  /// JSONL dump of the captured ring (the diagnosable outliers).
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  FlightRecorderConfig config_;
+  std::deque<SpanRecord> recent_;
+  std::deque<SpanRecord> captured_;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t captured_total_ = 0;
+};
+
+}  // namespace sring::obs

@@ -1,0 +1,40 @@
+#include "obs/host_shape.hpp"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <thread>
+
+namespace sring::obs {
+
+JsonValue host_shape_json() {
+  JsonValue j = JsonValue::object();
+  j.set("cores", std::uint64_t{std::thread::hardware_concurrency()});
+  const long page = ::sysconf(_SC_PAGESIZE);
+  j.set("page_size", std::uint64_t{page > 0 ? static_cast<std::uint64_t>(
+                                                  page)
+                                            : 0});
+#ifdef NDEBUG
+  j.set("build_type", "release");
+#else
+  j.set("build_type", "debug");
+#endif
+#ifdef __VERSION__
+  j.set("compiler", __VERSION__);
+#else
+  j.set("compiler", "unknown");
+#endif
+#ifdef SRING_BUILD_LTO
+  j.set("lto", true);
+#else
+  j.set("lto", false);
+#endif
+#ifdef SRING_BUILD_SANITIZE
+  j.set("sanitizers", SRING_BUILD_SANITIZE);
+#else
+  j.set("sanitizers", "");
+#endif
+  return j;
+}
+
+}  // namespace sring::obs

@@ -1,0 +1,17 @@
+// Host-shape self-description for benchmark reports: the machine and
+// build-flag context a perf number was recorded under.  A
+// BENCH_*.json from a 1-core container or a sanitizer build is
+// meaningless without this block, so write_run_report attaches it to
+// every report.
+#pragma once
+
+#include "obs/json.hpp"
+
+namespace sring::obs {
+
+/// {"cores":.., "page_size":.., "build_type":"release|debug",
+///  "compiler":.., "lto":bool, "sanitizers":".."} — everything is
+/// resolved at compile or process start, no syscalls beyond sysconf.
+JsonValue host_shape_json();
+
+}  // namespace sring::obs

@@ -40,13 +40,24 @@ void Histogram::record(std::uint64_t sample) noexcept {
   max_ = std::max(max_, sample);
 }
 
+namespace {
+
+/// Saturating add: merged totals pin at uint64 max instead of
+/// wrapping — a histogram that has seen "too many" samples must never
+/// report a small count.
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) noexcept {
+  return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+}
+
+}  // namespace
+
 bool Histogram::merge_from(const Histogram& other) {
   if (bounds_ != other.bounds_) return false;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    counts_[i] += other.counts_[i];
+    counts_[i] = sat_add(counts_[i], other.counts_[i]);
   }
-  count_ += other.count_;
-  sum_ += other.sum_;
+  count_ = sat_add(count_, other.count_);
+  sum_ = sat_add(sum_, other.sum_);
   max_ = std::max(max_, other.max_);
   return true;
 }

@@ -45,7 +45,8 @@ class Histogram {
 
   void record(std::uint64_t sample) noexcept;
 
-  /// Element-wise accumulate `other` into this histogram.  Returns
+  /// Element-wise accumulate `other` into this histogram; counts and
+  /// sums saturate at uint64 max instead of wrapping.  Returns
   /// false (and leaves this histogram untouched) when the bucket
   /// bounds differ — merging histograms of different shapes is a
   /// caller bug, reported rather than silently misfiled.

@@ -1,0 +1,65 @@
+#include "obs/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sring::obs {
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double histogram_quantile(const Histogram& h, double q) {
+  const std::uint64_t total = h.count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target =
+      std::max(1.0, std::ceil(q * static_cast<double>(total)));
+
+  const auto& bounds = h.bounds();
+  const auto& counts = h.bucket_counts();
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cum + static_cast<double>(counts[i]);
+    if (next >= target) {
+      if (i >= bounds.size()) {
+        // Overflow bucket: all that is known is "beyond the last
+        // bound"; the recorded max is the tightest honest answer.
+        return static_cast<double>(h.max());
+      }
+      const double lower =
+          i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      const double upper = static_cast<double>(bounds[i]);
+      const double frac =
+          (target - cum) / static_cast<double>(counts[i]);
+      const double v = lower + (upper - lower) * frac;
+      // Never report beyond the observed max (a lone sample in a wide
+      // bucket would otherwise read as the bucket's upper bound).
+      return std::min(v, static_cast<double>(h.max()));
+    }
+    cum = next;
+  }
+  return static_cast<double>(h.max());
+}
+
+const std::vector<std::uint64_t>& latency_bounds_us() {
+  static const std::vector<std::uint64_t> bounds = [] {
+    std::vector<std::uint64_t> b;
+    for (std::uint64_t decade = 1; decade <= 1'000'000; decade *= 10) {
+      b.push_back(decade);
+      b.push_back(decade * 2);
+      b.push_back(decade * 5);
+    }
+    b.push_back(10'000'000);  // 10 s: anything slower is the overflow
+    return b;
+  }();
+  return bounds;
+}
+
+}  // namespace sring::obs

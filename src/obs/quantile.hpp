@@ -1,0 +1,31 @@
+// Quantile extraction shared by the benches and the serving stats
+// path, so p50/p99 mean the same thing wherever they are printed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace sring::obs {
+
+/// Exact quantile of an ascending-sorted sample vector by linear
+/// interpolation between the two straddling order statistics (the
+/// same estimator bench_serve always used).  `q` in [0, 1]; an empty
+/// vector reads as 0.
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+/// Quantile estimated from a fixed-bucket histogram: find the bucket
+/// holding the q-th sample and interpolate linearly inside it (the
+/// overflow bucket reads as the observed max).  Exact samples are
+/// gone by then, so this is an estimate bounded by the bucket width;
+/// an empty histogram reads as 0.
+double histogram_quantile(const Histogram& h, double q);
+
+/// Shared bucket bounds for microsecond-latency histograms: a
+/// 1-2-5 ladder from 1 us to 10 s.  Every latency histogram in the
+/// runtime and the server uses these, so fleet merges never hit a
+/// bounds mismatch.
+const std::vector<std::uint64_t>& latency_bounds_us();
+
+}  // namespace sring::obs

@@ -1,0 +1,82 @@
+#include "obs/sampler.hpp"
+
+#include "obs/json.hpp"
+
+namespace sring::obs {
+
+namespace {
+
+std::uint64_t us_since(Sampler::Clock::time_point from,
+                       Sampler::Clock::time_point to) {
+  if (to < from) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+Sampler::Sampler(SamplerConfig config) : config_(std::move(config)) {
+  last_totals_.assign(config_.counters.size(), 0);
+}
+
+void Sampler::sample(const Registry& registry, Clock::time_point now) {
+  Point p;
+  p.totals.reserve(config_.counters.size());
+  p.deltas.reserve(config_.counters.size());
+  for (std::size_t i = 0; i < config_.counters.size(); ++i) {
+    const Counter* c = registry.find_counter(config_.counters[i]);
+    const std::uint64_t total = c != nullptr ? c->value() : 0;
+    const std::uint64_t prev = last_totals_[i];
+    p.totals.push_back(total);
+    p.deltas.push_back(started_ && total >= prev ? total - prev : 0);
+    last_totals_[i] = total;
+  }
+  if (!started_) {
+    started_ = true;
+    first_ = now;
+  } else {
+    p.interval_us = us_since(last_, now);
+  }
+  p.offset_us = us_since(first_, now);
+  last_ = now;
+  ring_.push_back(std::move(p));
+  while (ring_.size() > config_.capacity) ring_.pop_front();
+}
+
+std::vector<Sampler::Point> Sampler::points() const {
+  return {ring_.begin(), ring_.end()};
+}
+
+std::vector<std::pair<std::string, double>> Sampler::rates() const {
+  std::vector<std::pair<std::string, double>> out;
+  if (ring_.size() < 2) return out;
+  const Point& p = ring_.back();
+  if (p.interval_us == 0) return out;
+  const double seconds = static_cast<double>(p.interval_us) / 1e6;
+  out.reserve(config_.counters.size());
+  for (std::size_t i = 0; i < config_.counters.size(); ++i) {
+    out.emplace_back(config_.counters[i],
+                     static_cast<double>(p.deltas[i]) / seconds);
+  }
+  return out;
+}
+
+void Sampler::write_jsonl(std::ostream& os) const {
+  for (const Point& p : ring_) {
+    JsonValue j = JsonValue::object();
+    j.set("offset_us", p.offset_us);
+    j.set("interval_us", p.interval_us);
+    JsonValue totals = JsonValue::object();
+    JsonValue deltas = JsonValue::object();
+    for (std::size_t i = 0; i < config_.counters.size(); ++i) {
+      totals.set(config_.counters[i], p.totals[i]);
+      deltas.set(config_.counters[i], p.deltas[i]);
+    }
+    j.set("totals", std::move(totals));
+    j.set("deltas", std::move(deltas));
+    os << j.dump() << '\n';
+  }
+}
+
+}  // namespace sring::obs

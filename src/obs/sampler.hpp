@@ -1,0 +1,81 @@
+// Rolling time-series sampler over an obs::Registry.
+//
+// A Sampler is fed whole registry snapshots at (roughly) fixed
+// intervals — the net server drives it from its poll loop's existing
+// timer — and keeps the last `capacity` delta points in a bounded
+// ring.  Each point records, for every tracked counter, both the
+// cumulative total and the delta since the previous sample, which is
+// what turns monotonic counters (jobs completed, bytes in, busy
+// rejects) into rates (jobs/s, bytes/s) without the sampler ever
+// touching the hot path.  The ring flushes as a JSONL time series for
+// offline plotting.  Time is injected by the caller, so tests drive
+// the sampler with a synthetic clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace sring::obs {
+
+struct SamplerConfig {
+  /// Ring bound: oldest points fall off past this many samples.
+  std::size_t capacity = 128;
+
+  /// Counter names to track.  A name absent from a snapshot reads as
+  /// 0 (counters appear lazily, e.g. before the first job completes).
+  std::vector<std::string> counters;
+};
+
+class Sampler {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// One delta snapshot.  `totals` / `deltas` align with tracked().
+  struct Point {
+    std::uint64_t offset_us = 0;    ///< since the first sample
+    std::uint64_t interval_us = 0;  ///< since the previous sample (0 first)
+    std::vector<std::uint64_t> totals;
+    std::vector<std::uint64_t> deltas;
+  };
+
+  explicit Sampler(SamplerConfig config);
+
+  /// Take one snapshot at `now`.  Counter regressions (a registry that
+  /// restarted) clamp the delta to 0 rather than underflowing.
+  void sample(const Registry& registry, Clock::time_point now);
+
+  const std::vector<std::string>& tracked() const noexcept {
+    return config_.counters;
+  }
+  std::size_t size() const noexcept { return ring_.size(); }
+  bool empty() const noexcept { return ring_.empty(); }
+
+  /// Oldest-to-newest copy of the ring.
+  std::vector<Point> points() const;
+
+  /// Per-second rates derived from the newest point's deltas, one
+  /// entry per tracked counter.  Empty until two samples exist (a
+  /// single sample has no interval to rate over).
+  std::vector<std::pair<std::string, double>> rates() const;
+
+  /// One JSON object per ring point: {"offset_us":..,"interval_us":..,
+  /// "totals":{name:..},"deltas":{name:..}}.
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  SamplerConfig config_;
+  std::deque<Point> ring_;
+  bool started_ = false;
+  Clock::time_point first_;
+  Clock::time_point last_;
+  std::vector<std::uint64_t> last_totals_;
+};
+
+}  // namespace sring::obs

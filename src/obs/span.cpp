@@ -1,0 +1,32 @@
+#include "obs/span.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace sring::obs {
+
+namespace {
+
+bool env_default() {
+  const char* v = std::getenv("SRING_NO_TELEMETRY");
+  const bool disabled = v != nullptr && v[0] != '\0' &&
+                        !(v[0] == '0' && v[1] == '\0');
+  return !disabled;
+}
+
+std::atomic<bool>& flag() {
+  static std::atomic<bool> enabled{env_default()};
+  return enabled;
+}
+
+}  // namespace
+
+bool telemetry_enabled() noexcept {
+  return flag().load(std::memory_order_relaxed);
+}
+
+void set_telemetry_enabled(bool on) noexcept {
+  flag().store(on, std::memory_order_relaxed);
+}
+
+}  // namespace sring::obs

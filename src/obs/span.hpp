@@ -1,0 +1,79 @@
+// Per-job span timelines — the wall-clock half of the serving-path
+// telemetry.  A SpanTimeline rides inside a queued job and is stamped
+// at each lifecycle boundary (enqueue, dequeue, pool arm, execute
+// done, result assembled); consumers derive per-phase durations
+// (queue wait, arm, execute) from the stamps.  Stamping is a single
+// steady_clock read per phase — cheap enough for every job — and the
+// whole facility collapses to no-ops behind the process-wide
+// telemetry switch, so `SRING_NO_TELEMETRY=1` runs carry zero extra
+// clock traffic while keeping job outputs bit-identical either way.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+namespace sring::obs {
+
+/// Process-wide telemetry master switch.  Defaults to on; the
+/// SRING_NO_TELEMETRY environment variable (any non-empty value other
+/// than "0") turns it off at start-up.  Tests flip it at runtime to
+/// hold the telemetry-off path to the same outputs.
+bool telemetry_enabled() noexcept;
+void set_telemetry_enabled(bool on) noexcept;
+
+/// Monotonic stamps over one job's lifecycle.  A default-constructed
+/// timeline has no stamps; a phase that was never stamped (or stamped
+/// with telemetry off) reads as absent and every duration touching it
+/// is zero.
+class SpanTimeline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  enum Phase : std::uint8_t {
+    kEnqueued = 0,  ///< admitted to the JobQueue
+    kDequeued,      ///< picked up by a worker (queue wait ends)
+    kArmed,         ///< SystemPool lease acquired, program resident
+    kExecuted,      ///< simulation finished (sim cycles burned here)
+    kCompleted,     ///< outputs sliced + RunReport assembled
+    kPhaseCount,
+  };
+
+  void stamp(Phase p) noexcept {
+    if (telemetry_enabled()) at_[p] = Clock::now();
+  }
+
+  bool has(Phase p) const noexcept {
+    return at_[p].time_since_epoch().count() != 0;
+  }
+
+  Clock::time_point at(Phase p) const noexcept { return at_[p]; }
+
+  /// Microseconds from `from` to `to`; 0 when either stamp is absent
+  /// or the clock ran backwards between them.
+  std::uint64_t us_between(Phase from, Phase to) const noexcept {
+    if (!has(from) || !has(to) || at_[to] < at_[from]) return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(at_[to] -
+                                                              at_[from])
+            .count());
+  }
+
+  std::uint64_t queue_wait_us() const noexcept {
+    return us_between(kEnqueued, kDequeued);
+  }
+  std::uint64_t arm_us() const noexcept {
+    return us_between(kDequeued, kArmed);
+  }
+  std::uint64_t execute_us() const noexcept {
+    return us_between(kArmed, kExecuted);
+  }
+  std::uint64_t total_us() const noexcept {
+    return us_between(kEnqueued, kCompleted);
+  }
+
+ private:
+  std::array<Clock::time_point, kPhaseCount> at_{};
+};
+
+}  // namespace sring::obs

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "sim/host_interface.hpp"
 #include "sim/program.hpp"
 #include "sim/report.hpp"
@@ -59,6 +60,11 @@ struct Job {
   std::size_t take_words = 0;
 
   LinkRate link = LinkRate::unlimited();  ///< host-link model for the run
+
+  /// Caller-chosen correlation id, echoed through JobResult (and, for
+  /// remote jobs, the wire) so a request can be matched to its span
+  /// timeline and flight-recorder entry.  0 = untraced.
+  std::uint64_t trace_id = 0;
 };
 
 struct JobResult {
@@ -71,6 +77,8 @@ struct JobResult {
   // runs of the same batch at different worker counts.
   std::size_t worker = 0;        ///< worker index that ran the job
   bool reused_system = false;    ///< pooled System, program still loaded
+  std::uint64_t trace_id = 0;    ///< Job::trace_id, echoed back
+  obs::SpanTimeline timeline;    ///< wall-clock spans (empty if disabled)
 };
 
 }  // namespace sring::rt

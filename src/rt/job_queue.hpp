@@ -34,6 +34,11 @@ class JobQueue {
     /// server) get woken without blocking on the future; must be
     /// cheap and must not throw.
     std::function<void()> notify;
+
+    /// Span stamps for this job; kEnqueued is stamped at submission,
+    /// the worker stamps the rest and copies the timeline into the
+    /// JobResult.
+    obs::SpanTimeline timeline;
   };
 
   /// Outcome of a non-blocking try_push().

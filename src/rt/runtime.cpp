@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/quantile.hpp"
 #include "sim/system.hpp"
 
 namespace sring::rt {
@@ -58,6 +59,9 @@ std::future<JobResult> Runtime::submit(Job job) {
   JobQueue::Envelope env;
   env.job = std::move(job);
   std::future<JobResult> fut = env.result.get_future();
+  // Stamped before push(): a full queue blocks here, and that wait IS
+  // the queue-wait phase the latency histograms must see.
+  env.timeline.stamp(obs::SpanTimeline::kEnqueued);
   check(queue_.push(std::move(env)),
         "Runtime::submit: runtime is shut down");
   return fut;
@@ -68,6 +72,7 @@ Runtime::TrySubmit Runtime::try_submit(Job job,
   JobQueue::Envelope env;
   env.job = std::move(job);
   env.notify = std::move(notify);
+  env.timeline.stamp(obs::SpanTimeline::kEnqueued);
   TrySubmit out;
   out.result = env.result.get_future();
   switch (queue_.try_push(env)) {
@@ -99,7 +104,8 @@ std::vector<JobResult> Runtime::submit_batch(std::vector<Job> jobs) {
 void Runtime::worker_main(std::size_t index) {
   Worker& w = *workers_[index];
   while (auto env = queue_.pop()) {
-    JobResult result = run_job(env->job, index, w);
+    env->timeline.stamp(obs::SpanTimeline::kDequeued);
+    JobResult result = run_job(env->job, index, w, env->timeline);
 
     {  // job-boundary accounting; the simulation itself ran lock-free
       std::lock_guard lock(w.mu);
@@ -121,6 +127,29 @@ void Runtime::worker_main(std::size_t index) {
         reg.counter(p + "sim_cycles").add(s.cycles);
         reg.histogram("rt.job_cycles", job_cycle_bounds())
             .record(s.cycles);
+        // Plan-cache / superstep effectiveness per deployment, not
+        // just per cycle-bench run (ROADMAP: matvec8's 0.29 hit rate).
+        reg.counter("ring.plan.compiles").add(s.plan_compiles);
+        reg.counter("ring.plan.hits").add(s.plan_hits);
+        reg.counter("ring.plan.invalidations").add(s.plan_invalidations);
+        for (const char* key :
+             {"ring.superstep.dispatches", "ring.superstep.cycles"}) {
+          const obs::Counter* c = result.report.metrics.find_counter(key);
+          if (c != nullptr) reg.counter(key).add(c->value());
+        }
+      }
+      if (obs::telemetry_enabled()) {
+        const obs::SpanTimeline& tl = result.timeline;
+        reg.histogram("rt.latency.queue_wait_us", obs::latency_bounds_us())
+            .record(tl.queue_wait_us());
+        reg.histogram("rt.latency.arm_us", obs::latency_bounds_us())
+            .record(tl.arm_us());
+        reg.histogram("rt.latency.execute_us", obs::latency_bounds_us())
+            .record(tl.execute_us());
+        // Worker busy time; utilization = rate(rt.busy_us) / workers.
+        reg.counter("rt.busy_us")
+            .add(tl.us_between(obs::SpanTimeline::kDequeued,
+                               obs::SpanTimeline::kCompleted));
       }
       // set() with the pool's cumulative totals: each worker owns its
       // registry, and merge_from() adds counters, so shared names
@@ -139,14 +168,16 @@ void Runtime::worker_main(std::size_t index) {
 }
 
 JobResult Runtime::run_job(const Job& job, std::size_t index,
-                           Worker& worker) {
+                           Worker& worker, obs::SpanTimeline& timeline) {
   JobResult result;
   result.worker = index;
+  result.trace_id = job.trace_id;
   try {
     check(job.program != nullptr, "rt job '" + job.name + "': no program");
     const SystemPool::Lease lease = worker.pool.acquire(job);
     System& sys = lease.system;
     result.reused_system = lease.reused_program;
+    timeline.stamp(obs::SpanTimeline::kArmed);
     if (worker.sink) sys.set_trace(worker.sink.get());
 
     sys.host().send(job.input);
@@ -155,6 +186,7 @@ JobResult Runtime::run_job(const Job& job, std::size_t index,
     } else {
       sys.run_until_halt(job.max_cycles, job.drain_cycles);
     }
+    timeline.stamp(obs::SpanTimeline::kExecuted);
 
     std::vector<Word> raw = sys.host().take_received();
     check(raw.size() >= job.discard_prefix,
@@ -175,6 +207,8 @@ JobResult Runtime::run_job(const Job& job, std::size_t index,
     result.ok = false;
     result.error = e.what();
   }
+  timeline.stamp(obs::SpanTimeline::kCompleted);
+  result.timeline = timeline;
   return result;
 }
 

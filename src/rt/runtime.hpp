@@ -100,8 +100,10 @@ class Runtime {
 
   /// Fleet-wide metrics snapshot: queue statistics plus the merged
   /// per-worker registries (rt.jobs, rt.sim_cycles, per-worker
-  /// rt.worker.<i>.* counters, pool reuse counters, job-cycle
-  /// histograms).  Callable at any time, including mid-run.
+  /// rt.worker.<i>.* counters, pool reuse counters, job-cycle and
+  /// rt.latency.* histograms, ring.plan.* / ring.superstep.*
+  /// effectiveness counters).  Callable at any time, including
+  /// mid-run.
   obs::Registry metrics() const;
 
  private:
@@ -116,7 +118,8 @@ class Runtime {
   };
 
   void worker_main(std::size_t index);
-  JobResult run_job(const Job& job, std::size_t index, Worker& worker);
+  JobResult run_job(const Job& job, std::size_t index, Worker& worker,
+                    obs::SpanTimeline& timeline);
 
   RuntimeConfig config_;
   JobQueue queue_;

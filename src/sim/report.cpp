@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/error.hpp"
+#include "obs/host_shape.hpp"
 #include "sim/system.hpp"
 
 namespace sring {
@@ -163,11 +164,26 @@ void write_run_report(const RunReport& report, const std::string& path) {
   std::snprintf(suffix, sizeof(suffix), ".tmp.%ld",
                 static_cast<long>(::getpid()));
   const std::string tmp = path + suffix;
+
+  // Every persisted report self-describes the host and build flags it
+  // was recorded under — a throughput number from a 1-core container
+  // or a sanitizer build is meaningless without them.  Injected here
+  // (not in to_json) so in-memory extras stay exactly what the bench
+  // set; an explicit "host" extra wins.
+  obs::JsonValue j = report.to_json();
+  const obs::JsonValue* extras = j.find("extras");
+  if (extras == nullptr || extras->find("host") == nullptr) {
+    obs::JsonValue merged =
+        extras != nullptr ? *extras : obs::JsonValue::object();
+    merged.set("host", obs::host_shape_json());
+    j.set("extras", std::move(merged));
+  }
+
   {
     std::ofstream out(tmp);
     check(static_cast<bool>(out),
           "write_run_report: cannot open output file: " + tmp);
-    report.to_json().dump(out);
+    j.dump(out);
     out << '\n';
     out.flush();
     check(static_cast<bool>(out),

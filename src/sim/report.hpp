@@ -56,7 +56,10 @@ struct RunReport {
 };
 
 /// Serialize `report` to `path` (single line + trailing newline);
-/// throws SimError when the file cannot be written.
+/// throws SimError when the file cannot be written.  The written JSON
+/// additionally carries extras.host (obs::host_shape_json()) unless
+/// the report already set one — persisted perf numbers always
+/// self-describe the machine and build flags behind them.
 void write_run_report(const RunReport& report, const std::string& path);
 
 /// Handle a bench's `--json <path>` option: no-op when `path` is

@@ -252,5 +252,163 @@ TEST(JobMapping, MotionRangeAboveCapThrowsBeforeAllocating) {
   EXPECT_THROW(to_rt_job(bomb), SimError);
 }
 
+// --- protocol v2: version negotiation, trace ids, stats exposition ---
+
+TEST(Versioning, ParserAcceptsEverySupportedVersionAndReportsIt) {
+  for (const std::uint16_t v : {kMinProtocolVersion, kProtocolVersion}) {
+    std::vector<std::uint8_t> wire;
+    append_frame(wire, MsgType::kPing, encode_ping(7), v);
+    Frame frame;
+    std::size_t consumed = 0;
+    ASSERT_EQ(try_parse_frame(wire, kDefaultMaxFrameBytes, frame, consumed),
+              ParseStatus::kFrame)
+        << "version " << v;
+    EXPECT_EQ(frame.version, v);
+  }
+
+  // Below the floor and above the ceiling both reject.
+  for (const std::uint16_t v :
+       {std::uint16_t{0},
+        static_cast<std::uint16_t>(kProtocolVersion + 1)}) {
+    std::vector<std::uint8_t> wire;
+    append_frame(wire, MsgType::kPing, encode_ping(7));
+    wire[4] = static_cast<std::uint8_t>(v & 0xFF);
+    wire[5] = static_cast<std::uint8_t>(v >> 8);
+    Frame frame;
+    std::size_t consumed = 0;
+    EXPECT_EQ(try_parse_frame(wire, kDefaultMaxFrameBytes, frame, consumed),
+              ParseStatus::kBadVersion)
+        << "version " << v;
+  }
+}
+
+TEST(Versioning, JobRequestCarriesTraceIdOnlyInV2) {
+  JobRequest req = sample_request(KernelId::kFir);
+  req.trace_id = 0x1122334455667788ull;
+
+  const JobRequest v2 = decode_job_request(encode_job_request(req), 2);
+  EXPECT_EQ(v2, req);
+  EXPECT_EQ(v2.trace_id, 0x1122334455667788ull);
+
+  // The v1 byte layout has no trace tail: exactly 8 bytes shorter,
+  // and a v1 decode of it yields trace_id 0 with everything else
+  // intact — old clients round-trip bit-identically.
+  const auto v2_bytes = encode_job_request(req, 2);
+  const auto v1_bytes = encode_job_request(req, 1);
+  EXPECT_EQ(v1_bytes.size() + 8, v2_bytes.size());
+  EXPECT_TRUE(std::equal(v1_bytes.begin(), v1_bytes.end(),
+                         v2_bytes.begin()));
+  const JobRequest v1 = decode_job_request(v1_bytes, 1);
+  EXPECT_EQ(v1.trace_id, 0u);
+  JobRequest expect_v1 = req;
+  expect_v1.trace_id = 0;
+  EXPECT_EQ(v1, expect_v1);
+}
+
+TEST(Versioning, JobResultTelemetryTailIsV2Only) {
+  JobResultMsg msg;
+  msg.tag = 11;
+  msg.outputs = {5, 6};
+  msg.sim_cycles = 999;
+  msg.counters = {{"sim.cycles", 999}};
+  msg.trace_id = 0xFACE;
+  msg.queue_wait_us = 17;
+  msg.execute_us = 230;
+  msg.total_us = 260;
+
+  EXPECT_EQ(decode_job_result(encode_job_result(msg), 2), msg);
+
+  const JobResultMsg v1 =
+      decode_job_result(encode_job_result(msg, 1), 1);
+  EXPECT_EQ(v1.tag, msg.tag);
+  EXPECT_EQ(v1.outputs, msg.outputs);
+  EXPECT_EQ(v1.trace_id, 0u);
+  EXPECT_EQ(v1.queue_wait_us, 0u);
+  EXPECT_EQ(v1.total_us, 0u);
+}
+
+TEST(Versioning, V1PayloadWithV2TailIsRejected) {
+  // A v1 frame must not smuggle the v2 tail: strict end-of-payload
+  // checking catches the 8 extra bytes.
+  JobRequest req = sample_request(KernelId::kDwt53);
+  req.trace_id = 1;
+  const auto v2_bytes = encode_job_request(req, 2);
+  EXPECT_THROW(decode_job_request(v2_bytes, 1), ProtocolError);
+}
+
+obs::SpanRecord sample_span(std::uint64_t trace) {
+  obs::SpanRecord rec;
+  rec.trace_id = trace;
+  rec.name = "fir.spatial";
+  rec.ok = false;
+  rec.error = "ring stalled";
+  rec.worker = 3;
+  rec.sim_cycles = 4096;
+  rec.plan_hits = 2;
+  rec.superstep_cycles = 4000;
+  rec.start_offset_us = 123456;
+  rec.queue_wait_us = 17;
+  rec.arm_us = 4;
+  rec.execute_us = 800;
+  rec.serialize_us = 9;
+  rec.e2e_us = 830;
+  rec.slow = true;
+  return rec;
+}
+
+TEST(Codec, GetStatsRoundTripsFlags) {
+  EXPECT_EQ(decode_get_stats(encode_get_stats(0)), 0u);
+  EXPECT_EQ(decode_get_stats(encode_get_stats(kStatsIncludeFlight)),
+            kStatsIncludeFlight);
+}
+
+TEST(Codec, StatsReplyRoundTripsEverything) {
+  StatsReplyMsg msg;
+  msg.uptime_us = 5'000'000;
+  msg.workers = 4;
+  msg.queue_depth = 3;
+  msg.queue_capacity = 64;
+  msg.worker_utilization = 0.625;
+  msg.counters = {{"net.jobs.completed", 120}, {"rt.sim_cycles", 1 << 20}};
+  StatsQuantileMsg q;
+  q.name = "net.latency.e2e_us";
+  q.count = 120;
+  q.mean_us = 840.5;
+  q.p50_us = 700.0;
+  q.p90_us = 1900.0;
+  q.p99_us = 4700.0;
+  q.max_us = 5123;
+  msg.latencies = {q};
+  msg.rates = {{"net.jobs.completed", 24.5}, {"net.bytes.in", 81920.0}};
+  msg.flight = {sample_span(1), sample_span(2)};
+
+  EXPECT_EQ(decode_stats_reply(encode_stats_reply(msg)), msg);
+
+  // Empty lists survive too (a just-started server).
+  EXPECT_EQ(decode_stats_reply(encode_stats_reply(StatsReplyMsg{})),
+            StatsReplyMsg{});
+}
+
+TEST(Codec, StatsReplyJsonCarriesTheSameFields) {
+  StatsReplyMsg msg;
+  msg.uptime_us = 1000;
+  msg.workers = 2;
+  msg.counters = {{"net.jobs.completed", 7}};
+  msg.rates = {{"net.jobs.completed", 3.5}};
+  msg.flight = {sample_span(42)};
+  const obs::JsonValue j = msg.to_json();
+  EXPECT_EQ(j.find("uptime_us")->as_uint(), 1000u);
+  EXPECT_EQ(j.find("counters")->find("net.jobs.completed")->as_uint(), 7u);
+  EXPECT_NE(j.find("rates")->find("net.jobs.completed"), nullptr);
+  ASSERT_EQ(j.find("flight")->items().size(), 1u);
+  EXPECT_EQ(j.find("flight")->items()[0].find("trace_id")->as_uint(), 42u);
+}
+
+TEST(JobMapping, TraceIdReachesTheRtJob) {
+  JobRequest req = sample_request(KernelId::kFir);
+  req.trace_id = 0xBEEF;
+  EXPECT_EQ(to_rt_job(req).trace_id, 0xBEEF);
+}
+
 }  // namespace
 }  // namespace sring::net

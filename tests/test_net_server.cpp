@@ -13,8 +13,11 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -554,6 +557,185 @@ TEST(NetClient, ConnectRetriesThenThrowsTyped) {
   Client client(cfg);
   EXPECT_THROW(client.connect(), NetError);
   EXPECT_FALSE(client.connected());
+}
+
+// ---- live telemetry over the wire -----------------------------------
+
+// GetStats against a loaded server: one consistent snapshot carrying
+// shape, cumulative counters, per-phase latency quantiles and — once a
+// sampler window catches completions in flight — nonzero rates.
+TEST(NetServerStats, SnapshotUnderLoadCarriesQuantilesAndRates) {
+  ServerConfig scfg;
+  scfg.runtime.workers = 2;
+  scfg.runtime.queue_capacity = 9;
+  scfg.sample_interval = std::chrono::milliseconds(20);
+  TestServer ts(scfg);
+  Client client(client_config(ts.server.port()));
+
+  const std::vector<JobRequest> reqs = all_kernel_requests();
+  std::size_t completed = 0;
+  StatsReplyMsg s;
+  bool saw_rate = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  // Keep the server busy until a sampler interval contains completions;
+  // rates derive from the newest delta window, so an idle tail would
+  // legitimately read 0.
+  while (!saw_rate) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "sampler never produced a nonzero completion rate";
+    for (const RemoteResult& r : client.submit_batch(reqs)) {
+      ASSERT_TRUE(r.ok) << r.error;
+      ++completed;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    s = client.stats();
+    for (const auto& [name, per_sec] : s.rates) {
+      if (name == "net.jobs.completed" && per_sec > 0.0) saw_rate = true;
+    }
+  }
+
+  EXPECT_GT(s.uptime_us, 0u);
+  EXPECT_EQ(s.workers, 2u);
+  EXPECT_EQ(s.queue_capacity, 9u);
+  EXPECT_GE(s.worker_utilization, 0.0);
+  EXPECT_LE(s.worker_utilization, 1.0);
+
+  std::uint64_t counter_completed = 0;
+  for (const auto& [name, value] : s.counters) {
+    if (name == "net.jobs.completed") counter_completed = value;
+  }
+  EXPECT_EQ(counter_completed, completed);
+
+  // Every pipeline phase shows up with one sample per completed job,
+  // and its quantiles are ordered the way quantiles must be.
+  for (const char* name :
+       {"net.latency.queue_wait_us", "net.latency.arm_us",
+        "net.latency.execute_us", "net.latency.serialize_us",
+        "net.latency.e2e_us"}) {
+    const StatsQuantileMsg* q = nullptr;
+    for (const auto& lat : s.latencies) {
+      if (lat.name == name) q = &lat;
+    }
+    ASSERT_NE(q, nullptr) << name << " missing from the stats reply";
+    EXPECT_EQ(q->count, completed) << name;
+    EXPECT_LE(q->p50_us, q->p90_us) << name;
+    EXPECT_LE(q->p90_us, q->p99_us) << name;
+    EXPECT_LE(q->p99_us, static_cast<double>(q->max_us)) << name;
+  }
+  // A simulated kernel does not execute in zero microseconds.
+  for (const auto& lat : s.latencies) {
+    if (lat.name == "net.latency.e2e_us") {
+      EXPECT_GT(lat.max_us, 0u);
+    }
+  }
+}
+
+// A deliberately slow job must land in the flight recorder with its
+// full span timeline and the caller's trace id, and come back over the
+// wire when the stats request asks for the flight ring.
+TEST(NetServerStats, SlowJobIsCapturedInFlightWithFullTimeline) {
+  ServerConfig scfg;
+  scfg.slow_threshold_us = 1;  // a multi-ms sim job is always "slow"
+  TestServer ts(scfg);
+  Client client(client_config(ts.server.port()));
+
+  JobRequest big;
+  big.kernel = KernelId::kFir;
+  big.geometry = kGeom;
+  big.fir_coeffs = {1, 2, 3};
+  big.input.resize(65536);
+  for (std::size_t i = 0; i < big.input.size(); ++i) {
+    big.input[i] = static_cast<Word>(i & 0x7F);
+  }
+  big.trace_id = 0xC0FFEE;
+  const RemoteResult r = client.submit(big);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.trace_id, 0xC0FFEE);
+  EXPECT_GT(r.execute_us, 0u);
+  EXPECT_GE(r.total_us, r.execute_us);
+
+  const StatsReplyMsg s = client.stats(/*include_flight=*/true);
+  const obs::SpanRecord* rec = nullptr;
+  for (const auto& span : s.flight) {
+    if (span.trace_id == 0xC0FFEE) rec = &span;
+  }
+  ASSERT_NE(rec, nullptr) << "slow job missing from the flight ring";
+  EXPECT_TRUE(rec->ok);
+  EXPECT_TRUE(rec->slow);
+  EXPECT_FALSE(rec->name.empty());
+  EXPECT_GT(rec->sim_cycles, 0u);
+  EXPECT_GT(rec->execute_us, 0u);
+  EXPECT_GE(rec->e2e_us, rec->execute_us);
+  // The wire telemetry tail and the recorder describe the same job.
+  EXPECT_EQ(rec->execute_us, r.execute_us);
+}
+
+// A v1 client against the v2 server: byte-identical request layout,
+// byte-identical results, no telemetry tail — and no GetStats.
+TEST(NetServerStats, V1ClientsRoundTripWithoutTelemetryTails) {
+  const std::vector<JobRequest> reqs = all_kernel_requests();
+  std::vector<rt::JobResult> expected;
+  {
+    rt::RuntimeConfig cfg;
+    cfg.workers = 2;
+    rt::Runtime local(cfg);
+    std::vector<rt::Job> jobs;
+    for (const auto& req : reqs) jobs.push_back(to_rt_job(req));
+    expected = local.submit_batch(std::move(jobs));
+  }
+
+  ServerConfig scfg;
+  scfg.runtime.workers = 2;
+  TestServer ts(scfg);
+  ClientConfig ccfg = client_config(ts.server.port());
+  ccfg.protocol_version = 1;
+  Client v1(ccfg);
+
+  const std::vector<RemoteResult> remote = v1.submit_batch(reqs);
+  ASSERT_EQ(remote.size(), expected.size());
+  for (std::size_t i = 0; i < remote.size(); ++i) {
+    ASSERT_TRUE(remote[i].ok) << remote[i].error;
+    EXPECT_EQ(remote[i].outputs, expected[i].outputs);
+    // v1 frames have no room for the telemetry tail: all zeros.
+    EXPECT_EQ(remote[i].trace_id, 0u);
+    EXPECT_EQ(remote[i].queue_wait_us, 0u);
+    EXPECT_EQ(remote[i].execute_us, 0u);
+    EXPECT_EQ(remote[i].total_us, 0u);
+  }
+  EXPECT_THROW((void)v1.stats(), NetError);
+}
+
+// With a flight_dump_path configured, draining the server writes the
+// captured ring as JSONL — the post-mortem artifact for a crash-loop
+// or a slow-request investigation.
+TEST(NetServerStats, DrainWritesTheFlightDump) {
+  const std::string path = "test_net_server_flight_dump.jsonl";
+  std::remove(path.c_str());
+
+  {
+    ServerConfig scfg;
+    scfg.slow_threshold_us = 1;
+    scfg.flight_dump_path = path;
+    TestServer ts(scfg);
+    Client client(client_config(ts.server.port()));
+    JobRequest req = all_kernel_requests()[0];
+    req.trace_id = 0xD00D;
+    ASSERT_TRUE(client.submit(req).ok);
+    EXPECT_TRUE(client.drain());
+    ts.stop();  // run() returned on its own; join + dump happened
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << "drain did not write " << path;
+  std::string line;
+  bool found = false;
+  while (std::getline(in, line)) {
+    if (line.find("\"trace_id\":53261") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << "captured job missing from the flight dump";
+  in.close();
+  std::remove(path.c_str());
 }
 
 }  // namespace

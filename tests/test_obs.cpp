@@ -4,11 +4,16 @@
 
 #include <sstream>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "common/error.hpp"
 #include "json_test_util.hpp"
 #include "obs/event.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/quantile.hpp"
 
 namespace sring::obs {
 namespace {
@@ -89,6 +94,123 @@ TEST(Metrics, HistogramFromCountsPadsMissingTail) {
   EXPECT_EQ(h.bucket_counts()[1], 7u);
   EXPECT_EQ(h.bucket_counts()[2], 0u);
   EXPECT_EQ(h.count(), 12u);
+}
+
+TEST(Metrics, MergeFromAccumulatesMatchingHistograms) {
+  Histogram a({1, 2, 4});
+  Histogram b({1, 2, 4});
+  a.record(1);
+  a.record(3);
+  b.record(2);
+  b.record(100);
+  ASSERT_TRUE(a.merge_from(b));
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 106u);
+  EXPECT_EQ(a.max(), 100u);
+  // One sample per bucket: {1}, {2}, {3<=4}, overflow {100}.
+  EXPECT_EQ(a.bucket_counts(),
+            (std::vector<std::uint64_t>{1, 1, 1, 1}));
+}
+
+TEST(Metrics, MergeEmptyIntoNonEmptyIsIdentity) {
+  Histogram a({1, 2});
+  a.record(2);
+  const std::uint64_t count = a.count(), sum = a.sum(), max = a.max();
+  ASSERT_TRUE(a.merge_from(Histogram({1, 2})));
+  EXPECT_EQ(a.count(), count);
+  EXPECT_EQ(a.sum(), sum);
+  EXPECT_EQ(a.max(), max);
+
+  // ...and the other direction adopts the non-empty side verbatim.
+  Histogram empty({1, 2});
+  ASSERT_TRUE(empty.merge_from(a));
+  EXPECT_EQ(empty.count(), count);
+  EXPECT_EQ(empty.bucket_counts(), a.bucket_counts());
+}
+
+TEST(Metrics, MergeSaturatesInsteadOfWrapping) {
+  const std::uint64_t kMax = UINT64_MAX;
+  Histogram a = Histogram::from_counts({1}, {kMax - 1, 0});
+  const Histogram b = Histogram::from_counts({1}, {5, 0});
+  ASSERT_TRUE(a.merge_from(b));
+  // kMax-1 + 5 would wrap to 3; it must pin at the ceiling instead.
+  EXPECT_EQ(a.bucket_counts()[0], kMax);
+  EXPECT_EQ(a.count(), kMax);
+}
+
+TEST(Metrics, MergeDetectsMismatchedBounds) {
+  Histogram a({1, 2});
+  a.record(1);
+  Histogram b({1, 4});
+  b.record(1);
+  EXPECT_FALSE(a.merge_from(b));
+  // A refused merge leaves the target untouched.
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.bucket_counts()[0], 1u);
+
+  Registry ra, rb;
+  ra.histogram("h", {1, 2}).record(1);
+  rb.histogram("h", {1, 4}).record(1);
+  EXPECT_THROW(ra.merge_from(rb), SimError);
+}
+
+// The hand-rolled percentile bench_serve carried before the helper
+// moved into obs/ — kept verbatim as the reference implementation.
+double reference_percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+TEST(Quantile, PercentileSortedMatchesTheReferenceExactly) {
+  const std::vector<std::vector<double>> cases = {
+      {},
+      {42.0},
+      {1.0, 2.0},
+      {1.0, 2.0, 3.0, 4.0, 5.0},
+      {0.5, 0.5, 0.5, 100.0},
+      {-3.0, -1.0, 0.0, 7.5, 7.5, 128.0, 4096.0},
+  };
+  for (const auto& sorted : cases) {
+    for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+      EXPECT_DOUBLE_EQ(percentile_sorted(sorted, q),
+                       reference_percentile(sorted, q))
+          << "n=" << sorted.size() << " q=" << q;
+    }
+  }
+}
+
+TEST(Quantile, HistogramQuantileInterpolatesWithinBuckets) {
+  Histogram h(latency_bounds_us());
+  for (std::uint64_t i = 0; i < 100; ++i) h.record(10);  // all in (5,10]
+  // Every quantile of a single-bucket population lands in that bucket.
+  EXPECT_GT(histogram_quantile(h, 0.5), 5.0);
+  EXPECT_LE(histogram_quantile(h, 0.5), 10.0);
+  EXPECT_LE(histogram_quantile(h, 0.99), 10.0);
+}
+
+TEST(Quantile, HistogramQuantileHandlesEmptyAndOverflow) {
+  Histogram empty({1, 2});
+  EXPECT_EQ(histogram_quantile(empty, 0.5), 0.0);
+
+  Histogram h({1, 2});
+  h.record(1);
+  h.record(1000);  // overflow bucket
+  // Overflow quantiles report the observed max, never a fabricated
+  // bound, and no quantile exceeds it.
+  EXPECT_EQ(histogram_quantile(h, 0.99), 1000.0);
+  EXPECT_LE(histogram_quantile(h, 0.5), 1000.0);
+}
+
+TEST(Quantile, LatencyBoundsAreSharedAndSorted) {
+  const auto& bounds = latency_bounds_us();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+  // Same object every call: fleet merges can never mismatch on shape.
+  EXPECT_EQ(&latency_bounds_us(), &bounds);
 }
 
 TEST(Metrics, RegistryGetOrCreateAndSortedIteration) {

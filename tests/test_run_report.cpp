@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "json_test_util.hpp"
 #include "kernels/mac_kernel.hpp"
+#include "obs/host_shape.hpp"
 #include "sim/report.hpp"
 #include "sim/system.hpp"
 
@@ -123,7 +124,54 @@ TEST(RunReport, WriteRunReportRoundTripsThroughDisk) {
   std::stringstream ss;
   ss << in.rdbuf();
   const obs::JsonValue parsed = test::parse_json(ss.str());
-  EXPECT_EQ(parsed.dump(), report.to_json().dump());
+
+  // On disk == in memory, plus the injected extras.host block.
+  obs::JsonValue expected = report.to_json();
+  obs::JsonValue extras = obs::JsonValue::object();
+  extras.set("host", obs::host_shape_json());
+  expected.set("extras", std::move(extras));
+  EXPECT_EQ(parsed.dump(), expected.dump());
+  std::remove(path.c_str());
+}
+
+TEST(RunReport, WrittenReportSelfDescribesTheHost) {
+  RunReport r;
+  r.name = "host_shape";
+  const std::string path = testing::TempDir() + "sring_host_shape.json";
+  write_run_report(r, path);
+
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const obs::JsonValue parsed = test::parse_json(ss.str());
+  const obs::JsonValue* host = parsed.find("extras")->find("host");
+  ASSERT_NE(host, nullptr);
+  EXPECT_GE(host->find("cores")->as_uint(), 1u);
+  EXPECT_GE(host->find("page_size")->as_uint(), 512u);
+  const std::string build = host->find("build_type")->as_string();
+  EXPECT_TRUE(build == "release" || build == "debug");
+  EXPECT_NE(host->find("compiler"), nullptr);
+  EXPECT_NE(host->find("lto"), nullptr);
+  EXPECT_NE(host->find("sanitizers"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(RunReport, AnExplicitHostExtraIsNotOverwritten) {
+  RunReport r;
+  r.name = "pinned_host";
+  obs::JsonValue fake = obs::JsonValue::object();
+  fake.set("cores", std::uint64_t{12345});
+  r.extra("host", std::move(fake));
+  const std::string path = testing::TempDir() + "sring_pinned_host.json";
+  write_run_report(r, path);
+
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const obs::JsonValue parsed = test::parse_json(ss.str());
+  EXPECT_EQ(
+      parsed.find("extras")->find("host")->find("cores")->as_uint(),
+      12345u);
   std::remove(path.c_str());
 }
 
