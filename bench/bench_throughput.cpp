@@ -158,6 +158,17 @@ int main(int argc, char** argv) {
                 mix.c_str(), batch, queue_cap,
                 std::thread::hardware_concurrency());
 
+    // Parallel efficiency (speedup / workers) is meaningless when the
+    // host can only run one worker at a time: every sweep point just
+    // time-slices a single core.  Report null instead of a number
+    // that looks like a scaling regression.
+    const bool multicore = std::thread::hardware_concurrency() > 1;
+    if (!multicore) {
+      std::printf(
+          "  WARNING: single-core host — parallel efficiency not "
+          "measurable, reporting null\n");
+    }
+
     std::vector<std::vector<Word>> reference;  // outputs at 1 worker
     std::vector<SweepPoint> points;
     for (const std::size_t w : worker_counts) {
@@ -210,10 +221,16 @@ int main(int argc, char** argv) {
       p.efficiency = p.speedup / static_cast<double>(w);
       points.push_back(p);
 
+      char eff[32];
+      if (multicore) {
+        std::snprintf(eff, sizeof(eff), "%.0f%%", 100.0 * p.efficiency);
+      } else {
+        std::snprintf(eff, sizeof(eff), "n/a");
+      }
       std::printf(
           "  workers=%zu  %8.1f jobs/s  (%.3fs, speedup %.2fx, "
-          "efficiency %.0f%%, pool fast-resets %llu / loads %llu)\n",
-          w, p.jobs_per_s, p.seconds, p.speedup, 100.0 * p.efficiency,
+          "efficiency %s, pool fast-resets %llu / loads %llu)\n",
+          w, p.jobs_per_s, p.seconds, p.speedup, eff,
           static_cast<unsigned long long>(p.fast_resets),
           static_cast<unsigned long long>(p.full_loads));
     }
@@ -227,6 +244,11 @@ int main(int argc, char** argv) {
         .extra("host_cores",
                std::uint64_t{std::thread::hardware_concurrency()})
         .extra("outputs_bit_identical", true);
+    if (!multicore) {
+      report.extra("warning",
+                   std::string("single-core host: parallel efficiency "
+                               "not measurable"));
+    }
     obs::JsonValue sweep = obs::JsonValue::array();
     for (const auto& p : points) {
       obs::JsonValue jp = obs::JsonValue::object();
@@ -234,7 +256,8 @@ int main(int argc, char** argv) {
       jp.set("seconds", p.seconds);
       jp.set("jobs_per_s", p.jobs_per_s);
       jp.set("speedup_vs_1", p.speedup);
-      jp.set("efficiency", p.efficiency);
+      jp.set("efficiency", multicore ? obs::JsonValue(p.efficiency)
+                                     : obs::JsonValue(nullptr));
       jp.set("sim_cycles", p.sim_cycles);
       jp.set("pool_fast_resets", p.fast_resets);
       jp.set("pool_full_loads", p.full_loads);

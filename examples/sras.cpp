@@ -31,6 +31,18 @@
 //               [--count N] [--info] [--ping] [--drain]
 //       submit deterministic kernel jobs and verify the remote outputs
 //       bit-exact against local rt::Runtime execution.
+//   sras remote --dfg <graph.dfg> [--count N] [--samples N]
+//       parse a text dataflow graph, submit it (as a canonical blob)
+//       to the server's compile service --count times, and verify
+//       every de-laced output stream bit-exact against the local
+//       mapper; run 2+ must be a compile-cache hit.
+//
+// Mapper subcommand (src/svc/ DFG front end, offline):
+//   sras map --dfg-file <graph.dfg> [--layers N] [--lanes N] [--fb N]
+//            [--samples N] [--report-json P]
+//       parse + map a text dataflow graph, print the placement report
+//       and the canonical blob's content hash, and cross-check the
+//       mapped program against the golden DSP model.
 //   sras stats [--host H] --port N [--count N] [--interval-ms N]
 //              [--jsonl] [--flight]
 //       poll a live server's GetStats snapshot: counters, per-phase
@@ -53,6 +65,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "dsp/matvec.hpp"
+#include "mapper/mapper.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "obs/cli.hpp"
@@ -60,6 +73,8 @@
 #include "rt/runtime.hpp"
 #include "sim/report.hpp"
 #include "sim/system.hpp"
+#include "svc/dfg_codec.hpp"
+#include "svc/dfg_text.hpp"
 
 namespace {
 
@@ -78,6 +93,11 @@ int usage() {
                "  sras remote [--host H] [--port N]\n"
                "        [--kernel all|fir|me|dwt|matvec] [--count N]\n"
                "        [--info] [--ping] [--drain] [--report-json P]\n"
+               "  sras remote --dfg <graph.dfg> --port N [--count N]\n"
+               "        [--samples N]\n"
+               "  sras map --dfg-file <graph.dfg> [--layers N]\n"
+               "        [--lanes N] [--fb N] [--samples N]\n"
+               "        [--report-json P]\n"
                "  sras stats [--host H] --port N [--count N]\n"
                "        [--interval-ms N] [--jsonl] [--flight]\n");
   return 2;
@@ -139,6 +159,85 @@ std::vector<sring::net::JobRequest> build_remote_requests(
     }
   }
   return reqs;
+}
+
+std::string read_text_file(const std::string& path, const char* who) {
+  std::ifstream in(path);
+  sring::check(in.good(), std::string(who) + ": cannot open " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Deterministic per-run input streams for a DFG — reproducible on
+/// both ends of the wire, so remote results can be held bit-exact
+/// against the local mapper.
+std::vector<std::vector<sring::Word>> build_dfg_streams(
+    std::size_t input_count, std::size_t samples, std::size_t run) {
+  using namespace sring;
+  std::vector<std::vector<Word>> streams(input_count);
+  Rng rng(0xD0F6ull + 0x9E37ull * run);
+  for (auto& s : streams) {
+    s.resize(samples);
+    for (auto& w : s) w = rng.next_word_in(-200, 200);
+  }
+  return streams;
+}
+
+int cmd_map(int argc, char** argv) {
+  using namespace sring;
+  const std::string dfg_file =
+      obs::extract_option(argc, argv, "--dfg-file").value_or("");
+  const std::size_t layers = opt_size(argc, argv, "--layers", 8);
+  const std::size_t lanes = opt_size(argc, argv, "--lanes", 2);
+  const std::size_t fb = opt_size(argc, argv, "--fb", 16);
+  const std::size_t samples = opt_size(argc, argv, "--samples", 32);
+  const std::string report_json =
+      obs::extract_option(argc, argv, "--report-json").value_or("");
+  check(!dfg_file.empty(), "sras map: --dfg-file is required");
+
+  const mapper::Dfg dfg =
+      svc::parse_dfg_text(read_text_file(dfg_file, "sras map"));
+  const std::vector<std::uint8_t> blob = svc::encode_dfg(dfg);
+  const std::uint64_t hash = svc::dfg_hash(blob);
+  const RingGeometry geom{layers, lanes, fb};
+  const mapper::MappedProgram mapped = mapper::map_dfg(dfg, geom);
+
+  std::printf("%s", mapper::mapping_report(mapped).c_str());
+  std::printf(
+      "dfg %s: hash %s, %zu byte blob, %zu/%zu dnodes, latency %zu, "
+      "%zu input(s), %zu output(s)\n",
+      dfg_file.c_str(), svc::dfg_hash_hex(hash).c_str(), blob.size(),
+      mapped.dnodes_used, geom.dnode_count(), mapped.max_latency,
+      mapped.input_count, mapped.outputs.size());
+
+  // Cross-check the mapped program against the golden DSP model on a
+  // deterministic vector — the same discipline the compile service
+  // applies server-side.
+  bool validated = false;
+  if (samples > 0 && mapped.input_count > 0) {
+    const auto streams = build_dfg_streams(mapped.input_count, samples, 0);
+    const auto golden = mapper::interpret_dfg(dfg, streams);
+    const auto run = mapper::run_mapped(mapped, streams);
+    check(run.outputs == golden,
+          "sras map: mapped program diverges from the golden DSP model");
+    validated = true;
+    std::printf("validated against the golden model on %zu samples\n",
+                samples);
+  }
+
+  RunReport report;
+  report.name = "sras_map";
+  report.extra("schema_version", std::uint64_t{1})
+      .extra("dfg_hash", svc::dfg_hash_hex(hash))
+      .extra("blob_bytes", std::uint64_t{blob.size()})
+      .extra("dnodes_used", std::uint64_t{mapped.dnodes_used})
+      .extra("max_latency", std::uint64_t{mapped.max_latency})
+      .extra("inputs", std::uint64_t{mapped.input_count})
+      .extra("outputs", std::uint64_t{mapped.outputs.size()})
+      .extra("validated", validated);
+  maybe_write_run_report(report, report_json);
+  return 0;
 }
 
 int cmd_serve(int argc, char** argv) {
@@ -294,6 +393,9 @@ int cmd_remote(int argc, char** argv) {
   const std::size_t port = opt_size(argc, argv, "--port", 0);
   const std::string kernel =
       obs::extract_option(argc, argv, "--kernel").value_or("all");
+  const std::string dfg_file =
+      obs::extract_option(argc, argv, "--dfg").value_or("");
+  const std::size_t samples = opt_size(argc, argv, "--samples", 32);
   const std::size_t count = opt_size(argc, argv, "--count", 4);
   const bool info = obs::extract_flag(argc, argv, "--info");
   const bool do_ping = obs::extract_flag(argc, argv, "--ping");
@@ -326,6 +428,61 @@ int cmd_remote(int argc, char** argv) {
   if (do_drain) {
     check(client.drain(), "sras remote: server did not acknowledge drain");
     std::printf("drain acknowledged\n");
+    return 0;
+  }
+
+  // DFG mode: compile + run a dataflow graph remotely --count times,
+  // verifying every de-laced stream against the local mapper.  The
+  // graph blob is identical each run, so run 2+ must hit the server's
+  // compile cache.
+  if (!dfg_file.empty()) {
+    check(samples >= 1, "sras remote: --samples must be at least 1");
+    const mapper::Dfg dfg =
+        svc::parse_dfg_text(read_text_file(dfg_file, "sras remote"));
+    const std::vector<std::uint8_t> blob = svc::encode_dfg(dfg);
+    const RingGeometry geom{8, 2, 16};
+    const mapper::MappedProgram mapped = mapper::map_dfg(dfg, geom);
+    check(mapped.input_count > 0,
+          "sras remote: the graph has no input nodes to stream");
+
+    std::size_t cache_hits = 0;
+    double total_us = 0.0;
+    for (std::size_t run = 0; run < count; ++run) {
+      const auto streams =
+          build_dfg_streams(mapped.input_count, samples, run);
+      const auto t0 = std::chrono::steady_clock::now();
+      const net::RemoteDfgResult r = client.submit_dfg(blob, streams, geom);
+      const auto t1 = std::chrono::steady_clock::now();
+      total_us +=
+          std::chrono::duration<double, std::micro>(t1 - t0).count();
+      check(r.ok, "sras remote: DFG run " + std::to_string(run) +
+                      " failed: " + (r.busy ? "busy" : r.error));
+      const auto local = mapper::run_mapped(mapped, streams);
+      check(r.streams == local.outputs,
+            "sras remote: DFG run " + std::to_string(run) +
+                " outputs diverged from the local mapper");
+      if (r.cache_hit) ++cache_hits;
+      std::printf("dfg run %zu: hash %s %s, %zu stream(s) bit-exact\n",
+                  run, sring::svc::dfg_hash_hex(r.dfg_hash).c_str(),
+                  r.cache_hit ? "cache hit" : "compiled",
+                  r.streams.size());
+    }
+    check(count < 2 || cache_hits >= count - 1,
+          "sras remote: expected compile-cache hits after the first run");
+    std::printf(
+        "%zu DFG runs remote == local bit-exact; %zu cache hit(s), "
+        "mean latency %.1f us\n",
+        count, cache_hits, total_us / static_cast<double>(count));
+
+    RunReport report;
+    report.name = "sras_remote_dfg";
+    report.extra("schema_version", std::uint64_t{1})
+        .extra("dfg_file", dfg_file)
+        .extra("runs", std::uint64_t{count})
+        .extra("cache_hits", std::uint64_t{cache_hits})
+        .extra("mean_latency_us", total_us / static_cast<double>(count))
+        .extra("outputs_bit_identical", true);
+    maybe_write_run_report(report, report_json);
     return 0;
   }
 
@@ -400,6 +557,9 @@ int main(int argc, char** argv) {
     }
     if (argc >= 2 && std::string(argv[1]) == "stats") {
       return cmd_stats(argc, argv);
+    }
+    if (argc >= 2 && std::string(argv[1]) == "map") {
+      return cmd_map(argc, argv);
     }
 
     const std::string trace_format =

@@ -74,6 +74,33 @@ NodeId Dfg::add_delay(NodeId a, unsigned delay) {
   return push(std::move(n));
 }
 
+Dfg Dfg::assemble(std::vector<DfgNode> nodes, std::vector<NodeId> outputs) {
+  Dfg dfg;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const DfgNode& n = nodes[i];
+    const unsigned arity = dfg_arity(n.op);
+    if (arity >= 1 && n.op != DfgOp::kDelay) {
+      check(n.a < i, "Dfg: combinational operand must precede its user");
+    }
+    if (arity == 2) {
+      check(n.b < i, "Dfg: combinational operand must precede its user");
+    }
+    if (n.op == DfgOp::kDelay) {
+      check(n.a < nodes.size(), "Dfg: delay operand out of range");
+      check(n.delay >= 1, "Dfg: delay must be >= 1");
+    }
+    if (n.op == DfgOp::kInput) {
+      dfg.inputs_.push_back(static_cast<NodeId>(i));
+    }
+  }
+  for (const NodeId out : outputs) {
+    check(out < nodes.size(), "Dfg: output id out of range");
+  }
+  dfg.nodes_ = std::move(nodes);
+  dfg.outputs_ = std::move(outputs);
+  return dfg;
+}
+
 void Dfg::mark_output(NodeId node, std::string name) {
   check(node < nodes_.size(), "Dfg::mark_output: node out of range");
   if (!name.empty()) nodes_[node].name = std::move(name);

@@ -67,6 +67,15 @@ class Dfg {
   NodeId add_binary(DfgOp op, NodeId a, NodeId b);
   NodeId add_delay(NodeId a, unsigned delay);
 
+  /// Rebuild a graph from raw parts — the wire decoder's entry point
+  /// (svc/dfg_codec).  Unlike the add_* builders, delays here may
+  /// reference *later* nodes, so recursive graphs can be expressed and
+  /// then rejected by map_dfg with its own diagnostic.  Enforces the
+  /// same structural rules as validate() except the at-least-one-output
+  /// requirement (callers validate() before use).
+  static Dfg assemble(std::vector<DfgNode> nodes,
+                      std::vector<NodeId> outputs);
+
   /// Register a node as a program output (order defines the output
   /// stream order).
   void mark_output(NodeId node, std::string name = {});

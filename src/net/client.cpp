@@ -211,6 +211,141 @@ RemoteResult Client::submit(const JobRequest& req) {
   return out;
 }
 
+RemoteDfgCompiled Client::compile_dfg(const std::vector<std::uint8_t>& dfg,
+                                      const RingGeometry& geometry) {
+  if (config_.protocol_version < 3) {
+    throw NetError("net: DFG messages require protocol version >= 3");
+  }
+  SubmitDfgMsg req;
+  req.tag = next_tag_++;
+  req.geometry = geometry;
+  req.dfg = dfg;
+  const std::vector<std::uint8_t> payload = encode_submit_dfg(req);
+
+  RemoteDfgCompiled out;
+  for (int attempt = 0; attempt <= config_.busy_retries; ++attempt) {
+    if (attempt > 0) backoff_sleep(attempt - 1);
+    send_frame(MsgType::kSubmitDfg, payload);
+    const Frame frame = recv_frame();
+    if (frame.type == MsgType::kDfgCompiled) {
+      DfgCompiledMsg msg = decode_dfg_compiled(frame.payload);
+      if (msg.tag != req.tag) {
+        close();
+        throw ProtocolError("net: response tag mismatch");
+      }
+      out.ok = true;
+      out.dfg_hash = msg.dfg_hash;
+      out.cache_hit = msg.cache_hit != 0;
+      out.compile_us = msg.compile_us;
+      out.dnodes_used = msg.dnodes_used;
+      out.max_latency = msg.max_latency;
+      out.pushes_per_cycle = msg.pushes_per_cycle;
+      out.input_count = msg.input_count;
+      out.outputs = std::move(msg.outputs);
+      return out;
+    }
+    if (frame.type != MsgType::kError) {
+      close();
+      throw ProtocolError("net: unexpected response type " +
+                          std::to_string(
+                              static_cast<unsigned>(frame.type)));
+    }
+    const ErrorMsg err = decode_error(frame.payload);
+    if (err.code == ErrorCode::kBusy) {
+      out.busy = true;
+      continue;
+    }
+    out.busy = false;
+    out.error = err.message;
+    return out;
+  }
+  out.error = "server busy (queue full) after " +
+              std::to_string(config_.busy_retries + 1) + " attempts";
+  return out;
+}
+
+RemoteDfgResult Client::submit_dfg(
+    const std::vector<std::uint8_t>& dfg,
+    const std::vector<std::vector<Word>>& streams,
+    const RingGeometry& geometry, std::uint64_t trace_id) {
+  if (config_.protocol_version < 3) {
+    throw NetError("net: DFG messages require protocol version >= 3");
+  }
+  SubmitDfgJobMsg req;
+  req.tag = next_tag_++;
+  req.geometry = geometry;
+  req.dfg = dfg;
+  req.streams = streams;
+  req.trace_id = trace_id;
+  const std::vector<std::uint8_t> payload = encode_submit_dfg_job(req);
+
+  RemoteDfgResult out;
+  for (int attempt = 0; attempt <= config_.busy_retries; ++attempt) {
+    if (attempt > 0) backoff_sleep(attempt - 1);
+    send_frame(MsgType::kSubmitDfgJob, payload);
+    const Frame frame = recv_frame();
+    if (frame.type == MsgType::kJobResult) {
+      JobResultMsg msg = decode_job_result(frame.payload, frame.version);
+      if (msg.tag != req.tag) {
+        close();
+        throw ProtocolError("net: response tag mismatch");
+      }
+      // The flat word vector is the per-output streams concatenated in
+      // Dfg output order; the svc.dfg.* counters say how to split it.
+      std::uint64_t n_outputs = 0;
+      std::uint64_t n_samples = 0;
+      for (const auto& [name, value] : msg.counters) {
+        if (name == "svc.dfg.outputs") n_outputs = value;
+        else if (name == "svc.dfg.samples") n_samples = value;
+        else if (name == "svc.dfg.cache_hit") out.cache_hit = value != 0;
+        else if (name == "svc.dfg.hash") out.dfg_hash = value;
+      }
+      if (n_outputs == 0 ||
+          msg.outputs.size() != n_outputs * n_samples) {
+        close();
+        throw ProtocolError(
+            "net: DFG result words do not match its de-lacing metadata");
+      }
+      out.streams.resize(n_outputs);
+      for (std::uint64_t o = 0; o < n_outputs; ++o) {
+        out.streams[o].assign(
+            msg.outputs.begin() +
+                static_cast<std::ptrdiff_t>(o * n_samples),
+            msg.outputs.begin() +
+                static_cast<std::ptrdiff_t>((o + 1) * n_samples));
+      }
+      out.ok = true;
+      out.sim_cycles = msg.sim_cycles;
+      out.worker = msg.worker;
+      out.reused_system = msg.reused_system != 0;
+      out.counters = std::move(msg.counters);
+      out.trace_id = msg.trace_id;
+      out.queue_wait_us = msg.queue_wait_us;
+      out.execute_us = msg.execute_us;
+      out.total_us = msg.total_us;
+      return out;
+    }
+    if (frame.type != MsgType::kError) {
+      close();
+      throw ProtocolError("net: unexpected response type " +
+                          std::to_string(
+                              static_cast<unsigned>(frame.type)));
+    }
+    const ErrorMsg err = decode_error(frame.payload);
+    if (err.code == ErrorCode::kBusy) {
+      out.busy = true;
+      continue;
+    }
+    out.busy = false;
+    out.ok = false;
+    out.error = err.message;
+    return out;
+  }
+  out.error = "server busy (queue full) after " +
+              std::to_string(config_.busy_retries + 1) + " attempts";
+  return out;
+}
+
 std::vector<RemoteResult> Client::submit_batch(
     const std::vector<JobRequest>& reqs) {
   std::vector<RemoteResult> out;

@@ -66,6 +66,43 @@ struct RemoteResult {
   std::uint64_t total_us = 0;      ///< enqueue → completion, server clock
 };
 
+/// Outcome of a server-side DFG compile (SubmitDfg → DfgCompiled).
+/// On ok, the mapped program's shape + output metadata let the caller
+/// size input streams and interpret later job results.
+struct RemoteDfgCompiled {
+  bool ok = false;
+  bool busy = false;
+  std::string error;  ///< codec/mapper/validation diagnostic, verbatim
+  std::uint64_t dfg_hash = 0;
+  bool cache_hit = false;
+  std::uint64_t compile_us = 0;  ///< 0 on cache hits
+  std::uint16_t dnodes_used = 0;
+  std::uint16_t max_latency = 0;
+  std::uint16_t pushes_per_cycle = 0;
+  std::uint16_t input_count = 0;
+  std::vector<DfgOutputMetaMsg> outputs;
+};
+
+/// Outcome of a remote DFG job (SubmitDfgJob).  `streams` holds one
+/// de-laced stream per Dfg output, in output order — bit-identical to
+/// mapper::run_mapped on the same graph and inputs.
+struct RemoteDfgResult {
+  bool ok = false;
+  bool busy = false;
+  std::string error;
+  std::vector<std::vector<Word>> streams;  ///< per Dfg output
+  std::uint64_t dfg_hash = 0;
+  bool cache_hit = false;  ///< compile cache outcome for this run
+  std::uint64_t sim_cycles = 0;
+  std::uint32_t worker = 0;
+  bool reused_system = false;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::uint64_t trace_id = 0;
+  std::uint64_t queue_wait_us = 0;
+  std::uint64_t execute_us = 0;
+  std::uint64_t total_us = 0;
+};
+
 class Client {
  public:
   explicit Client(ClientConfig config);
@@ -91,6 +128,18 @@ class Client {
   /// Sequential batch, results in submission order.
   std::vector<RemoteResult> submit_batch(
       const std::vector<JobRequest>& reqs);
+
+  /// Compile (or cache-hit) a canonical DFG blob (svc/dfg_codec)
+  /// server-side without running it.  Requires protocol_version >= 3.
+  RemoteDfgCompiled compile_dfg(const std::vector<std::uint8_t>& dfg,
+                                const RingGeometry& geometry);
+
+  /// Compile + run a DFG over equal-length input streams (one per DFG
+  /// input).  Requires protocol_version >= 3.
+  RemoteDfgResult submit_dfg(const std::vector<std::uint8_t>& dfg,
+                             const std::vector<std::vector<Word>>& streams,
+                             const RingGeometry& geometry,
+                             std::uint64_t trace_id = 0);
 
   /// Poll the server's live stats snapshot (counters, per-phase
   /// latency quantiles, sampler rates; optionally the recent flight

@@ -55,6 +55,10 @@ class Writer {
     u32(static_cast<std::uint32_t>(w.size()));
     for (const Word x : w) u16(x);
   }
+  void bytes(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
 
   std::vector<std::uint8_t> take() { return std::move(out_); }
 
@@ -98,6 +102,11 @@ class Reader {
     out.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) out.push_back(u16());
     return out;
+  }
+  std::vector<std::uint8_t> bytes() {
+    const std::uint32_t n = u32();
+    const auto b = take(n);
+    return std::vector<std::uint8_t>(b.begin(), b.end());
   }
 
   /// Every decode_* must end exactly at the payload boundary; trailing
@@ -511,6 +520,110 @@ obs::JsonValue StatsReplyMsg::to_json() const {
   for (const obs::SpanRecord& rec : flight) fj.push_back(rec.to_json());
   j.set("flight", std::move(fj));
   return j;
+}
+
+std::vector<std::uint8_t> encode_submit_dfg(const SubmitDfgMsg& msg) {
+  Writer w;
+  w.u32(msg.tag);
+  w.u16(static_cast<std::uint16_t>(msg.geometry.layers));
+  w.u16(static_cast<std::uint16_t>(msg.geometry.lanes));
+  w.u16(static_cast<std::uint16_t>(msg.geometry.fb_depth));
+  w.bytes(msg.dfg);
+  w.u64(msg.trace_id);
+  return w.take();
+}
+
+SubmitDfgMsg decode_submit_dfg(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  SubmitDfgMsg msg;
+  msg.tag = r.u32();
+  msg.geometry.layers = r.u16();
+  msg.geometry.lanes = r.u16();
+  msg.geometry.fb_depth = r.u16();
+  msg.dfg = r.bytes();
+  msg.trace_id = r.u64();
+  r.expect_end();
+  return msg;
+}
+
+std::vector<std::uint8_t> encode_dfg_compiled(const DfgCompiledMsg& msg) {
+  Writer w;
+  w.u32(msg.tag);
+  w.u64(msg.dfg_hash);
+  w.u8(msg.cache_hit);
+  w.u32(msg.compile_us);
+  w.u16(msg.dnodes_used);
+  w.u16(msg.max_latency);
+  w.u16(msg.pushes_per_cycle);
+  w.u16(msg.input_count);
+  w.u32(static_cast<std::uint32_t>(msg.outputs.size()));
+  for (const DfgOutputMetaMsg& o : msg.outputs) {
+    w.str(o.name);
+    w.u16(o.latency);
+    w.u16(o.push_rank);
+  }
+  return w.take();
+}
+
+DfgCompiledMsg decode_dfg_compiled(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  DfgCompiledMsg msg;
+  msg.tag = r.u32();
+  msg.dfg_hash = r.u64();
+  msg.cache_hit = r.u8();
+  msg.compile_us = r.u32();
+  msg.dnodes_used = r.u16();
+  msg.max_latency = r.u16();
+  msg.pushes_per_cycle = r.u16();
+  msg.input_count = r.u16();
+  const std::uint32_t n = r.u32();
+  if (payload.size() < std::size_t{n} * 4) {
+    throw ProtocolError("net: output metadata overruns payload");
+  }
+  msg.outputs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    DfgOutputMetaMsg o;
+    o.name = r.str();
+    o.latency = r.u16();
+    o.push_rank = r.u16();
+    msg.outputs.push_back(std::move(o));
+  }
+  r.expect_end();
+  return msg;
+}
+
+std::vector<std::uint8_t> encode_submit_dfg_job(const SubmitDfgJobMsg& msg) {
+  Writer w;
+  w.u32(msg.tag);
+  w.u16(static_cast<std::uint16_t>(msg.geometry.layers));
+  w.u16(static_cast<std::uint16_t>(msg.geometry.lanes));
+  w.u16(static_cast<std::uint16_t>(msg.geometry.fb_depth));
+  w.bytes(msg.dfg);
+  w.u32(static_cast<std::uint32_t>(msg.streams.size()));
+  for (const auto& s : msg.streams) w.words(s);
+  w.u64(msg.trace_id);
+  return w.take();
+}
+
+SubmitDfgJobMsg decode_submit_dfg_job(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  SubmitDfgJobMsg msg;
+  msg.tag = r.u32();
+  msg.geometry.layers = r.u16();
+  msg.geometry.lanes = r.u16();
+  msg.geometry.fb_depth = r.u16();
+  msg.dfg = r.bytes();
+  const std::uint32_t n = r.u32();
+  if (n > kMaxDfgJobStreams) {
+    throw ProtocolError("net: DFG job carries " + std::to_string(n) +
+                        " input streams, limit is " +
+                        std::to_string(kMaxDfgJobStreams));
+  }
+  msg.streams.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) msg.streams.push_back(r.words());
+  msg.trace_id = r.u64();
+  r.expect_end();
+  return msg;
 }
 
 std::vector<std::uint8_t> encode_error(const ErrorMsg& msg) {

@@ -63,8 +63,10 @@ class ProtocolError : public NetError {
 inline constexpr std::uint8_t kMagic[4] = {'S', 'R', 'N', 'G'};
 /// Newest protocol this build speaks.  v2 added trace_id on
 /// SubmitJob/JobResult, span durations on JobResult, and
-/// GetStats/StatsReply.
-inline constexpr std::uint16_t kProtocolVersion = 2;
+/// GetStats/StatsReply.  v3 added the DFG compile service messages
+/// (SubmitDfg/DfgCompiled/SubmitDfgJob) — v1/v2 byte layouts are
+/// untouched, and v3 changes no existing payload.
+inline constexpr std::uint16_t kProtocolVersion = 3;
 /// Oldest protocol still accepted (v1 clients round-trip unchanged).
 inline constexpr std::uint16_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 12;
@@ -91,6 +93,9 @@ enum class MsgType : std::uint16_t {
   kDrainAck = 9,
   kGetStats = 10,      ///< v2: u32 flags (kStatsIncludeFlight)
   kStatsReply = 11,    ///< v2: StatsReplyMsg
+  kSubmitDfg = 12,     ///< v3: SubmitDfgMsg — compile + cache only
+  kDfgCompiled = 13,   ///< v3: DfgCompiledMsg
+  kSubmitDfgJob = 14,  ///< v3: SubmitDfgJobMsg — compile + execute
 };
 
 /// GetStats flag: also ship the flight recorder's captured ring.
@@ -240,6 +245,67 @@ struct StatsReplyMsg {
 };
 
 // ---------------------------------------------------------------------------
+// DFG compile-service messages (v3).  The graph travels as the
+// canonical svc/dfg_codec blob — the server hashes the bytes for its
+// compiled-program cache, so identical graphs always hit.
+
+/// Cap on the input streams of one SubmitDfgJob, checked before any
+/// stream is buffered (layer-0 lanes bound real inputs far lower).
+inline constexpr std::size_t kMaxDfgJobStreams = 256;
+
+/// Compile (or cache-hit) a DFG for a geometry without running it.
+struct SubmitDfgMsg {
+  std::uint32_t tag = 0;
+  RingGeometry geometry{8, 2, 16};
+  std::vector<std::uint8_t> dfg;  ///< canonical dfg_codec blob
+  std::uint64_t trace_id = 0;
+
+  bool operator==(const SubmitDfgMsg&) const = default;
+};
+
+/// One mapped output's wire metadata (name + de-lacing coordinates).
+struct DfgOutputMetaMsg {
+  std::string name;
+  std::uint16_t latency = 0;
+  std::uint16_t push_rank = 0;
+
+  bool operator==(const DfgOutputMetaMsg&) const = default;
+};
+
+/// The compile service's answer: content hash, cache outcome and the
+/// mapped program's shape — everything a client needs to size inputs
+/// and interpret a later job's streams.
+struct DfgCompiledMsg {
+  std::uint32_t tag = 0;
+  std::uint64_t dfg_hash = 0;
+  std::uint8_t cache_hit = 0;
+  std::uint32_t compile_us = 0;  ///< 0 on cache hits (no compile ran)
+  std::uint16_t dnodes_used = 0;
+  std::uint16_t max_latency = 0;
+  std::uint16_t pushes_per_cycle = 0;
+  std::uint16_t input_count = 0;
+  std::vector<DfgOutputMetaMsg> outputs;
+
+  bool operator==(const DfgCompiledMsg&) const = default;
+};
+
+/// Compile (or cache-hit) a DFG and run it over the given input
+/// streams (one per DFG input, equal lengths).  Answered with the
+/// existing JobResult message whose outputs are the de-laced output
+/// streams concatenated in Dfg output order; the counters slice gains
+/// svc.dfg.outputs / svc.dfg.samples / svc.dfg.cache_hit / svc.dfg.hash
+/// so the client can split the flat words back into streams.
+struct SubmitDfgJobMsg {
+  std::uint32_t tag = 0;
+  RingGeometry geometry{8, 2, 16};
+  std::vector<std::uint8_t> dfg;  ///< canonical dfg_codec blob
+  std::vector<std::vector<Word>> streams;
+  std::uint64_t trace_id = 0;
+
+  bool operator==(const SubmitDfgJobMsg&) const = default;
+};
+
+// ---------------------------------------------------------------------------
 // Framing
 
 struct Frame {
@@ -292,6 +358,17 @@ std::uint32_t decode_get_stats(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_stats_reply(const StatsReplyMsg& msg);
 StatsReplyMsg decode_stats_reply(std::span<const std::uint8_t> payload);
+
+// v3-only payloads (DFG compile service); the layouts are pinned by
+// tests/test_net_protocol.cpp like every other message.
+std::vector<std::uint8_t> encode_submit_dfg(const SubmitDfgMsg& msg);
+SubmitDfgMsg decode_submit_dfg(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_dfg_compiled(const DfgCompiledMsg& msg);
+DfgCompiledMsg decode_dfg_compiled(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_submit_dfg_job(const SubmitDfgJobMsg& msg);
+SubmitDfgJobMsg decode_submit_dfg_job(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_error(const ErrorMsg& msg);
 ErrorMsg decode_error(std::span<const std::uint8_t> payload);

@@ -16,6 +16,7 @@
 
 #include "obs/quantile.hpp"
 #include "obs/span.hpp"
+#include "svc/dfg_job.hpp"
 
 namespace sring::net {
 
@@ -67,6 +68,7 @@ void signal_drain_handler(int) {
 
 Server::Server(ServerConfig config)
     : config_(std::move(config)),
+      compile_(config_.compile),
       sampler_(obs::SamplerConfig{
           config_.sampler_capacity,
           {"net.jobs.completed", "net.jobs.failed", "net.bytes.in",
@@ -248,6 +250,14 @@ void Server::handle_submit(Conn& conn, const Frame& frame) {
     send_error(conn, req.tag, ErrorCode::kBadRequest, e.what());
     return;
   }
+  admit_job(conn, std::move(job), req.tag, req.trace_id, frame.version,
+            nullptr, 0, false);
+}
+
+void Server::admit_job(Conn& conn, rt::Job job, std::uint32_t tag,
+                       std::uint64_t trace_id, std::uint16_t version,
+                       std::shared_ptr<const svc::CompiledDfg> dfg,
+                       std::size_t dfg_samples, bool dfg_cache_hit) {
   const int wake_fd = wake_w_;
   std::string job_name = job.name;
   // Admission is stamped before the enqueue: a worker may arm the job
@@ -261,12 +271,15 @@ void Server::handle_submit(Conn& conn, const Frame& frame) {
     case rt::Runtime::SubmitStatus::kAccepted: {
       PendingJob pj;
       pj.conn_id = conn.id;
-      pj.tag = req.tag;
+      pj.tag = tag;
       pj.result = std::move(submitted.result);
-      pj.trace_id = req.trace_id;
+      pj.trace_id = trace_id;
       pj.job_name = std::move(job_name);
-      pj.version = frame.version;
+      pj.version = version;
       pj.admitted = admitted;
+      pj.dfg = std::move(dfg);
+      pj.dfg_samples = dfg_samples;
+      pj.dfg_cache_hit = dfg_cache_hit;
       pending_.push_back(std::move(pj));
       ++conn.pending_jobs;
       counters_.jobs_submitted.fetch_add(1, std::memory_order_relaxed);
@@ -274,15 +287,122 @@ void Server::handle_submit(Conn& conn, const Frame& frame) {
     }
     case rt::Runtime::SubmitStatus::kQueueFull:
       counters_.rejects_busy.fetch_add(1, std::memory_order_relaxed);
-      send_error(conn, req.tag, ErrorCode::kBusy,
+      send_error(conn, tag, ErrorCode::kBusy,
                  "job queue is full — resubmit later");
       break;
     case rt::Runtime::SubmitStatus::kShutDown:
       counters_.rejects_shutdown.fetch_add(1, std::memory_order_relaxed);
-      send_error(conn, req.tag, ErrorCode::kShuttingDown,
+      send_error(conn, tag, ErrorCode::kShuttingDown,
                  "runtime is shut down");
       break;
   }
+}
+
+namespace {
+
+DfgCompiledMsg make_dfg_compiled_msg(std::uint32_t tag,
+                                     const svc::CompiledDfg& compiled,
+                                     bool cache_hit) {
+  const mapper::MappedProgram& mapped = compiled.mapped;
+  DfgCompiledMsg msg;
+  msg.tag = tag;
+  msg.dfg_hash = compiled.dfg_hash;
+  msg.cache_hit = cache_hit ? 1 : 0;
+  // Hits report 0: no compile ran, so there is no cost to report.
+  msg.compile_us = cache_hit ? 0 : clamp_u32(compiled.compile_us);
+  msg.dnodes_used = static_cast<std::uint16_t>(mapped.dnodes_used);
+  msg.max_latency = static_cast<std::uint16_t>(mapped.max_latency);
+  msg.pushes_per_cycle =
+      static_cast<std::uint16_t>(mapped.pushes_per_cycle);
+  msg.input_count = static_cast<std::uint16_t>(mapped.input_count);
+  for (const mapper::MappedOutput& mo : mapped.outputs) {
+    DfgOutputMetaMsg meta;
+    meta.name = mo.name;
+    meta.latency = static_cast<std::uint16_t>(mo.latency);
+    meta.push_rank = static_cast<std::uint16_t>(mo.push_rank);
+    msg.outputs.push_back(std::move(meta));
+  }
+  return msg;
+}
+
+}  // namespace
+
+void Server::handle_compile_dfg(Conn& conn, const Frame& frame) {
+  if (frame.version < 3) {
+    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, 0, ErrorCode::kBadRequest,
+               "DFG messages require protocol v3");
+    conn.closing = true;
+    return;
+  }
+  SubmitDfgMsg req;
+  try {
+    req = decode_submit_dfg(frame.payload);
+  } catch (const ProtocolError& e) {
+    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, 0, ErrorCode::kBadRequest, e.what());
+    conn.closing = true;
+    return;
+  }
+  if (drain_requested_.load(std::memory_order_acquire)) {
+    counters_.rejects_shutdown.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, req.tag, ErrorCode::kShuttingDown,
+               "server is draining");
+    return;
+  }
+  try {
+    const svc::CompileService::Result res =
+        compile_.get_or_compile(req.dfg, req.geometry);
+    send_frame(conn, MsgType::kDfgCompiled,
+               encode_dfg_compiled(make_dfg_compiled_msg(
+                   req.tag, *res.compiled, res.cache_hit)));
+  } catch (const SimError& e) {
+    // Codec / mapper / golden-model diagnostics travel verbatim; the
+    // graph was bad, not the connection, so it stays open.
+    send_error(conn, req.tag, ErrorCode::kBadRequest, e.what());
+  }
+}
+
+void Server::handle_submit_dfg(Conn& conn, const Frame& frame) {
+  if (frame.version < 3) {
+    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, 0, ErrorCode::kBadRequest,
+               "DFG messages require protocol v3");
+    conn.closing = true;
+    return;
+  }
+  SubmitDfgJobMsg req;
+  try {
+    req = decode_submit_dfg_job(frame.payload);
+  } catch (const ProtocolError& e) {
+    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, 0, ErrorCode::kBadRequest, e.what());
+    conn.closing = true;
+    return;
+  }
+  if (drain_requested_.load(std::memory_order_acquire)) {
+    counters_.rejects_shutdown.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, req.tag, ErrorCode::kShuttingDown,
+               "server is draining");
+    return;
+  }
+  // Compile (or hit the cache) BEFORE the admission stamp inside
+  // admit_job: compile latency must never appear in the job's span
+  // timeline, and a cache hit costs one hash + map lookup.
+  svc::CompileService::Result res;
+  rt::Job job;
+  try {
+    res = compile_.get_or_compile(req.dfg, req.geometry);
+    job = svc::make_dfg_job(res.compiled, req.streams);
+  } catch (const SimError& e) {
+    send_error(conn, req.tag, ErrorCode::kBadRequest, e.what());
+    return;
+  }
+  job.trace_id = req.trace_id;
+  const std::size_t samples = req.streams.empty() ? 0
+                                                  : req.streams[0].size();
+  admit_job(conn, std::move(job), req.tag, req.trace_id, frame.version,
+            std::move(res.compiled), samples, res.cache_hit);
 }
 
 void Server::handle_frame(Conn& conn, const Frame& frame) {
@@ -309,6 +429,12 @@ void Server::handle_frame(Conn& conn, const Frame& frame) {
       }
       case MsgType::kSubmitJob:
         handle_submit(conn, frame);
+        return;
+      case MsgType::kSubmitDfg:
+        handle_compile_dfg(conn, frame);
+        return;
+      case MsgType::kSubmitDfgJob:
+        handle_submit_dfg(conn, frame);
         return;
       case MsgType::kGetStats:
         send_frame(conn, MsgType::kStatsReply,
@@ -420,9 +546,35 @@ void Server::collect_completions() {
       const auto s0 = timed ? std::chrono::steady_clock::now()
                             : std::chrono::steady_clock::time_point{};
       if (result.ok) {
-        send_frame(*conn, MsgType::kJobResult,
-                   encode_job_result(make_job_result_msg(it->tag, result),
-                                     it->version));
+        JobResultMsg msg = make_job_result_msg(it->tag, result);
+        bool deliver = true;
+        if (it->dfg != nullptr) {
+          // DFG job: de-lace the raw fleet words into per-output
+          // streams, concatenated in Dfg output order.  The appended
+          // counters tell the client how to split the flat words back.
+          try {
+            const auto streams = svc::delace_outputs(
+                *it->dfg, result.outputs, it->dfg_samples);
+            msg.outputs.clear();
+            for (const auto& s : streams) {
+              msg.outputs.insert(msg.outputs.end(), s.begin(), s.end());
+            }
+            msg.counters.emplace_back("svc.dfg.outputs", streams.size());
+            msg.counters.emplace_back("svc.dfg.samples", it->dfg_samples);
+            msg.counters.emplace_back("svc.dfg.cache_hit",
+                                      it->dfg_cache_hit ? 1 : 0);
+            msg.counters.emplace_back("svc.dfg.hash", it->dfg->dfg_hash);
+          } catch (const SimError& e) {
+            // Raw stream shorter than the program promises — a server
+            // bug, not a client one; answer it without crashing.
+            send_error(*conn, it->tag, ErrorCode::kInternal, e.what());
+            deliver = false;
+          }
+        }
+        if (deliver) {
+          send_frame(*conn, MsgType::kJobResult,
+                     encode_job_result(msg, it->version));
+        }
       } else {
         // SimError text travels verbatim; the client re-raises it.
         send_error(*conn, it->tag, ErrorCode::kJobFailed, result.error);
@@ -683,6 +835,7 @@ obs::Registry Server::metrics() const {
   out.counter("net.jobs.failed").set(get(counters_.jobs_failed));
   out.counter("net.drains").set(get(counters_.drains));
   out.merge_from(runtime_->metrics());
+  out.merge_from(compile_.metrics());
   {
     std::lock_guard lock(telemetry_mu_);
     out.merge_from(latency_);

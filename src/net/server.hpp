@@ -36,6 +36,7 @@
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "rt/runtime.hpp"
+#include "svc/compile_service.hpp"
 
 namespace sring::net {
 
@@ -47,6 +48,9 @@ struct ServerConfig {
 
   std::size_t max_connections = 64;
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// DFG compile service shape (cache capacity, validation depth).
+  svc::CompileServiceConfig compile;
 
   /// Idle cutoff for a connection with no pending jobs; activity on
   /// the socket or a job completion resets it.  Also applies to
@@ -137,6 +141,11 @@ class Server {
     std::string job_name;        ///< for the flight recorder
     std::uint16_t version = kProtocolVersion;  ///< reply frame version
     std::chrono::steady_clock::time_point admitted;  ///< e2e epoch
+    /// Set for DFG jobs: the raw fleet outputs are de-laced through the
+    /// compiled program's output metadata before the reply is encoded.
+    std::shared_ptr<const svc::CompiledDfg> dfg;
+    std::size_t dfg_samples = 0;
+    bool dfg_cache_hit = false;
   };
 
   void send_frame(Conn& conn, MsgType type,
@@ -145,6 +154,18 @@ class Server {
                   const std::string& message);
   void handle_frame(Conn& conn, const Frame& frame);
   void handle_submit(Conn& conn, const Frame& frame);
+  void handle_submit_dfg(Conn& conn, const Frame& frame);
+  void handle_compile_dfg(Conn& conn, const Frame& frame);
+  /// Shared admission tail of both submit paths: stamp the e2e epoch,
+  /// try_submit to the fleet, answer Busy/ShuttingDown, or register the
+  /// PendingJob.  For DFG jobs `dfg`/`dfg_samples`/`dfg_cache_hit`
+  /// carry the de-lacing context; admission is stamped AFTER the
+  /// compile phase, so compile latency never enters the job's span
+  /// timeline.
+  void admit_job(Conn& conn, rt::Job job, std::uint32_t tag,
+                 std::uint64_t trace_id, std::uint16_t version,
+                 std::shared_ptr<const svc::CompiledDfg> dfg,
+                 std::size_t dfg_samples, bool dfg_cache_hit);
   /// Fold one finished job into the latency histograms + recorder.
   void record_completion(const PendingJob& pending,
                          const rt::JobResult& result,
@@ -162,6 +183,7 @@ class Server {
 
   ServerConfig config_;
   std::unique_ptr<rt::Runtime> runtime_;
+  svc::CompileService compile_;  ///< poll-thread compile + cache
   int listen_fd_ = -1;
   int wake_r_ = -1;
   int wake_w_ = -1;

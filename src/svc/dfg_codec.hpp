@@ -1,0 +1,69 @@
+// Canonical binary serialization of mapper::Dfg graphs — the wire
+// representation of the DFG compile service (docs/MAPPER.md).
+//
+// The encoding is *canonical*: one graph has exactly one byte string
+// (nodes in id order, every field fixed-width or length-prefixed, no
+// optional forms), so re-encoding a decoded blob reproduces the input
+// bytes and the FNV-1a content hash is a stable identity — the compile
+// cache key.  Decoding is total: malformed or oversized bytes always
+// raise SimError (the server answers Error{kBadRequest}), never crash.
+//
+// Blob layout (all integers little-endian):
+//
+//   offset  size  field
+//        0     4  magic "SDFG"
+//        4     2  codec version (kDfgCodecVersion)
+//        6     4  node count (1..kMaxDfgNodes)
+//             ...  node records, in node-id order
+//             u32  output count (0..kMaxDfgOutputs)
+//             u32  output node ids
+//
+// Node record: op u8, declared arity u8 (must equal dfg_arity(op)),
+// operand ids u32 (one per arity), const value u16 (kConst only),
+// delay u32 (kDelay only, 1..kMaxDfgDelay), name u8 length + bytes
+// (every node, possibly empty).  A delay operand may reference a later
+// node — recursive graphs decode fine and fail in map_dfg with its own
+// diagnostic, which is exactly the error the client should see.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mapper/dfg.hpp"
+
+namespace sring::svc {
+
+inline constexpr std::uint8_t kDfgMagic[4] = {'S', 'D', 'F', 'G'};
+inline constexpr std::uint16_t kDfgCodecVersion = 1;
+
+/// Bounds enforced by both encode and decode, so every accepted blob
+/// round-trips and no blob demands unbounded memory before validation.
+inline constexpr std::size_t kMaxDfgNodes = 4096;
+inline constexpr std::size_t kMaxDfgOutputs = 256;
+inline constexpr std::size_t kMaxDfgNameBytes = 64;
+inline constexpr unsigned kMaxDfgDelay = 4096;
+/// Upper bound on a whole blob; checked before any per-node work.
+inline constexpr std::size_t kMaxDfgBlobBytes = 1u << 20;
+
+/// Canonical encoding of a structurally valid graph.  Throws SimError
+/// when the graph exceeds the codec bounds above.
+std::vector<std::uint8_t> encode_dfg(const mapper::Dfg& dfg);
+
+/// Decode + structural validation (operand references, arities,
+/// bounds).  Zero outputs are accepted here — `Dfg::validate()` owns
+/// that diagnostic, so an output-less graph surfaces the mapper's text
+/// verbatim.  Throws SimError on any malformed byte.
+mapper::Dfg decode_dfg(std::span<const std::uint8_t> bytes);
+
+/// FNV-1a 64-bit over the canonical bytes — the compile-cache key.
+std::uint64_t dfg_hash(std::span<const std::uint8_t> canonical_bytes);
+
+/// Convenience: encode + hash.
+std::uint64_t dfg_hash(const mapper::Dfg& dfg);
+
+/// 16 lowercase hex digits (program keys, job names, logs).
+std::string dfg_hash_hex(std::uint64_t hash);
+
+}  // namespace sring::svc

@@ -1,0 +1,38 @@
+// Compiled-DFG jobs for the batch runtime — tentpole (d) of the
+// compile service: once a graph is compiled and cached, its jobs flow
+// through the existing worker fleet, superstep engine and telemetry
+// spans exactly like the named kernels do.
+//
+// The feed/budget/slice arithmetic here mirrors mapper::run_mapped
+// word for word (pad by max_latency, interleave one sample per input
+// stream per cycle, budget 64 + 8*feed cycles), so a DFG job executed
+// by rt::Runtime is bit-identical to a local run_mapped call — the
+// loopback acceptance test holds exactly that.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "rt/job.hpp"
+#include "svc/compile_service.hpp"
+
+namespace sring::svc {
+
+/// Package a compiled DFG over equal-length input streams as an
+/// rt::Job.  The job shares `compiled` (aliasing pointer into its
+/// MappedProgram — no program copy) and stamps compiled->program_key,
+/// so the SystemPool re-arms instead of reloading between jobs of the
+/// same graph.  Outputs are the *raw* interleaved host words; split
+/// them with delace_outputs.  Throws SimError on stream mismatch.
+rt::Job make_dfg_job(const std::shared_ptr<const CompiledDfg>& compiled,
+                     const std::vector<std::vector<Word>>& input_streams);
+
+/// De-lace a finished DFG job's raw output words into per-output
+/// streams of `samples` words, in Dfg output order (bit-identical to
+/// mapper::run_mapped).  Throws SimError if `raw` is too short.
+std::vector<std::vector<Word>> delace_outputs(const CompiledDfg& compiled,
+                                              std::span<const Word> raw,
+                                              std::size_t samples);
+
+}  // namespace sring::svc

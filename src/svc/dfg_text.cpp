@@ -1,0 +1,224 @@
+#include "svc/dfg_text.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "svc/dfg_codec.hpp"
+
+namespace sring::svc {
+
+namespace {
+
+using mapper::Dfg;
+using mapper::DfgOp;
+using mapper::NodeId;
+
+/// A token plus its 1-based column (for diagnostics).
+struct Token {
+  std::string_view text;
+  std::size_t col = 0;
+};
+
+[[noreturn]] void fail(std::size_t line, std::size_t col,
+                       const std::string& message) {
+  throw SimError("dfg:" + std::to_string(line) + ":" + std::to_string(col) +
+                 ": " + message);
+}
+
+std::vector<Token> tokenize(std::string_view line) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (line[i] == '#') break;  // comment to end of line
+    if (std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != '#' &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    tokens.push_back({line.substr(start, i - start), start + 1});
+  }
+  return tokens;
+}
+
+bool valid_name(std::string_view s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') {
+    return false;
+  }
+  for (const char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '.') {
+      return false;
+    }
+  }
+  return true;
+}
+
+const std::unordered_map<std::string_view, DfgOp>& op_table() {
+  static const std::unordered_map<std::string_view, DfgOp> table = {
+      {"input", DfgOp::kInput},     {"const", DfgOp::kConst},
+      {"add", DfgOp::kAdd},         {"sub", DfgOp::kSub},
+      {"mul", DfgOp::kMul},         {"absdiff", DfgOp::kAbsdiff},
+      {"min", DfgOp::kMin},         {"max", DfgOp::kMax},
+      {"and", DfgOp::kAnd},         {"or", DfgOp::kOr},
+      {"xor", DfgOp::kXor},         {"shl", DfgOp::kShl},
+      {"asr", DfgOp::kAsr},         {"pass", DfgOp::kPass},
+      {"not", DfgOp::kNot},         {"abs", DfgOp::kAbs},
+      {"delay", DfgOp::kDelay},
+  };
+  return table;
+}
+
+/// Parse a signed/hex integer literal; the DFG's constants are 16-bit
+/// words, so the accepted range is [-32768, 65535].
+long parse_int(const Token& tok, std::size_t line, long lo, long hi,
+               const char* what) {
+  const std::string s(tok.text);
+  std::size_t used = 0;
+  long value = 0;
+  try {
+    value = std::stol(s, &used, 0);
+  } catch (const std::exception&) {
+    fail(line, tok.col, std::string("expected ") + what + ", got '" + s + "'");
+  }
+  if (used != s.size()) {
+    fail(line, tok.col, std::string("expected ") + what + ", got '" + s + "'");
+  }
+  if (value < lo || value > hi) {
+    fail(line, tok.col,
+         std::string(what) + " " + s + " outside " + std::to_string(lo) +
+             ".." + std::to_string(hi));
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string_view dfg_op_name(DfgOp op) {
+  for (const auto& [name, o] : op_table()) {
+    if (o == op) return name;
+  }
+  return "?";
+}
+
+mapper::Dfg parse_dfg_text(std::string_view text) {
+  Dfg dfg;
+  std::unordered_map<std::string, NodeId> by_name;
+
+  const auto resolve = [&](const Token& tok, std::size_t line) -> NodeId {
+    const auto it = by_name.find(std::string(tok.text));
+    if (it == by_name.end()) {
+      fail(line, tok.col,
+           "unknown operand '" + std::string(tok.text) +
+               "' (operands must be defined on an earlier line)");
+    }
+    return it->second;
+  };
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? text.size() - pos
+                                                       : eol - pos);
+    ++line_no;
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+
+    const std::vector<Token> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens.size() < 2) {
+      fail(line_no, tokens[0].col,
+           "expected 'name op args...', got only '" +
+               std::string(tokens[0].text) + "'");
+    }
+
+    const Token& name_tok = tokens[0];
+    const Token& op_tok = tokens[1];
+    if (!valid_name(name_tok.text)) {
+      fail(line_no, name_tok.col,
+           "bad name '" + std::string(name_tok.text) +
+               "' (want [A-Za-z_][A-Za-z0-9_.]*)");
+    }
+    const std::string name(name_tok.text);
+    const bool is_output = op_tok.text == "output";
+    DfgOp op = DfgOp::kPass;
+    if (!is_output) {
+      const auto op_it = op_table().find(op_tok.text);
+      if (op_it == op_table().end()) {
+        fail(line_no, op_tok.col,
+             "unknown op '" + std::string(op_tok.text) + "'");
+      }
+      op = op_it->second;
+    }
+
+    const auto expect_args = [&](std::size_t want) {
+      if (tokens.size() - 2 != want) {
+        fail(line_no, tokens.size() - 2 > want ? tokens[2 + want].col
+                                               : op_tok.col,
+             "op '" + std::string(op_tok.text) + "' expects " +
+                 std::to_string(want) + " argument(s), got " +
+                 std::to_string(tokens.size() - 2));
+      }
+    };
+
+    if (is_output) {
+      expect_args(1);
+      const NodeId src = resolve(tokens[2], line_no);
+      dfg.mark_output(src, name);
+      continue;  // outputs name an existing node, they define nothing new
+    }
+    if (by_name.count(name) != 0) {
+      fail(line_no, name_tok.col, "duplicate name '" + name + "'");
+    }
+
+    NodeId id = 0;
+    switch (op) {
+      case DfgOp::kInput:
+        expect_args(0);
+        id = dfg.add_input(name);
+        break;
+      case DfgOp::kConst: {
+        expect_args(1);
+        const long v =
+            parse_int(tokens[2], line_no, -32768, 65535, "constant");
+        id = dfg.add_const(static_cast<Word>(v));
+        break;
+      }
+      case DfgOp::kDelay: {
+        expect_args(2);
+        const NodeId src = resolve(tokens[2], line_no);
+        const long k = parse_int(tokens[3], line_no, 1,
+                                 static_cast<long>(kMaxDfgDelay), "delay");
+        id = dfg.add_delay(src, static_cast<unsigned>(k));
+        break;
+      }
+      default: {
+        const unsigned arity = mapper::dfg_arity(op);
+        expect_args(arity);
+        if (arity == 1) {
+          id = dfg.add_unary(op, resolve(tokens[2], line_no));
+        } else {
+          // Resolve left-to-right so the error position is deterministic
+          // (argument evaluation order would not be).
+          const NodeId a = resolve(tokens[2], line_no);
+          const NodeId b = resolve(tokens[3], line_no);
+          id = dfg.add_binary(op, a, b);
+        }
+        break;
+      }
+    }
+    by_name.emplace(name, id);
+  }
+  return dfg;
+}
+
+}  // namespace sring::svc

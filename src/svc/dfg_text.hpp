@@ -1,0 +1,35 @@
+// Line-oriented text format for dataflow graphs — the human front end
+// of the DFG compile service (`sras map --dfg-file`, tests, docs).
+//
+// One definition per line: `name op args...`, `#` starts a comment.
+//
+//   x    input            # one host stream
+//   k    const -7         # 16-bit constant (decimal, or 0x hex)
+//   m    mul x k
+//   d    delay m 2        # z^-2
+//   y    add m d
+//   out  output y         # output stream, named "out"
+//
+// Operand names must be defined on an earlier line (the text format is
+// topological by construction, so it cannot express recursive graphs —
+// those exist only at the wire level via Dfg::assemble, where map_dfg
+// rejects them).  Every diagnostic is a SimError prefixed
+// "dfg:<line>:<column>:" with 1-based positions of the offending token.
+#pragma once
+
+#include <string_view>
+
+#include "mapper/dfg.hpp"
+
+namespace sring::svc {
+
+/// Parse the text format into a Dfg.  Throws SimError with precise
+/// line/column positions on any malformed line.  The result is NOT yet
+/// validated (call dfg.validate(); an output-less file parses fine and
+/// fails there, matching the service's error path).
+mapper::Dfg parse_dfg_text(std::string_view text);
+
+/// Keyword of an op in the text format ("add", "delay", ...).
+std::string_view dfg_op_name(mapper::DfgOp op);
+
+}  // namespace sring::svc

@@ -1,0 +1,149 @@
+// The DFG text front end (svc/dfg_text): a parsed file must mean
+// exactly what the equivalent builder calls mean (same canonical
+// bytes), and every malformed line must be rejected with a precise
+// 1-based "dfg:<line>:<col>:" position.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "mapper/dfg.hpp"
+#include "svc/dfg_codec.hpp"
+#include "svc/dfg_text.hpp"
+
+namespace sring::svc {
+namespace {
+
+using mapper::Dfg;
+using mapper::DfgOp;
+using mapper::NodeId;
+
+/// Expect parse_dfg_text to fail with a message starting with the
+/// given "dfg:<line>:<col>:" prefix.
+void expect_error_at(const std::string& text, const std::string& prefix) {
+  try {
+    (void)parse_dfg_text(text);
+    FAIL() << "parsed despite expecting '" << prefix << "'";
+  } catch (const SimError& e) {
+    EXPECT_EQ(std::string(e.what()).rfind(prefix, 0), 0u)
+        << "got: " << e.what();
+  }
+}
+
+TEST(DfgText, ParsesTheDocExampleToTheSameCanonicalBytes) {
+  const char* text =
+      "# 5-node example from the header comment\n"
+      "x    input\n"
+      "k    const -7\n"
+      "m    mul x k\n"
+      "d    delay m 2   # z^-2\n"
+      "y    add m d\n"
+      "out  output y\n";
+  const Dfg parsed = parse_dfg_text(text);
+
+  Dfg built;
+  const NodeId x = built.add_input("x");
+  const NodeId k = built.add_const(static_cast<Word>(-7));
+  const NodeId m = built.add_binary(DfgOp::kMul, x, k);
+  const NodeId d = built.add_delay(m, 2);
+  const NodeId y = built.add_binary(DfgOp::kAdd, m, d);
+  built.mark_output(y, "out");
+
+  EXPECT_EQ(encode_dfg(parsed), encode_dfg(built));
+  EXPECT_EQ(dfg_hash(parsed), dfg_hash(built));
+}
+
+TEST(DfgText, HexAndDecimalConstantsAndDottedNames) {
+  const Dfg dfg = parse_dfg_text(
+      "a.in input\n"
+      "h    const 0x7fff\n"
+      "z    const 65535\n"
+      "s    shl a.in h\n"
+      "y    xor s z\n"
+      "y.out output y\n");
+  ASSERT_EQ(dfg.nodes().size(), 5u);
+  EXPECT_EQ(dfg.nodes()[1].value, Word{0x7fff});
+  EXPECT_EQ(static_cast<std::uint16_t>(dfg.nodes()[2].value), 0xFFFFu);
+  ASSERT_EQ(dfg.outputs().size(), 1u);
+  EXPECT_EQ(dfg.node(dfg.outputs()[0]).op, DfgOp::kXor);
+}
+
+TEST(DfgText, OutputLessFileParsesAndFailsOnlyInValidate) {
+  // Matches the service's error path: the parser accepts it, the
+  // mapper's own "at least one output" diagnostic fires in validate().
+  const Dfg dfg = parse_dfg_text("x input\ny abs x\n");
+  EXPECT_THROW(dfg.validate(), SimError);
+}
+
+TEST(DfgText, UnknownOpPointsAtTheOpToken) {
+  expect_error_at("x input\ny frobnicate x\n", "dfg:2:3:");
+}
+
+TEST(DfgText, UnknownOperandPointsAtTheOperandToken) {
+  expect_error_at("x input\ny add x ghost\n", "dfg:2:9:");
+}
+
+TEST(DfgText, ForwardReferenceIsAnUnknownOperand) {
+  // The text format is topological by construction — using a name
+  // before its line is the same error as never defining it.
+  expect_error_at("y add x x\nx input\n", "dfg:1:7:");
+}
+
+TEST(DfgText, DuplicateNamePointsAtTheSecondDefinition) {
+  expect_error_at("x input\nx const 1\n", "dfg:2:1:");
+}
+
+TEST(DfgText, ArityMismatchReportsCounts) {
+  try {
+    (void)parse_dfg_text("x input\ny add x\n");
+    FAIL();
+  } catch (const SimError& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.rfind("dfg:2:", 0), 0u) << what;
+    EXPECT_NE(what.find("expects 2 argument(s), got 1"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(DfgText, ExtraArgumentPointsAtTheFirstExcessToken) {
+  expect_error_at("x input\ny abs x x\n", "dfg:2:9:");
+}
+
+TEST(DfgText, ConstantRangeIsEnforced) {
+  expect_error_at("k const 70000\n", "dfg:1:9:");
+  expect_error_at("k const -40000\n", "dfg:1:9:");
+  expect_error_at("k const banana\n", "dfg:1:9:");
+}
+
+TEST(DfgText, DelayRangeMatchesTheCodecBound) {
+  // The parser caps delays exactly where the codec does, so anything
+  // it accepts also encodes.
+  expect_error_at("x input\nd delay x 0\n", "dfg:2:11:");
+  expect_error_at("x input\nd delay x " +
+                      std::to_string(kMaxDfgDelay + 1) + "\n",
+                  "dfg:2:11:");
+  const Dfg ok = parse_dfg_text("x input\nd delay x " +
+                                std::to_string(kMaxDfgDelay) +
+                                "\no output d\n");
+  EXPECT_EQ(ok.nodes()[1].delay, kMaxDfgDelay);
+  EXPECT_FALSE(encode_dfg(ok).empty());
+}
+
+TEST(DfgText, BadNameAndLoneTokenDiagnostics) {
+  expect_error_at("1bad input\n", "dfg:1:1:");
+  expect_error_at("x\n", "dfg:1:1:");
+}
+
+TEST(DfgText, ColumnsCountLeadingWhitespace) {
+  // Two spaces of indent: the name starts at column 3, the bogus op
+  // at column 9 (1-based, whitespace included).
+  expect_error_at("  x     whoosh\n", "dfg:1:9:");
+}
+
+TEST(DfgText, CommentOnlyAndBlankLinesKeepLineNumbers) {
+  expect_error_at("# header\n\n   # indented comment\nx oops\n",
+                  "dfg:4:3:");
+}
+
+}  // namespace
+}  // namespace sring::svc

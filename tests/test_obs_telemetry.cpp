@@ -4,8 +4,10 @@
 // per-job stamping cost is a bounded fraction of real job wall time.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -308,22 +310,29 @@ TEST(RtTelemetry, StampingOverheadIsBoundedFractionOfJobTime) {
 
   // Direct cost of the full 5-stamp lifecycle, amortized over many
   // timelines (steady_clock reads dominate; everything else is array
-  // stores).
-  constexpr std::size_t kTimelines = 100000;
+  // stores).  Best of several rounds: preemption by other test
+  // processes (ctest -j on a small host) only ever inflates a round,
+  // so the minimum is the honest estimate of the stamping cost.
+  constexpr std::size_t kTimelines = 20000;
+  constexpr int kRounds = 5;
   std::vector<SpanTimeline> tls(64);
-  const auto c0 = std::chrono::steady_clock::now();
-  for (std::size_t i = 0; i < kTimelines; ++i) {
-    SpanTimeline& tl = tls[i % tls.size()];
-    tl.stamp(SpanTimeline::kEnqueued);
-    tl.stamp(SpanTimeline::kDequeued);
-    tl.stamp(SpanTimeline::kArmed);
-    tl.stamp(SpanTimeline::kExecuted);
-    tl.stamp(SpanTimeline::kCompleted);
+  double per_job_ns = std::numeric_limits<double>::infinity();
+  for (int round = 0; round < kRounds; ++round) {
+    const auto c0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kTimelines; ++i) {
+      SpanTimeline& tl = tls[i % tls.size()];
+      tl.stamp(SpanTimeline::kEnqueued);
+      tl.stamp(SpanTimeline::kDequeued);
+      tl.stamp(SpanTimeline::kArmed);
+      tl.stamp(SpanTimeline::kExecuted);
+      tl.stamp(SpanTimeline::kCompleted);
+    }
+    const auto c1 = std::chrono::steady_clock::now();
+    per_job_ns = std::min(
+        per_job_ns,
+        std::chrono::duration<double, std::nano>(c1 - c0).count() /
+            static_cast<double>(kTimelines));
   }
-  const auto c1 = std::chrono::steady_clock::now();
-  const double per_job_ns =
-      std::chrono::duration<double, std::nano>(c1 - c0).count() /
-      static_cast<double>(kTimelines);
 
   // Real mean job wall time on this host, measured from the jobs'
   // own telemetry (execute phase only — the most conservative
