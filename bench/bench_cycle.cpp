@@ -19,6 +19,7 @@
 //
 // Usage:
 //   bench_cycle [--samples N] [--reps N] [--json <path>]
+//               [--min-speedup X]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -69,6 +70,10 @@ std::string arch_stats_string(SystemStats s) {
   s.plan_compiles = 0;
   s.plan_hits = 0;
   s.plan_invalidations = 0;
+  s.plan_content_hits = 0;
+  s.plan_evictions = 0;
+  s.plan_seq_fusions = 0;
+  s.plan_seq_hits = 0;
   return s.to_string();
 }
 
@@ -106,6 +111,12 @@ struct RunMeasure {
   std::string full_stats;  ///< SystemStats including the plan counters
   std::string metrics;     ///< metrics minus ring.superstep.*
   std::uint64_t plan_hits = 0;
+  std::uint64_t plan_compiles = 0;
+  std::uint64_t plan_invalidations = 0;
+  std::uint64_t plan_content_hits = 0;
+  std::uint64_t plan_evictions = 0;
+  std::uint64_t plan_seq_fusions = 0;
+  std::uint64_t plan_seq_hits = 0;
 };
 
 /// One timed run of a job on the chosen execution path.  The
@@ -138,6 +149,12 @@ RunMeasure timed_run(const rt::Job& job, Path path) {
   m.full_stats = sys.stats().to_string();
   m.metrics = metrics_without_superstep(sys.metrics());
   m.plan_hits = sys.ring().plan_hits();
+  m.plan_compiles = sys.ring().plan_compiles();
+  m.plan_invalidations = sys.ring().plan_invalidations();
+  m.plan_content_hits = sys.ring().plan_content_hits();
+  m.plan_evictions = sys.ring().plan_evictions();
+  m.plan_seq_fusions = sys.ring().plan_seq_fusions();
+  m.plan_seq_hits = sys.ring().plan_seq_hits();
   return m;
 }
 
@@ -146,6 +163,15 @@ struct KernelPoint {
   std::uint64_t cycles = 0;
   double cps[kPathCount] = {0.0, 0.0, 0.0};  ///< cycles/s per Path
   double plan_hit_rate = 0.0;
+  std::uint64_t plan_compiles = 0;
+  std::uint64_t plan_invalidations = 0;
+  /// Detaches whose rewritten content re-attached a cached plan — the
+  /// recompiles the content-keyed cache avoided.  True misses (content
+  /// never seen compiled before) = invalidations - content_hits.
+  std::uint64_t plan_content_hits = 0;
+  std::uint64_t plan_evictions = 0;
+  std::uint64_t plan_seq_fusions = 0;
+  std::uint64_t plan_seq_hits = 0;
   std::uint64_t outputs_fnv64 = 0;
 };
 
@@ -178,6 +204,12 @@ KernelPoint measure(const rt::Job& job, std::size_t reps) {
     p.cycles = super.cycles;
     p.plan_hit_rate = static_cast<double>(super.plan_hits) /
                       static_cast<double>(super.cycles);
+    p.plan_compiles = super.plan_compiles;
+    p.plan_invalidations = super.plan_invalidations;
+    p.plan_content_hits = super.plan_content_hits;
+    p.plan_evictions = super.plan_evictions;
+    p.plan_seq_fusions = super.plan_seq_fusions;
+    p.plan_seq_hits = super.plan_seq_hits;
     p.outputs_fnv64 = fnv64(super.outputs);
     for (std::size_t path = 0; path < kPathCount; ++path) {
       const double cps =
@@ -201,6 +233,13 @@ int main(int argc, char** argv) {
     const std::size_t reps = std::strtoul(
         obs::extract_option(argc, argv, "--reps").value_or("5").c_str(),
         nullptr, 10);
+    // Regression gate: fail the run unless every kernel's end-to-end
+    // speedup (superstep vs interpreter) is at least this factor.  0
+    // (the default) disables the gate; the CI smoke passes 1.0 so the
+    // compiled paths may never fall behind the interpreter.
+    const double min_speedup = std::strtod(
+        obs::extract_option(argc, argv, "--min-speedup").value_or("0").c_str(),
+        nullptr);
     check(samples >= 16, "bench_cycle: --samples must be at least 16");
     check(reps >= 1, "bench_cycle: --reps must be at least 1");
 
@@ -254,15 +293,42 @@ int main(int argc, char** argv) {
     points.reserve(jobs.size());
     for (const rt::Job& job : jobs) points.push_back(measure(job, reps));
 
+    double worst_speedup = 0.0;
+    std::string worst_kernel;
     for (const auto& p : points) {
       const double interp = p.cps[0];
       const double planned = p.cps[1];
       const double super = p.cps[2];
+      const double speedup = super / interp;
+      if (worst_kernel.empty() || speedup < worst_speedup) {
+        worst_speedup = speedup;
+        worst_kernel = p.name;
+      }
       std::printf(
           "  %-12s %8llu cycles  interp %9.0f cyc/s  planned %9.0f cyc/s"
-          "  superstep %9.0f cyc/s  speedup %.2fx  (hit rate %.1f%%)\n",
+          "  superstep %9.0f cyc/s  speedup %.2fx\n"
+          "  %-12s hit rate %.1f%%  compiles %llu  detaches %llu"
+          "  (re-attached %llu, true misses %llu)  seq fusions %llu"
+          "  seq hits %llu  evictions %llu\n",
           p.name.c_str(), static_cast<unsigned long long>(p.cycles), interp,
-          planned, super, super / interp, 100.0 * p.plan_hit_rate);
+          planned, super, speedup, "", 100.0 * p.plan_hit_rate,
+          static_cast<unsigned long long>(p.plan_compiles),
+          static_cast<unsigned long long>(p.plan_invalidations),
+          static_cast<unsigned long long>(p.plan_content_hits),
+          static_cast<unsigned long long>(p.plan_invalidations -
+                                          p.plan_content_hits),
+          static_cast<unsigned long long>(p.plan_seq_fusions),
+          static_cast<unsigned long long>(p.plan_seq_hits),
+          static_cast<unsigned long long>(p.plan_evictions));
+    }
+
+    if (min_speedup > 0.0) {
+      check(worst_speedup >= min_speedup,
+            "bench_cycle: " + worst_kernel + " speedup " +
+                std::to_string(worst_speedup) + "x below --min-speedup " +
+                std::to_string(min_speedup) + "x");
+      std::printf("bench_cycle: all kernels at or above %.2fx (worst: %s %.2fx)\n",
+                  min_speedup, worst_kernel.c_str(), worst_speedup);
     }
 
     RunReport report;
@@ -281,6 +347,14 @@ int main(int argc, char** argv) {
       jp.set("planned_cycles_per_s", p.cps[2]);
       jp.set("speedup", p.cps[2] / p.cps[0]);
       jp.set("plan_hit_rate", p.plan_hit_rate);
+      jp.set("plan_compiles", p.plan_compiles);
+      jp.set("plan_invalidations", p.plan_invalidations);
+      jp.set("plan_content_hits", p.plan_content_hits);
+      jp.set("plan_true_misses",
+             p.plan_invalidations - p.plan_content_hits);
+      jp.set("plan_evictions", p.plan_evictions);
+      jp.set("plan_seq_fusions", p.plan_seq_fusions);
+      jp.set("plan_seq_hits", p.plan_seq_hits);
       char digest[19];
       std::snprintf(digest, sizeof digest, "0x%016llx",
                     static_cast<unsigned long long>(p.outputs_fnv64));

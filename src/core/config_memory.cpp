@@ -43,6 +43,22 @@ ConfigMemory::DecodedPage ConfigMemory::decode_page(const ConfigPage& page) {
   return d;
 }
 
+std::uint64_t ConfigMemory::hash_page(const ConfigPage& page) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix64 = [&h](std::uint64_t w) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ (w & 0xFFu)) * 0x100000001b3ull;
+      w >>= 8;
+    }
+  };
+  for (const auto w : page.dnode_instr) mix64(w);
+  for (const auto m : page.dnode_mode) {
+    h = (h ^ m) * 0x100000001b3ull;
+  }
+  for (const auto w : page.switch_route) mix64(w);
+  return h;
+}
+
 ConfigMemory::ConfigMemory(const RingGeometry& g)
     : geom_(g), live_(ConfigPage::zeroed(g)) {
   geom_.validate();
@@ -50,10 +66,29 @@ ConfigMemory::ConfigMemory(const RingGeometry& g)
   route_changes_per_switch_.assign(geom_.switch_count(), 0);
 }
 
+void ConfigMemory::materialize_live() {
+  if (live_page_ < 0) return;
+  live_ = pages_[static_cast<std::size_t>(live_page_)];
+  live_decoded_ = pages_decoded_[static_cast<std::size_t>(live_page_)];
+  live_page_ = -1;
+}
+
+std::uint64_t ConfigMemory::content_hash() const {
+  if (live_page_ >= 0) {
+    return page_hashes_[static_cast<std::size_t>(live_page_)];
+  }
+  if (live_hash_gen_ != generation_) {
+    live_hash_ = hash_page(live_);
+    live_hash_gen_ = generation_;
+  }
+  return live_hash_;
+}
+
 void ConfigMemory::write_dnode_instr(std::size_t dnode,
                                      std::uint64_t encoded) {
   check(dnode < geom_.dnode_count(),
         "ConfigMemory: dnode index out of range");
+  materialize_live();
   // Decode validates eagerly: a malformed word never lands.
   live_decoded_.instr[dnode] = DnodeInstr::decode(encoded);
   live_.dnode_instr[dnode] = encoded;
@@ -64,6 +99,7 @@ void ConfigMemory::write_dnode_instr(std::size_t dnode,
 void ConfigMemory::write_dnode_mode(std::size_t dnode, DnodeMode mode) {
   check(dnode < geom_.dnode_count(),
         "ConfigMemory: dnode index out of range");
+  materialize_live();
   live_.dnode_mode[dnode] = static_cast<std::uint8_t>(mode);
   ++words_written_;
   ++generation_;
@@ -73,6 +109,7 @@ void ConfigMemory::write_switch_route(std::size_t sw, std::size_t lane,
                                       std::uint64_t encoded) {
   check(sw < geom_.switch_count(), "ConfigMemory: switch index out of range");
   check(lane < geom_.lanes, "ConfigMemory: lane index out of range");
+  materialize_live();
   const std::size_t i = sw * geom_.lanes + lane;
   SwitchRoute decoded = SwitchRoute::decode(encoded);  // validates
   if (!(decoded == live_decoded_.route[i])) {
@@ -87,6 +124,7 @@ void ConfigMemory::write_switch_route(std::size_t sw, std::size_t lane,
 void ConfigMemory::reset_live() {
   live_ = ConfigPage::zeroed(geom_);
   live_decoded_ = decode_page(live_);
+  live_page_ = -1;
   words_written_ = 0;
   route_changes_per_switch_.assign(geom_.switch_count(), 0);
   ++generation_;  // monotonic within this object: plans never revalidate
@@ -101,26 +139,26 @@ std::uint64_t ConfigMemory::route_changes_total() const noexcept {
 const DnodeInstr& ConfigMemory::dnode_instr(std::size_t dnode) const {
   check(dnode < geom_.dnode_count(),
         "ConfigMemory: dnode index out of range");
-  return live_decoded_.instr[dnode];
+  return active_dec().instr[dnode];
 }
 
 std::uint64_t ConfigMemory::dnode_instr_raw(std::size_t dnode) const {
   check(dnode < geom_.dnode_count(),
         "ConfigMemory: dnode index out of range");
-  return live_.dnode_instr[dnode];
+  return active_raw().dnode_instr[dnode];
 }
 
 DnodeMode ConfigMemory::dnode_mode(std::size_t dnode) const {
   check(dnode < geom_.dnode_count(),
         "ConfigMemory: dnode index out of range");
-  return static_cast<DnodeMode>(live_.dnode_mode[dnode]);
+  return static_cast<DnodeMode>(active_raw().dnode_mode[dnode]);
 }
 
 const SwitchRoute& ConfigMemory::switch_route(std::size_t sw,
                                               std::size_t lane) const {
   check(sw < geom_.switch_count(), "ConfigMemory: switch index out of range");
   check(lane < geom_.lanes, "ConfigMemory: lane index out of range");
-  return live_decoded_.route[sw * geom_.lanes + lane];
+  return active_dec().route[sw * geom_.lanes + lane];
 }
 
 std::size_t ConfigMemory::add_page(ConfigPage page) {
@@ -133,24 +171,54 @@ std::size_t ConfigMemory::add_page(ConfigPage page) {
           "ConfigMemory::add_page: bad mode value");
   }
   pages_decoded_.push_back(decode_page(page));  // validates all words
+  page_hashes_.push_back(hash_page(page));
   pages_.push_back(std::move(page));
   return pages_.size() - 1;
 }
 
 void ConfigMemory::apply_page(std::size_t index) {
   check(index < pages_.size(), "ConfigMemory::apply_page: no such page");
-  for (std::size_t sw = 0; sw < geom_.switch_count(); ++sw) {
-    for (std::size_t lane = 0; lane < geom_.lanes; ++lane) {
-      const std::size_t i = sw * geom_.lanes + lane;
-      if (!(live_decoded_.route[i] == pages_decoded_[index].route[i])) {
-        ++route_changes_per_switch_[sw];
+  const DecodedPage& to = pages_decoded_[index];
+  if (live_page_ >= 0) {
+    // Page-to-page swap: the per-switch decoded-route diff depends
+    // only on the immutable (from, to) pair, so it is computed once
+    // and replayed as counter bumps on every later swap.
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(live_page_) << 32) |
+        static_cast<std::uint64_t>(index);
+    auto it = page_diffs_.find(key);
+    if (it == page_diffs_.end()) {
+      std::vector<std::uint64_t> diffs(geom_.switch_count(), 0);
+      const DecodedPage& from = pages_decoded_[static_cast<std::size_t>(
+          live_page_)];
+      for (std::size_t sw = 0; sw < geom_.switch_count(); ++sw) {
+        for (std::size_t lane = 0; lane < geom_.lanes; ++lane) {
+          const std::size_t i = sw * geom_.lanes + lane;
+          if (!(from.route[i] == to.route[i])) ++diffs[sw];
+        }
+      }
+      it = page_diffs_.emplace(key, std::move(diffs)).first;
+    }
+    const std::vector<std::uint64_t>& diffs = it->second;
+    for (std::size_t sw = 0; sw < geom_.switch_count(); ++sw) {
+      route_changes_per_switch_[sw] += diffs[sw];
+    }
+  } else {
+    for (std::size_t sw = 0; sw < geom_.switch_count(); ++sw) {
+      for (std::size_t lane = 0; lane < geom_.lanes; ++lane) {
+        const std::size_t i = sw * geom_.lanes + lane;
+        if (!(live_decoded_.route[i] == to.route[i])) {
+          ++route_changes_per_switch_[sw];
+        }
       }
     }
   }
-  live_ = pages_[index];
-  live_decoded_ = pages_decoded_[index];
-  words_written_ += live_.dnode_instr.size() + live_.dnode_mode.size() +
-                    live_.switch_route.size();
+  // The live image becomes a reference to the page — no copy; a later
+  // word write materializes a private copy first.
+  live_page_ = static_cast<std::ptrdiff_t>(index);
+  words_written_ += pages_[index].dnode_instr.size() +
+                    pages_[index].dnode_mode.size() +
+                    pages_[index].switch_route.size();
   ++generation_;
 }
 

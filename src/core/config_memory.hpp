@@ -7,9 +7,18 @@
 // snapshot ("page") in a single cycle (PAGE/PAGER) — the mechanism that
 // realizes the paper's "change up to the entire content each clock
 // cycle".
+//
+// A page swap does not copy the page: the live image is a reference to
+// the applied page until the next word write materializes a private
+// copy (copy-on-write).  Page swaps are the hot operation of
+// hardware-multiplexed kernels, so they also carry a precomputed
+// content hash and memoized per-switch route-change deltas — the
+// observable semantics (accessors, generation, statistics) are
+// identical to eager copying.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/switch.hpp"
@@ -91,6 +100,21 @@ class ConfigMemory {
   /// whether a compiled cycle plan is still current.
   std::uint64_t generation() const noexcept { return generation_; }
 
+  // --- cycle-plan cache content key ---------------------------------
+  /// FNV-1a hash of the live configuration bytes (microinstruction
+  /// words, mode bytes, route words).  O(1) while a page is applied
+  /// (page hashes are precomputed at add_page); lazily recomputed —
+  /// and cached per generation — after word writes.  Two live images
+  /// with equal hash are byte-identical up to hash collisions; the
+  /// Ring's plan cache verifies candidates against the full content.
+  std::uint64_t content_hash() const;
+  /// Index of the applied page backing the live image, or -1 when the
+  /// live image was modified word-by-word since the last swap (or
+  /// never came from a page).  Because pages are immutable once
+  /// registered, (uid, live_page) equality is an O(1) proof that two
+  /// live images of the same ConfigMemory are byte-identical.
+  std::ptrdiff_t live_page() const noexcept { return live_page_; }
+
   // --- live configuration ------------------------------------------
   // Writes validate eagerly and maintain a decoded shadow of every
   // word, so the per-cycle fetch path never re-decodes.
@@ -103,6 +127,17 @@ class ConfigMemory {
   std::uint64_t dnode_instr_raw(std::size_t dnode) const;
   DnodeMode dnode_mode(std::size_t dnode) const;
   const SwitchRoute& switch_route(std::size_t sw, std::size_t lane) const;
+
+  /// Raw views of the live image for content snapshotting (plan cache).
+  const std::vector<std::uint64_t>& live_instr_words() const noexcept {
+    return active_raw().dnode_instr;
+  }
+  const std::vector<std::uint8_t>& live_mode_bytes() const noexcept {
+    return active_raw().dnode_mode;
+  }
+  const std::vector<std::uint64_t>& live_route_words() const noexcept {
+    return active_raw().switch_route;
+  }
 
   // --- pages --------------------------------------------------------
   /// Register a page; returns its index.
@@ -138,16 +173,40 @@ class ConfigMemory {
     std::vector<SwitchRoute> route;
   };
   static DecodedPage decode_page(const ConfigPage& page);
+  static std::uint64_t hash_page(const ConfigPage& page) noexcept;
+
+  /// The raw/decoded image the accessors read: the applied page while
+  /// live_page_ >= 0, the private live copy otherwise.
+  const ConfigPage& active_raw() const noexcept {
+    return live_page_ >= 0 ? pages_[static_cast<std::size_t>(live_page_)]
+                           : live_;
+  }
+  const DecodedPage& active_dec() const noexcept {
+    return live_page_ >= 0
+               ? pages_decoded_[static_cast<std::size_t>(live_page_)]
+               : live_decoded_;
+  }
+  /// Copy the applied page into the private live image so a word write
+  /// can land (copy-on-write materialization).
+  void materialize_live();
 
   RingGeometry geom_;
   ConfigPage live_;
   DecodedPage live_decoded_;
   std::vector<ConfigPage> pages_;
   std::vector<DecodedPage> pages_decoded_;
+  std::vector<std::uint64_t> page_hashes_;
+  std::ptrdiff_t live_page_ = -1;
+  /// Memoized per-switch decoded-route diff counts for (from page, to
+  /// page) swaps, keyed from << 32 | to.  Pages are immutable, so a
+  /// computed diff never goes stale.
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> page_diffs_;
   std::uint64_t words_written_ = 0;
   std::vector<std::uint64_t> route_changes_per_switch_;
   ConfigIdentity identity_;
   std::uint64_t generation_ = 0;
+  mutable std::uint64_t live_hash_ = 0;
+  mutable std::uint64_t live_hash_gen_ = ~std::uint64_t{0};
 };
 
 }  // namespace sring

@@ -105,6 +105,7 @@ void compile_cycle_plan(const RingGeometry& geom, const ConfigMemory& cfg,
   plan.dnodes.assign(n, PlannedDnode{});
   plan.local_dnodes.clear();
   plan.global_dnodes.clear();
+  plan.exec_dnodes.clear();
   plan.host_taps.clear();
 
   for (std::size_t layer = 0; layer < geom.layers; ++layer) {
@@ -136,6 +137,9 @@ void compile_cycle_plan(const RingGeometry& geom, const ConfigMemory& cfg,
         pd.global = compile_slot(geom, cfg.dnode_instr(i), route, up);
         pd.active = !pd.global.nop;
         plan.static_pops += pd.global.pops;
+      }
+      if (pd.active) {
+        plan.exec_dnodes.push_back(static_cast<std::uint16_t>(i));
       }
     }
   }

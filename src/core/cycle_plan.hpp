@@ -11,14 +11,19 @@
 // host-out tap list, so steady-state cycles execute straight from the
 // plan.
 //
-// Invalidation contract: a plan is current exactly while
+// Attachment contract: a plan is *attached* (executing without any
+// per-cycle checks beyond the stamp compare) exactly while
 //   (cfg.uid(), cfg.generation(), ring local-control generation)
-// match the values captured at compile time.  Every ConfigMemory write
-// path (WRCFG/WRMODE/WRSW, page swaps, reset_live) bumps the
-// generation; Ring::write_local (the controller's WRLOC path) bumps the
-// local generation.  The Ring recompiles lazily on the next step —
-// global-mode hardware multiplexing stays cycle-accurate, it just
-// doesn't hit the fast path while the configuration is in flux.
+// match the values stamped at the last attach.  Every ConfigMemory
+// write path (WRCFG/WRMODE/WRSW, page swaps, reset_live) bumps the
+// generation; Ring::write_local (the controller's WRLOC path) bumps
+// the local generation.  A stamp mismatch only *detaches* — compiled
+// plans live in the Ring's bounded content-keyed cache and re-attach
+// whenever the rewritten configuration's content matches a cached key
+// (see Ring), so hardware multiplexing over a repertoire of
+// configurations recompiles each distinct content once, not once per
+// rewrite.  The interpreter remains the reference for content never
+// seen twice.
 #pragma once
 
 #include <array>
@@ -97,6 +102,10 @@ struct CyclePlan {
   std::vector<PlannedDnode> dnodes;          ///< [layer * lanes + lane]
   std::vector<std::uint16_t> local_dnodes;   ///< flat indices, ascending
   std::vector<std::uint16_t> global_dnodes;  ///< flat indices, ascending
+  /// Active Dnodes (some reachable non-NOP slot), ascending.  The
+  /// per-cycle planned path iterates only these — the ascending order
+  /// preserves the documented host pop and output drain order.
+  std::vector<std::uint16_t> exec_dnodes;
   std::vector<HostTapPlan> host_taps;        ///< switch-asc, lane-asc
 };
 

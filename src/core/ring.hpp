@@ -28,20 +28,27 @@
 //      switch host-out taps and Dnode hostEn results append to the
 //      host output stream.
 //
-// Cycle-plan cache: when the configuration (ConfigMemory generation +
-// local-control programs) was observed stable across one step boundary,
-// the Ring compiles it into a CyclePlan and executes subsequent cycles
-// from the plan — same architectural semantics, none of the per-cycle
-// re-interpretation.  Any configuration write invalidates the plan and
-// the next step falls back to the interpreter, so hardware multiplexing
-// (rewriting configware every cycle) never pays a recompile.  Set the
-// SRING_NO_PLAN_CACHE environment variable (any non-empty value, read
-// at Ring construction) or call set_plan_cache_enabled(false) to force
-// the interpreter; outputs and architectural statistics are bit-exact
-// either way, only the plan counters differ.
+// Cycle-plan cache: compiled CyclePlans are cached in a small bounded
+// pool keyed by configuration *content* — a hash of the live
+// configuration bytes plus the local-control programs — not by write
+// generation.  A configuration write detaches the current plan, but if
+// the resulting content was seen before (hardware multiplexing:
+// configware pages pulsed in rotation, or a word rewritten with the
+// byte-identical value), the cached plan re-attaches in O(1) instead
+// of recompiling.  Unknown content is interpreted and compiled on its
+// second sighting.  On top of the cache, the Ring watches the sequence
+// of plan attachments: a periodic rotation (period capped like the
+// superstep LCM) is fused so each detach predicts its successor and
+// verifies it by provenance in O(1) — no hashing, no lookup.  Outputs
+// and architectural statistics are bit-exact with the interpreter; only
+// the ring.plan.* counters differ.  Set the SRING_NO_PLAN_CACHE
+// environment variable (any non-empty value, read at Ring
+// construction) or call set_plan_cache_enabled(false) to force the
+// interpreter.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -177,14 +184,38 @@ class Ring {
   std::uint64_t bus_conflicts() const noexcept { return bus_conflicts_; }
 
   // --- cycle-plan cache -----------------------------------------------
-  /// Cycle plans compiled since construction/reset.
+  /// Bound on cached plans.  Eviction is LRU by attachment; the bound
+  /// covers page-rotation kernels (one entry per pulsed page) with
+  /// room to spare, while capping memory at a few tens of KB.
+  static constexpr std::size_t kPlanCacheCapacity = 16;
+
+  /// Cycle plans compiled since construction/reset — one per *distinct*
+  /// configuration content, not one per rewrite.
   std::uint64_t plan_compiles() const noexcept { return plan_compiles_; }
-  /// Cycles executed from an already-compiled plan.
+  /// Cycles executed from a compiled plan (attached or re-attached).
   std::uint64_t plan_hits() const noexcept { return plan_hits_; }
-  /// Compiled plans discarded because the configuration changed.
+  /// Times the attached plan was detached because the configuration
+  /// changed.  plan_invalidations - plan_content_hits is the true miss
+  /// count (content never seen compiled before).
   std::uint64_t plan_invalidations() const noexcept {
     return plan_invalidations_;
   }
+  /// Detachments recovered by re-attaching a cached plan whose content
+  /// key matched the rewritten configuration — the cycles that were
+  /// recompiles (or interpreter fallbacks) before the content-keyed
+  /// cache.  Subset of plan_hits.
+  std::uint64_t plan_content_hits() const noexcept {
+    return plan_content_hits_;
+  }
+  /// Cache entries discarded to stay within kPlanCacheCapacity.
+  std::uint64_t plan_evictions() const noexcept { return plan_evictions_; }
+  /// Periodic plan-attachment sequences recognized and fused.
+  std::uint64_t plan_seq_fusions() const noexcept {
+    return plan_seq_fusions_;
+  }
+  /// Re-attachments served by sequence prediction (O(1) provenance
+  /// check, no hash/lookup).  Subset of plan_content_hits.
+  std::uint64_t plan_seq_hits() const noexcept { return plan_seq_hits_; }
   bool plan_cache_enabled() const noexcept { return plan_enabled_; }
   /// Superstep dispatches (run_planned() calls that executed >= 1
   /// cycle) and total cycles they covered.  Observability only: these
@@ -197,7 +228,7 @@ class Ring {
     return superstep_cycles_;
   }
   /// Enable/disable the cycle-plan cache at runtime (A/B comparisons).
-  /// Disabling drops any compiled plan without counting an
+  /// Disabling detaches the current plan without counting an
   /// invalidation — it is a tooling action, not a configuration write.
   void set_plan_cache_enabled(bool enabled) noexcept;
   /// Bumped by every write_local(); part of the plan invalidation key.
@@ -207,7 +238,10 @@ class Ring {
 
   // --- last-cycle views for event tracing ------------------------------
   // Valid immediately after a non-stalled step(); the System's event
-  // emitter is the only intended consumer.
+  // emitter is the only intended consumer.  The planned path maintains
+  // the full per-Dnode views only while trace mode is on (the System
+  // toggles it with the sink) — with tracing off it skips inactive
+  // Dnodes entirely.
   std::span<const Dnode::Effects> last_effects() const noexcept {
     return effects_;
   }
@@ -217,12 +251,49 @@ class Ring {
   const std::vector<bool>& last_is_local() const noexcept {
     return is_local_;
   }
+  /// Keep the per-Dnode trace views (last_effects/last_fetched) exact
+  /// on the planned path.  The System sets this together with its
+  /// event sink.
+  void set_trace_views(bool on) noexcept { trace_views_ = on; }
 
   /// Clear all architectural state (configuration memory is separate).
-  /// Also drops the compiled plan and zeroes the plan counters.
+  /// Also drops the whole plan cache and zeroes the plan counters.
   void reset();
 
+  /// Clear architectural state but KEEP the compiled plan cache — the
+  /// pooled-rerun fast path.  Cached plans re-attach on the rerun only
+  /// after their content key is re-verified against the live
+  /// configuration (provenance hints are dropped, so the first
+  /// re-attachment per entry does a full content compare), which makes
+  /// a rerun of a different program a clean miss.  Counters are zeroed
+  /// and the sequence fusion state cleared; outputs and architectural
+  /// statistics of a rerun are bit-identical to a fresh System, only
+  /// the ring.plan.* counters reflect the warm cache.
+  void reset_for_rerun();
+
  private:
+  /// One cached compiled plan, keyed by configuration content.
+  struct PlanCacheEntry {
+    std::uint64_t key_hash = 0;  ///< content_hash(cfg) mixed w/ local hash
+    /// Full content snapshot backing the hash: live instruction words,
+    /// widened mode bytes, route words, then per-Dnode local limit +
+    /// raw slots.  Collision guard — a hash match attaches only after
+    /// this compares equal (or the provenance hint proves identity).
+    std::vector<std::uint64_t> content;
+    // Provenance hint: the content is byte-identical to the live image
+    // whenever the same ConfigMemory (uid) has the same immutable page
+    // applied and no local-control write happened since — an O(1)
+    // identity proof that skips the content compare.  src_page == -1
+    // (word-written image) never matches.
+    std::uint64_t src_uid = 0;
+    std::ptrdiff_t src_page = -1;
+    std::uint64_t src_local_gen = 0;
+    std::uint32_t sightings = 0;  ///< compile on the second sighting
+    std::uint64_t last_use = 0;   ///< LRU clock for eviction
+    bool compiled = false;
+    CyclePlan plan;
+  };
+
   std::size_t flat_index(std::size_t layer, std::size_t lane) const;
   std::size_t upstream_layer(std::size_t layer) const noexcept;
 
@@ -235,14 +306,48 @@ class Ring {
   CycleResult step_interpreted(const ConfigMemory& cfg, Word bus,
                                HostFifo& host_in,
                                std::vector<Word>& host_out);
-  /// Fast path: execute from the compiled plan (plan_ must be valid).
-  CycleResult step_planned(Word bus, HostFifo& host_in,
-                           std::vector<Word>& host_out);
-  /// Clock-edge tail shared by both paths: capture pre-edge outputs,
+  /// Fast path: execute one cycle from a compiled plan.
+  CycleResult step_planned(const CyclePlan& plan, Word bus,
+                           HostFifo& host_in, std::vector<Word>& host_out);
+  /// Clock-edge tail of the interpreter: capture pre-edge outputs,
   /// commit every Dnode, latch the feedback pipelines.
   void commit_edge();
   /// Dnode hostEn pushes and bus drives (after commit_edge()).
   void drain_effects(CycleResult& result, std::vector<Word>& host_out);
+
+  // --- plan cache internals -------------------------------------------
+  /// Hash of the local-control content (limits + raw slots), cached
+  /// per local_generation_.
+  std::uint64_t local_content_hash();
+  /// Combined content key of the live configuration.
+  std::uint64_t live_key_hash(const ConfigMemory& cfg);
+  /// Append the full live content (see PlanCacheEntry::content).
+  void build_content(const ConfigMemory& cfg,
+                     std::vector<std::uint64_t>& out) const;
+  bool content_matches(const ConfigMemory& cfg,
+                       const std::vector<std::uint64_t>& content) const;
+  bool hint_matches(const PlanCacheEntry& e,
+                    const ConfigMemory& cfg) const noexcept {
+    return e.src_page >= 0 && e.src_uid == cfg.uid() &&
+           e.src_page == cfg.live_page() &&
+           e.src_local_gen == local_generation_;
+  }
+  /// Find the entry for the live content (hash + hint-or-content
+  /// verify), or nullptr.
+  PlanCacheEntry* find_entry(const ConfigMemory& cfg, std::uint64_t key);
+  /// Shared architectural-state reset (Dnodes, pipes, statistics).
+  void reset_arch_state();
+  /// Insert a fresh entry for the live content, evicting the LRU entry
+  /// at capacity.  Returns the (possibly reused) entry.
+  PlanCacheEntry* insert_entry(const ConfigMemory& cfg, std::uint64_t key);
+  /// Make `e` the attached plan: restamp the validity key, refresh the
+  /// provenance hint, reset mode sync, record the attachment in the
+  /// sequence history.
+  void attach_plan(PlanCacheEntry* e, const ConfigMemory& cfg);
+  /// Record an attachment in the history and try to detect a periodic
+  /// sequence (no-op while fused).
+  void note_attach(PlanCacheEntry* e);
+  void unfuse() noexcept;
 
   RingGeometry geom_;
   std::vector<Dnode> dnodes_;              // [layer * lanes + lane]
@@ -258,22 +363,32 @@ class Ring {
   std::uint64_t bus_drives_ = 0;
   std::uint64_t bus_conflicts_ = 0;
 
-  // Cycle-plan cache.  A plan is current while (cfg uid, cfg
-  // generation, local_generation_) match the values stamped into it;
-  // the last_cfg_* trackers implement the compile-on-stability
-  // heuristic (compile only after the same configuration was seen
-  // across one step boundary, so configware rewritten every cycle runs
-  // the interpreter with zero recompile overhead).
-  CyclePlan plan_;
+  // Plan cache (see header comment).  current_plan_ is the attached
+  // entry; its plan is current while the stamped (cfg uid, cfg
+  // generation, local_generation_) match the live values.
+  std::vector<std::unique_ptr<PlanCacheEntry>> plan_cache_;
+  PlanCacheEntry* current_plan_ = nullptr;
+  std::uint64_t plan_use_clock_ = 0;
   bool plan_enabled_ = true;
   bool mode_synced_ = false;     // planned path applied mode transitions
+  bool pre_outs_valid_ = false;  // pre_outs_[i] == dnodes_[i].out()
+  bool trace_views_ = false;     // maintain full effects_/fetched_
   std::uint64_t local_generation_ = 0;
-  std::uint64_t last_cfg_uid_ = 0;  // 0: nothing seen (uids start at 1)
-  std::uint64_t last_cfg_gen_ = 0;
-  std::uint64_t last_local_gen_ = 0;
+  std::uint64_t local_hash_ = 0;
+  std::uint64_t local_hash_gen_ = ~std::uint64_t{0};
+  // Sequence fusion: history of recent attachments while hunting for a
+  // period; the fused sequence and its cursor afterwards.
+  std::vector<PlanCacheEntry*> plan_history_;
+  std::vector<PlanCacheEntry*> seq_;
+  std::size_t seq_pos_ = 0;
+  bool seq_fused_ = false;
   std::uint64_t plan_compiles_ = 0;
   std::uint64_t plan_hits_ = 0;
   std::uint64_t plan_invalidations_ = 0;
+  std::uint64_t plan_content_hits_ = 0;
+  std::uint64_t plan_evictions_ = 0;
+  std::uint64_t plan_seq_fusions_ = 0;
+  std::uint64_t plan_seq_hits_ = 0;
 
   // Per-cycle scratch (members to avoid per-step allocations).
   struct PortNeed {
@@ -287,6 +402,7 @@ class Ring {
   std::vector<Dnode::Effects> effects_;
   std::vector<Word> pre_outs_;             // [layer * lanes + lane]
   std::vector<std::uint8_t> local_slot_;   // planned path: slot per Dnode
+  std::vector<std::uint16_t> exec_scratch_;  // planned path: executed Dnodes
 
   // Superstep scratch (reused across dispatches) + counters.
   struct SuperExec {

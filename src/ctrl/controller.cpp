@@ -10,6 +10,8 @@ Controller::Controller(std::vector<std::uint32_t> program) {
 
 void Controller::load_program(std::vector<std::uint32_t> program) {
   program_ = std::move(program);
+  decoded_.assign(program_.size(), RiscInstr{});
+  decoded_valid_.assign(program_.size(), 0);
   reset();
 }
 
@@ -58,7 +60,11 @@ Controller::StepResult Controller::step(const StepContext& ctx) {
         "Controller: PC ran past the end of program memory "
         "(missing HALT?)");
 
-  const RiscInstr instr = RiscInstr::decode(program_[pc_]);
+  if (!decoded_valid_[pc_]) {
+    decoded_[pc_] = RiscInstr::decode(program_[pc_]);
+    decoded_valid_[pc_] = 1;
+  }
+  const RiscInstr instr = decoded_[pc_];
   const std::uint64_t a = regs_[instr.ra];
   const std::uint64_t b = regs_[instr.rb];
   std::uint64_t next_pc = pc_ + 1;

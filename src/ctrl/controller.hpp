@@ -86,6 +86,12 @@ class Controller {
 
  private:
   std::vector<std::uint32_t> program_;
+  // Decode-once cache filled lazily at first execution of each word,
+  // so a data word the PC never reaches still faults only if executed
+  // (exactly the eager-decode-per-cycle timing), while steady-state
+  // loops skip the field extraction entirely.
+  std::vector<RiscInstr> decoded_;
+  std::vector<std::uint8_t> decoded_valid_;
   std::array<std::uint64_t, kRiscRegCount> regs_{};
   std::uint64_t pc_ = 0;
   std::uint64_t instructions_ = 0;

@@ -23,7 +23,14 @@ struct SystemStats {
   std::uint64_t switch_route_changes = 0;///< decoded route words changed
   std::uint64_t plan_compiles = 0;       ///< cycle plans compiled
   std::uint64_t plan_hits = 0;           ///< cycles served by a cached plan
-  std::uint64_t plan_invalidations = 0;  ///< plans dropped by config writes
+  std::uint64_t plan_invalidations = 0;  ///< plans detached by config writes
+  /// Detachments recovered by re-attaching a cached plan whose content
+  /// key matched the rewritten configuration (subset of plan_hits);
+  /// plan_invalidations - plan_content_hits is the true miss count.
+  std::uint64_t plan_content_hits = 0;
+  std::uint64_t plan_evictions = 0;      ///< plan-cache entries discarded
+  std::uint64_t plan_seq_fusions = 0;    ///< periodic plan rotations fused
+  std::uint64_t plan_seq_hits = 0;       ///< re-attaches served by prediction
 
   /// Fraction of Dnode issue slots used, given the Dnode count.
   double utilization(std::size_t dnode_count) const noexcept;

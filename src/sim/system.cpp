@@ -28,7 +28,7 @@ void System::load(const LoadableProgram& program) {
   cfg_ = ConfigMemory(geom_);
   for (const auto& page : program.pages) cfg_.add_page(page);
   ctrl_.load_program(program.controller_code);
-  reset_common(program);
+  reset_common(program, /*keep_plans=*/false);
 }
 
 void System::reset_for_rerun(const LoadableProgram& program) {
@@ -39,11 +39,17 @@ void System::reset_for_rerun(const LoadableProgram& program) {
         "System::reset_for_rerun: a different program is loaded");
   cfg_.reset_live();
   ctrl_.reset();
-  reset_common(program);
+  reset_common(program, /*keep_plans=*/true);
 }
 
-void System::reset_common(const LoadableProgram& program) {
-  ring_.reset();
+void System::reset_common(const LoadableProgram& program, bool keep_plans) {
+  // A rerun keeps the ring's compiled plan cache warm (content keys
+  // re-verified before reuse); a fresh load drops it.
+  if (keep_plans) {
+    ring_.reset_for_rerun();
+  } else {
+    ring_.reset();
+  }
   for (const auto& lw : program.local_init) {
     ring_.write_local(lw.dnode, lw.slot, lw.value);
   }
@@ -57,6 +63,9 @@ void System::reset_common(const LoadableProgram& program) {
 
 void System::set_trace(obs::EventSink* sink) {
   sink_ = sink;
+  // The planned ring path maintains the full per-Dnode fetch/effect
+  // views only while a sink can observe them.
+  ring_.set_trace_views(sink_ != nullptr);
   if (sink_ == nullptr) return;
   if (tracks_.empty()) tracks_ = obs::make_tracks(geom_.layers, geom_.lanes);
   route_marks_ = cfg_.route_changes_per_switch();
@@ -183,6 +192,10 @@ SystemStats System::stats() const {
   s.plan_compiles = ring_.plan_compiles();
   s.plan_hits = ring_.plan_hits();
   s.plan_invalidations = ring_.plan_invalidations();
+  s.plan_content_hits = ring_.plan_content_hits();
+  s.plan_evictions = ring_.plan_evictions();
+  s.plan_seq_fusions = ring_.plan_seq_fusions();
+  s.plan_seq_hits = ring_.plan_seq_hits();
   return s;
 }
 
@@ -209,6 +222,10 @@ obs::Registry System::metrics() const {
   reg.counter("ring.plan.compiles").set(s.plan_compiles);
   reg.counter("ring.plan.hits").set(s.plan_hits);
   reg.counter("ring.plan.invalidations").set(s.plan_invalidations);
+  reg.counter("ring.plan.content_hits").set(s.plan_content_hits);
+  reg.counter("ring.plan.evictions").set(s.plan_evictions);
+  reg.counter("ring.plan.seq_fusions").set(s.plan_seq_fusions);
+  reg.counter("ring.plan.seq_hits").set(s.plan_seq_hits);
 
   // Superstep engine activity.  These are the ONLY values allowed to
   // differ between superstep and per-cycle execution of the same run.

@@ -46,10 +46,14 @@ class System {
   /// configuration memory — the software analogue of the paper's
   /// preloaded configuration layer).  `program` must be the same
   /// program passed to the last load(); it is re-taken here only for
-  /// the boot-time local-control writes.  Afterwards the machine is
-  /// indistinguishable from a freshly constructed System that just
-  /// load()ed `program` — the runtime's determinism test holds it to
-  /// that.
+  /// the boot-time local-control writes.  Afterwards the machine's
+  /// architectural state, outputs and statistics are indistinguishable
+  /// from a freshly constructed System that just load()ed `program` —
+  /// the runtime's determinism test holds it to that — with ONE
+  /// carve-out: the ring keeps its compiled cycle-plan cache warm
+  /// (entries re-verify their content key before re-attaching, so a
+  /// different same-page-count program misses cleanly), which shows up
+  /// only in the ring.plan.* counters.
   void reset_for_rerun(const LoadableProgram& program);
 
   /// Advance one clock cycle.
@@ -105,7 +109,7 @@ class System {
   void set_trace(obs::EventSink* sink);
 
  private:
-  void reset_common(const LoadableProgram& program);
+  void reset_common(const LoadableProgram& program, bool keep_plans);
   void emit_cycle_events(const Controller::StepResult& ctrl_res,
                          const Ring::CycleResult& ring_res);
 
