@@ -15,6 +15,13 @@
 // Usage:
 //   bench_throughput [--mix fir|me|mixed] [--batch N]
 //                    [--workers 1,2,4,8] [--queue N] [--json <path>]
+//                    [--min-speedup X]
+//
+// --min-speedup is a regression gate (mirroring bench_cycle's): the
+// run fails unless the best multi-worker speedup over the 1-worker
+// point reaches that factor.  On a single-core host the fleet can
+// only time-slice, so the gate reports itself not measurable and
+// passes — the same discipline as the null efficiency column.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -152,6 +159,9 @@ int main(int argc, char** argv) {
     const std::size_t queue_cap = std::strtoul(
         obs::extract_option(argc, argv, "--queue").value_or("64").c_str(),
         nullptr, 10);
+    const double min_speedup = std::strtod(
+        obs::extract_option(argc, argv, "--min-speedup").value_or("0").c_str(),
+        nullptr);
     check(batch >= 1, "bench_throughput: --batch must be at least 1");
 
     std::printf("bench_throughput: mix=%s batch=%zu queue=%zu host_cores=%u\n",
@@ -235,6 +245,33 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(p.full_loads));
     }
 
+    double best_speedup = 0.0;
+    std::size_t best_workers = 0;
+    for (const auto& p : points) {
+      if (p.workers > 1 && p.speedup > best_speedup) {
+        best_speedup = p.speedup;
+        best_workers = p.workers;
+      }
+    }
+    if (min_speedup > 0.0) {
+      if (!multicore || best_workers == 0) {
+        std::printf(
+            "bench_throughput: --min-speedup gate not measurable "
+            "(single-core host or no multi-worker point), passing\n");
+      } else {
+        check(best_speedup >= min_speedup,
+              "bench_throughput: best multi-worker speedup " +
+                  std::to_string(best_speedup) + "x (at " +
+                  std::to_string(best_workers) +
+                  " workers) below --min-speedup " +
+                  std::to_string(min_speedup) + "x");
+        std::printf(
+            "bench_throughput: --min-speedup %.2fx gate passed "
+            "(best %.2fx at %zu workers)\n",
+            min_speedup, best_speedup, best_workers);
+      }
+    }
+
     RunReport report;
     report.name = "bench_throughput";
     report.extra("schema_version", std::uint64_t{1})
@@ -243,6 +280,7 @@ int main(int argc, char** argv) {
         .extra("queue_capacity", std::uint64_t{queue_cap})
         .extra("host_cores",
                std::uint64_t{std::thread::hardware_concurrency()})
+        .extra("best_multiworker_speedup", best_speedup)
         .extra("outputs_bit_identical", true);
     if (!multicore) {
       report.extra("warning",

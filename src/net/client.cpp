@@ -346,6 +346,78 @@ RemoteDfgResult Client::submit_dfg(
   return out;
 }
 
+std::uint64_t RemoteGemmResult::counter(const std::string& name) const {
+  for (const auto& [key, value] : counters) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+RemoteGemmResult Client::submit_gemm(const tile::GemmSpec& spec,
+                                     const std::vector<Word>& a,
+                                     const std::vector<Word>& b,
+                                     const RingGeometry& geometry,
+                                     std::uint32_t scratch_tiles,
+                                     std::uint64_t trace_id) {
+  if (config_.protocol_version < 4) {
+    throw NetError("net: tiled-GEMM messages require protocol version >= 4");
+  }
+  SubmitGemmMsg req;
+  req.tag = next_tag_++;
+  req.geometry = geometry;
+  req.spec = spec;
+  req.scratch_tiles = scratch_tiles;
+  req.a = a;
+  req.b = b;
+  req.trace_id = trace_id;
+  const std::vector<std::uint8_t> payload = encode_submit_gemm(req);
+
+  RemoteGemmResult out;
+  for (int attempt = 0; attempt <= config_.busy_retries; ++attempt) {
+    if (attempt > 0) backoff_sleep(attempt - 1);
+    send_frame(MsgType::kSubmitGemm, payload);
+    const Frame frame = recv_frame();
+    if (frame.type == MsgType::kJobResult) {
+      JobResultMsg msg = decode_job_result(frame.payload, frame.version);
+      if (msg.tag != req.tag) {
+        close();
+        throw ProtocolError("net: response tag mismatch");
+      }
+      if (msg.outputs.size() != spec.m * spec.n) {
+        close();
+        throw ProtocolError("net: GEMM result size does not match m*n");
+      }
+      out.ok = true;
+      out.c = std::move(msg.outputs);
+      out.sim_cycles = msg.sim_cycles;
+      out.worker = msg.worker;
+      out.reused_system = msg.reused_system != 0;
+      out.counters = std::move(msg.counters);
+      out.trace_id = msg.trace_id;
+      out.total_us = msg.total_us;
+      return out;
+    }
+    if (frame.type != MsgType::kError) {
+      close();
+      throw ProtocolError("net: unexpected response type " +
+                          std::to_string(
+                              static_cast<unsigned>(frame.type)));
+    }
+    const ErrorMsg err = decode_error(frame.payload);
+    if (err.code == ErrorCode::kBusy) {
+      out.busy = true;
+      continue;
+    }
+    out.busy = false;
+    out.ok = false;
+    out.error = err.message;
+    return out;
+  }
+  out.error = "server busy (queue full) after " +
+              std::to_string(config_.busy_retries + 1) + " attempts";
+  return out;
+}
+
 std::vector<RemoteResult> Client::submit_batch(
     const std::vector<JobRequest>& reqs) {
   std::vector<RemoteResult> out;

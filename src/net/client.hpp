@@ -103,6 +103,26 @@ struct RemoteDfgResult {
   std::uint64_t total_us = 0;
 };
 
+/// Outcome of a remote tiled GEMM (SubmitGemm, protocol v4).  `c` is
+/// the row-major m*n narrowed output — bit-identical to
+/// tile::run_gemm locally and to tile::gemm_reference.  The counters
+/// slice carries the server-side tile.scratch.* behaviour.
+struct RemoteGemmResult {
+  bool ok = false;
+  bool busy = false;
+  std::string error;
+  std::vector<Word> c;
+  std::uint64_t sim_cycles = 0;
+  std::uint32_t worker = 0;
+  bool reused_system = false;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::uint64_t trace_id = 0;
+  std::uint64_t total_us = 0;  ///< admission → reply, server clock
+
+  /// tile.* counter lookup; 0 when absent.
+  std::uint64_t counter(const std::string& name) const;
+};
+
 class Client {
  public:
   explicit Client(ClientConfig config);
@@ -140,6 +160,17 @@ class Client {
                              const std::vector<std::vector<Word>>& streams,
                              const RingGeometry& geometry,
                              std::uint64_t trace_id = 0);
+
+  /// Run one tiled narrow-int GEMM server-side: the server plans the
+  /// tile schedule, stages operands through its scratchpad and
+  /// interleaves the tile jobs with other clients' work.  Requires
+  /// protocol_version >= 4.
+  RemoteGemmResult submit_gemm(const tile::GemmSpec& spec,
+                               const std::vector<Word>& a,
+                               const std::vector<Word>& b,
+                               const RingGeometry& geometry,
+                               std::uint32_t scratch_tiles = 128,
+                               std::uint64_t trace_id = 0);
 
   /// Poll the server's live stats snapshot (counters, per-phase
   /// latency quantiles, sampler rates; optionally the recent flight

@@ -626,6 +626,80 @@ SubmitDfgJobMsg decode_submit_dfg_job(std::span<const std::uint8_t> payload) {
   return msg;
 }
 
+std::vector<std::uint8_t> encode_submit_gemm(const SubmitGemmMsg& msg) {
+  Writer w;
+  w.u32(msg.tag);
+  w.u16(static_cast<std::uint16_t>(msg.geometry.layers));
+  w.u16(static_cast<std::uint16_t>(msg.geometry.lanes));
+  w.u16(static_cast<std::uint16_t>(msg.geometry.fb_depth));
+  w.u16(static_cast<std::uint16_t>(msg.spec.m));
+  w.u16(static_cast<std::uint16_t>(msg.spec.k));
+  w.u16(static_cast<std::uint16_t>(msg.spec.n));
+  w.u8(static_cast<std::uint8_t>(msg.spec.dtype));
+  w.u8(static_cast<std::uint8_t>(msg.spec.shift));
+  w.u8(static_cast<std::uint8_t>(msg.spec.mapping));
+  w.u16(static_cast<std::uint16_t>(msg.spec.tile_n));
+  w.u32(msg.scratch_tiles);
+  w.words(msg.a);
+  w.words(msg.b);
+  w.u64(msg.trace_id);
+  return w.take();
+}
+
+SubmitGemmMsg decode_submit_gemm(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  SubmitGemmMsg msg;
+  msg.tag = r.u32();
+  msg.geometry.layers = r.u16();
+  msg.geometry.lanes = r.u16();
+  msg.geometry.fb_depth = r.u16();
+  msg.spec.m = r.u16();
+  msg.spec.k = r.u16();
+  msg.spec.n = r.u16();
+  const std::uint8_t dtype = r.u8();
+  if (dtype > static_cast<std::uint8_t>(tile::Dtype::kInt16)) {
+    throw ProtocolError("net: unknown GEMM dtype " + std::to_string(dtype));
+  }
+  msg.spec.dtype = static_cast<tile::Dtype>(dtype);
+  msg.spec.shift = r.u8();
+  const std::uint8_t mapping = r.u8();
+  if (mapping > static_cast<std::uint8_t>(tile::Mapping::kWeightStationary)) {
+    throw ProtocolError("net: unknown GEMM mapping " +
+                        std::to_string(mapping));
+  }
+  msg.spec.mapping = static_cast<tile::Mapping>(mapping);
+  msg.spec.tile_n = r.u16();
+  msg.scratch_tiles = r.u32();
+  msg.a = r.words();
+  msg.b = r.words();
+  msg.trace_id = r.u64();
+  r.expect_end();
+
+  for (const std::size_t dim :
+       {msg.spec.m, msg.spec.k, msg.spec.n, msg.spec.tile_n}) {
+    if (dim > kMaxGemmDim) {
+      throw ProtocolError("net: GEMM dimension " + std::to_string(dim) +
+                          " exceeds limit of " + std::to_string(kMaxGemmDim));
+    }
+  }
+  if (msg.scratch_tiles < 1 || msg.scratch_tiles > kMaxGemmScratchTiles) {
+    throw ProtocolError("net: GEMM scratchpad size must be in [1, " +
+                        std::to_string(kMaxGemmScratchTiles) + "] tiles");
+  }
+  try {
+    msg.spec.validate();
+  } catch (const SimError& e) {
+    throw ProtocolError(std::string("net: bad GEMM spec: ") + e.what());
+  }
+  if (msg.a.size() != msg.spec.m * msg.spec.k) {
+    throw ProtocolError("net: GEMM A operand size does not match m*k");
+  }
+  if (msg.b.size() != msg.spec.k * msg.spec.n) {
+    throw ProtocolError("net: GEMM B operand size does not match k*n");
+  }
+  return msg;
+}
+
 std::vector<std::uint8_t> encode_error(const ErrorMsg& msg) {
   Writer w;
   w.u32(msg.tag);

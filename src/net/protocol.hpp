@@ -45,6 +45,7 @@
 #include "core/config_memory.hpp"
 #include "obs/flight_recorder.hpp"
 #include "rt/job.hpp"
+#include "tile/gemm_ref.hpp"
 
 namespace sring::net {
 
@@ -64,9 +65,10 @@ inline constexpr std::uint8_t kMagic[4] = {'S', 'R', 'N', 'G'};
 /// Newest protocol this build speaks.  v2 added trace_id on
 /// SubmitJob/JobResult, span durations on JobResult, and
 /// GetStats/StatsReply.  v3 added the DFG compile service messages
-/// (SubmitDfg/DfgCompiled/SubmitDfgJob) — v1/v2 byte layouts are
-/// untouched, and v3 changes no existing payload.
-inline constexpr std::uint16_t kProtocolVersion = 3;
+/// (SubmitDfg/DfgCompiled/SubmitDfgJob).  v4 added the tiled-GEMM
+/// message (SubmitGemm), answered with the existing JobResult.  Each
+/// version leaves every older payload byte layout untouched.
+inline constexpr std::uint16_t kProtocolVersion = 4;
 /// Oldest protocol still accepted (v1 clients round-trip unchanged).
 inline constexpr std::uint16_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 12;
@@ -96,6 +98,7 @@ enum class MsgType : std::uint16_t {
   kSubmitDfg = 12,     ///< v3: SubmitDfgMsg — compile + cache only
   kDfgCompiled = 13,   ///< v3: DfgCompiledMsg
   kSubmitDfgJob = 14,  ///< v3: SubmitDfgJobMsg — compile + execute
+  kSubmitGemm = 15,    ///< v4: SubmitGemmMsg — tiled narrow-int GEMM
 };
 
 /// GetStats flag: also ship the flight recorder's captured ring.
@@ -306,6 +309,38 @@ struct SubmitDfgJobMsg {
 };
 
 // ---------------------------------------------------------------------------
+// Tiled-GEMM message (v4).  The server plans the tile schedule itself
+// (src/tile/), stages operand tiles through a per-request scratchpad
+// and interleaves the tile jobs with every other client's work; the
+// answer is the existing JobResult whose outputs are the row-major
+// narrowed C matrix and whose counters slice carries the tile.scratch
+// behaviour.
+
+/// Cap on each GEMM dimension (m, k, n, tile_n).  A u16 dimension in a
+/// tiny frame could otherwise demand O(m*n) accumulator memory far
+/// beyond what its operands justify; requests above the cap answer
+/// Error{kBadRequest}.
+inline constexpr std::size_t kMaxGemmDim = 512;
+
+/// Cap on the per-request scratchpad size a client may ask for.
+inline constexpr std::uint32_t kMaxGemmScratchTiles = 4096;
+
+/// Run C = narrow((A x B) >> shift) tiled over the fleet.  Operand
+/// sizes are pinned to the spec (a: m*k, b: k*n words, sign-extended
+/// narrow ints); the decode rejects any mismatch.
+struct SubmitGemmMsg {
+  std::uint32_t tag = 0;
+  RingGeometry geometry{8, 2, 16};
+  tile::GemmSpec spec;
+  std::uint32_t scratch_tiles = 128;  ///< server scratchpad, in tiles
+  std::vector<Word> a;
+  std::vector<Word> b;
+  std::uint64_t trace_id = 0;
+
+  bool operator==(const SubmitGemmMsg&) const = default;
+};
+
+// ---------------------------------------------------------------------------
 // Framing
 
 struct Frame {
@@ -369,6 +404,12 @@ DfgCompiledMsg decode_dfg_compiled(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_submit_dfg_job(const SubmitDfgJobMsg& msg);
 SubmitDfgJobMsg decode_submit_dfg_job(std::span<const std::uint8_t> payload);
+
+// v4-only payload (tiled GEMM).  decode validates the spec (dtype /
+// mapping / shift ranges, dimension caps) and that the operand word
+// counts match m*k and k*n.
+std::vector<std::uint8_t> encode_submit_gemm(const SubmitGemmMsg& msg);
+SubmitGemmMsg decode_submit_gemm(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_error(const ErrorMsg& msg);
 ErrorMsg decode_error(std::span<const std::uint8_t> payload);

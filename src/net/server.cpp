@@ -405,6 +405,161 @@ void Server::handle_submit_dfg(Conn& conn, const Frame& frame) {
             std::move(res.compiled), samples, res.cache_hit);
 }
 
+void Server::handle_submit_gemm(Conn& conn, const Frame& frame) {
+  if (frame.version < 4) {
+    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, 0, ErrorCode::kBadRequest,
+               "tiled-GEMM messages require protocol v4");
+    conn.closing = true;
+    return;
+  }
+  SubmitGemmMsg req;
+  try {
+    req = decode_submit_gemm(frame.payload);
+  } catch (const ProtocolError& e) {
+    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, 0, ErrorCode::kBadRequest, e.what());
+    conn.closing = true;
+    return;
+  }
+  if (drain_requested_.load(std::memory_order_acquire)) {
+    counters_.rejects_shutdown.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, req.tag, ErrorCode::kShuttingDown,
+               "server is draining");
+    return;
+  }
+  std::shared_ptr<GemmState> state;
+  try {
+    state = std::make_shared<GemmState>(
+        req.geometry, tile::plan_gemm(req.spec, req.scratch_tiles),
+        std::move(req.a), std::move(req.b), req.scratch_tiles);
+  } catch (const SimError& e) {
+    // Geometry the tile engine cannot lower (e.g. fewer than 8
+    // Dnodes); the connection stays open.
+    send_error(conn, req.tag, ErrorCode::kBadRequest, e.what());
+    return;
+  }
+  state->conn_id = conn.id;
+  state->tag = req.tag;
+  state->version = frame.version;
+  state->trace_id = req.trace_id;
+  state->admitted = std::chrono::steady_clock::now();
+  gemms_.push_back(std::move(state));
+  // One logical job from the connection's point of view: the idle
+  // reaper must not cut a peer waiting on a long tile schedule.
+  ++conn.pending_jobs;
+  counters_.gemm_requests.fetch_add(1, std::memory_order_relaxed);
+  pump_gemms();
+}
+
+void Server::pump_gemms() {
+  const int wake_fd = wake_w_;
+  bool queue_full = false;
+  for (auto& g : gemms_) {
+    if (queue_full) break;
+    while (!g->failed && g->next_step < g->sched.steps.size()) {
+      const tile::TileStep step = g->sched.steps[g->next_step];
+      rt::Job job;
+      try {
+        job = g->builder.build(g->sched, step, g->a, g->b);
+      } catch (const SimError& e) {
+        g->failed = true;
+        g->error = e.what();
+        g->next_step = g->sched.steps.size();
+        break;
+      }
+      job.trace_id = g->trace_id;
+      auto submitted = runtime_->try_submit(std::move(job), [wake_fd] {
+        const char byte = 'j';
+        [[maybe_unused]] const ssize_t n = ::write(wake_fd, &byte, 1);
+      });
+      if (submitted.status == rt::Runtime::SubmitStatus::kQueueFull) {
+        // Backpressure: the held step retries on the next poll tick or
+        // tile completion, so one giant GEMM never wedges the loop.
+        queue_full = true;
+        break;
+      }
+      if (submitted.status == rt::Runtime::SubmitStatus::kShutDown) {
+        g->failed = true;
+        g->error = "runtime is shut down";
+        g->next_step = g->sched.steps.size();
+        break;
+      }
+      PendingJob pj;
+      pj.conn_id = g->conn_id;
+      pj.tag = g->tag;
+      pj.result = std::move(submitted.result);
+      pj.trace_id = g->trace_id;
+      pj.job_name = "gemm.tile";
+      pj.version = g->version;
+      pj.admitted = std::chrono::steady_clock::now();
+      pj.gemm = g;
+      pj.gemm_step = step;
+      pending_.push_back(std::move(pj));
+      ++g->next_step;
+      ++g->outstanding;
+      counters_.gemm_tile_jobs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  for (auto it = gemms_.begin(); it != gemms_.end();) {
+    GemmState& g = **it;
+    if (g.outstanding > 0 ||
+        (!g.failed && g.next_step < g.sched.steps.size())) {
+      ++it;
+      continue;
+    }
+    finalize_gemm(g);
+    it = gemms_.erase(it);
+  }
+}
+
+void Server::finalize_gemm(GemmState& g) {
+  counters_.gemm_scratch_hits.fetch_add(g.scratch.hits(),
+                                        std::memory_order_relaxed);
+  counters_.gemm_scratch_refills.fetch_add(g.scratch.refills(),
+                                           std::memory_order_relaxed);
+  counters_.gemm_bytes_filled.fetch_add(g.scratch.bytes_filled(),
+                                        std::memory_order_relaxed);
+  counters_.gemm_bytes_saved.fetch_add(g.scratch.bytes_saved(),
+                                       std::memory_order_relaxed);
+
+  const auto now = std::chrono::steady_clock::now();
+  Conn* conn = find_conn(g.conn_id);
+  if (conn != nullptr) {
+    if (!g.failed) {
+      JobResultMsg msg;
+      msg.tag = g.tag;
+      msg.outputs = tile::narrow_grid(g.sched.spec, g.acc);
+      msg.sim_cycles = g.sim_cycles;
+      msg.worker = g.last_worker;
+      msg.reused_system = g.any_reused ? 1 : 0;
+      msg.counters = {
+          {"sim.cycles", g.sim_cycles},
+          {"tile.jobs", g.sched.steps.size()},
+          {"tile.scratch.hits", g.scratch.hits()},
+          {"tile.scratch.refills", g.scratch.refills()},
+          {"tile.scratch.evictions", g.scratch.evictions()},
+          {"tile.scratch.bytes_filled", g.scratch.bytes_filled()},
+          {"tile.scratch.bytes_saved", g.scratch.bytes_saved()},
+          {"tile.streamed_bytes", g.sched.streamed_bytes},
+      };
+      msg.trace_id = g.trace_id;
+      msg.total_us = clamp_u32(us_between(g.admitted, now));
+      send_frame(*conn, MsgType::kJobResult,
+                 encode_job_result(msg, g.version));
+    } else {
+      send_error(*conn, g.tag, ErrorCode::kJobFailed, g.error);
+    }
+    if (conn->pending_jobs > 0) --conn->pending_jobs;
+    conn->last_activity = now;
+  }
+  if (g.failed) {
+    counters_.jobs_failed.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters_.jobs_completed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void Server::handle_frame(Conn& conn, const Frame& frame) {
   counters_.frames_in.fetch_add(1, std::memory_order_relaxed);
   try {
@@ -435,6 +590,9 @@ void Server::handle_frame(Conn& conn, const Frame& frame) {
         return;
       case MsgType::kSubmitDfgJob:
         handle_submit_dfg(conn, frame);
+        return;
+      case MsgType::kSubmitGemm:
+        handle_submit_gemm(conn, frame);
         return;
       case MsgType::kGetStats:
         send_frame(conn, MsgType::kStatsReply,
@@ -539,6 +697,40 @@ void Server::collect_completions() {
       continue;
     }
     rt::JobResult result = it->result.get();
+    if (it->gemm != nullptr) {
+      // Tile job of a v4 GEMM: fold into the state's accumulator, no
+      // per-tile reply.  The single response leaves via finalize_gemm
+      // once every tile has landed (pump_gemms runs right after this
+      // sweep — never during it, since it push_backs into pending_).
+      GemmState& g = *it->gemm;
+      if (g.outstanding > 0) --g.outstanding;
+      if (!result.ok) {
+        if (!g.failed) {
+          g.failed = true;
+          g.error = result.error;
+        }
+        g.next_step = g.sched.steps.size();  // abandon unsubmitted tiles
+      } else if (!g.failed) {
+        try {
+          tile::accumulate_tile(g.sched, it->gemm_step, result.outputs,
+                                g.acc);
+          g.sim_cycles += result.report.stats.cycles;
+          g.last_worker = static_cast<std::uint32_t>(result.worker);
+          g.any_reused = g.any_reused || result.reused_system;
+        } catch (const SimError& e) {
+          // Output shape the schedule does not expect — a server bug,
+          // not a client one; fail the request without crashing.
+          g.failed = true;
+          g.error = e.what();
+          g.next_step = g.sched.steps.size();
+        }
+      }
+      if (obs::telemetry_enabled()) {
+        record_completion(*it, result, 0, std::chrono::steady_clock::now());
+      }
+      it = pending_.erase(it);
+      continue;
+    }
     Conn* conn = find_conn(it->conn_id);
     const bool timed = obs::telemetry_enabled();
     std::uint64_t serialize_us = 0;
@@ -673,7 +865,7 @@ void Server::run() {
                                 [](const Conn& c) { return c.fd < 0; }),
                  conns_.end());
 
-    if (draining && pending_.empty()) {
+    if (draining && pending_.empty() && gemms_.empty()) {
       // In-flight work answered; flush what remains and finish.
       const auto flush_now = std::chrono::steady_clock::now();
       if (!drain_flush_armed) {
@@ -728,6 +920,7 @@ void Server::run() {
       }
     }
     collect_completions();
+    pump_gemms();
     maybe_sample(std::chrono::steady_clock::now());
 
     std::size_t at = 1;
@@ -834,6 +1027,15 @@ obs::Registry Server::metrics() const {
   out.counter("net.jobs.completed").set(get(counters_.jobs_completed));
   out.counter("net.jobs.failed").set(get(counters_.jobs_failed));
   out.counter("net.drains").set(get(counters_.drains));
+  out.counter("net.gemm.requests").set(get(counters_.gemm_requests));
+  out.counter("net.gemm.tile_jobs").set(get(counters_.gemm_tile_jobs));
+  out.counter("tile.scratch.hits").set(get(counters_.gemm_scratch_hits));
+  out.counter("tile.scratch.refills")
+      .set(get(counters_.gemm_scratch_refills));
+  out.counter("tile.scratch.bytes_filled")
+      .set(get(counters_.gemm_bytes_filled));
+  out.counter("tile.scratch.bytes_saved")
+      .set(get(counters_.gemm_bytes_saved));
   out.merge_from(runtime_->metrics());
   out.merge_from(compile_.metrics());
   {

@@ -37,6 +37,7 @@
 #include "obs/sampler.hpp"
 #include "rt/runtime.hpp"
 #include "svc/compile_service.hpp"
+#include "tile/gemm_runner.hpp"
 
 namespace sring::net {
 
@@ -133,6 +134,44 @@ class Server {
     std::uint16_t version = kProtocolVersion;
   };
 
+  /// One in-flight tiled GEMM (v4): the server-side analogue of
+  /// tile::run_gemm, unrolled into the poll loop so the tile jobs of
+  /// many clients interleave on the fleet.  Tile completions fold into
+  /// `acc` in whatever order they land (wrapping adds are
+  /// order-independent — see tile/gemm_ref.hpp), and the single
+  /// JobResult reply goes out once the last tile has been folded.
+  struct GemmState {
+    std::uint64_t conn_id = 0;
+    std::uint32_t tag = 0;
+    std::uint16_t version = kProtocolVersion;
+    std::uint64_t trace_id = 0;
+    std::chrono::steady_clock::time_point admitted;  ///< e2e epoch
+
+    tile::TileSchedule sched;
+    std::vector<Word> a, b;
+    tile::Scratchpad scratch;
+    tile::GemmJobBuilder builder;  ///< holds a reference to `scratch`
+    std::vector<Word> acc;         ///< m*n wrapping accumulator grid
+
+    std::size_t next_step = 0;    ///< first un-submitted schedule step
+    std::size_t outstanding = 0;  ///< tile jobs currently in pending_
+    std::uint64_t sim_cycles = 0;
+    std::uint32_t last_worker = 0;
+    bool any_reused = false;
+    bool failed = false;
+    std::string error;  ///< first tile failure, verbatim
+
+    GemmState(const RingGeometry& geometry, tile::TileSchedule schedule,
+              std::vector<Word> a_in, std::vector<Word> b_in,
+              std::size_t scratch_tiles)
+        : sched(std::move(schedule)),
+          a(std::move(a_in)),
+          b(std::move(b_in)),
+          scratch(scratch_tiles),
+          builder(geometry, scratch),
+          acc(sched.spec.m * sched.spec.n, 0) {}
+  };
+
   struct PendingJob {
     std::uint64_t conn_id = 0;
     std::uint32_t tag = 0;
@@ -146,6 +185,10 @@ class Server {
     std::shared_ptr<const svc::CompiledDfg> dfg;
     std::size_t dfg_samples = 0;
     bool dfg_cache_hit = false;
+    /// Set for tile jobs of a v4 GEMM: the completion folds into the
+    /// state's accumulator instead of answering the client directly.
+    std::shared_ptr<GemmState> gemm;
+    tile::TileStep gemm_step{};
   };
 
   void send_frame(Conn& conn, MsgType type,
@@ -156,6 +199,13 @@ class Server {
   void handle_submit(Conn& conn, const Frame& frame);
   void handle_submit_dfg(Conn& conn, const Frame& frame);
   void handle_compile_dfg(Conn& conn, const Frame& frame);
+  void handle_submit_gemm(Conn& conn, const Frame& frame);
+  /// Submit as many un-queued tile steps as the fleet will take (a
+  /// full queue stops the pump; held steps retry on the next poll
+  /// tick), then finalize every GEMM whose last tile has landed.
+  /// Never called while collect_completions() iterates pending_.
+  void pump_gemms();
+  void finalize_gemm(GemmState& gemm);
   /// Shared admission tail of both submit paths: stamp the e2e epoch,
   /// try_submit to the fleet, answer Busy/ShuttingDown, or register the
   /// PendingJob.  For DFG jobs `dfg`/`dfg_samples`/`dfg_cache_hit`
@@ -194,6 +244,7 @@ class Server {
 
   std::deque<Conn> conns_;
   std::vector<PendingJob> pending_;
+  std::vector<std::shared_ptr<GemmState>> gemms_;
   std::uint64_t next_conn_id_ = 1;
 
   struct NetCounters {
@@ -212,6 +263,14 @@ class Server {
     std::atomic<std::uint64_t> jobs_completed{0};
     std::atomic<std::uint64_t> jobs_failed{0};
     std::atomic<std::uint64_t> drains{0};
+    // v4 tiled-GEMM aggregates, folded in at admission / finalize so
+    // `sras stats` sees the scratchpad behaviour across all requests.
+    std::atomic<std::uint64_t> gemm_requests{0};
+    std::atomic<std::uint64_t> gemm_tile_jobs{0};
+    std::atomic<std::uint64_t> gemm_scratch_hits{0};
+    std::atomic<std::uint64_t> gemm_scratch_refills{0};
+    std::atomic<std::uint64_t> gemm_bytes_filled{0};
+    std::atomic<std::uint64_t> gemm_bytes_saved{0};
   };
   NetCounters counters_;
 

@@ -1,0 +1,55 @@
+// GemmJobBuilder: lowers one TileStep onto the existing matvec8
+// configware page as a plain rt::Job, staging both operand tiles
+// through the Scratchpad on the way.
+//
+// Per step the job computes the 8 x tile_n partial-product block
+//   P[r][c] = sum over the step's K-chunk of A[8*ti+r][8*tk+q] *
+//             B[8*tk+q][tile_n*tj+c]   (mod 2^16)
+// by baking the A sub-tile as the page's Matrix8 and streaming the B
+// sub-tile's columns as 8-word feed blocks.  The A tile's program and
+// program_key live in its scratchpad entry, so a scratchpad hit also
+// makes the job a SystemPool/plan-cache hit on the worker — the
+// weight-stationary mapping orders steps to maximize exactly that.
+//
+// The worker fleet, plan cache, superstep engine and telemetry all see
+// an ordinary matvec-shaped job; nothing downstream of rt::Job knows
+// tiles exist.
+#pragma once
+
+#include <span>
+
+#include "core/config_memory.hpp"
+#include "rt/job.hpp"
+#include "tile/scratchpad.hpp"
+#include "tile/tile_plan.hpp"
+
+namespace sring::tile {
+
+class GemmJobBuilder {
+ public:
+  /// `scratch` must outlive the builder; the geometry needs >= 8
+  /// Dnodes (matvec8's requirement).
+  GemmJobBuilder(const RingGeometry& geometry, Scratchpad& scratch);
+
+  /// Build the rt::Job of `step`.  `a`/`b` are the full row-major
+  /// operands of the schedule's spec; tiles already staged are not
+  /// touched again.
+  rt::Job build(const TileSchedule& sched, const TileStep& step,
+                std::span<const Word> a, std::span<const Word> b);
+
+  /// Host output words of one tile job (tile_n blocks of 8 rows).
+  static std::size_t output_words(const TileSchedule& sched) {
+    return sched.spec.tile_n * kTileM;
+  }
+
+ private:
+  const StagedTile& stage_a(const TileSchedule& sched,
+                            const TileStep& step, std::span<const Word> a);
+  const StagedTile& stage_b(const TileSchedule& sched,
+                            const TileStep& step, std::span<const Word> b);
+
+  RingGeometry geometry_;
+  Scratchpad& scratch_;
+};
+
+}  // namespace sring::tile

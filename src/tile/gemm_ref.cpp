@@ -1,0 +1,115 @@
+#include "tile/gemm_ref.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace sring::tile {
+
+const char* dtype_name(Dtype dtype) noexcept {
+  return dtype == Dtype::kInt8 ? "int8" : "int16";
+}
+
+const char* mapping_name(Mapping mapping) noexcept {
+  return mapping == Mapping::kOutputStationary ? "os" : "ws";
+}
+
+Word narrow_readback(Word acc, unsigned shift, Dtype dtype) {
+  check(shift <= kMaxReadbackShift,
+        "tile: readback shift exceeds the 16-bit accumulator width");
+  std::int32_t v = as_signed(acc);
+  if (shift > 0) {
+    // Round half toward +inf, then arithmetic shift (C++20 defines
+    // signed right shift as arithmetic).
+    v = (v + (std::int32_t{1} << (shift - 1))) >> shift;
+  }
+  v = std::clamp(v, dtype_min(dtype), dtype_max(dtype));
+  return to_word(v);
+}
+
+void GemmSpec::validate() const {
+  check(m >= 1 && k >= 1 && n >= 1, "tile: GEMM dimensions must be >= 1");
+  check(shift <= kMaxReadbackShift,
+        "tile: readback shift exceeds the 16-bit accumulator width");
+  check(tile_n >= 1, "tile: tile_n must be >= 1");
+}
+
+std::vector<Word> gemm_reference(const GemmSpec& spec,
+                                 std::span<const Word> a,
+                                 std::span<const Word> b) {
+  spec.validate();
+  check(a.size() == spec.m * spec.k,
+        "tile: A operand size does not match m*k");
+  check(b.size() == spec.k * spec.n,
+        "tile: B operand size does not match k*n");
+  std::vector<Word> c(spec.m * spec.n);
+  for (std::size_t i = 0; i < spec.m; ++i) {
+    for (std::size_t j = 0; j < spec.n; ++j) {
+      std::int64_t sum = 0;
+      for (std::size_t kk = 0; kk < spec.k; ++kk) {
+        sum += std::int64_t{as_signed(a[i * spec.k + kk])} *
+               as_signed(b[kk * spec.n + j]);
+      }
+      // One truncation at the end equals the ring's per-step wrapping
+      // (mod-2^16 arithmetic is a homomorphism from int64).
+      c[i * spec.n + j] = narrow_readback(to_word(sum), spec.shift,
+                                          spec.dtype);
+    }
+  }
+  return c;
+}
+
+GemmSpec Conv2dSpec::as_gemm() const {
+  GemmSpec g;
+  g.m = filters;
+  g.k = kh * kw;
+  g.n = out_h() * out_w();
+  g.dtype = dtype;
+  g.shift = shift;
+  g.mapping = mapping;
+  g.tile_n = tile_n;
+  return g;
+}
+
+void Conv2dSpec::validate() const {
+  check(kh >= 1 && kw >= 1 && filters >= 1,
+        "tile: conv2d filter shape must be >= 1");
+  check(in_h >= kh && in_w >= kw,
+        "tile: conv2d input smaller than the filter window");
+  as_gemm().validate();
+}
+
+std::vector<Word> im2col(const Conv2dSpec& spec,
+                         std::span<const Word> image) {
+  spec.validate();
+  check(image.size() == spec.in_h * spec.in_w,
+        "tile: conv2d image size does not match in_h*in_w");
+  const std::size_t oh = spec.out_h();
+  const std::size_t ow = spec.out_w();
+  std::vector<Word> b(spec.kh * spec.kw * oh * ow);
+  for (std::size_t fy = 0; fy < spec.kh; ++fy) {
+    for (std::size_t fx = 0; fx < spec.kw; ++fx) {
+      const std::size_t row = fy * spec.kw + fx;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          b[row * (oh * ow) + oy * ow + ox] =
+              image[(oy + fy) * spec.in_w + (ox + fx)];
+        }
+      }
+    }
+  }
+  return b;
+}
+
+std::vector<Word> random_operand(std::size_t count, Dtype dtype,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Word> out(count);
+  for (Word& w : out) {
+    w = rng.next_word_in(dtype_min(dtype), dtype_max(dtype));
+  }
+  return out;
+}
+
+}  // namespace sring::tile

@@ -1,0 +1,120 @@
+// Narrow-integer GEMM/conv specifications and the scalar golden model
+// the tiled lowering is held bit-exact against.
+//
+// Arithmetic contract.  The ring's MAC wraps every partial sum to 16
+// bits (`to_word(a*b + acc)` per step, src/core/alu.hpp).  Because
+// truncation mod 2^16 is a ring homomorphism from int64, the fully
+// wrapped per-step accumulation equals the exact int64 dot product
+// truncated once at the end — and host-side accumulation of per-chunk
+// partial products with wrapping adds is order-independent.  That is
+// what lets the tiled runner (and the server's asynchronous tile
+// orchestration) combine K-chunks in any completion order and still
+// match this reference word-for-word.
+//
+// Readback narrowing follows the systolic-accelerator idiom (Gemmini's
+// out_rounding_saturating_shift): round half up on the signed value,
+// arithmetic right shift, saturate into the int8/int16 range.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sring::tile {
+
+/// Element type of a GEMM/conv operand and of the narrowed output.
+/// Operands are stored sign-extended in 16-bit datapath words.
+enum class Dtype : std::uint8_t { kInt8 = 0, kInt16 = 1 };
+
+/// Tile-schedule mapping: which operand stays resident across the
+/// inner loop (see docs/WORKLOADS.md).
+enum class Mapping : std::uint8_t {
+  kOutputStationary = 0,  ///< (ti, tj) outer, K-chunks inner
+  kWeightStationary = 1,  ///< (ti, tk) outer, column tiles inner
+};
+
+const char* dtype_name(Dtype dtype) noexcept;
+const char* mapping_name(Mapping mapping) noexcept;
+
+constexpr std::int32_t dtype_min(Dtype dtype) noexcept {
+  return dtype == Dtype::kInt8 ? -128 : -32768;
+}
+constexpr std::int32_t dtype_max(Dtype dtype) noexcept {
+  return dtype == Dtype::kInt8 ? 127 : 32767;
+}
+
+/// Maximum rounding shift: shifting a 16-bit accumulator further
+/// always yields 0/-1, so larger requests are a caller bug.
+inline constexpr unsigned kMaxReadbackShift = 15;
+
+/// Rounding-saturating readback: interpret the wrapped 16-bit
+/// accumulator as signed, add 2^(shift-1) (round half toward +inf),
+/// arithmetic-shift right, clamp into the dtype range.  shift == 0
+/// saturates only.
+Word narrow_readback(Word acc, unsigned shift, Dtype dtype);
+
+/// One MxKxN narrow-integer GEMM: C = narrow((A x B) >> shift).
+/// A is row-major m*k, B row-major k*n, both as sign-extended words.
+struct GemmSpec {
+  std::size_t m = 8;
+  std::size_t k = 8;
+  std::size_t n = 8;
+  Dtype dtype = Dtype::kInt8;
+  unsigned shift = 0;  ///< rounding right shift on readback
+  Mapping mapping = Mapping::kOutputStationary;
+  /// Output-tile width in columns (the streamed B-block count per tile
+  /// job); tile height and K-chunk depth are fixed at 8 by the matvec8
+  /// engine.
+  std::size_t tile_n = 8;
+
+  /// Throws SimError on degenerate dimensions / out-of-range fields.
+  void validate() const;
+
+  bool operator==(const GemmSpec&) const = default;
+};
+
+/// Scalar golden model: exact int64 dot products truncated to the
+/// ring's 16-bit accumulator, then narrow_readback per element.
+/// Returns row-major m*n words.
+std::vector<Word> gemm_reference(const GemmSpec& spec,
+                                 std::span<const Word> a,
+                                 std::span<const Word> b);
+
+/// 'valid' (no padding) 2-D convolution of one single-channel image
+/// with `filters` kh x kw kernels, lowered to GEMM by im2col:
+/// A = filters x (kh*kw) filter matrix, B = (kh*kw) x (out_h*out_w)
+/// patch matrix.
+struct Conv2dSpec {
+  std::size_t in_h = 16;
+  std::size_t in_w = 16;
+  std::size_t kh = 3;
+  std::size_t kw = 3;
+  std::size_t filters = 8;
+  Dtype dtype = Dtype::kInt8;
+  unsigned shift = 0;
+  Mapping mapping = Mapping::kOutputStationary;
+  std::size_t tile_n = 8;
+
+  std::size_t out_h() const noexcept { return in_h - kh + 1; }
+  std::size_t out_w() const noexcept { return in_w - kw + 1; }
+
+  /// The GEMM this convolution lowers to.
+  GemmSpec as_gemm() const;
+
+  void validate() const;
+};
+
+/// Unfold `image` (row-major in_h*in_w) into the im2col patch matrix
+/// B: row (fy*kw+fx), column (oy*out_w+ox) holds
+/// image[oy+fy][ox+fx].
+std::vector<Word> im2col(const Conv2dSpec& spec,
+                         std::span<const Word> image);
+
+/// Deterministic operand filled with uniform values in the dtype's
+/// range, stored sign-extended.
+std::vector<Word> random_operand(std::size_t count, Dtype dtype,
+                                 std::uint64_t seed);
+
+}  // namespace sring::tile

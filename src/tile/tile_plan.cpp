@@ -1,0 +1,103 @@
+#include "tile/tile_plan.hpp"
+
+#include <list>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace sring::tile {
+
+TileKey a_tile_key(const TileStep& step) noexcept {
+  return TileKey{Operand::kA, step.ti, step.tk};
+}
+
+TileKey b_tile_key(const TileStep& step) noexcept {
+  return TileKey{Operand::kB, step.tk, step.tj};
+}
+
+namespace {
+
+/// Replay the step order against the Scratchpad's LRU policy without
+/// materializing tiles — pure key bookkeeping, O(steps).
+void predict_reuse(TileSchedule& sched) {
+  const std::uint64_t a_bytes = sched.a_tile_words * sizeof(Word);
+  const std::uint64_t b_bytes = sched.b_tile_words * sizeof(Word);
+
+  std::list<TileKey> lru;
+  std::unordered_map<TileKey, std::list<TileKey>::iterator, TileKeyHash>
+      resident;
+  const auto access = [&](const TileKey& key, std::uint64_t bytes) {
+    sched.streamed_bytes += bytes;
+    auto found = resident.find(key);
+    if (found != resident.end()) {
+      ++sched.expected_hits;
+      lru.splice(lru.begin(), lru, found->second);
+      return;
+    }
+    ++sched.expected_refills;
+    sched.staged_bytes += bytes;
+    lru.push_front(key);
+    resident[key] = lru.begin();
+    if (resident.size() > sched.scratch_capacity) {
+      resident.erase(lru.back());
+      lru.pop_back();
+    }
+  };
+
+  for (const TileStep& step : sched.steps) {
+    access(a_tile_key(step), a_bytes);
+    access(b_tile_key(step), b_bytes);
+  }
+  sched.reuse_factor =
+      sched.staged_bytes > 0
+          ? static_cast<double>(sched.streamed_bytes) /
+                static_cast<double>(sched.staged_bytes)
+          : 1.0;
+}
+
+}  // namespace
+
+TileSchedule plan_gemm(const GemmSpec& spec,
+                       std::size_t scratch_capacity) {
+  spec.validate();
+  check(scratch_capacity >= 1,
+        "tile: scratchpad capacity must be >= 1 tile");
+
+  TileSchedule sched;
+  sched.spec = spec;
+  sched.tiles_m = (spec.m + kTileM - 1) / kTileM;
+  sched.tiles_k = (spec.k + kTileK - 1) / kTileK;
+  sched.tiles_n = (spec.n + spec.tile_n - 1) / spec.tile_n;
+  sched.a_tile_words = kTileM * kTileK;
+  sched.b_tile_words = kTileK * spec.tile_n;
+  sched.scratch_capacity = scratch_capacity;
+
+  sched.steps.reserve(sched.tiles_m * sched.tiles_k * sched.tiles_n);
+  const auto step = [](std::size_t ti, std::size_t tk, std::size_t tj) {
+    return TileStep{static_cast<std::uint32_t>(ti),
+                    static_cast<std::uint32_t>(tk),
+                    static_cast<std::uint32_t>(tj)};
+  };
+  if (spec.mapping == Mapping::kOutputStationary) {
+    for (std::size_t ti = 0; ti < sched.tiles_m; ++ti) {
+      for (std::size_t tj = 0; tj < sched.tiles_n; ++tj) {
+        for (std::size_t tk = 0; tk < sched.tiles_k; ++tk) {
+          sched.steps.push_back(step(ti, tk, tj));
+        }
+      }
+    }
+  } else {
+    for (std::size_t ti = 0; ti < sched.tiles_m; ++ti) {
+      for (std::size_t tk = 0; tk < sched.tiles_k; ++tk) {
+        for (std::size_t tj = 0; tj < sched.tiles_n; ++tj) {
+          sched.steps.push_back(step(ti, tk, tj));
+        }
+      }
+    }
+  }
+
+  predict_reuse(sched);
+  return sched;
+}
+
+}  // namespace sring::tile

@@ -3,6 +3,7 @@
 
 #include "common/rng.hpp"
 #include "core/alu.hpp"
+#include "tile/gemm_ref.hpp"
 
 namespace sring {
 namespace {
@@ -113,6 +114,37 @@ TEST_P(AluProperty, AlgebraicIdentities) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AluProperty,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// The GEMM lowering's correctness rests on one ALU property: because
+// mod-2^16 truncation is a ring homomorphism from int64, a chain of
+// per-step-wrapped MACs equals the exact wide dot product truncated
+// once at the end.  Randomized differential check of that identity,
+// plus the narrow-int readback applied to the wrapped accumulator
+// against a readback computed straight from the wide value.
+TEST(Alu, MacChainMatchesWideDotProductTruncatedOnce) {
+  Rng rng(0xD07ull);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::size_t len = 1 + rng.next_below(24);
+    Word acc = 0;
+    std::int64_t wide = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      const Word a = rng.next_word();
+      const Word b = rng.next_word();
+      acc = alu_execute(DnodeOp::kMac, a, b, acc);
+      wide += static_cast<std::int64_t>(as_signed(a)) * as_signed(b);
+    }
+    ASSERT_EQ(acc, to_word(wide)) << "iteration " << iter;
+
+    // The readback sees only the wrapped 16-bit accumulator, so the
+    // narrowed result must equal narrowing the truncated wide value.
+    const unsigned shift = static_cast<unsigned>(rng.next_below(8));
+    for (const tile::Dtype dtype :
+         {tile::Dtype::kInt8, tile::Dtype::kInt16}) {
+      ASSERT_EQ(tile::narrow_readback(acc, shift, dtype),
+                tile::narrow_readback(to_word(wide), shift, dtype));
+    }
+  }
+}
 
 }  // namespace
 }  // namespace sring

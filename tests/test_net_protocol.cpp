@@ -518,11 +518,12 @@ TEST(Codec, DfgCompiledOutputCountOverrunIsTyped) {
   }
 }
 
-TEST(Versioning, V3FramesParseAndV2StaysBitIdentical) {
-  // All three supported framing versions parse and report themselves;
-  // the frame header layout did not change for v3.
-  for (const std::uint16_t v : {std::uint16_t{1}, std::uint16_t{2},
-                                std::uint16_t{3}}) {
+TEST(Versioning, AllFramingVersionsParseAndOldPayloadsStayBitIdentical) {
+  // All four supported framing versions parse and report themselves;
+  // the frame header layout did not change for v3/v4.
+  for (const std::uint16_t v :
+       {std::uint16_t{1}, std::uint16_t{2}, std::uint16_t{3},
+        std::uint16_t{4}}) {
     std::vector<std::uint8_t> wire;
     append_frame(wire, MsgType::kPing, encode_ping(3), v);
     Frame frame;
@@ -532,14 +533,125 @@ TEST(Versioning, V3FramesParseAndV2StaysBitIdentical) {
     EXPECT_EQ(frame.version, v);
   }
 
-  // v1/v2 payload codecs are untouched by v3: byte-identical encodes.
+  // v1/v2 payload codecs are untouched by later versions:
+  // byte-identical encodes.
   JobRequest req = sample_request(KernelId::kFir);
   req.trace_id = 0x77;
   EXPECT_EQ(encode_job_request(req, 2), encode_job_request(req, 2));
   const JobResultMsg res;
   EXPECT_EQ(encode_job_result(res, 1), encode_job_result(res, 1));
-  EXPECT_EQ(kProtocolVersion, 3);
+  EXPECT_EQ(kProtocolVersion, 4);
   EXPECT_EQ(kMinProtocolVersion, 1);
+}
+
+// ---------------------------------------------------------------------------
+// v4 tiled-GEMM payload
+
+SubmitGemmMsg sample_gemm() {
+  SubmitGemmMsg msg;
+  msg.tag = 0x47454D;
+  msg.geometry = RingGeometry{8, 2, 16};
+  msg.spec.m = 17;
+  msg.spec.k = 9;
+  msg.spec.n = 13;
+  msg.spec.dtype = tile::Dtype::kInt16;
+  msg.spec.shift = 5;
+  msg.spec.mapping = tile::Mapping::kWeightStationary;
+  msg.spec.tile_n = 4;
+  msg.scratch_tiles = 32;
+  msg.a.assign(msg.spec.m * msg.spec.k, 0x0102);
+  msg.b.assign(msg.spec.k * msg.spec.n, 0x0304);
+  msg.trace_id = 0xF00DF00DF00Dull;
+  return msg;
+}
+
+TEST(SubmitGemm, RoundTripsAllFields) {
+  const SubmitGemmMsg msg = sample_gemm();
+  const SubmitGemmMsg back = decode_submit_gemm(encode_submit_gemm(msg));
+  EXPECT_EQ(back, msg);
+}
+
+TEST(SubmitGemm, GoldenBytesPinTheLayout) {
+  // Pin the fixed prefix of the layout: tag u32, geometry 3xu16,
+  // m/k/n u16, dtype u8, shift u8, mapping u8, tile_n u16,
+  // scratch_tiles u32 — all little-endian.
+  SubmitGemmMsg msg = sample_gemm();
+  msg.tag = 0x01020304;
+  const std::vector<std::uint8_t> wire = encode_submit_gemm(msg);
+  const std::vector<std::uint8_t> want_prefix = {
+      0x04, 0x03, 0x02, 0x01,  // tag
+      0x08, 0x00, 0x02, 0x00, 0x10, 0x00,  // geometry 8,2,16
+      0x11, 0x00,              // m = 17
+      0x09, 0x00,              // k = 9
+      0x0D, 0x00,              // n = 13
+      0x01,                    // dtype int16
+      0x05,                    // shift
+      0x01,                    // mapping ws
+      0x04, 0x00,              // tile_n
+      0x20, 0x00, 0x00, 0x00,  // scratch_tiles = 32
+  };
+  ASSERT_GE(wire.size(), want_prefix.size());
+  EXPECT_TRUE(std::equal(want_prefix.begin(), want_prefix.end(),
+                         wire.begin()));
+  // Tail: a words (u32 count + u16 each), b words, trace_id u64.
+  EXPECT_EQ(wire.size(), want_prefix.size() + 4 + msg.a.size() * 2 + 4 +
+                             msg.b.size() * 2 + 8);
+}
+
+TEST(SubmitGemm, TruncatedPayloadThrows) {
+  const std::vector<std::uint8_t> wire =
+      encode_submit_gemm(sample_gemm());
+  for (const std::size_t cut : {0ul, 4ul, 11ul, wire.size() - 1}) {
+    EXPECT_THROW(decode_submit_gemm(
+                     std::span<const std::uint8_t>(wire.data(), cut)),
+                 ProtocolError)
+        << "at cut " << cut;
+  }
+}
+
+TEST(SubmitGemm, DecodeRejectsInvalidSpecs) {
+  const auto mutate = [](auto&& f) {
+    SubmitGemmMsg msg = sample_gemm();
+    f(msg);
+    return encode_submit_gemm(msg);
+  };
+  // Unknown dtype / mapping enum values.
+  EXPECT_THROW(decode_submit_gemm(mutate([](SubmitGemmMsg& m) {
+                 m.spec.dtype = static_cast<tile::Dtype>(9);
+               })),
+               ProtocolError);
+  EXPECT_THROW(decode_submit_gemm(mutate([](SubmitGemmMsg& m) {
+                 m.spec.mapping = static_cast<tile::Mapping>(7);
+               })),
+               ProtocolError);
+  // Operand sizes must match the spec exactly.
+  EXPECT_THROW(decode_submit_gemm(mutate([](SubmitGemmMsg& m) {
+                 m.a.pop_back();
+               })),
+               ProtocolError);
+  EXPECT_THROW(decode_submit_gemm(mutate([](SubmitGemmMsg& m) {
+                 m.b.push_back(0);
+               })),
+               ProtocolError);
+  // Dimension / scratchpad caps.
+  EXPECT_THROW(decode_submit_gemm(mutate([](SubmitGemmMsg& m) {
+                 m.spec.n = kMaxGemmDim + 1;
+                 m.b.assign(m.spec.k * m.spec.n, 0);
+               })),
+               ProtocolError);
+  EXPECT_THROW(decode_submit_gemm(mutate([](SubmitGemmMsg& m) {
+                 m.scratch_tiles = 0;
+               })),
+               ProtocolError);
+  EXPECT_THROW(decode_submit_gemm(mutate([](SubmitGemmMsg& m) {
+                 m.scratch_tiles = kMaxGemmScratchTiles + 1;
+               })),
+               ProtocolError);
+  // Degenerate spec fields funnel through GemmSpec::validate.
+  EXPECT_THROW(decode_submit_gemm(mutate([](SubmitGemmMsg& m) {
+                 m.spec.shift = 16;
+               })),
+               ProtocolError);
 }
 
 }  // namespace
