@@ -1,20 +1,31 @@
-// bench_serve — loopback load bench of the remote job-serving stack.
+// bench_serve — loopback saturation sweep of the remote job-serving
+// stack.
 //
-// Starts an in-process net::Server on an ephemeral loopback port,
-// drives it from C concurrent client threads submitting a
-// deterministic mixed kernel batch, and reports per-request latency
-// (p50/p99/mean) plus jobs/s.  Every remote output is compared word
-// for word against a local rt::Runtime run of the identical jobs — a
-// latency number only counts if the serving stack stayed bit-exact.
+// Starts an in-process net::Server on an ephemeral loopback port for
+// every sweep point (clients x pipeline depth x shards), drives it
+// from C concurrent client threads — sequentially (pipeline 0) or
+// with up to W frames in flight per connection (submit_pipelined) —
+// and reports per-request latency (p50/p99/mean) plus jobs/s for
+// every point.  Every remote output is compared word for word against
+// a local rt::Runtime run of the identical jobs — a latency number
+// only counts if the serving stack stayed bit-exact.
+//
+// On a single-core host shard scaling is not measurable (the shards
+// time-slice one core); the report says so with a null shard_speedup
+// instead of a number that looks like a scaling regression — the
+// same discipline as bench_throughput's efficiency column.
 //
 // Usage:
-//   bench_serve [--jobs N] [--clients C] [--workers W] [--queue Q]
+//   bench_serve [--jobs N] [--clients C[,C...]] [--pipeline W[,W...]]
+//               [--shards S[,S...]] [--workers W] [--queue Q]
 //               [--mix fir|me|dwt|matvec|mixed] [--json <path>]
+//               [--min-jobs-per-s X]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -85,6 +96,42 @@ std::vector<net::JobRequest> build_requests(const std::string& mix,
   return reqs;
 }
 
+std::vector<std::size_t> parse_list(const std::string& text,
+                                    const char* flag,
+                                    bool allow_zero) {
+  std::vector<std::size_t> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string tok =
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    check(!tok.empty(), std::string("bench_serve: empty entry in ") + flag);
+    const std::size_t v = std::strtoul(tok.c_str(), nullptr, 10);
+    check(allow_zero || v >= 1,
+          std::string("bench_serve: ") + flag + " entries must be >= 1");
+    out.push_back(v);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  check(!out.empty(), std::string("bench_serve: empty ") + flag + " list");
+  return out;
+}
+
+/// One sweep point's outcome; latencies are per-request for the
+/// sequential mode and per-window-amortized for the pipelined modes.
+struct SweepPoint {
+  std::size_t clients = 0;
+  std::size_t pipeline = 0;  ///< 0 = sequential submit()
+  std::size_t shards = 0;
+  double seconds = 0.0;
+  double jobs_per_s = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  std::uint64_t busy_rejects = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -97,21 +144,47 @@ int main(int argc, char** argv) {
     const std::size_t jobs = std::strtoul(
         obs::extract_option(argc, argv, "--jobs").value_or("96").c_str(),
         nullptr, 10);
-    const std::size_t clients = std::strtoul(
-        obs::extract_option(argc, argv, "--clients").value_or("2").c_str(),
-        nullptr, 10);
+    const std::vector<std::size_t> client_counts = parse_list(
+        obs::extract_option(argc, argv, "--clients").value_or("2"),
+        "--clients", false);
+    const std::vector<std::size_t> pipelines = parse_list(
+        obs::extract_option(argc, argv, "--pipeline").value_or("0,8"),
+        "--pipeline", true);
+    const std::vector<std::size_t> shard_counts = parse_list(
+        obs::extract_option(argc, argv, "--shards").value_or("1,2"),
+        "--shards", false);
     const std::size_t workers = std::strtoul(
         obs::extract_option(argc, argv, "--workers").value_or("2").c_str(),
         nullptr, 10);
     const std::size_t queue = std::strtoul(
         obs::extract_option(argc, argv, "--queue").value_or("64").c_str(),
         nullptr, 10);
-    check(jobs >= 1 && clients >= 1 && workers >= 1 && queue >= 1,
-          "bench_serve: --jobs/--clients/--workers/--queue must be >= 1");
+    const double min_jobs_per_s = std::strtod(
+        obs::extract_option(argc, argv, "--min-jobs-per-s")
+            .value_or("0")
+            .c_str(),
+        nullptr);
+    check(jobs >= 1 && workers >= 1 && queue >= 1,
+          "bench_serve: --jobs/--workers/--queue must be >= 1");
 
-    std::printf("bench_serve: mix=%s jobs=%zu clients=%zu workers=%zu "
-                "queue=%zu\n",
-                mix.c_str(), jobs, clients, workers, queue);
+    std::printf(
+        "bench_serve: mix=%s jobs=%zu workers=%zu queue=%zu "
+        "host_cores=%u\n",
+        mix.c_str(), jobs, workers, queue,
+        std::thread::hardware_concurrency());
+
+    // Shard scaling needs real parallelism to mean anything: on one
+    // core the shards time-slice, so the comparison reads as noise.
+    const bool multicore = std::thread::hardware_concurrency() > 1;
+    bool sweep_has_multi_shard = false;
+    for (const std::size_t s : shard_counts) {
+      sweep_has_multi_shard = sweep_has_multi_shard || s > 1;
+    }
+    if (!multicore && sweep_has_multi_shard) {
+      std::printf(
+          "  WARNING: single-core host — shard scaling not measurable "
+          "(shards time-slice one core), reporting null speedup\n");
+    }
 
     const std::vector<net::JobRequest> reqs = build_requests(mix, jobs);
 
@@ -132,69 +205,162 @@ int main(int argc, char** argv) {
       }
     }
 
-    net::ServerConfig scfg;
-    scfg.runtime.workers = workers;
-    scfg.runtime.queue_capacity = queue;
-    net::Server server(scfg);
-    const std::uint16_t port = server.port();
-    std::thread server_thread([&server] { server.run(); });
+    std::vector<SweepPoint> points;
+    obs::Registry primary_metrics;
+    net::StatsReplyMsg primary_stats;
 
-    std::vector<double> latencies_us(jobs, 0.0);
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> failed{false};
+    for (const std::size_t shards : shard_counts) {
+      for (const std::size_t clients : client_counts) {
+        for (const std::size_t pipeline : pipelines) {
+          net::ServerConfig scfg;
+          scfg.runtime.workers = workers;
+          scfg.runtime.queue_capacity = queue;
+          scfg.shards = shards;
+          net::Server server(scfg);
+          const std::uint16_t port = server.port();
+          std::thread server_thread([&server] { server.run(); });
 
-    const auto t0 = std::chrono::steady_clock::now();
-    std::vector<std::thread> client_threads;
-    client_threads.reserve(clients);
-    for (std::size_t c = 0; c < clients; ++c) {
-      client_threads.emplace_back([&] {
-        net::ClientConfig ccfg;
-        ccfg.port = port;
-        ccfg.busy_retries = 64;  // loaded loopback: spin, don't shed
-        net::Client client(ccfg);
-        while (true) {
-          const std::size_t i = next.fetch_add(1);
-          if (i >= jobs || failed.load()) break;
-          const auto s0 = std::chrono::steady_clock::now();
-          const net::RemoteResult r = client.submit(reqs[i]);
-          const auto s1 = std::chrono::steady_clock::now();
-          latencies_us[i] =
-              std::chrono::duration<double, std::micro>(s1 - s0).count();
-          if (!r.ok || r.outputs != expected[i]) {
-            failed.store(true);
-            std::fprintf(stderr,
-                         "bench_serve: job %zu %s\n", i,
-                         !r.ok ? (r.busy ? "shed as busy"
-                                         : ("failed: " + r.error).c_str())
-                               : "DIVERGED from local execution");
-            break;
+          std::vector<double> latencies_us(jobs, 0.0);
+          std::atomic<bool> failed{false};
+
+          // Static contiguous chunks per client: deterministic work
+          // split, no shared claim counter on the submit path.
+          const auto t0 = std::chrono::steady_clock::now();
+          std::vector<std::thread> client_threads;
+          client_threads.reserve(clients);
+          for (std::size_t c = 0; c < clients; ++c) {
+            const std::size_t lo = c * jobs / clients;
+            const std::size_t hi = (c + 1) * jobs / clients;
+            client_threads.emplace_back([&, lo, hi] {
+              if (lo == hi) return;
+              net::ClientConfig ccfg;
+              ccfg.port = port;
+              ccfg.busy_retries = 64;  // loaded loopback: spin, don't shed
+              net::Client client(ccfg);
+              if (pipeline == 0) {
+                for (std::size_t i = lo; i < hi && !failed.load(); ++i) {
+                  const auto s0 = std::chrono::steady_clock::now();
+                  const net::RemoteResult r = client.submit(reqs[i]);
+                  const auto s1 = std::chrono::steady_clock::now();
+                  latencies_us[i] =
+                      std::chrono::duration<double, std::micro>(s1 - s0)
+                          .count();
+                  if (!r.ok || r.outputs != expected[i]) {
+                    failed.store(true);
+                    std::fprintf(
+                        stderr, "bench_serve: job %zu %s\n", i,
+                        !r.ok ? (r.busy
+                                     ? "shed as busy"
+                                     : ("failed: " + r.error).c_str())
+                              : "DIVERGED from local execution");
+                    return;
+                  }
+                }
+                return;
+              }
+              const std::vector<net::JobRequest> chunk(
+                  reqs.begin() + static_cast<std::ptrdiff_t>(lo),
+                  reqs.begin() + static_cast<std::ptrdiff_t>(hi));
+              const auto s0 = std::chrono::steady_clock::now();
+              const std::vector<net::RemoteResult> results =
+                  client.submit_pipelined(chunk, pipeline);
+              const auto s1 = std::chrono::steady_clock::now();
+              // Amortized per-request latency: the window hides the
+              // round trips, so wall / n is the honest figure.
+              const double per_job_us =
+                  std::chrono::duration<double, std::micro>(s1 - s0)
+                      .count() /
+                  static_cast<double>(hi - lo);
+              for (std::size_t i = lo; i < hi; ++i) {
+                latencies_us[i] = per_job_us;
+                const net::RemoteResult& r = results[i - lo];
+                if (!r.ok || r.outputs != expected[i]) {
+                  failed.store(true);
+                  std::fprintf(
+                      stderr, "bench_serve: job %zu %s\n", i,
+                      !r.ok ? (r.busy ? "shed as busy"
+                                      : ("failed: " + r.error).c_str())
+                            : "DIVERGED from local execution");
+                  return;
+                }
+              }
+            });
           }
+          for (auto& t : client_threads) t.join();
+          const auto t1 = std::chrono::steady_clock::now();
+
+          const obs::Registry m = server.metrics();
+          const net::StatsReplyMsg stats = server.stats_snapshot(0);
+          server.request_drain();
+          server_thread.join();
+
+          check(!failed.load(),
+                "bench_serve: remote execution diverged or failed");
+
+          std::vector<double> sorted = latencies_us;
+          std::sort(sorted.begin(), sorted.end());
+          SweepPoint p;
+          p.clients = clients;
+          p.pipeline = pipeline;
+          p.shards = shards;
+          p.seconds = std::chrono::duration<double>(t1 - t0).count();
+          p.jobs_per_s = static_cast<double>(jobs) / p.seconds;
+          p.p50_us = obs::percentile_sorted(sorted, 0.50);
+          p.p99_us = obs::percentile_sorted(sorted, 0.99);
+          for (const double v : sorted) p.mean_us += v;
+          p.mean_us /= static_cast<double>(sorted.size());
+          const auto* busy = m.find_counter("net.rejects.busy");
+          p.busy_rejects = busy != nullptr ? busy->value() : 0;
+
+          if (points.empty()) {
+            primary_metrics = m;
+            primary_stats = stats;
+          }
+          points.push_back(p);
+          std::printf(
+              "  shards=%zu clients=%zu pipeline=%-3zu %8.1f jobs/s  "
+              "p50 %7.0f us  p99 %7.0f us  mean %7.0f us  (busy %llu)\n",
+              p.shards, p.clients, p.pipeline, p.jobs_per_s, p.p50_us,
+              p.p99_us, p.mean_us,
+              static_cast<unsigned long long>(p.busy_rejects));
         }
-      });
+      }
     }
-    for (auto& t : client_threads) t.join();
-    const auto t1 = std::chrono::steady_clock::now();
 
-    const obs::Registry m = server.metrics();
-    const net::StatsReplyMsg stats = server.stats_snapshot(0);
-    server.request_drain();
-    server_thread.join();
+    const SweepPoint& primary = points.front();
+    const SweepPoint* peak = &points.front();
+    for (const SweepPoint& p : points) {
+      if (p.jobs_per_s > peak->jobs_per_s) peak = &p;
+    }
 
-    check(!failed.load(),
-          "bench_serve: remote execution diverged or failed");
+    // Shard speedup: best multi-shard point vs best single-shard
+    // point.  Only meaningful with real cores underneath.
+    double best_single = 0.0;
+    double best_multi = 0.0;
+    for (const SweepPoint& p : points) {
+      if (p.shards == 1) {
+        best_single = std::max(best_single, p.jobs_per_s);
+      } else {
+        best_multi = std::max(best_multi, p.jobs_per_s);
+      }
+    }
+    const bool shard_speedup_measurable =
+        multicore && best_single > 0.0 && best_multi > 0.0;
+    const double shard_speedup =
+        shard_speedup_measurable ? best_multi / best_single : 0.0;
 
-    std::vector<double> sorted = latencies_us;
-    std::sort(sorted.begin(), sorted.end());
-    const double wall_s = std::chrono::duration<double>(t1 - t0).count();
-    const double jobs_per_s = static_cast<double>(jobs) / wall_s;
-    double mean = 0.0;
-    for (const double v : sorted) mean += v;
-    mean /= static_cast<double>(sorted.size());
-    const double p50 = obs::percentile_sorted(sorted, 0.50);
-    const double p99 = obs::percentile_sorted(sorted, 0.99);
+    std::printf(
+        "  peak: %8.1f jobs/s at shards=%zu clients=%zu pipeline=%zu\n"
+        "  outputs bit-identical to local rt::Runtime execution at "
+        "every sweep point\n",
+        peak->jobs_per_s, peak->shards, peak->clients, peak->pipeline);
+    if (shard_speedup_measurable) {
+      std::printf("  shard speedup (best multi / best single): %.2fx\n",
+                  shard_speedup);
+    }
 
-    const auto counter = [&m](const char* name) {
-      const auto* c = m.find_counter(name);
+    const auto counter = [&](const char* name) {
+      const auto* c = primary_metrics.find_counter(name);
       return c != nullptr ? c->value() : 0;
     };
 
@@ -205,25 +371,7 @@ int main(int argc, char** argv) {
             ? static_cast<double>(plan_hits) /
                   static_cast<double>(plan_compiles + plan_hits)
             : 0.0;
-
-    std::printf(
-        "  %zu jobs in %.3fs: %8.1f jobs/s, latency p50 %.0f us / p99 "
-        "%.0f us / mean %.0f us (busy-rejects %llu, %llu bytes in / "
-        "%llu out)\n  plan cache: %llu compiles, %llu hits (%.1f%% hit "
-        "rate), %llu superstep cycles over %llu dispatches\n"
-        "  outputs bit-identical to local rt::Runtime execution\n",
-        jobs, wall_s, jobs_per_s, p50, p99, mean,
-        static_cast<unsigned long long>(counter("net.rejects.busy")),
-        static_cast<unsigned long long>(counter("net.bytes.in")),
-        static_cast<unsigned long long>(counter("net.bytes.out")),
-        static_cast<unsigned long long>(plan_compiles),
-        static_cast<unsigned long long>(plan_hits),
-        100.0 * plan_hit_rate,
-        static_cast<unsigned long long>(
-            counter("ring.superstep.cycles")),
-        static_cast<unsigned long long>(
-            counter("ring.superstep.dispatches")));
-    for (const auto& q : stats.latencies) {
+    for (const auto& q : primary_stats.latencies) {
       std::printf("  %-28s p50 %8.0f us  p90 %8.0f us  p99 %8.0f us  "
                   "(n=%llu)\n",
                   q.name.c_str(), q.p50_us, q.p90_us, q.p99_us,
@@ -232,20 +380,25 @@ int main(int argc, char** argv) {
 
     RunReport report;
     report.name = "bench_serve";
-    report.extra("schema_version", std::uint64_t{1})
+    // The flat fields describe the first sweep point (the legacy
+    // single-shard sequential shape under default flags); the sweep
+    // array carries every point.
+    report.extra("schema_version", std::uint64_t{2})
         .extra("mix", mix)
         .extra("jobs", std::uint64_t{jobs})
-        .extra("clients", std::uint64_t{clients})
+        .extra("clients", std::uint64_t{primary.clients})
+        .extra("pipeline", std::uint64_t{primary.pipeline})
+        .extra("shards", std::uint64_t{primary.shards})
         .extra("workers", std::uint64_t{workers})
         .extra("queue_capacity", std::uint64_t{queue})
         .extra("host_cores",
                std::uint64_t{std::thread::hardware_concurrency()})
-        .extra("seconds", wall_s)
-        .extra("jobs_per_s", jobs_per_s)
-        .extra("latency_p50_us", p50)
-        .extra("latency_p99_us", p99)
-        .extra("latency_mean_us", mean)
-        .extra("busy_rejects", counter("net.rejects.busy"))
+        .extra("seconds", primary.seconds)
+        .extra("jobs_per_s", primary.jobs_per_s)
+        .extra("latency_p50_us", primary.p50_us)
+        .extra("latency_p99_us", primary.p99_us)
+        .extra("latency_mean_us", primary.mean_us)
+        .extra("busy_rejects", primary.busy_rejects)
         .extra("frames_in", counter("net.frames.in"))
         .extra("bytes_in", counter("net.bytes.in"))
         .extra("bytes_out", counter("net.bytes.out"))
@@ -255,9 +408,31 @@ int main(int argc, char** argv) {
         .extra("superstep_cycles", counter("ring.superstep.cycles"))
         .extra("superstep_dispatches",
                counter("ring.superstep.dispatches"))
-        .extra("worker_utilization", stats.worker_utilization)
+        .extra("worker_utilization", primary_stats.worker_utilization)
+        .extra("peak_jobs_per_s", peak->jobs_per_s)
+        .extra("peak_clients", std::uint64_t{peak->clients})
+        .extra("peak_pipeline", std::uint64_t{peak->pipeline})
+        .extra("peak_shards", std::uint64_t{peak->shards})
+        .extra("shard_speedup", shard_speedup_measurable
+                                    ? obs::JsonValue(shard_speedup)
+                                    : obs::JsonValue(nullptr))
         .extra("outputs_bit_identical", true);
-    for (const auto& q : stats.latencies) {
+    obs::JsonValue sweep = obs::JsonValue::array();
+    for (const SweepPoint& p : points) {
+      obs::JsonValue pt = obs::JsonValue::object();
+      pt.set("shards", std::uint64_t{p.shards});
+      pt.set("clients", std::uint64_t{p.clients});
+      pt.set("pipeline", std::uint64_t{p.pipeline});
+      pt.set("seconds", p.seconds);
+      pt.set("jobs_per_s", p.jobs_per_s);
+      pt.set("latency_p50_us", p.p50_us);
+      pt.set("latency_p99_us", p.p99_us);
+      pt.set("latency_mean_us", p.mean_us);
+      pt.set("busy_rejects", p.busy_rejects);
+      sweep.push_back(std::move(pt));
+    }
+    report.extra("sweep", std::move(sweep));
+    for (const auto& q : primary_stats.latencies) {
       obs::JsonValue lat = obs::JsonValue::object();
       lat.set("count", q.count);
       lat.set("mean_us", q.mean_us);
@@ -268,6 +443,17 @@ int main(int argc, char** argv) {
       report.extra(q.name, std::move(lat));
     }
     maybe_write_run_report(report, json_path);
+
+    // Regression gate, same shape as bench_cycle --min-speedup: the
+    // sweep's peak throughput must clear the bar.
+    if (min_jobs_per_s > 0.0) {
+      check(peak->jobs_per_s >= min_jobs_per_s,
+            "bench_serve: peak " + std::to_string(peak->jobs_per_s) +
+                " jobs/s below --min-jobs-per-s " +
+                std::to_string(min_jobs_per_s));
+      std::printf("  GATE OK: peak %.1f jobs/s >= %.1f\n",
+                  peak->jobs_per_s, min_jobs_per_s);
+    }
     return 0;
   } catch (const SimError& e) {
     std::fprintf(stderr, "bench_serve: %s\n", e.what());

@@ -99,10 +99,12 @@ int usage() {
                "        [--trace-out <path>] [--report-json <path>]\n"
                "        [--workers <n>] [--batch <n>]\n"
                "  sras serve [--host H] [--port N] [--workers N]\n"
-               "        [--queue N] [--port-file P] [--report-json P]\n"
-               "        [--sample-ms N] [--slow-us N] [--flight-dump P]\n"
+               "        [--queue N] [--shards N] [--port-file P]\n"
+               "        [--report-json P] [--sample-ms N] [--slow-us N]\n"
+               "        [--flight-dump P]\n"
                "  sras remote [--host H] [--port N]\n"
                "        [--kernel all|fir|me|dwt|matvec] [--count N]\n"
+               "        [--pipeline N] [--batch-wire]\n"
                "        [--info] [--ping] [--drain] [--report-json P]\n"
                "  sras remote --dfg <graph.dfg> --port N [--count N]\n"
                "        [--samples N]\n"
@@ -263,6 +265,7 @@ int cmd_serve(int argc, char** argv) {
   const std::size_t port = opt_size(argc, argv, "--port", 0);
   const std::size_t workers = opt_size(argc, argv, "--workers", 0);
   const std::size_t queue = opt_size(argc, argv, "--queue", 64);
+  const std::size_t shards = opt_size(argc, argv, "--shards", 1);
   const std::string port_file =
       obs::extract_option(argc, argv, "--port-file").value_or("");
   const std::string report_json =
@@ -273,6 +276,8 @@ int cmd_serve(int argc, char** argv) {
       obs::extract_option(argc, argv, "--flight-dump").value_or("");
   check(port <= 65535, "sras serve: --port out of range");
   check(queue >= 1, "sras serve: --queue must be at least 1");
+  check(shards >= 1 && shards <= 64,
+        "sras serve: --shards must be 1..64");
   check(sample_ms >= 1, "sras serve: --sample-ms must be at least 1");
 
   net::ServerConfig cfg;
@@ -280,15 +285,17 @@ int cmd_serve(int argc, char** argv) {
   cfg.port = static_cast<std::uint16_t>(port);
   cfg.runtime.workers = workers;
   cfg.runtime.queue_capacity = queue;
+  cfg.shards = shards;
   cfg.sample_interval = std::chrono::milliseconds(sample_ms);
   cfg.slow_threshold_us = slow_us;
   cfg.flight_dump_path = flight_dump;
 
   net::Server server(cfg);
   server.enable_signal_drain();
-  std::printf("sras serve: listening on %s:%u (workers=%zu queue=%zu)\n",
-              host.c_str(), server.port(),
-              workers == 0 ? std::size_t{0} : workers, queue);
+  std::printf(
+      "sras serve: listening on %s:%u (workers=%zu queue=%zu shards=%zu)\n",
+      host.c_str(), server.port(),
+      workers == 0 ? std::size_t{0} : workers, queue, shards);
   std::fflush(stdout);
   if (!port_file.empty()) {
     // The port file is how scripts discover an ephemeral port; write
@@ -413,6 +420,8 @@ int cmd_remote(int argc, char** argv) {
       obs::extract_option(argc, argv, "--dfg").value_or("");
   const std::size_t samples = opt_size(argc, argv, "--samples", 32);
   const std::size_t count = opt_size(argc, argv, "--count", 4);
+  const std::size_t pipeline = opt_size(argc, argv, "--pipeline", 0);
+  const bool batch_wire = obs::extract_flag(argc, argv, "--batch-wire");
   const bool info = obs::extract_flag(argc, argv, "--info");
   const bool do_ping = obs::extract_flag(argc, argv, "--ping");
   const bool do_drain = obs::extract_flag(argc, argv, "--drain");
@@ -513,13 +522,35 @@ int cmd_remote(int argc, char** argv) {
   const std::vector<rt::JobResult> expected =
       local.submit_batch(std::move(local_jobs));
 
+  check(!(batch_wire && pipeline > 0),
+        "sras remote: --batch-wire and --pipeline are mutually exclusive");
+
+  const char* mode = batch_wire ? "batch-wire"
+                     : pipeline > 0 ? "pipelined"
+                                    : "sequential";
   double total_us = 0.0;
   std::uint64_t remote_cycles = 0;
-  for (std::size_t i = 0; i < reqs.size(); ++i) {
+  std::vector<net::RemoteResult> results;
+  if (batch_wire || pipeline > 0) {
     const auto t0 = std::chrono::steady_clock::now();
-    const net::RemoteResult r = client.submit(reqs[i]);
+    results = batch_wire ? client.submit_batch_wire(reqs)
+                         : client.submit_pipelined(reqs, pipeline);
     const auto t1 = std::chrono::steady_clock::now();
-    total_us += std::chrono::duration<double, std::micro>(t1 - t0).count();
+    total_us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+  } else {
+    results.reserve(reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      results.push_back(client.submit(reqs[i]));
+      const auto t1 = std::chrono::steady_clock::now();
+      total_us +=
+          std::chrono::duration<double, std::micro>(t1 - t0).count();
+    }
+  }
+  check(results.size() == reqs.size(),
+        "sras remote: result count mismatch");
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const net::RemoteResult& r = results[i];
     check(r.ok, "sras remote: job " + std::to_string(i) +
                     " failed: " + (r.busy ? "busy" : r.error));
     check(expected[i].ok, "sras remote: local reference job " +
@@ -531,15 +562,17 @@ int cmd_remote(int argc, char** argv) {
     remote_cycles += r.sim_cycles;
   }
   std::printf(
-      "%zu jobs (%s) remote == local bit-exact; mean latency %.1f us, "
-      "%llu simulated cycles\n",
-      reqs.size(), kernel.c_str(), total_us / static_cast<double>(reqs.size()),
+      "%zu jobs (%s, %s) remote == local bit-exact; mean latency %.1f "
+      "us, %llu simulated cycles\n",
+      reqs.size(), kernel.c_str(), mode,
+      total_us / static_cast<double>(reqs.size()),
       static_cast<unsigned long long>(remote_cycles));
 
   RunReport report;
   report.name = "sras_remote";
   report.extra("schema_version", std::uint64_t{1})
       .extra("kernel", kernel)
+      .extra("mode", std::string(mode))
       .extra("jobs", std::uint64_t{reqs.size()})
       .extra("mean_latency_us",
              total_us / static_cast<double>(reqs.size()))

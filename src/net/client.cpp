@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstring>
 #include <thread>
+#include <unordered_map>
 
 namespace sring::net {
 
@@ -23,6 +24,21 @@ void set_io_timeout(int fd, int timeout_ms) {
   tv.tv_usec = (timeout_ms % 1000) * 1000;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+RemoteResult to_remote_result(JobResultMsg&& msg) {
+  RemoteResult out;
+  out.ok = true;
+  out.outputs = std::move(msg.outputs);
+  out.sim_cycles = msg.sim_cycles;
+  out.worker = msg.worker;
+  out.reused_system = msg.reused_system != 0;
+  out.counters = std::move(msg.counters);
+  out.trace_id = msg.trace_id;
+  out.queue_wait_us = msg.queue_wait_us;
+  out.execute_us = msg.execute_us;
+  out.total_us = msg.total_us;
+  return out;
 }
 
 }  // namespace
@@ -167,7 +183,15 @@ RemoteResult Client::submit(const JobRequest& req) {
 
   RemoteResult out;
   for (int attempt = 0; attempt <= config_.busy_retries; ++attempt) {
-    if (attempt > 0) backoff_sleep(attempt - 1);
+    if (attempt > 0) {
+      // A v5 server says how long to back off; otherwise exponential.
+      if (out.retry_after_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(out.retry_after_ms));
+      } else {
+        backoff_sleep(attempt - 1);
+      }
+    }
     send_frame(MsgType::kSubmitJob, payload);
     const Frame frame = recv_frame();
     if (frame.type == MsgType::kJobResult) {
@@ -178,16 +202,9 @@ RemoteResult Client::submit(const JobRequest& req) {
         close();
         throw ProtocolError("net: response tag mismatch");
       }
-      out.ok = true;
-      out.outputs = std::move(msg.outputs);
-      out.sim_cycles = msg.sim_cycles;
-      out.worker = msg.worker;
-      out.reused_system = msg.reused_system != 0;
-      out.counters = std::move(msg.counters);
-      out.trace_id = msg.trace_id;
-      out.queue_wait_us = msg.queue_wait_us;
-      out.execute_us = msg.execute_us;
-      out.total_us = msg.total_us;
+      const std::uint32_t hint = out.retry_after_ms;
+      out = to_remote_result(std::move(msg));
+      out.retry_after_ms = hint;
       return out;
     }
     if (frame.type != MsgType::kError) {
@@ -196,9 +213,10 @@ RemoteResult Client::submit(const JobRequest& req) {
                           std::to_string(
                               static_cast<unsigned>(frame.type)));
     }
-    const ErrorMsg err = decode_error(frame.payload);
+    const ErrorMsg err = decode_error(frame.payload, frame.version);
     if (err.code == ErrorCode::kBusy) {
       out.busy = true;  // retry with backoff, or report busy when spent
+      out.retry_after_ms = err.retry_after_ms;
       continue;
     }
     out.busy = false;
@@ -250,7 +268,7 @@ RemoteDfgCompiled Client::compile_dfg(const std::vector<std::uint8_t>& dfg,
                           std::to_string(
                               static_cast<unsigned>(frame.type)));
     }
-    const ErrorMsg err = decode_error(frame.payload);
+    const ErrorMsg err = decode_error(frame.payload, frame.version);
     if (err.code == ErrorCode::kBusy) {
       out.busy = true;
       continue;
@@ -331,7 +349,7 @@ RemoteDfgResult Client::submit_dfg(
                           std::to_string(
                               static_cast<unsigned>(frame.type)));
     }
-    const ErrorMsg err = decode_error(frame.payload);
+    const ErrorMsg err = decode_error(frame.payload, frame.version);
     if (err.code == ErrorCode::kBusy) {
       out.busy = true;
       continue;
@@ -403,7 +421,7 @@ RemoteGemmResult Client::submit_gemm(const tile::GemmSpec& spec,
                           std::to_string(
                               static_cast<unsigned>(frame.type)));
     }
-    const ErrorMsg err = decode_error(frame.payload);
+    const ErrorMsg err = decode_error(frame.payload, frame.version);
     if (err.code == ErrorCode::kBusy) {
       out.busy = true;
       continue;
@@ -423,6 +441,135 @@ std::vector<RemoteResult> Client::submit_batch(
   std::vector<RemoteResult> out;
   out.reserve(reqs.size());
   for (const JobRequest& req : reqs) out.push_back(submit(req));
+  return out;
+}
+
+std::vector<RemoteResult> Client::submit_pipelined(
+    const std::vector<JobRequest>& reqs, std::size_t window) {
+  std::vector<RemoteResult> out(reqs.size());
+  if (reqs.empty()) return out;
+  window = std::max<std::size_t>(1, window);
+
+  std::vector<JobRequest> tagged(reqs);
+  std::unordered_map<std::uint32_t, std::size_t> by_tag;
+  by_tag.reserve(tagged.size());
+  for (std::size_t i = 0; i < tagged.size(); ++i) {
+    if (tagged[i].tag == 0) tagged[i].tag = next_tag_++;
+    if (!by_tag.emplace(tagged[i].tag, i).second) {
+      throw NetError("net: submit_pipelined requires unique tags");
+    }
+  }
+
+  // Keep up to `window` frames in flight; the server answers in
+  // completion order, so replies correlate by tag, not position.
+  std::vector<std::size_t> busy;  // shed entries, retried sequentially
+  std::size_t next_send = 0;
+  std::size_t outstanding = 0;
+  std::size_t settled = 0;
+  std::uint32_t busy_hint_ms = 0;
+  while (settled < tagged.size()) {
+    while (next_send < tagged.size() && outstanding < window) {
+      send_frame(MsgType::kSubmitJob,
+                 encode_job_request(tagged[next_send],
+                                    config_.protocol_version));
+      ++next_send;
+      ++outstanding;
+    }
+    const Frame frame = recv_frame();
+    std::uint32_t tag = 0;
+    RemoteResult result;
+    if (frame.type == MsgType::kJobResult) {
+      JobResultMsg msg = decode_job_result(frame.payload, frame.version);
+      tag = msg.tag;
+      result = to_remote_result(std::move(msg));
+    } else if (frame.type == MsgType::kError) {
+      const ErrorMsg err = decode_error(frame.payload, frame.version);
+      tag = err.tag;
+      if (err.code == ErrorCode::kBusy) {
+        result.busy = true;
+        result.retry_after_ms = err.retry_after_ms;
+        busy_hint_ms = std::max(busy_hint_ms, err.retry_after_ms);
+      }
+      result.error = err.message;
+    } else {
+      close();
+      throw ProtocolError("net: unexpected response type " +
+                          std::to_string(
+                              static_cast<unsigned>(frame.type)));
+    }
+    const auto found = by_tag.find(tag);
+    if (found == by_tag.end()) {
+      close();
+      throw ProtocolError("net: response tag matches no in-flight job");
+    }
+    if (result.busy) busy.push_back(found->second);
+    out[found->second] = std::move(result);
+    by_tag.erase(found);
+    --outstanding;
+    ++settled;
+  }
+
+  // Shed entries degrade to the sequential path, which retries with
+  // the server's pacing hint (or exponential backoff without one).
+  for (const std::size_t index : busy) {
+    if (busy_hint_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(busy_hint_ms));
+    }
+    out[index] = submit(tagged[index]);
+  }
+  return out;
+}
+
+std::vector<RemoteResult> Client::submit_batch_wire(
+    const std::vector<JobRequest>& reqs, std::uint64_t trace_id) {
+  if (config_.protocol_version < 5) {
+    throw NetError("net: batched submits require protocol version >= 5");
+  }
+  std::vector<RemoteResult> out(reqs.size());
+  if (reqs.empty()) return out;
+
+  SubmitJobBatchMsg msg;
+  msg.tag = next_tag_++;
+  msg.jobs = reqs;
+  msg.trace_id = trace_id;
+  for (JobRequest& job : msg.jobs) {
+    if (job.tag == 0) job.tag = next_tag_++;
+  }
+  send_frame(MsgType::kSubmitJobBatch,
+             encode_submit_job_batch(msg, config_.protocol_version));
+
+  const Frame frame = recv_frame();
+  if (frame.type == MsgType::kError) {
+    // Whole-batch refusal (draining, malformed): every entry fails
+    // the same way rather than throwing, matching submit()'s shape.
+    const ErrorMsg err = decode_error(frame.payload, frame.version);
+    for (RemoteResult& r : out) {
+      r.busy = err.code == ErrorCode::kBusy;
+      r.retry_after_ms = err.retry_after_ms;
+      r.error = err.message;
+    }
+    return out;
+  }
+  if (frame.type != MsgType::kJobBatchResult) {
+    close();
+    throw ProtocolError("net: expected JobBatchResult response");
+  }
+  JobBatchResultMsg reply =
+      decode_job_batch_result(frame.payload, frame.version);
+  if (reply.tag != msg.tag || reply.entries.size() != reqs.size()) {
+    close();
+    throw ProtocolError("net: batch result does not match the request");
+  }
+  for (std::size_t i = 0; i < reply.entries.size(); ++i) {
+    JobBatchEntryMsg& entry = reply.entries[i];
+    if (entry.ok != 0) {
+      out[i] = to_remote_result(std::move(entry.result));
+    } else {
+      out[i].busy = entry.error.code == ErrorCode::kBusy;
+      out[i].retry_after_ms = entry.error.retry_after_ms;
+      out[i].error = entry.error.message;
+    }
+  }
   return out;
 }
 

@@ -52,6 +52,10 @@ struct ClientConfig {
 struct RemoteResult {
   bool ok = false;
   bool busy = false;       ///< shed by backpressure after busy_retries
+  /// Server's resubmission hint from the last Busy shed (v5+ servers;
+  /// 0 when none was given).  submit() already honours it between
+  /// retries; it is surfaced for callers pacing their own loops.
+  std::uint32_t retry_after_ms = 0;
   std::string error;       ///< server-side SimError text, verbatim
   std::vector<Word> outputs;
   std::uint64_t sim_cycles = 0;
@@ -148,6 +152,22 @@ class Client {
   /// Sequential batch, results in submission order.
   std::vector<RemoteResult> submit_batch(
       const std::vector<JobRequest>& reqs);
+
+  /// Pipelined submission over the one connection: keeps up to
+  /// `window` SubmitJob frames in flight and correlates the server's
+  /// completion-order replies by tag.  Results return in input order.
+  /// Busy sheds are retried sequentially afterwards (honouring the
+  /// server's retry_after_ms hint), so a transient overload degrades
+  /// to the submit() path instead of failing the lot.
+  std::vector<RemoteResult> submit_pipelined(
+      const std::vector<JobRequest>& reqs, std::size_t window = 16);
+
+  /// Single-frame batched submission (protocol v5): every job rides
+  /// one SubmitJobBatch frame and one JobBatchResult comes back, with
+  /// per-entry outcomes in input order.  Requires
+  /// protocol_version >= 5.
+  std::vector<RemoteResult> submit_batch_wire(
+      const std::vector<JobRequest>& reqs, std::uint64_t trace_id = 0);
 
   /// Compile (or cache-hit) a canonical DFG blob (svc/dfg_codec)
   /// server-side without running it.  Requires protocol_version >= 3.

@@ -700,20 +700,94 @@ SubmitGemmMsg decode_submit_gemm(std::span<const std::uint8_t> payload) {
   return msg;
 }
 
-std::vector<std::uint8_t> encode_error(const ErrorMsg& msg) {
+std::vector<std::uint8_t> encode_submit_job_batch(const SubmitJobBatchMsg& msg,
+                                                  std::uint16_t version) {
+  Writer w;
+  w.u32(msg.tag);
+  w.u32(static_cast<std::uint32_t>(msg.jobs.size()));
+  for (const JobRequest& req : msg.jobs) {
+    w.bytes(encode_job_request(req, version));
+  }
+  w.u64(msg.trace_id);
+  return w.take();
+}
+
+SubmitJobBatchMsg decode_submit_job_batch(std::span<const std::uint8_t> payload,
+                                          std::uint16_t version) {
+  Reader r(payload);
+  SubmitJobBatchMsg msg;
+  msg.tag = r.u32();
+  const std::uint32_t n = r.u32();
+  if (n > kMaxBatchJobs) {
+    throw ProtocolError("net: job batch carries " + std::to_string(n) +
+                        " entries, limit is " + std::to_string(kMaxBatchJobs));
+  }
+  msg.jobs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    msg.jobs.push_back(decode_job_request(r.bytes(), version));
+  }
+  msg.trace_id = r.u64();
+  r.expect_end();
+  return msg;
+}
+
+std::vector<std::uint8_t> encode_job_batch_result(const JobBatchResultMsg& msg,
+                                                  std::uint16_t version) {
+  Writer w;
+  w.u32(msg.tag);
+  w.u32(static_cast<std::uint32_t>(msg.entries.size()));
+  for (const JobBatchEntryMsg& e : msg.entries) {
+    w.u8(e.ok);
+    w.bytes(e.ok ? encode_job_result(e.result, version)
+                 : encode_error(e.error, version));
+  }
+  return w.take();
+}
+
+JobBatchResultMsg decode_job_batch_result(std::span<const std::uint8_t> payload,
+                                          std::uint16_t version) {
+  Reader r(payload);
+  JobBatchResultMsg msg;
+  msg.tag = r.u32();
+  const std::uint32_t n = r.u32();
+  if (n > kMaxBatchJobs) {
+    throw ProtocolError("net: job batch result carries " + std::to_string(n) +
+                        " entries, limit is " + std::to_string(kMaxBatchJobs));
+  }
+  msg.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    JobBatchEntryMsg e;
+    e.ok = r.u8();
+    const std::vector<std::uint8_t> blob = r.bytes();
+    if (e.ok) {
+      e.result = decode_job_result(blob, version);
+    } else {
+      e.error = decode_error(blob, version);
+    }
+    msg.entries.push_back(std::move(e));
+  }
+  r.expect_end();
+  return msg;
+}
+
+std::vector<std::uint8_t> encode_error(const ErrorMsg& msg,
+                                       std::uint16_t version) {
   Writer w;
   w.u32(msg.tag);
   w.u16(static_cast<std::uint16_t>(msg.code));
   w.str(msg.message);
+  if (version >= 5) w.u32(msg.retry_after_ms);
   return w.take();
 }
 
-ErrorMsg decode_error(std::span<const std::uint8_t> payload) {
+ErrorMsg decode_error(std::span<const std::uint8_t> payload,
+                      std::uint16_t version) {
   Reader r(payload);
   ErrorMsg msg;
   msg.tag = r.u32();
   msg.code = static_cast<ErrorCode>(r.u16());
   msg.message = r.str();
+  if (version >= 5) msg.retry_after_ms = r.u32();
   r.expect_end();
   return msg;
 }

@@ -66,9 +66,11 @@ inline constexpr std::uint8_t kMagic[4] = {'S', 'R', 'N', 'G'};
 /// SubmitJob/JobResult, span durations on JobResult, and
 /// GetStats/StatsReply.  v3 added the DFG compile service messages
 /// (SubmitDfg/DfgCompiled/SubmitDfgJob).  v4 added the tiled-GEMM
-/// message (SubmitGemm), answered with the existing JobResult.  Each
-/// version leaves every older payload byte layout untouched.
-inline constexpr std::uint16_t kProtocolVersion = 4;
+/// message (SubmitGemm), answered with the existing JobResult.  v5
+/// added the batched-submit pair (SubmitJobBatch/JobBatchResult) and a
+/// retry_after_ms tail on Error.  Each version leaves every older
+/// payload byte layout untouched.
+inline constexpr std::uint16_t kProtocolVersion = 5;
 /// Oldest protocol still accepted (v1 clients round-trip unchanged).
 inline constexpr std::uint16_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 12;
@@ -99,6 +101,8 @@ enum class MsgType : std::uint16_t {
   kDfgCompiled = 13,   ///< v3: DfgCompiledMsg
   kSubmitDfgJob = 14,  ///< v3: SubmitDfgJobMsg — compile + execute
   kSubmitGemm = 15,    ///< v4: SubmitGemmMsg — tiled narrow-int GEMM
+  kSubmitJobBatch = 16,  ///< v5: SubmitJobBatchMsg — many jobs, one frame
+  kJobBatchResult = 17,  ///< v5: JobBatchResultMsg — per-entry outcomes
 };
 
 /// GetStats flag: also ship the flight recorder's captured ring.
@@ -185,6 +189,11 @@ struct ErrorMsg {
   std::uint32_t tag = 0;  ///< matching SubmitJob tag; 0 if none
   ErrorCode code = ErrorCode::kInternal;
   std::string message;
+
+  /// v5+ tail: on kBusy sheds, how long the admission controller
+  /// suggests waiting before a resubmit (0 = no hint).  Absent from
+  /// pre-v5 frames (decodes as 0) — the v1–v4 byte layout is untouched.
+  std::uint32_t retry_after_ms = 0;
 
   bool operator==(const ErrorMsg&) const = default;
 };
@@ -341,6 +350,47 @@ struct SubmitGemmMsg {
 };
 
 // ---------------------------------------------------------------------------
+// Batched submit (v5).  One frame carries a whole batch of JobRequests
+// as nested length-prefixed blobs (each the exact encode_job_request
+// bytes for the frame's version), and one JobBatchResult frame carries
+// every outcome — a full JobResultMsg or a per-entry ErrorMsg, in
+// request order.  Admission is per entry: a full queue or a shedding
+// watermark costs single entries, never the whole batch.
+
+/// Cap on the jobs of one SubmitJobBatch, checked before any entry is
+/// decoded (mirrors kMaxDfgJobStreams).
+inline constexpr std::size_t kMaxBatchJobs = 256;
+
+/// Submit `jobs.size()` kernel jobs in one round trip.  Entry tags are
+/// the per-job correlation ids inside the batch result; `tag` names
+/// the batch itself.
+struct SubmitJobBatchMsg {
+  std::uint32_t tag = 0;
+  std::vector<JobRequest> jobs;
+  std::uint64_t trace_id = 0;
+
+  bool operator==(const SubmitJobBatchMsg&) const = default;
+};
+
+/// One entry of a JobBatchResult: either the job's full JobResultMsg
+/// or the ErrorMsg that felled it (per-entry busy/failed/bad-request).
+struct JobBatchEntryMsg {
+  std::uint8_t ok = 0;
+  JobResultMsg result;  ///< valid when ok == 1
+  ErrorMsg error;       ///< valid when ok == 0
+
+  bool operator==(const JobBatchEntryMsg&) const = default;
+};
+
+/// The batch answer: entries in the exact order of the request's jobs.
+struct JobBatchResultMsg {
+  std::uint32_t tag = 0;
+  std::vector<JobBatchEntryMsg> entries;
+
+  bool operator==(const JobBatchResultMsg&) const = default;
+};
+
+// ---------------------------------------------------------------------------
 // Framing
 
 struct Frame {
@@ -411,8 +461,27 @@ SubmitDfgJobMsg decode_submit_dfg_job(std::span<const std::uint8_t> payload);
 std::vector<std::uint8_t> encode_submit_gemm(const SubmitGemmMsg& msg);
 SubmitGemmMsg decode_submit_gemm(std::span<const std::uint8_t> payload);
 
-std::vector<std::uint8_t> encode_error(const ErrorMsg& msg);
-ErrorMsg decode_error(std::span<const std::uint8_t> payload);
+// v5-only payloads (batched submit).  Entries nest the per-message
+// codecs as length-prefixed blobs, so every per-version layout rule
+// above carries over verbatim.
+std::vector<std::uint8_t> encode_submit_job_batch(
+    const SubmitJobBatchMsg& msg, std::uint16_t version = kProtocolVersion);
+SubmitJobBatchMsg decode_submit_job_batch(
+    std::span<const std::uint8_t> payload,
+    std::uint16_t version = kProtocolVersion);
+
+std::vector<std::uint8_t> encode_job_batch_result(
+    const JobBatchResultMsg& msg, std::uint16_t version = kProtocolVersion);
+JobBatchResultMsg decode_job_batch_result(
+    std::span<const std::uint8_t> payload,
+    std::uint16_t version = kProtocolVersion);
+
+// The Error payload is versioned: v5 appends retry_after_ms after the
+// v1 fields (older versions' bytes untouched).
+std::vector<std::uint8_t> encode_error(
+    const ErrorMsg& msg, std::uint16_t version = kProtocolVersion);
+ErrorMsg decode_error(std::span<const std::uint8_t> payload,
+                      std::uint16_t version = kProtocolVersion);
 
 std::vector<std::uint8_t> encode_server_info(const ServerInfoMsg& msg);
 ServerInfoMsg decode_server_info(std::span<const std::uint8_t> payload);

@@ -13,6 +13,7 @@
 #include <csignal>
 #include <cstring>
 #include <fstream>
+#include <thread>
 
 #include "obs/quantile.hpp"
 #include "obs/span.hpp"
@@ -23,6 +24,10 @@ namespace sring::net {
 namespace {
 
 constexpr int kPollTickMs = 250;
+/// Poll cadence while deferred jobs are parked: their deadlines are
+/// tens of milliseconds, so the shard must look again well before the
+/// regular tick would.
+constexpr int kDeferredTickMs = 5;
 
 std::uint64_t us_between(std::chrono::steady_clock::time_point from,
                          std::chrono::steady_clock::time_point to) {
@@ -51,8 +56,12 @@ void close_fd(int& fd) {
   }
 }
 
+void wake_shard(int wake_fd, char byte) {
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd, &byte, 1);
+}
+
 /// SIGTERM/SIGINT → request_drain() of the one registered server.
-/// request_drain is async-signal-safe: an atomic store plus write().
+/// request_drain is async-signal-safe: an atomic store plus write()s.
 /// The previous dispositions are kept so ~Server can restore them
 /// before the instance dies (signals must never reach a freed server).
 std::atomic<Server*> g_signal_server{nullptr};
@@ -69,6 +78,7 @@ void signal_drain_handler(int) {
 Server::Server(ServerConfig config)
     : config_(std::move(config)),
       compile_(config_.compile),
+      plan_cache_(std::max<std::size_t>(1, config_.plan_cache_capacity)),
       sampler_(obs::SamplerConfig{
           config_.sampler_capacity,
           {"net.jobs.completed", "net.jobs.failed", "net.bytes.in",
@@ -82,15 +92,34 @@ Server::Server(ServerConfig config)
   last_sample_ = start_time_ - config_.sample_interval;
   runtime_ = std::make_unique<rt::Runtime>(config_.runtime);
 
-  int pipe_fds[2] = {-1, -1};
-  if (::pipe(pipe_fds) != 0) {
-    throw NetError("net: pipe() failed: " +
-                   std::string(std::strerror(errno)));
+  // Resolve the admission watermarks against the real queue shape.
+  const std::size_t cap = runtime_->queue_capacity();
+  admission_low_ = config_.admission_low != 0
+                       ? config_.admission_low
+                       : std::max<std::size_t>(1, cap / 2);
+  admission_high_ =
+      config_.admission_high != 0 ? config_.admission_high : cap;
+  if (admission_high_ < admission_low_) admission_high_ = admission_low_;
+
+  // Shards (and their wake pipes) exist before run() so request_drain
+  // can reach every loop from any thread or signal handler at any
+  // point in the server's life.
+  const std::size_t shard_count = std::max<std::size_t>(1, config_.shards);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    int pipe_fds[2] = {-1, -1};
+    if (::pipe(pipe_fds) != 0) {
+      throw NetError("net: pipe() failed: " +
+                     std::string(std::strerror(errno)));
+    }
+    shard->wake_r = pipe_fds[0];
+    shard->wake_w = pipe_fds[1];
+    set_nonblocking(shard->wake_r);
+    set_nonblocking(shard->wake_w);
+    shards_.push_back(std::move(shard));
   }
-  wake_r_ = pipe_fds[0];
-  wake_w_ = pipe_fds[1];
-  set_nonblocking(wake_r_);
-  set_nonblocking(wake_w_);
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -137,17 +166,21 @@ Server::~Server() {
     ::sigaction(SIGINT, &g_prev_sigint, nullptr);
     g_signal_server.store(nullptr, std::memory_order_release);
   }
-  runtime_.reset();  // joins workers first: no notify after the pipe dies
-  for (auto& conn : conns_) close_fd(conn.fd);
+  runtime_.reset();  // joins workers first: no notify after the pipes die
+  for (auto& shard : shards_) {
+    for (auto& conn : shard->conns) close_fd(conn.fd);
+    for (int fd : shard->inbox) {
+      if (fd >= 0) ::close(fd);
+    }
+    close_fd(shard->wake_r);
+    close_fd(shard->wake_w);
+  }
   close_fd(listen_fd_);
-  close_fd(wake_r_);
-  close_fd(wake_w_);
 }
 
 void Server::request_drain() noexcept {
   drain_requested_.store(true, std::memory_order_release);
-  const char byte = 'd';
-  [[maybe_unused]] const ssize_t n = ::write(wake_w_, &byte, 1);
+  for (const auto& shard : shards_) wake_shard(shard->wake_w, 'd');
 }
 
 void Server::enable_signal_drain() {
@@ -160,8 +193,8 @@ void Server::enable_signal_drain() {
   signal_handlers_installed_ = true;
 }
 
-Server::Conn* Server::find_conn(std::uint64_t id) {
-  for (auto& conn : conns_) {
+Server::Conn* Server::find_conn(Shard& shard, std::uint64_t id) {
+  for (auto& conn : shard.conns) {
     if (conn.id == id && conn.fd >= 0) return &conn;
   }
   return nullptr;
@@ -171,6 +204,7 @@ void Server::close_conn(Conn& conn) {
   if (conn.fd < 0) return;
   close_fd(conn.fd);
   counters_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+  active_conns_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 namespace {
@@ -201,9 +235,13 @@ bool flush_out(int fd, std::vector<std::uint8_t>& out, std::size_t& pos,
 }  // namespace
 
 void Server::send_frame(Conn& conn, MsgType type,
-                        std::span<const std::uint8_t> payload) {
+                        std::span<const std::uint8_t> payload,
+                        std::uint16_t version) {
   if (conn.fd < 0) return;
-  append_frame(conn.out, type, payload, conn.version);
+  // Header and payload always agree on the dialect: on a pipelined
+  // connection interleaving v1..v5 frames, every reply mirrors the
+  // version of the exact frame that requested it.
+  append_frame(conn.out, type, payload, version);
   counters_.frames_out.fetch_add(1, std::memory_order_relaxed);
   // Optimistic flush: most responses fit the socket buffer, so the
   // reply leaves in the same loop iteration that produced it.
@@ -213,89 +251,325 @@ void Server::send_frame(Conn& conn, MsgType type,
 }
 
 void Server::send_error(Conn& conn, std::uint32_t tag, ErrorCode code,
-                        const std::string& message) {
+                        const std::string& message, std::uint16_t version,
+                        std::uint32_t retry_after_ms) {
   ErrorMsg msg;
   msg.tag = tag;
   msg.code = code;
   msg.message = message;
-  send_frame(conn, MsgType::kError, encode_error(msg));
+  msg.retry_after_ms = retry_after_ms;  // rides the wire on v5+ only
+  send_frame(conn, MsgType::kError, encode_error(msg, version), version);
 }
 
-void Server::handle_submit(Conn& conn, const Frame& frame) {
+void Server::handle_submit(Shard& shard, Conn& conn, const Frame& frame) {
   JobRequest req;
   try {
     req = decode_job_request(frame.payload, frame.version);
   } catch (const ProtocolError& e) {
     counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
-    send_error(conn, 0, ErrorCode::kBadRequest, e.what());
+    send_error(conn, 0, ErrorCode::kBadRequest, e.what(), frame.version);
     conn.closing = true;
     return;
   }
   if (drain_requested_.load(std::memory_order_acquire)) {
     counters_.rejects_shutdown.fetch_add(1, std::memory_order_relaxed);
     send_error(conn, req.tag, ErrorCode::kShuttingDown,
-               "server is draining");
+               "server is draining", frame.version);
     return;
   }
   rt::Job job;
   try {
     job = to_rt_job(req);
   } catch (const SimError& e) {
-    send_error(conn, req.tag, ErrorCode::kBadRequest, e.what());
+    send_error(conn, req.tag, ErrorCode::kBadRequest, e.what(),
+               frame.version);
     return;
   } catch (const std::exception& e) {
     // e.g. std::bad_alloc from a request whose parameters demand more
     // memory than the host has — the never-crash invariant holds: the
     // request fails, the server keeps serving.
-    send_error(conn, req.tag, ErrorCode::kBadRequest, e.what());
+    send_error(conn, req.tag, ErrorCode::kBadRequest, e.what(),
+               frame.version);
     return;
   }
-  admit_job(conn, std::move(job), req.tag, req.trace_id, frame.version,
-            nullptr, 0, false);
+  admit_job(shard, conn, std::move(job), req.tag, req.trace_id,
+            frame.version, nullptr, 0, false, nullptr, 0);
 }
 
-void Server::admit_job(Conn& conn, rt::Job job, std::uint32_t tag,
-                       std::uint64_t trace_id, std::uint16_t version,
+void Server::handle_submit_batch(Shard& shard, Conn& conn,
+                                 const Frame& frame) {
+  if (frame.version < 5) {
+    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, 0, ErrorCode::kBadRequest,
+               "batched submits require protocol v5", frame.version);
+    conn.closing = true;
+    return;
+  }
+  SubmitJobBatchMsg req;
+  try {
+    req = decode_submit_job_batch(frame.payload, frame.version);
+  } catch (const ProtocolError& e) {
+    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, 0, ErrorCode::kBadRequest, e.what(), frame.version);
+    conn.closing = true;
+    return;
+  }
+  counters_.batch_requests.fetch_add(1, std::memory_order_relaxed);
+  counters_.batch_jobs.fetch_add(req.jobs.size(),
+                                 std::memory_order_relaxed);
+  if (drain_requested_.load(std::memory_order_acquire)) {
+    counters_.rejects_shutdown.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, req.tag, ErrorCode::kShuttingDown,
+               "server is draining", frame.version);
+    return;
+  }
+
+  auto batch = std::make_shared<BatchState>();
+  batch->conn_id = conn.id;
+  batch->version = frame.version;
+  batch->trace_id = req.trace_id;
+  batch->admitted = std::chrono::steady_clock::now();
+  batch->result.tag = req.tag;
+  batch->result.entries.resize(req.jobs.size());
+  batch->remaining = req.jobs.size();
+  if (req.jobs.empty()) {
+    send_frame(conn, MsgType::kJobBatchResult,
+               encode_job_batch_result(batch->result, frame.version),
+               frame.version);
+    return;
+  }
+  // The whole batch is one logical in-flight unit for the pipelining
+  // window and the idle reaper; the reply leaves when the last entry
+  // settles (finalize_batch releases this hold).
+  ++conn.pending_jobs;
+  for (std::size_t i = 0; i < req.jobs.size(); ++i) {
+    JobRequest& jr = req.jobs[i];
+    // Entries without their own trace inherit the batch's, before
+    // conversion so the fleet (and the flight recorder) see it too.
+    if (jr.trace_id == 0) jr.trace_id = req.trace_id;
+    rt::Job job;
+    try {
+      job = to_rt_job(jr);
+    } catch (const std::exception& e) {
+      JobBatchEntryMsg entry;
+      entry.ok = 0;
+      entry.error.tag = jr.tag;
+      entry.error.code = ErrorCode::kBadRequest;
+      entry.error.message = e.what();
+      settle_batch_entry(shard, batch, i, std::move(entry));
+      continue;
+    }
+    admit_job(shard, conn, std::move(job), jr.tag, jr.trace_id,
+              frame.version, nullptr, 0, false, batch, i);
+  }
+}
+
+void Server::admit_job(Shard& shard, Conn& conn, rt::Job job,
+                       std::uint32_t tag, std::uint64_t trace_id,
+                       std::uint16_t version,
                        std::shared_ptr<const svc::CompiledDfg> dfg,
-                       std::size_t dfg_samples, bool dfg_cache_hit) {
-  const int wake_fd = wake_w_;
-  std::string job_name = job.name;
+                       std::size_t dfg_samples, bool dfg_cache_hit,
+                       std::shared_ptr<BatchState> batch,
+                       std::size_t batch_index) {
   // Admission is stamped before the enqueue: a worker may arm the job
   // the instant it lands, and e2e must bracket the execute interval.
   const auto admitted = std::chrono::steady_clock::now();
+  const std::size_t depth = runtime_->queue_depth();
+  if (depth >= admission_high_) {
+    shed_job(shard, &conn, tag, version, batch, batch_index);
+    return;
+  }
+  if (depth >= admission_low_) {
+    // Between the watermarks: park the job instead of either queueing
+    // deeper (latency) or shedding (wasted work) — the shard retries
+    // as completions pull the depth back down.
+    DeferredJob dj;
+    dj.conn_id = conn.id;
+    dj.tag = tag;
+    dj.job_name = job.name;
+    dj.job = std::move(job);
+    dj.trace_id = trace_id;
+    dj.version = version;
+    dj.admitted = admitted;
+    dj.deadline = admitted + config_.admission_max_delay;
+    dj.dfg = std::move(dfg);
+    dj.dfg_samples = dfg_samples;
+    dj.dfg_cache_hit = dfg_cache_hit;
+    dj.batch_index = batch_index;
+    if (batch == nullptr) ++conn.pending_jobs;  // parked hold on window
+    dj.batch = std::move(batch);
+    shard.deferred.push_back(std::move(dj));
+    counters_.admission_delayed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  PendingJob meta;
+  meta.conn_id = conn.id;
+  meta.tag = tag;
+  meta.trace_id = trace_id;
+  meta.job_name = job.name;
+  meta.version = version;
+  meta.admitted = admitted;
+  meta.dfg = std::move(dfg);
+  meta.dfg_samples = dfg_samples;
+  meta.dfg_cache_hit = dfg_cache_hit;
+  meta.batch = batch;
+  meta.batch_index = batch_index;
+  switch (submit_pending(shard, &conn, std::move(job), std::move(meta))) {
+    case FleetSubmit::kAccepted:
+      counters_.admission_accepted.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FleetSubmit::kQueueFull:
+      // The depth read raced another shard past the high watermark.
+      shed_job(shard, &conn, tag, version, batch, batch_index);
+      break;
+    case FleetSubmit::kShutDown:
+      counters_.rejects_shutdown.fetch_add(1, std::memory_order_relaxed);
+      if (batch != nullptr) {
+        JobBatchEntryMsg entry;
+        entry.ok = 0;
+        entry.error.tag = tag;
+        entry.error.code = ErrorCode::kShuttingDown;
+        entry.error.message = "runtime is shut down";
+        settle_batch_entry(shard, batch, batch_index, std::move(entry));
+      } else {
+        send_error(conn, tag, ErrorCode::kShuttingDown,
+                   "runtime is shut down", version);
+      }
+      break;
+  }
+}
+
+Server::FleetSubmit Server::submit_pending(Shard& shard, Conn* conn,
+                                           rt::Job job, PendingJob meta) {
+  const int wake_fd = shard.wake_w;
   auto submitted = runtime_->try_submit(std::move(job), [wake_fd] {
-    const char byte = 'j';
-    [[maybe_unused]] const ssize_t n = ::write(wake_fd, &byte, 1);
+    wake_shard(wake_fd, 'j');
   });
   switch (submitted.status) {
     case rt::Runtime::SubmitStatus::kAccepted: {
-      PendingJob pj;
-      pj.conn_id = conn.id;
-      pj.tag = tag;
-      pj.result = std::move(submitted.result);
-      pj.trace_id = trace_id;
-      pj.job_name = std::move(job_name);
-      pj.version = version;
-      pj.admitted = admitted;
-      pj.dfg = std::move(dfg);
-      pj.dfg_samples = dfg_samples;
-      pj.dfg_cache_hit = dfg_cache_hit;
-      pending_.push_back(std::move(pj));
-      ++conn.pending_jobs;
+      meta.result = std::move(submitted.result);
+      // Batch entries share the single hold their batch took.
+      if (conn != nullptr && meta.batch == nullptr) ++conn->pending_jobs;
+      shard.pending.push_back(std::move(meta));
       counters_.jobs_submitted.fetch_add(1, std::memory_order_relaxed);
-      break;
+      shard.jobs_submitted.fetch_add(1, std::memory_order_relaxed);
+      return FleetSubmit::kAccepted;
     }
     case rt::Runtime::SubmitStatus::kQueueFull:
-      counters_.rejects_busy.fetch_add(1, std::memory_order_relaxed);
-      send_error(conn, tag, ErrorCode::kBusy,
-                 "job queue is full — resubmit later");
-      break;
+      return FleetSubmit::kQueueFull;
     case rt::Runtime::SubmitStatus::kShutDown:
-      counters_.rejects_shutdown.fetch_add(1, std::memory_order_relaxed);
-      send_error(conn, tag, ErrorCode::kShuttingDown,
-                 "runtime is shut down");
       break;
   }
+  return FleetSubmit::kShutDown;
+}
+
+void Server::shed_job(Shard& shard, Conn* conn, std::uint32_t tag,
+                      std::uint16_t version,
+                      const std::shared_ptr<BatchState>& batch,
+                      std::size_t batch_index) {
+  counters_.admission_shed.fetch_add(1, std::memory_order_relaxed);
+  counters_.rejects_busy.fetch_add(1, std::memory_order_relaxed);
+  if (batch != nullptr) {
+    JobBatchEntryMsg entry;
+    entry.ok = 0;
+    entry.error.tag = tag;
+    entry.error.code = ErrorCode::kBusy;
+    entry.error.message = "job queue is full — resubmit later";
+    entry.error.retry_after_ms = config_.retry_after_hint_ms;
+    settle_batch_entry(shard, batch, batch_index, std::move(entry));
+    return;
+  }
+  if (conn != nullptr) {
+    send_error(*conn, tag, ErrorCode::kBusy,
+               "job queue is full — resubmit later", version,
+               config_.retry_after_hint_ms);
+  }
+}
+
+void Server::pump_deferred(Shard& shard) {
+  if (shard.deferred.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = shard.deferred.begin(); it != shard.deferred.end();) {
+    const bool due = now >= it->deadline;
+    // Attempt only when success is likely (depth back under low) or
+    // the deadline forces the issue — an attempt consumes the job, so
+    // a failed one settles the request (shed) rather than re-parking.
+    if (!due && runtime_->queue_depth() >= admission_low_) {
+      ++it;
+      continue;
+    }
+    Conn* conn = find_conn(shard, it->conn_id);
+    if (conn == nullptr && it->batch == nullptr) {
+      // Peer vanished while parked: nothing to answer, nothing to run.
+      it = shard.deferred.erase(it);
+      continue;
+    }
+    if (conn != nullptr && it->batch == nullptr &&
+        conn->pending_jobs > 0) {
+      --conn->pending_jobs;  // release the parked hold; submit re-takes
+    }
+    PendingJob meta;
+    meta.conn_id = it->conn_id;
+    meta.tag = it->tag;
+    meta.trace_id = it->trace_id;
+    meta.job_name = std::move(it->job_name);
+    meta.version = it->version;
+    meta.admitted = it->admitted;  // e2e includes the deferral
+    meta.dfg = std::move(it->dfg);
+    meta.dfg_samples = it->dfg_samples;
+    meta.dfg_cache_hit = it->dfg_cache_hit;
+    meta.batch = it->batch;
+    meta.batch_index = it->batch_index;
+    const std::uint32_t tag = it->tag;
+    const std::uint16_t version = it->version;
+    auto batch = std::move(it->batch);
+    const std::size_t batch_index = it->batch_index;
+    rt::Job job = std::move(it->job);
+    it = shard.deferred.erase(it);
+    switch (submit_pending(shard, conn, std::move(job), std::move(meta))) {
+      case FleetSubmit::kAccepted:
+        counters_.admission_accepted.fetch_add(1,
+                                               std::memory_order_relaxed);
+        break;
+      case FleetSubmit::kQueueFull:
+        shed_job(shard, conn, tag, version, batch, batch_index);
+        break;
+      case FleetSubmit::kShutDown:
+        counters_.rejects_shutdown.fetch_add(1, std::memory_order_relaxed);
+        if (batch != nullptr) {
+          JobBatchEntryMsg entry;
+          entry.ok = 0;
+          entry.error.tag = tag;
+          entry.error.code = ErrorCode::kShuttingDown;
+          entry.error.message = "runtime is shut down";
+          settle_batch_entry(shard, batch, batch_index, std::move(entry));
+        } else if (conn != nullptr) {
+          send_error(*conn, tag, ErrorCode::kShuttingDown,
+                     "runtime is shut down", version);
+        }
+        break;
+    }
+  }
+}
+
+void Server::settle_batch_entry(Shard& shard,
+                                const std::shared_ptr<BatchState>& batch,
+                                std::size_t index,
+                                JobBatchEntryMsg entry) {
+  BatchState& b = *batch;
+  b.result.entries[index] = std::move(entry);
+  if (b.remaining > 0) --b.remaining;
+  if (b.remaining == 0) finalize_batch(shard, b);
+}
+
+void Server::finalize_batch(Shard& shard, BatchState& batch) {
+  Conn* conn = find_conn(shard, batch.conn_id);
+  if (conn == nullptr) return;  // peer vanished; entries are forfeit
+  send_frame(*conn, MsgType::kJobBatchResult,
+             encode_job_batch_result(batch.result, batch.version),
+             batch.version);
+  if (conn->pending_jobs > 0) --conn->pending_jobs;
+  conn->last_activity = std::chrono::steady_clock::now();
 }
 
 namespace {
@@ -331,7 +605,7 @@ void Server::handle_compile_dfg(Conn& conn, const Frame& frame) {
   if (frame.version < 3) {
     counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
     send_error(conn, 0, ErrorCode::kBadRequest,
-               "DFG messages require protocol v3");
+               "DFG messages require protocol v3", frame.version);
     conn.closing = true;
     return;
   }
@@ -340,14 +614,14 @@ void Server::handle_compile_dfg(Conn& conn, const Frame& frame) {
     req = decode_submit_dfg(frame.payload);
   } catch (const ProtocolError& e) {
     counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
-    send_error(conn, 0, ErrorCode::kBadRequest, e.what());
+    send_error(conn, 0, ErrorCode::kBadRequest, e.what(), frame.version);
     conn.closing = true;
     return;
   }
   if (drain_requested_.load(std::memory_order_acquire)) {
     counters_.rejects_shutdown.fetch_add(1, std::memory_order_relaxed);
     send_error(conn, req.tag, ErrorCode::kShuttingDown,
-               "server is draining");
+               "server is draining", frame.version);
     return;
   }
   try {
@@ -355,19 +629,22 @@ void Server::handle_compile_dfg(Conn& conn, const Frame& frame) {
         compile_.get_or_compile(req.dfg, req.geometry);
     send_frame(conn, MsgType::kDfgCompiled,
                encode_dfg_compiled(make_dfg_compiled_msg(
-                   req.tag, *res.compiled, res.cache_hit)));
+                   req.tag, *res.compiled, res.cache_hit)),
+               frame.version);
   } catch (const SimError& e) {
     // Codec / mapper / golden-model diagnostics travel verbatim; the
     // graph was bad, not the connection, so it stays open.
-    send_error(conn, req.tag, ErrorCode::kBadRequest, e.what());
+    send_error(conn, req.tag, ErrorCode::kBadRequest, e.what(),
+               frame.version);
   }
 }
 
-void Server::handle_submit_dfg(Conn& conn, const Frame& frame) {
+void Server::handle_submit_dfg(Shard& shard, Conn& conn,
+                               const Frame& frame) {
   if (frame.version < 3) {
     counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
     send_error(conn, 0, ErrorCode::kBadRequest,
-               "DFG messages require protocol v3");
+               "DFG messages require protocol v3", frame.version);
     conn.closing = true;
     return;
   }
@@ -376,40 +653,44 @@ void Server::handle_submit_dfg(Conn& conn, const Frame& frame) {
     req = decode_submit_dfg_job(frame.payload);
   } catch (const ProtocolError& e) {
     counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
-    send_error(conn, 0, ErrorCode::kBadRequest, e.what());
+    send_error(conn, 0, ErrorCode::kBadRequest, e.what(), frame.version);
     conn.closing = true;
     return;
   }
   if (drain_requested_.load(std::memory_order_acquire)) {
     counters_.rejects_shutdown.fetch_add(1, std::memory_order_relaxed);
     send_error(conn, req.tag, ErrorCode::kShuttingDown,
-               "server is draining");
+               "server is draining", frame.version);
     return;
   }
   // Compile (or hit the cache) BEFORE the admission stamp inside
   // admit_job: compile latency must never appear in the job's span
-  // timeline, and a cache hit costs one hash + map lookup.
+  // timeline, and a cache hit costs one hash + map lookup.  The
+  // compile service is internally locked — shards share it safely.
   svc::CompileService::Result res;
   rt::Job job;
   try {
     res = compile_.get_or_compile(req.dfg, req.geometry);
     job = svc::make_dfg_job(res.compiled, req.streams);
   } catch (const SimError& e) {
-    send_error(conn, req.tag, ErrorCode::kBadRequest, e.what());
+    send_error(conn, req.tag, ErrorCode::kBadRequest, e.what(),
+               frame.version);
     return;
   }
   job.trace_id = req.trace_id;
   const std::size_t samples = req.streams.empty() ? 0
                                                   : req.streams[0].size();
-  admit_job(conn, std::move(job), req.tag, req.trace_id, frame.version,
-            std::move(res.compiled), samples, res.cache_hit);
+  admit_job(shard, conn, std::move(job), req.tag, req.trace_id,
+            frame.version, std::move(res.compiled), samples, res.cache_hit,
+            nullptr, 0);
 }
 
-void Server::handle_submit_gemm(Conn& conn, const Frame& frame) {
+void Server::handle_submit_gemm(Shard& shard, Conn& conn,
+                                const Frame& frame) {
   if (frame.version < 4) {
     counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
     send_error(conn, 0, ErrorCode::kBadRequest,
-               "tiled-GEMM messages require protocol v4");
+               "tiled-GEMM messages require protocol v4", frame.version);
     conn.closing = true;
     return;
   }
@@ -418,25 +699,28 @@ void Server::handle_submit_gemm(Conn& conn, const Frame& frame) {
     req = decode_submit_gemm(frame.payload);
   } catch (const ProtocolError& e) {
     counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
-    send_error(conn, 0, ErrorCode::kBadRequest, e.what());
+    send_error(conn, 0, ErrorCode::kBadRequest, e.what(), frame.version);
     conn.closing = true;
     return;
   }
   if (drain_requested_.load(std::memory_order_acquire)) {
     counters_.rejects_shutdown.fetch_add(1, std::memory_order_relaxed);
     send_error(conn, req.tag, ErrorCode::kShuttingDown,
-               "server is draining");
+               "server is draining", frame.version);
     return;
   }
   std::shared_ptr<GemmState> state;
   try {
+    // The plan cache serves repeated shapes without re-planning; the
+    // schedule is immutable and shared across requests and shards.
     state = std::make_shared<GemmState>(
-        req.geometry, tile::plan_gemm(req.spec, req.scratch_tiles),
+        req.geometry, plan_cache_.get_or_plan(req.spec, req.scratch_tiles),
         std::move(req.a), std::move(req.b), req.scratch_tiles);
   } catch (const SimError& e) {
     // Geometry the tile engine cannot lower (e.g. fewer than 8
     // Dnodes); the connection stays open.
-    send_error(conn, req.tag, ErrorCode::kBadRequest, e.what());
+    send_error(conn, req.tag, ErrorCode::kBadRequest, e.what(),
+               frame.version);
     return;
   }
   state->conn_id = conn.id;
@@ -444,34 +728,33 @@ void Server::handle_submit_gemm(Conn& conn, const Frame& frame) {
   state->version = frame.version;
   state->trace_id = req.trace_id;
   state->admitted = std::chrono::steady_clock::now();
-  gemms_.push_back(std::move(state));
+  shard.gemms.push_back(std::move(state));
   // One logical job from the connection's point of view: the idle
   // reaper must not cut a peer waiting on a long tile schedule.
   ++conn.pending_jobs;
   counters_.gemm_requests.fetch_add(1, std::memory_order_relaxed);
-  pump_gemms();
+  pump_gemms(shard);
 }
 
-void Server::pump_gemms() {
-  const int wake_fd = wake_w_;
+void Server::pump_gemms(Shard& shard) {
+  const int wake_fd = shard.wake_w;
   bool queue_full = false;
-  for (auto& g : gemms_) {
+  for (auto& g : shard.gemms) {
     if (queue_full) break;
-    while (!g->failed && g->next_step < g->sched.steps.size()) {
-      const tile::TileStep step = g->sched.steps[g->next_step];
+    while (!g->failed && g->next_step < g->sched->steps.size()) {
+      const tile::TileStep step = g->sched->steps[g->next_step];
       rt::Job job;
       try {
-        job = g->builder.build(g->sched, step, g->a, g->b);
+        job = g->builder.build(*g->sched, step, g->a, g->b);
       } catch (const SimError& e) {
         g->failed = true;
         g->error = e.what();
-        g->next_step = g->sched.steps.size();
+        g->next_step = g->sched->steps.size();
         break;
       }
       job.trace_id = g->trace_id;
       auto submitted = runtime_->try_submit(std::move(job), [wake_fd] {
-        const char byte = 'j';
-        [[maybe_unused]] const ssize_t n = ::write(wake_fd, &byte, 1);
+        wake_shard(wake_fd, 'j');
       });
       if (submitted.status == rt::Runtime::SubmitStatus::kQueueFull) {
         // Backpressure: the held step retries on the next poll tick or
@@ -482,7 +765,7 @@ void Server::pump_gemms() {
       if (submitted.status == rt::Runtime::SubmitStatus::kShutDown) {
         g->failed = true;
         g->error = "runtime is shut down";
-        g->next_step = g->sched.steps.size();
+        g->next_step = g->sched->steps.size();
         break;
       }
       PendingJob pj;
@@ -495,25 +778,25 @@ void Server::pump_gemms() {
       pj.admitted = std::chrono::steady_clock::now();
       pj.gemm = g;
       pj.gemm_step = step;
-      pending_.push_back(std::move(pj));
+      shard.pending.push_back(std::move(pj));
       ++g->next_step;
       ++g->outstanding;
       counters_.gemm_tile_jobs.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  for (auto it = gemms_.begin(); it != gemms_.end();) {
+  for (auto it = shard.gemms.begin(); it != shard.gemms.end();) {
     GemmState& g = **it;
     if (g.outstanding > 0 ||
-        (!g.failed && g.next_step < g.sched.steps.size())) {
+        (!g.failed && g.next_step < g.sched->steps.size())) {
       ++it;
       continue;
     }
-    finalize_gemm(g);
-    it = gemms_.erase(it);
+    finalize_gemm(shard, g);
+    it = shard.gemms.erase(it);
   }
 }
 
-void Server::finalize_gemm(GemmState& g) {
+void Server::finalize_gemm(Shard& shard, GemmState& g) {
   counters_.gemm_scratch_hits.fetch_add(g.scratch.hits(),
                                         std::memory_order_relaxed);
   counters_.gemm_scratch_refills.fetch_add(g.scratch.refills(),
@@ -524,31 +807,31 @@ void Server::finalize_gemm(GemmState& g) {
                                        std::memory_order_relaxed);
 
   const auto now = std::chrono::steady_clock::now();
-  Conn* conn = find_conn(g.conn_id);
+  Conn* conn = find_conn(shard, g.conn_id);
   if (conn != nullptr) {
     if (!g.failed) {
       JobResultMsg msg;
       msg.tag = g.tag;
-      msg.outputs = tile::narrow_grid(g.sched.spec, g.acc);
+      msg.outputs = tile::narrow_grid(g.sched->spec, g.acc);
       msg.sim_cycles = g.sim_cycles;
       msg.worker = g.last_worker;
       msg.reused_system = g.any_reused ? 1 : 0;
       msg.counters = {
           {"sim.cycles", g.sim_cycles},
-          {"tile.jobs", g.sched.steps.size()},
+          {"tile.jobs", g.sched->steps.size()},
           {"tile.scratch.hits", g.scratch.hits()},
           {"tile.scratch.refills", g.scratch.refills()},
           {"tile.scratch.evictions", g.scratch.evictions()},
           {"tile.scratch.bytes_filled", g.scratch.bytes_filled()},
           {"tile.scratch.bytes_saved", g.scratch.bytes_saved()},
-          {"tile.streamed_bytes", g.sched.streamed_bytes},
+          {"tile.streamed_bytes", g.sched->streamed_bytes},
       };
       msg.trace_id = g.trace_id;
       msg.total_us = clamp_u32(us_between(g.admitted, now));
       send_frame(*conn, MsgType::kJobResult,
-                 encode_job_result(msg, g.version));
+                 encode_job_result(msg, g.version), g.version);
     } else {
-      send_error(*conn, g.tag, ErrorCode::kJobFailed, g.error);
+      send_error(*conn, g.tag, ErrorCode::kJobFailed, g.error, g.version);
     }
     if (conn->pending_jobs > 0) --conn->pending_jobs;
     conn->last_activity = now;
@@ -560,13 +843,14 @@ void Server::finalize_gemm(GemmState& g) {
   }
 }
 
-void Server::handle_frame(Conn& conn, const Frame& frame) {
+void Server::handle_frame(Shard& shard, Conn& conn, const Frame& frame) {
   counters_.frames_in.fetch_add(1, std::memory_order_relaxed);
+  shard.frames_in.fetch_add(1, std::memory_order_relaxed);
   try {
     switch (frame.type) {
       case MsgType::kPing:
         send_frame(conn, MsgType::kPong,
-                   encode_ping(decode_ping(frame.payload)));
+                   encode_ping(decode_ping(frame.payload)), frame.version);
         return;
       case MsgType::kServerInfoReq: {
         ServerInfoMsg info;
@@ -579,29 +863,34 @@ void Server::handle_frame(Conn& conn, const Frame& frame) {
         info.jobs_completed =
             counters_.jobs_completed.load(std::memory_order_relaxed);
         info.server = "sring-serve";
-        send_frame(conn, MsgType::kServerInfo, encode_server_info(info));
+        send_frame(conn, MsgType::kServerInfo, encode_server_info(info),
+                   frame.version);
         return;
       }
       case MsgType::kSubmitJob:
-        handle_submit(conn, frame);
+        handle_submit(shard, conn, frame);
+        return;
+      case MsgType::kSubmitJobBatch:
+        handle_submit_batch(shard, conn, frame);
         return;
       case MsgType::kSubmitDfg:
         handle_compile_dfg(conn, frame);
         return;
       case MsgType::kSubmitDfgJob:
-        handle_submit_dfg(conn, frame);
+        handle_submit_dfg(shard, conn, frame);
         return;
       case MsgType::kSubmitGemm:
-        handle_submit_gemm(conn, frame);
+        handle_submit_gemm(shard, conn, frame);
         return;
       case MsgType::kGetStats:
         send_frame(conn, MsgType::kStatsReply,
                    encode_stats_reply(
-                       stats_snapshot(decode_get_stats(frame.payload))));
+                       stats_snapshot(decode_get_stats(frame.payload))),
+                   frame.version);
         return;
       case MsgType::kDrain:
         counters_.drains.fetch_add(1, std::memory_order_relaxed);
-        send_frame(conn, MsgType::kDrainAck, {});
+        send_frame(conn, MsgType::kDrainAck, {}, frame.version);
         request_drain();
         return;
       default:
@@ -609,27 +898,33 @@ void Server::handle_frame(Conn& conn, const Frame& frame) {
         send_error(conn, 0, ErrorCode::kBadRequest,
                    "unexpected message type " +
                        std::to_string(
-                           static_cast<unsigned>(frame.type)));
+                           static_cast<unsigned>(frame.type)),
+                   frame.version);
         conn.closing = true;
         return;
     }
   } catch (const ProtocolError& e) {
     counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
-    send_error(conn, 0, ErrorCode::kBadRequest, e.what());
+    send_error(conn, 0, ErrorCode::kBadRequest, e.what(), frame.version);
     conn.closing = true;
   } catch (const std::exception& e) {
     // Last-resort guard for the never-crash invariant: whatever one
     // frame did, only that connection pays for it.
     counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
-    send_error(conn, 0, ErrorCode::kInternal, e.what());
+    send_error(conn, 0, ErrorCode::kInternal, e.what(), frame.version);
     conn.closing = true;
   }
 }
 
-void Server::drain_input(Conn& conn) {
+void Server::drain_input(Shard& shard, Conn& conn) {
   std::size_t offset = 0;
   bool keep = true;
   while (keep && !conn.closing) {
+    // Pipelining window: stop parsing once the connection has its
+    // fill of in-flight work.  The unparsed bytes stay buffered (and,
+    // past the socket buffer, TCP backpressure holds the peer);
+    // parsing resumes as completions free the window.
+    if (conn.pending_jobs >= config_.pipeline_window) break;
     Frame frame;
     std::size_t consumed = 0;
     const auto view = std::span<const std::uint8_t>(conn.in).subspan(offset);
@@ -638,11 +933,13 @@ void Server::drain_input(Conn& conn) {
     if (status == ParseStatus::kNeedMore) break;
     if (status == ParseStatus::kFrame) {
       offset += consumed;
-      conn.version = frame.version;  // replies mirror the peer's dialect
-      handle_frame(conn, frame);
+      conn.version = frame.version;  // for replies with no frame to mirror
+      handle_frame(shard, conn, frame);
       continue;
     }
-    // Malformed bytes: answer once, then close after the flush.
+    // Malformed bytes: answer once, then close after the flush.  The
+    // frames parsed before the damage were already dispatched — a
+    // malformed frame mid-burst costs the connection, not the burst.
     counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
     const char* what = "malformed frame";
     switch (status) {
@@ -653,7 +950,7 @@ void Server::drain_input(Conn& conn) {
       case ParseStatus::kBadCrc: what = "frame CRC mismatch"; break;
       default: break;
     }
-    send_error(conn, 0, ErrorCode::kBadRequest, what);
+    send_error(conn, 0, ErrorCode::kBadRequest, what, conn.version);
     conn.closing = true;
     keep = false;
   }
@@ -663,14 +960,15 @@ void Server::drain_input(Conn& conn) {
   }
 }
 
-void Server::accept_ready() {
+void Server::accept_ready(Shard& shard0) {
   while (true) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
       return;  // transient accept failure; the loop retries on next poll
     }
-    if (conns_.size() >= config_.max_connections) {
+    if (active_conns_.load(std::memory_order_relaxed) >=
+        config_.max_connections) {
       counters_.connections_rejected.fetch_add(1,
                                                std::memory_order_relaxed);
       ::close(fd);
@@ -679,18 +977,50 @@ void Server::accept_ready() {
     set_nonblocking(fd);
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    Conn conn;
-    conn.fd = fd;
-    conn.id = next_conn_id_++;
-    conn.last_activity = std::chrono::steady_clock::now();
-    conns_.push_back(std::move(conn));
     counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    active_conns_.fetch_add(1, std::memory_order_relaxed);
+    // Round-robin handoff: the acceptor keeps every Nth connection and
+    // passes the rest to their shard's inbox, waking its loop.
+    Shard& target = *shards_[next_shard_rr_ % shards_.size()];
+    ++next_shard_rr_;
+    if (&target == &shard0) {
+      Conn conn;
+      conn.fd = fd;
+      conn.id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+      conn.last_activity = std::chrono::steady_clock::now();
+      shard0.conns.push_back(std::move(conn));
+      shard0.connections.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      {
+        std::lock_guard lock(target.inbox_mu);
+        target.inbox.push_back(fd);
+      }
+      wake_shard(target.wake_w, 'c');
+    }
   }
 }
 
-void Server::collect_completions() {
+void Server::adopt_inbox(Shard& shard) {
+  std::vector<int> fds;
+  {
+    std::lock_guard lock(shard.inbox_mu);
+    fds.swap(shard.inbox);
+  }
+  if (fds.empty()) return;
   const auto now = std::chrono::steady_clock::now();
-  for (auto it = pending_.begin(); it != pending_.end();) {
+  for (const int fd : fds) {
+    Conn conn;
+    conn.fd = fd;
+    conn.id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+    conn.last_activity = now;
+    shard.conns.push_back(std::move(conn));
+    shard.connections.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::collect_completions(Shard& shard) {
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = shard.pending.begin(); it != shard.pending.end();) {
     if (it->result.wait_for(std::chrono::seconds(0)) !=
         std::future_status::ready) {
       ++it;
@@ -701,7 +1031,7 @@ void Server::collect_completions() {
       // Tile job of a v4 GEMM: fold into the state's accumulator, no
       // per-tile reply.  The single response leaves via finalize_gemm
       // once every tile has landed (pump_gemms runs right after this
-      // sweep — never during it, since it push_backs into pending_).
+      // sweep — never during it, since it push_backs into pending).
       GemmState& g = *it->gemm;
       if (g.outstanding > 0) --g.outstanding;
       if (!result.ok) {
@@ -709,10 +1039,10 @@ void Server::collect_completions() {
           g.failed = true;
           g.error = result.error;
         }
-        g.next_step = g.sched.steps.size();  // abandon unsubmitted tiles
+        g.next_step = g.sched->steps.size();  // abandon unsubmitted tiles
       } else if (!g.failed) {
         try {
-          tile::accumulate_tile(g.sched, it->gemm_step, result.outputs,
+          tile::accumulate_tile(*g.sched, it->gemm_step, result.outputs,
                                 g.acc);
           g.sim_cycles += result.report.stats.cycles;
           g.last_worker = static_cast<std::uint32_t>(result.worker);
@@ -722,16 +1052,42 @@ void Server::collect_completions() {
           // not a client one; fail the request without crashing.
           g.failed = true;
           g.error = e.what();
-          g.next_step = g.sched.steps.size();
+          g.next_step = g.sched->steps.size();
         }
       }
       if (obs::telemetry_enabled()) {
-        record_completion(*it, result, 0, std::chrono::steady_clock::now());
+        record_completion(shard, *it, result, 0,
+                          std::chrono::steady_clock::now());
       }
-      it = pending_.erase(it);
+      it = shard.pending.erase(it);
       continue;
     }
-    Conn* conn = find_conn(it->conn_id);
+    if (it->batch != nullptr) {
+      // Entry of a v5 batch: settle it; the one reply leaves when the
+      // last entry lands.
+      JobBatchEntryMsg entry;
+      if (result.ok) {
+        entry.ok = 1;
+        entry.result = make_job_result_msg(it->tag, result);
+        counters_.jobs_completed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        entry.ok = 0;
+        entry.error.tag = it->tag;
+        entry.error.code = ErrorCode::kJobFailed;
+        entry.error.message = result.error;
+        counters_.jobs_failed.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (obs::telemetry_enabled()) {
+        record_completion(shard, *it, result, 0,
+                          std::chrono::steady_clock::now());
+      }
+      auto batch = std::move(it->batch);
+      const std::size_t index = it->batch_index;
+      it = shard.pending.erase(it);
+      settle_batch_entry(shard, batch, index, std::move(entry));
+      continue;
+    }
+    Conn* conn = find_conn(shard, it->conn_id);
     const bool timed = obs::telemetry_enabled();
     std::uint64_t serialize_us = 0;
     if (conn != nullptr) {
@@ -759,17 +1115,19 @@ void Server::collect_completions() {
           } catch (const SimError& e) {
             // Raw stream shorter than the program promises — a server
             // bug, not a client one; answer it without crashing.
-            send_error(*conn, it->tag, ErrorCode::kInternal, e.what());
+            send_error(*conn, it->tag, ErrorCode::kInternal, e.what(),
+                       it->version);
             deliver = false;
           }
         }
         if (deliver) {
           send_frame(*conn, MsgType::kJobResult,
-                     encode_job_result(msg, it->version));
+                     encode_job_result(msg, it->version), it->version);
         }
       } else {
         // SimError text travels verbatim; the client re-raises it.
-        send_error(*conn, it->tag, ErrorCode::kJobFailed, result.error);
+        send_error(*conn, it->tag, ErrorCode::kJobFailed, result.error,
+                   it->version);
       }
       if (timed) {
         serialize_us = us_between(s0, std::chrono::steady_clock::now());
@@ -783,15 +1141,15 @@ void Server::collect_completions() {
       counters_.jobs_failed.fetch_add(1, std::memory_order_relaxed);
     }
     if (timed) {
-      record_completion(*it, result, serialize_us,
+      record_completion(shard, *it, result, serialize_us,
                         std::chrono::steady_clock::now());
     }
-    it = pending_.erase(it);
+    it = shard.pending.erase(it);
   }
 }
 
 void Server::record_completion(
-    const PendingJob& pending, const rt::JobResult& result,
+    Shard& shard, const PendingJob& pending, const rt::JobResult& result,
     std::uint64_t serialize_us,
     std::chrono::steady_clock::time_point done) {
   const obs::SpanTimeline& tl = result.timeline;
@@ -816,16 +1174,22 @@ void Server::record_completion(
   rec.serialize_us = clamp_u32(serialize_us);
   rec.e2e_us = clamp_u32(e2e);
 
+  {
+    // Latency histograms go to the shard's own slice; metrics() merges
+    // the slices, so the totals are invariant to the shard count.
+    std::lock_guard lock(shard.lat_mu);
+    const auto& bounds = obs::latency_bounds_us();
+    shard.latency.histogram("net.latency.queue_wait_us", bounds)
+        .record(tl.queue_wait_us());
+    shard.latency.histogram("net.latency.arm_us", bounds)
+        .record(tl.arm_us());
+    shard.latency.histogram("net.latency.execute_us", bounds)
+        .record(tl.execute_us());
+    shard.latency.histogram("net.latency.serialize_us", bounds)
+        .record(serialize_us);
+    shard.latency.histogram("net.latency.e2e_us", bounds).record(e2e);
+  }
   std::lock_guard lock(telemetry_mu_);
-  const auto& bounds = obs::latency_bounds_us();
-  latency_.histogram("net.latency.queue_wait_us", bounds)
-      .record(tl.queue_wait_us());
-  latency_.histogram("net.latency.arm_us", bounds).record(tl.arm_us());
-  latency_.histogram("net.latency.execute_us", bounds)
-      .record(tl.execute_us());
-  latency_.histogram("net.latency.serialize_us", bounds)
-      .record(serialize_us);
-  latency_.histogram("net.latency.e2e_us", bounds).record(e2e);
   recorder_.record(std::move(rec));
 }
 
@@ -838,34 +1202,36 @@ void Server::maybe_sample(std::chrono::steady_clock::time_point now) {
   sampler_.sample(snap, now);
 }
 
-void Server::run() {
-  check(!ran_, "net: Server::run() may only be called once");
-  ran_ = true;
-
+void Server::shard_loop(Shard& shard) {
+  const bool acceptor = shard.index == 0;
   std::vector<pollfd> fds;
   std::vector<std::uint64_t> fd_conn_ids;  // parallel to fds tail
   std::vector<std::uint8_t> buf(64 * 1024);
 
   // Armed when the drain flush phase begins; a peer that never reads
-  // its responses cannot hold run() open past this deadline.
+  // its responses cannot hold this shard open past the deadline.
   bool drain_flush_armed = false;
   std::chrono::steady_clock::time_point drain_flush_deadline{};
 
   while (true) {
     const bool draining = drain_requested_.load(std::memory_order_acquire);
-    if (draining && listen_fd_ >= 0) close_fd(listen_fd_);
+    if (draining && acceptor && listen_fd_ >= 0) close_fd(listen_fd_);
+
+    adopt_inbox(shard);
 
     // Drop fully closed / flushed-and-closing connections.
-    for (auto& conn : conns_) {
+    for (auto& conn : shard.conns) {
       if (conn.fd >= 0 && conn.closing && conn.out_pos == conn.out.size()) {
         close_conn(conn);
       }
     }
-    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
-                                [](const Conn& c) { return c.fd < 0; }),
-                 conns_.end());
+    shard.conns.erase(
+        std::remove_if(shard.conns.begin(), shard.conns.end(),
+                       [](const Conn& c) { return c.fd < 0; }),
+        shard.conns.end());
 
-    if (draining && pending_.empty() && gemms_.empty()) {
+    if (draining && shard.pending.empty() && shard.gemms.empty() &&
+        shard.deferred.empty()) {
       // In-flight work answered; flush what remains and finish.
       const auto flush_now = std::chrono::steady_clock::now();
       if (!drain_flush_armed) {
@@ -873,7 +1239,7 @@ void Server::run() {
         drain_flush_deadline = flush_now + config_.drain_flush_timeout;
       }
       bool flushed = true;
-      for (auto& conn : conns_) {
+      for (auto& conn : shard.conns) {
         if (conn.fd < 0) continue;
         if (!flush_out(conn.fd, conn.out, conn.out_pos,
                        counters_.bytes_out) ||
@@ -887,16 +1253,17 @@ void Server::run() {
       if (flush_now >= drain_flush_deadline) {
         // Unflushed responses to peers that stopped reading; drop them
         // so SIGTERM always terminates.
-        for (auto& conn : conns_) close_conn(conn);
+        for (auto& conn : shard.conns) close_conn(conn);
         break;
       }
     }
 
     fds.clear();
     fd_conn_ids.clear();
-    fds.push_back({wake_r_, POLLIN, 0});
-    if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
-    for (auto& conn : conns_) {
+    fds.push_back({shard.wake_r, POLLIN, 0});
+    const bool poll_listen = acceptor && listen_fd_ >= 0;
+    if (poll_listen) fds.push_back({listen_fd_, POLLIN, 0});
+    for (auto& conn : shard.conns) {
       if (conn.fd < 0) continue;
       short events = conn.closing ? 0 : POLLIN;
       if (conn.out_pos < conn.out.size()) events |= POLLOUT;
@@ -904,11 +1271,15 @@ void Server::run() {
       fd_conn_ids.push_back(conn.id);
     }
 
-    // Tick at least as often as the sampler wants a point.
+    // Tick at least as often as the sampler wants a point, and much
+    // faster while deferred jobs wait on a millisecond deadline.
     const int sample_ms = static_cast<int>(
         std::max<std::int64_t>(1, config_.sample_interval.count()));
-    const int n = ::poll(fds.data(), fds.size(),
-                         std::min(kPollTickMs, sample_ms));
+    int tick_ms = std::min(kPollTickMs, sample_ms);
+    if (!shard.deferred.empty()) {
+      tick_ms = std::min(tick_ms, kDeferredTickMs);
+    }
+    const int n = ::poll(fds.data(), fds.size(), tick_ms);
     if (n < 0 && errno != EINTR) {
       throw NetError("net: poll failed: " +
                      std::string(std::strerror(errno)));
@@ -916,20 +1287,30 @@ void Server::run() {
 
     // Wake pipe: drain it, then sweep completed jobs.
     if (fds[0].revents & POLLIN) {
-      while (::read(wake_r_, buf.data(), buf.size()) > 0) {
+      while (::read(shard.wake_r, buf.data(), buf.size()) > 0) {
       }
     }
-    collect_completions();
-    pump_gemms();
-    maybe_sample(std::chrono::steady_clock::now());
+    adopt_inbox(shard);  // a handoff may have arrived with the wake
+    collect_completions(shard);
+    pump_gemms(shard);
+    pump_deferred(shard);
+    // Completions freed pipeline windows: resume parsing connections
+    // whose buffers still hold frames.
+    for (auto& conn : shard.conns) {
+      if (conn.fd < 0 || conn.closing || conn.in.empty()) continue;
+      if (conn.pending_jobs < config_.pipeline_window) {
+        drain_input(shard, conn);
+      }
+    }
+    if (acceptor) maybe_sample(std::chrono::steady_clock::now());
 
     std::size_t at = 1;
-    if (listen_fd_ >= 0) {
-      if (fds[at].revents & POLLIN) accept_ready();
+    if (poll_listen) {
+      if (fds[at].revents & POLLIN) accept_ready(shard);
       ++at;
     }
     for (std::size_t i = 0; at < fds.size(); ++at, ++i) {
-      Conn* conn = find_conn(fd_conn_ids[i]);
+      Conn* conn = find_conn(shard, fd_conn_ids[i]);
       if (conn == nullptr) continue;
       const short revents = fds[at].revents;
       if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
@@ -964,7 +1345,7 @@ void Server::run() {
           peer_closed = true;
           break;
         }
-        drain_input(*conn);
+        drain_input(shard, *conn);
         // Stamp AFTER processing: a large input burst can take longer
         // than a short idle_timeout to answer, and a stale stamp would
         // reap the very connection that is actively talking to us.
@@ -978,7 +1359,7 @@ void Server::run() {
     // refreshes last_activity) or the peer has stopped reading and the
     // unflushed output is forfeit.
     const auto reap_now = std::chrono::steady_clock::now();
-    for (auto& conn : conns_) {
+    for (auto& conn : shard.conns) {
       if (conn.fd < 0 || (conn.pending_jobs > 0 && !conn.closing)) continue;
       if (reap_now - conn.last_activity > config_.idle_timeout) {
         counters_.timeouts.fetch_add(1, std::memory_order_relaxed);
@@ -987,8 +1368,45 @@ void Server::run() {
     }
   }
 
-  for (auto& conn : conns_) close_conn(conn);
-  conns_.clear();
+  for (auto& conn : shard.conns) close_conn(conn);
+  shard.conns.clear();
+}
+
+void Server::run() {
+  check(!ran_, "net: Server::run() may only be called once");
+  ran_ = true;
+
+  // Shards 1..N-1 on their own threads, shard 0 (acceptor + sampler)
+  // on the caller's thread.  A shard that dies on an unexpected error
+  // drains the rest so run() still returns, then rethrows.
+  std::vector<std::exception_ptr> errors(shards_.size());
+  const auto run_shard = [this, &errors](std::size_t index) {
+    try {
+      shard_loop(*shards_[index]);
+    } catch (...) {
+      errors[index] = std::current_exception();
+      request_drain();
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(shards_.size() - 1);
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    threads.emplace_back(run_shard, i);
+  }
+  run_shard(0);
+  for (auto& t : threads) t.join();
+
+  // Handoffs that raced the drain: accepted fds no shard adopted.
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->inbox_mu);
+    for (int fd : shard->inbox) {
+      if (fd < 0) continue;
+      ::close(fd);
+      counters_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+      active_conns_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    shard->inbox.clear();
+  }
   close_fd(listen_fd_);
 
   // Post-mortem flight dump — covers Drain frames, request_drain() and
@@ -999,6 +1417,9 @@ void Server::run() {
     if (out) recorder_.write_jsonl(out);
   }
   runtime_->shutdown();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
 }
 
 obs::Registry Server::metrics() const {
@@ -1027,6 +1448,13 @@ obs::Registry Server::metrics() const {
   out.counter("net.jobs.completed").set(get(counters_.jobs_completed));
   out.counter("net.jobs.failed").set(get(counters_.jobs_failed));
   out.counter("net.drains").set(get(counters_.drains));
+  out.counter("net.admission.accepted")
+      .set(get(counters_.admission_accepted));
+  out.counter("net.admission.delayed")
+      .set(get(counters_.admission_delayed));
+  out.counter("net.admission.shed").set(get(counters_.admission_shed));
+  out.counter("net.batch.requests").set(get(counters_.batch_requests));
+  out.counter("net.batch.jobs").set(get(counters_.batch_jobs));
   out.counter("net.gemm.requests").set(get(counters_.gemm_requests));
   out.counter("net.gemm.tile_jobs").set(get(counters_.gemm_tile_jobs));
   out.counter("tile.scratch.hits").set(get(counters_.gemm_scratch_hits));
@@ -1036,18 +1464,27 @@ obs::Registry Server::metrics() const {
       .set(get(counters_.gemm_bytes_filled));
   out.counter("tile.scratch.bytes_saved")
       .set(get(counters_.gemm_bytes_saved));
+  out.counter("tile.plan.hits").set(plan_cache_.hits());
+  out.counter("tile.plan.misses").set(plan_cache_.misses());
+  out.counter("tile.plan.evictions").set(plan_cache_.evictions());
+  out.counter("net.shards").set(shards_.size());
+  for (const auto& shard : shards_) {
+    const std::string prefix =
+        "net.shard." + std::to_string(shard->index);
+    out.counter(prefix + ".frames_in").set(get(shard->frames_in));
+    out.counter(prefix + ".jobs").set(get(shard->jobs_submitted));
+    out.counter(prefix + ".connections").set(get(shard->connections));
+    std::lock_guard lock(shard->lat_mu);
+    out.merge_from(shard->latency);
+  }
   out.merge_from(runtime_->metrics());
   out.merge_from(compile_.metrics());
-  {
-    std::lock_guard lock(telemetry_mu_);
-    out.merge_from(latency_);
-  }
   return out;
 }
 
 StatsReplyMsg Server::stats_snapshot(std::uint32_t flags) const {
   const auto now = std::chrono::steady_clock::now();
-  const obs::Registry snap = metrics();  // takes telemetry_mu_ itself
+  const obs::Registry snap = metrics();  // takes its own locks
 
   StatsReplyMsg msg;
   msg.uptime_us = us_between(start_time_, now);

@@ -1,24 +1,33 @@
-// Poll-based job server: the rt runtime exposed as a network service.
+// Sharded poll-based job server: the rt runtime exposed as a network
+// service.
 //
-// One thread runs the whole network side — a poll() loop over the
-// listening socket, a self-wake pipe and every client connection —
-// while the owned rt::Runtime's worker fleet executes jobs.  The
-// design invariants:
+// The serving front end mirrors the ring architecture's own scaling
+// story — many cheap independent engines behind one shared fleet.  N
+// event-loop shards each run their own poll() loop over their own
+// connections, read/write buffers, self-wake pipe and telemetry
+// slice; shard 0 additionally owns the listening socket and hands
+// accepted fds to the other shards round-robin.  Every shard feeds
+// the one rt::Runtime.  The design invariants:
 //
 //  * The accept loop never blocks on the fleet.  SubmitJob frames go
-//    through Runtime::try_submit; a full queue answers Error{kBusy}
-//    immediately (bounded backpressure, load is shed at admission
-//    exactly like the JobQueue sheds it in-process).
-//  * Job completions wake the loop through the pipe (workers call the
-//    envelope's notify hook), so response latency is not quantized by
-//    the poll timeout.
+//    through Runtime::try_submit; admission is governed by queue-depth
+//    watermarks (accept below low, briefly defer between low and
+//    high, shed with Error{kBusy} + retry_after_ms above high).
+//  * Frames pipeline per connection: every complete frame in the
+//    buffer is parsed and admitted up to a bounded in-flight window;
+//    replies leave in completion order and correlate by tag, each in
+//    the exact protocol version of the frame that requested it.
+//  * Job completions wake the owning shard through its pipe (workers
+//    call the envelope's notify hook), so response latency is not
+//    quantized by the poll timeout.
 //  * Malformed bytes (bad magic/version, oversized frame, CRC
 //    mismatch, garbage) answer Error{kBadRequest} and close that one
-//    connection; the server itself never crashes or hangs on them.
+//    connection — even mid-pipeline, the frames parsed before the
+//    damage are still answered; the server itself never crashes.
 //  * Drain — via a Drain frame, request_drain() or SIGTERM when
 //    enable_signal_drain() was called — stops accepting connections
-//    and jobs, lets in-flight jobs finish, flushes every response,
-//    then returns from run().
+//    and jobs, lets every shard finish its in-flight and deferred
+//    jobs, flushes every response, then returns from run().
 #pragma once
 
 #include <atomic>
@@ -38,6 +47,7 @@
 #include "rt/runtime.hpp"
 #include "svc/compile_service.hpp"
 #include "tile/gemm_runner.hpp"
+#include "tile/tile_plan.hpp"
 
 namespace sring::net {
 
@@ -47,11 +57,45 @@ struct ServerConfig {
 
   rt::RuntimeConfig runtime;  ///< worker fleet behind the socket
 
+  /// Event-loop shards.  Shard 0 runs on the run() caller's thread and
+  /// owns the listening socket; shards 1..N-1 get their own threads
+  /// and receive accepted fds round-robin.  1 reproduces the classic
+  /// single-poll-loop server exactly.
+  std::size_t shards = 1;
+
+  /// Per-connection in-flight window: how many admitted-but-unanswered
+  /// jobs one pipelined connection may accumulate before the shard
+  /// stops parsing its buffer (bytes stay queued; TCP backpressure
+  /// does the rest).  Parsing resumes as completions drain the window.
+  std::size_t pipeline_window = 32;
+
+  // --- queue-depth admission watermarks (net.admission.*) ---
+  // Replaces the binary full/not-full Busy shed: below the low
+  // watermark jobs are admitted immediately; between low and high they
+  // are briefly deferred (smoothing bursts instead of shedding them);
+  // at or above high they are shed with Error{kBusy} carrying a
+  // retry_after_ms hint (v5 clients see the hint; older clients see
+  // the same Error bytes as before).
+
+  std::size_t admission_low = 0;   ///< 0 = max(1, queue_capacity / 2)
+  std::size_t admission_high = 0;  ///< 0 = queue_capacity
+
+  /// Longest a job may sit deferred; past this the shard force-tries
+  /// the submit and sheds Busy if the queue is still full.
+  std::chrono::milliseconds admission_max_delay{50};
+
+  /// The retry_after_ms hint shed responses carry to v5 clients.
+  std::uint32_t retry_after_hint_ms = 25;
+
   std::size_t max_connections = 64;
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
 
   /// DFG compile service shape (cache capacity, validation depth).
   svc::CompileServiceConfig compile;
+
+  /// Tile-schedule cache: repeated (GemmSpec, scratch capacity) pairs
+  /// skip re-planning (tile.plan.hits / misses / evictions).
+  std::size_t plan_cache_capacity = 32;
 
   /// Idle cutoff for a connection with no pending jobs; activity on
   /// the socket or a job completion resets it.  Also applies to
@@ -67,7 +111,7 @@ struct ServerConfig {
 
   // --- live telemetry (all off-hot-path; see docs/OBSERVABILITY.md) ---
 
-  /// Rolling-sampler period; the poll loop ticks at least this often.
+  /// Rolling-sampler period; the poll loops tick at least this often.
   std::chrono::milliseconds sample_interval{1000};
   std::size_t sampler_capacity = 128;  ///< delta points kept
 
@@ -95,8 +139,9 @@ class Server {
   /// The bound TCP port (resolves an ephemeral request).
   std::uint16_t port() const noexcept { return port_; }
 
-  /// Serve until drained.  Returns once every accepted job has been
-  /// answered and every response flushed.
+  /// Serve until drained.  Spawns shards-1 threads (shard 0 runs on
+  /// the caller's thread) and returns once every accepted job has been
+  /// answered and every response flushed on every shard.
   void run();
 
   /// Thread- and signal-safe drain request; run() winds down.
@@ -110,14 +155,17 @@ class Server {
   /// other thread may concurrently install SIGTERM/SIGINT handlers.
   void enable_signal_drain();
 
-  /// net.* counters plus the fleet's rt.* metrics and the server-side
-  /// net.latency.* histograms, callable from any thread while run()
-  /// is live.
+  /// net.* counters plus the fleet's rt.* metrics, the shard-local
+  /// net.latency.* histograms (merged via Registry::merge_from — the
+  /// totals are shard-count-invariant) and per-shard net.shard.<i>.*
+  /// counters.  Callable from any thread while run() is live.
   obs::Registry metrics() const;
 
   /// The live stats snapshot a GetStats frame polls, also callable
   /// in-process (bench_serve uses it).  Thread-safe.
   StatsReplyMsg stats_snapshot(std::uint32_t flags) const;
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
 
  private:
   struct Conn {
@@ -126,20 +174,24 @@ class Server {
     std::vector<std::uint8_t> in;
     std::vector<std::uint8_t> out;
     std::size_t out_pos = 0;
+    /// Logical in-flight requests (queued jobs, deferred admissions,
+    /// whole GEMMs/batches) — the pipelining window and the idle
+    /// reaper both key off it.
     std::size_t pending_jobs = 0;
     bool closing = false;  ///< close once out drains
     std::chrono::steady_clock::time_point last_activity;
-    /// Version of the last frame this peer sent; every reply mirrors
-    /// it so v1 clients keep parsing a v2 server's frames.
+    /// Version of the last frame this peer sent — used only for
+    /// replies with no request frame to mirror (parse errors).
     std::uint16_t version = kProtocolVersion;
   };
 
   /// One in-flight tiled GEMM (v4): the server-side analogue of
-  /// tile::run_gemm, unrolled into the poll loop so the tile jobs of
+  /// tile::run_gemm, unrolled into the shard loop so the tile jobs of
   /// many clients interleave on the fleet.  Tile completions fold into
   /// `acc` in whatever order they land (wrapping adds are
   /// order-independent — see tile/gemm_ref.hpp), and the single
   /// JobResult reply goes out once the last tile has been folded.
+  /// The schedule is shared with (and may outlive) the plan cache.
   struct GemmState {
     std::uint64_t conn_id = 0;
     std::uint32_t tag = 0;
@@ -147,21 +199,22 @@ class Server {
     std::uint64_t trace_id = 0;
     std::chrono::steady_clock::time_point admitted;  ///< e2e epoch
 
-    tile::TileSchedule sched;
+    std::shared_ptr<const tile::TileSchedule> sched;
     std::vector<Word> a, b;
     tile::Scratchpad scratch;
     tile::GemmJobBuilder builder;  ///< holds a reference to `scratch`
     std::vector<Word> acc;         ///< m*n wrapping accumulator grid
 
     std::size_t next_step = 0;    ///< first un-submitted schedule step
-    std::size_t outstanding = 0;  ///< tile jobs currently in pending_
+    std::size_t outstanding = 0;  ///< tile jobs currently pending
     std::uint64_t sim_cycles = 0;
     std::uint32_t last_worker = 0;
     bool any_reused = false;
     bool failed = false;
     std::string error;  ///< first tile failure, verbatim
 
-    GemmState(const RingGeometry& geometry, tile::TileSchedule schedule,
+    GemmState(const RingGeometry& geometry,
+              std::shared_ptr<const tile::TileSchedule> schedule,
               std::vector<Word> a_in, std::vector<Word> b_in,
               std::size_t scratch_tiles)
         : sched(std::move(schedule)),
@@ -169,7 +222,20 @@ class Server {
           b(std::move(b_in)),
           scratch(scratch_tiles),
           builder(geometry, scratch),
-          acc(sched.spec.m * sched.spec.n, 0) {}
+          acc(sched->spec.m * sched->spec.n, 0) {}
+  };
+
+  /// One in-flight v5 SubmitJobBatch: entries settle independently
+  /// (admission errors inline, completions as they land, deferred
+  /// sheds at their deadline) and the single JobBatchResult reply goes
+  /// out when the last entry has settled.
+  struct BatchState {
+    std::uint64_t conn_id = 0;
+    std::uint16_t version = kProtocolVersion;
+    std::uint64_t trace_id = 0;
+    std::chrono::steady_clock::time_point admitted;
+    JobBatchResultMsg result;   ///< tag + entries, filled as they settle
+    std::size_t remaining = 0;  ///< unsettled entries
   };
 
   struct PendingJob {
@@ -189,63 +255,151 @@ class Server {
     /// state's accumulator instead of answering the client directly.
     std::shared_ptr<GemmState> gemm;
     tile::TileStep gemm_step{};
+    /// Set for entries of a v5 batch: the completion settles one entry
+    /// of the batch result instead of answering directly.
+    std::shared_ptr<BatchState> batch;
+    std::size_t batch_index = 0;
+  };
+
+  /// A job parked between the admission watermarks: the shard retries
+  /// it on every tick/wake and sheds Busy past its deadline.
+  struct DeferredJob {
+    std::uint64_t conn_id = 0;
+    std::uint32_t tag = 0;
+    rt::Job job;
+    std::uint64_t trace_id = 0;
+    std::string job_name;
+    std::uint16_t version = kProtocolVersion;
+    std::chrono::steady_clock::time_point admitted;  ///< receive stamp
+    std::chrono::steady_clock::time_point deadline;
+    std::shared_ptr<const svc::CompiledDfg> dfg;
+    std::size_t dfg_samples = 0;
+    bool dfg_cache_hit = false;
+    std::shared_ptr<BatchState> batch;
+    std::size_t batch_index = 0;
+  };
+
+  /// One event-loop shard: its own poll loop, connections, in-flight
+  /// state, wake pipe and telemetry slice.  Only the inbox (fd handoff
+  /// from the acceptor) and the latency registry are ever touched by
+  /// another thread, each behind its own mutex.
+  struct Shard {
+    std::size_t index = 0;
+    int wake_r = -1;
+    int wake_w = -1;
+
+    std::deque<Conn> conns;
+    std::vector<PendingJob> pending;
+    std::vector<std::shared_ptr<GemmState>> gemms;
+    std::deque<DeferredJob> deferred;
+
+    /// Accepted fds handed off by shard 0; adopted at the loop top.
+    std::mutex inbox_mu;
+    std::vector<int> inbox;
+
+    // Per-shard counters (net.shard.<i>.*), read lock-free by
+    // metrics().
+    std::atomic<std::uint64_t> frames_in{0};
+    std::atomic<std::uint64_t> jobs_submitted{0};
+    std::atomic<std::uint64_t> connections{0};
+
+    /// Shard-local net.latency.* histograms; Server::metrics() merges
+    /// every shard's registry via Registry::merge_from.
+    mutable std::mutex lat_mu;
+    obs::Registry latency;
+  };
+
+  enum class FleetSubmit : std::uint8_t {
+    kAccepted = 0,
+    kQueueFull,
+    kShutDown
   };
 
   void send_frame(Conn& conn, MsgType type,
-                  std::span<const std::uint8_t> payload);
+                  std::span<const std::uint8_t> payload,
+                  std::uint16_t version);
   void send_error(Conn& conn, std::uint32_t tag, ErrorCode code,
-                  const std::string& message);
-  void handle_frame(Conn& conn, const Frame& frame);
-  void handle_submit(Conn& conn, const Frame& frame);
-  void handle_submit_dfg(Conn& conn, const Frame& frame);
+                  const std::string& message, std::uint16_t version,
+                  std::uint32_t retry_after_ms = 0);
+  void handle_frame(Shard& shard, Conn& conn, const Frame& frame);
+  void handle_submit(Shard& shard, Conn& conn, const Frame& frame);
+  void handle_submit_batch(Shard& shard, Conn& conn, const Frame& frame);
+  void handle_submit_dfg(Shard& shard, Conn& conn, const Frame& frame);
   void handle_compile_dfg(Conn& conn, const Frame& frame);
-  void handle_submit_gemm(Conn& conn, const Frame& frame);
+  void handle_submit_gemm(Shard& shard, Conn& conn, const Frame& frame);
   /// Submit as many un-queued tile steps as the fleet will take (a
-  /// full queue stops the pump; held steps retry on the next poll
-  /// tick), then finalize every GEMM whose last tile has landed.
-  /// Never called while collect_completions() iterates pending_.
-  void pump_gemms();
-  void finalize_gemm(GemmState& gemm);
-  /// Shared admission tail of both submit paths: stamp the e2e epoch,
-  /// try_submit to the fleet, answer Busy/ShuttingDown, or register the
-  /// PendingJob.  For DFG jobs `dfg`/`dfg_samples`/`dfg_cache_hit`
-  /// carry the de-lacing context; admission is stamped AFTER the
-  /// compile phase, so compile latency never enters the job's span
-  /// timeline.
-  void admit_job(Conn& conn, rt::Job job, std::uint32_t tag,
+  /// full queue stops the pump; held steps retry on the next tick),
+  /// then finalize every GEMM whose last tile has landed.  Never
+  /// called while collect_completions() iterates pending.
+  void pump_gemms(Shard& shard);
+  void finalize_gemm(Shard& shard, GemmState& gemm);
+  /// Watermark admission shared by every submit path: accept below
+  /// low, defer between low and high, shed at or above high.  Batch
+  /// entries settle into `batch` instead of answering directly.
+  void admit_job(Shard& shard, Conn& conn, rt::Job job, std::uint32_t tag,
                  std::uint64_t trace_id, std::uint16_t version,
                  std::shared_ptr<const svc::CompiledDfg> dfg,
-                 std::size_t dfg_samples, bool dfg_cache_hit);
-  /// Fold one finished job into the latency histograms + recorder.
-  void record_completion(const PendingJob& pending,
+                 std::size_t dfg_samples, bool dfg_cache_hit,
+                 std::shared_ptr<BatchState> batch,
+                 std::size_t batch_index);
+  /// Low-level fleet submit: on kAccepted registers `meta` (with its
+  /// future) in shard.pending and bumps the counters.
+  FleetSubmit submit_pending(Shard& shard, Conn* conn, rt::Job job,
+                             PendingJob meta);
+  /// Busy-shed one job: Error{kBusy, retry_after_ms} to the peer, or
+  /// the equivalent settled batch entry.
+  void shed_job(Shard& shard, Conn* conn, std::uint32_t tag,
+                std::uint16_t version,
+                const std::shared_ptr<BatchState>& batch,
+                std::size_t batch_index);
+  /// Retry deferred jobs (immediately when the depth fell below low or
+  /// the deadline/drain forces the attempt), shedding Busy on a still
+  /// full queue past the deadline.
+  void pump_deferred(Shard& shard);
+  /// Record one settled batch entry; sends the JobBatchResult when the
+  /// last entry lands.
+  void settle_batch_entry(Shard& shard,
+                          const std::shared_ptr<BatchState>& batch,
+                          std::size_t index, JobBatchEntryMsg entry);
+  void finalize_batch(Shard& shard, BatchState& batch);
+  /// Fold one finished job into the shard's latency histograms + the
+  /// server-wide flight recorder.
+  void record_completion(Shard& shard, const PendingJob& pending,
                          const rt::JobResult& result,
                          std::uint64_t serialize_us,
                          std::chrono::steady_clock::time_point done);
   void maybe_sample(std::chrono::steady_clock::time_point now);
-  /// Parse conn.in, dispatching every complete frame.  A connection
-  /// that must close is flagged via conn.closing (it still needs its
-  /// output flushed first).
-  void drain_input(Conn& conn);
-  void accept_ready();
-  void collect_completions();
+  /// Parse conn.in, dispatching every complete frame up to the
+  /// pipeline window.  A connection that must close is flagged via
+  /// conn.closing (it still needs its output flushed first).
+  void drain_input(Shard& shard, Conn& conn);
+  /// Accept pending connections (shard 0 only) and distribute them
+  /// round-robin across every shard.
+  void accept_ready(Shard& shard0);
+  /// Adopt fds the acceptor handed to this shard.
+  void adopt_inbox(Shard& shard);
+  void collect_completions(Shard& shard);
   void close_conn(Conn& conn);
-  Conn* find_conn(std::uint64_t id);
+  Conn* find_conn(Shard& shard, std::uint64_t id);
+  /// The per-shard event loop; shard 0 additionally accepts + samples.
+  void shard_loop(Shard& shard);
 
   ServerConfig config_;
   std::unique_ptr<rt::Runtime> runtime_;
-  svc::CompileService compile_;  ///< poll-thread compile + cache
+  svc::CompileService compile_;  ///< internally locked; shards share it
+  tile::PlanCache plan_cache_;   ///< internally locked; shards share it
   int listen_fd_ = -1;
-  int wake_r_ = -1;
-  int wake_w_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> drain_requested_{false};
   bool ran_ = false;
   bool signal_handlers_installed_ = false;
 
-  std::deque<Conn> conns_;
-  std::vector<PendingJob> pending_;
-  std::vector<std::shared_ptr<GemmState>> gemms_;
-  std::uint64_t next_conn_id_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t next_shard_rr_ = 0;  ///< acceptor (shard 0) thread only
+  std::atomic<std::uint64_t> next_conn_id_{1};
+  std::atomic<std::size_t> active_conns_{0};
+  std::size_t admission_low_ = 0;   ///< resolved from config in ctor
+  std::size_t admission_high_ = 0;
 
   struct NetCounters {
     std::atomic<std::uint64_t> connections_accepted{0};
@@ -263,6 +417,17 @@ class Server {
     std::atomic<std::uint64_t> jobs_completed{0};
     std::atomic<std::uint64_t> jobs_failed{0};
     std::atomic<std::uint64_t> drains{0};
+    // Watermark admission (net.admission.*): accepted/shed are final
+    // outcomes (every job-class admission ends in exactly one of
+    // them); delayed counts parkings, which later resolve into one of
+    // the two.  Sheds also count in rejects_busy, which remains the
+    // what-the-client-saw counter.
+    std::atomic<std::uint64_t> admission_accepted{0};
+    std::atomic<std::uint64_t> admission_delayed{0};
+    std::atomic<std::uint64_t> admission_shed{0};
+    // v5 batched submits.
+    std::atomic<std::uint64_t> batch_requests{0};
+    std::atomic<std::uint64_t> batch_jobs{0};
     // v4 tiled-GEMM aggregates, folded in at admission / finalize so
     // `sras stats` sees the scratchpad behaviour across all requests.
     std::atomic<std::uint64_t> gemm_requests{0};
@@ -274,15 +439,15 @@ class Server {
   };
   NetCounters counters_;
 
-  // Telemetry state.  The poll thread writes, metrics()/
-  // stats_snapshot() read from any thread — everything behind one
-  // mutex taken per job completion / sample tick, never per byte.
+  // Server-wide telemetry.  Shard threads write per completion /
+  // sample tick (never per byte), metrics()/stats_snapshot() read from
+  // any thread — everything behind one mutex.  Per-shard latency
+  // histograms live in the shards, behind their own lat_mu.
   mutable std::mutex telemetry_mu_;
-  obs::Registry latency_;  ///< net.latency.* histograms
   obs::Sampler sampler_;
   obs::FlightRecorder recorder_;
   std::chrono::steady_clock::time_point start_time_;
-  std::chrono::steady_clock::time_point last_sample_;
+  std::chrono::steady_clock::time_point last_sample_;  ///< shard-0 only
 };
 
 }  // namespace sring::net

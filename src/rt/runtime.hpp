@@ -98,6 +98,14 @@ class Runtime {
 
   std::size_t worker_count() const noexcept { return workers_.size(); }
 
+  /// Jobs queued right now (JobQueue depth).  Thread-safe; the net
+  /// server's watermark admission polls it on every submit.
+  std::size_t queue_depth() const { return queue_.stats().depth; }
+
+  /// The queue's configured capacity (admission watermarks scale off
+  /// it).
+  std::size_t queue_capacity() const { return queue_.stats().capacity; }
+
   /// Fleet-wide metrics snapshot: queue statistics plus the merged
   /// per-worker registries (rt.jobs, rt.sim_cycles, per-worker
   /// rt.worker.<i>.* counters, pool reuse counters, job-cycle and

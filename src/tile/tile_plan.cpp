@@ -100,4 +100,37 @@ TileSchedule plan_gemm(const GemmSpec& spec,
   return sched;
 }
 
+std::shared_ptr<const TileSchedule> PlanCache::get_or_plan(
+    const GemmSpec& spec, std::size_t scratch_capacity) {
+  {
+    std::lock_guard lock(mu_);
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      if (it->scratch_capacity == scratch_capacity && it->spec == spec) {
+        lru_.splice(lru_.begin(), lru_, it);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return lru_.front().sched;
+      }
+    }
+  }
+  // Plan outside the lock: a big schedule should not serialize the
+  // shards behind it.  Two shards racing the same cold spec both plan
+  // (the schedule is deterministic, so either copy is correct) and the
+  // second insert wins the front slot.
+  auto sched = std::make_shared<const TileSchedule>(
+      plan_gemm(spec, scratch_capacity));
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(mu_);
+  lru_.push_front(Entry{spec, scratch_capacity, sched});
+  while (lru_.size() > capacity_) {
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return sched;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard lock(mu_);
+  return lru_.size();
+}
+
 }  // namespace sring::tile

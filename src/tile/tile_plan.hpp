@@ -23,7 +23,11 @@
 // the observed tile.scratch.* counters exactly (tested).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "tile/gemm_ref.hpp"
@@ -72,5 +76,47 @@ struct TileSchedule {
 /// Plan the tile schedule of `spec` for a scratchpad holding
 /// `scratch_capacity` tiles.  Throws SimError on an invalid spec.
 TileSchedule plan_gemm(const GemmSpec& spec, std::size_t scratch_capacity);
+
+/// Bounded LRU of tile schedules keyed by (GemmSpec, scratch capacity).
+/// plan_gemm replays the whole schedule against the eviction model, so
+/// re-planning an identical request is pure waste — the net server
+/// (which sees the same GEMM shapes over and over) asks the cache
+/// instead.  Thread-safe: shards share one instance; the returned
+/// schedule is immutable and outlives eviction via shared_ptr.
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// The cached schedule for (spec, scratch_capacity), planning and
+  /// inserting on a miss.  Throws SimError (without caching anything)
+  /// on an invalid spec.
+  std::shared_ptr<const TileSchedule> get_or_plan(
+      const GemmSpec& spec, std::size_t scratch_capacity);
+
+  std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    GemmSpec spec;
+    std::size_t scratch_capacity = 0;
+    std::shared_ptr<const TileSchedule> sched;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
 
 }  // namespace sring::tile

@@ -519,11 +519,11 @@ TEST(Codec, DfgCompiledOutputCountOverrunIsTyped) {
 }
 
 TEST(Versioning, AllFramingVersionsParseAndOldPayloadsStayBitIdentical) {
-  // All four supported framing versions parse and report themselves;
-  // the frame header layout did not change for v3/v4.
+  // All five supported framing versions parse and report themselves;
+  // the frame header layout did not change for v3/v4/v5.
   for (const std::uint16_t v :
        {std::uint16_t{1}, std::uint16_t{2}, std::uint16_t{3},
-        std::uint16_t{4}}) {
+        std::uint16_t{4}, std::uint16_t{5}}) {
     std::vector<std::uint8_t> wire;
     append_frame(wire, MsgType::kPing, encode_ping(3), v);
     Frame frame;
@@ -540,7 +540,15 @@ TEST(Versioning, AllFramingVersionsParseAndOldPayloadsStayBitIdentical) {
   EXPECT_EQ(encode_job_request(req, 2), encode_job_request(req, 2));
   const JobResultMsg res;
   EXPECT_EQ(encode_job_result(res, 1), encode_job_result(res, 1));
-  EXPECT_EQ(kProtocolVersion, 4);
+  // Pre-v5 Error payloads carry no retry_after_ms tail.
+  ErrorMsg err;
+  err.code = ErrorCode::kBusy;
+  err.message = "x";
+  err.retry_after_ms = 25;
+  const auto v4_err = encode_error(err, 4);
+  EXPECT_EQ(decode_error(v4_err, 4).retry_after_ms, 0u);
+  EXPECT_EQ(encode_error(err, 5).size(), v4_err.size() + 4);
+  EXPECT_EQ(kProtocolVersion, 5);
   EXPECT_EQ(kMinProtocolVersion, 1);
 }
 
@@ -652,6 +660,105 @@ TEST(SubmitGemm, DecodeRejectsInvalidSpecs) {
                  m.spec.shift = 16;
                })),
                ProtocolError);
+}
+
+// ---------------------------------------------------------------------------
+// v5 batched submit
+
+SubmitJobBatchMsg sample_batch() {
+  SubmitJobBatchMsg msg;
+  msg.tag = 0xBA7C4;
+  msg.trace_id = 0xCAFE0001;
+  for (const KernelId k : {KernelId::kFir, KernelId::kMatvec8,
+                           KernelId::kDwt53}) {
+    JobRequest req = sample_request(k);
+    req.tag = msg.jobs.size() + 1;
+    req.trace_id = 0x1000 + msg.jobs.size();
+    msg.jobs.push_back(std::move(req));
+  }
+  return msg;
+}
+
+TEST(BatchSubmit, SubmitJobBatchRoundTrips) {
+  const SubmitJobBatchMsg msg = sample_batch();
+  EXPECT_EQ(decode_submit_job_batch(encode_submit_job_batch(msg)), msg);
+  // An empty batch is wire-legal; admission answers it inline.
+  SubmitJobBatchMsg empty;
+  empty.tag = 7;
+  EXPECT_EQ(decode_submit_job_batch(encode_submit_job_batch(empty)),
+            empty);
+}
+
+TEST(BatchSubmit, JobBatchResultRoundTripsMixedOutcomes) {
+  JobBatchResultMsg msg;
+  msg.tag = 0xBA7C4;
+  JobBatchEntryMsg ok_entry;
+  ok_entry.ok = 1;
+  ok_entry.result.tag = 1;
+  ok_entry.result.outputs = {1, 2, 3};
+  ok_entry.result.sim_cycles = 99;
+  ok_entry.result.trace_id = 0x1000;
+  msg.entries.push_back(ok_entry);
+  JobBatchEntryMsg busy_entry;
+  busy_entry.ok = 0;
+  busy_entry.error.code = ErrorCode::kBusy;
+  busy_entry.error.message = "job queue is full — resubmit later";
+  busy_entry.error.retry_after_ms = 25;
+  msg.entries.push_back(busy_entry);
+  const JobBatchResultMsg back =
+      decode_job_batch_result(encode_job_batch_result(msg));
+  EXPECT_EQ(back, msg);
+  EXPECT_EQ(back.entries[1].error.retry_after_ms, 25u);
+}
+
+TEST(BatchSubmit, JobCountIsCappedBeforeDecodingEntries) {
+  auto bytes = encode_submit_job_batch(sample_batch());
+  // Job count u32 sits after tag u32; claim kMaxBatchJobs + 1.
+  const std::uint32_t bomb =
+      static_cast<std::uint32_t>(kMaxBatchJobs + 1);
+  bytes[4] = static_cast<std::uint8_t>(bomb & 0xFF);
+  bytes[5] = static_cast<std::uint8_t>((bomb >> 8) & 0xFF);
+  bytes[6] = static_cast<std::uint8_t>((bomb >> 16) & 0xFF);
+  bytes[7] = static_cast<std::uint8_t>((bomb >> 24) & 0xFF);
+  try {
+    (void)decode_submit_job_batch(bytes);
+    FAIL() << "oversized batch accepted";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("limit"), std::string::npos);
+  }
+}
+
+TEST(BatchSubmit, TruncationsAndTrailingBytesReject) {
+  const auto wire = encode_submit_job_batch(sample_batch());
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, std::size_t{9},
+        wire.size() - 1}) {
+    EXPECT_THROW(decode_submit_job_batch(
+                     std::span<const std::uint8_t>(wire.data(), keep)),
+                 ProtocolError)
+        << "kept " << keep;
+  }
+  auto trailing = wire;
+  trailing.push_back(0);
+  EXPECT_THROW(decode_submit_job_batch(trailing), ProtocolError);
+
+  const auto reply = encode_job_batch_result(JobBatchResultMsg{});
+  auto reply_trailing = reply;
+  reply_trailing.push_back(0);
+  EXPECT_THROW(decode_job_batch_result(reply_trailing), ProtocolError);
+}
+
+TEST(BatchSubmit, EntriesNestThePerVersionJobCodecs) {
+  // A v1 batch nests v1 job blobs: no trace_id / telemetry fields, so
+  // the whole encode shrinks and decoding at v1 round-trips with the
+  // v2+ tails zeroed.
+  SubmitJobBatchMsg msg = sample_batch();
+  const auto v5 = encode_submit_job_batch(msg, 5);
+  const auto v1 = encode_submit_job_batch(msg, 1);
+  EXPECT_LT(v1.size(), v5.size());
+  const SubmitJobBatchMsg back = decode_submit_job_batch(v1, 1);
+  ASSERT_EQ(back.jobs.size(), msg.jobs.size());
+  for (const auto& job : back.jobs) EXPECT_EQ(job.trace_id, 0u);
 }
 
 }  // namespace

@@ -336,7 +336,7 @@ TEST(SvcServe, PreV3ClientsAreRefusedDfgMessages) {
   Frame reply;
   ASSERT_TRUE(raw.recv_frame(reply));
   ASSERT_EQ(reply.type, MsgType::kError);
-  const ErrorMsg err = decode_error(reply.payload);
+  const ErrorMsg err = decode_error(reply.payload, reply.version);
   EXPECT_EQ(err.code, ErrorCode::kBadRequest);
   EXPECT_NE(err.message.find("protocol v3"), std::string::npos);
   EXPECT_TRUE(raw.recv_eof());

@@ -242,6 +242,58 @@ TEST(TilePlanner, FullReuseCapacityReaches8x) {
   EXPECT_NEAR(sched.reuse_factor, 8.0, 1e-9);
 }
 
+TEST(PlanCache, HitsMissesEvictionsAndKeying) {
+  PlanCache cache(2);
+  GemmSpec spec;
+  spec.m = 17;
+  spec.k = 16;
+  spec.n = 20;
+
+  const auto s1 = cache.get_or_plan(spec, 64);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  // Same (spec, capacity) -> the very same schedule object.
+  const auto s2 = cache.get_or_plan(spec, 64);
+  EXPECT_EQ(s1.get(), s2.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  // The cached schedule is what plan_gemm produces.
+  const TileSchedule direct = plan_gemm(spec, 64);
+  EXPECT_EQ(s1->steps, direct.steps);
+  EXPECT_EQ(s1->expected_refills, direct.expected_refills);
+
+  // Scratch capacity is part of the key: the same spec at another
+  // capacity predicts different traffic, so it must not alias.
+  const auto s3 = cache.get_or_plan(spec, 2);
+  EXPECT_NE(s1.get(), s3.get());
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Refresh (spec, 64) so (spec, 2) is the LRU entry, then a third
+  // key evicts it.
+  (void)cache.get_or_plan(spec, 64);
+  EXPECT_EQ(cache.hits(), 2u);
+  GemmSpec other = spec;
+  other.mapping = Mapping::kWeightStationary;
+  (void)cache.get_or_plan(other, 64);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  (void)cache.get_or_plan(spec, 64);
+  EXPECT_EQ(cache.hits(), 3u);
+  (void)cache.get_or_plan(spec, 2);
+  EXPECT_EQ(cache.misses(), 4u);
+
+  // An evicted-then-replanned schedule survives through the caller's
+  // shared_ptr even while absent from the cache.
+  EXPECT_EQ(s3->steps, plan_gemm(spec, 2).steps);
+
+  // Invalid specs throw without polluting the cache.
+  GemmSpec bad = spec;
+  bad.m = 0;
+  EXPECT_THROW((void)cache.get_or_plan(bad, 64), SimError);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
 // ---------------------------------------------------------------------------
 // Tiled execution vs reference
 
